@@ -1,0 +1,417 @@
+//! Discrete Arrowized FRP: Elm's `Automaton` library (paper §4.3).
+//!
+//! "An `Automaton` is defined as a continuation that when given an input
+//! `a`, produces the next continuation and an output `b`:
+//! `data Automaton a b = Step (a -> (Automaton a b, b))`."
+//!
+//! Automatons are *pure data* — no innate dependency on signals — so they
+//! can be dynamically created, switched in and out, and collected, giving
+//! Elm the expressiveness of Arrowized FRP without signals-of-signals.
+//! [`run`] feeds a signal through an automaton (implemented with `foldp`,
+//! exactly as in the paper), and [`foldp_via_automaton`] shows the reverse
+//! embedding — the two are equally expressive (paper §4.3; property-tested
+//! in this crate and benchmarked as experiment E12).
+//!
+//! ```
+//! use elm_automaton::Automaton;
+//!
+//! let counter = Automaton::state(0i64, |_input: &i64, count| count + 1);
+//! let (next, out) = counter.step(&10);
+//! assert_eq!(out, 1);
+//! let (_, out) = next.step(&99);
+//! assert_eq!(out, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use elm_signals::{Signal, SignalValue};
+
+/// The continuation type inside an [`Automaton`].
+type StepFn<A, B> = Arc<dyn Fn(&A) -> (Automaton<A, B>, B) + Send + Sync>;
+
+/// A stateful stream transducer: one step consumes an `A` and yields the
+/// next automaton plus a `B`.
+pub struct Automaton<A, B> {
+    step: StepFn<A, B>,
+}
+
+impl<A, B> Clone for Automaton<A, B> {
+    fn clone(&self) -> Self {
+        Automaton {
+            step: self.step.clone(),
+        }
+    }
+}
+
+impl<A, B> std::fmt::Debug for Automaton<A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Automaton<{}, {}>",
+            std::any::type_name::<A>(),
+            std::any::type_name::<B>()
+        )
+    }
+}
+
+impl<A: 'static, B: 'static> Automaton<A, B> {
+    /// Wraps a raw step function — the `Step` constructor.
+    pub fn new(step: impl Fn(&A) -> (Automaton<A, B>, B) + Send + Sync + 'static) -> Self {
+        Automaton {
+            step: Arc::new(step),
+        }
+    }
+
+    /// Steps the automaton once — the paper's
+    /// `step : a -> Automaton a b -> (Automaton a b, b)`.
+    pub fn step(&self, input: &A) -> (Automaton<A, B>, B) {
+        (self.step)(input)
+    }
+
+    /// A stateless automaton from a pure function — the paper's
+    /// `pure : (a -> b) -> Automaton a b`.
+    pub fn pure(f: impl Fn(&A) -> B + Send + Sync + 'static) -> Self {
+        let f = Arc::new(f);
+        fn make<A: 'static, B: 'static>(
+            f: Arc<dyn Fn(&A) -> B + Send + Sync>,
+        ) -> Automaton<A, B> {
+            Automaton::new(move |a| (make(f.clone()), f(a)))
+        }
+        make(f)
+    }
+
+    /// A stateful automaton whose output *is* its state — the paper's
+    /// `init : (a -> b -> b) -> b -> Automaton a b` ("notice the
+    /// similarity between the types of `init` and `foldp`").
+    pub fn state(init: B, f: impl Fn(&A, &B) -> B + Send + Sync + 'static) -> Self
+    where
+        B: Clone + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        #[allow(clippy::type_complexity)]
+        fn make<A: 'static, B: Clone + Send + Sync + 'static>(
+            state: B,
+            f: Arc<dyn Fn(&A, &B) -> B + Send + Sync>,
+        ) -> Automaton<A, B> {
+            Automaton::new(move |a| {
+                let next = f(a, &state);
+                (make(next.clone(), f.clone()), next)
+            })
+        }
+        make(init, f)
+    }
+
+    /// A stateful automaton with hidden internal state — Elm's
+    /// `hiddenState : s -> (a -> s -> (s, b)) -> Automaton a b`.
+    pub fn hidden_state<S: Clone + Send + Sync + 'static>(
+        init: S,
+        f: impl Fn(&A, &S) -> (S, B) + Send + Sync + 'static,
+    ) -> Self {
+        let f = Arc::new(f);
+        #[allow(clippy::type_complexity)]
+        fn make<A: 'static, B: 'static, S: Clone + Send + Sync + 'static>(
+            state: S,
+            f: Arc<dyn Fn(&A, &S) -> (S, B) + Send + Sync>,
+        ) -> Automaton<A, B> {
+            Automaton::new(move |a| {
+                let (next, out) = f(a, &state);
+                (make(next, f.clone()), out)
+            })
+        }
+        make(init, f)
+    }
+
+    /// Post-composes another automaton — the arrow `>>>`.
+    pub fn then<C: 'static>(self, next: Automaton<B, C>) -> Automaton<A, C> {
+        Automaton::new(move |a| {
+            let (s1, b) = self.step(a);
+            let (s2, c) = next.step(&b);
+            (s1.then(s2), c)
+        })
+    }
+
+    /// Runs two automatons on the same input, pairing outputs — the arrow
+    /// `&&&` (fanout).
+    pub fn fanout<C: 'static>(self, other: Automaton<A, C>) -> Automaton<A, (B, C)> {
+        Automaton::new(move |a| {
+            let (s1, b) = self.step(a);
+            let (s2, c) = other.step(a);
+            (s1.fanout(s2), (b, c))
+        })
+    }
+
+    /// Routes this automaton over the first component of a pair, passing
+    /// the second through unchanged — the arrow `first`.
+    pub fn first<C: Clone + 'static>(self) -> Automaton<(A, C), (B, C)> {
+        Automaton::new(move |(a, c): &(A, C)| {
+            let (next, b) = self.step(a);
+            (next.first(), (b, c.clone()))
+        })
+    }
+
+    /// Routes this automaton over the second component of a pair — the
+    /// arrow `second`.
+    pub fn second<C: Clone + 'static>(self) -> Automaton<(C, A), (C, B)> {
+        Automaton::new(move |(c, a): &(C, A)| {
+            let (next, b) = self.step(a);
+            (next.second(), (c.clone(), b))
+        })
+    }
+
+    /// Pre-maps the input — contravariant action.
+    pub fn premap<Z: 'static>(
+        self,
+        f: impl Fn(&Z) -> A + Send + Sync + 'static,
+    ) -> Automaton<Z, B> {
+        let f = Arc::new(f);
+        fn make<Z: 'static, A: 'static, B: 'static>(
+            inner: Automaton<A, B>,
+            f: Arc<dyn Fn(&Z) -> A + Send + Sync>,
+        ) -> Automaton<Z, B> {
+            Automaton::new(move |z| {
+                let (next, b) = inner.step(&f(z));
+                (make(next, f.clone()), b)
+            })
+        }
+        make(self, f)
+    }
+
+    /// Feeds a whole input sequence, collecting outputs (a convenience for
+    /// tests and batch use).
+    pub fn run_iter<'i>(&self, inputs: impl IntoIterator<Item = &'i A>) -> Vec<B>
+    where
+        A: 'i,
+    {
+        let mut cur = self.clone();
+        let mut out = Vec::new();
+        for i in inputs {
+            let (next, b) = cur.step(i);
+            out.push(b);
+            cur = next;
+        }
+        out
+    }
+}
+
+impl<A: 'static> Automaton<A, i64> {
+    /// Counts inputs — Elm's `count : Automaton a Int`.
+    pub fn count() -> Automaton<A, i64> {
+        Automaton::state(0i64, |_a, n| n + 1)
+    }
+}
+
+/// An automaton over cloneable outputs: the `map_output` combinator lives
+/// here so the base type carries no `Clone` bounds (C-STRUCT-BOUNDS).
+impl<A: 'static, B: Clone + 'static> Automaton<A, B> {
+    /// Maps the output with a pure function.
+    pub fn map_output<C: 'static>(
+        self,
+        f: impl Fn(&B) -> C + Send + Sync + 'static,
+    ) -> Automaton<A, C> {
+        let f = Arc::new(f);
+        fn make<A: 'static, B: Clone + 'static, C: 'static>(
+            inner: Automaton<A, B>,
+            f: Arc<dyn Fn(&B) -> C + Send + Sync>,
+        ) -> Automaton<A, C> {
+            Automaton::new(move |a| {
+                let (next, b) = inner.step(a);
+                (make(next, f.clone()), f(&b))
+            })
+        }
+        make(self, f)
+    }
+}
+
+/// Runs each automaton in the list on the same input — Elm's
+/// `combine : [Automaton a b] -> Automaton a [b]`, the basis for dynamic
+/// collections of graphical components.
+pub fn combine<A: 'static, B: 'static>(autos: Vec<Automaton<A, B>>) -> Automaton<A, Vec<B>> {
+    Automaton::new(move |a| {
+        let mut nexts = Vec::with_capacity(autos.len());
+        let mut outs = Vec::with_capacity(autos.len());
+        for auto in &autos {
+            let (n, b) = auto.step(a);
+            nexts.push(n);
+            outs.push(b);
+        }
+        (combine(nexts), outs)
+    })
+}
+
+/// Feeds a signal through an automaton — the paper's
+/// `run : Automaton a b -> b -> Signal a -> Signal b`, implemented with
+/// `foldp` exactly as printed in §4.3.
+pub fn run<A, B>(automaton: Automaton<A, B>, base: B, inputs: &Signal<A>) -> Signal<B>
+where
+    A: SignalValue,
+    B: SignalValue,
+{
+    inputs
+        .foldp(
+            elm_signals::Opaque((automaton, base)),
+            |input, elm_signals::Opaque((auto, _prev))| {
+                let (next, out) = auto.step(&input);
+                elm_signals::Opaque((next, out))
+            },
+        )
+        .map(|elm_signals::Opaque((_auto, out))| out)
+}
+
+/// The reverse embedding: `foldp f base inputs = run (init f base) base
+/// inputs` (paper §4.3) — `foldp` expressed with automatons.
+pub fn foldp_via_automaton<A, B>(
+    f: impl Fn(&A, &B) -> B + Send + Sync + 'static,
+    base: B,
+    inputs: &Signal<A>,
+) -> Signal<B>
+where
+    A: SignalValue,
+    B: SignalValue,
+{
+    let base2 = base.clone();
+    run(Automaton::state(base, f), base2, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elm_signals::{Engine, SignalNetwork};
+
+    #[test]
+    fn pure_is_stateless() {
+        let double = Automaton::pure(|x: &i64| x * 2);
+        assert_eq!(double.run_iter([&1, &2, &3]), vec![2, 4, 6]);
+        // Re-running from the original yields the same outputs (purity).
+        assert_eq!(double.run_iter([&1, &2, &3]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn state_threads_its_accumulator() {
+        let sum = Automaton::state(0i64, |x: &i64, acc| acc + x);
+        assert_eq!(sum.run_iter([&1, &2, &3]), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn hidden_state_differs_from_output() {
+        // Emit the *previous* input; state hides one value.
+        let delay = Automaton::hidden_state(0i64, |x: &i64, prev| (*x, *prev));
+        assert_eq!(delay.run_iter([&10, &20, &30]), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn composition_and_fanout() {
+        let inc = Automaton::pure(|x: &i64| x + 1);
+        let double = Automaton::pure(|x: &i64| x * 2);
+        let both = inc.clone().then(double.clone());
+        assert_eq!(both.run_iter([&1, &2]), vec![4, 6]);
+        let pair = inc.fanout(double);
+        assert_eq!(pair.run_iter([&3]), vec![(4, 6)]);
+    }
+
+    #[test]
+    fn arrow_identity_and_associativity() {
+        let id = Automaton::pure(|x: &i64| *x);
+        let f = Automaton::pure(|x: &i64| x + 10);
+        let g = Automaton::pure(|x: &i64| x * 3);
+        let h = Automaton::pure(|x: &i64| x - 1);
+        let inputs = [&1i64, &2, &5, &7];
+
+        // id >>> f == f == f >>> id
+        assert_eq!(
+            id.clone().then(f.clone()).run_iter(inputs),
+            f.run_iter(inputs)
+        );
+        assert_eq!(
+            f.clone().then(id).run_iter(inputs),
+            f.run_iter(inputs)
+        );
+        // (f >>> g) >>> h == f >>> (g >>> h)
+        let left = f.clone().then(g.clone()).then(h.clone());
+        let right = f.then(g.then(h));
+        assert_eq!(left.run_iter(inputs), right.run_iter(inputs));
+    }
+
+    #[test]
+    fn first_and_second_satisfy_the_exchange_laws() {
+        let f = Automaton::pure(|x: &i64| x + 1);
+        let inputs: Vec<(i64, i64)> = vec![(1, 10), (2, 20), (3, 30)];
+        let refs: Vec<&(i64, i64)> = inputs.iter().collect();
+
+        // first f leaves the second component untouched.
+        assert_eq!(
+            f.clone().first::<i64>().run_iter(refs.clone()),
+            vec![(2, 10), (3, 20), (4, 30)]
+        );
+        // second f leaves the first component untouched.
+        let swapped: Vec<(i64, i64)> = vec![(10, 1), (20, 2), (30, 3)];
+        let srefs: Vec<&(i64, i64)> = swapped.iter().collect();
+        assert_eq!(
+            f.clone().second::<i64>().run_iter(srefs),
+            vec![(10, 2), (20, 3), (30, 4)]
+        );
+        // first (f >>> g) == first f >>> first g on stateful automatons.
+        let g = Automaton::state(0i64, |x: &i64, acc| acc + x);
+        let lhs = f.clone().then(g.clone()).first::<i64>();
+        let rhs = f.clone().first::<i64>().then(g.first::<i64>());
+        assert_eq!(lhs.run_iter(refs.clone()), rhs.run_iter(refs));
+    }
+
+    #[test]
+    fn combine_runs_a_dynamic_collection() {
+        let autos = vec![
+            Automaton::pure(|x: &i64| x + 1),
+            Automaton::state(0i64, |x: &i64, acc| acc + x),
+            Automaton::count(),
+        ];
+        let all = combine(autos);
+        assert_eq!(all.run_iter([&5, &7]), vec![vec![6, 5, 1], vec![8, 12, 2]]);
+    }
+
+    #[test]
+    fn premap_and_map_output() {
+        let count_evens = Automaton::<bool, i64>::count()
+            .premap(|x: &i64| x % 2 == 0)
+            .map_output(|n| n * 100);
+        // Counts all inputs (count ignores its input value).
+        assert_eq!(count_evens.run_iter([&2i64, &3, &4]), vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn run_drives_an_automaton_with_a_signal() {
+        let mut net = SignalNetwork::new();
+        let (keys, hk) = net.input::<i64>("keys", 0);
+        let counted = run(Automaton::count(), 0, &keys);
+        let prog = net.program(&counted).unwrap();
+        let mut r = prog.start(Engine::Synchronous);
+        for k in [65i64, 66, 67] {
+            r.send(&hk, k).unwrap();
+        }
+        assert_eq!(r.drain_changes().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn foldp_equals_run_init() {
+        // The paper's equivalence, checked on a shared trace.
+        let trace: Vec<i64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+
+        let build = |use_automaton: bool| {
+            let mut net = SignalNetwork::new();
+            let (input, h) = net.input::<i64>("input", 0);
+            let sig = if use_automaton {
+                foldp_via_automaton(|x: &i64, acc: &i64| acc + x, 0, &input)
+            } else {
+                input.foldp(0i64, |x, acc| acc + x)
+            };
+            let prog = net.program(&sig).unwrap();
+            let mut r = prog.start(Engine::Synchronous);
+            for v in &trace {
+                r.send(&h, *v).unwrap();
+            }
+            r.drain_changes().unwrap()
+        };
+
+        assert_eq!(build(true), build(false));
+    }
+}

@@ -1,0 +1,48 @@
+//! E14 — §5: "We investigated using Web Workers to implement `async`, but
+//! found their overhead to be too high compared with simpler approaches."
+//!
+//! The analogue in this runtime: an `async` boundary costs a buffer hop, a
+//! dispatcher round-trip, and an extra thread handoff per value. This
+//! bench quantifies that per-event overhead against an inline lift node,
+//! across payload sizes — the number that decides whether `async` should
+//! wrap cheap computations (it should not; it is for long-running ones).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elm_bench::hop_graph;
+use elm_runtime::{ConcurrentRuntime, Occurrence};
+
+const EVENTS: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+
+    for payload in [8usize, 1024, 65536] {
+        group.throughput(Throughput::Elements(EVENTS as u64));
+        for use_async in [false, true] {
+            let label = if use_async { "async-hop" } else { "inline" };
+            let (graph, input, value) = hop_graph(use_async, payload);
+            group.bench_with_input(
+                BenchmarkId::new(label, payload),
+                &payload,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rt = ConcurrentRuntime::start(&graph);
+                        for _ in 0..EVENTS {
+                            rt.feed(Occurrence::input(input, value.clone())).unwrap();
+                        }
+                        rt.drain().unwrap();
+                        rt.stop();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E12 — §4.3: "Functions `run` and `foldp` are equivalent in expressive
+//! power." The equivalence is property-tested in `elm-automaton`; this
+//! bench quantifies the *cost* of each encoding (the continuation-based
+//! Automaton allocates a fresh closure per step; the primitive `foldp`
+//! does not), plus arrow-composition overhead.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elm_automaton::{combine, foldp_via_automaton, Automaton};
+use elm_signals::{Engine, SignalNetwork};
+
+const EVENTS: usize = 500;
+
+fn run_signal_program(use_automaton: bool) -> i64 {
+    let mut net = SignalNetwork::new();
+    let (input, h) = net.input::<i64>("input", 0);
+    let sig = if use_automaton {
+        foldp_via_automaton(|x: &i64, acc: &i64| acc + x, 0, &input)
+    } else {
+        input.foldp(0i64, |x, acc| acc + x)
+    };
+    let prog = net.program(&sig).unwrap();
+    let mut run = prog.start(Engine::Synchronous);
+    for k in 0..EVENTS {
+        run.send(&h, k as i64).unwrap();
+    }
+    *run.drain_changes().unwrap().last().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automaton");
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    group.bench_function("foldp-primitive", |b| {
+        b.iter(|| run_signal_program(false))
+    });
+    group.bench_function("run-init-encoding", |b| {
+        b.iter(|| run_signal_program(true))
+    });
+
+    // Raw stepping, no signal network: composition depth sweep.
+    for depth in [1usize, 8, 32] {
+        let mut auto = Automaton::pure(|x: &i64| x + 1);
+        for _ in 1..depth {
+            auto = auto.then(Automaton::pure(|x: &i64| x + 1));
+        }
+        let inputs: Vec<i64> = (0..EVENTS as i64).collect();
+        group.bench_with_input(BenchmarkId::new("compose-chain", depth), &depth, |b, _| {
+            b.iter(|| auto.run_iter(inputs.iter()))
+        });
+    }
+
+    // Dynamic collections (the AFRP use case).
+    for width in [10usize, 100] {
+        let autos: Vec<Automaton<i64, i64>> =
+            (0..width).map(|_| Automaton::state(0i64, |x, acc| acc + x)).collect();
+        let all = combine(autos);
+        let inputs: Vec<i64> = (0..100).collect();
+        group.bench_with_input(BenchmarkId::new("combine", width), &width, |b, _| {
+            b.iter(|| all.run_iter(inputs.iter()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E13 — compiler practicality (§5: the 2,700-line Haskell compiler built
+//! the Elm website and ~200 examples). Measures front-end and full
+//! compilation throughput on generated program suites of growing size.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use felm::env::InputEnv;
+
+/// Generates a program with `defs` chained definitions.
+fn program(defs: usize) -> String {
+    let mut src = String::new();
+    let _ = writeln!(src, "base = lift (\\x -> x + 1) Mouse.x");
+    for k in 0..defs {
+        let prev = if k == 0 {
+            "base".to_string()
+        } else {
+            format!("step{}", k - 1)
+        };
+        let _ = writeln!(src, "step{k} = lift (\\x -> x * 2 + {k}) {prev}");
+    }
+    let last = if defs == 0 {
+        "base".to_string()
+    } else {
+        format!("step{}", defs - 1)
+    };
+    let _ = writeln!(
+        src,
+        "main = lift2 (\\a b -> (a, b)) {last} (foldp (\\k c -> c + 1) 0 Keyboard.lastPressed)"
+    );
+    src
+}
+
+fn bench(c: &mut Criterion) {
+    let env = InputEnv::standard();
+    let mut group = c.benchmark_group("compiler");
+    group.measurement_time(Duration::from_secs(2));
+
+    for defs in [5usize, 25, 100] {
+        let src = program(defs);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("parse", defs), &src, |b, s| {
+            b.iter(|| felm::parser::parse_program(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("typecheck", defs), &src, |b, s| {
+            let e = felm::parser::parse_program(s).unwrap().to_expr().unwrap();
+            b.iter(|| felm::infer::infer_type(&env, &e).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("front-end", defs), &src, |b, s| {
+            b.iter(|| felm::pipeline::compile_source(s, &env).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("to-js", defs), &src, |b, s| {
+            b.iter(|| elm_compiler::compile_to_js(s, &env).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Interpreter ablation: the faithful Fig. 6 small-step machine
+//! (substitution-based, the specification) vs the environment-based
+//! big-step evaluator that signal nodes actually run on each event.
+//! Quantifies why stage two does not interpret by literal β-reduction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use felm::ast::Expr;
+use felm::parser::parse_expr;
+use felm::translate::{apply_function, apply_function_small_step};
+use elm_runtime::Value;
+
+/// A curried two-argument function with `depth` nested lets and calls.
+fn workload(depth: usize) -> Expr {
+    let mut body = String::from("x + y");
+    for k in 0..depth {
+        body = format!("let t{k} = ({body}) * 2 in t{k} - {k}");
+    }
+    parse_expr(&format!("\\x y -> {body}")).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.measurement_time(Duration::from_secs(2));
+
+    for depth in [1usize, 8, 32] {
+        let f = workload(depth);
+        let args = [Value::Int(21), Value::Int(2)];
+        // Both paths must agree before we time them.
+        assert_eq!(
+            apply_function(&f, &args),
+            apply_function_small_step(&f, &args)
+        );
+        group.bench_with_input(BenchmarkId::new("big-step", depth), &depth, |b, _| {
+            b.iter(|| apply_function(&f, &args))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("small-step-spec", depth),
+            &depth,
+            |b, _| b.iter(|| apply_function_small_step(&f, &args)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

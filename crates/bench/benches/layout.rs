@@ -1,0 +1,84 @@
+//! Layout-engine performance (supports E1/E9): the purely functional
+//! layout must be cheap enough to run per frame. Benches `flow` columns,
+//! nested containers, and collages of transformed forms, through layout
+//! and each renderer.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elm_graphics::render::{ascii, html, svg};
+use elm_graphics::{
+    collage, degrees, flow, layout, ngon, palette, solid, Direction, Element, Form, Position,
+};
+
+fn column(n: usize) -> Element {
+    flow(
+        Direction::Down,
+        (0..n)
+            .map(|k| Element::plain_text(format!("row {k}: some text content")))
+            .collect(),
+    )
+}
+
+fn nested(depth: usize) -> Element {
+    let mut e = Element::plain_text("core");
+    for k in 0..depth {
+        e = Element::container(
+            (100 + 10 * k) as u32,
+            (40 + 10 * k) as u32,
+            Position::MIDDLE,
+            e,
+        );
+    }
+    e
+}
+
+fn shapes(n: usize) -> Element {
+    collage(
+        800,
+        800,
+        (0..n)
+            .map(|k| {
+                Form::outlined(solid(palette::BLUE), ngon(5 + k % 5, 20.0))
+                    .rotated(degrees(k as f64 * 7.0))
+                    .shifted((k % 40) as f64 * 20.0 - 400.0, (k / 40) as f64 * 20.0 - 400.0)
+            })
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    group.measurement_time(Duration::from_secs(2));
+
+    for n in [10usize, 100, 1000] {
+        let e = column(n);
+        group.bench_with_input(BenchmarkId::new("flow-column", n), &n, |b, _| {
+            b.iter(|| layout(&e))
+        });
+    }
+    for d in [4usize, 32] {
+        let e = nested(d);
+        group.bench_with_input(BenchmarkId::new("nested-containers", d), &d, |b, _| {
+            b.iter(|| layout(&e))
+        });
+    }
+    for n in [10usize, 200] {
+        let e = shapes(n);
+        group.bench_with_input(BenchmarkId::new("collage-forms", n), &n, |b, _| {
+            b.iter(|| layout(&e))
+        });
+    }
+
+    let e = column(200);
+    let dl = layout(&e);
+    group.bench_function("render-html-200", |b| b.iter(|| html::to_html_fragment(&e)));
+    group.bench_function("render-ascii-200", |b| b.iter(|| ascii::to_ascii(&dl)));
+    let sh = shapes(100);
+    let sdl = layout(&sh);
+    group.bench_function("render-svg-100-forms", |b| b.iter(|| svg::to_svg(&sdl)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

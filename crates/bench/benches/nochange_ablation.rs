@@ -1,0 +1,42 @@
+//! E11 — §3.3.2: "The noChange values are a form of memoization —
+//! allowing nodes to avoid needless recomputation."
+//!
+//! Ablation: the same diamond graph (two costly branches, a join, and a
+//! `foldp`) driven by events that touch only one input, with `NoChange`
+//! propagation enabled vs disabled. Without it, every node recomputes on
+//! every event — and the `foldp` is additionally *wrong* (it counts
+//! unrelated events), which the harness binary demonstrates.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elm_bench::{diamond_graph, int_events, CostModel};
+use elm_runtime::SyncRuntime;
+
+const EVENTS: usize = 50;
+const NODE_COST: Duration = Duration::from_micros(200);
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nochange_ablation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+
+    let (graph, a, _b) = diamond_graph(NODE_COST, CostModel::Spin);
+    // All events hit input `a`; branch fb should never recompute.
+    for memoize in [true, false] {
+        let label = if memoize { "memoized" } else { "recompute-all" };
+        group.bench_with_input(BenchmarkId::new(label, EVENTS), &memoize, |bench, &m| {
+            bench.iter(|| {
+                let mut rt = SyncRuntime::with_memoization(&graph, m);
+                for occ in int_events(a, EVENTS) {
+                    rt.feed(occ).unwrap();
+                }
+                rt.run_to_quiescence();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

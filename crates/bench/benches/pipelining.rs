@@ -1,0 +1,47 @@
+//! E6 — §5: "it is possible to write programs such that the pipelined
+//! evaluation of signals has arbitrarily better performance than
+//! non-pipelined execution by ensuring that the signal graph of the
+//! program is sufficiently deep."
+//!
+//! A chain of `depth` stages each blocking for a fixed latency (e.g.
+//! remote calls) processes a burst of events. Non-pipelined execution
+//! costs ≈ `events × depth × latency`; the pipelined thread-per-node
+//! runtime overlaps stages for ≈ `(events + depth) × latency`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elm_bench::{deep_chain, int_events, CostModel};
+use elm_runtime::{ConcurrentRuntime, SyncRuntime};
+
+const EVENTS: usize = 8;
+const STAGE_LATENCY: Duration = Duration::from_millis(2);
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelining");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(200));
+
+    for depth in [1usize, 4, 16] {
+        let (graph, input) = deep_chain(depth, STAGE_LATENCY, CostModel::Block);
+        group.bench_with_input(
+            BenchmarkId::new("non-pipelined", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    SyncRuntime::run_trace(&graph, int_events(input, EVENTS)).unwrap();
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("pipelined", depth), &depth, |b, _| {
+            b.iter(|| {
+                ConcurrentRuntime::run_trace(&graph, int_events(input, EVENTS)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E4 — §1/§2: "many signals change discretely and infrequently, and so
+//! constant sampling leads to unnecessary recomputation. By contrast, Elm
+//! assumes that all signals are discrete … This reduces needless
+//! recomputation."
+//!
+//! Workload: a 64-leaf summation tree. A simulated second of activity
+//! delivers `rate` input events. The push-based runtime does work only on
+//! events (and only along changed paths); the pull-based baseline
+//! recomputes the whole graph at every 60 Hz sample regardless.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elm_bench::tree_graph;
+use elm_runtime::{Occurrence, PullRuntime, SyncRuntime};
+
+const LEAVES: usize = 64;
+const SAMPLES_PER_SECOND: usize = 60;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_vs_pull");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+
+    for rate in [1usize, 10, 60, 600] {
+        let (graph, inputs) = tree_graph(LEAVES);
+        // `rate` events spread round-robin over the leaves.
+        let events: Vec<Occurrence> = (0..rate)
+            .map(|k| Occurrence::input(inputs[k % LEAVES], k as i64))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("push", rate), &rate, |b, _| {
+            b.iter(|| {
+                SyncRuntime::run_trace(&graph, events.clone()).unwrap();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pull-60hz", rate), &rate, |b, _| {
+            b.iter(|| {
+                let mut rt = PullRuntime::new(&graph);
+                // Interleave input updates with the fixed sampling clock.
+                let per_sample = rate.div_ceil(SAMPLES_PER_SECOND).max(1);
+                let mut fed = 0;
+                for _ in 0..SAMPLES_PER_SECOND {
+                    for _ in 0..per_sample {
+                        if fed < rate {
+                            let occ = &events[fed];
+                            rt.set_input(occ.source, occ.payload.clone().unwrap())
+                                .unwrap();
+                            fed += 1;
+                        }
+                    }
+                    rt.sample();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E5 — §5's `syncEg` vs `asyncEg`: "it is easy to write programs such
+//! that Elm provides arbitrarily better responsiveness over synchronous
+//! FRP."
+//!
+//! Measures the wall-clock time for a burst of `Mouse.x` updates to reach
+//! the display while a long-running `f` (cost swept over a range) is
+//! processing a `Mouse.y` event. Synchronous FRP must finish `f` first;
+//! `async` lets the mouse updates jump ahead. `f` blocks (models the
+//! paper's image fetch); both variants run on the same concurrent
+//! pipelined runtime — only the `async` annotation differs.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elm_bench::{responsiveness_graph, CostModel};
+use elm_runtime::{ConcurrentRuntime, Occurrence};
+
+const MOUSE_EVENTS: usize = 20;
+
+/// Time until all mouse updates have been displayed, with `f` running.
+fn mouse_burst_latency(f_cost: Duration, use_async: bool) -> Duration {
+    let (graph, mx, my) = responsiveness_graph(f_cost, CostModel::Block, use_async);
+    let mut rt = ConcurrentRuntime::start(&graph);
+    // Trigger the long computation…
+    rt.feed(Occurrence::input(my, 1i64)).unwrap();
+    // …then the mouse burst, and wait for the burst (only) to display.
+    let t0 = Instant::now();
+    for k in 0..MOUSE_EVENTS {
+        rt.feed(Occurrence::input(mx, k as i64)).unwrap();
+    }
+    let mut seen = 0;
+    while seen < MOUSE_EVENTS {
+        let ev = rt
+            .next_output(Duration::from_secs(30))
+            .expect("runtime makes progress");
+        if ev.source == mx && ev.output.is_change() {
+            seen += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let _ = rt.drain();
+    rt.stop();
+    elapsed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("responsiveness");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for f_ms in [1u64, 4, 16, 64] {
+        let f_cost = Duration::from_millis(f_ms);
+        group.bench_with_input(BenchmarkId::new("sync", f_ms), &f_cost, |b, &cost| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += mouse_burst_latency(cost, false);
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async", f_ms), &f_cost, |b, &cost| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += mouse_burst_latency(cost, true);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

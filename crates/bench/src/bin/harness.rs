@@ -1,0 +1,265 @@
+//! The experiment harness: regenerates the paper-style result series
+//! recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p elm-bench --release --bin harness [-- EXPERIMENT]`
+//! where EXPERIMENT ∈ {e4, e5, e6, e11, e14, all} (default `all`).
+
+use std::time::{Duration, Instant};
+
+use elm_bench::{
+    deep_chain, diamond_graph, hop_graph, int_events, responsiveness_graph, tree_graph, CostModel,
+};
+use elm_runtime::{ConcurrentRuntime, Occurrence, PullRuntime, SyncRuntime, Value};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "e4" => e4_push_vs_pull(),
+        "e5" => e5_responsiveness(),
+        "e6" => e6_pipelining(),
+        "e11" => e11_nochange(),
+        "e14" => e14_async_overhead(),
+        "all" => {
+            e4_push_vs_pull();
+            e5_responsiveness();
+            e6_pipelining();
+            e11_nochange();
+            e14_async_overhead();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}` (use e4|e5|e6|e11|e14|all)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// E4: push-based discrete signals vs pull-based sampling — computations
+/// and time for one simulated second.
+fn e4_push_vs_pull() {
+    println!("\n== E4: push-based vs pull-based recomputation (64-leaf sum tree, 60 Hz sampling) ==");
+    println!(
+        "{:>10} {:>16} {:>16} {:>14} {:>14}",
+        "events/s", "push computs", "pull computs", "push time", "pull time"
+    );
+    for rate in [1usize, 10, 60, 240, 600] {
+        let (graph, inputs) = tree_graph(64);
+        let events: Vec<Occurrence> = (0..rate)
+            .map(|k| Occurrence::input(inputs[k % 64], k as i64))
+            .collect();
+
+        let t0 = Instant::now();
+        let mut push = SyncRuntime::new(&graph);
+        for occ in events.clone() {
+            push.feed(occ).unwrap();
+        }
+        push.run_to_quiescence();
+        let push_time = t0.elapsed();
+        let push_computs = push.stats().computations();
+
+        let t0 = Instant::now();
+        let mut pull = PullRuntime::new(&graph);
+        let per_sample = rate.div_ceil(60).max(1);
+        let mut fed = 0;
+        for _ in 0..60 {
+            for _ in 0..per_sample {
+                if fed < rate {
+                    let occ = &events[fed];
+                    pull.set_input(occ.source, occ.payload.clone().unwrap()).unwrap();
+                    fed += 1;
+                }
+            }
+            pull.sample();
+        }
+        let pull_time = t0.elapsed();
+        let pull_computs = pull.stats().computations();
+
+        println!(
+            "{:>10} {:>16} {:>16} {:>14?} {:>14?}",
+            rate, push_computs, pull_computs, push_time, pull_time
+        );
+    }
+}
+
+/// E5: mouse-burst latency with a long-running f, sync vs async.
+fn e5_responsiveness() {
+    println!("\n== E5: responsiveness — syncEg vs asyncEg (20 mouse events during f; f blocks) ==");
+    println!(
+        "{:>10} {:>18} {:>18} {:>10}",
+        "f cost", "sync latency", "async latency", "ratio"
+    );
+    for f_ms in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+        let cost = Duration::from_millis(f_ms);
+        let measure = |use_async: bool| {
+            let runs: Vec<Duration> = (0..5)
+                .map(|_| {
+                    let (graph, mx, my) = responsiveness_graph(cost, CostModel::Block, use_async);
+                    let mut rt = ConcurrentRuntime::start(&graph);
+                    rt.feed(Occurrence::input(my, 1i64)).unwrap();
+                    let t0 = Instant::now();
+                    for k in 0..20 {
+                        rt.feed(Occurrence::input(mx, k as i64)).unwrap();
+                    }
+                    let mut seen = 0;
+                    while seen < 20 {
+                        let ev = rt.next_output(Duration::from_secs(30)).expect("progress");
+                        if ev.source == mx && ev.output.is_change() {
+                            seen += 1;
+                        }
+                    }
+                    let dt = t0.elapsed();
+                    let _ = rt.drain();
+                    rt.stop();
+                    dt
+                })
+                .collect();
+            median(runs)
+        };
+        let sync = measure(false);
+        let asynch = measure(true);
+        println!(
+            "{:>8}ms {:>18?} {:>18?} {:>9.1}x",
+            f_ms,
+            sync,
+            asynch,
+            sync.as_secs_f64() / asynch.as_secs_f64().max(1e-9)
+        );
+    }
+}
+
+/// E6: pipelined vs non-pipelined wall time on deep chains of blocking
+/// stages.
+fn e6_pipelining() {
+    println!("\n== E6: pipelined vs non-pipelined (8 events, 2 ms blocking stages) ==");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "depth", "non-pipelined", "pipelined", "speedup"
+    );
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let (graph, input) = deep_chain(depth, Duration::from_millis(2), CostModel::Block);
+        let sync = median(
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    SyncRuntime::run_trace(&graph, int_events(input, 8)).unwrap();
+                    t0.elapsed()
+                })
+                .collect(),
+        );
+        let conc = median(
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    ConcurrentRuntime::run_trace(&graph, int_events(input, 8)).unwrap();
+                    t0.elapsed()
+                })
+                .collect(),
+        );
+        println!(
+            "{:>8} {:>16?} {:>16?} {:>9.1}x",
+            depth,
+            sync,
+            conc,
+            sync.as_secs_f64() / conc.as_secs_f64().max(1e-9)
+        );
+    }
+}
+
+/// E11: NoChange memoization — work saved and foldp correctness.
+fn e11_nochange() {
+    println!("\n== E11: NoChange memoization ablation (diamond graph, 50 events on input a) ==");
+    println!(
+        "{:>16} {:>14} {:>12} {:>12} {:>14}",
+        "mode", "computations", "memo skips", "time", "foldp count"
+    );
+    for memoize in [true, false] {
+        let (graph, a, _b) = diamond_graph(Duration::from_micros(200), CostModel::Spin);
+        let t0 = Instant::now();
+        let mut rt = SyncRuntime::with_memoization(&graph, memoize);
+        for occ in int_events(a, 50) {
+            rt.feed(occ).unwrap();
+        }
+        rt.run_to_quiescence();
+        let elapsed = t0.elapsed();
+        // The foldp node counts fa's changes; find its value via the join
+        // output list [fa, fb, countA].
+        let count = rt
+            .output_value()
+            .as_list()
+            .and_then(|l| l.get(2).cloned())
+            .unwrap_or(Value::Unit);
+        let snap = rt.stats().snapshot();
+        println!(
+            "{:>16} {:>14} {:>12} {:>12?} {:>14}",
+            if memoize { "memoized" } else { "recompute-all" },
+            snap.computations,
+            snap.memo_skips,
+            elapsed,
+            count
+        );
+    }
+    println!("(correct foldp count is 50 — events on `a` only; the ablation double-counts nothing here");
+    println!(" but mis-counts once events hit `b`; see the mixed-trace row below)");
+    for memoize in [true, false] {
+        let (graph, a, b) = diamond_graph(Duration::from_micros(200), CostModel::Spin);
+        let mut rt = SyncRuntime::with_memoization(&graph, memoize);
+        for k in 0..50 {
+            let occ = if k % 2 == 0 {
+                Occurrence::input(a, k as i64)
+            } else {
+                Occurrence::input(b, k as i64)
+            };
+            rt.feed(occ).unwrap();
+        }
+        rt.run_to_quiescence();
+        let count = rt
+            .output_value()
+            .as_list()
+            .and_then(|l| l.get(2).cloned())
+            .unwrap_or(Value::Unit);
+        println!(
+            "  mixed a/b trace, {:>14}: foldp count = {} (correct: 25)",
+            if memoize { "memoized" } else { "recompute-all" },
+            count
+        );
+    }
+}
+
+/// E14: per-event cost of an async boundary vs an inline node.
+fn e14_async_overhead() {
+    println!("\n== E14: async-boundary overhead (200 events, drained; per-event cost) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>16}",
+        "payload", "inline", "async hop", "overhead/event"
+    );
+    for payload in [8usize, 1024, 65536] {
+        let measure = |use_async: bool| {
+            let (graph, input, value) = hop_graph(use_async, payload);
+            let runs: Vec<Duration> = (0..5)
+                .map(|_| {
+                    let mut rt = ConcurrentRuntime::start(&graph);
+                    let t0 = Instant::now();
+                    for _ in 0..200 {
+                        rt.feed(Occurrence::input(input, value.clone())).unwrap();
+                    }
+                    rt.drain().unwrap();
+                    let dt = t0.elapsed();
+                    rt.stop();
+                    dt
+                })
+                .collect();
+            median(runs)
+        };
+        let inline = measure(false);
+        let hop = measure(true);
+        let overhead = hop.saturating_sub(inline) / 200;
+        println!(
+            "{:>9}B {:>14?} {:>14?} {:>16?}",
+            payload, inline, hop, overhead
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! JavaScript code generation.
+//!
+//! Compiles the validated intermediate term (Fig. 5) to JavaScript against
+//! the runtime prelude: embedded function values become curried JS
+//! functions; the signal term becomes a sequence of graph-construction
+//! calls (`rt.input`, `rt.lift`, `rt.foldp`, `rt.async`), with `let`-bound
+//! signals as shared JS variables — the multicast translation.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use elm_runtime::Value;
+use felm::ast::{BinOp, Expr, ExprKind, ListOp, Pattern};
+use felm::intermediate::{FinalTerm, SignalTerm};
+
+/// Compiles a simple-value expression (function bodies, bases) to a JS
+/// expression. Lambdas are curried one-argument functions, matching the
+/// runtime's `foldp` call convention.
+pub fn js_expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Unit => "null".to_string(),
+        ExprKind::Int(n) => n.to_string(),
+        ExprKind::Float(x) => format!("{x:?}"),
+        ExprKind::Str(s) => js_string(s),
+        ExprKind::Var(x) => sanitize(x),
+        ExprKind::Input(i) => {
+            // Cannot occur inside simple values of well-typed programs.
+            format!("/* unexpected input {i} */ null")
+        }
+        ExprKind::Lam { param, body, .. } => {
+            format!(
+                "function ({}) {{ return {}; }}",
+                sanitize(param),
+                js_expr(body)
+            )
+        }
+        ExprKind::App(f, a) => format!("({})({})", js_expr(f), js_expr(a)),
+        ExprKind::BinOp(op, a, b) => js_binop(*op, a, b),
+        ExprKind::If(c, t, f) => format!(
+            "(({}) !== 0 ? ({}) : ({}))",
+            js_expr(c),
+            js_expr(t),
+            js_expr(f)
+        ),
+        ExprKind::Let { name, value, body } => format!(
+            "(function ({}) {{ return {}; }})({})",
+            sanitize(name),
+            js_expr(body),
+            js_expr(value)
+        ),
+        ExprKind::Pair(a, b) => format!("ElmRT.V.pair({}, {})", js_expr(a), js_expr(b)),
+        ExprKind::Fst(p) => format!("({}).fst", js_expr(p)),
+        ExprKind::Snd(p) => format!("({}).snd", js_expr(p)),
+        ExprKind::List(items) => {
+            let parts: Vec<String> = items.iter().map(js_expr).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        ExprKind::ListOp(op, l) => {
+            let helper = match op {
+                ListOp::Head => "head",
+                ListOp::Tail => "tail",
+                ListOp::IsEmpty => "isEmpty",
+                ListOp::Length => "length",
+            };
+            format!("ElmRT.V.{helper}({})", js_expr(l))
+        }
+        ExprKind::Ith(index, l) => {
+            format!("ElmRT.V.ith({}, {})", js_expr(index), js_expr(l))
+        }
+        ExprKind::Record(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(name, value)| format!("{}: {}", js_string(name), js_expr(value)))
+                .collect();
+            format!("({{{}}})", parts.join(", "))
+        }
+        ExprKind::Field(rec, name) => format!("({})[{}]", js_expr(rec), js_string(name)),
+        // Bare constructors are eliminated by resolution before codegen.
+        ExprKind::Ctor(name) => format!("/* unresolved constructor {name} */ null"),
+        ExprKind::CtorApp(name, args) => {
+            let parts: Vec<String> = args.iter().map(js_expr).collect();
+            format!(
+                "({{ctor: {}, args: [{}]}})",
+                js_string(name),
+                parts.join(", ")
+            )
+        }
+        ExprKind::Case { scrutinee, branches } => {
+            // (function (__s) { if (...) return ...; ... })(scrutinee)
+            let mut body = String::new();
+            for b in branches {
+                match &b.pattern {
+                    Pattern::Ctor { name, binders } => {
+                        let params: Vec<String> =
+                            binders.iter().map(|x| sanitize(x)).collect();
+                        let args: Vec<String> = (0..binders.len())
+                            .map(|k| format!("__s.args[{k}]"))
+                            .collect();
+                        body.push_str(&format!(
+                            "if (__s.ctor === {}) return (function ({}) {{ return {}; }})({}); ",
+                            js_string(name),
+                            params.join(", "),
+                            js_expr(&b.body),
+                            args.join(", ")
+                        ));
+                    }
+                    Pattern::Var(x) => {
+                        body.push_str(&format!(
+                            "return (function ({}) {{ return {}; }})(__s); ",
+                            sanitize(x),
+                            js_expr(&b.body)
+                        ));
+                    }
+                    Pattern::Wildcard => {
+                        body.push_str(&format!("return {}; ", js_expr(&b.body)));
+                    }
+                }
+            }
+            body.push_str("throw new Error('no case branch matched');");
+            format!(
+                "(function (__s) {{ {body} }})({})",
+                js_expr(scrutinee)
+            )
+        }
+        // Signal forms never appear inside simple values.
+        ExprKind::Lift { .. }
+        | ExprKind::Foldp { .. }
+        | ExprKind::Async(_)
+        | ExprKind::SignalPrim { .. } => "/* unexpected signal form */ null".to_string(),
+    }
+}
+
+fn js_binop(op: BinOp, a: &Expr, b: &Expr) -> String {
+    let (a, b) = (js_expr(a), js_expr(b));
+    match op {
+        BinOp::Add => format!("(({a}) + ({b}))"),
+        BinOp::Sub => format!("(({a}) - ({b}))"),
+        BinOp::Mul => format!("(({a}) * ({b}))"),
+        BinOp::Div => format!("ElmRT.V.div({a}, {b})"),
+        BinOp::Mod => format!("ElmRT.V.mod({a}, {b})"),
+        BinOp::Eq => format!("ElmRT.V.eq({a}, {b})"),
+        BinOp::Ne => format!("ElmRT.V.ne({a}, {b})"),
+        BinOp::Lt => format!("ElmRT.V.lt({a}, {b})"),
+        BinOp::Le => format!("ElmRT.V.le({a}, {b})"),
+        BinOp::Gt => format!("ElmRT.V.gt({a}, {b})"),
+        BinOp::Ge => format!("ElmRT.V.ge({a}, {b})"),
+        BinOp::And => format!("ElmRT.V.and({a}, {b})"),
+        BinOp::Or => format!("ElmRT.V.or({a}, {b})"),
+        BinOp::Append => format!("ElmRT.V.append({a}, {b})"),
+        BinOp::Cons => format!("ElmRT.V.cons({a}, {b})"),
+    }
+}
+
+/// Quotes a Rust string as a JS string literal.
+pub fn js_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes a runtime default value as a JS literal.
+pub fn js_value(v: &Value) -> String {
+    match v {
+        Value::Unit => "null".to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Float(x) => format!("{x:?}"),
+        Value::Bool(b) => (*b as i64).to_string(),
+        Value::Str(s) => js_string(s),
+        Value::Pair(p) => format!("ElmRT.V.pair({}, {})", js_value(&p.0), js_value(&p.1)),
+        Value::List(items) => {
+            let parts: Vec<String> = items.iter().map(js_value).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        Value::Record(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}: {}", js_string(k), js_value(v)))
+                .collect();
+            format!("({{{}}})", parts.join(", "))
+        }
+        Value::Tagged(tag, args) => {
+            let parts: Vec<String> = args.iter().map(js_value).collect();
+            format!(
+                "({{ctor: {}, args: [{}]}})",
+                js_string(tag),
+                parts.join(", ")
+            )
+        }
+        other => format!("/* unsupported default {other:?} */ null"),
+    }
+}
+
+/// Makes an FElm identifier a valid JS identifier.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push_str(&format!("${:x}", c as u32));
+        }
+    }
+    out
+}
+
+/// Generates the graph-construction statements for a signal program.
+///
+/// Returns the JS statements plus the variable holding the main node id.
+pub fn js_signal_program(term: &SignalTerm, env: &felm::env::InputEnv) -> (String, String) {
+    let mut gen = Gen {
+        env,
+        out: String::new(),
+        scope: HashMap::new(),
+        inputs: HashMap::new(),
+        counter: 0,
+    };
+    let main = gen.walk(term);
+    (gen.out, main)
+}
+
+struct Gen<'a> {
+    env: &'a felm::env::InputEnv,
+    out: String,
+    scope: HashMap<String, Vec<String>>,
+    inputs: HashMap<String, String>,
+    counter: u32,
+}
+
+impl Gen<'_> {
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("n{}", self.counter)
+    }
+
+    fn walk(&mut self, term: &SignalTerm) -> String {
+        match term {
+            SignalTerm::Var(x) => self
+                .scope
+                .get(x)
+                .and_then(|s| s.last())
+                .cloned()
+                .unwrap_or_else(|| format!("/* unbound {x} */ 0")),
+            SignalTerm::Input(name) => {
+                if let Some(var) = self.inputs.get(name) {
+                    return var.clone();
+                }
+                let var = self.fresh();
+                let default = self
+                    .env
+                    .get(name)
+                    .map(|d| js_value(&d.default))
+                    .unwrap_or_else(|| "null".to_string());
+                let _ = writeln!(
+                    self.out,
+                    "var {var} = rt.input({}, {default});",
+                    js_string(name)
+                );
+                self.inputs.insert(name.clone(), var.clone());
+                var
+            }
+            SignalTerm::Let { name, value, body } => {
+                let shared = self.walk(value);
+                self.scope.entry(name.clone()).or_default().push(shared);
+                let result = match &**body {
+                    FinalTerm::Signal(s) => self.walk(s),
+                    FinalTerm::Value(v) => {
+                        // Constant display over a live signal.
+                        let var = self.fresh();
+                        let shared_var = self
+                            .scope
+                            .get(name)
+                            .and_then(|s| s.last())
+                            .cloned()
+                            .expect("just pushed");
+                        let _ = writeln!(
+                            self.out,
+                            "var {var} = rt.lift(function (_) {{ return {}; }}, [{shared_var}]);",
+                            js_expr(v)
+                        );
+                        var
+                    }
+                };
+                if let Some(stack) = self.scope.get_mut(name) {
+                    stack.pop();
+                }
+                result
+            }
+            SignalTerm::Lift { func, args } => {
+                let parents: Vec<String> = args.iter().map(|a| self.walk(a)).collect();
+                let var = self.fresh();
+                // The runtime calls lift functions uncurried; wrap the
+                // curried FElm function.
+                let params: Vec<String> = (0..parents.len()).map(|i| format!("a{i}")).collect();
+                let call = params
+                    .iter()
+                    .fold(format!("({})", js_expr(func)), |acc, p| {
+                        format!("{acc}({p})")
+                    });
+                let _ = writeln!(
+                    self.out,
+                    "var {var} = rt.lift(function ({}) {{ return {call}; }}, [{}]);",
+                    params.join(", "),
+                    parents.join(", ")
+                );
+                var
+            }
+            SignalTerm::Foldp { func, init, signal } => {
+                let parent = self.walk(signal);
+                let var = self.fresh();
+                let _ = writeln!(
+                    self.out,
+                    "var {var} = rt.foldp({}, {}, {parent});",
+                    js_expr(func),
+                    js_expr(init)
+                );
+                var
+            }
+            SignalTerm::Async(inner) => {
+                let parent = self.walk(inner);
+                let var = self.fresh();
+                let _ = writeln!(self.out, "var {var} = rt.async({parent});");
+                var
+            }
+            SignalTerm::Prim { op, values, signals } => {
+                use felm::ast::SignalPrimOp;
+                let parents: Vec<String> = signals.iter().map(|s| self.walk(s)).collect();
+                let var = self.fresh();
+                match op {
+                    SignalPrimOp::Merge => {
+                        let _ = writeln!(
+                            self.out,
+                            "var {var} = rt.merge({}, {});",
+                            parents[0], parents[1]
+                        );
+                    }
+                    SignalPrimOp::SampleOn => {
+                        let _ = writeln!(
+                            self.out,
+                            "var {var} = rt.sampleOn({}, {});",
+                            parents[0], parents[1]
+                        );
+                    }
+                    SignalPrimOp::DropRepeats => {
+                        let _ = writeln!(
+                            self.out,
+                            "var {var} = rt.dropRepeats({});",
+                            parents[0]
+                        );
+                    }
+                    SignalPrimOp::KeepIf => {
+                        let _ = writeln!(
+                            self.out,
+                            "var {var} = rt.keepIf({}, {}, {});",
+                            js_expr(&values[0]),
+                            js_expr(&values[1]),
+                            parents[0]
+                        );
+                    }
+                }
+                var
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felm::parser::parse_expr;
+
+    fn js_of(src: &str) -> String {
+        js_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        assert_eq!(js_of("42"), "42");
+        assert_eq!(js_of("()"), "null");
+        assert_eq!(js_of("1 + 2"), "((1) + (2))");
+        assert_eq!(js_of("10 / 3"), "ElmRT.V.div(10, 3)");
+        assert_eq!(js_of("\"a\" ++ \"b\""), "ElmRT.V.append(\"a\", \"b\")");
+        assert_eq!(js_of("1 < 2"), "ElmRT.V.lt(1, 2)");
+    }
+
+    #[test]
+    fn lambdas_are_curried() {
+        assert_eq!(
+            js_of("\\x y -> x + y"),
+            "function (_x) { return function (_y) { return ((_x) + (_y)); }; }"
+        );
+    }
+
+    #[test]
+    fn conditionals_test_against_zero() {
+        assert_eq!(js_of("if 1 then 2 else 3"), "((1) !== 0 ? (2) : (3))");
+    }
+
+    #[test]
+    fn pairs_and_projections() {
+        assert_eq!(js_of("(1, 2)"), "ElmRT.V.pair(1, 2)");
+        assert_eq!(js_of("fst (1, 2)"), "(ElmRT.V.pair(1, 2)).fst");
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        assert_eq!(js_of("\\x' -> x'"), "function (_x$27) { return _x$27; }");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(js_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,274 @@
+//! The JavaScript signal runtime shipped with every compiled program.
+//!
+//! The paper's compiler emits JavaScript whose runtime must implement the
+//! signal-graph semantics on a single-threaded event loop: "JavaScript has
+//! poor support for concurrency, and as such the Elm-to-JavaScript
+//! compiler supports concurrent execution only for asynchronous requests"
+//! (§5). This prelude therefore:
+//!
+//! * propagates each event *synchronously* through the graph in
+//!   topological order, with `Change`/`NoChange` memoization;
+//! * implements `async` by buffering inner changes and re-dispatching
+//!   them via `setTimeout(…, 0)` — yielding to the browser event loop, the
+//!   JS analogue of re-entering the global dispatcher (and exactly why the
+//!   paper's own JS backend confines concurrency to async boundaries);
+//! * exposes `notify(name, value)` for environment events and a display
+//!   loop writing `main`'s value into the document.
+
+/// The JavaScript runtime prelude, embedded verbatim in compiler output.
+pub const JS_RUNTIME: &str = r#"var ElmRT = (function () {
+  'use strict';
+
+  // ---- value helpers (FElm semantics: total operators, int division) ----
+  var V = {
+    div: function (a, b) {
+      if (b === 0) return 0;
+      if (Number.isInteger(a) && Number.isInteger(b)) return Math.trunc(a / b);
+      return a / b;
+    },
+    mod: function (a, b) { return b === 0 ? 0 : a % b; },
+    eq: function (a, b) { return V.same(a, b) ? 1 : 0; },
+    ne: function (a, b) { return V.same(a, b) ? 0 : 1; },
+    lt: function (a, b) { return a < b ? 1 : 0; },
+    le: function (a, b) { return a <= b ? 1 : 0; },
+    gt: function (a, b) { return a > b ? 1 : 0; },
+    ge: function (a, b) { return a >= b ? 1 : 0; },
+    and: function (a, b) { return (a !== 0 && b !== 0) ? 1 : 0; },
+    or: function (a, b) { return (a !== 0 || b !== 0) ? 1 : 0; },
+    append: function (a, b) { return String(a) + String(b); },
+    pair: function (a, b) { return { fst: a, snd: b }; },
+    cons: function (h, t) { return [h].concat(t); },
+    head: function (l) {
+      if (l.length === 0) throw new Error('head of the empty list');
+      return l[0];
+    },
+    tail: function (l) {
+      if (l.length === 0) throw new Error('tail of the empty list');
+      return l.slice(1);
+    },
+    isEmpty: function (l) { return l.length === 0 ? 1 : 0; },
+    length: function (l) { return l.length; },
+    ith: function (i, l) {
+      if (i < 0 || i >= l.length) throw new Error('ith index out of bounds');
+      return l[i];
+    },
+    same: function (a, b) {
+      if (a === b) return true;
+      if (Array.isArray(a) && Array.isArray(b)) {
+        if (a.length !== b.length) return false;
+        for (var i = 0; i < a.length; i++) if (!V.same(a[i], b[i])) return false;
+        return true;
+      }
+      if (a && b && typeof a === 'object' && typeof b === 'object') {
+        var ka = Object.keys(a).sort(), kb = Object.keys(b).sort();
+        if (ka.length !== kb.length) return false;
+        for (var j = 0; j < ka.length; j++) {
+          if (ka[j] !== kb[j] || !V.same(a[ka[j]], b[kb[j]])) return false;
+        }
+        return true;
+      }
+      return false;
+    },
+    show: function (v) {
+      if (v === null) return '()';
+      if (Array.isArray(v)) return '[' + v.map(V.show).join(', ') + ']';
+      if (v && v.ctor !== undefined)
+        return [v.ctor].concat(v.args.map(V.show)).join(' ');
+      if (v && v.fst !== undefined) return '(' + V.show(v.fst) + ', ' + V.show(v.snd) + ')';
+      if (v && typeof v === 'object') {
+        return '{' + Object.keys(v).sort().map(function (k) {
+          return k + ' = ' + V.show(v[k]);
+        }).join(', ') + '}';
+      }
+      return String(v);
+    }
+  };
+
+  // ---- the signal graph -------------------------------------------------
+  function Runtime() {
+    this.nodes = [];
+    this.inputsByName = {};
+    this.mainNode = null;
+    this.display = null;
+  }
+
+  Runtime.prototype.input = function (name, defaultValue) {
+    var node = { kind: 'input', id: this.nodes.length, name: name, value: defaultValue };
+    this.nodes.push(node);
+    if (this.inputsByName[name] === undefined) this.inputsByName[name] = node.id;
+    return node.id;
+  };
+
+  Runtime.prototype.lift = function (f, parents) {
+    var args = parents.map(function (p) { return this.nodes[p].value; }, this);
+    var node = {
+      kind: 'lift', id: this.nodes.length, f: f, parents: parents,
+      value: f.apply(null, args)
+    };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.foldp = function (f, base, parent) {
+    var node = { kind: 'foldp', id: this.nodes.length, f: f, parents: [parent], value: base };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.merge = function (a, b) {
+    var node = {
+      kind: 'merge', id: this.nodes.length, parents: [a, b],
+      value: this.nodes[a].value
+    };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.sampleOn = function (ticker, data) {
+    var node = {
+      kind: 'sampleOn', id: this.nodes.length, parents: [ticker, data],
+      value: this.nodes[data].value
+    };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.dropRepeats = function (parent) {
+    var node = {
+      kind: 'dropRepeats', id: this.nodes.length, parents: [parent],
+      value: this.nodes[parent].value
+    };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.keepIf = function (pred, base, parent) {
+    var initial = this.nodes[parent].value;
+    var node = {
+      kind: 'keepIf', id: this.nodes.length, pred: pred, parents: [parent],
+      value: pred(initial) !== 0 ? initial : base
+    };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.async = function (inner) {
+    var node = {
+      kind: 'async', id: this.nodes.length, inner: inner, parents: [],
+      pending: [], value: this.nodes[inner].value
+    };
+    this.nodes.push(node);
+    return node.id;
+  };
+
+  Runtime.prototype.main = function (id) { this.mainNode = id; return id; };
+
+  // One globally-ordered event: propagate fully before returning
+  // (the synchronous semantics; JS is single threaded).
+  Runtime.prototype.dispatch = function (sourceId, value) {
+    var changed = new Array(this.nodes.length);
+    var node = this.nodes[sourceId];
+    if (node.kind === 'input') {
+      node.value = value;
+      changed[sourceId] = true;
+    } else if (node.kind === 'async' && node.pending.length > 0) {
+      node.value = node.pending.shift();
+      changed[sourceId] = true;
+    }
+    for (var i = 0; i < this.nodes.length; i++) {
+      var n = this.nodes[i];
+      if (n.kind === 'lift' || n.kind === 'foldp' || n.kind === 'merge' ||
+          n.kind === 'sampleOn' || n.kind === 'dropRepeats' || n.kind === 'keepIf') {
+        var any = n.parents.some(function (p) { return changed[p]; });
+        if (!any) continue; // NoChange memoization
+        if (n.kind === 'lift') {
+          var args = n.parents.map(function (p) { return this.nodes[p].value; }, this);
+          n.value = n.f.apply(null, args);
+          changed[i] = true;
+        } else if (n.kind === 'foldp') {
+          n.value = n.f(this.nodes[n.parents[0]].value)(n.value);
+          changed[i] = true;
+        } else if (n.kind === 'merge') {
+          // Left bias on simultaneous changes.
+          var src = changed[n.parents[0]] ? n.parents[0] : n.parents[1];
+          n.value = this.nodes[src].value;
+          changed[i] = true;
+        } else if (n.kind === 'sampleOn') {
+          if (changed[n.parents[0]]) {
+            n.value = this.nodes[n.parents[1]].value;
+            changed[i] = true;
+          }
+        } else if (n.kind === 'dropRepeats') {
+          var candidate = this.nodes[n.parents[0]].value;
+          if (!V.same(n.value, candidate)) {
+            n.value = candidate;
+            changed[i] = true;
+          }
+        } else { // keepIf
+          var v = this.nodes[n.parents[0]].value;
+          if (n.pred(v) !== 0) {
+            n.value = v;
+            changed[i] = true;
+          }
+        }
+      } else if (n.kind === 'async') {
+        if (changed[n.inner]) {
+          // Buffer and re-enter the event loop: a fresh global event.
+          n.pending.push(this.nodes[n.inner].value);
+          var self = this, id = n.id;
+          setTimeout(function () { self.dispatch(id, null); }, 0);
+        }
+      }
+    }
+    if (this.mainNode !== null && changed[this.mainNode] && this.display) {
+      this.display(this.nodes[this.mainNode].value);
+    }
+  };
+
+  Runtime.prototype.notify = function (name, value) {
+    var id = this.inputsByName[name];
+    if (id === undefined) throw new Error('unknown input: ' + name);
+    this.dispatch(id, value);
+  };
+
+  Runtime.prototype.start = function (display) {
+    this.display = display || function (v) {
+      if (typeof document !== 'undefined') {
+        var el = document.getElementById('elm-main');
+        if (el) el.textContent = V.show(v);
+      }
+    };
+    if (this.mainNode !== null) this.display(this.nodes[this.mainNode].value);
+  };
+
+  return { Runtime: Runtime, V: V };
+})();
+if (typeof module !== 'undefined') module.exports = ElmRT;
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_defines_the_expected_api() {
+        for needle in [
+            "Runtime.prototype.input",
+            "Runtime.prototype.lift",
+            "Runtime.prototype.foldp",
+            "Runtime.prototype.async",
+            "Runtime.prototype.dispatch",
+            "Runtime.prototype.notify",
+            "NoChange memoization",
+            "setTimeout",
+        ] {
+            assert!(JS_RUNTIME.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn operators_are_total_like_felm() {
+        assert!(JS_RUNTIME.contains("if (b === 0) return 0"));
+        assert!(JS_RUNTIME.contains("Math.trunc"));
+    }
+}

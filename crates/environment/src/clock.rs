@@ -1,0 +1,73 @@
+//! A deterministic virtual clock.
+//!
+//! The browser supplies Elm's `Time.every` and `Time.fps` signals from
+//! wall-clock timers; headless reproduction needs determinism, so time is
+//! simulated: the clock only advances when told to, and timer signals fire
+//! exactly on schedule. (DESIGN.md substitution S6.)
+
+/// Milliseconds of virtual time.
+pub type Millis = u64;
+
+/// A manually advanced clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: Millis,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// Advances by `ms` and returns the new time.
+    pub fn advance(&mut self, ms: Millis) -> Millis {
+        self.now += ms;
+        self.now
+    }
+
+    /// The timestamps a periodic timer with period `period` fires at in
+    /// the half-open window `(from, to]` — used to synthesize
+    /// `Time.every` events.
+    pub fn ticks_between(period: Millis, from: Millis, to: Millis) -> Vec<Millis> {
+        assert!(period > 0, "timer period must be positive");
+        let first = (from / period + 1) * period;
+        (0..)
+            .map(|k| first + k * period)
+            .take_while(|t| *t <= to)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(16), 16);
+        assert_eq!(c.advance(4), 20);
+    }
+
+    #[test]
+    fn tick_schedule_is_exact() {
+        assert_eq!(VirtualClock::ticks_between(100, 0, 350), vec![100, 200, 300]);
+        assert_eq!(VirtualClock::ticks_between(100, 100, 300), vec![200, 300]);
+        assert_eq!(VirtualClock::ticks_between(100, 0, 99), Vec::<u64>::new());
+        // Window boundaries are (from, to].
+        assert_eq!(VirtualClock::ticks_between(50, 50, 100), vec![100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_is_rejected() {
+        VirtualClock::ticks_between(0, 0, 100);
+    }
+}

@@ -1,0 +1,326 @@
+//! The headless GUI harness: program + inputs + screen.
+//!
+//! Couples a reactive program whose output is a graphical
+//! [`Element`] with recorded input traces and the renderers — the
+//! substitute for a browser window (DESIGN.md S6). `main`'s successive
+//! values are the *frames*; the latest frame is the *screen*, available as
+//! ASCII (terminal), HTML (what the compiler would ship), or a display
+//! list (assertions).
+
+use elm_graphics::render::{ascii, html};
+use elm_graphics::{layout, DisplayList, Element};
+use elm_signals::{Engine, InputHandle, Opaque, Program, Running, Signal, SignalNetwork};
+use elm_runtime::{RunError, Trace};
+
+/// A running GUI program with frame capture.
+pub struct Gui {
+    running: Running<Opaque<Element>>,
+    frames: Vec<Element>,
+}
+
+impl Gui {
+    /// Starts `program` on the chosen engine. The initial frame is the
+    /// program's default output — what the screen shows before any event.
+    pub fn start(program: &Program<Opaque<Element>>, engine: Engine) -> Gui {
+        let running = program.start(engine);
+        let first = running.current().0.clone();
+        Gui {
+            running,
+            frames: vec![first],
+        }
+    }
+
+    /// Feeds a recorded trace and processes it to quiescence, returning
+    /// how many new frames were produced.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the trace references inputs the program does not declare.
+    pub fn play(&mut self, trace: &Trace) -> Result<usize, RunError> {
+        self.running.send_trace(trace)?;
+        let new = self.running.drain_changes()?;
+        let count = new.len();
+        self.frames.extend(new.into_iter().map(|o| o.0));
+        Ok(count)
+    }
+
+    /// Sends one typed event and processes it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the handle does not belong to this program.
+    pub fn send<T: elm_signals::SignalValue>(
+        &mut self,
+        input: &InputHandle<T>,
+        value: T,
+    ) -> Result<usize, RunError> {
+        self.running.send(input, value)?;
+        let new = self.running.drain_changes()?;
+        let count = new.len();
+        self.frames.extend(new.into_iter().map(|o| o.0));
+        Ok(count)
+    }
+
+    /// All frames so far (index 0 is the initial screen).
+    pub fn frames(&self) -> &[Element] {
+        &self.frames
+    }
+
+    /// The current screen contents.
+    pub fn screen(&self) -> &Element {
+        self.frames.last().expect("at least the initial frame")
+    }
+
+    /// The current screen laid out into primitives.
+    pub fn screen_layout(&self) -> DisplayList {
+        layout(self.screen())
+    }
+
+    /// The current screen as an ASCII raster.
+    pub fn screen_ascii(&self) -> String {
+        ascii::to_ascii(&self.screen_layout())
+    }
+
+    /// The current screen as an HTML page.
+    pub fn screen_html(&self, title: &str) -> String {
+        html::to_html_page(title, self.screen())
+    }
+
+    /// Execution counters of the underlying runtime.
+    pub fn stats(&self) -> elm_runtime::StatsSnapshot {
+        self.running.stats()
+    }
+
+    /// Stops the program.
+    pub fn stop(self) {
+        self.running.stop();
+    }
+}
+
+/// Builds a text-input widget — the paper's
+/// `Input.text : String -> (Signal Element, Signal String)` (§2 Ex. 3,
+/// §4.2): a signal of field elements and a signal of the current text.
+/// Events arrive on the `Input.text` input signal (fed by
+/// [`crate::Simulator::type_text`]).
+pub fn text_input(
+    net: &mut SignalNetwork,
+    placeholder: &str,
+) -> (Signal<Opaque<Element>>, Signal<String>, InputHandle<String>) {
+    let (text, handle) = net.input::<String>(crate::simulator::inputs::INPUT_TEXT, String::new());
+    let placeholder = placeholder.to_string();
+    let field = text.map(move |t| Opaque(render_text_field(&placeholder, &t)));
+    (field, text, handle)
+}
+
+/// Renders a text field: the typed contents, or the greyed-out
+/// placeholder when empty, in a fixed-size bordered box.
+pub fn render_text_field(placeholder: &str, contents: &str) -> Element {
+    use elm_graphics::{palette, Position, Text};
+    let inner = if contents.is_empty() {
+        Element::text(Text::plain(placeholder).color(palette::GRAY))
+    } else {
+        Element::text(Text::plain(contents))
+    };
+    Element::container(200, 30, Position::MID_LEFT, inner).with_background(palette::WHITE)
+}
+
+/// Builds a button — §4.2's `Input.button`-style component: a constant
+/// element plus a unit signal firing on each press. Events arrive on an
+/// input named `Input.button:<label>`.
+pub fn button(
+    net: &mut SignalNetwork,
+    label: &str,
+) -> (Signal<Opaque<Element>>, Signal<()>, InputHandle<()>) {
+    use elm_graphics::{palette, Position, Text};
+    let (presses, handle) = net.input::<()>(format!("Input.button:{label}"), ());
+    let face = Element::container(
+        12 + 9 * label.chars().count() as u32,
+        28,
+        Position::MIDDLE,
+        Element::text(Text::plain(label)),
+    )
+    .with_background(palette::GRAY);
+    let element = presses.map(move |()| Opaque(face.clone()));
+    (element, presses, handle)
+}
+
+/// Builds a checkbox — §4.2's `Input.checkbox`: an element reflecting the
+/// checked state plus a boolean signal. Events arrive on
+/// `Input.checkbox:<label>`.
+pub fn checkbox(
+    net: &mut SignalNetwork,
+    label: &str,
+) -> (Signal<Opaque<Element>>, Signal<bool>, InputHandle<bool>) {
+    let (checked, handle) = net.input::<bool>(format!("Input.checkbox:{label}"), false);
+    let label = label.to_string();
+    let element = checked.map(move |on| {
+        let mark = if on { "[x]" } else { "[ ]" };
+        Opaque(Element::plain_text(format!("{mark} {label}")))
+    });
+    (element, checked, handle)
+}
+
+/// Builds a slider — a bounded float input with a bar rendering. Events
+/// arrive on `Input.slider:<label>` carrying values clamped to `[lo, hi]`.
+pub fn slider(
+    net: &mut SignalNetwork,
+    label: &str,
+    lo: f64,
+    hi: f64,
+    initial: f64,
+) -> (Signal<Opaque<Element>>, Signal<f64>, InputHandle<f64>) {
+    use elm_graphics::{palette, Direction};
+    assert!(lo < hi, "slider range must be nonempty");
+    let (raw, handle) = net.input::<f64>(format!("Input.slider:{label}"), initial);
+    let value = raw.map(move |v| v.clamp(lo, hi));
+    let label = label.to_string();
+    let element = value.map(move |v| {
+        let frac = (v - lo) / (hi - lo);
+        let filled = (frac * 20.0).round() as u32;
+        Opaque(elm_graphics::flow(
+            Direction::Right,
+            vec![
+                Element::plain_text(format!("{label} {v:.2} ")),
+                Element::spacer(4 * filled.max(1), 12).with_background(palette::BLUE),
+                Element::spacer(4 * (20 - filled.min(20)), 12).with_background(palette::GRAY),
+            ],
+        ))
+    });
+    (element, value, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use elm_signals::lift2;
+
+    fn mouse_tracker() -> (Program<Opaque<Element>>, ()) {
+        let mut net = SignalNetwork::new();
+        let (mouse, _h) = net.input::<(i64, i64)>("Mouse.position", (0, 0));
+        let main = mouse.map(|p| Opaque(Element::as_text(format!("{p:?}"))));
+        (net.program(&main).unwrap(), ())
+    }
+
+    #[test]
+    fn frames_accumulate_as_events_arrive() {
+        let (prog, ()) = mouse_tracker();
+        let mut gui = Gui::start(&prog, Engine::Synchronous);
+        assert_eq!(gui.frames().len(), 1); // initial screen
+
+        let mut sim = Simulator::new();
+        sim.mouse_move(3, 4).advance(16).mouse_move(5, 6);
+        // The program only declares Mouse.position; restrict the trace.
+        let trace = Trace {
+            events: sim
+                .into_trace()
+                .events
+                .into_iter()
+                .filter(|e| e.input == "Mouse.position")
+                .collect(),
+        };
+        let new = gui.play(&trace).unwrap();
+        assert_eq!(new, 2);
+        assert!(gui.screen_ascii().contains("(5, 6)"));
+        gui.stop();
+    }
+
+    #[test]
+    fn text_input_pairs_field_and_contents() {
+        let mut net = SignalNetwork::new();
+        let (field, tags, h) = text_input(&mut net, "Enter a tag");
+        let main = lift2(
+            |f: Opaque<Element>, t: String| {
+                Opaque(elm_graphics::flow(
+                    elm_graphics::Direction::Down,
+                    vec![f.0, Element::plain_text(format!("tags: {t}"))],
+                ))
+            },
+            &field,
+            &tags,
+        );
+        let prog = net.program(&main).unwrap();
+        let mut gui = Gui::start(&prog, Engine::Synchronous);
+        // Placeholder shows initially.
+        assert!(gui.screen_ascii().contains("Enter a tag"));
+        gui.send(&h, "cat".to_string()).unwrap();
+        let screen = gui.screen_ascii();
+        assert!(screen.contains("cat"), "{screen}");
+        assert!(!screen.contains("Enter a tag"));
+        gui.stop();
+    }
+
+    #[test]
+    fn button_counts_presses() {
+        let mut net = SignalNetwork::new();
+        let (face, presses, h) = button(&mut net, "Add");
+        let count = presses.count();
+        let main = lift2(
+            |f: Opaque<Element>, c: i64| {
+                Opaque(elm_graphics::flow(
+                    elm_graphics::Direction::Down,
+                    vec![f.0, Element::plain_text(format!("pressed {c} times"))],
+                ))
+            },
+            &face,
+            &count,
+        );
+        let prog = net.program(&main).unwrap();
+        let mut gui = Gui::start(&prog, Engine::Synchronous);
+        gui.send(&h, ()).unwrap();
+        gui.send(&h, ()).unwrap();
+        let screen = gui.screen_ascii();
+        assert!(screen.contains("pressed 2 times"), "{screen}");
+        assert!(screen.contains("Add"), "{screen}");
+        gui.stop();
+    }
+
+    #[test]
+    fn checkbox_reflects_state() {
+        let mut net = SignalNetwork::new();
+        let (face, checked, h) = checkbox(&mut net, "dark mode");
+        let main = lift2(
+            |f: Opaque<Element>, _on: bool| f,
+            &face,
+            &checked,
+        );
+        let prog = net.program(&main).unwrap();
+        let mut gui = Gui::start(&prog, Engine::Synchronous);
+        assert!(gui.screen_ascii().contains("[ ] dark mode"));
+        gui.send(&h, true).unwrap();
+        assert!(gui.screen_ascii().contains("[x] dark mode"));
+        gui.stop();
+    }
+
+    #[test]
+    fn slider_clamps_and_renders() {
+        let mut net = SignalNetwork::new();
+        let (face, value, h) = slider(&mut net, "volume", 0.0, 1.0, 0.5);
+        let main = lift2(
+            |f: Opaque<Element>, v: f64| {
+                Opaque(elm_graphics::flow(
+                    elm_graphics::Direction::Down,
+                    vec![f.0, Element::plain_text(format!("v={v}"))],
+                ))
+            },
+            &face,
+            &value,
+        );
+        let prog = net.program(&main).unwrap();
+        let mut gui = Gui::start(&prog, Engine::Synchronous);
+        gui.send(&h, 2.5).unwrap(); // clamped to 1.0
+        assert!(gui.screen_ascii().contains("v=1"), "{}", gui.screen_ascii());
+        gui.send(&h, -3.0).unwrap(); // clamped to 0.0
+        assert!(gui.screen_ascii().contains("v=0"), "{}", gui.screen_ascii());
+        gui.stop();
+    }
+
+    #[test]
+    fn html_screen_matches_renderer() {
+        let (prog, ()) = mouse_tracker();
+        let gui = Gui::start(&prog, Engine::Synchronous);
+        let page = gui.screen_html("tracker");
+        assert!(page.contains("(0, 0)"));
+        gui.stop();
+    }
+}

@@ -1,0 +1,140 @@
+//! A mock HTTP service with a configurable latency model.
+//!
+//! **Substitution** (DESIGN.md S6): paper Example 3 fetches images from a
+//! web service such as Flickr, whose only relevant property is that a
+//! request "may take significant time". [`MockHttp`] reproduces exactly
+//! that: a deterministic request→response function with a configurable
+//! blocking latency, so the `async` experiments exercise the identical
+//! code path without a network.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use elm_signals::Signal;
+
+/// A deterministic image-search service.
+///
+/// ```
+/// use elm_environment::MockHttp;
+/// use std::time::Duration;
+///
+/// let http = MockHttp::image_service(Duration::ZERO);
+/// let response = http.fetch(&MockHttp::request_tag("flowers"));
+/// assert_eq!(
+///     MockHttp::image_url_of(&response).unwrap(),
+///     "http://images.example/flowers.jpg"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct MockHttp {
+    latency: Duration,
+    served: AtomicU64,
+}
+
+impl MockHttp {
+    /// A service answering image-search requests after `latency`.
+    pub fn image_service(latency: Duration) -> Arc<MockHttp> {
+        Arc::new(MockHttp {
+            latency,
+            served: AtomicU64::new(0),
+        })
+    }
+
+    /// Builds the request for a tag — the paper's `requestTag` ("simply
+    /// performs string concatenation").
+    pub fn request_tag(tag: &str) -> String {
+        format!("GET /search?tags={tag}")
+    }
+
+    /// Performs a blocking request: sleeps the configured latency, then
+    /// returns a JSON response containing the image URL.
+    pub fn fetch(&self, request: &str) -> String {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let tag = request
+            .rsplit("tags=")
+            .next()
+            .unwrap_or("unknown")
+            .trim();
+        format!("{{\"url\": \"http://images.example/{tag}.jpg\"}}")
+    }
+
+    /// Extracts the image URL from a response (the JSON "parsing" of
+    /// paper Example 3).
+    pub fn image_url_of(response: &str) -> Option<String> {
+        let start = response.find("\"url\": \"")? + 8;
+        let rest = &response[start..];
+        let end = rest.find('"')?;
+        Some(rest[..end].to_string())
+    }
+
+    /// Number of requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+/// The paper's `syncGet`: issues each request carried by `requests` and
+/// yields the corresponding responses, in order. The node *blocks* for the
+/// service latency — which is precisely why Example 3 wraps the result in
+/// `async`.
+///
+/// Note that one request is issued at construction time: default values
+/// are induced through `lift` from the input signal's default (§3.1), so
+/// the response signal needs a default response too.
+pub fn sync_get(http: Arc<MockHttp>, requests: &Signal<String>) -> Signal<String> {
+    requests.map(move |req| http.fetch(&req))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elm_signals::{Engine, SignalNetwork};
+
+    #[test]
+    fn request_response_round_trip() {
+        let http = MockHttp::image_service(Duration::ZERO);
+        let resp = http.fetch(&MockHttp::request_tag("cats"));
+        assert_eq!(
+            MockHttp::image_url_of(&resp).as_deref(),
+            Some("http://images.example/cats.jpg")
+        );
+        assert_eq!(http.requests_served(), 1);
+        assert_eq!(MockHttp::image_url_of("garbage"), None);
+    }
+
+    #[test]
+    fn latency_actually_blocks() {
+        let http = MockHttp::image_service(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        http.fetch("GET /search?tags=x");
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn sync_get_wires_into_a_signal_network() {
+        let http = MockHttp::image_service(Duration::ZERO);
+        let mut net = SignalNetwork::new();
+        let (tags, h) = net.input::<String>("Input.text", String::new());
+        let requests = tags.map(|t| MockHttp::request_tag(&t));
+        let responses = sync_get(http.clone(), &requests);
+        let urls = responses.map(|r| MockHttp::image_url_of(&r).unwrap_or_default());
+        let prog = net.program(&urls).unwrap();
+        let mut run = prog.start(Engine::Synchronous);
+        run.send(&h, "dogs".to_string()).unwrap();
+        assert_eq!(
+            run.drain_changes().unwrap(),
+            vec!["http://images.example/dogs.jpg".to_string()]
+        );
+        // One request for the induced default value (§3.1) + one event.
+        assert_eq!(http.requests_served(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! The simulated GUI environment: everything the browser provided in the
+//! paper, rebuilt headlessly (DESIGN.md substitution S6).
+//!
+//! * [`VirtualClock`] — deterministic time for `Time.every` / `Time.fps`;
+//! * [`Simulator`] — synthetic mouse/keyboard/window/touch/text-field
+//!   drivers recording timestamped, replayable [`elm_runtime::Trace`]s;
+//! * [`MockHttp`] — the web service of paper Example 3, with a
+//!   configurable blocking latency (the Flickr substitute);
+//! * [`Gui`] — a headless "browser window" coupling a reactive program to
+//!   frames rendered as ASCII, HTML, or display lists;
+//! * [`text_input`] — the paper's `Input.text` widget.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod gui;
+pub mod http;
+pub mod simulator;
+
+pub use clock::{Millis, VirtualClock};
+pub use gui::{button, checkbox, render_text_field, slider, text_input, Gui};
+pub use http::{sync_get, MockHttp};
+pub use simulator::{inputs, Simulator};

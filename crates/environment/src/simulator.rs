@@ -1,0 +1,369 @@
+//! The synthetic input-device simulator.
+//!
+//! Generates the event streams a browser would deliver — mouse, keyboard,
+//! window, touch, text fields, timers — as a timestamped
+//! [`Trace`] that can drive any program (and be saved/replayed via serde).
+//! This substitutes for the live DOM event loop (DESIGN.md S6): the FRP
+//! semantics under test are independent of where events physically
+//! originate.
+
+use elm_runtime::{PlainValue, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{Millis, VirtualClock};
+
+/// Standard input-signal names, matching `felm::env::InputEnv::standard`
+/// and the signals of paper Fig. 13.
+pub mod inputs {
+    /// `Mouse.position : Signal (Int, Int)`.
+    pub const MOUSE_POSITION: &str = "Mouse.position";
+    /// `Mouse.x : Signal Int`.
+    pub const MOUSE_X: &str = "Mouse.x";
+    /// `Mouse.y : Signal Int`.
+    pub const MOUSE_Y: &str = "Mouse.y";
+    /// `Mouse.clicks : Signal ()`.
+    pub const MOUSE_CLICKS: &str = "Mouse.clicks";
+    /// `Mouse.isDown : Signal Bool` (int-encoded in FElm).
+    pub const MOUSE_IS_DOWN: &str = "Mouse.isDown";
+    /// `Window.dimensions : Signal (Int, Int)`.
+    pub const WINDOW_DIMENSIONS: &str = "Window.dimensions";
+    /// `Window.width : Signal Int`.
+    pub const WINDOW_WIDTH: &str = "Window.width";
+    /// `Window.height : Signal Int`.
+    pub const WINDOW_HEIGHT: &str = "Window.height";
+    /// `Keyboard.lastPressed : Signal KeyCode`.
+    pub const KEY_LAST_PRESSED: &str = "Keyboard.lastPressed";
+    /// `Keyboard.arrows : Signal {x : Int, y : Int}` (a record, Fig. 13).
+    pub const KEY_ARROWS: &str = "Keyboard.arrows";
+    /// `Keyboard.shift : Signal Bool` (int-encoded).
+    pub const KEY_SHIFT: &str = "Keyboard.shift";
+    /// `Time.millis : Signal Int` — `Time.every`-style timer.
+    pub const TIME_MILLIS: &str = "Time.millis";
+    /// `Time.fps : Signal Float` — frame deltas.
+    pub const TIME_FPS: &str = "Time.fps";
+    /// `Touch.taps : Signal (Int, Int)`.
+    pub const TOUCH_TAPS: &str = "Touch.taps";
+    /// `Touch.touches : Signal [Touch]` — ongoing touches (Fig. 13:
+    /// "useful for defining gestures").
+    pub const TOUCHES: &str = "Touch.touches";
+    /// `Input.text : Signal String` — the text-field contents.
+    pub const INPUT_TEXT: &str = "Input.text";
+    /// `Words.input : Signal String` — §3.3.2's example word stream.
+    pub const WORDS: &str = "Words.input";
+}
+
+/// Builds input traces by simulating a user session on a virtual clock.
+///
+/// ```
+/// use elm_environment::Simulator;
+///
+/// let mut sim = Simulator::new();
+/// sim.mouse_move(10, 20);
+/// sim.advance(16);
+/// sim.mouse_click();
+/// let trace = sim.into_trace();
+/// assert_eq!(trace.events.len(), 4); // position + x + y, then click
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    clock: VirtualClock,
+    trace: Trace,
+    rng: StdRng,
+    mouse: (i64, i64),
+    window: (i64, i64),
+    text: String,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Simulator {
+    /// A simulator with the default seed.
+    pub fn new() -> Self {
+        Simulator::default()
+    }
+
+    /// A simulator whose random helpers are seeded deterministically.
+    pub fn with_seed(seed: u64) -> Self {
+        Simulator {
+            clock: VirtualClock::new(),
+            trace: Trace::new(),
+            rng: StdRng::seed_from_u64(seed),
+            mouse: (0, 0),
+            window: (1024, 768),
+            text: String::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Millis {
+        self.clock.now()
+    }
+
+    /// Advances the clock by `ms` (no events).
+    pub fn advance(&mut self, ms: Millis) -> &mut Self {
+        self.clock.advance(ms);
+        self
+    }
+
+    fn emit(&mut self, input: &str, value: PlainValue) {
+        self.trace.push(self.clock.now(), input, value);
+    }
+
+    /// Moves the mouse to `(x, y)`: emits `Mouse.position`, `Mouse.x`,
+    /// and `Mouse.y` (three input signals, as in the real environment).
+    pub fn mouse_move(&mut self, x: i64, y: i64) -> &mut Self {
+        self.mouse = (x, y);
+        self.emit(
+            inputs::MOUSE_POSITION,
+            PlainValue::Pair(Box::new(PlainValue::Int(x)), Box::new(PlainValue::Int(y))),
+        );
+        self.emit(inputs::MOUSE_X, PlainValue::Int(x));
+        self.emit(inputs::MOUSE_Y, PlainValue::Int(y));
+        self
+    }
+
+    /// Clicks the mouse: emits `Mouse.clicks`.
+    pub fn mouse_click(&mut self) -> &mut Self {
+        self.emit(inputs::MOUSE_CLICKS, PlainValue::Unit);
+        self
+    }
+
+    /// Presses/releases the button: emits `Mouse.isDown`.
+    pub fn mouse_down(&mut self, down: bool) -> &mut Self {
+        self.emit(inputs::MOUSE_IS_DOWN, PlainValue::Int(down as i64));
+        self
+    }
+
+    /// Presses a key: emits `Keyboard.lastPressed`.
+    pub fn key_press(&mut self, key_code: i64) -> &mut Self {
+        self.emit(inputs::KEY_LAST_PRESSED, PlainValue::Int(key_code));
+        self
+    }
+
+    /// Arrow-key state (each axis in -1..=1): emits `Keyboard.arrows` as
+    /// the record `{x, y}` of paper Fig. 13.
+    pub fn arrows(&mut self, x: i64, y: i64) -> &mut Self {
+        self.emit(
+            inputs::KEY_ARROWS,
+            PlainValue::Record(std::collections::BTreeMap::from([
+                ("x".to_string(), PlainValue::Int(x)),
+                ("y".to_string(), PlainValue::Int(y)),
+            ])),
+        );
+        self
+    }
+
+    /// Shift-key state: emits `Keyboard.shift`.
+    pub fn shift(&mut self, down: bool) -> &mut Self {
+        self.emit(inputs::KEY_SHIFT, PlainValue::Int(down as i64));
+        self
+    }
+
+    /// Resizes the window: emits `Window.dimensions`, `Window.width`,
+    /// `Window.height`.
+    pub fn resize(&mut self, w: i64, h: i64) -> &mut Self {
+        self.window = (w, h);
+        self.emit(
+            inputs::WINDOW_DIMENSIONS,
+            PlainValue::Pair(Box::new(PlainValue::Int(w)), Box::new(PlainValue::Int(h))),
+        );
+        self.emit(inputs::WINDOW_WIDTH, PlainValue::Int(w));
+        self.emit(inputs::WINDOW_HEIGHT, PlainValue::Int(h));
+        self
+    }
+
+    /// Taps the touchscreen: emits `Touch.taps`.
+    pub fn tap(&mut self, x: i64, y: i64) -> &mut Self {
+        self.emit(
+            inputs::TOUCH_TAPS,
+            PlainValue::Pair(Box::new(PlainValue::Int(x)), Box::new(PlainValue::Int(y))),
+        );
+        self
+    }
+
+    /// Updates the set of ongoing touches: emits `Touch.touches` with the
+    /// full list (gestures diff successive lists).
+    pub fn touches(&mut self, points: &[(i64, i64)]) -> &mut Self {
+        self.emit(
+            inputs::TOUCHES,
+            PlainValue::List(
+                points
+                    .iter()
+                    .map(|(x, y)| {
+                        PlainValue::Pair(
+                            Box::new(PlainValue::Int(*x)),
+                            Box::new(PlainValue::Int(*y)),
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+        self
+    }
+
+    /// Types text into the focused field: one `Input.text` event per
+    /// keystroke with the accumulated contents, plus per-key
+    /// `Keyboard.lastPressed` — "each time the text in the input field
+    /// changes … both signals produce a new value" (paper §2 Ex. 3).
+    pub fn type_text(&mut self, s: &str) -> &mut Self {
+        for c in s.chars() {
+            self.text.push(c);
+            self.emit(inputs::KEY_LAST_PRESSED, PlainValue::Int(c as i64));
+            let snapshot = self.text.clone();
+            self.emit(inputs::INPUT_TEXT, PlainValue::Str(snapshot));
+            self.clock.advance(30); // ~33 wpm typist
+        }
+        self
+    }
+
+    /// Submits a whole word on the `Words.input` signal (§3.3.2 example).
+    pub fn word(&mut self, w: &str) -> &mut Self {
+        self.emit(inputs::WORDS, PlainValue::Str(w.to_string()));
+        self
+    }
+
+    /// Emits `Time.millis` ticks every `period` ms for the next `span` ms,
+    /// advancing the clock to the end of the span.
+    pub fn run_timer(&mut self, period: Millis, span: Millis) -> &mut Self {
+        let from = self.clock.now();
+        let to = from + span;
+        for t in VirtualClock::ticks_between(period, from, to) {
+            self.trace.push(t, inputs::TIME_MILLIS, PlainValue::Int(t as i64));
+        }
+        self.clock.advance(span);
+        self
+    }
+
+    /// Emits `Time.fps` frame deltas at the given frame rate for `span`
+    /// ms, advancing the clock.
+    pub fn run_fps(&mut self, fps: u32, span: Millis) -> &mut Self {
+        assert!(fps > 0, "frame rate must be positive");
+        let period = (1000.0 / fps as f64).round().max(1.0) as Millis;
+        let from = self.clock.now();
+        let to = from + span;
+        for t in VirtualClock::ticks_between(period, from, to) {
+            self.trace
+                .push(t, inputs::TIME_FPS, PlainValue::Float(period as f64));
+        }
+        self.clock.advance(span);
+        self
+    }
+
+    /// A seeded random mouse walk: `steps` moves of at most `max_step`
+    /// pixels each, `interval` ms apart. Useful for workload generation.
+    pub fn mouse_walk(&mut self, steps: usize, max_step: i64, interval: Millis) -> &mut Self {
+        for _ in 0..steps {
+            let (dx, dy) = (
+                self.rng.gen_range(-max_step..=max_step),
+                self.rng.gen_range(-max_step..=max_step),
+            );
+            let (x, y) = (
+                (self.mouse.0 + dx).clamp(0, self.window.0),
+                (self.mouse.1 + dy).clamp(0, self.window.1),
+            );
+            self.mouse_move(x, y);
+            self.clock.advance(interval);
+        }
+        self
+    }
+
+    /// Finishes the session, returning the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// A copy of the trace so far (the simulator can keep recording).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mouse_move_emits_three_signals() {
+        let mut sim = Simulator::new();
+        sim.mouse_move(3, 4);
+        let t = sim.into_trace();
+        let names: Vec<&str> = t.events.iter().map(|e| e.input.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![inputs::MOUSE_POSITION, inputs::MOUSE_X, inputs::MOUSE_Y]
+        );
+    }
+
+    #[test]
+    fn typing_accumulates_text() {
+        let mut sim = Simulator::new();
+        sim.type_text("ab");
+        let t = sim.into_trace();
+        let texts: Vec<String> = t
+            .events
+            .iter()
+            .filter(|e| e.input == inputs::INPUT_TEXT)
+            .map(|e| match &e.value {
+                PlainValue::Str(s) => s.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(texts, vec!["a".to_string(), "ab".to_string()]);
+        // Keystrokes advance the clock.
+        assert!(t.events.last().unwrap().at_ms >= 30);
+    }
+
+    #[test]
+    fn timers_fire_on_schedule() {
+        let mut sim = Simulator::new();
+        sim.run_timer(100, 500);
+        let t = sim.trace();
+        assert_eq!(t.events.len(), 5);
+        assert_eq!(t.events[0].at_ms, 100);
+        assert_eq!(t.events[4].at_ms, 500);
+        assert_eq!(sim.now(), 500);
+    }
+
+    #[test]
+    fn fps_emits_deltas() {
+        let mut sim = Simulator::new();
+        sim.run_fps(50, 100); // 20ms period → 5 frames
+        let t = sim.into_trace();
+        assert_eq!(t.events.len(), 5);
+        assert!(t
+            .events
+            .iter()
+            .all(|e| e.value == PlainValue::Float(20.0)));
+    }
+
+    #[test]
+    fn mouse_walk_is_deterministic_per_seed() {
+        let walk = |seed| {
+            let mut sim = Simulator::with_seed(seed);
+            sim.mouse_walk(10, 5, 16);
+            sim.into_trace()
+        };
+        assert_eq!(walk(42), walk(42));
+        assert_ne!(walk(42), walk(43));
+    }
+
+    #[test]
+    fn walk_respects_window_bounds() {
+        let mut sim = Simulator::with_seed(7);
+        sim.resize(100, 100);
+        sim.mouse_walk(200, 50, 1);
+        for e in &sim.trace().events {
+            if e.input == inputs::MOUSE_X {
+                let PlainValue::Int(x) = e.value else {
+                    unreachable!()
+                };
+                assert!((0..=100).contains(&x));
+            }
+        }
+    }
+}

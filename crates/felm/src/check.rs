@@ -1,0 +1,733 @@
+//! The declarative type checker: paper Fig. 4, rule for rule.
+//!
+//! This checker synthesizes the type of an *annotated* term (every lambda
+//! parameter carries its type, as in the paper's explicitly-typed calculus
+//! `λx:τ. e`). Unannotated programs go through [`crate::infer`] instead;
+//! the two agree on annotated terms (property-tested).
+//!
+//! The judgment is `Γ ⊢ e : t` where `Γ` maps variables and input names to
+//! types. The stratified type grammar ([`crate::ast::Type::classify`])
+//! plus rules T-LIFT / T-FOLD / T-ASYNC make signals-of-signals
+//! unrepresentable (§3.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, ExprKind, ListOp, Pattern, SignalPrimOp, Type};
+use crate::env::Adts;
+use crate::env::InputEnv;
+use crate::span::Span;
+
+/// A type error with source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the problem is.
+    pub span: Span,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(span: Span, message: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError {
+        message: message.into(),
+        span,
+    })
+}
+
+/// Synthesizes the type of `e` under `inputs` (the paper's `Γinput`) and an
+/// initially empty variable context.
+///
+/// # Errors
+///
+/// Returns the first violation of the Fig. 4 rules.
+///
+/// ```
+/// use felm::{check::type_of, env::InputEnv, parser::parse_expr, ast::Type};
+/// let e = parse_expr("lift (\\(x : Int) -> x + x) Window.width").unwrap();
+/// let t = type_of(&InputEnv::standard(), &e).unwrap();
+/// assert_eq!(t, Type::signal(Type::Int));
+/// ```
+pub fn type_of(inputs: &InputEnv, e: &Expr) -> Result<Type, TypeError> {
+    type_of_with(inputs, &Adts::new(), e)
+}
+
+/// Like [`type_of`], with the program's `data` declarations in scope.
+///
+/// # Errors
+///
+/// Returns the first violation of the typing rules.
+pub fn type_of_with(inputs: &InputEnv, adts: &Adts, e: &Expr) -> Result<Type, TypeError> {
+    let mut ctx = Context {
+        inputs,
+        adts,
+        vars: HashMap::new(),
+    };
+    ctx.synth(e)
+}
+
+struct Context<'a> {
+    inputs: &'a InputEnv,
+    adts: &'a Adts,
+    vars: HashMap<String, Vec<Type>>,
+}
+
+impl Context<'_> {
+    fn push(&mut self, name: &str, ty: Type) {
+        self.vars.entry(name.to_string()).or_default().push(ty);
+    }
+
+    fn pop(&mut self, name: &str) {
+        if let Some(stack) = self.vars.get_mut(name) {
+            stack.pop();
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.vars.get(name).and_then(|s| s.last())
+    }
+
+    fn synth(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        let span = e.span;
+        match &e.kind {
+            // T-UNIT / T-NUMBER (+ literal extensions)
+            ExprKind::Unit => Ok(Type::Unit),
+            ExprKind::Int(_) => Ok(Type::Int),
+            ExprKind::Float(_) => Ok(Type::Float),
+            ExprKind::Str(_) => Ok(Type::Str),
+            // T-VAR
+            ExprKind::Var(x) => match self.lookup(x) {
+                Some(t) => Ok(t.clone()),
+                None => err(span, format!("unbound variable `{x}`")),
+            },
+            // T-INPUT
+            ExprKind::Input(i) => match self.inputs.get(i) {
+                Some(decl) => Ok(decl.ty.clone()),
+                None => err(span, format!("unknown input signal `{i}`")),
+            },
+            // T-LAM (annotated)
+            ExprKind::Lam { param, ann, body } => {
+                let Some(param_ty) = ann else {
+                    return err(
+                        span,
+                        format!(
+                            "parameter `{param}` needs a type annotation for checking \
+                             (or use type inference)"
+                        ),
+                    );
+                };
+                if !param_ty.is_well_formed() {
+                    return err(span, format!("ill-formed parameter type {param_ty}"));
+                }
+                self.push(param, param_ty.clone());
+                let body_ty = self.synth(body);
+                self.pop(param);
+                let result = Type::fun(param_ty.clone(), body_ty?);
+                if !result.is_well_formed() {
+                    return err(
+                        span,
+                        format!("function type {result} is outside the stratified grammar"),
+                    );
+                }
+                Ok(result)
+            }
+            // T-APP
+            ExprKind::App(f, a) => {
+                let f_ty = self.synth(f)?;
+                let a_ty = self.synth(a)?;
+                match f_ty {
+                    Type::Fun(param, result) => {
+                        if *param == a_ty {
+                            Ok(*result)
+                        } else {
+                            err(
+                                a.span,
+                                format!("argument has type {a_ty}, function expects {param}"),
+                            )
+                        }
+                    }
+                    other => err(f.span, format!("cannot apply a value of type {other}")),
+                }
+            }
+            // T-OP (+ extensions)
+            ExprKind::BinOp(op, a, b) => {
+                let a_ty = self.synth(a)?;
+                let b_ty = self.synth(b)?;
+                self.binop_type(*op, &a_ty, &b_ty, span)
+            }
+            // T-COND — test is an int, branches agree
+            ExprKind::If(c, t, f) => {
+                let c_ty = self.synth(c)?;
+                if c_ty != Type::Int {
+                    return err(
+                        c.span,
+                        format!("if-condition must be Int (0 = false), got {c_ty}"),
+                    );
+                }
+                let t_ty = self.synth(t)?;
+                let f_ty = self.synth(f)?;
+                if t_ty != f_ty {
+                    return err(
+                        span,
+                        format!("if-branches disagree: {t_ty} versus {f_ty}"),
+                    );
+                }
+                Ok(t_ty)
+            }
+            // T-LET (monomorphic, as in Fig. 4)
+            ExprKind::Let { name, value, body } => {
+                let v_ty = self.synth(value)?;
+                self.push(name, v_ty);
+                let out = self.synth(body);
+                self.pop(name);
+                out
+            }
+            ExprKind::Pair(a, b) => {
+                let a_ty = self.synth(a)?;
+                let b_ty = self.synth(b)?;
+                if !a_ty.is_simple() || !b_ty.is_simple() {
+                    return err(span, "pair components must have simple types");
+                }
+                Ok(Type::pair(a_ty, b_ty))
+            }
+            ExprKind::Fst(p) => match self.synth(p)? {
+                Type::Pair(a, _) => Ok(*a),
+                other => err(p.span, format!("fst expects a pair, got {other}")),
+            },
+            ExprKind::List(items) => {
+                let mut elem_ty: Option<Type> = None;
+                for item in items {
+                    let t = self.synth(item)?;
+                    if !t.is_simple() {
+                        return err(item.span, "list elements must have simple types");
+                    }
+                    match &elem_ty {
+                        None => elem_ty = Some(t),
+                        Some(prev) if *prev == t => {}
+                        Some(prev) => {
+                            return err(
+                                item.span,
+                                format!("list elements disagree: {prev} versus {t}"),
+                            )
+                        }
+                    }
+                }
+                match elem_ty {
+                    Some(t) => Ok(Type::list(t)),
+                    // The empty literal needs inference or an annotation to
+                    // pick its element type; default to Int like the
+                    // inference engine does.
+                    None => Ok(Type::list(Type::Int)),
+                }
+            }
+            ExprKind::ListOp(op, l) => match self.synth(l)? {
+                Type::List(elem) => Ok(match op {
+                    ListOp::Head => *elem,
+                    ListOp::Tail => Type::List(elem),
+                    ListOp::IsEmpty | ListOp::Length => Type::Int,
+                }),
+                other => err(l.span, format!("{} expects a list, got {other}", op.keyword())),
+            },
+            ExprKind::Record(fields) => {
+                let mut tys = std::collections::BTreeMap::new();
+                for (name, value) in fields {
+                    let t = self.synth(value)?;
+                    if !t.is_simple() {
+                        return err(value.span, "record fields must have simple types");
+                    }
+                    if tys.insert(name.clone(), t).is_some() {
+                        return err(span, format!("duplicate record field `{name}`"));
+                    }
+                }
+                Ok(Type::Record(tys))
+            }
+            ExprKind::Field(rec, field) => match self.synth(rec)? {
+                Type::Record(tys) => match tys.get(field) {
+                    Some(t) => Ok(t.clone()),
+                    None => err(span, format!("record has no field `{field}`")),
+                },
+                other => err(rec.span, format!("field access on a non-record: {other}")),
+            },
+            ExprKind::Ith(index, l) => {
+                let i_ty = self.synth(index)?;
+                if i_ty != Type::Int {
+                    return err(index.span, format!("ith index must be Int, got {i_ty}"));
+                }
+                match self.synth(l)? {
+                    Type::List(elem) => Ok(*elem),
+                    other => err(l.span, format!("ith expects a list, got {other}")),
+                }
+            }
+            ExprKind::Snd(p) => match self.synth(p)? {
+                Type::Pair(_, b) => Ok(*b),
+                other => err(p.span, format!("snd expects a pair, got {other}")),
+            },
+            // T-LIFT
+            ExprKind::Lift { func, args } => {
+                let mut f_ty = self.synth(func)?;
+                let mut arg_tys = Vec::with_capacity(args.len());
+                for (k, _a) in args.iter().enumerate() {
+                    match f_ty {
+                        Type::Fun(param, rest) => {
+                            if !param.is_simple() {
+                                return err(
+                                    func.span,
+                                    format!(
+                                        "lift function parameter {} has non-simple type {param}",
+                                        k + 1
+                                    ),
+                                );
+                            }
+                            arg_tys.push(*param);
+                            f_ty = *rest;
+                        }
+                        other => {
+                            return err(
+                                func.span,
+                                format!(
+                                    "lift{} function must take {} arguments, type is {other} \
+                                     after {k}",
+                                    args.len(),
+                                    args.len()
+                                ),
+                            )
+                        }
+                    }
+                }
+                if !f_ty.is_simple() {
+                    return err(
+                        func.span,
+                        format!("lift function result must be simple, got {f_ty}"),
+                    );
+                }
+                for (a, expect) in args.iter().zip(&arg_tys) {
+                    let got = self.synth(a)?;
+                    let want = Type::signal(expect.clone());
+                    if got != want {
+                        return err(a.span, format!("lift argument is {got}, expected {want}"));
+                    }
+                }
+                Ok(Type::signal(f_ty))
+            }
+            // T-FOLD
+            ExprKind::Foldp { func, init, signal } => {
+                let f_ty = self.synth(func)?;
+                let Type::Fun(tau, rest) = f_ty else {
+                    return err(func.span, "foldp function must be τ -> τ' -> τ'");
+                };
+                let Type::Fun(acc_in, acc_out) = *rest else {
+                    return err(func.span, "foldp function must take two arguments");
+                };
+                if acc_in != acc_out {
+                    return err(
+                        func.span,
+                        format!("foldp accumulator types disagree: {acc_in} versus {acc_out}"),
+                    );
+                }
+                if !tau.is_simple() || !acc_in.is_simple() {
+                    return err(func.span, "foldp operates on simple types only");
+                }
+                let init_ty = self.synth(init)?;
+                if init_ty != *acc_in {
+                    return err(
+                        init.span,
+                        format!("foldp base is {init_ty}, accumulator is {acc_in}"),
+                    );
+                }
+                let sig_ty = self.synth(signal)?;
+                let want = Type::signal((*tau).clone());
+                if sig_ty != want {
+                    return err(
+                        signal.span,
+                        format!("foldp signal is {sig_ty}, expected {want}"),
+                    );
+                }
+                Ok(Type::signal(*acc_in))
+            }
+            ExprKind::Ctor(name) => {
+                // A bare constructor types as its curried function.
+                let info = self.adts.ctor(name).ok_or_else(|| TypeError {
+                    message: format!("unknown constructor `{name}`"),
+                    span,
+                })?;
+                let mut ty = Type::Named(info.adt.clone());
+                for arg in info.args.iter().rev() {
+                    ty = Type::fun(arg.clone(), ty);
+                }
+                Ok(ty)
+            }
+            ExprKind::CtorApp(name, args) => {
+                let info = self.adts.ctor(name).cloned().ok_or_else(|| TypeError {
+                    message: format!("unknown constructor `{name}`"),
+                    span,
+                })?;
+                if args.len() != info.args.len() {
+                    return err(
+                        span,
+                        format!(
+                            "constructor `{name}` takes {} argument(s), got {}",
+                            info.args.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                for (arg, want) in args.iter().zip(&info.args) {
+                    let got = self.synth(arg)?;
+                    if got != *want {
+                        return err(
+                            arg.span,
+                            format!("`{name}` argument has type {got}, expected {want}"),
+                        );
+                    }
+                }
+                Ok(Type::Named(info.adt))
+            }
+            ExprKind::Case { scrutinee, branches } => {
+                let scrut_ty = self.synth(scrutinee)?;
+                let Type::Named(adt) = &scrut_ty else {
+                    return err(
+                        scrutinee.span,
+                        format!("case scrutinee must be a data type, got {scrut_ty}"),
+                    );
+                };
+                let variants: Vec<String> = self
+                    .adts
+                    .variants(adt)
+                    .map(<[String]>::to_vec)
+                    .unwrap_or_default();
+                let mut covered: Vec<&str> = Vec::new();
+                let mut catch_all = false;
+                let mut result: Option<Type> = None;
+                for branch in branches {
+                    let body_ty = match &branch.pattern {
+                        Pattern::Ctor { name, binders } => {
+                            let info = self.adts.ctor(name).cloned().ok_or_else(|| TypeError {
+                                message: format!("unknown constructor `{name}`"),
+                                span,
+                            })?;
+                            if info.adt != *adt {
+                                return err(
+                                    span,
+                                    format!(
+                                        "pattern `{name}` belongs to `{}`, scrutinee is `{adt}`",
+                                        info.adt
+                                    ),
+                                );
+                            }
+                            if binders.len() != info.args.len() {
+                                return err(
+                                    span,
+                                    format!(
+                                        "pattern `{name}` needs {} binder(s), got {}",
+                                        info.args.len(),
+                                        binders.len()
+                                    ),
+                                );
+                            }
+                            covered.push(name);
+                            for (b, t) in binders.iter().zip(&info.args) {
+                                self.push(b, t.clone());
+                            }
+                            let ty = self.synth(&branch.body);
+                            for b in binders {
+                                self.pop(b);
+                            }
+                            ty?
+                        }
+                        Pattern::Var(x) => {
+                            catch_all = true;
+                            self.push(x, scrut_ty.clone());
+                            let ty = self.synth(&branch.body);
+                            self.pop(x);
+                            ty?
+                        }
+                        Pattern::Wildcard => {
+                            catch_all = true;
+                            self.synth(&branch.body)?
+                        }
+                    };
+                    match &result {
+                        None => result = Some(body_ty),
+                        Some(prev) if *prev == body_ty => {}
+                        Some(prev) => {
+                            return err(
+                                branch.body.span,
+                                format!("case branches disagree: {prev} versus {body_ty}"),
+                            )
+                        }
+                    }
+                }
+                if !catch_all {
+                    let missing: Vec<&str> = variants
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|v| !covered.contains(v))
+                        .collect();
+                    if !missing.is_empty() {
+                        return err(
+                            span,
+                            format!("case is not exhaustive: missing {}", missing.join(", ")),
+                        );
+                    }
+                }
+                Ok(result.expect("parser guarantees at least one branch"))
+            }
+            ExprKind::SignalPrim { op, args } => self.signal_prim(*op, args, span),
+            // T-ASYNC
+            ExprKind::Async(inner) => {
+                let t = self.synth(inner)?;
+                match &t {
+                    Type::Signal(_) => Ok(t),
+                    other => err(span, format!("async expects a signal, got {other}")),
+                }
+            }
+        }
+    }
+
+    fn signal_prim(
+        &mut self,
+        op: SignalPrimOp,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Type, TypeError> {
+        let sig_payload = |this: &mut Self, e: &Expr| -> Result<Type, TypeError> {
+            match this.synth(e)? {
+                Type::Signal(t) => Ok(*t),
+                other => err(e.span, format!("{} expects a signal, got {other}", op.keyword())),
+            }
+        };
+        match op {
+            SignalPrimOp::Merge => {
+                let a = sig_payload(self, &args[0])?;
+                let b = sig_payload(self, &args[1])?;
+                if a != b {
+                    return err(span, format!("merge payloads disagree: {a} versus {b}"));
+                }
+                Ok(Type::signal(a))
+            }
+            SignalPrimOp::SampleOn => {
+                let _ = sig_payload(self, &args[0])?;
+                let b = sig_payload(self, &args[1])?;
+                Ok(Type::signal(b))
+            }
+            SignalPrimOp::DropRepeats => {
+                let a = sig_payload(self, &args[0])?;
+                Ok(Type::signal(a))
+            }
+            SignalPrimOp::KeepIf => {
+                let pred_ty = self.synth(&args[0])?;
+                let Type::Fun(from, to) = pred_ty else {
+                    return err(args[0].span, "keepIf predicate must be a function");
+                };
+                if *to != Type::Int {
+                    return err(args[0].span, "keepIf predicate must return Int (0 = false)");
+                }
+                let base_ty = self.synth(&args[1])?;
+                if base_ty != *from {
+                    return err(
+                        args[1].span,
+                        format!("keepIf base is {base_ty}, predicate takes {from}"),
+                    );
+                }
+                let payload = sig_payload(self, &args[2])?;
+                if payload != *from {
+                    return err(
+                        args[2].span,
+                        format!("keepIf signal carries {payload}, predicate takes {from}"),
+                    );
+                }
+                Ok(Type::signal(payload))
+            }
+        }
+    }
+
+    fn binop_type(
+        &self,
+        op: BinOp,
+        a: &Type,
+        b: &Type,
+        span: Span,
+    ) -> Result<Type, TypeError> {
+        use BinOp::*;
+        let both = |t: &Type| a == t && b == t;
+        match op {
+            Cons => {
+                if !a.is_simple() {
+                    return err(span, format!(":: head must be simple, got {a}"));
+                }
+                if *b == Type::list(a.clone()) {
+                    Ok(b.clone())
+                } else {
+                    err(span, format!(":: expects {a} :: [{a}], got tail {b}"))
+                }
+            }
+            Append => {
+                if both(&Type::Str) {
+                    Ok(Type::Str)
+                } else {
+                    err(span, format!("++ expects strings, got {a} and {b}"))
+                }
+            }
+            Add | Sub | Mul | Div | Mod => {
+                if both(&Type::Int) {
+                    Ok(Type::Int)
+                } else if both(&Type::Float) && !matches!(op, Mod) {
+                    Ok(Type::Float)
+                } else {
+                    err(span, format!("{op} expects two Ints (or Floats), got {a} and {b}"))
+                }
+            }
+            And | Or => {
+                if both(&Type::Int) {
+                    Ok(Type::Int)
+                } else {
+                    err(span, format!("{op} expects Ints (0 = false), got {a} and {b}"))
+                }
+            }
+            Eq | Ne => {
+                if a == b && (both(&Type::Int) || both(&Type::Float) || both(&Type::Str)) {
+                    Ok(Type::Int)
+                } else {
+                    err(span, format!("{op} compares equal primitive types, got {a} and {b}"))
+                }
+            }
+            Lt | Le | Gt | Ge => {
+                if a == b && (both(&Type::Int) || both(&Type::Float)) {
+                    Ok(Type::Int)
+                } else {
+                    err(span, format!("{op} compares Ints or Floats, got {a} and {b}"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn ty(src: &str) -> Result<Type, TypeError> {
+        type_of(&InputEnv::standard(), &parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        assert_eq!(ty("1 + 2").unwrap(), Type::Int);
+        assert_eq!(ty("1.5 + 2.5").unwrap(), Type::Float);
+        assert_eq!(ty("\"a\" ++ \"b\"").unwrap(), Type::Str);
+        assert_eq!(ty("1 < 2").unwrap(), Type::Int);
+        assert_eq!(ty("()").unwrap(), Type::Unit);
+        assert!(ty("1 + 1.5").is_err());
+        assert!(ty("1.0 % 2.0").is_err());
+        assert!(ty("() == ()").is_err());
+    }
+
+    #[test]
+    fn lambda_application_and_let() {
+        assert_eq!(
+            ty("(\\(x : Int) -> x + 1) 41").unwrap(),
+            Type::Int
+        );
+        assert_eq!(
+            ty("\\(f : Int -> Int) -> f 0").unwrap(),
+            Type::fun(Type::fun(Type::Int, Type::Int), Type::Int)
+        );
+        assert_eq!(ty("let x = 1 in x + x").unwrap(), Type::Int);
+        assert!(ty("(\\(x : Int) -> x) ()").is_err());
+        assert!(ty("\\x -> x").is_err(), "unannotated lambda needs inference");
+    }
+
+    #[test]
+    fn conditionals_require_int_tests_and_equal_branches() {
+        assert_eq!(ty("if 1 then 2 else 3").unwrap(), Type::Int);
+        assert!(ty("if () then 2 else 3").is_err());
+        assert!(ty("if 1 then 2 else ()").is_err());
+        // A signal test is ruled out (T-COND requires int).
+        assert!(ty("if Mouse.x then 2 else 3").is_err());
+    }
+
+    #[test]
+    fn lift_types_follow_t_lift() {
+        assert_eq!(
+            ty("lift (\\(x : Int) -> x * 2) Window.width").unwrap(),
+            Type::signal(Type::Int)
+        );
+        assert_eq!(
+            ty("lift2 (\\(y : Int) -> \\(z : Int) -> y / z) Mouse.x Window.width").unwrap(),
+            Type::signal(Type::Int)
+        );
+        // Wrong argument signal type.
+        assert!(ty("lift (\\(x : Int) -> x) Words.input").is_err());
+        // Function of too few arguments.
+        assert!(ty("lift2 (\\(x : Int) -> x) Mouse.x Mouse.y").is_err());
+        // Non-signal argument.
+        assert!(ty("lift (\\(x : Int) -> x) 3").is_err());
+    }
+
+    #[test]
+    fn foldp_types_follow_t_fold() {
+        assert_eq!(
+            ty("foldp (\\(k : Int) -> \\(c : Int) -> c + 1) 0 Keyboard.lastPressed").unwrap(),
+            Type::signal(Type::Int)
+        );
+        // Base type must match the accumulator.
+        assert!(ty("foldp (\\(k : Int) -> \\(c : Int) -> c) () Keyboard.lastPressed").is_err());
+        // Accumulator in/out must agree.
+        assert!(
+            ty("foldp (\\(k : Int) -> \\(c : Int) -> \"s\") 0 Keyboard.lastPressed").is_err()
+        );
+    }
+
+    #[test]
+    fn async_preserves_signal_types() {
+        assert_eq!(
+            ty("async (lift (\\(x : Int) -> x) Mouse.x)").unwrap(),
+            Type::signal(Type::Int)
+        );
+        assert!(ty("async 3").is_err());
+    }
+
+    #[test]
+    fn signals_of_signals_are_unrepresentable() {
+        // lift a function that returns a signal — parameter fine, result not simple.
+        assert!(
+            ty("lift (\\(x : Int) -> Mouse.x) Mouse.y").is_err(),
+            "lift result must be simple"
+        );
+        // A lambda taking a signal and returning a simple value: σ → τ invalid.
+        assert!(ty("\\(s : Signal Int) -> 3").is_err());
+        // But σ → σ' is fine.
+        assert_eq!(
+            ty("\\(s : Signal Int) -> async s").unwrap(),
+            Type::fun(Type::signal(Type::Int), Type::signal(Type::Int))
+        );
+    }
+
+    #[test]
+    fn pairs_are_simple_only() {
+        assert_eq!(ty("(1, \"x\")").unwrap(), Type::pair(Type::Int, Type::Str));
+        assert_eq!(ty("fst (1, 2)").unwrap(), Type::Int);
+        assert!(ty("(Mouse.x, 1)").is_err());
+        assert!(ty("fst 3").is_err());
+    }
+
+    #[test]
+    fn unknown_inputs_and_vars_error() {
+        assert!(ty("Bogus.signal").is_err());
+        assert!(ty("nope").is_err());
+    }
+
+    #[test]
+    fn paper_fig7_program_types() {
+        let t = ty("lift2 (\\(y : Int) -> \\(z : Int) -> y / z) Mouse.x Window.width").unwrap();
+        assert_eq!(t, Type::signal(Type::Int));
+    }
+}

@@ -1,0 +1,439 @@
+//! Input-signal environments: the `Γinput` of the paper.
+//!
+//! A program is well typed if `Γinput ⊢ e : t` where `Γinput` maps every
+//! input identifier `i ∈ Input` to a signal type (§3.2). Every input also
+//! carries its required default value (§3.1), which stage two uses to seed
+//! the graph.
+//!
+//! [`InputEnv::standard`] declares the signals of paper Fig. 13 that fit
+//! the core calculus's types, playing the role of the browser environment;
+//! the simulated drivers in `elm-environment` generate events for them.
+
+use std::collections::BTreeMap;
+
+use elm_runtime::Value;
+
+use crate::ast::{CaseBranch, DataDef, Expr, ExprKind, Type};
+use crate::span::Span;
+
+/// Declaration of one input signal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InputDecl {
+    /// The qualified name, e.g. `"Mouse.position"`.
+    pub name: String,
+    /// Its type — always `Signal τ` for simple τ.
+    pub ty: Type,
+    /// The default (pre-first-event) value, of shape τ.
+    pub default: Value,
+}
+
+/// A set of input-signal declarations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InputEnv {
+    decls: BTreeMap<String, InputDecl>,
+}
+
+impl InputEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        InputEnv::default()
+    }
+
+    /// The environment of paper Fig. 13 (those signals expressible in the
+    /// core type language), plus `Words.input` used by the translation
+    /// examples of §3.3.2.
+    pub fn standard() -> Self {
+        let mut env = InputEnv::new();
+        let pair_i = Type::pair(Type::Int, Type::Int);
+        let origin = Value::pair(Value::Int(0), Value::Int(0));
+        env.declare("Mouse.position", Type::signal(pair_i.clone()), origin.clone());
+        env.declare("Mouse.x", Type::signal(Type::Int), Value::Int(0));
+        env.declare("Mouse.y", Type::signal(Type::Int), Value::Int(0));
+        env.declare("Mouse.clicks", Type::signal(Type::Unit), Value::Unit);
+        env.declare("Mouse.isDown", Type::signal(Type::Int), Value::Int(0));
+        env.declare("Window.dimensions", Type::signal(pair_i), origin);
+        env.declare("Window.width", Type::signal(Type::Int), Value::Int(1024));
+        env.declare("Window.height", Type::signal(Type::Int), Value::Int(768));
+        env.declare(
+            "Keyboard.lastPressed",
+            Type::signal(Type::Int),
+            Value::Int(0),
+        );
+        env.declare("Keyboard.shift", Type::signal(Type::Int), Value::Int(0));
+        env.declare(
+            "Keyboard.arrows",
+            Type::signal(Type::record([
+                ("x".to_string(), Type::Int),
+                ("y".to_string(), Type::Int),
+            ])),
+            Value::record([
+                ("x".to_string(), Value::Int(0)),
+                ("y".to_string(), Value::Int(0)),
+            ]),
+        );
+        env.declare("Time.millis", Type::signal(Type::Int), Value::Int(0));
+        env.declare("Time.fps", Type::signal(Type::Float), Value::Float(0.0));
+        env.declare(
+            "Touch.taps",
+            Type::signal(Type::pair(Type::Int, Type::Int)),
+            Value::pair(Value::Int(0), Value::Int(0)),
+        );
+        env.declare(
+            "Touch.touches",
+            Type::signal(Type::list(Type::pair(Type::Int, Type::Int))),
+            Value::list([]),
+        );
+        env.declare("Words.input", Type::signal(Type::Str), Value::str(""));
+        env.declare("Input.text", Type::signal(Type::Str), Value::str(""));
+        env
+    }
+
+    /// Adds (or replaces) a declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not `Signal τ` for a simple τ — input signals must
+    /// have signal types (§3.2).
+    pub fn declare(&mut self, name: impl Into<String>, ty: Type, default: Value) {
+        let name = name.into();
+        match &ty {
+            Type::Signal(inner) if inner.is_simple() => {}
+            other => panic!("input {name} must have a simple signal type, got {other}"),
+        }
+        self.decls.insert(
+            name.clone(),
+            InputDecl {
+                name,
+                ty,
+                default,
+            },
+        );
+    }
+
+    /// Looks up a declaration.
+    pub fn get(&self, name: &str) -> Option<&InputDecl> {
+        self.decls.get(name)
+    }
+
+    /// All declarations, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = &InputDecl> {
+        self.decls.values()
+    }
+
+    /// Number of declared inputs.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// True if no inputs are declared.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_env_has_paper_signals() {
+        let env = InputEnv::standard();
+        assert_eq!(
+            env.get("Mouse.position").unwrap().ty,
+            Type::signal(Type::pair(Type::Int, Type::Int))
+        );
+        assert_eq!(env.get("Window.width").unwrap().default, Value::Int(1024));
+        assert!(env.get("Flickr.photos").is_none());
+        assert!(env.len() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "simple signal type")]
+    fn non_signal_inputs_are_rejected() {
+        let mut env = InputEnv::new();
+        env.declare("Bad.input", Type::Int, Value::Int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "simple signal type")]
+    fn signal_of_signal_inputs_are_rejected() {
+        let mut env = InputEnv::new();
+        env.declare(
+            "Bad.nested",
+            Type::signal(Type::signal(Type::Int)),
+            Value::Int(0),
+        );
+    }
+}
+
+
+/// Information about one declared constructor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CtorInfo {
+    /// The ADT this constructor belongs to.
+    pub adt: String,
+    /// The constructor's argument types.
+    pub args: Vec<Type>,
+}
+
+/// The algebraic data types declared by a program (`data` definitions).
+///
+/// Constructor names are global (as in Elm): declaring two ADTs with a
+/// shared constructor name is an error.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Adts {
+    ctors: BTreeMap<String, CtorInfo>,
+    adts: BTreeMap<String, Vec<String>>,
+}
+
+impl Adts {
+    /// No declarations.
+    pub fn new() -> Self {
+        Adts::default()
+    }
+
+    /// Builds a registry from parsed `data` definitions, validating that
+    /// names are fresh, argument types are well-formed simple types, and
+    /// every `Named` reference resolves (self/forward references allowed —
+    /// recursive simple types, paper §4).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::check::TypeError`] describing the violation.
+    pub fn from_defs(defs: &[DataDef]) -> Result<Adts, crate::check::TypeError> {
+        let mut out = Adts::new();
+        let err = |message: String| crate::check::TypeError {
+            message,
+            span: Span::dummy(),
+        };
+        // First pass: register type names.
+        for def in defs {
+            if matches!(def.name.as_str(), "Int" | "Float" | "String" | "Signal") {
+                return Err(err(format!("type name `{}` is reserved", def.name)));
+            }
+            if out.adts.insert(def.name.clone(), Vec::new()).is_some() {
+                return Err(err(format!("duplicate data type `{}`", def.name)));
+            }
+        }
+        // Second pass: register constructors and validate argument types.
+        for def in defs {
+            if def.ctors.is_empty() {
+                return Err(err(format!("data type `{}` has no constructors", def.name)));
+            }
+            for (ctor, args) in &def.ctors {
+                for ty in args {
+                    out.validate_arg(ty).map_err(|m| {
+                        err(format!("constructor `{ctor}` of `{}`: {m}", def.name))
+                    })?;
+                }
+                let info = CtorInfo {
+                    adt: def.name.clone(),
+                    args: args.clone(),
+                };
+                if out.ctors.insert(ctor.clone(), info).is_some() {
+                    return Err(err(format!("duplicate constructor `{ctor}`")));
+                }
+                out.adts
+                    .get_mut(&def.name)
+                    .expect("registered in the first pass")
+                    .push(ctor.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn validate_arg(&self, ty: &Type) -> Result<(), String> {
+        match ty {
+            Type::Named(name) => {
+                if self.adts.contains_key(name) {
+                    Ok(())
+                } else {
+                    Err(format!("unknown type `{name}`"))
+                }
+            }
+            Type::Signal(_) | Type::Var(_) => {
+                Err(format!("`{ty}` is not a simple type"))
+            }
+            Type::Pair(a, b) | Type::Fun(a, b) => {
+                self.validate_arg(a)?;
+                self.validate_arg(b)
+            }
+            Type::List(t) => self.validate_arg(t),
+            Type::Record(fields) => fields.values().try_for_each(|t| self.validate_arg(t)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Looks up a constructor.
+    pub fn ctor(&self, name: &str) -> Option<&CtorInfo> {
+        self.ctors.get(name)
+    }
+
+    /// The constructor names of an ADT, in declaration order.
+    pub fn variants(&self, adt: &str) -> Option<&[String]> {
+        self.adts.get(adt).map(Vec::as_slice)
+    }
+
+    /// True if the type name is declared.
+    pub fn contains_type(&self, name: &str) -> bool {
+        self.adts.contains_key(name)
+    }
+
+    /// Eliminates bare [`ExprKind::Ctor`] references: nullary constructors
+    /// become saturated [`ExprKind::CtorApp`]s; n-ary ones become
+    /// eta-expanded lambdas around a saturated application (so downstream
+    /// stages never deal with partial constructor application).
+    ///
+    /// # Errors
+    ///
+    /// Fails on references to undeclared constructors.
+    pub fn resolve(&self, e: &Expr) -> Result<Expr, crate::check::TypeError> {
+        let kind = match &e.kind {
+            ExprKind::Ctor(name) => {
+                let info = self.ctor(name).ok_or_else(|| crate::check::TypeError {
+                    message: format!("unknown constructor `{name}`"),
+                    span: e.span,
+                })?;
+                let arity = info.args.len();
+                if arity == 0 {
+                    ExprKind::CtorApp(name.clone(), Vec::new())
+                } else {
+                    // 0 … a(n-1) -> Ctor a0 … a(n-1), with annotations so
+                    // the declarative checker accepts it too.
+                    let binders: Vec<String> =
+                        (0..arity).map(|k| format!("{}#arg{k}", name)).collect();
+                    let saturated = Expr::new(
+                        ExprKind::CtorApp(
+                            name.clone(),
+                            binders
+                                .iter()
+                                .map(|b| Expr::new(ExprKind::Var(b.clone()), e.span))
+                                .collect(),
+                        ),
+                        e.span,
+                    );
+                    let mut body = saturated;
+                    for (binder, ty) in binders.iter().zip(&info.args).rev() {
+                        body = Expr::new(
+                            ExprKind::Lam {
+                                param: binder.clone(),
+                                ann: Some(ty.clone()),
+                                body: Box::new(body),
+                            },
+                            e.span,
+                        );
+                    }
+                    return Ok(body);
+                }
+            }
+            ExprKind::CtorApp(name, args) => ExprKind::CtorApp(
+                name.clone(),
+                args.iter().map(|a| self.resolve(a)).collect::<Result<_, _>>()?,
+            ),
+            ExprKind::Case { scrutinee, branches } => ExprKind::Case {
+                scrutinee: Box::new(self.resolve(scrutinee)?),
+                branches: branches
+                    .iter()
+                    .map(|b| {
+                        Ok(CaseBranch {
+                            pattern: b.pattern.clone(),
+                            body: self.resolve(&b.body)?,
+                        })
+                    })
+                    .collect::<Result<_, crate::check::TypeError>>()?,
+            },
+            ExprKind::Unit
+            | ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Var(_)
+            | ExprKind::Input(_) => e.kind.clone(),
+            ExprKind::Lam { param, ann, body } => ExprKind::Lam {
+                param: param.clone(),
+                ann: ann.clone(),
+                body: Box::new(self.resolve(body)?),
+            },
+            ExprKind::App(..) => {
+                // Contract constructor application spines directly into
+                // saturated `CtorApp`s (partial applications fall back to
+                // the eta-expanded head).
+                let mut spine = Vec::new();
+                let mut head = e;
+                while let ExprKind::App(f, a) = &head.kind {
+                    spine.push(&**a);
+                    head = f;
+                }
+                spine.reverse();
+                if let ExprKind::Ctor(name) = &head.kind {
+                    if let Some(info) = self.ctor(name) {
+                        if spine.len() == info.args.len() {
+                            return Ok(Expr::new(
+                                ExprKind::CtorApp(
+                                    name.clone(),
+                                    spine
+                                        .iter()
+                                        .map(|a| self.resolve(a))
+                                        .collect::<Result<_, _>>()?,
+                                ),
+                                e.span,
+                            ));
+                        }
+                    }
+                }
+                let ExprKind::App(f, a) = &e.kind else {
+                    unreachable!("guarded by the outer match");
+                };
+                ExprKind::App(Box::new(self.resolve(f)?), Box::new(self.resolve(a)?))
+            }
+            ExprKind::BinOp(op, a, b) => {
+                ExprKind::BinOp(*op, Box::new(self.resolve(a)?), Box::new(self.resolve(b)?))
+            }
+            ExprKind::If(c, t, f) => ExprKind::If(
+                Box::new(self.resolve(c)?),
+                Box::new(self.resolve(t)?),
+                Box::new(self.resolve(f)?),
+            ),
+            ExprKind::Let { name, value, body } => ExprKind::Let {
+                name: name.clone(),
+                value: Box::new(self.resolve(value)?),
+                body: Box::new(self.resolve(body)?),
+            },
+            ExprKind::Pair(a, b) => {
+                ExprKind::Pair(Box::new(self.resolve(a)?), Box::new(self.resolve(b)?))
+            }
+            ExprKind::Fst(p) => ExprKind::Fst(Box::new(self.resolve(p)?)),
+            ExprKind::Snd(p) => ExprKind::Snd(Box::new(self.resolve(p)?)),
+            ExprKind::List(items) => ExprKind::List(
+                items.iter().map(|i| self.resolve(i)).collect::<Result<_, _>>()?,
+            ),
+            ExprKind::ListOp(op, l) => ExprKind::ListOp(*op, Box::new(self.resolve(l)?)),
+            ExprKind::Ith(i, l) => {
+                ExprKind::Ith(Box::new(self.resolve(i)?), Box::new(self.resolve(l)?))
+            }
+            ExprKind::Record(fields) => ExprKind::Record(
+                fields
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), self.resolve(v)?)))
+                    .collect::<Result<_, crate::check::TypeError>>()?,
+            ),
+            ExprKind::Field(r, name) => {
+                ExprKind::Field(Box::new(self.resolve(r)?), name.clone())
+            }
+            ExprKind::Lift { func, args } => ExprKind::Lift {
+                func: Box::new(self.resolve(func)?),
+                args: args.iter().map(|a| self.resolve(a)).collect::<Result<_, _>>()?,
+            },
+            ExprKind::Foldp { func, init, signal } => ExprKind::Foldp {
+                func: Box::new(self.resolve(func)?),
+                init: Box::new(self.resolve(init)?),
+                signal: Box::new(self.resolve(signal)?),
+            },
+            ExprKind::Async(inner) => ExprKind::Async(Box::new(self.resolve(inner)?)),
+            ExprKind::SignalPrim { op, args } => ExprKind::SignalPrim {
+                op: *op,
+                args: args.iter().map(|a| self.resolve(a)).collect::<Result<_, _>>()?,
+            },
+        };
+        Ok(Expr::new(kind, e.span))
+    }
+}

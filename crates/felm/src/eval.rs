@@ -1,0 +1,1356 @@
+//! Stage-one (functional) evaluation: paper §3.3.1, Figs. 5–6.
+//!
+//! FElm evaluates in two stages. This module is the first: a small-step,
+//! left-to-right call-by-value reduction that evaluates *all and only* the
+//! functional constructs, leaving signals uninterpreted. The result is a
+//! *final term* of the intermediate language (Fig. 5): either a simple
+//! value `v` or a signal term `s` that the second stage
+//! ([`crate::translate`]) turns into a running signal graph.
+//!
+//! The rules implemented are exactly Fig. 6:
+//!
+//! * **OP, COND-TRUE/FALSE** — primitive δ-reductions;
+//! * **APPLICATION** — `(λx. e1) e2 → let x = e2 in e1` (CBV via `let`);
+//! * **REDUCE** — `let x = v in e → e[v/x]`, *only* when `x` is bound to a
+//!   simple value. Signal bindings are never substituted, so signal
+//!   expressions are not duplicated (the call-by-need-like sharing that
+//!   later becomes multicast nodes);
+//! * **EXPAND** — `F[let x = s in u] → let x = s in F[u]`, floating
+//!   signal-`let`s out of positions that need a simple value;
+//! * **CONTEXT** — the search for the redex, following the `E` grammar.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ast::{BinOp, Expr, ExprKind, ListOp, Pattern};
+
+/// Errors of stage-one evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// Evaluation reached a term with no applicable rule (cannot happen
+    /// for well-typed programs — Theorem 1).
+    Stuck {
+        /// Why no rule applies.
+        reason: String,
+    },
+    /// The fuel bound was exhausted (defensive; well-typed FElm is
+    /// strongly normalizing since the calculus has no recursion).
+    OutOfFuel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Stuck { reason } => write!(f, "evaluation stuck: {reason}"),
+            EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// True for simple values `v ::= () | n | λx. e` (plus the full-language
+/// float/string literals and pairs of values).
+pub fn is_value(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Unit
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Lam { .. } => true,
+        ExprKind::Pair(a, b) => is_value(a) && is_value(b),
+        ExprKind::List(items) => items.iter().all(is_value),
+        ExprKind::Record(fields) => fields.iter().all(|(_, v)| is_value(v)),
+        // A bare constructor is a (function-like) value; saturated
+        // applications are values once their arguments are.
+        ExprKind::Ctor(_) => true,
+        ExprKind::CtorApp(_, args) => args.iter().all(is_value),
+        _ => false,
+    }
+}
+
+/// True for signal terms of the intermediate language (Fig. 5):
+/// `s ::= x | let x = s in u | i | liftn v s1…sn | foldp v1 v2 s | async s`.
+///
+/// A bare variable counts as a signal term: after REDUCE has substituted
+/// every value binding, remaining variables can only refer to
+/// signal-bound `let`s.
+pub fn is_signal_term(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Var(_) | ExprKind::Input(_) => true,
+        ExprKind::Let { value, body, .. } => is_signal_term(value) && is_final(body),
+        ExprKind::Lift { func, args } => is_value(func) && args.iter().all(is_signal_term),
+        ExprKind::Foldp { func, init, signal } => {
+            is_value(func) && is_value(init) && is_signal_term(signal)
+        }
+        ExprKind::Async(inner) => is_signal_term(inner),
+        ExprKind::SignalPrim { op, args } => {
+            let values = op.value_args();
+            args[..values].iter().all(is_value)
+                && args[values..].iter().all(is_signal_term)
+        }
+        _ => false,
+    }
+}
+
+/// True for final terms `u ::= v | s`.
+pub fn is_final(e: &Expr) -> bool {
+    is_value(e) || is_signal_term(e)
+}
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// Generates a variable name guaranteed fresh program-wide.
+pub fn fresh_name(base: &str) -> String {
+    let n = FRESH.fetch_add(1, Ordering::Relaxed);
+    format!("{base}${n}")
+}
+
+/// Free variables of `e`, appended to `out`.
+pub fn free_vars(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Var(x) => {
+            if !out.contains(x) {
+                out.push(x.clone());
+            }
+        }
+        ExprKind::Unit
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Input(_) => {}
+        ExprKind::Lam { param, body, .. } => {
+            let mut inner = Vec::new();
+            free_vars(body, &mut inner);
+            for v in inner {
+                if &v != param && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        ExprKind::App(a, b) | ExprKind::BinOp(_, a, b) | ExprKind::Pair(a, b) => {
+            free_vars(a, out);
+            free_vars(b, out);
+        }
+        ExprKind::If(c, t, e2) => {
+            free_vars(c, out);
+            free_vars(t, out);
+            free_vars(e2, out);
+        }
+        ExprKind::Let { name, value, body } => {
+            free_vars(value, out);
+            let mut inner = Vec::new();
+            free_vars(body, &mut inner);
+            for v in inner {
+                if &v != name && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        ExprKind::Fst(a) | ExprKind::Snd(a) | ExprKind::Async(a) | ExprKind::ListOp(_, a) => {
+            free_vars(a, out)
+        }
+        ExprKind::List(items) => {
+            for item in items {
+                free_vars(item, out);
+            }
+        }
+        ExprKind::Ith(a, b) => {
+            free_vars(a, out);
+            free_vars(b, out);
+        }
+        ExprKind::Record(fields) => {
+            for (_, v) in fields {
+                free_vars(v, out);
+            }
+        }
+        ExprKind::Field(r, _) => free_vars(r, out),
+        ExprKind::SignalPrim { args, .. } => {
+            for a in args {
+                free_vars(a, out);
+            }
+        }
+        ExprKind::Ctor(_) => {}
+        ExprKind::CtorApp(_, args) => {
+            for a in args {
+                free_vars(a, out);
+            }
+        }
+        ExprKind::Case { scrutinee, branches } => {
+            free_vars(scrutinee, out);
+            for b in branches {
+                let mut inner = Vec::new();
+                free_vars(&b.body, &mut inner);
+                let bound: Vec<&String> = match &b.pattern {
+                    Pattern::Ctor { binders, .. } => binders.iter().collect(),
+                    Pattern::Var(x) => vec![x],
+                    Pattern::Wildcard => Vec::new(),
+                };
+                for v in inner {
+                    if !bound.iter().any(|bv| **bv == v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        ExprKind::Lift { func, args } => {
+            free_vars(func, out);
+            for a in args {
+                free_vars(a, out);
+            }
+        }
+        ExprKind::Foldp { func, init, signal } => {
+            free_vars(func, out);
+            free_vars(init, out);
+            free_vars(signal, out);
+        }
+    }
+}
+
+fn occurs_free(x: &str, e: &Expr) -> bool {
+    let mut fv = Vec::new();
+    free_vars(e, &mut fv);
+    fv.iter().any(|v| v == x)
+}
+
+/// Capture-avoiding substitution `e[v/x]`.
+pub fn subst(e: &Expr, x: &str, v: &Expr) -> Expr {
+    let kind = match &e.kind {
+        ExprKind::Var(y) => {
+            if y == x {
+                return v.clone();
+            }
+            ExprKind::Var(y.clone())
+        }
+        ExprKind::Unit => ExprKind::Unit,
+        ExprKind::Int(n) => ExprKind::Int(*n),
+        ExprKind::Float(f) => ExprKind::Float(*f),
+        ExprKind::Str(s) => ExprKind::Str(s.clone()),
+        ExprKind::Input(i) => ExprKind::Input(i.clone()),
+        ExprKind::Lam { param, ann, body } => {
+            if param == x {
+                ExprKind::Lam {
+                    param: param.clone(),
+                    ann: ann.clone(),
+                    body: body.clone(),
+                }
+            } else if occurs_free(param, v) {
+                // α-rename the binder to avoid capturing v's free vars.
+                let fresh = fresh_name(param);
+                let renamed = subst(body, param, &Expr::synth(ExprKind::Var(fresh.clone())));
+                ExprKind::Lam {
+                    param: fresh,
+                    ann: ann.clone(),
+                    body: Box::new(subst(&renamed, x, v)),
+                }
+            } else {
+                ExprKind::Lam {
+                    param: param.clone(),
+                    ann: ann.clone(),
+                    body: Box::new(subst(body, x, v)),
+                }
+            }
+        }
+        ExprKind::App(a, b) => ExprKind::App(Box::new(subst(a, x, v)), Box::new(subst(b, x, v))),
+        ExprKind::BinOp(op, a, b) => {
+            ExprKind::BinOp(*op, Box::new(subst(a, x, v)), Box::new(subst(b, x, v)))
+        }
+        ExprKind::If(c, t, e2) => ExprKind::If(
+            Box::new(subst(c, x, v)),
+            Box::new(subst(t, x, v)),
+            Box::new(subst(e2, x, v)),
+        ),
+        ExprKind::Let { name, value, body } => {
+            let new_value = subst(value, x, v);
+            if name == x {
+                ExprKind::Let {
+                    name: name.clone(),
+                    value: Box::new(new_value),
+                    body: body.clone(),
+                }
+            } else if occurs_free(name, v) {
+                let fresh = fresh_name(name);
+                let renamed = subst(body, name, &Expr::synth(ExprKind::Var(fresh.clone())));
+                ExprKind::Let {
+                    name: fresh,
+                    value: Box::new(new_value),
+                    body: Box::new(subst(&renamed, x, v)),
+                }
+            } else {
+                ExprKind::Let {
+                    name: name.clone(),
+                    value: Box::new(new_value),
+                    body: Box::new(subst(body, x, v)),
+                }
+            }
+        }
+        ExprKind::Pair(a, b) => ExprKind::Pair(Box::new(subst(a, x, v)), Box::new(subst(b, x, v))),
+        ExprKind::Fst(a) => ExprKind::Fst(Box::new(subst(a, x, v))),
+        ExprKind::Snd(a) => ExprKind::Snd(Box::new(subst(a, x, v))),
+        ExprKind::List(items) => ExprKind::List(items.iter().map(|i| subst(i, x, v)).collect()),
+        ExprKind::ListOp(op, a) => ExprKind::ListOp(*op, Box::new(subst(a, x, v))),
+        ExprKind::Ith(a, b) => ExprKind::Ith(Box::new(subst(a, x, v)), Box::new(subst(b, x, v))),
+        ExprKind::Record(fields) => ExprKind::Record(
+            fields
+                .iter()
+                .map(|(name, val)| (name.clone(), subst(val, x, v)))
+                .collect(),
+        ),
+        ExprKind::Field(r, name) => ExprKind::Field(Box::new(subst(r, x, v)), name.clone()),
+        ExprKind::Lift { func, args } => ExprKind::Lift {
+            func: Box::new(subst(func, x, v)),
+            args: args.iter().map(|a| subst(a, x, v)).collect(),
+        },
+        ExprKind::Foldp { func, init, signal } => ExprKind::Foldp {
+            func: Box::new(subst(func, x, v)),
+            init: Box::new(subst(init, x, v)),
+            signal: Box::new(subst(signal, x, v)),
+        },
+        ExprKind::Async(a) => ExprKind::Async(Box::new(subst(a, x, v))),
+        ExprKind::SignalPrim { op, args } => ExprKind::SignalPrim {
+            op: *op,
+            args: args.iter().map(|a| subst(a, x, v)).collect(),
+        },
+        ExprKind::Ctor(name) => ExprKind::Ctor(name.clone()),
+        ExprKind::CtorApp(name, args) => ExprKind::CtorApp(
+            name.clone(),
+            args.iter().map(|a| subst(a, x, v)).collect(),
+        ),
+        ExprKind::Case { scrutinee, branches } => {
+            let scrutinee = Box::new(subst(scrutinee, x, v));
+            let branches = branches
+                .iter()
+                .map(|b| {
+                    let bound: Vec<&String> = match &b.pattern {
+                        Pattern::Ctor { binders, .. } => binders.iter().collect(),
+                        Pattern::Var(name) => vec![name],
+                        Pattern::Wildcard => Vec::new(),
+                    };
+                    if bound.iter().any(|bv| *bv == x) {
+                        b.clone()
+                    } else if bound.iter().any(|bv| occurs_free(bv, v)) {
+                        // α-rename colliding binders.
+                        let mut body = b.body.clone();
+                        let mut pattern = b.pattern.clone();
+                        match &mut pattern {
+                            Pattern::Ctor { binders, .. } => {
+                                for binder in binders.iter_mut() {
+                                    if occurs_free(binder, v) {
+                                        let fresh = fresh_name(binder);
+                                        body = subst(
+                                            &body,
+                                            binder,
+                                            &Expr::synth(ExprKind::Var(fresh.clone())),
+                                        );
+                                        *binder = fresh;
+                                    }
+                                }
+                            }
+                            Pattern::Var(name) => {
+                                if occurs_free(name, v) {
+                                    let fresh = fresh_name(name);
+                                    body = subst(
+                                        &body,
+                                        name,
+                                        &Expr::synth(ExprKind::Var(fresh.clone())),
+                                    );
+                                    *name = fresh;
+                                }
+                            }
+                            Pattern::Wildcard => {}
+                        }
+                        crate::ast::CaseBranch {
+                            pattern,
+                            body: subst(&body, x, v),
+                        }
+                    } else {
+                        crate::ast::CaseBranch {
+                            pattern: b.pattern.clone(),
+                            body: subst(&b.body, x, v),
+                        }
+                    }
+                })
+                .collect();
+            ExprKind::Case { scrutinee, branches }
+        }
+    };
+    Expr::new(kind, e.span)
+}
+
+/// Applies a binary operator to two values (rule OP). All operators are
+/// total: `/` and `%` by zero yield 0; comparisons yield `0`/`1`.
+fn delta(op: BinOp, a: &Expr, b: &Expr) -> Result<Expr, EvalError> {
+    use ExprKind::{Float, Int, Str};
+    let stuck = |why: &str| EvalError::Stuck {
+        reason: format!("operator {op} applied to {why}"),
+    };
+    let kind = match (op, &a.kind, &b.kind) {
+        (BinOp::Append, Str(x), Str(y)) => Str(format!("{x}{y}")),
+        (BinOp::Cons, _, ExprKind::List(items)) => {
+            let mut out = Vec::with_capacity(items.len() + 1);
+            out.push(a.clone());
+            out.extend(items.iter().cloned());
+            ExprKind::List(out)
+        }
+        (_, Int(x), Int(y)) => {
+            let (x, y) = (*x, *y);
+            match op {
+                BinOp::Add => Int(x.wrapping_add(y)),
+                BinOp::Sub => Int(x.wrapping_sub(y)),
+                BinOp::Mul => Int(x.wrapping_mul(y)),
+                BinOp::Div => Int(if y == 0 { 0 } else { x.wrapping_div(y) }),
+                BinOp::Mod => Int(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+                BinOp::Eq => Int((x == y) as i64),
+                BinOp::Ne => Int((x != y) as i64),
+                BinOp::Lt => Int((x < y) as i64),
+                BinOp::Le => Int((x <= y) as i64),
+                BinOp::Gt => Int((x > y) as i64),
+                BinOp::Ge => Int((x >= y) as i64),
+                BinOp::And => Int(((x != 0) && (y != 0)) as i64),
+                BinOp::Or => Int(((x != 0) || (y != 0)) as i64),
+                BinOp::Append | BinOp::Cons => return Err(stuck("integers")),
+            }
+        }
+        (_, Float(x), Float(y)) => {
+            let (x, y) = (*x, *y);
+            match op {
+                BinOp::Add => Float(x + y),
+                BinOp::Sub => Float(x - y),
+                BinOp::Mul => Float(x * y),
+                BinOp::Div => Float(if y == 0.0 { 0.0 } else { x / y }),
+                BinOp::Eq => Int((x == y) as i64),
+                BinOp::Ne => Int((x != y) as i64),
+                BinOp::Lt => Int((x < y) as i64),
+                BinOp::Le => Int((x <= y) as i64),
+                BinOp::Gt => Int((x > y) as i64),
+                BinOp::Ge => Int((x >= y) as i64),
+                _ => return Err(stuck("floats")),
+            }
+        }
+        (BinOp::Eq, Str(x), Str(y)) => Int((x == y) as i64),
+        (BinOp::Ne, Str(x), Str(y)) => Int((x != y) as i64),
+        _ => return Err(stuck(&format!("{:?} and {:?}", a.kind, b.kind))),
+    };
+    Ok(Expr::synth(kind))
+}
+
+/// Decomposes `let x = s in u` if `e` is one (the EXPAND trigger).
+fn as_signal_let(e: &Expr) -> Option<(&str, &Expr, &Expr)> {
+    if let ExprKind::Let { name, value, body } = &e.kind {
+        if is_signal_term(value) && is_final(body) {
+            return Some((name, value, body));
+        }
+    }
+    None
+}
+
+/// Rebuilds `let x = s in wrap(u)`, α-renaming `x` when `wrap`'s context
+/// would capture it (side condition `x ∉ fv(F[])` of EXPAND).
+fn expand_let(
+    name: &str,
+    value: &Expr,
+    body: &Expr,
+    context_fv: &[String],
+    wrap: impl FnOnce(Expr) -> Expr,
+) -> Expr {
+    let (name, body) = if context_fv.iter().any(|v| v == name) {
+        let fresh = fresh_name(name);
+        let renamed = subst(body, name, &Expr::synth(ExprKind::Var(fresh.clone())));
+        (fresh, renamed)
+    } else {
+        (name.to_string(), body.clone())
+    };
+    Expr::synth(ExprKind::Let {
+        name,
+        value: Box::new(value.clone()),
+        body: Box::new(wrap(body)),
+    })
+}
+
+fn fv_of(exprs: &[&Expr]) -> Vec<String> {
+    let mut out = Vec::new();
+    for e in exprs {
+        free_vars(e, &mut out);
+    }
+    out
+}
+
+/// Performs one small step of Fig. 6. Returns `Ok(None)` if `e` is final.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Stuck`] on ill-typed terms.
+pub fn step(e: &Expr) -> Result<Option<Expr>, EvalError> {
+    if is_final(e) {
+        return Ok(None);
+    }
+    let span = e.span;
+    let stepped = match &e.kind {
+        ExprKind::App(e1, e2) => {
+            if let Some(next) = step(e1)? {
+                Expr::new(ExprKind::App(Box::new(next), e2.clone()), span)
+            } else if let ExprKind::Lam { param, body, .. } = &e1.kind {
+                // APPLICATION: (λx. e1) e2 → let x = e2 in e1
+                Expr::new(
+                    ExprKind::Let {
+                        name: param.clone(),
+                        value: e2.clone(),
+                        body: body.clone(),
+                    },
+                    span,
+                )
+            } else if let Some((x, s, u)) = as_signal_let(e1) {
+                // EXPAND with F = [] e2
+                let fv = fv_of(&[e2]);
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(ExprKind::App(Box::new(u), e2.clone()), span)
+                })
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: "application of a non-function".into(),
+                });
+            }
+        }
+        ExprKind::BinOp(op, e1, e2) => {
+            if let Some(next) = step(e1)? {
+                Expr::new(ExprKind::BinOp(*op, Box::new(next), e2.clone()), span)
+            } else if let Some((x, s, u)) = as_signal_let(e1) {
+                // EXPAND with F = [] ⊕ e2
+                let fv = fv_of(&[e2]);
+                let op = *op;
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(ExprKind::BinOp(op, Box::new(u), e2.clone()), span)
+                })
+            } else if !is_value(e1) {
+                return Err(EvalError::Stuck {
+                    reason: format!("operator {op} applied to a signal"),
+                });
+            } else if let Some(next) = step(e2)? {
+                Expr::new(ExprKind::BinOp(*op, e1.clone(), Box::new(next)), span)
+            } else if let Some((x, s, u)) = as_signal_let(e2) {
+                // EXPAND with F = v ⊕ []
+                let fv = fv_of(&[e1]);
+                let op = *op;
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(ExprKind::BinOp(op, e1.clone(), Box::new(u)), span)
+                })
+            } else if is_value(e2) {
+                delta(*op, e1, e2)? // OP
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: format!("operator {op} applied to a signal"),
+                });
+            }
+        }
+        ExprKind::If(c, t, f) => {
+            if let Some(next) = step(c)? {
+                Expr::new(ExprKind::If(Box::new(next), t.clone(), f.clone()), span)
+            } else if let Some((x, s, u)) = as_signal_let(c) {
+                // EXPAND with F = if [] e2 e3
+                let fv = fv_of(&[t, f]);
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(ExprKind::If(Box::new(u), t.clone(), f.clone()), span)
+                })
+            } else {
+                match &c.kind {
+                    ExprKind::Int(n) => {
+                        if *n != 0 {
+                            (**t).clone() // COND-TRUE
+                        } else {
+                            (**f).clone() // COND-FALSE
+                        }
+                    }
+                    _ => {
+                        return Err(EvalError::Stuck {
+                            reason: "if-condition is not an integer".into(),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::Let { name, value, body } => {
+            if let Some(next) = step(value)? {
+                Expr::new(
+                    ExprKind::Let {
+                        name: name.clone(),
+                        value: Box::new(next),
+                        body: body.clone(),
+                    },
+                    span,
+                )
+            } else if is_value(value) {
+                subst(body, name, value) // REDUCE
+            } else {
+                // let x = s in E : evaluate the body without substituting.
+                match step(body)? {
+                    Some(next) => Expr::new(
+                        ExprKind::Let {
+                            name: name.clone(),
+                            value: value.clone(),
+                            body: Box::new(next),
+                        },
+                        span,
+                    ),
+                    None => {
+                        return Err(EvalError::Stuck {
+                            reason: "let over a final body failed to be final".into(),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::Pair(a, b) => {
+            if let Some(next) = step(a)? {
+                Expr::new(ExprKind::Pair(Box::new(next), b.clone()), span)
+            } else if let Some((x, s, u)) = as_signal_let(a) {
+                let fv = fv_of(&[b]);
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(ExprKind::Pair(Box::new(u), b.clone()), span)
+                })
+            } else if !is_value(a) {
+                return Err(EvalError::Stuck {
+                    reason: "pair component is a signal".into(),
+                });
+            } else if let Some(next) = step(b)? {
+                Expr::new(ExprKind::Pair(a.clone(), Box::new(next)), span)
+            } else if let Some((x, s, u)) = as_signal_let(b) {
+                let fv = fv_of(&[a]);
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(ExprKind::Pair(a.clone(), Box::new(u)), span)
+                })
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: "pair component is a signal".into(),
+                });
+            }
+        }
+        ExprKind::Fst(inner) => step_proj(inner, span, true)?,
+        ExprKind::Snd(inner) => step_proj(inner, span, false)?,
+        ExprKind::List(items) => {
+            // E = [v1, …, E, …, en] with EXPAND at each element position.
+            let mut pos = None;
+            for (k, item) in items.iter().enumerate() {
+                if !is_value(item) {
+                    pos = Some(k);
+                    break;
+                }
+            }
+            let Some(k) = pos else {
+                return Err(EvalError::Stuck {
+                    reason: "list elements final but term not final".into(),
+                });
+            };
+            if let Some(next) = step(&items[k])? {
+                let mut out = items.clone();
+                out[k] = next;
+                Expr::new(ExprKind::List(out), span)
+            } else if let Some((x, s, u)) = as_signal_let(&items[k]) {
+                let others: Vec<&Expr> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, it)| it)
+                    .collect();
+                let fv = fv_of(&others);
+                let items = items.clone();
+                expand_let(x, s, u, &fv, move |u2| {
+                    let mut out = items;
+                    out[k] = u2;
+                    Expr::new(ExprKind::List(out), span)
+                })
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: "list element is not a value".into(),
+                });
+            }
+        }
+        ExprKind::Record(fields) => {
+            // Evaluate fields in declaration order, EXPAND at each position.
+            let mut pos = None;
+            for (k, (_, value)) in fields.iter().enumerate() {
+                if !is_value(value) {
+                    pos = Some(k);
+                    break;
+                }
+            }
+            let Some(k) = pos else {
+                return Err(EvalError::Stuck {
+                    reason: "record fields final but term not final".into(),
+                });
+            };
+            if let Some(next) = step(&fields[k].1)? {
+                let mut out = fields.clone();
+                out[k].1 = next;
+                Expr::new(ExprKind::Record(out), span)
+            } else if let Some((x, s, u)) = as_signal_let(&fields[k].1) {
+                let others: Vec<&Expr> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, (_, v))| v)
+                    .collect();
+                let fv = fv_of(&others);
+                let fields = fields.clone();
+                expand_let(x, s, u, &fv, move |u2| {
+                    let mut out = fields;
+                    out[k].1 = u2;
+                    Expr::new(ExprKind::Record(out), span)
+                })
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: "record field is not a value".into(),
+                });
+            }
+        }
+        ExprKind::Field(rec, name) => {
+            if let Some(next) = step(rec)? {
+                Expr::new(ExprKind::Field(Box::new(next), name.clone()), span)
+            } else if let Some((x, s, u)) = as_signal_let(rec) {
+                let name = name.clone();
+                expand_let(x, s, u, &[], |u2| {
+                    Expr::new(ExprKind::Field(Box::new(u2), name), span)
+                })
+            } else {
+                match &rec.kind {
+                    ExprKind::Record(fields) => {
+                        match fields.iter().find(|(f, _)| f == name) {
+                            Some((_, v)) => v.clone(),
+                            None => {
+                                return Err(EvalError::Stuck {
+                                    reason: format!("record has no field `{name}`"),
+                                })
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(EvalError::Stuck {
+                            reason: "field access on a non-record".into(),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::ListOp(op, inner) => {
+            if let Some(next) = step(inner)? {
+                Expr::new(ExprKind::ListOp(*op, Box::new(next)), span)
+            } else if let Some((x, s, u)) = as_signal_let(inner) {
+                let op = *op;
+                expand_let(x, s, u, &[], |u2| {
+                    Expr::new(ExprKind::ListOp(op, Box::new(u2)), span)
+                })
+            } else {
+                match &inner.kind {
+                    ExprKind::List(items) => match op {
+                        ListOp::Head => match items.first() {
+                            Some(h) => h.clone(),
+                            None => {
+                                return Err(EvalError::Stuck {
+                                    reason: "head of the empty list".into(),
+                                })
+                            }
+                        },
+                        ListOp::Tail => {
+                            if items.is_empty() {
+                                return Err(EvalError::Stuck {
+                                    reason: "tail of the empty list".into(),
+                                });
+                            }
+                            Expr::new(ExprKind::List(items[1..].to_vec()), span)
+                        }
+                        ListOp::IsEmpty => Expr::synth(ExprKind::Int(items.is_empty() as i64)),
+                        ListOp::Length => Expr::synth(ExprKind::Int(items.len() as i64)),
+                    },
+                    _ => {
+                        return Err(EvalError::Stuck {
+                            reason: format!("{} of a non-list", op.keyword()),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::Ith(index, list) => {
+            if let Some(next) = step(index)? {
+                Expr::new(ExprKind::Ith(Box::new(next), list.clone()), span)
+            } else if let Some((x, s, u)) = as_signal_let(index) {
+                let fv = fv_of(&[list]);
+                let list = list.clone();
+                expand_let(x, s, u, &fv, |u2| {
+                    Expr::new(ExprKind::Ith(Box::new(u2), list), span)
+                })
+            } else if !is_value(index) {
+                return Err(EvalError::Stuck {
+                    reason: "ith index is not a value".into(),
+                });
+            } else if let Some(next) = step(list)? {
+                Expr::new(ExprKind::Ith(index.clone(), Box::new(next)), span)
+            } else if let Some((x, s, u)) = as_signal_let(list) {
+                let fv = fv_of(&[index]);
+                let index = index.clone();
+                expand_let(x, s, u, &fv, |u2| {
+                    Expr::new(ExprKind::Ith(index, Box::new(u2)), span)
+                })
+            } else {
+                match (&index.kind, &list.kind) {
+                    (ExprKind::Int(n), ExprKind::List(items)) => {
+                        let k = *n;
+                        if k < 0 || k as usize >= items.len() {
+                            return Err(EvalError::Stuck {
+                                reason: format!(
+                                    "ith index {k} out of bounds for a {}-element list",
+                                    items.len()
+                                ),
+                            });
+                        }
+                        items[k as usize].clone()
+                    }
+                    _ => {
+                        return Err(EvalError::Stuck {
+                            reason: "ith applied to non-int or non-list".into(),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::Lift { func, args } => {
+            if let Some(next) = step(func)? {
+                Expr::new(
+                    ExprKind::Lift {
+                        func: Box::new(next),
+                        args: args.clone(),
+                    },
+                    span,
+                )
+            } else if let Some((x, s, u)) = as_signal_let(func) {
+                // EXPAND with F = liftn [] e1…en
+                let arg_refs: Vec<&Expr> = args.iter().collect();
+                let fv = fv_of(&arg_refs);
+                let args = args.clone();
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(
+                        ExprKind::Lift {
+                            func: Box::new(u),
+                            args,
+                        },
+                        span,
+                    )
+                })
+            } else if !is_value(func) {
+                return Err(EvalError::Stuck {
+                    reason: "lift function position is a signal".into(),
+                });
+            } else {
+                // Evaluate arguments left to right; each must end as a
+                // signal term (E = liftn v s1…E…en). Signal-`let`s stay put.
+                let mut new_args = args.clone();
+                let mut progressed = false;
+                for a in new_args.iter_mut() {
+                    if is_signal_term(a) {
+                        continue;
+                    }
+                    match step(a)? {
+                        Some(next) => {
+                            *a = next;
+                            progressed = true;
+                            break;
+                        }
+                        None => {
+                            return Err(EvalError::Stuck {
+                                reason: "lift argument is not a signal".into(),
+                            })
+                        }
+                    }
+                }
+                if !progressed {
+                    return Err(EvalError::Stuck {
+                        reason: "lift arguments final but term not final".into(),
+                    });
+                }
+                Expr::new(
+                    ExprKind::Lift {
+                        func: func.clone(),
+                        args: new_args,
+                    },
+                    span,
+                )
+            }
+        }
+        ExprKind::Foldp { func, init, signal } => {
+            if let Some(next) = step(func)? {
+                Expr::new(
+                    ExprKind::Foldp {
+                        func: Box::new(next),
+                        init: init.clone(),
+                        signal: signal.clone(),
+                    },
+                    span,
+                )
+            } else if let Some((x, s, u)) = as_signal_let(func) {
+                let fv = fv_of(&[init, signal]);
+                let (init, signal) = (init.clone(), signal.clone());
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(
+                        ExprKind::Foldp {
+                            func: Box::new(u),
+                            init,
+                            signal,
+                        },
+                        span,
+                    )
+                })
+            } else if !is_value(func) {
+                return Err(EvalError::Stuck {
+                    reason: "foldp function position is a signal".into(),
+                });
+            } else if let Some(next) = step(init)? {
+                Expr::new(
+                    ExprKind::Foldp {
+                        func: func.clone(),
+                        init: Box::new(next),
+                        signal: signal.clone(),
+                    },
+                    span,
+                )
+            } else if let Some((x, s, u)) = as_signal_let(init) {
+                let fv = fv_of(&[func, signal]);
+                let (func, signal) = (func.clone(), signal.clone());
+                expand_let(x, s, u, &fv, |u| {
+                    Expr::new(
+                        ExprKind::Foldp {
+                            func,
+                            init: Box::new(u),
+                            signal,
+                        },
+                        span,
+                    )
+                })
+            } else if !is_value(init) {
+                return Err(EvalError::Stuck {
+                    reason: "foldp initial accumulator is a signal".into(),
+                });
+            } else if is_signal_term(signal) {
+                return Err(EvalError::Stuck {
+                    reason: "foldp final but term not final".into(),
+                });
+            } else {
+                match step(signal)? {
+                    Some(next) => Expr::new(
+                        ExprKind::Foldp {
+                            func: func.clone(),
+                            init: init.clone(),
+                            signal: Box::new(next),
+                        },
+                        span,
+                    ),
+                    None => {
+                        return Err(EvalError::Stuck {
+                            reason: "foldp third argument is not a signal".into(),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::Async(inner) => {
+            if is_signal_term(inner) {
+                return Err(EvalError::Stuck {
+                    reason: "async final but term not final".into(),
+                });
+            }
+            match step(inner)? {
+                Some(next) => Expr::new(ExprKind::Async(Box::new(next)), span),
+                None => {
+                    return Err(EvalError::Stuck {
+                        reason: "async argument is not a signal".into(),
+                    })
+                }
+            }
+        }
+        ExprKind::SignalPrim { op, args } => {
+            let op = *op;
+            let values = op.value_args();
+            // Value operands first (F contexts: EXPAND applies).
+            let mut pos = None;
+            for (k, a) in args.iter().enumerate() {
+                let done = if k < values { is_value(a) } else { is_signal_term(a) };
+                if !done {
+                    pos = Some(k);
+                    break;
+                }
+            }
+            let Some(k) = pos else {
+                return Err(EvalError::Stuck {
+                    reason: format!("{} operands final but term not final", op.keyword()),
+                });
+            };
+            if let Some(next) = step(&args[k])? {
+                let mut out = args.clone();
+                out[k] = next;
+                Expr::new(ExprKind::SignalPrim { op, args: out }, span)
+            } else if k < values {
+                if let Some((x, s, u)) = as_signal_let(&args[k]) {
+                    let others: Vec<&Expr> = args
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != k)
+                        .map(|(_, a)| a)
+                        .collect();
+                    let fv = fv_of(&others);
+                    let args = args.clone();
+                    expand_let(x, s, u, &fv, move |u2| {
+                        let mut out = args;
+                        out[k] = u2;
+                        Expr::new(ExprKind::SignalPrim { op, args: out }, span)
+                    })
+                } else {
+                    return Err(EvalError::Stuck {
+                        reason: format!("{} value operand is not a value", op.keyword()),
+                    });
+                }
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: format!("{} signal operand is not a signal", op.keyword()),
+                });
+            }
+        }
+        ExprKind::CtorApp(name, args) => {
+            let name = name.clone();
+            let mut pos = None;
+            for (k, a) in args.iter().enumerate() {
+                if !is_value(a) {
+                    pos = Some(k);
+                    break;
+                }
+            }
+            let Some(k) = pos else {
+                return Err(EvalError::Stuck {
+                    reason: "constructor arguments final but term not final".into(),
+                });
+            };
+            if let Some(next) = step(&args[k])? {
+                let mut out = args.clone();
+                out[k] = next;
+                Expr::new(ExprKind::CtorApp(name, out), span)
+            } else if let Some((x, s, u)) = as_signal_let(&args[k]) {
+                let others: Vec<&Expr> = args
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, a)| a)
+                    .collect();
+                let fv = fv_of(&others);
+                let args = args.clone();
+                expand_let(x, s, u, &fv, move |u2| {
+                    let mut out = args;
+                    out[k] = u2;
+                    Expr::new(ExprKind::CtorApp(name, out), span)
+                })
+            } else {
+                return Err(EvalError::Stuck {
+                    reason: "constructor argument is not a value".into(),
+                });
+            }
+        }
+        ExprKind::Case { scrutinee, branches } => {
+            if let Some(next) = step(scrutinee)? {
+                Expr::new(
+                    ExprKind::Case {
+                        scrutinee: Box::new(next),
+                        branches: branches.clone(),
+                    },
+                    span,
+                )
+            } else if let Some((x, s, u)) = as_signal_let(scrutinee) {
+                let branch_bodies: Vec<&Expr> = branches.iter().map(|b| &b.body).collect();
+                let fv = fv_of(&branch_bodies);
+                let branches = branches.clone();
+                expand_let(x, s, u, &fv, move |u2| {
+                    Expr::new(
+                        ExprKind::Case {
+                            scrutinee: Box::new(u2),
+                            branches,
+                        },
+                        span,
+                    )
+                })
+            } else if !is_value(scrutinee) {
+                return Err(EvalError::Stuck {
+                    reason: "case scrutinee is a signal".into(),
+                });
+            } else {
+                // Match branches in order.
+                let mut chosen = None;
+                'branches: for b in branches {
+                    match (&b.pattern, &scrutinee.kind) {
+                        (
+                            Pattern::Ctor { name, binders },
+                            ExprKind::CtorApp(tag, args),
+                        ) if name == tag => {
+                            if binders.len() != args.len() {
+                                return Err(EvalError::Stuck {
+                                    reason: format!(
+                                        "pattern `{name}` binder count mismatch"
+                                    ),
+                                });
+                            }
+                            let mut body = b.body.clone();
+                            for (binder, arg) in binders.iter().zip(args) {
+                                if binder != "_" {
+                                    body = subst(&body, binder, arg);
+                                }
+                            }
+                            chosen = Some(body);
+                            break 'branches;
+                        }
+                        (Pattern::Ctor { .. }, _) => continue,
+                        (Pattern::Var(x), _) => {
+                            chosen = Some(subst(&b.body, x, scrutinee));
+                            break 'branches;
+                        }
+                        (Pattern::Wildcard, _) => {
+                            chosen = Some(b.body.clone());
+                            break 'branches;
+                        }
+                    }
+                }
+                match chosen {
+                    Some(body) => body,
+                    None => {
+                        return Err(EvalError::Stuck {
+                            reason: "no case branch matched".into(),
+                        })
+                    }
+                }
+            }
+        }
+        ExprKind::Var(x) => {
+            return Err(EvalError::Stuck {
+                reason: format!("unbound variable {x}"),
+            })
+        }
+        // Values and inputs are final; unreachable because of the guard.
+        _ => unreachable!("final terms are filtered at entry"),
+    };
+    Ok(Some(stepped))
+}
+
+fn step_proj(inner: &Expr, span: crate::span::Span, first: bool) -> Result<Expr, EvalError> {
+    let rebuild = |e: Expr| {
+        if first {
+            Expr::new(ExprKind::Fst(Box::new(e)), span)
+        } else {
+            Expr::new(ExprKind::Snd(Box::new(e)), span)
+        }
+    };
+    if let Some(next) = step(inner)? {
+        return Ok(rebuild(next));
+    }
+    if let Some((x, s, u)) = as_signal_let(inner) {
+        return Ok(expand_let(x, s, u, &[], rebuild));
+    }
+    match &inner.kind {
+        ExprKind::Pair(a, b) => Ok(if first {
+            (**a).clone()
+        } else {
+            (**b).clone()
+        }),
+        _ => Err(EvalError::Stuck {
+            reason: "projection from a non-pair".into(),
+        }),
+    }
+}
+
+/// Default fuel for [`normalize`]: generous for any realistic program.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Normalizes `e` to a final term by iterating [`step`].
+///
+/// # Errors
+///
+/// Propagates [`EvalError::Stuck`] and returns [`EvalError::OutOfFuel`]
+/// after `fuel` steps.
+pub fn normalize(e: &Expr, fuel: u64) -> Result<Expr, EvalError> {
+    let mut cur = e.clone();
+    for _ in 0..fuel {
+        match step(&cur)? {
+            Some(next) => cur = next,
+            None => return Ok(cur),
+        }
+    }
+    Err(EvalError::OutOfFuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn norm(src: &str) -> Expr {
+        normalize(&parse_expr(src).unwrap(), DEFAULT_FUEL).unwrap()
+    }
+
+    fn norm_int(src: &str) -> i64 {
+        match norm(src).kind {
+            ExprKind::Int(n) => n,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_conditionals() {
+        assert_eq!(norm_int("1 + 2 * 3"), 7);
+        assert_eq!(norm_int("10 / 3"), 3);
+        assert_eq!(norm_int("10 / 0"), 0); // total division
+        assert_eq!(norm_int("10 % 0"), 0);
+        assert_eq!(norm_int("if 2 > 1 then 10 else 20"), 10);
+        assert_eq!(norm_int("if 0 then 10 else 20"), 20);
+        assert_eq!(norm_int("(1 < 2) && (3 /= 3) || 1"), 1);
+    }
+
+    #[test]
+    fn strings_and_floats() {
+        assert!(matches!(
+            norm("\"foo\" ++ \"bar\"").kind,
+            ExprKind::Str(ref s) if s == "foobar"
+        ));
+        assert!(matches!(
+            norm("1.5 + 2.25").kind,
+            ExprKind::Float(x) if x == 3.75
+        ));
+        assert_eq!(norm_int("\"a\" == \"a\""), 1);
+    }
+
+    #[test]
+    fn application_goes_through_let() {
+        assert_eq!(norm_int("(\\x -> x + 1) 41"), 42);
+        assert_eq!(norm_int("(\\f x -> f (f x)) (\\y -> y * 2) 3"), 12);
+        assert_eq!(norm_int("let add a b = a + b in add 20 22"), 42);
+    }
+
+    #[test]
+    fn pairs_and_projections() {
+        assert_eq!(norm_int("fst (40 + 2, 0)"), 42);
+        assert_eq!(norm_int("snd (0, 21 * 2)"), 42);
+    }
+
+    #[test]
+    fn signal_terms_are_final() {
+        let e = norm("lift (\\x -> x + 1) Mouse.x");
+        assert!(is_signal_term(&e));
+        let e = norm("foldp (\\k c -> c + 1) 0 Keyboard.lastPressed");
+        assert!(is_signal_term(&e));
+        let e = norm("async (lift (\\x -> x) Mouse.y)");
+        assert!(is_signal_term(&e));
+    }
+
+    #[test]
+    fn functional_parts_inside_signal_terms_evaluate() {
+        // The function position must be reduced to a value.
+        let e = norm("lift ((\\f -> f) (\\x -> x * 2)) Mouse.x");
+        let ExprKind::Lift { func, .. } = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(func.kind, ExprKind::Lam { .. }));
+    }
+
+    #[test]
+    fn reduce_substitutes_values_not_signals() {
+        // Signal-bound let stays; value-bound let substitutes.
+        let e = norm("let k = 2 in lift (\\x -> x * k) Mouse.x");
+        let ExprKind::Lift { func, .. } = &e.kind else {
+            panic!("expected lift, got {e:?}")
+        };
+        // k was substituted into the lambda body.
+        let ExprKind::Lam { body, .. } = &func.kind else {
+            panic!()
+        };
+        let mut fv = Vec::new();
+        free_vars(body, &mut fv);
+        assert!(!fv.iter().any(|v| v == "k"));
+
+        let e = norm("let s = lift (\\x -> x) Mouse.x in lift2 (\\a b -> a + b) s s");
+        let ExprKind::Let { name, body, .. } = &e.kind else {
+            panic!("signal let must remain: {e:?}")
+        };
+        assert_eq!(name, "s");
+        // Both uses still refer to the shared s — no duplication.
+        let ExprKind::Lift { args, .. } = &body.kind else {
+            panic!()
+        };
+        assert!(args
+            .iter()
+            .all(|a| matches!(&a.kind, ExprKind::Var(v) if v == "s")));
+    }
+
+    #[test]
+    fn expand_floats_signal_lets_out_of_strict_positions() {
+        // (let s = i in \x -> x) 5 — EXPAND then APPLICATION then REDUCE.
+        let e = norm("(let s = Mouse.x in \\x -> x) 5");
+        // Result: let s = Mouse.x in 5 (a signal term wrapping a value).
+        let ExprKind::Let { name, value, body } = &e.kind else {
+            panic!("expected let: {e:?}")
+        };
+        assert_eq!(name, "s");
+        assert!(matches!(value.kind, ExprKind::Input(_)));
+        assert!(matches!(body.kind, ExprKind::Int(5)));
+    }
+
+    #[test]
+    fn expand_renames_to_avoid_capture() {
+        // The context mentions a free `s`; EXPAND must α-rename the bound s.
+        // Build: let s = Mouse.x in ((let s = Mouse.y in \x -> x) s)
+        let e = norm("let s = Mouse.x in (let s2 = Mouse.y in \\x -> x) s");
+        // Normal form: let s = Mouse.x in let s2 = Mouse.y in let x = s in x
+        let ExprKind::Let { body, .. } = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Let { name, body, .. } = &body.kind else {
+            panic!("expected inner let: {body:?}")
+        };
+        assert_eq!(name, "s2");
+        let ExprKind::Let { name, value, body } = &body.kind else {
+            panic!("expected application residue let: {body:?}")
+        };
+        assert_eq!(name, "x");
+        assert!(matches!(&value.kind, ExprKind::Var(v) if v == "s"));
+        assert!(matches!(&body.kind, ExprKind::Var(v) if v == "x"));
+    }
+
+    #[test]
+    fn capture_avoiding_substitution() {
+        // (\x -> \y -> x) y  must not capture the free y.
+        let e = parse_expr("(\\x -> \\y -> x + y) z").unwrap();
+        let reduced = normalize(
+            &Expr::synth(ExprKind::Let {
+                name: "z".into(),
+                value: Box::new(Expr::synth(ExprKind::Int(1))),
+                body: Box::new(e),
+            }),
+            DEFAULT_FUEL,
+        )
+        .unwrap();
+        // λy. 1 + y — a value.
+        assert!(matches!(reduced.kind, ExprKind::Lam { .. }));
+    }
+
+    #[test]
+    fn stuck_terms_report_reasons() {
+        let stuck = |src: &str| normalize(&parse_expr(src).unwrap(), DEFAULT_FUEL).unwrap_err();
+        assert!(matches!(stuck("1 2"), EvalError::Stuck { .. }));
+        assert!(matches!(stuck("1 + ()"), EvalError::Stuck { .. }));
+        assert!(matches!(stuck("if () then 1 else 2"), EvalError::Stuck { .. }));
+        assert!(matches!(stuck("fst 3"), EvalError::Stuck { .. }));
+        assert!(matches!(stuck("x + 1"), EvalError::Stuck { .. }));
+        assert!(matches!(stuck("Mouse.x + 1"), EvalError::Stuck { .. }));
+        assert!(matches!(stuck("async 3"), EvalError::Stuck { .. }));
+    }
+
+    #[test]
+    fn paper_example_3_shape_normalizes() {
+        // A simplification of §2 Example 3's wiring.
+        let src = "\
+let getImage tags = lift (\\t -> t ++ \".jpg\") tags in
+let scene = \\a -> \\b -> (a, b) in
+lift2 scene Mouse.x (async (getImage Words.input))";
+        let e = norm(&src.replace('\n', " "));
+        assert!(is_signal_term(&e), "not a signal term: {e:?}");
+    }
+}

@@ -1,0 +1,1012 @@
+//! Type inference for unannotated FElm programs.
+//!
+//! The paper's full language supports type inference and let-polymorphism
+//! (§4). This module implements Hindley–Milner-style inference extended
+//! with the *stratification* discipline of Fig. 3/4:
+//!
+//! * type variables that appear where a *simple* type τ is required (lift
+//!   arguments/results, foldp operands, pair components, …) carry a
+//!   **simple-mark**; unifying a marked variable with a type containing
+//!   `Signal` is an error — this is exactly how signals-of-signals are
+//!   ruled out without annotations;
+//! * arithmetic (`+ - * / %`) and comparison operators carry class-style
+//!   constraints (`Num`, `Cmp`) that are checked after solving and default
+//!   to `Int` when unconstrained, matching the checker's overloading;
+//! * `let` generalizes over unconstrained variables (let-polymorphism).
+//!
+//! The result of inference on a fully annotated program agrees with the
+//! declarative checker ([`crate::check`]) — property-tested.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, ExprKind, Pattern, SignalPrimOp, Type};
+use crate::env::Adts;
+use crate::check::TypeError;
+use crate::env::InputEnv;
+use crate::span::Span;
+
+/// A polymorphic type scheme `∀vars. ty`. Variables that carried a
+/// simple-mark keep it: their instantiations are marked too, so
+/// stratification survives generalization.
+#[derive(Clone, Debug)]
+struct Scheme {
+    vars: Vec<u32>,
+    marked: Vec<bool>,
+    ty: Type,
+}
+
+impl Scheme {
+    fn mono(ty: Type) -> Self {
+        Scheme {
+            vars: Vec::new(),
+            marked: Vec::new(),
+            ty,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    /// `Int` or `Float` (defaulting to `Int`).
+    Num,
+    /// `Int`, `Float`, or `String` for `==`/`/=`; `Int`/`Float` for `<` etc.
+    Cmp { allow_str: bool },
+}
+
+/// The inference engine.
+struct Infer<'a> {
+    inputs: &'a InputEnv,
+    adts: &'a Adts,
+    subst: Vec<Option<Type>>,
+    simple_marks: Vec<bool>,
+    classes: Vec<(u32, Class, Span)>,
+    /// Deferred `variable has field `name` of type t` constraints: a
+    /// lightweight stand-in for row polymorphism. Resolved as soon as the
+    /// variable is bound; unresolved constraints are errors at the end.
+    field_constraints: Vec<(u32, String, Type, Span)>,
+    vars: HashMap<String, Vec<Scheme>>,
+}
+
+/// Infers the principal type of `e` under `inputs`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] on unification failure, stratification
+/// violation, unsatisfiable operator constraints, or unknown names.
+///
+/// ```
+/// use felm::{ast::Type, env::InputEnv, infer::infer_type, parser::parse_expr};
+/// let e = parse_expr("lift2 (\\y z -> y / z) Mouse.x Window.width").unwrap();
+/// assert_eq!(infer_type(&InputEnv::standard(), &e).unwrap(), Type::signal(Type::Int));
+/// ```
+pub fn infer_type(inputs: &InputEnv, e: &Expr) -> Result<Type, TypeError> {
+    infer_type_with(inputs, &Adts::new(), e)
+}
+
+/// Like [`infer_type`], with the program's `data` declarations in scope.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] on any inference failure.
+pub fn infer_type_with(inputs: &InputEnv, adts: &Adts, e: &Expr) -> Result<Type, TypeError> {
+    let mut inf = Infer {
+        inputs,
+        adts,
+        subst: Vec::new(),
+        simple_marks: Vec::new(),
+        classes: Vec::new(),
+        field_constraints: Vec::new(),
+        vars: HashMap::new(),
+    };
+    let t = inf.infer(e)?;
+    inf.solve_field_constraints()?;
+    inf.solve_classes()?;
+    let t = inf.default_classes_in(t);
+    let z = inf.zonk(&t);
+    inf.check_stratified(&z, e.span)?;
+    Ok(z)
+}
+
+impl Infer<'_> {
+    fn fresh(&mut self) -> Type {
+        let v = self.subst.len() as u32;
+        self.subst.push(None);
+        self.simple_marks.push(false);
+        Type::Var(v)
+    }
+
+    fn zonk(&self, t: &Type) -> Type {
+        match t {
+            Type::Var(v) => match &self.subst[*v as usize] {
+                Some(bound) => self.zonk(bound),
+                None => Type::Var(*v),
+            },
+            Type::Pair(a, b) => Type::pair(self.zonk(a), self.zonk(b)),
+            Type::List(t2) => Type::list(self.zonk(t2)),
+            Type::Record(fields) => Type::Record(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.zonk(v)))
+                    .collect(),
+            ),
+            Type::Fun(a, b) => Type::fun(self.zonk(a), self.zonk(b)),
+            Type::Signal(inner) => Type::signal(self.zonk(inner)),
+            other => other.clone(),
+        }
+    }
+
+    fn occurs(&self, v: u32, t: &Type) -> bool {
+        match t {
+            Type::Var(w) => {
+                if *w == v {
+                    return true;
+                }
+                match &self.subst[*w as usize] {
+                    Some(bound) => self.occurs(v, &bound.clone()),
+                    None => false,
+                }
+            }
+            Type::Pair(a, b) | Type::Fun(a, b) => self.occurs(v, a) || self.occurs(v, b),
+            Type::List(t2) | Type::Signal(t2) => self.occurs(v, t2),
+            Type::Record(fields) => fields.values().any(|t| self.occurs(v, t)),
+            _ => false,
+        }
+    }
+
+    /// Marks a type as needing to be simple: any `Signal` inside is an
+    /// immediate stratification error; unbound variables inherit the mark.
+    fn mark_simple(&mut self, t: &Type, span: Span) -> Result<(), TypeError> {
+        let z = self.zonk(t);
+        match z {
+            Type::Signal(_) => Err(TypeError {
+                message: format!(
+                    "signal type {z} used where a simple type is required \
+                     (signals of signals are not allowed)"
+                ),
+                span,
+            }),
+            Type::Var(v) => {
+                self.simple_marks[v as usize] = true;
+                Ok(())
+            }
+            Type::Pair(a, b) | Type::Fun(a, b) => {
+                self.mark_simple(&a, span)?;
+                self.mark_simple(&b, span)
+            }
+            Type::List(t2) => self.mark_simple(&t2, span),
+            Type::Record(fields) => {
+                for t in fields.values() {
+                    self.mark_simple(&t.clone(), span)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn bind(&mut self, v: u32, t: &Type, span: Span) -> Result<(), TypeError> {
+        if let Type::Var(w) = t {
+            if *w == v {
+                return Ok(());
+            }
+        }
+        if self.occurs(v, t) {
+            return Err(TypeError {
+                message: format!("infinite type: t{v} occurs in {}", self.zonk(t)),
+                span,
+            });
+        }
+        self.subst[v as usize] = Some(t.clone());
+        if self.simple_marks[v as usize] {
+            self.mark_simple(&t.clone(), span)?;
+        }
+        // Re-examine any field constraints waiting on this variable.
+        let pending: Vec<(u32, String, Type, Span)> = {
+            let (resolved, rest) = self
+                .field_constraints
+                .drain(..)
+                .partition(|(w, _, _, _)| *w == v);
+            self.field_constraints = rest;
+            resolved
+        };
+        for (_, field, field_ty, c_span) in pending {
+            self.apply_field_constraint(&Type::Var(v), &field, &field_ty, c_span)?;
+        }
+        Ok(())
+    }
+
+    /// Discharges (or re-defers) one field constraint against the current
+    /// binding of `t`.
+    fn apply_field_constraint(
+        &mut self,
+        t: &Type,
+        field: &str,
+        field_ty: &Type,
+        span: Span,
+    ) -> Result<(), TypeError> {
+        match self.zonk(t) {
+            Type::Record(fields) => match fields.get(field) {
+                Some(actual) => self.unify(&actual.clone(), field_ty, span),
+                None => Err(TypeError {
+                    message: format!("record has no field `{field}`"),
+                    span,
+                }),
+            },
+            Type::Var(w) => {
+                self.field_constraints
+                    .push((w, field.to_string(), field_ty.clone(), span));
+                Ok(())
+            }
+            other => Err(TypeError {
+                message: format!("field access on a non-record: {other}"),
+                span,
+            }),
+        }
+    }
+
+    /// End-of-inference check: every deferred field access must have found
+    /// a record by now.
+    fn solve_field_constraints(&mut self) -> Result<(), TypeError> {
+        let pending = std::mem::take(&mut self.field_constraints);
+        for (v, field, field_ty, span) in pending {
+            match self.zonk(&Type::Var(v)) {
+                Type::Record(fields) => match fields.get(&field) {
+                    Some(actual) => self.unify(&actual.clone(), &field_ty, span)?,
+                    None => {
+                        return Err(TypeError {
+                            message: format!("record has no field `{field}`"),
+                            span,
+                        })
+                    }
+                },
+                Type::Var(_) => {
+                    return Err(TypeError {
+                        message: format!(
+                            "cannot infer the record type for `.{field}`; \
+                             annotate the parameter with a record type"
+                        ),
+                        span,
+                    })
+                }
+                other => {
+                    return Err(TypeError {
+                        message: format!("field access on a non-record: {other}"),
+                        span,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn unify(&mut self, a: &Type, b: &Type, span: Span) -> Result<(), TypeError> {
+        let a = self.zonk(a);
+        let b = self.zonk(b);
+        match (&a, &b) {
+            (Type::Var(v), _) => self.bind(*v, &b, span),
+            (_, Type::Var(v)) => self.bind(*v, &a, span),
+            (Type::Unit, Type::Unit)
+            | (Type::Int, Type::Int)
+            | (Type::Float, Type::Float)
+            | (Type::Str, Type::Str) => Ok(()),
+            (Type::Pair(a1, a2), Type::Pair(b1, b2))
+            | (Type::Fun(a1, a2), Type::Fun(b1, b2)) => {
+                self.unify(a1, b1, span)?;
+                self.unify(a2, b2, span)
+            }
+            (Type::List(x), Type::List(y)) => self.unify(x, y, span),
+            (Type::Named(x), Type::Named(y)) if x == y => Ok(()),
+            (Type::Record(xs), Type::Record(ys)) => {
+                if xs.len() != ys.len() || !xs.keys().eq(ys.keys()) {
+                    return Err(TypeError {
+                        message: format!("record fields differ: {a} versus {b}"),
+                        span,
+                    });
+                }
+                for (k, x) in xs {
+                    self.unify(x, &ys[k], span)?;
+                }
+                Ok(())
+            }
+            (Type::Signal(x), Type::Signal(y)) => self.unify(x, y, span),
+            _ => Err(TypeError {
+                message: format!("cannot unify {a} with {b}"),
+                span,
+            }),
+        }
+    }
+
+    fn free_vars_of(&self, t: &Type, out: &mut Vec<u32>) {
+        match self.zonk(t) {
+            Type::Var(v) if !out.contains(&v) => out.push(v),
+            Type::Var(_) => {}
+            Type::Pair(a, b) | Type::Fun(a, b) => {
+                self.free_vars_of(&a, out);
+                self.free_vars_of(&b, out);
+            }
+            Type::List(t2) => self.free_vars_of(&t2, out),
+            Type::Record(fields) => {
+                for t in fields.values() {
+                    self.free_vars_of(&t.clone(), out);
+                }
+            }
+            Type::Signal(inner) => self.free_vars_of(&inner, out),
+            _ => {}
+        }
+    }
+
+    fn env_free_vars(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for stack in self.vars.values() {
+            for scheme in stack {
+                let mut fv = Vec::new();
+                self.free_vars_of(&scheme.ty, &mut fv);
+                for v in fv {
+                    if !scheme.vars.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn generalize(&mut self, t: &Type) -> Scheme {
+        let env_fv = self.env_free_vars();
+        let mut fv = Vec::new();
+        self.free_vars_of(t, &mut fv);
+        let mut constrained: Vec<u32> = self.classes.iter().map(|(v, _, _)| *v).collect();
+        // Field-constrained variables stay monomorphic too: the deferred
+        // constraint must bind the *same* variable its record later
+        // unifies with.
+        constrained.extend(self.field_constraints.iter().map(|(v, _, _, _)| *v));
+        let vars: Vec<u32> = fv
+            .into_iter()
+            .filter(|v| !env_fv.contains(v) && !constrained.contains(v))
+            .collect();
+        let marked = vars
+            .iter()
+            .map(|v| self.simple_marks[*v as usize])
+            .collect();
+        Scheme {
+            vars,
+            marked,
+            ty: self.zonk(t),
+        }
+    }
+
+    fn instantiate(&mut self, scheme: &Scheme) -> Type {
+        let mut mapping = HashMap::new();
+        for (i, v) in scheme.vars.iter().enumerate() {
+            let fresh = self.fresh();
+            if scheme.marked.get(i).copied().unwrap_or(false) {
+                if let Type::Var(w) = fresh {
+                    self.simple_marks[w as usize] = true;
+                }
+            }
+            mapping.insert(*v, fresh);
+        }
+        fn walk(t: &Type, mapping: &HashMap<u32, Type>) -> Type {
+            match t {
+                Type::Var(v) => mapping.get(v).cloned().unwrap_or(Type::Var(*v)),
+                Type::Pair(a, b) => Type::pair(walk(a, mapping), walk(b, mapping)),
+                Type::List(t2) => Type::list(walk(t2, mapping)),
+                Type::Record(fields) => Type::Record(
+                    fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), walk(v, mapping)))
+                        .collect(),
+                ),
+                Type::Fun(a, b) => Type::fun(walk(a, mapping), walk(b, mapping)),
+                Type::Signal(inner) => Type::signal(walk(inner, mapping)),
+                other => other.clone(),
+            }
+        }
+        walk(&scheme.ty, &mapping)
+    }
+
+    fn with_var<T>(
+        &mut self,
+        name: &str,
+        scheme: Scheme,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        self.vars.entry(name.to_string()).or_default().push(scheme);
+        let out = f(self);
+        if let Some(stack) = self.vars.get_mut(name) {
+            stack.pop();
+        }
+        out
+    }
+
+    fn class_constrain(&mut self, t: &Type, class: Class, span: Span) -> Result<(), TypeError> {
+        match self.zonk(t) {
+            Type::Var(v) => {
+                self.classes.push((v, class, span));
+                Ok(())
+            }
+            concrete => check_class(&concrete, class, span),
+        }
+    }
+
+    fn solve_classes(&mut self) -> Result<(), TypeError> {
+        // Iterate: default unresolved vars to Int, then verify.
+        let classes = self.classes.clone();
+        for (v, _class, _span) in &classes {
+            let t = self.zonk(&Type::Var(*v));
+            if let Type::Var(w) = t {
+                // Defaulting: unconstrained numeric/comparable types are Int.
+                self.subst[w as usize] = Some(Type::Int);
+            }
+        }
+        for (v, class, span) in &classes {
+            let t = self.zonk(&Type::Var(*v));
+            check_class(&t, *class, *span)?;
+        }
+        Ok(())
+    }
+
+    /// Defaults any residual free type variables in the program type to
+    /// their most useful ground type (Int), so `main = \x -> x` style
+    /// programs still report a ground type.
+    fn default_classes_in(&mut self, t: Type) -> Type {
+        let mut fv = Vec::new();
+        self.free_vars_of(&t, &mut fv);
+        for v in fv {
+            if self.subst[v as usize].is_none() {
+                self.subst[v as usize] = Some(Type::Int);
+            }
+        }
+        t
+    }
+
+    fn check_stratified(&self, t: &Type, span: Span) -> Result<(), TypeError> {
+        if t.is_well_formed() {
+            Ok(())
+        } else {
+            Err(TypeError {
+                message: format!("inferred type {t} is outside the stratified grammar"),
+                span,
+            })
+        }
+    }
+
+    fn infer(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Unit => Ok(Type::Unit),
+            ExprKind::Int(_) => Ok(Type::Int),
+            ExprKind::Float(_) => Ok(Type::Float),
+            ExprKind::Str(_) => Ok(Type::Str),
+            ExprKind::Var(x) => {
+                let scheme = self
+                    .vars
+                    .get(x)
+                    .and_then(|s| s.last())
+                    .cloned()
+                    .ok_or_else(|| TypeError {
+                        message: format!("unbound variable `{x}`"),
+                        span,
+                    })?;
+                Ok(self.instantiate(&scheme))
+            }
+            ExprKind::Input(i) => match self.inputs.get(i) {
+                Some(decl) => Ok(decl.ty.clone()),
+                None => Err(TypeError {
+                    message: format!("unknown input signal `{i}`"),
+                    span,
+                }),
+            },
+            ExprKind::Lam { param, ann, body } => {
+                let param_ty = match ann {
+                    Some(t) => {
+                        if !t.is_well_formed() {
+                            return Err(TypeError {
+                                message: format!("ill-formed parameter type {t}"),
+                                span,
+                            });
+                        }
+                        t.clone()
+                    }
+                    None => self.fresh(),
+                };
+                let scheme = Scheme::mono(param_ty.clone());
+                let body_ty = self.with_var(param, scheme, |s| s.infer(body))?;
+                Ok(Type::fun(param_ty, body_ty))
+            }
+            ExprKind::App(f, a) => {
+                let f_ty = self.infer(f)?;
+                let a_ty = self.infer(a)?;
+                let result = self.fresh();
+                self.unify(&f_ty, &Type::fun(a_ty, result.clone()), span)?;
+                Ok(result)
+            }
+            ExprKind::BinOp(op, a, b) => {
+                let a_ty = self.infer(a)?;
+                let b_ty = self.infer(b)?;
+                use BinOp::*;
+                match op {
+                    Cons => {
+                        self.unify(&b_ty, &Type::list(a_ty.clone()), span)?;
+                        self.mark_simple(&a_ty, span)?;
+                        Ok(self.zonk(&b_ty))
+                    }
+                    Append => {
+                        self.unify(&a_ty, &Type::Str, a.span)?;
+                        self.unify(&b_ty, &Type::Str, b.span)?;
+                        Ok(Type::Str)
+                    }
+                    And | Or => {
+                        self.unify(&a_ty, &Type::Int, a.span)?;
+                        self.unify(&b_ty, &Type::Int, b.span)?;
+                        Ok(Type::Int)
+                    }
+                    Mod => {
+                        self.unify(&a_ty, &Type::Int, a.span)?;
+                        self.unify(&b_ty, &Type::Int, b.span)?;
+                        Ok(Type::Int)
+                    }
+                    Add | Sub | Mul | Div => {
+                        self.unify(&a_ty, &b_ty, span)?;
+                        self.class_constrain(&a_ty, Class::Num, span)?;
+                        Ok(self.zonk(&a_ty))
+                    }
+                    Eq | Ne => {
+                        self.unify(&a_ty, &b_ty, span)?;
+                        self.class_constrain(&a_ty, Class::Cmp { allow_str: true }, span)?;
+                        Ok(Type::Int)
+                    }
+                    Lt | Le | Gt | Ge => {
+                        self.unify(&a_ty, &b_ty, span)?;
+                        self.class_constrain(&a_ty, Class::Cmp { allow_str: false }, span)?;
+                        Ok(Type::Int)
+                    }
+                }
+            }
+            ExprKind::If(c, t, f) => {
+                let c_ty = self.infer(c)?;
+                self.unify(&c_ty, &Type::Int, c.span)?;
+                let t_ty = self.infer(t)?;
+                let f_ty = self.infer(f)?;
+                self.unify(&t_ty, &f_ty, span)?;
+                Ok(self.zonk(&t_ty))
+            }
+            ExprKind::Let { name, value, body } => {
+                let v_ty = self.infer(value)?;
+                let scheme = self.generalize(&v_ty);
+                self.with_var(name, scheme, |s| s.infer(body))
+            }
+            ExprKind::Pair(a, b) => {
+                let a_ty = self.infer(a)?;
+                let b_ty = self.infer(b)?;
+                self.mark_simple(&a_ty, a.span)?;
+                self.mark_simple(&b_ty, b.span)?;
+                Ok(Type::pair(a_ty, b_ty))
+            }
+            ExprKind::List(items) => {
+                let elem = self.fresh();
+                for item in items {
+                    let t = self.infer(item)?;
+                    self.unify(&t, &elem, item.span)?;
+                }
+                self.mark_simple(&elem, span)?;
+                Ok(Type::list(self.zonk(&elem)))
+            }
+            ExprKind::ListOp(op, l) => {
+                use crate::ast::ListOp;
+                let elem = self.fresh();
+                let l_ty = self.infer(l)?;
+                self.unify(&l_ty, &Type::list(elem.clone()), l.span)?;
+                self.mark_simple(&elem, l.span)?;
+                Ok(match op {
+                    ListOp::Head => self.zonk(&elem),
+                    ListOp::Tail => Type::list(self.zonk(&elem)),
+                    ListOp::IsEmpty | ListOp::Length => Type::Int,
+                })
+            }
+            ExprKind::Record(fields) => {
+                let mut tys = std::collections::BTreeMap::new();
+                for (name, value) in fields {
+                    let t = self.infer(value)?;
+                    self.mark_simple(&t, value.span)?;
+                    if tys.insert(name.clone(), self.zonk(&t)).is_some() {
+                        return Err(TypeError {
+                            message: format!("duplicate record field `{name}`"),
+                            span,
+                        });
+                    }
+                }
+                Ok(Type::Record(tys))
+            }
+            ExprKind::Field(rec, field) => {
+                // Without row polymorphism the record type must be known
+                // here (from a literal, an input, or an annotation) —
+                // documented delta from full Elm's extensible records.
+                let rec_ty = self.infer(rec)?;
+                match self.zonk(&rec_ty) {
+                    Type::Record(tys) => match tys.get(field) {
+                        Some(t) => Ok(t.clone()),
+                        None => Err(TypeError {
+                            message: format!("record has no field `{field}`"),
+                            span,
+                        }),
+                    },
+                    Type::Var(w) => {
+                        // Defer: the record type may be pinned down later
+                        // (e.g. a lambda parameter unified with an input
+                        // signal's record payload at the lift site).
+                        let field_ty = self.fresh();
+                        self.field_constraints
+                            .push((w, field.clone(), field_ty.clone(), span));
+                        Ok(field_ty)
+                    }
+                    other => Err(TypeError {
+                        message: format!("field access on a non-record: {other}"),
+                        span,
+                    }),
+                }
+            }
+            ExprKind::Ith(index, l) => {
+                let i_ty = self.infer(index)?;
+                self.unify(&i_ty, &Type::Int, index.span)?;
+                let elem = self.fresh();
+                let l_ty = self.infer(l)?;
+                self.unify(&l_ty, &Type::list(elem.clone()), l.span)?;
+                self.mark_simple(&elem, l.span)?;
+                Ok(self.zonk(&elem))
+            }
+            ExprKind::Fst(p) => {
+                let p_ty = self.infer(p)?;
+                let a = self.fresh();
+                let b = self.fresh();
+                self.unify(&p_ty, &Type::pair(a.clone(), b), p.span)?;
+                Ok(self.zonk(&a))
+            }
+            ExprKind::Snd(p) => {
+                let p_ty = self.infer(p)?;
+                let a = self.fresh();
+                let b = self.fresh();
+                self.unify(&p_ty, &Type::pair(a, b.clone()), p.span)?;
+                Ok(self.zonk(&b))
+            }
+            ExprKind::Lift { func, args } => {
+                let f_ty = self.infer(func)?;
+                let mut arg_payloads = Vec::with_capacity(args.len());
+                let result = self.fresh();
+                let mut expect = result.clone();
+                for _ in args.iter().rev() {
+                    let payload = self.fresh();
+                    expect = Type::fun(payload.clone(), expect);
+                    arg_payloads.push(payload);
+                }
+                arg_payloads.reverse();
+                self.unify(&f_ty, &expect, func.span)?;
+                for (a, payload) in args.iter().zip(&arg_payloads) {
+                    let a_ty = self.infer(a)?;
+                    self.unify(&a_ty, &Type::signal(payload.clone()), a.span)?;
+                    self.mark_simple(payload, a.span)?;
+                }
+                self.mark_simple(&result, span)?;
+                Ok(Type::signal(self.zonk(&result)))
+            }
+            ExprKind::Foldp { func, init, signal } => {
+                let tau = self.fresh();
+                let acc = self.fresh();
+                let f_ty = self.infer(func)?;
+                self.unify(
+                    &f_ty,
+                    &Type::fun(tau.clone(), Type::fun(acc.clone(), acc.clone())),
+                    func.span,
+                )?;
+                let init_ty = self.infer(init)?;
+                self.unify(&init_ty, &acc, init.span)?;
+                let sig_ty = self.infer(signal)?;
+                self.unify(&sig_ty, &Type::signal(tau.clone()), signal.span)?;
+                self.mark_simple(&tau, signal.span)?;
+                self.mark_simple(&acc, init.span)?;
+                Ok(Type::signal(self.zonk(&acc)))
+            }
+            ExprKind::Ctor(name) => {
+                let info = self.adts.ctor(name).ok_or_else(|| TypeError {
+                    message: format!("unknown constructor `{name}`"),
+                    span,
+                })?;
+                let mut ty = Type::Named(info.adt.clone());
+                for arg in info.args.iter().rev() {
+                    ty = Type::fun(arg.clone(), ty);
+                }
+                Ok(ty)
+            }
+            ExprKind::CtorApp(name, args) => {
+                let info = self.adts.ctor(name).cloned().ok_or_else(|| TypeError {
+                    message: format!("unknown constructor `{name}`"),
+                    span,
+                })?;
+                if args.len() != info.args.len() {
+                    return Err(TypeError {
+                        message: format!(
+                            "constructor `{name}` takes {} argument(s), got {}",
+                            info.args.len(),
+                            args.len()
+                        ),
+                        span,
+                    });
+                }
+                for (arg, want) in args.iter().zip(&info.args) {
+                    let got = self.infer(arg)?;
+                    self.unify(&got, want, arg.span)?;
+                }
+                Ok(Type::Named(info.adt))
+            }
+            ExprKind::Case { scrutinee, branches } => {
+                let scrut_ty = self.infer(scrutinee)?;
+                let result = self.fresh();
+                let mut covered: Vec<String> = Vec::new();
+                let mut catch_all = false;
+                let mut adt_name: Option<String> = None;
+                for branch in branches {
+                    match &branch.pattern {
+                        Pattern::Ctor { name, binders } => {
+                            let info =
+                                self.adts.ctor(name).cloned().ok_or_else(|| TypeError {
+                                    message: format!("unknown constructor `{name}`"),
+                                    span,
+                                })?;
+                            if binders.len() != info.args.len() {
+                                return Err(TypeError {
+                                    message: format!(
+                                        "pattern `{name}` needs {} binder(s), got {}",
+                                        info.args.len(),
+                                        binders.len()
+                                    ),
+                                    span,
+                                });
+                            }
+                            self.unify(&scrut_ty, &Type::Named(info.adt.clone()), scrutinee.span)?;
+                            adt_name.get_or_insert(info.adt.clone());
+                            covered.push(name.clone());
+                            // Bind pattern variables monomorphically.
+                            let mut bound = Vec::new();
+                            for (b, t) in binders.iter().zip(&info.args) {
+                                if b != "_" {
+                                    self.vars
+                                        .entry(b.clone())
+                                        .or_default()
+                                        .push(Scheme::mono(t.clone()));
+                                    bound.push(b.clone());
+                                }
+                            }
+                            let body_ty = self.infer(&branch.body);
+                            for b in &bound {
+                                if let Some(stack) = self.vars.get_mut(b) {
+                                    stack.pop();
+                                }
+                            }
+                            let body_ty = body_ty?;
+                            self.unify(&body_ty, &result, branch.body.span)?;
+                        }
+                        Pattern::Var(x) => {
+                            catch_all = true;
+                            self.vars
+                                .entry(x.clone())
+                                .or_default()
+                                .push(Scheme::mono(scrut_ty.clone()));
+                            let body_ty = self.infer(&branch.body);
+                            if let Some(stack) = self.vars.get_mut(x) {
+                                stack.pop();
+                            }
+                            let body_ty = body_ty?;
+                            self.unify(&body_ty, &result, branch.body.span)?;
+                        }
+                        Pattern::Wildcard => {
+                            catch_all = true;
+                            let body_ty = self.infer(&branch.body)?;
+                            self.unify(&body_ty, &result, branch.body.span)?;
+                        }
+                    }
+                }
+                if !catch_all {
+                    if let Some(adt) = adt_name {
+                        let variants = self.adts.variants(&adt).unwrap_or(&[]);
+                        let missing: Vec<&str> = variants
+                            .iter()
+                            .map(String::as_str)
+                            .filter(|v| !covered.iter().any(|c| c == v))
+                            .collect();
+                        if !missing.is_empty() {
+                            return Err(TypeError {
+                                message: format!(
+                                    "case is not exhaustive: missing {}",
+                                    missing.join(", ")
+                                ),
+                                span,
+                            });
+                        }
+                    }
+                }
+                Ok(self.zonk(&result))
+            }
+            ExprKind::SignalPrim { op, args } => {
+                let payload = self.fresh();
+                match op {
+                    SignalPrimOp::Merge => {
+                        for a in args {
+                            let t = self.infer(a)?;
+                            self.unify(&t, &Type::signal(payload.clone()), a.span)?;
+                        }
+                    }
+                    SignalPrimOp::SampleOn => {
+                        let ticker = self.fresh();
+                        let t0 = self.infer(&args[0])?;
+                        self.unify(&t0, &Type::signal(ticker.clone()), args[0].span)?;
+                        self.mark_simple(&ticker, args[0].span)?;
+                        let t1 = self.infer(&args[1])?;
+                        self.unify(&t1, &Type::signal(payload.clone()), args[1].span)?;
+                    }
+                    SignalPrimOp::DropRepeats => {
+                        let t = self.infer(&args[0])?;
+                        self.unify(&t, &Type::signal(payload.clone()), args[0].span)?;
+                    }
+                    SignalPrimOp::KeepIf => {
+                        let pred = self.infer(&args[0])?;
+                        self.unify(
+                            &pred,
+                            &Type::fun(payload.clone(), Type::Int),
+                            args[0].span,
+                        )?;
+                        let base = self.infer(&args[1])?;
+                        self.unify(&base, &payload, args[1].span)?;
+                        let sig = self.infer(&args[2])?;
+                        self.unify(&sig, &Type::signal(payload.clone()), args[2].span)?;
+                    }
+                }
+                self.mark_simple(&payload, span)?;
+                Ok(Type::signal(self.zonk(&payload)))
+            }
+            ExprKind::Async(inner) => {
+                let t = self.infer(inner)?;
+                let payload = self.fresh();
+                self.unify(&t, &Type::signal(payload.clone()), inner.span)?;
+                self.mark_simple(&payload, span)?;
+                Ok(Type::signal(self.zonk(&payload)))
+            }
+        }
+    }
+}
+
+fn check_class(t: &Type, class: Class, span: Span) -> Result<(), TypeError> {
+    let ok = match class {
+        Class::Num => matches!(t, Type::Int | Type::Float),
+        Class::Cmp { allow_str } => {
+            matches!(t, Type::Int | Type::Float) || (allow_str && matches!(t, Type::Str))
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(TypeError {
+            message: format!("type {t} does not support this operator"),
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn ty(src: &str) -> Result<Type, TypeError> {
+        infer_type(&InputEnv::standard(), &parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn infers_unannotated_paper_examples() {
+        assert_eq!(
+            ty("lift2 (\\y z -> y / z) Mouse.x Window.width").unwrap(),
+            Type::signal(Type::Int)
+        );
+        assert_eq!(
+            ty("foldp (\\k c -> c + 1) 0 Keyboard.lastPressed").unwrap(),
+            Type::signal(Type::Int)
+        );
+        assert_eq!(
+            ty("async (lift (\\x -> x * 2) Mouse.y)").unwrap(),
+            Type::signal(Type::Int)
+        );
+    }
+
+    #[test]
+    fn numeric_defaulting_and_floats() {
+        assert_eq!(ty("\\x -> x + x").unwrap(), Type::fun(Type::Int, Type::Int));
+        assert_eq!(ty("1.5 * 2.0").unwrap(), Type::Float);
+        assert!(ty("\"a\" + \"b\"").is_err());
+        assert_eq!(ty("\"a\" == \"b\"").unwrap(), Type::Int);
+        assert!(ty("() == ()").is_err());
+        assert!(ty("\"a\" < \"b\"").is_err());
+    }
+
+    #[test]
+    fn let_polymorphism_generalizes() {
+        // id used at Int and at String.
+        assert_eq!(
+            ty("let id = \\x -> x in (id 1, id \"s\")").unwrap(),
+            Type::pair(Type::Int, Type::Str)
+        );
+        // compose used polymorphically.
+        assert_eq!(
+            ty("let twice = \\f -> \\x -> f (f x) in twice (\\n -> n + 1) 0").unwrap(),
+            Type::Int
+        );
+    }
+
+    #[test]
+    fn stratification_rejects_signals_of_signals() {
+        assert!(ty("lift (\\x -> Mouse.x) Mouse.y").is_err());
+        assert!(ty("lift (\\x -> x) (lift (\\y -> Mouse.x) Mouse.y)").is_err());
+        assert!(ty("(Mouse.x, 1)").is_err());
+        assert!(ty("foldp (\\x c -> c) Mouse.x Mouse.y").is_err());
+        // async of a non-signal
+        assert!(ty("async 3").is_err());
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        assert!(ty("\\x -> x x").is_err());
+    }
+
+    #[test]
+    fn conditional_branches_unify() {
+        assert_eq!(ty("\\b -> if b then 1 else 2").unwrap(), Type::fun(Type::Int, Type::Int));
+        assert!(ty("if 1 then 2 else \"s\"").is_err());
+    }
+
+    #[test]
+    fn agrees_with_checker_on_annotated_terms() {
+        use crate::check::type_of;
+        let env = InputEnv::standard();
+        for src in [
+            "(\\(x : Int) -> x + 1) 41",
+            "lift (\\(x : Int) -> x * 2) Window.width",
+            "foldp (\\(k : Int) -> \\(c : Int) -> c + 1) 0 Keyboard.lastPressed",
+            "async (lift (\\(x : Int) -> x) Mouse.x)",
+            "(1, \"x\")",
+            "if 1 < 2 then 3 else 4",
+        ] {
+            let e = parse_expr(src).unwrap();
+            assert_eq!(
+                type_of(&env, &e).unwrap(),
+                infer_type(&env, &e).unwrap(),
+                "checker/inference disagree on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_programs_infer() {
+        let src = "\
+count s = foldp (\\x c -> c + 1) 0 s
+index1 = count Mouse.clicks
+main = lift (\\i -> i * 10) index1";
+        let prog = parse_program(src).unwrap();
+        let e = prog.to_expr().unwrap();
+        assert_eq!(
+            infer_type(&InputEnv::standard(), &e).unwrap(),
+            Type::signal(Type::Int)
+        );
+    }
+
+    #[test]
+    fn polymorphic_count_works_on_different_signals() {
+        // `count` generalizes over the payload type of its signal argument.
+        let src = "\
+count s = foldp (\\x c -> c + 1) 0 s
+main = lift2 (\\a b -> a + b) (count Mouse.clicks) (count Words.input)";
+        let prog = parse_program(src).unwrap();
+        let e = prog.to_expr().unwrap();
+        assert_eq!(
+            infer_type(&InputEnv::standard(), &e).unwrap(),
+            Type::signal(Type::Int)
+        );
+    }
+}

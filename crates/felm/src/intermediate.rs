@@ -1,0 +1,262 @@
+//! The intermediate language of stage-one evaluation (paper Fig. 5).
+//!
+//! A well-typed program normalizes to a *final term*: either a simple value
+//! or a *signal term*
+//!
+//! ```text
+//! s ::= x | let x = s in u | i | liftn v s1 … sn | foldp v1 v2 s | async s
+//! u ::= v | s
+//! ```
+//!
+//! [`FinalTerm::from_expr`] validates that grammar over a normalized
+//! [`Expr`] and produces a structured representation that
+//! [`crate::translate`] walks to build the signal graph. Keeping this as a
+//! separate pass (rather than trusting the evaluator) gives Theorem 1 a
+//! machine-checked second witness: normal forms of well-typed programs
+//! always satisfy the grammar.
+
+use std::fmt;
+
+use crate::ast::{Expr, ExprKind};
+use crate::eval::is_value;
+
+/// Errors from validating the intermediate-language grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlError {
+    /// What was violated.
+    pub message: String,
+}
+
+impl fmt::Display for IlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "intermediate language violation: {}", self.message)
+    }
+}
+
+impl std::error::Error for IlError {}
+
+/// A validated final term `u ::= v | s`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FinalTerm {
+    /// A simple value — the program is not reactive.
+    Value(Expr),
+    /// A signal term — the program denotes a signal graph.
+    Signal(SignalTerm),
+}
+
+/// A validated signal term (Fig. 5).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SignalTerm {
+    /// A let-bound signal variable `x` (multicast reference).
+    Var(String),
+    /// `let x = s in u` — `x` multicasts `s` to its uses in `u`.
+    Let {
+        /// Bound name.
+        name: String,
+        /// The shared signal.
+        value: Box<SignalTerm>,
+        /// The body (value or signal term).
+        body: Box<FinalTerm>,
+    },
+    /// An input signal `i`.
+    Input(String),
+    /// `liftn v s1 … sn` — `func` is a simple value (a function).
+    Lift {
+        /// The lifted function value.
+        func: Expr,
+        /// Signal arguments.
+        args: Vec<SignalTerm>,
+    },
+    /// `foldp v1 v2 s`.
+    Foldp {
+        /// The fold function value.
+        func: Expr,
+        /// The initial accumulator value.
+        init: Expr,
+        /// The folded signal.
+        signal: Box<SignalTerm>,
+    },
+    /// `async s`.
+    Async(Box<SignalTerm>),
+    /// A §4.2 library primitive: leading simple values, then signals.
+    Prim {
+        /// Which primitive.
+        op: crate::ast::SignalPrimOp,
+        /// The leading value operands (e.g. keepIf's predicate and base).
+        values: Vec<Expr>,
+        /// The signal operands.
+        signals: Vec<SignalTerm>,
+    },
+}
+
+impl FinalTerm {
+    /// Validates a normalized expression against `u ::= v | s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlError`] if `expr` is not in the grammar (i.e. stage-one
+    /// evaluation was incomplete or the program was ill-typed).
+    pub fn from_expr(expr: &Expr) -> Result<FinalTerm, IlError> {
+        if is_value(expr) {
+            return Ok(FinalTerm::Value(expr.clone()));
+        }
+        Ok(FinalTerm::Signal(SignalTerm::from_expr(expr)?))
+    }
+}
+
+impl SignalTerm {
+    /// Validates a normalized expression against the signal-term grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlError`] when the expression falls outside Fig. 5.
+    pub fn from_expr(expr: &Expr) -> Result<SignalTerm, IlError> {
+        match &expr.kind {
+            ExprKind::Var(x) => Ok(SignalTerm::Var(x.clone())),
+            ExprKind::Input(i) => Ok(SignalTerm::Input(i.clone())),
+            ExprKind::Let { name, value, body } => {
+                let value = SignalTerm::from_expr(value)?;
+                let body = FinalTerm::from_expr(body)?;
+                Ok(SignalTerm::Let {
+                    name: name.clone(),
+                    value: Box::new(value),
+                    body: Box::new(body),
+                })
+            }
+            ExprKind::Lift { func, args } => {
+                if !is_value(func) {
+                    return Err(IlError {
+                        message: "lift function position is not a value".into(),
+                    });
+                }
+                let args = args
+                    .iter()
+                    .map(SignalTerm::from_expr)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(SignalTerm::Lift {
+                    func: (**func).clone(),
+                    args,
+                })
+            }
+            ExprKind::Foldp { func, init, signal } => {
+                if !is_value(func) || !is_value(init) {
+                    return Err(IlError {
+                        message: "foldp function/base positions are not values".into(),
+                    });
+                }
+                Ok(SignalTerm::Foldp {
+                    func: (**func).clone(),
+                    init: (**init).clone(),
+                    signal: Box::new(SignalTerm::from_expr(signal)?),
+                })
+            }
+            ExprKind::Async(inner) => Ok(SignalTerm::Async(Box::new(SignalTerm::from_expr(
+                inner,
+            )?))),
+            ExprKind::SignalPrim { op, args } => {
+                let n = op.value_args();
+                let (values, signals) = args.split_at(n);
+                if !values.iter().all(is_value) {
+                    return Err(IlError {
+                        message: format!("{} value operands are not values", op.keyword()),
+                    });
+                }
+                Ok(SignalTerm::Prim {
+                    op: *op,
+                    values: values.to_vec(),
+                    signals: signals
+                        .iter()
+                        .map(SignalTerm::from_expr)
+                        .collect::<Result<Vec<_>, _>>()?,
+                })
+            }
+            other => Err(IlError {
+                message: format!("expression is not a signal term: {other:?}"),
+            }),
+        }
+    }
+
+    /// Counts the nodes this term will produce in the signal graph
+    /// (variables resolve to existing nodes and add none).
+    pub fn node_count(&self) -> usize {
+        match self {
+            SignalTerm::Var(_) => 0,
+            SignalTerm::Input(_) => 1,
+            SignalTerm::Let { value, body, .. } => {
+                value.node_count()
+                    + match &**body {
+                        FinalTerm::Signal(s) => s.node_count(),
+                        FinalTerm::Value(_) => 0,
+                    }
+            }
+            SignalTerm::Lift { args, .. } => {
+                1 + args.iter().map(SignalTerm::node_count).sum::<usize>()
+            }
+            SignalTerm::Foldp { signal, .. } => 1 + signal.node_count(),
+            SignalTerm::Async(inner) => 1 + inner.node_count(),
+            SignalTerm::Prim { signals, .. } => {
+                1 + signals.iter().map(SignalTerm::node_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{normalize, DEFAULT_FUEL};
+    use crate::parser::parse_expr;
+
+    fn extract(src: &str) -> FinalTerm {
+        let e = parse_expr(src).unwrap();
+        let n = normalize(&e, DEFAULT_FUEL).unwrap();
+        FinalTerm::from_expr(&n).unwrap()
+    }
+
+    #[test]
+    fn values_extract_as_values() {
+        assert!(matches!(extract("1 + 2"), FinalTerm::Value(_)));
+        assert!(matches!(extract("\\x -> x"), FinalTerm::Value(_)));
+    }
+
+    #[test]
+    fn signal_terms_extract_structurally() {
+        let FinalTerm::Signal(s) = extract("lift (\\x -> x + 1) Mouse.x") else {
+            panic!()
+        };
+        let SignalTerm::Lift { args, .. } = &s else {
+            panic!()
+        };
+        assert!(matches!(&args[0], SignalTerm::Input(i) if i == "Mouse.x"));
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn shared_lets_count_nodes_once() {
+        let FinalTerm::Signal(s) =
+            extract("let s = lift (\\x -> x) Mouse.x in lift2 (\\a b -> a + b) s s")
+        else {
+            panic!()
+        };
+        // let(value: lift+input = 2) + body lift = 3; the two Var uses are free.
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn async_extracts_nested() {
+        let FinalTerm::Signal(s) = extract("async (lift (\\x -> x) Mouse.y)") else {
+            panic!()
+        };
+        assert!(matches!(s, SignalTerm::Async(_)));
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn non_normal_terms_are_rejected() {
+        let e = parse_expr("lift ((\\x -> x) (\\y -> y)) Mouse.x").unwrap();
+        // Without normalization, the function position is an application.
+        assert!(SignalTerm::from_expr(&e).is_err());
+        let e = parse_expr("1 + Mouse.x").unwrap();
+        assert!(FinalTerm::from_expr(&e).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! FElm — "Featherweight Elm", the core calculus of *Asynchronous
+//! Functional Reactive Programming for GUIs* (Czaplicki & Chong, PLDI 2013).
+//!
+//! This crate implements the paper's Section 3 in full:
+//!
+//! * **Syntax** (Fig. 3): [`ast`] with a surface parser ([`parser`]) and
+//!   lexer ([`token`]) covering the paper's example programs;
+//! * **Type system** (Fig. 4): the declarative checker [`check`] for
+//!   annotated terms, and Hindley–Milner-style inference with signal
+//!   stratification and let-polymorphism in [`infer`] — both rule out
+//!   signals-of-signals (§3.2);
+//! * **Stage-one semantics** (Fig. 6): faithful small-step functional
+//!   evaluation in [`eval`], including the EXPAND rule that floats
+//!   signal-`let`s and the REDUCE restriction that shares (never
+//!   duplicates) signal expressions;
+//! * **Intermediate language** (Fig. 5): [`intermediate`] validates and
+//!   represents final signal terms;
+//! * **Stage-two semantics** (Figs. 9–11): [`translate`] turns signal
+//!   terms into `elm-runtime` signal graphs — the Rust analogue of the
+//!   paper's translation to Concurrent ML.
+//!
+//! # End to end
+//!
+//! ```
+//! use felm::pipeline::compile_source;
+//!
+//! let program = compile_source(
+//!     "main = foldp (\\k c -> c + 1) 0 Keyboard.lastPressed",
+//!     &felm::env::InputEnv::standard(),
+//! ).unwrap();
+//! assert_eq!(program.program_type.to_string(), "Signal Int");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod env;
+pub mod eval;
+pub mod eval_big;
+pub mod infer;
+pub mod intermediate;
+pub mod parser;
+pub mod pipeline;
+pub mod pretty;
+pub mod span;
+pub mod token;
+pub mod translate;

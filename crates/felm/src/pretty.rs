@@ -1,0 +1,455 @@
+//! Pretty-printing expressions back to parseable surface syntax.
+//!
+//! The printer is conservative with parentheses; its output always
+//! re-parses to an α-equivalent (indeed, structurally equal) AST, which the
+//! round-trip property test in this module pins down.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, ExprKind, Pattern};
+
+/// Renders `e` as surface syntax that [`crate::parser::parse_expr`] accepts.
+///
+/// ```
+/// use felm::{parser::parse_expr, pretty::pretty};
+/// let e = parse_expr("lift2 (\\y z -> y / z) Mouse.x Window.width").unwrap();
+/// let printed = pretty(&e);
+/// let reparsed = parse_expr(&printed).unwrap();
+/// // Printing is a fixed point through the parser.
+/// assert_eq!(pretty(&reparsed), printed);
+/// ```
+pub fn pretty(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, false);
+    out
+}
+
+/// True if the expression prints as a single token / parenthesized unit and
+/// therefore needs no extra parentheses in argument position.
+fn is_atomic(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::Unit
+            | ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Var(_)
+            | ExprKind::Input(_)
+            | ExprKind::Pair(..)
+            | ExprKind::List(_)
+            | ExprKind::Record(_)
+            | ExprKind::Field(..)
+            | ExprKind::Ctor(_)
+    ) || matches!(&e.kind, ExprKind::CtorApp(_, args) if args.is_empty()) || matches!(&e.kind, ExprKind::Int(n) if *n >= 0)
+}
+
+fn write_atom(out: &mut String, e: &Expr) {
+    if is_atomic(e) {
+        write_expr(out, e, false);
+    } else {
+        out.push('(');
+        write_expr(out, e, false);
+        out.push(')');
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, parenthesize_app: bool) {
+    match &e.kind {
+        ExprKind::Unit => out.push_str("()"),
+        ExprKind::Int(n) => {
+            if *n < 0 {
+                let _ = write!(out, "(0 - {})", n.unsigned_abs());
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        ExprKind::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() && *x >= 0.0 {
+                let _ = write!(out, "{x:.1}");
+            } else if *x < 0.0 {
+                let _ = write!(out, "(0.0 - {:?})", x.abs());
+            } else {
+                let _ = write!(out, "{x:?}");
+            }
+        }
+        ExprKind::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::Var(x) => out.push_str(x),
+        ExprKind::Input(i) => out.push_str(i),
+        ExprKind::Lam { param, ann, body } => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            match ann {
+                Some(t) => {
+                    let _ = write!(out, "\\({param} : {t}) -> ");
+                }
+                None => {
+                    let _ = write!(out, "\\{param} -> ");
+                }
+            }
+            write_expr(out, body, false);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::App(f, a) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            // Application heads may themselves be applications (left
+            // associative); anything else non-atomic is parenthesized.
+            match f.kind {
+                ExprKind::App(..) => write_expr(out, f, false),
+                _ => write_atom(out, f),
+            }
+            out.push(' ');
+            write_atom(out, a);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::BinOp(op, a, b) => {
+            out.push('(');
+            write_expr(out, a, true);
+            let _ = write!(out, " {op} ");
+            write_expr(out, b, true);
+            out.push(')');
+        }
+        ExprKind::If(c, t, f) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("if ");
+            write_expr(out, c, false);
+            out.push_str(" then ");
+            write_expr(out, t, false);
+            out.push_str(" else ");
+            write_expr(out, f, false);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Let { name, value, body } => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            let _ = write!(out, "let {name} = ");
+            write_expr(out, value, false);
+            out.push_str(" in ");
+            write_expr(out, body, false);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Pair(a, b) => {
+            out.push('(');
+            write_expr(out, a, false);
+            out.push_str(", ");
+            write_expr(out, b, false);
+            out.push(')');
+        }
+        ExprKind::List(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, false);
+            }
+            out.push(']');
+        }
+        ExprKind::Record(fields) => {
+            out.push('{');
+            for (k, (name, value)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{name} = ");
+                write_expr(out, value, false);
+            }
+            out.push('}');
+        }
+        ExprKind::Field(rec, name) => {
+            write_atom(out, rec);
+            let _ = write!(out, ".{name}");
+        }
+        ExprKind::ListOp(op, l) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str(op.keyword());
+            out.push(' ');
+            write_atom(out, l);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Ith(index, l) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("ith ");
+            write_atom(out, index);
+            out.push(' ');
+            write_atom(out, l);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Fst(p) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("fst ");
+            write_atom(out, p);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Snd(p) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("snd ");
+            write_atom(out, p);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Lift { func, args } => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            let _ = write!(out, "lift{} ", args.len());
+            write_atom(out, func);
+            for a in args {
+                out.push(' ');
+                write_atom(out, a);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Foldp { func, init, signal } => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("foldp ");
+            write_atom(out, func);
+            out.push(' ');
+            write_atom(out, init);
+            out.push(' ');
+            write_atom(out, signal);
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Ctor(name) => out.push_str(name),
+        ExprKind::CtorApp(name, args) => {
+            let wrap = parenthesize_app && !args.is_empty();
+            if wrap {
+                out.push('(');
+            }
+            out.push_str(name);
+            for a in args {
+                out.push(' ');
+                write_atom(out, a);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Case { scrutinee, branches } => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("case ");
+            write_expr(out, scrutinee, false);
+            out.push_str(" of");
+            for b in branches {
+                out.push_str(" | ");
+                match &b.pattern {
+                    Pattern::Ctor { name, binders } => {
+                        out.push_str(name);
+                        for binder in binders {
+                            out.push(' ');
+                            out.push_str(binder);
+                        }
+                    }
+                    Pattern::Var(x) => out.push_str(x),
+                    Pattern::Wildcard => out.push('_'),
+                }
+                out.push_str(" -> ");
+                write_expr(out, &b.body, true);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::SignalPrim { op, args } => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str(op.keyword());
+            for a in args {
+                out.push(' ');
+                write_atom(out, a);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        ExprKind::Async(inner) => {
+            let wrap = parenthesize_app;
+            if wrap {
+                out.push('(');
+            }
+            out.push_str("async ");
+            write_atom(out, inner);
+            if wrap {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    /// Structural equality ignoring spans.
+    fn same(a: &Expr, b: &Expr) -> bool {
+        use ExprKind as K;
+        match (&a.kind, &b.kind) {
+            (K::Unit, K::Unit) => true,
+            (K::Int(x), K::Int(y)) => x == y,
+            (K::Float(x), K::Float(y)) => x == y,
+            (K::Str(x), K::Str(y)) => x == y,
+            (K::Var(x), K::Var(y)) | (K::Input(x), K::Input(y)) => x == y,
+            (
+                K::Lam {
+                    param: p1,
+                    ann: a1,
+                    body: b1,
+                },
+                K::Lam {
+                    param: p2,
+                    ann: a2,
+                    body: b2,
+                },
+            ) => p1 == p2 && a1 == a2 && same(b1, b2),
+            (K::App(f1, x1), K::App(f2, x2)) => same(f1, f2) && same(x1, x2),
+            (K::BinOp(o1, x1, y1), K::BinOp(o2, x2, y2)) => {
+                o1 == o2 && same(x1, x2) && same(y1, y2)
+            }
+            (K::If(c1, t1, f1), K::If(c2, t2, f2)) => same(c1, c2) && same(t1, t2) && same(f1, f2),
+            (
+                K::Let {
+                    name: n1,
+                    value: v1,
+                    body: b1,
+                },
+                K::Let {
+                    name: n2,
+                    value: v2,
+                    body: b2,
+                },
+            ) => n1 == n2 && same(v1, v2) && same(b1, b2),
+            (K::Pair(x1, y1), K::Pair(x2, y2)) => same(x1, x2) && same(y1, y2),
+            (K::Fst(x), K::Fst(y)) | (K::Snd(x), K::Snd(y)) | (K::Async(x), K::Async(y)) => {
+                same(x, y)
+            }
+            (
+                K::Lift {
+                    func: f1,
+                    args: a1,
+                },
+                K::Lift {
+                    func: f2,
+                    args: a2,
+                },
+            ) => {
+                same(f1, f2)
+                    && a1.len() == a2.len()
+                    && a1.iter().zip(a2).all(|(x, y)| same(x, y))
+            }
+            (
+                K::Foldp {
+                    func: f1,
+                    init: i1,
+                    signal: s1,
+                },
+                K::Foldp {
+                    func: f2,
+                    init: i2,
+                    signal: s2,
+                },
+            ) => same(f1, f2) && same(i1, i2) && same(s1, s2),
+            _ => false,
+        }
+    }
+
+    fn round_trip(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = pretty(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printed form failed to parse: {printed:?}: {err}"));
+        assert!(same(&e, &reparsed), "round trip changed:\n{src}\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_paper_examples() {
+        round_trip("lift2 (\\y z -> y / z) Mouse.x Window.width");
+        round_trip("foldp (\\k c -> c + 1) 0 Keyboard.lastPressed");
+        round_trip("lift2 (\\a b -> (a, b)) Mouse.x (async (lift (\\y -> y) Mouse.y))");
+        round_trip("let wordPairs = lift2 (\\a b -> (a, b)) Words.input Words.input in wordPairs");
+    }
+
+    #[test]
+    fn round_trips_tricky_shapes() {
+        round_trip("f (g x) (h y)");
+        round_trip("(\\x -> x) (\\y -> y)");
+        round_trip("if a < b then f x else g y");
+        round_trip("1 - 2 - 3");
+        round_trip("1 - (2 - 3)");
+        round_trip("fst (snd ((1, 2), (3, 4)))");
+        round_trip("\"quote \\\" backslash \\\\ newline \\n\"");
+        round_trip("\\(f : Int -> Int) -> \\(s : Signal Int) -> lift f s");
+        round_trip("let x = 1 in let y = 2 in x + y");
+    }
+
+    #[test]
+    fn negative_numbers_print_parseably() {
+        use crate::ast::ExprKind;
+        let e = Expr::synth(ExprKind::Int(-5));
+        let printed = pretty(&e);
+        let back = parse_expr(&printed).unwrap();
+        let normalized = crate::eval::normalize(&back, 100).unwrap();
+        assert!(matches!(normalized.kind, ExprKind::Int(-5)));
+    }
+}

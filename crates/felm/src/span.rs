@@ -1,0 +1,73 @@
+//! Source spans for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width placeholder span (synthesized nodes).
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Computes the 1-based line and column of this span's start in `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_and_line_col() {
+        let a = Span::new(2, 5);
+        let b = Span::new(8, 10);
+        assert_eq!(a.to(b), Span::new(2, 10));
+        let src = "ab\ncdef\ng";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 4));
+        assert_eq!(Span::new(8, 9).line_col(src), (3, 1));
+    }
+}

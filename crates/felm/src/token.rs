@@ -1,0 +1,727 @@
+//! Lexical analysis for FElm source text.
+//!
+//! The surface syntax extends the paper's core calculus (Fig. 3) with the
+//! conveniences its examples use: `let … in`, `if … then … else`,
+//! multi-argument lambdas, string/float literals, pairs, comparison and
+//! logical operators, line (`--`) and block (`{- -}`) comments, and
+//! qualified input-signal names such as `Mouse.position`.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// Lowercase identifier (variables).
+    Ident(String),
+    /// Qualified name beginning with an uppercase module segment,
+    /// e.g. `Mouse.position` — an input-signal identifier `i ∈ Input`.
+    QualIdent(String),
+    /// `liftn` for some arity `n ≥ 1` (`lift` alone means `lift1`).
+    Lift(usize),
+    /// `foldp`.
+    Foldp,
+    /// `async`.
+    Async,
+    /// `let`.
+    Let,
+    /// `in`.
+    In,
+    /// `if`.
+    If,
+    /// `then`.
+    Then,
+    /// `else`.
+    Else,
+    /// `fst`.
+    Fst,
+    /// `snd`.
+    Snd,
+    /// `head`.
+    Head,
+    /// `tail`.
+    Tail,
+    /// `isEmpty`.
+    IsEmpty,
+    /// `length`.
+    Length,
+    /// `ith`.
+    Ith,
+    /// `merge`.
+    Merge,
+    /// `sampleOn`.
+    SampleOn,
+    /// `dropRepeats`.
+    DropRepeats,
+    /// `keepIf`.
+    KeepIf,
+    /// `data`.
+    Data,
+    /// `case`.
+    Case,
+    /// `of`.
+    Of,
+    /// `|` (variant separator).
+    Pipe,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `.` (record field access).
+    Dot,
+    /// `\` introducing a lambda.
+    Backslash,
+    /// `->`.
+    Arrow,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Equals,
+    /// `:`.
+    Colon,
+    /// A binary operator symbol (`+`, `-`, `*`, `/`, `%`, `==`, `/=`, `<`,
+    /// `>`, `<=`, `>=`, `&&`, `||`, `++`).
+    Op(&'static str),
+    /// Statement separator: a newline at column zero between top-level
+    /// definitions (the lexer emits these only at indentation level 0).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Ident(s) | Token::QualIdent(s) => write!(f, "{s}"),
+            Token::Lift(n) => write!(f, "lift{n}"),
+            Token::Foldp => write!(f, "foldp"),
+            Token::Async => write!(f, "async"),
+            Token::Let => write!(f, "let"),
+            Token::In => write!(f, "in"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::Fst => write!(f, "fst"),
+            Token::Snd => write!(f, "snd"),
+            Token::Head => write!(f, "head"),
+            Token::Tail => write!(f, "tail"),
+            Token::IsEmpty => write!(f, "isEmpty"),
+            Token::Length => write!(f, "length"),
+            Token::Ith => write!(f, "ith"),
+            Token::Merge => write!(f, "merge"),
+            Token::SampleOn => write!(f, "sampleOn"),
+            Token::DropRepeats => write!(f, "dropRepeats"),
+            Token::KeepIf => write!(f, "keepIf"),
+            Token::Data => write!(f, "data"),
+            Token::Case => write!(f, "case"),
+            Token::Of => write!(f, "of"),
+            Token::Pipe => write!(f, "|"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Dot => write!(f, "."),
+            Token::Backslash => write!(f, "\\"),
+            Token::Arrow => write!(f, "->"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Equals => write!(f, "="),
+            Token::Colon => write!(f, ":"),
+            Token::Op(s) => write!(f, "{s}"),
+            Token::Newline => write!(f, "<newline>"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Errors produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LexError {
+    /// A character that cannot begin any token.
+    UnexpectedChar(char, Span),
+    /// A string literal without a closing quote.
+    UnterminatedString(Span),
+    /// A block comment without a closing `-}`.
+    UnterminatedComment(Span),
+    /// A numeric literal that does not parse.
+    BadNumber(String, Span),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar(c, s) => write!(f, "unexpected character {c:?} at {s}"),
+            LexError::UnterminatedString(s) => write!(f, "unterminated string starting at {s}"),
+            LexError::UnterminatedComment(s) => {
+                write!(f, "unterminated block comment starting at {s}")
+            }
+            LexError::BadNumber(n, s) => write!(f, "malformed number {n:?} at {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+/// Tokenizes FElm source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] describing the first lexical problem.
+///
+/// ```
+/// use felm::token::{lex, Token};
+/// let toks = lex("lift2 (\\x y -> x + y) Mouse.x Window.width").unwrap();
+/// assert_eq!(toks[0].token, Token::Lift(2));
+/// ```
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let done = tok.token == Token::Eof;
+        out.push(tok);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.pos)
+    }
+
+    /// Skips whitespace and comments. Returns `true` if a newline followed
+    /// by a column-0 non-space character was crossed (a top-level
+    /// definition boundary).
+    fn skip_trivia(&mut self) -> Result<bool, LexError> {
+        let mut boundary = false;
+        loop {
+            match self.peek() {
+                Some(b'\n') => {
+                    self.pos += 1;
+                    // Column-0 content => definition boundary.
+                    if matches!(self.peek(), Some(c) if c != b' ' && c != b'\n' && c != b'\t' && c != b'\r')
+                    {
+                        boundary = true;
+                    }
+                }
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'{') if self.peek2() == Some(b'-') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'{'), Some(b'-')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'-'), Some(b'}')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError::UnterminatedComment(self.span_from(start)))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(boundary),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<SpannedToken, LexError> {
+        let boundary = self.skip_trivia()?;
+        let start = self.pos;
+        if boundary {
+            return Ok(SpannedToken {
+                token: Token::Newline,
+                span: Span::new(start, start),
+            });
+        }
+        let Some(c) = self.peek() else {
+            return Ok(SpannedToken {
+                token: Token::Eof,
+                span: self.span_from(start),
+            });
+        };
+
+        let token = match c {
+            b'0'..=b'9' => return self.number(start),
+            b'a'..=b'z' | b'_' => return Ok(self.ident(start)),
+            b'A'..=b'Z' => return self.qualified(start),
+            b'"' => return self.string(start),
+            b'\\' => {
+                self.pos += 1;
+                Token::Backslash
+            }
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b':' => {
+                self.pos += 1;
+                if self.peek() == Some(b':') {
+                    self.pos += 1;
+                    Token::Op("::")
+                } else {
+                    Token::Colon
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                Token::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Token::RBracket
+            }
+            b'{' => {
+                // `{-` (block comments) is consumed by skip_trivia, so a
+                // surviving `{` opens a record.
+                self.pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Token::RBrace
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b'-' => {
+                self.pos += 1;
+                if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    Token::Arrow
+                } else {
+                    Token::Op("-")
+                }
+            }
+            b'+' => {
+                self.pos += 1;
+                if self.peek() == Some(b'+') {
+                    self.pos += 1;
+                    Token::Op("++")
+                } else {
+                    Token::Op("+")
+                }
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Op("*")
+            }
+            b'/' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op("/=")
+                } else {
+                    Token::Op("/")
+                }
+            }
+            b'%' => {
+                self.pos += 1;
+                Token::Op("%")
+            }
+            b'=' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op("==")
+                } else {
+                    Token::Equals
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op("<=")
+                } else {
+                    Token::Op("<")
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op(">=")
+                } else {
+                    Token::Op(">")
+                }
+            }
+            b'&' => {
+                self.pos += 1;
+                if self.peek() == Some(b'&') {
+                    self.pos += 1;
+                    Token::Op("&&")
+                } else {
+                    return Err(LexError::UnexpectedChar('&', self.span_from(start)));
+                }
+            }
+            b'|' => {
+                self.pos += 1;
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    Token::Op("||")
+                } else {
+                    Token::Pipe
+                }
+            }
+            other => {
+                return Err(LexError::UnexpectedChar(
+                    other as char,
+                    Span::new(start, start + 1),
+                ))
+            }
+        };
+        Ok(SpannedToken {
+            token,
+            span: self.span_from(start),
+        })
+    }
+
+    fn number(&mut self, start: usize) -> Result<SpannedToken, LexError> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        let span = self.span_from(start);
+        let token = if is_float {
+            Token::Float(
+                text.parse()
+                    .map_err(|_| LexError::BadNumber(text.into(), span))?,
+            )
+        } else {
+            Token::Int(
+                text.parse()
+                    .map_err(|_| LexError::BadNumber(text.into(), span))?,
+            )
+        };
+        Ok(SpannedToken { token, span })
+    }
+
+    fn ident(&mut self, start: usize) -> SpannedToken {
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\'')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        let token = match text {
+            "let" => Token::Let,
+            "in" => Token::In,
+            "if" => Token::If,
+            "then" => Token::Then,
+            "else" => Token::Else,
+            "foldp" => Token::Foldp,
+            "async" => Token::Async,
+            "fst" => Token::Fst,
+            "snd" => Token::Snd,
+            "head" => Token::Head,
+            "tail" => Token::Tail,
+            "isEmpty" => Token::IsEmpty,
+            "length" => Token::Length,
+            "ith" => Token::Ith,
+            "merge" => Token::Merge,
+            "sampleOn" => Token::SampleOn,
+            "dropRepeats" => Token::DropRepeats,
+            "keepIf" => Token::KeepIf,
+            "data" => Token::Data,
+            "case" => Token::Case,
+            "of" => Token::Of,
+            "lift" => Token::Lift(1),
+            _ => {
+                if let Some(digits) = text.strip_prefix("lift") {
+                    if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                        let n: usize = digits.parse().unwrap_or(0);
+                        if n >= 1 {
+                            return SpannedToken {
+                                token: Token::Lift(n),
+                                span: self.span_from(start),
+                            };
+                        }
+                    }
+                }
+                Token::Ident(text.to_string())
+            }
+        };
+        SpannedToken {
+            token,
+            span: self.span_from(start),
+        }
+    }
+
+    fn qualified(&mut self, start: usize) -> Result<SpannedToken, LexError> {
+        // Module segment(s) then a final identifier: `Mouse.position`,
+        // `Window.width`, `Time.every30`. A bare capitalized name (e.g. a
+        // type name `Int`) is also lexed as QualIdent; the parser decides.
+        loop {
+            while matches!(
+                self.peek(),
+                Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\'')
+            ) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'.')
+                && matches!(self.peek2(), Some(b'a'..=b'z' | b'A'..=b'Z'))
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii qualified");
+        Ok(SpannedToken {
+            token: Token::QualIdent(text.to_string()),
+            span: self.span_from(start),
+        })
+    }
+
+    fn string(&mut self, start: usize) -> Result<SpannedToken, LexError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    _ => return Err(LexError::UnterminatedString(self.span_from(start))),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err(LexError::UnterminatedString(self.span_from(start))),
+            }
+        }
+        Ok(SpannedToken {
+            token: Token::Str(out),
+            span: self.span_from(start),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_core_example() {
+        assert_eq!(
+            toks("lift2 (\\y z -> y / z) Mouse.x Window.width"),
+            vec![
+                Token::Lift(2),
+                Token::LParen,
+                Token::Backslash,
+                Token::Ident("y".into()),
+                Token::Ident("z".into()),
+                Token::Arrow,
+                Token::Ident("y".into()),
+                Token::Op("/"),
+                Token::Ident("z".into()),
+                Token::RParen,
+                Token::QualIdent("Mouse.x".into()),
+                Token::QualIdent("Window.width".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_lift_arities() {
+        assert_eq!(
+            toks("let in if then else foldp async lift lift1 lift3 lift12 lifter"),
+            vec![
+                Token::Let,
+                Token::In,
+                Token::If,
+                Token::Then,
+                Token::Else,
+                Token::Foldp,
+                Token::Async,
+                Token::Lift(1),
+                Token::Lift(1),
+                Token::Lift(3),
+                Token::Lift(12),
+                Token::Ident("lifter".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_with_longest_match() {
+        assert_eq!(
+            toks("a <= b >= c == d /= e ++ f -> g && h || i"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Op("<="),
+                Token::Ident("b".into()),
+                Token::Op(">="),
+                Token::Ident("c".into()),
+                Token::Op("=="),
+                Token::Ident("d".into()),
+                Token::Op("/="),
+                Token::Ident("e".into()),
+                Token::Op("++"),
+                Token::Ident("f".into()),
+                Token::Arrow,
+                Token::Ident("g".into()),
+                Token::Op("&&"),
+                Token::Ident("h".into()),
+                Token::Op("||"),
+                Token::Ident("i".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_strings() {
+        assert_eq!(
+            toks("42 3.25 \"hi\\n\""),
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Str("hi\n".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested_blocks() {
+        assert_eq!(
+            toks("1 -- line comment\n  {- block {- nested -} done -} 2"),
+            vec![Token::Int(1), Token::Int(2), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn newline_token_marks_toplevel_boundaries_only() {
+        // Continuation lines are indented; column-0 starts a new definition.
+        let t = toks("main = 1 +\n  2\nother = 3");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("main".into()),
+                Token::Equals,
+                Token::Int(1),
+                Token::Op("+"),
+                Token::Int(2),
+                Token::Newline,
+                Token::Ident("other".into()),
+                Token::Equals,
+                Token::Int(3),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_spans() {
+        assert!(matches!(lex("a # b"), Err(LexError::UnexpectedChar('#', _))));
+        assert!(matches!(lex("\"open"), Err(LexError::UnterminatedString(_))));
+        assert!(matches!(lex("{- open"), Err(LexError::UnterminatedComment(_))));
+        assert!(matches!(lex("a & b"), Err(LexError::UnexpectedChar('&', _))));
+    }
+
+    #[test]
+    fn minus_vs_arrow_disambiguation() {
+        assert_eq!(
+            toks("a - b -> c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Op("-"),
+                Token::Ident("b".into()),
+                Token::Arrow,
+                Token::Ident("c".into()),
+                Token::Eof,
+            ]
+        );
+    }
+}

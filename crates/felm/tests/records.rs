@@ -1,0 +1,135 @@
+//! Records — the full-language extension ("Elm … has extensible records",
+//! §4). This reproduction implements *non-extensible* records (literals,
+//! field access, structural typing); row polymorphism is out of scope and
+//! documented as a delta in DESIGN.md.
+
+use elm_runtime::{changed_values, Occurrence, SyncRuntime, Value};
+use felm::ast::Type;
+use felm::check::type_of;
+use felm::env::InputEnv;
+use felm::eval::{normalize, DEFAULT_FUEL};
+use felm::infer::infer_type;
+use felm::parser::parse_expr;
+use felm::pipeline::compile_source;
+use felm::pretty::pretty;
+use felm::translate::expr_to_value;
+
+fn eval_value(src: &str) -> Value {
+    let e = parse_expr(src).unwrap();
+    let n = normalize(&e, DEFAULT_FUEL).unwrap();
+    expr_to_value(&n).unwrap()
+}
+
+fn point(x: i64, y: i64) -> Value {
+    Value::record([("x".to_string(), Value::Int(x)), ("y".to_string(), Value::Int(y))])
+}
+
+#[test]
+fn record_literals_and_access_evaluate() {
+    assert_eq!(eval_value("{x = 1, y = 2}"), point(1, 2));
+    assert_eq!(eval_value("{x = 1 + 1, y = 2 * 3}.y"), Value::Int(6));
+    assert_eq!(eval_value("{}"), Value::record([]));
+    // Nested access chains.
+    assert_eq!(
+        eval_value("{inner = {x = 7, y = 8}, tag = \"p\"}.inner.x"),
+        Value::Int(7)
+    );
+    // Records in lists.
+    assert_eq!(
+        eval_value("ith 1 [{x = 1, y = 1}, {x = 2, y = 2}]"),
+        point(2, 2)
+    );
+}
+
+#[test]
+fn record_types_check_and_infer() {
+    let env = InputEnv::standard();
+    let pt = Type::record([("x".to_string(), Type::Int), ("y".to_string(), Type::Int)]);
+    for (src, want) in [
+        ("{x = 1, y = 2}", pt.clone()),
+        ("{x = 1, y = 2}.x", Type::Int),
+        ("{s = \"hi\"}.s", Type::Str),
+        (
+            "\\(r : {x : Int, y : Int}) -> r.x + r.y",
+            Type::fun(pt.clone(), Type::Int),
+        ),
+    ] {
+        let e = parse_expr(src).unwrap();
+        assert_eq!(type_of(&env, &e).unwrap(), want, "checker: {src}");
+        assert_eq!(infer_type(&env, &e).unwrap(), want, "inference: {src}");
+    }
+    // Field order does not matter (structural, sorted).
+    let a = infer_type(&env, &parse_expr("{y = 2, x = 1}").unwrap()).unwrap();
+    assert_eq!(a, pt);
+    // Errors.
+    for bad in [
+        "{x = 1}.y",
+        "{x = 1, x = 2}",
+        "3 .x",
+        "{x = Mouse.x}",
+        "\\r -> r.x", // needs an annotation without row polymorphism
+    ] {
+        let e = parse_expr(bad).unwrap();
+        assert!(infer_type(&env, &e).is_err(), "{bad} should not type");
+    }
+}
+
+#[test]
+fn records_pretty_print_round_trip() {
+    for src in [
+        "{x = 1, y = 2}",
+        "{p = {x = 0, y = 0}, label = \"origin\"}.p.x",
+        "\\(r : {x : Int}) -> r.x",
+    ] {
+        let e = parse_expr(src).unwrap();
+        let printed = pretty(&e);
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("{printed}: {err}"));
+        assert_eq!(pretty(&reparsed), printed, "{src}");
+    }
+}
+
+#[test]
+fn fig13_arrows_record_program_runs() {
+    // Keyboard.arrows : Signal {x : Int, y : Int} — move a character.
+    let src = "\
+step a pos = (fst pos + a.x, snd pos + a.y)
+main = foldp step (0, 0) Keyboard.arrows";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    assert_eq!(
+        compiled.program_type,
+        Type::signal(Type::pair(Type::Int, Type::Int))
+    );
+    let graph = compiled.graph().unwrap();
+    let arrows = graph.input_named("Keyboard.arrows").unwrap();
+    let push = |x: i64, y: i64| {
+        Occurrence::input(
+            arrows,
+            Value::record([("x".to_string(), Value::Int(x)), ("y".to_string(), Value::Int(y))]),
+        )
+    };
+    let outs = SyncRuntime::run_trace(graph, [push(1, 0), push(1, 1), push(0, -1)]).unwrap();
+    assert_eq!(
+        changed_values(&outs).last(),
+        Some(&Value::pair(Value::Int(2), Value::Int(0)))
+    );
+}
+
+#[test]
+fn inference_handles_annotated_record_params_in_programs() {
+    // `step` gets its record type from Keyboard.arrows via unification —
+    // no annotation needed when the record flows from an input.
+    let src = "main = lift (\\a -> a) Keyboard.arrows";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    assert_eq!(
+        compiled.program_type.to_string(),
+        "Signal {x : Int, y : Int}"
+    );
+}
+
+#[test]
+fn records_of_signals_are_rejected() {
+    let env = InputEnv::standard();
+    let e = parse_expr("{bad = Mouse.x}").unwrap();
+    assert!(infer_type(&env, &e).is_err());
+    assert!(type_of(&env, &e).is_err());
+}

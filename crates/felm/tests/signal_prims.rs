@@ -1,0 +1,188 @@
+//! The §4.2 library signal primitives in FElm source: `merge`,
+//! `sampleOn`, `dropRepeats`, `keepIf` — typed, evaluated, translated,
+//! and executed.
+
+use elm_runtime::{changed_values, Occurrence, SyncRuntime, Value};
+use felm::ast::Type;
+use felm::check::type_of;
+use felm::env::InputEnv;
+use felm::infer::infer_type;
+use felm::parser::{parse_expr, parse_program};
+use felm::pipeline::compile_source;
+use felm::pretty::pretty;
+
+#[test]
+fn primitives_type_check_and_infer() {
+    let env = InputEnv::standard();
+    let cases = [
+        ("merge Mouse.x Window.width", Type::signal(Type::Int)),
+        ("sampleOn Mouse.clicks Mouse.position", Type::signal(Type::pair(Type::Int, Type::Int))),
+        ("dropRepeats Keyboard.shift", Type::signal(Type::Int)),
+        (
+            "keepIf (\\(n : Int) -> n > 100) 0 Mouse.x",
+            Type::signal(Type::Int),
+        ),
+    ];
+    for (src, want) in cases {
+        let e = parse_expr(src).unwrap();
+        assert_eq!(type_of(&env, &e).unwrap(), want, "checker: {src}");
+        assert_eq!(infer_type(&env, &e).unwrap(), want, "inference: {src}");
+    }
+    for bad in [
+        "merge Mouse.x Words.input",          // payloads disagree
+        "merge Mouse.x 3",                    // non-signal operand
+        "keepIf (\\n -> n) \"s\" Mouse.x",    // base type mismatch
+        "dropRepeats 5",
+        "sampleOn Mouse.clicks",              // parse: missing operand
+    ] {
+        let result = parse_expr(bad)
+            .map_err(|e| e.to_string())
+            .and_then(|e| infer_type(&env, &e).map_err(|e| e.to_string()));
+        assert!(result.is_err(), "{bad} should fail");
+    }
+}
+
+#[test]
+fn primitives_pretty_print_round_trip() {
+    for src in [
+        "merge Mouse.x Mouse.y",
+        "sampleOn Mouse.clicks (dropRepeats Mouse.position)",
+        "keepIf (\\n -> n % 2 == 0) 0 Mouse.x",
+    ] {
+        let e = parse_expr(src).unwrap();
+        let printed = pretty(&e);
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("{printed}: {err}"));
+        assert_eq!(pretty(&reparsed), printed, "{src}");
+    }
+}
+
+#[test]
+fn merge_runs_left_biased() {
+    let src = "main = merge Mouse.x Window.width";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    let g = compiled.graph().unwrap();
+    let mx = g.input_named("Mouse.x").unwrap();
+    let ww = g.input_named("Window.width").unwrap();
+    let outs = SyncRuntime::run_trace(
+        g,
+        [
+            Occurrence::input(mx, 1i64),
+            Occurrence::input(ww, 500i64),
+            Occurrence::input(mx, 2i64),
+        ],
+    )
+    .unwrap();
+    assert_eq!(
+        changed_values(&outs),
+        vec![Value::Int(1), Value::Int(500), Value::Int(2)]
+    );
+}
+
+#[test]
+fn sample_on_clicks_samples_the_mouse() {
+    let src = "main = sampleOn Mouse.clicks Mouse.position";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    let g = compiled.graph().unwrap();
+    let clicks = g.input_named("Mouse.clicks").unwrap();
+    let pos = g.input_named("Mouse.position").unwrap();
+    let at = |x: i64, y: i64| Value::pair(Value::Int(x), Value::Int(y));
+    let outs = SyncRuntime::run_trace(
+        g,
+        [
+            Occurrence::input(pos, at(1, 1)),
+            Occurrence::input(pos, at(2, 2)),
+            Occurrence::input(clicks, Value::Unit),
+            Occurrence::input(pos, at(3, 3)),
+            Occurrence::input(clicks, Value::Unit),
+        ],
+    )
+    .unwrap();
+    assert_eq!(changed_values(&outs), vec![at(2, 2), at(3, 3)]);
+}
+
+#[test]
+fn keep_if_filters_with_an_felm_predicate() {
+    let src = "main = keepIf (\\n -> n % 2 == 0) 0 Mouse.x";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    let g = compiled.graph().unwrap();
+    let mx = g.input_named("Mouse.x").unwrap();
+    let outs = SyncRuntime::run_trace(
+        g,
+        [1i64, 2, 3, 4, 5, 6].map(|v| Occurrence::input(mx, v)),
+    )
+    .unwrap();
+    assert_eq!(
+        changed_values(&outs),
+        vec![Value::Int(2), Value::Int(4), Value::Int(6)]
+    );
+}
+
+#[test]
+fn drop_repeats_dedupes() {
+    let src = "main = dropRepeats Keyboard.shift";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    let g = compiled.graph().unwrap();
+    let shift = g.input_named("Keyboard.shift").unwrap();
+    let outs = SyncRuntime::run_trace(
+        g,
+        [1i64, 1, 0, 0, 1].map(|v| Occurrence::input(shift, v)),
+    )
+    .unwrap();
+    assert_eq!(
+        changed_values(&outs),
+        vec![Value::Int(1), Value::Int(0), Value::Int(1)]
+    );
+}
+
+#[test]
+fn primitives_compose_with_the_core_forms() {
+    // A whole program mixing everything: gated, deduped, folded.
+    let src = "\
+evens = keepIf (\\n -> n % 2 == 0) 0 Mouse.x
+deduped = dropRepeats evens
+main = foldp (\\v acc -> acc + v) 0 (merge deduped (sampleOn Mouse.clicks Window.width))";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    assert_eq!(compiled.program_type, Type::signal(Type::Int));
+    let g = compiled.graph().unwrap();
+    let mx = g.input_named("Mouse.x").unwrap();
+    let clicks = g.input_named("Mouse.clicks").unwrap();
+    let outs = SyncRuntime::run_trace(
+        g,
+        vec![
+            Occurrence::input(mx, 2i64),          // +2
+            Occurrence::input(mx, 2i64),          // deduped
+            Occurrence::input(mx, 4i64),          // +4
+            Occurrence::input(clicks, Value::Unit), // +1024 (window width)
+            Occurrence::input(mx, 5i64),          // filtered
+        ],
+    )
+    .unwrap();
+    assert_eq!(
+        changed_values(&outs).last(),
+        Some(&Value::Int(2 + 4 + 1024))
+    );
+}
+
+#[test]
+fn primitives_under_async_still_split_subgraphs() {
+    let src = "main = lift2 (\\a b -> (a, b)) (async (dropRepeats Words.input)) Mouse.x";
+    let compiled = compile_source(src, &InputEnv::standard()).unwrap();
+    let g = compiled.graph().unwrap();
+    assert_eq!(g.async_sources().len(), 1);
+    let owner = g.subgraph_owner();
+    let secondary = owner.iter().filter(|o| o.is_some()).count();
+    assert_eq!(secondary, 2, "Words.input + dropRepeats are secondary");
+}
+
+#[test]
+fn whole_programs_with_prims_parse_via_program_syntax() {
+    let prog = parse_program(
+        "gate = keepIf (\\n -> n > 0) 0 Mouse.x\nmain = merge gate Mouse.y",
+    )
+    .unwrap();
+    let e = prog.to_expr().unwrap();
+    assert_eq!(
+        infer_type(&InputEnv::standard(), &e).unwrap(),
+        Type::signal(Type::Int)
+    );
+}

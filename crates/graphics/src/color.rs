@@ -1,0 +1,125 @@
+//! Colors, after Elm's `Color` library.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An sRGB color with alpha.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Color {
+    /// Red, 0–255.
+    pub r: u8,
+    /// Green, 0–255.
+    pub g: u8,
+    /// Blue, 0–255.
+    pub b: u8,
+    /// Alpha, 0.0 (transparent) – 1.0 (opaque).
+    pub a: f32,
+}
+
+impl Color {
+    /// Opaque color from byte channels — Elm's `rgb`.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b, a: 1.0 }
+    }
+
+    /// Color with explicit alpha — Elm's `rgba`.
+    pub const fn rgba(r: u8, g: u8, b: u8, a: f32) -> Color {
+        Color { r, g, b, a }
+    }
+
+    /// Color from hue (degrees), saturation, and value in `[0, 1]` —
+    /// Elm's `hsv`.
+    pub fn hsv(hue: f64, saturation: f64, value: f64) -> Color {
+        let h = hue.rem_euclid(360.0) / 60.0;
+        let c = value * saturation;
+        let x = c * (1.0 - (h.rem_euclid(2.0) - 1.0).abs());
+        let (r1, g1, b1) = match h as u32 {
+            0 => (c, x, 0.0),
+            1 => (x, c, 0.0),
+            2 => (0.0, c, x),
+            3 => (0.0, x, c),
+            4 => (x, 0.0, c),
+            _ => (c, 0.0, x),
+        };
+        let m = value - c;
+        let to_byte = |v: f64| ((v + m).clamp(0.0, 1.0) * 255.0).round() as u8;
+        Color::rgb(to_byte(r1), to_byte(g1), to_byte(b1))
+    }
+
+    /// Returns the same color with a different alpha.
+    pub fn with_alpha(self, a: f32) -> Color {
+        Color { a, ..self }
+    }
+
+    /// CSS encoding (`rgba(r,g,b,a)`), as the HTML renderer emits it.
+    pub fn to_css(self) -> String {
+        format!("rgba({},{},{},{})", self.r, self.g, self.b, self.a)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:02x}{:02x}{:02x}", self.r, self.g, self.b)?;
+        if self.a != 1.0 {
+            write!(f, "@{:.2}", self.a)?;
+        }
+        Ok(())
+    }
+}
+
+/// Named colors matching Elm's standard palette (subset).
+pub mod palette {
+    use super::Color;
+
+    /// Pure red.
+    pub const RED: Color = Color::rgb(204, 0, 0);
+    /// Pure green.
+    pub const GREEN: Color = Color::rgb(115, 210, 22);
+    /// Pure blue.
+    pub const BLUE: Color = Color::rgb(52, 101, 164);
+    /// Yellow.
+    pub const YELLOW: Color = Color::rgb(237, 212, 0);
+    /// Orange.
+    pub const ORANGE: Color = Color::rgb(245, 121, 0);
+    /// Purple.
+    pub const PURPLE: Color = Color::rgb(117, 80, 123);
+    /// Black.
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    /// White.
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+    /// Mid gray.
+    pub const GRAY: Color = Color::rgb(211, 215, 207);
+    /// Charcoal.
+    pub const CHARCOAL: Color = Color::rgb(85, 87, 83);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_and_alpha() {
+        let c = Color::rgb(10, 20, 30);
+        assert_eq!(c.a, 1.0);
+        assert_eq!(c.with_alpha(0.5).a, 0.5);
+        assert_eq!(c.to_css(), "rgba(10,20,30,1)");
+    }
+
+    #[test]
+    fn hsv_primaries() {
+        assert_eq!(Color::hsv(0.0, 1.0, 1.0), Color::rgb(255, 0, 0));
+        assert_eq!(Color::hsv(120.0, 1.0, 1.0), Color::rgb(0, 255, 0));
+        assert_eq!(Color::hsv(240.0, 1.0, 1.0), Color::rgb(0, 0, 255));
+        // Hue wraps.
+        assert_eq!(Color::hsv(360.0, 1.0, 1.0), Color::hsv(0.0, 1.0, 1.0));
+        // Zero saturation is grayscale regardless of hue.
+        assert_eq!(Color::hsv(77.0, 0.0, 0.5), Color::hsv(200.0, 0.0, 0.5));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(palette::BLACK.to_string(), "#000000");
+        assert_eq!(Color::rgba(255, 0, 0, 0.25).to_string(), "#ff0000@0.25");
+    }
+}

@@ -1,0 +1,401 @@
+//! Elements: rectangular graphical building blocks (paper §4.1).
+//!
+//! "An element is a rectangle with a known width and height. Elements can
+//! contain text, images, or video. They can be easily created and
+//! composed." Composition is purely functional: `flow`, `container`,
+//! `above`/`below`/`beside`, and sizing functions all build new values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::color::Color;
+use crate::form::Form;
+use crate::position::Position;
+use crate::text::Text;
+
+/// Stacking direction for [`flow`] (paper Example 1 uses `flow down`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Left to right.
+    Right,
+    /// Right to left.
+    Left,
+    /// Top to bottom.
+    Down,
+    /// Bottom to top.
+    Up,
+    /// All children stacked at the same place, later ones on top.
+    Inward,
+    /// Like `Inward` but earlier children on top.
+    Outward,
+}
+
+/// A rectangular graphical element with known dimensions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Opacity, 0.0–1.0.
+    pub opacity: f32,
+    /// Background color, if any.
+    pub background: Option<Color>,
+    /// The content.
+    pub kind: ElementKind,
+}
+
+/// The possible contents of an [`Element`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// Invisible spacing.
+    Spacer,
+    /// Styled text.
+    Text(Text),
+    /// An image by source URL, with a fit mode.
+    Image {
+        /// Fit mode.
+        fit: ImageFit,
+        /// Source URL / path.
+        src: String,
+    },
+    /// An embedded video by source URL (paper §4.1: "Elements can contain
+    /// text, images, or video").
+    Video {
+        /// Source URL / path.
+        src: String,
+    },
+    /// A child positioned inside a larger box (paper Example 1's
+    /// `container 180 100 middle content`).
+    Container {
+        /// Where the child goes.
+        position: Position,
+        /// The child element.
+        child: Box<Element>,
+    },
+    /// Children stacked along a direction.
+    Flow {
+        /// Stacking direction.
+        direction: Direction,
+        /// The children, in order.
+        children: Vec<Element>,
+    },
+    /// Free-form 2D forms over a local coordinate system (paper §4.1's
+    /// `collage`).
+    Collage {
+        /// The forms, drawn in order.
+        forms: Vec<Form>,
+    },
+}
+
+impl Element {
+    fn of(width: u32, height: u32, kind: ElementKind) -> Element {
+        Element {
+            width,
+            height,
+            opacity: 1.0,
+            background: None,
+            kind,
+        }
+    }
+
+    /// An invisible `w × h` box — Elm's `spacer`.
+    pub fn spacer(width: u32, height: u32) -> Element {
+        Element::of(width, height, ElementKind::Spacer)
+    }
+
+    /// The empty element — Elm's `empty` (a 0×0 spacer).
+    pub fn empty() -> Element {
+        Element::spacer(0, 0)
+    }
+
+    /// A text element sized by the fixed-metric model — Elm's `text`.
+    pub fn text(text: Text) -> Element {
+        let (w, h) = text.measure();
+        Element::of(w, h, ElementKind::Text(text))
+    }
+
+    /// Plain unstyled text — Elm's `plainText`.
+    pub fn plain_text(s: impl Into<String>) -> Element {
+        Element::text(Text::plain(s))
+    }
+
+    /// Monospace rendering of a value's text form — Elm's `asText`.
+    pub fn as_text(value: impl std::fmt::Display) -> Element {
+        Element::text(Text::code(value.to_string()))
+    }
+
+    /// A `w × h` image — Elm's `image`.
+    pub fn image(width: u32, height: u32, src: impl Into<String>) -> Element {
+        Element::of(
+            width,
+            height,
+            ElementKind::Image {
+                fit: ImageFit::Plain,
+                src: src.into(),
+            },
+        )
+    }
+
+    /// An image scaled to fit without distortion — Elm's `fittedImage`
+    /// (paper Example 3 uses `fittedImage 300 200`).
+    pub fn fitted_image(width: u32, height: u32, src: impl Into<String>) -> Element {
+        Element::of(
+            width,
+            height,
+            ElementKind::Image {
+                fit: ImageFit::Fitted,
+                src: src.into(),
+            },
+        )
+    }
+
+    /// A `w × h` video player — Elm's `video`.
+    pub fn video(width: u32, height: u32, src: impl Into<String>) -> Element {
+        Element::of(width, height, ElementKind::Video { src: src.into() })
+    }
+
+    /// An image cropped to the box — Elm's `croppedImage` (simplified).
+    pub fn cropped_image(width: u32, height: u32, src: impl Into<String>) -> Element {
+        Element::of(
+            width,
+            height,
+            ElementKind::Image {
+                fit: ImageFit::Cropped,
+                src: src.into(),
+            },
+        )
+    }
+
+    /// Positions `child` inside a `w × h` box — Elm's `container`.
+    pub fn container(width: u32, height: u32, position: Position, child: Element) -> Element {
+        Element::of(
+            width,
+            height,
+            ElementKind::Container {
+                position,
+                child: Box::new(child),
+            },
+        )
+    }
+
+    /// Returns this element with a changed width. Images scale
+    /// proportionally (height adjusts); other elements just change size.
+    pub fn with_width(self, width: u32) -> Element {
+        let height = match &self.kind {
+            ElementKind::Image { .. } if self.width > 0 => {
+                ((self.height as u64 * width as u64) / self.width as u64) as u32
+            }
+            _ => self.height,
+        };
+        Element {
+            width,
+            height,
+            ..self
+        }
+    }
+
+    /// Returns this element with a changed height. Images scale
+    /// proportionally (width adjusts); other elements just change size.
+    pub fn with_height(self, height: u32) -> Element {
+        let width = match &self.kind {
+            ElementKind::Image { .. } if self.height > 0 => {
+                ((self.width as u64 * height as u64) / self.height as u64) as u32
+            }
+            _ => self.width,
+        };
+        Element {
+            width,
+            height,
+            ..self
+        }
+    }
+
+    /// Returns this element resized — Elm's `size`.
+    pub fn with_size(self, width: u32, height: u32) -> Element {
+        Element {
+            width,
+            height,
+            ..self
+        }
+    }
+
+    /// Returns this element with a new opacity — Elm's `opacity`.
+    pub fn with_opacity(self, opacity: f32) -> Element {
+        Element { opacity, ..self }
+    }
+
+    /// Returns this element over a colored background — Elm's `color`.
+    pub fn with_background(self, color: Color) -> Element {
+        Element {
+            background: Some(color),
+            ..self
+        }
+    }
+
+    /// Stacks `self` above `other` — Elm's `above`.
+    pub fn above(self, other: Element) -> Element {
+        flow(Direction::Down, vec![self, other])
+    }
+
+    /// Stacks `self` below `other` — Elm's `below`.
+    pub fn below(self, other: Element) -> Element {
+        flow(Direction::Down, vec![other, self])
+    }
+
+    /// Puts `self` to the left of `other` — Elm's `beside`.
+    pub fn beside(self, other: Element) -> Element {
+        flow(Direction::Right, vec![self, other])
+    }
+}
+
+/// How an image fills its box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImageFit {
+    /// Stretch to the box.
+    Plain,
+    /// Scale preserving aspect ratio, letterboxing as needed.
+    Fitted,
+    /// Crop to the box.
+    Cropped,
+    /// Tile to fill the box.
+    Tiled,
+}
+
+/// Composes elements along a direction — Elm's
+/// `flow : Direction -> [Element] -> Element` (paper Example 1).
+///
+/// The composite size follows from the children: stacking vertically, the
+/// width is the max child width and the height the sum of child heights;
+/// horizontally, vice versa; `Inward`/`Outward` take the max of both.
+pub fn flow(direction: Direction, children: Vec<Element>) -> Element {
+    let (width, height) = match direction {
+        Direction::Down | Direction::Up => (
+            children.iter().map(|c| c.width).max().unwrap_or(0),
+            children.iter().map(|c| c.height).sum(),
+        ),
+        Direction::Right | Direction::Left => (
+            children.iter().map(|c| c.width).sum(),
+            children.iter().map(|c| c.height).max().unwrap_or(0),
+        ),
+        Direction::Inward | Direction::Outward => (
+            children.iter().map(|c| c.width).max().unwrap_or(0),
+            children.iter().map(|c| c.height).max().unwrap_or(0),
+        ),
+    };
+    Element {
+        width,
+        height,
+        opacity: 1.0,
+        background: None,
+        kind: ElementKind::Flow {
+            direction,
+            children,
+        },
+    }
+}
+
+/// Combines forms into an element — Elm's
+/// `collage : Int -> Int -> [Form] -> Element` (paper Fig. 12).
+pub fn collage(width: u32, height: u32, forms: Vec<Form>) -> Element {
+    Element {
+        width,
+        height,
+        opacity: 1.0,
+        background: None,
+        kind: ElementKind::Collage { forms },
+    }
+}
+
+/// Elm's `layers`: stack elements on top of each other.
+pub fn layers(children: Vec<Element>) -> Element {
+    flow(Direction::Outward, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::position::Position;
+
+    #[test]
+    fn flow_down_sizes_like_paper_example_1() {
+        let content = flow(
+            Direction::Down,
+            vec![
+                Element::plain_text("Welcome to Elm!"),
+                Element::image(150, 50, "flower.jpg"),
+                Element::as_text("[9,8,7,6,5,4,3,2,1]"),
+            ],
+        );
+        // Width is the max of children; height is their sum.
+        let kids = match &content.kind {
+            ElementKind::Flow { children, .. } => children,
+            _ => unreachable!(),
+        };
+        assert_eq!(content.width, kids.iter().map(|c| c.width).max().unwrap());
+        assert_eq!(content.height, kids.iter().map(|c| c.height).sum::<u32>());
+        let main = Element::container(180, 100, Position::MIDDLE, content);
+        assert_eq!((main.width, main.height), (180, 100));
+    }
+
+    #[test]
+    fn flow_right_swaps_the_roles() {
+        let e = flow(
+            Direction::Right,
+            vec![Element::spacer(10, 30), Element::spacer(20, 7)],
+        );
+        assert_eq!((e.width, e.height), (30, 30));
+    }
+
+    #[test]
+    fn inward_outward_take_maxima() {
+        for dir in [Direction::Inward, Direction::Outward] {
+            let e = flow(dir, vec![Element::spacer(10, 30), Element::spacer(20, 7)]);
+            assert_eq!((e.width, e.height), (20, 30));
+        }
+    }
+
+    #[test]
+    fn empty_flow_is_zero_sized() {
+        let e = flow(Direction::Down, Vec::new());
+        assert_eq!((e.width, e.height), (0, 0));
+    }
+
+    #[test]
+    fn image_resizing_preserves_aspect_ratio() {
+        let img = Element::image(100, 50, "x.png");
+        let wider = img.clone().with_width(200);
+        assert_eq!((wider.width, wider.height), (200, 100));
+        let taller = img.with_height(100);
+        assert_eq!((taller.width, taller.height), (200, 100));
+        // Text does not scale its other axis.
+        let t = Element::plain_text("hello").with_width(500);
+        assert_eq!(t.width, 500);
+    }
+
+    #[test]
+    fn above_below_beside() {
+        let a = Element::spacer(10, 10);
+        let b = Element::spacer(20, 5);
+        let ab = a.clone().above(b.clone());
+        assert_eq!((ab.width, ab.height), (20, 15));
+        let ba = a.clone().below(b.clone());
+        let ElementKind::Flow { children, .. } = &ba.kind else {
+            unreachable!()
+        };
+        assert_eq!(children[0], b);
+        let side = a.beside(children[0].clone());
+        assert_eq!((side.width, side.height), (30, 10));
+    }
+
+    #[test]
+    fn styling_is_pure() {
+        let base = Element::spacer(5, 5);
+        let styled = base
+            .clone()
+            .with_opacity(0.5)
+            .with_background(crate::color::palette::RED);
+        assert_eq!(base.opacity, 1.0);
+        assert_eq!(styled.opacity, 0.5);
+        assert!(base.background.is_none());
+    }
+}

@@ -1,0 +1,437 @@
+//! Forms: free-form 2D shapes (paper §4.1, Fig. 12).
+//!
+//! "A form is an arbitrary 2D shape (including lines, shapes, text, and
+//! images) and a form can be enhanced by specifying texture and color.
+//! Forms can be moved, rotated, and scaled." Forms live in collage
+//! coordinates: origin at the collage center, x to the right, y upward —
+//! renderers convert to screen coordinates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::color::Color;
+use crate::text::Text;
+
+/// A 2D point in collage coordinates.
+pub type Point = (f64, f64);
+
+/// A polyline — Elm's `Path`, built by [`path`] or [`segment`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// The points visited in order.
+    pub points: Vec<Point>,
+}
+
+/// Builds a path through each point — Elm's `path` (the paper's Fig. 12
+/// calls this `zigzag = path [ (0,0), (10,10), (0,30), (10,40) ]`).
+pub fn path(points: Vec<Point>) -> Path {
+    Path { points }
+}
+
+/// A straight segment between two points — Elm's `segment`.
+pub fn segment(from: Point, to: Point) -> Path {
+    Path {
+        points: vec![from, to],
+    }
+}
+
+/// A closed shape — Elm's `Shape`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Shape {
+    /// The boundary vertices in order (implicitly closed).
+    pub points: Vec<Point>,
+}
+
+/// An irregular polygon through the points — Elm's `polygon`.
+pub fn polygon(points: Vec<Point>) -> Shape {
+    Shape { points }
+}
+
+/// A `w × h` axis-aligned rectangle centered at the origin — Elm's `rect`.
+pub fn rect(w: f64, h: f64) -> Shape {
+    Shape {
+        points: vec![
+            (-w / 2.0, -h / 2.0),
+            (w / 2.0, -h / 2.0),
+            (w / 2.0, h / 2.0),
+            (-w / 2.0, h / 2.0),
+        ],
+    }
+}
+
+/// A `side × side` square — Elm's `square`.
+pub fn square(side: f64) -> Shape {
+    rect(side, side)
+}
+
+/// An ellipse with the given axis widths, approximated by a polygon —
+/// Elm's `oval`.
+pub fn oval(w: f64, h: f64) -> Shape {
+    const SEGMENTS: usize = 36;
+    let points = (0..SEGMENTS)
+        .map(|i| {
+            let t = (i as f64 / SEGMENTS as f64) * std::f64::consts::TAU;
+            (t.cos() * w / 2.0, t.sin() * h / 2.0)
+        })
+        .collect();
+    Shape { points }
+}
+
+/// A circle of the given radius — Elm's `circle`.
+pub fn circle(radius: f64) -> Shape {
+    oval(radius * 2.0, radius * 2.0)
+}
+
+/// A regular `n`-gon with the given radius — Elm's `ngon` (Fig. 12's
+/// `pentagon = ngon 5 20`).
+pub fn ngon(n: usize, radius: f64) -> Shape {
+    let points = (0..n)
+        .map(|i| {
+            let t = (i as f64 / n as f64) * std::f64::consts::TAU;
+            (t.cos() * radius, t.sin() * radius)
+        })
+        .collect();
+    Shape { points }
+}
+
+/// Line caps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineCap {
+    /// Squared-off ends.
+    #[default]
+    Flat,
+    /// Rounded ends.
+    Round,
+    /// Square ends extending past the endpoint.
+    Padded,
+}
+
+/// Stroke styling — Elm's `LineStyle`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LineStyle {
+    /// Stroke color.
+    pub color: Color,
+    /// Stroke width in pixels.
+    pub width: f64,
+    /// Cap style.
+    pub cap: LineCap,
+    /// Dash pattern (on/off run lengths); empty = solid.
+    pub dashing: Vec<u32>,
+}
+
+/// A solid line — Elm's `solid`.
+pub fn solid(color: Color) -> LineStyle {
+    LineStyle {
+        color,
+        width: 1.0,
+        cap: LineCap::Flat,
+        dashing: Vec::new(),
+    }
+}
+
+/// A dashed line — Elm's `dashed`.
+pub fn dashed(color: Color) -> LineStyle {
+    LineStyle {
+        dashing: vec![8, 4],
+        ..solid(color)
+    }
+}
+
+/// A dotted line — Elm's `dotted`.
+pub fn dotted(color: Color) -> LineStyle {
+    LineStyle {
+        dashing: vec![3, 3],
+        ..solid(color)
+    }
+}
+
+/// How a shape is drawn.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FillStyle {
+    /// Filled with a color — Elm's `filled`.
+    Filled(Color),
+    /// Outlined with a line style — Elm's `outlined`.
+    Outlined(LineStyle),
+    /// Textured with an image — Elm's `textured`.
+    Textured(String),
+}
+
+/// The content of a form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FormKind {
+    /// A stroked path — Elm's `trace`.
+    Line {
+        /// Stroke style.
+        style: LineStyle,
+        /// The path.
+        path: Path,
+    },
+    /// A styled shape.
+    Shape {
+        /// Fill / outline / texture.
+        style: FillStyle,
+        /// The shape.
+        shape: Shape,
+    },
+    /// Text drawn at the form's position.
+    Text(Text),
+    /// An image of the given size.
+    Image {
+        /// Width.
+        width: f64,
+        /// Height.
+        height: f64,
+        /// Source.
+        src: String,
+    },
+    /// A group of sub-forms sharing this form's transform — Elm's `group`.
+    Group(Vec<Form>),
+}
+
+/// A positioned, rotated, scaled drawing — Elm's `Form`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Form {
+    /// Translation (collage coordinates).
+    pub x: f64,
+    /// Translation (collage coordinates, y up).
+    pub y: f64,
+    /// Rotation in radians, counterclockwise.
+    pub theta: f64,
+    /// Uniform scale factor.
+    pub scale: f64,
+    /// Opacity 0–1 — Elm's `alpha`.
+    pub alpha: f32,
+    /// What to draw.
+    pub kind: FormKind,
+}
+
+impl Form {
+    fn of(kind: FormKind) -> Form {
+        Form {
+            x: 0.0,
+            y: 0.0,
+            theta: 0.0,
+            scale: 1.0,
+            alpha: 1.0,
+            kind,
+        }
+    }
+
+    /// A filled shape — Elm's `filled green pentagon`.
+    pub fn filled(color: Color, shape: Shape) -> Form {
+        Form::of(FormKind::Shape {
+            style: FillStyle::Filled(color),
+            shape,
+        })
+    }
+
+    /// An outlined shape — Elm's `outlined (dashed blue) circle`.
+    pub fn outlined(style: LineStyle, shape: Shape) -> Form {
+        Form::of(FormKind::Shape {
+            style: FillStyle::Outlined(style),
+            shape,
+        })
+    }
+
+    /// A textured shape — Elm's `textured`.
+    pub fn textured(src: impl Into<String>, shape: Shape) -> Form {
+        Form::of(FormKind::Shape {
+            style: FillStyle::Textured(src.into()),
+            shape,
+        })
+    }
+
+    /// A stroked path — Elm's `trace (solid red) zigzag`.
+    pub fn trace(style: LineStyle, path: Path) -> Form {
+        Form::of(FormKind::Line { style, path })
+    }
+
+    /// A text form — Elm's `toForm (text …)` shorthand.
+    pub fn text(text: Text) -> Form {
+        Form::of(FormKind::Text(text))
+    }
+
+    /// An image form — Elm's `toForm (image …)` shorthand.
+    pub fn image(width: f64, height: f64, src: impl Into<String>) -> Form {
+        Form::of(FormKind::Image {
+            width,
+            height,
+            src: src.into(),
+        })
+    }
+
+    /// Groups forms under one shared transform — Elm's `group`.
+    pub fn group(forms: Vec<Form>) -> Form {
+        Form::of(FormKind::Group(forms))
+    }
+
+    /// Translates by `(dx, dy)` — Elm's `move`.
+    pub fn shifted(mut self, dx: f64, dy: f64) -> Form {
+        self.x += dx;
+        self.y += dy;
+        self
+    }
+
+    /// Rotates by `angle` radians counterclockwise — Elm's `rotate`.
+    pub fn rotated(mut self, angle: f64) -> Form {
+        self.theta += angle;
+        self
+    }
+
+    /// Scales uniformly — Elm's `scale`.
+    pub fn scaled(mut self, factor: f64) -> Form {
+        self.scale *= factor;
+        self
+    }
+
+    /// Adjusts opacity — Elm's `alpha`.
+    pub fn with_alpha(mut self, alpha: f32) -> Form {
+        self.alpha = alpha;
+        self
+    }
+
+    /// The affine transform `(point) -> (scaled, rotated, translated)` this
+    /// form applies to its local coordinates.
+    pub fn apply(&self, p: Point) -> Point {
+        let (sin, cos) = self.theta.sin_cos();
+        let (sx, sy) = (p.0 * self.scale, p.1 * self.scale);
+        (
+            sx * cos - sy * sin + self.x,
+            sx * sin + sy * cos + self.y,
+        )
+    }
+
+    /// Axis-aligned bounding box `((min_x, min_y), (max_x, max_y))` in
+    /// collage coordinates, after this form's transform. Line widths are
+    /// ignored (geometry only). Returns `None` for empty geometry.
+    pub fn bounds(&self) -> Option<(Point, Point)> {
+        let mut acc: Option<(Point, Point)> = None;
+        let mut add = |p: Point| {
+            acc = Some(match acc {
+                None => (p, p),
+                Some(((x0, y0), (x1, y1))) => {
+                    ((x0.min(p.0), y0.min(p.1)), (x1.max(p.0), y1.max(p.1)))
+                }
+            });
+        };
+        match &self.kind {
+            FormKind::Line { path, .. } => {
+                for &p in &path.points {
+                    add(self.apply(p));
+                }
+            }
+            FormKind::Shape { shape, .. } => {
+                for &p in &shape.points {
+                    add(self.apply(p));
+                }
+            }
+            FormKind::Text(t) => {
+                let (w, h) = t.measure();
+                let (w, h) = (w as f64 / 2.0, h as f64 / 2.0);
+                for p in [(-w, -h), (w, -h), (w, h), (-w, h)] {
+                    add(self.apply(p));
+                }
+            }
+            FormKind::Image { width, height, .. } => {
+                let (w, h) = (width / 2.0, height / 2.0);
+                for p in [(-w, -h), (w, -h), (w, h), (-w, h)] {
+                    add(self.apply(p));
+                }
+            }
+            FormKind::Group(forms) => {
+                for f in forms {
+                    if let Some((lo, hi)) = f.bounds() {
+                        for p in [lo, (lo.0, hi.1), (hi.0, lo.1), hi] {
+                            add(self.apply(p));
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Converts degrees to radians — Elm's `degrees` (Fig. 12 uses
+/// `rotate (degrees 70)`).
+pub fn degrees(d: f64) -> f64 {
+    d * std::f64::consts::PI / 180.0
+}
+
+/// Converts turns (full revolutions) to radians — Elm's `turns`.
+pub fn turns(t: f64) -> f64 {
+    t * std::f64::consts::TAU
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+
+    #[test]
+    fn shape_constructors_have_expected_vertices() {
+        assert_eq!(rect(70.0, 70.0).points.len(), 4);
+        assert_eq!(ngon(5, 20.0).points.len(), 5);
+        assert_eq!(oval(50.0, 50.0).points.len(), 36);
+        assert_eq!(
+            path(vec![(0.0, 0.0), (10.0, 10.0), (0.0, 30.0), (10.0, 40.0)])
+                .points
+                .len(),
+            4
+        );
+        assert_eq!(segment((0.0, 0.0), (1.0, 1.0)).points.len(), 2);
+    }
+
+    #[test]
+    fn transforms_compose() {
+        let f = Form::filled(palette::RED, square(2.0))
+            .shifted(10.0, 0.0)
+            .rotated(degrees(90.0))
+            .scaled(2.0);
+        // Local point (1, 0): scale → (2, 0); rotate 90° → (0, 2);
+        // translate → (10, 2).
+        let (x, y) = f.apply((1.0, 0.0));
+        assert!((x - 10.0).abs() < 1e-9, "{x}");
+        assert!((y - 2.0).abs() < 1e-9, "{y}");
+    }
+
+    #[test]
+    fn rotation_preserves_bounding_diagonal_of_square() {
+        let sq = Form::filled(palette::BLUE, square(10.0));
+        let rot = sq.clone().rotated(degrees(45.0));
+        let ((x0, y0), (x1, y1)) = rot.bounds().unwrap();
+        let diag = 10.0 * std::f64::consts::SQRT_2;
+        assert!(((x1 - x0) - diag).abs() < 1e-9);
+        assert!(((y1 - y0) - diag).abs() < 1e-9);
+        // Unrotated bounds are the square itself.
+        let ((a0, b0), (a1, b1)) = sq.bounds().unwrap();
+        assert_eq!((a1 - a0, b1 - b0), (10.0, 10.0));
+    }
+
+    #[test]
+    fn scaling_scales_bounds_linearly() {
+        let f = Form::filled(palette::RED, rect(4.0, 2.0)).scaled(3.0);
+        let ((x0, y0), (x1, y1)) = f.bounds().unwrap();
+        assert_eq!((x1 - x0, y1 - y0), (12.0, 6.0));
+    }
+
+    #[test]
+    fn groups_transform_their_children() {
+        let child = Form::filled(palette::RED, square(2.0)).shifted(5.0, 0.0);
+        let g = Form::group(vec![child]).rotated(degrees(180.0));
+        let ((x0, _), (x1, _)) = g.bounds().unwrap();
+        assert!(x0 < -3.9 && x1 < -3.9 + 2.2, "group moved to the left: {x0} {x1}");
+    }
+
+    #[test]
+    fn degrees_and_turns() {
+        assert!((degrees(180.0) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((turns(0.5) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_styles() {
+        assert!(solid(palette::RED).dashing.is_empty());
+        assert_eq!(dashed(palette::RED).dashing, vec![8, 4]);
+        assert_eq!(dotted(palette::RED).dashing, vec![3, 3]);
+    }
+}

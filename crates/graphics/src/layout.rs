@@ -1,0 +1,514 @@
+//! The layout solver: elements to absolutely positioned primitives.
+//!
+//! Layout is a pure function from an [`Element`] tree to a [`DisplayList`]
+//! of screen-coordinate primitives (origin top-left, y down). Renderers —
+//! HTML, SVG, ASCII — consume the display list, so layout logic exists in
+//! exactly one place and is directly testable, which is the point of the
+//! paper's "purely functional graphical layout".
+
+use serde::{Deserialize, Serialize};
+
+use crate::color::Color;
+use crate::element::{Direction, Element, ElementKind, ImageFit};
+use crate::form::{FillStyle, Form, FormKind, Point};
+use crate::text::Text;
+
+/// An absolutely positioned primitive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Placed {
+    /// X of the top-left corner, in screen pixels.
+    pub x: i32,
+    /// Y of the top-left corner, in screen pixels.
+    pub y: i32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Effective opacity (product of ancestors').
+    pub opacity: f32,
+    /// What to draw.
+    pub primitive: Primitive,
+}
+
+/// Drawable primitives after layout.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Primitive {
+    /// A filled rectangle (element backgrounds).
+    Fill(Color),
+    /// Text anchored at the placed box's top-left.
+    Text(Text),
+    /// An image.
+    Image {
+        /// Fit mode.
+        fit: ImageFit,
+        /// Source.
+        src: String,
+    },
+    /// A video player.
+    Video {
+        /// Source.
+        src: String,
+    },
+    /// One stroked/filled form, already transformed to *screen*
+    /// coordinates (y down); the placed box is the collage's box.
+    Form(ScreenForm),
+}
+
+/// A form flattened into screen coordinates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScreenForm {
+    /// Effective alpha.
+    pub alpha: f32,
+    /// The drawing, with all points mapped to screen pixels.
+    pub kind: ScreenFormKind,
+}
+
+/// Screen-space form payloads.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScreenFormKind {
+    /// Stroke a polyline.
+    Line {
+        /// Stroke style.
+        style: crate::form::LineStyle,
+        /// Screen-space points.
+        points: Vec<Point>,
+    },
+    /// Fill/outline a polygon.
+    Shape {
+        /// Style.
+        style: FillStyle,
+        /// Screen-space vertices.
+        points: Vec<Point>,
+    },
+    /// Text centered at a screen point.
+    Text {
+        /// The text.
+        text: Text,
+        /// Center position.
+        at: Point,
+        /// Rotation (radians, screen sense).
+        theta: f64,
+    },
+    /// An image centered at a screen point.
+    Image {
+        /// Width after scaling.
+        width: f64,
+        /// Height after scaling.
+        height: f64,
+        /// Source.
+        src: String,
+        /// Center position.
+        at: Point,
+        /// Rotation (radians, screen sense).
+        theta: f64,
+    },
+}
+
+/// The output of layout: primitives in back-to-front paint order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisplayList {
+    /// Primitives, first painted first.
+    pub items: Vec<Placed>,
+    /// Total width of the laid-out scene.
+    pub width: u32,
+    /// Total height of the laid-out scene.
+    pub height: u32,
+}
+
+impl DisplayList {
+    /// Primitives overlapping the given point (hit testing), topmost last.
+    pub fn hits(&self, x: i32, y: i32) -> Vec<&Placed> {
+        self.items
+            .iter()
+            .filter(|p| {
+                x >= p.x
+                    && y >= p.y
+                    && x < p.x + p.width as i32
+                    && y < p.y + p.height as i32
+            })
+            .collect()
+    }
+}
+
+/// Lays out an element tree into a display list.
+pub fn layout(root: &Element) -> DisplayList {
+    let mut out = DisplayList {
+        items: Vec::new(),
+        width: root.width,
+        height: root.height,
+    };
+    place(root, 0, 0, 1.0, &mut out);
+    out
+}
+
+fn place(e: &Element, x: i32, y: i32, opacity: f32, out: &mut DisplayList) {
+    let opacity = opacity * e.opacity;
+    if let Some(color) = e.background {
+        out.items.push(Placed {
+            x,
+            y,
+            width: e.width,
+            height: e.height,
+            opacity,
+            primitive: Primitive::Fill(color),
+        });
+    }
+    match &e.kind {
+        ElementKind::Spacer => {}
+        ElementKind::Text(t) => out.items.push(Placed {
+            x,
+            y,
+            width: e.width,
+            height: e.height,
+            opacity,
+            primitive: Primitive::Text(t.clone()),
+        }),
+        ElementKind::Image { fit, src } => out.items.push(Placed {
+            x,
+            y,
+            width: e.width,
+            height: e.height,
+            opacity,
+            primitive: Primitive::Image {
+                fit: *fit,
+                src: src.clone(),
+            },
+        }),
+        ElementKind::Video { src } => out.items.push(Placed {
+            x,
+            y,
+            width: e.width,
+            height: e.height,
+            opacity,
+            primitive: Primitive::Video { src: src.clone() },
+        }),
+        ElementKind::Container { position, child } => {
+            let (dx, dy) = position.resolve(e.width, e.height, child.width, child.height);
+            place(child, x + dx, y + dy, opacity, out);
+        }
+        ElementKind::Flow {
+            direction,
+            children,
+        } => {
+            let mut cx = x;
+            let mut cy = y;
+            match direction {
+                Direction::Down => {
+                    for c in children {
+                        place(c, cx, cy, opacity, out);
+                        cy += c.height as i32;
+                    }
+                }
+                Direction::Up => {
+                    let mut cursor = y + e.height as i32;
+                    for c in children {
+                        cursor -= c.height as i32;
+                        place(c, cx, cursor, opacity, out);
+                    }
+                }
+                Direction::Right => {
+                    for c in children {
+                        place(c, cx, cy, opacity, out);
+                        cx += c.width as i32;
+                    }
+                }
+                Direction::Left => {
+                    let mut cursor = x + e.width as i32;
+                    for c in children {
+                        cursor -= c.width as i32;
+                        place(c, cursor, cy, opacity, out);
+                    }
+                }
+                Direction::Inward | Direction::Outward => {
+                    // Inward: later children on top (paint later).
+                    // Outward: earlier children on top.
+                    let ordered: Vec<&Element> = match direction {
+                        Direction::Inward => children.iter().collect(),
+                        _ => children.iter().rev().collect(),
+                    };
+                    for c in ordered {
+                        place(c, cx, cy, opacity, out);
+                    }
+                }
+            }
+        }
+        ElementKind::Collage { forms } => {
+            let center = (
+                x as f64 + e.width as f64 / 2.0,
+                y as f64 + e.height as f64 / 2.0,
+            );
+            for f in forms {
+                flatten_form(f, center, 1.0, out, x, y, e.width, e.height, opacity);
+            }
+        }
+    }
+}
+
+/// Maps a collage point (origin center, y up) to screen coordinates.
+fn to_screen(center: Point, p: Point) -> Point {
+    (center.0 + p.0, center.1 - p.1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flatten_form(
+    f: &Form,
+    center: Point,
+    parent_alpha: f32,
+    out: &mut DisplayList,
+    box_x: i32,
+    box_y: i32,
+    box_w: u32,
+    box_h: u32,
+    opacity: f32,
+) {
+    let alpha = parent_alpha * f.alpha;
+    let placed = |primitive: Primitive, out: &mut DisplayList| {
+        out.items.push(Placed {
+            x: box_x,
+            y: box_y,
+            width: box_w,
+            height: box_h,
+            opacity,
+            primitive,
+        });
+    };
+    match &f.kind {
+        FormKind::Line { style, path } => {
+            let points = path
+                .points
+                .iter()
+                .map(|&p| to_screen(center, f.apply(p)))
+                .collect();
+            placed(
+                Primitive::Form(ScreenForm {
+                    alpha,
+                    kind: ScreenFormKind::Line {
+                        style: style.clone(),
+                        points,
+                    },
+                }),
+                out,
+            );
+        }
+        FormKind::Shape { style, shape } => {
+            let points = shape
+                .points
+                .iter()
+                .map(|&p| to_screen(center, f.apply(p)))
+                .collect();
+            placed(
+                Primitive::Form(ScreenForm {
+                    alpha,
+                    kind: ScreenFormKind::Shape {
+                        style: style.clone(),
+                        points,
+                    },
+                }),
+                out,
+            );
+        }
+        FormKind::Text(t) => {
+            let at = to_screen(center, f.apply((0.0, 0.0)));
+            placed(
+                Primitive::Form(ScreenForm {
+                    alpha,
+                    kind: ScreenFormKind::Text {
+                        text: t.clone(),
+                        at,
+                        theta: -f.theta,
+                    },
+                }),
+                out,
+            );
+        }
+        FormKind::Image { width, height, src } => {
+            let at = to_screen(center, f.apply((0.0, 0.0)));
+            placed(
+                Primitive::Form(ScreenForm {
+                    alpha,
+                    kind: ScreenFormKind::Image {
+                        width: width * f.scale,
+                        height: height * f.scale,
+                        src: src.clone(),
+                        at,
+                        theta: -f.theta,
+                    },
+                }),
+                out,
+            );
+        }
+        FormKind::Group(children) => {
+            for c in children {
+                // Compose the group transform with the child's by applying
+                // the group transform to the child's already-transformed
+                // points: build a synthetic child whose transform is the
+                // composition.
+                let composed = compose(f, c);
+                flatten_form(
+                    &composed,
+                    center,
+                    alpha,
+                    out,
+                    box_x,
+                    box_y,
+                    box_w,
+                    box_h,
+                    opacity,
+                );
+            }
+        }
+    }
+}
+
+/// Composes an outer transform with a child form: the result applies
+/// `child` then `outer`.
+fn compose(outer: &Form, child: &Form) -> Form {
+    let (ox, oy) = outer.apply((child.x, child.y));
+    Form {
+        x: ox,
+        y: oy,
+        theta: outer.theta + child.theta,
+        scale: outer.scale * child.scale,
+        alpha: child.alpha,
+        kind: child.kind.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+    use crate::element::{collage, flow};
+    use crate::form::{degrees, square};
+    use crate::position::Position;
+
+    #[test]
+    fn container_centers_child_in_display_list() {
+        // Paper Example 1's container 180 100 middle …
+        let child = Element::plain_text("Welcome to Elm!");
+        let (cw, ch) = (child.width, child.height);
+        let main = Element::container(180, 100, Position::MIDDLE, child);
+        let dl = layout(&main);
+        assert_eq!(dl.items.len(), 1);
+        let item = &dl.items[0];
+        assert_eq!(item.x, (180 - cw as i32) / 2);
+        assert_eq!(item.y, (100 - ch as i32) / 2);
+    }
+
+    #[test]
+    fn flow_down_stacks_without_overlap() {
+        let e = flow(
+            Direction::Down,
+            vec![
+                Element::spacer(10, 20).with_background(palette::RED),
+                Element::spacer(10, 30).with_background(palette::BLUE),
+            ],
+        );
+        let dl = layout(&e);
+        assert_eq!(dl.items[0].y, 0);
+        assert_eq!(dl.items[1].y, 20);
+        assert_eq!(dl.height, 50);
+    }
+
+    #[test]
+    fn flow_up_and_left_reverse_cursor() {
+        let e = flow(
+            Direction::Up,
+            vec![
+                Element::spacer(10, 20).with_background(palette::RED),
+                Element::spacer(10, 30).with_background(palette::BLUE),
+            ],
+        );
+        let dl = layout(&e);
+        // First child at the bottom.
+        assert_eq!(dl.items[0].y, 30);
+        assert_eq!(dl.items[1].y, 0);
+
+        let e = flow(
+            Direction::Left,
+            vec![
+                Element::spacer(20, 10).with_background(palette::RED),
+                Element::spacer(30, 10).with_background(palette::BLUE),
+            ],
+        );
+        let dl = layout(&e);
+        assert_eq!(dl.items[0].x, 30);
+        assert_eq!(dl.items[1].x, 0);
+    }
+
+    #[test]
+    fn layering_order_matches_direction() {
+        let top = Element::spacer(5, 5).with_background(palette::RED);
+        let bottom = Element::spacer(5, 5).with_background(palette::BLUE);
+        let inward = flow(Direction::Inward, vec![bottom.clone(), top.clone()]);
+        let dl = layout(&inward);
+        // Later child painted last (on top).
+        assert_eq!(dl.items[1].primitive, Primitive::Fill(palette::RED));
+        let outward = flow(Direction::Outward, vec![top, bottom]);
+        let dl = layout(&outward);
+        assert_eq!(dl.items[1].primitive, Primitive::Fill(palette::RED));
+    }
+
+    #[test]
+    fn opacity_multiplies_down_the_tree() {
+        let inner = Element::spacer(5, 5)
+            .with_background(palette::RED)
+            .with_opacity(0.5);
+        let outer = Element::container(10, 10, Position::TOP_LEFT, inner).with_opacity(0.5);
+        let dl = layout(&outer);
+        assert!((dl.items[0].opacity - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collage_converts_to_screen_coordinates() {
+        // A unit square moved up-right in collage space must appear
+        // up-right of the collage center in screen space (y flipped).
+        let f = Form::filled(palette::RED, square(2.0)).shifted(10.0, 10.0);
+        let e = collage(100, 100, vec![f]);
+        let dl = layout(&e);
+        let Primitive::Form(sf) = &dl.items[0].primitive else {
+            panic!()
+        };
+        let ScreenFormKind::Shape { points, .. } = &sf.kind else {
+            panic!()
+        };
+        let cx = points.iter().map(|p| p.0).sum::<f64>() / points.len() as f64;
+        let cy = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+        assert!((cx - 60.0).abs() < 1e-9);
+        assert!((cy - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn groups_compose_transforms() {
+        let child = Form::filled(palette::RED, square(2.0)).shifted(10.0, 0.0);
+        let g = Form::group(vec![child]).rotated(degrees(90.0));
+        let e = collage(100, 100, vec![g]);
+        let dl = layout(&e);
+        let Primitive::Form(sf) = &dl.items[0].primitive else {
+            panic!()
+        };
+        let ScreenFormKind::Shape { points, .. } = &sf.kind else {
+            panic!()
+        };
+        // Collage-space center after rotation: (0, 10); screen: (50, 40).
+        let cx = points.iter().map(|p| p.0).sum::<f64>() / points.len() as f64;
+        let cy = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+        assert!((cx - 50.0).abs() < 1e-9, "{cx}");
+        assert!((cy - 40.0).abs() < 1e-9, "{cy}");
+    }
+
+    #[test]
+    fn hit_testing_finds_overlapping_primitives() {
+        let e = flow(
+            Direction::Down,
+            vec![
+                Element::spacer(10, 10).with_background(palette::RED),
+                Element::spacer(10, 10).with_background(palette::BLUE),
+            ],
+        );
+        let dl = layout(&e);
+        assert_eq!(dl.hits(5, 5).len(), 1);
+        assert_eq!(dl.hits(5, 15).len(), 1);
+        assert_eq!(dl.hits(50, 50).len(), 0);
+    }
+}

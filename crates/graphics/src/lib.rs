@@ -1,0 +1,50 @@
+//! Purely functional graphical layout — Elm's Elements and Forms
+//! (paper §2 Example 1, §4.1, Fig. 12).
+//!
+//! Two composable layers:
+//!
+//! * **[`Element`]** — rectangles of known size: text, images, containers,
+//!   and `flow` stacking. "Values of type Element occupy a rectangular
+//!   area of the screen when displayed, making Elements easy to compose."
+//! * **[`Form`]** — free-form 2D shapes (lines, polygons, text, images)
+//!   that can be moved, rotated, scaled, and combined with
+//!   [`collage`] into an `Element`.
+//!
+//! Layout is a pure function ([`layout::layout`]) producing a
+//! [`layout::DisplayList`], rendered to HTML ([`render::html`]), SVG
+//! ([`render::svg`]), or an ASCII raster ([`render::ascii`] — the headless
+//! substitute for a browser screen; see DESIGN.md).
+//!
+//! ```
+//! use elm_graphics::{flow, Direction, Element, Position};
+//!
+//! // Paper Example 1.
+//! let content = flow(Direction::Down, vec![
+//!     Element::plain_text("Welcome to Elm!"),
+//!     Element::image(150, 50, "flower.jpg"),
+//!     Element::as_text("[9, 8, 7, 6, 5, 4, 3, 2, 1]"),
+//! ]);
+//! let main = Element::container(180, 100, Position::MIDDLE, content);
+//! let html = elm_graphics::render::html::to_html_page("quickstart", &main);
+//! assert!(html.contains("Welcome to Elm!"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod element;
+pub mod form;
+pub mod layout;
+pub mod position;
+pub mod render;
+pub mod text;
+
+pub use color::{palette, Color};
+pub use element::{collage, flow, layers, Direction, Element, ElementKind, ImageFit};
+pub use form::{
+    circle, dashed, degrees, dotted, ngon, oval, path, polygon, rect, segment, solid, square,
+    turns, FillStyle, Form, FormKind, LineCap, LineStyle, Path, Point, Shape,
+};
+pub use layout::{layout, DisplayList, Placed, Primitive};
+pub use position::{Align, Position};
+pub use text::Text;

@@ -1,0 +1,115 @@
+//! Positions within a container (paper §2: "Elm provides a simple
+//! abstraction, allowing the position of content within a container to be
+//! specified as `topLeft`, `midTop`, `topRight`, `midLeft`, `middle`, and
+//! so on").
+
+use serde::{Deserialize, Serialize};
+
+/// Alignment along one axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Align {
+    /// Left / top.
+    Near,
+    /// Centered.
+    Mid,
+    /// Right / bottom.
+    Far,
+}
+
+/// A position inside a container: an alignment pair plus pixel offsets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Position {
+    /// Horizontal alignment.
+    pub horizontal: Align,
+    /// Vertical alignment.
+    pub vertical: Align,
+    /// Extra x offset in pixels (to the right).
+    pub dx: i32,
+    /// Extra y offset in pixels (downward).
+    pub dy: i32,
+}
+
+impl Position {
+    /// `topLeft`.
+    pub const TOP_LEFT: Position = Position::new(Align::Near, Align::Near);
+    /// `midTop`.
+    pub const MID_TOP: Position = Position::new(Align::Mid, Align::Near);
+    /// `topRight`.
+    pub const TOP_RIGHT: Position = Position::new(Align::Far, Align::Near);
+    /// `midLeft`.
+    pub const MID_LEFT: Position = Position::new(Align::Near, Align::Mid);
+    /// `middle`.
+    pub const MIDDLE: Position = Position::new(Align::Mid, Align::Mid);
+    /// `midRight`.
+    pub const MID_RIGHT: Position = Position::new(Align::Far, Align::Mid);
+    /// `bottomLeft`.
+    pub const BOTTOM_LEFT: Position = Position::new(Align::Near, Align::Far);
+    /// `midBottom`.
+    pub const MID_BOTTOM: Position = Position::new(Align::Mid, Align::Far);
+    /// `bottomRight`.
+    pub const BOTTOM_RIGHT: Position = Position::new(Align::Far, Align::Far);
+
+    /// A position from alignments with zero offsets.
+    pub const fn new(horizontal: Align, vertical: Align) -> Position {
+        Position {
+            horizontal,
+            vertical,
+            dx: 0,
+            dy: 0,
+        }
+    }
+
+    /// Adds pixel offsets — Elm's `moveBy`-style adjustment.
+    pub fn offset(mut self, dx: i32, dy: i32) -> Position {
+        self.dx += dx;
+        self.dy += dy;
+        self
+    }
+
+    /// Resolves the child's top-left corner inside a `(cw, ch)` container
+    /// for a child of size `(w, h)`.
+    pub fn resolve(&self, cw: u32, ch: u32, w: u32, h: u32) -> (i32, i32) {
+        let place = |align: Align, outer: u32, inner: u32| -> i32 {
+            match align {
+                Align::Near => 0,
+                Align::Mid => (outer as i64 - inner as i64) as i32 / 2,
+                Align::Far => (outer as i64 - inner as i64) as i32,
+            }
+        };
+        (
+            place(self.horizontal, cw, w) + self.dx,
+            place(self.vertical, ch, h) + self.dy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn middle_centers_the_child() {
+        assert_eq!(Position::MIDDLE.resolve(180, 100, 80, 40), (50, 30));
+    }
+
+    #[test]
+    fn corners_and_edges() {
+        assert_eq!(Position::TOP_LEFT.resolve(100, 100, 20, 20), (0, 0));
+        assert_eq!(Position::TOP_RIGHT.resolve(100, 100, 20, 20), (80, 0));
+        assert_eq!(Position::BOTTOM_LEFT.resolve(100, 100, 20, 20), (0, 80));
+        assert_eq!(Position::BOTTOM_RIGHT.resolve(100, 100, 20, 20), (80, 80));
+        assert_eq!(Position::MID_TOP.resolve(100, 100, 20, 20), (40, 0));
+        assert_eq!(Position::MID_BOTTOM.resolve(100, 100, 20, 20), (40, 80));
+    }
+
+    #[test]
+    fn offsets_apply_after_alignment() {
+        let p = Position::TOP_LEFT.offset(5, -3);
+        assert_eq!(p.resolve(100, 100, 10, 10), (5, -3));
+    }
+
+    #[test]
+    fn oversized_children_center_negatively() {
+        assert_eq!(Position::MIDDLE.resolve(10, 10, 20, 20), (-5, -5));
+    }
+}

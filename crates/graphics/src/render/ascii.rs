@@ -1,0 +1,199 @@
+//! ASCII rasterization of display lists.
+//!
+//! The headless stand-in for a screen: examples "display" their GUIs in
+//! the terminal, and golden tests assert on stable character rasters. One
+//! character cell covers an 8×16 pixel block (roughly a terminal cell's
+//! aspect ratio).
+
+use crate::layout::{DisplayList, Primitive, ScreenFormKind};
+
+/// Horizontal pixels per character cell.
+pub const CELL_W: u32 = 8;
+/// Vertical pixels per character cell.
+pub const CELL_H: u32 = 16;
+
+/// Renders a display list as a character raster.
+///
+/// Backgrounds are `░`, images `▒`, videos `▓`, form interiors/edges `█`,
+/// and text is
+/// drawn with its own characters (clipped to the scene).
+pub fn to_ascii(dl: &DisplayList) -> String {
+    let cols = (dl.width.div_ceil(CELL_W)).max(1) as usize;
+    let rows = (dl.height.div_ceil(CELL_H)).max(1) as usize;
+    let mut grid = vec![vec![' '; cols]; rows];
+
+    let mut put = |col: i64, row: i64, ch: char, grid: &mut Vec<Vec<char>>| {
+        if col >= 0 && row >= 0 && (col as usize) < cols && (row as usize) < rows {
+            grid[row as usize][col as usize] = ch;
+        }
+    };
+
+    for item in &dl.items {
+        let c0 = item.x as i64 / CELL_W as i64;
+        let r0 = item.y as i64 / CELL_H as i64;
+        match &item.primitive {
+            Primitive::Fill(_) => {
+                let c1 = (item.x as i64 + item.width as i64 - 1) / CELL_W as i64;
+                let r1 = (item.y as i64 + item.height as i64 - 1) / CELL_H as i64;
+                for r in r0..=r1 {
+                    for c in c0..=c1 {
+                        put(c, r, '\u{2591}', &mut grid);
+                    }
+                }
+            }
+            Primitive::Image { .. } | Primitive::Video { .. } => {
+                let shade = if matches!(item.primitive, Primitive::Video { .. }) {
+                    '\u{2593}'
+                } else {
+                    '\u{2592}'
+                };
+                let c1 = (item.x as i64 + item.width as i64 - 1) / CELL_W as i64;
+                let r1 = (item.y as i64 + item.height as i64 - 1) / CELL_H as i64;
+                for r in r0..=r1 {
+                    for c in c0..=c1 {
+                        put(c, r, shade, &mut grid);
+                    }
+                }
+            }
+            Primitive::Text(t) => {
+                for (line_ix, line) in t.content.split('\n').enumerate() {
+                    for (i, ch) in line.chars().enumerate() {
+                        put(c0 + i as i64, r0 + line_ix as i64, ch, &mut grid);
+                    }
+                }
+            }
+            Primitive::Form(sf) => match &sf.kind {
+                ScreenFormKind::Line { points, .. } => {
+                    raster_polyline(points, false, &mut put, &mut grid);
+                }
+                ScreenFormKind::Shape { points, .. } => {
+                    raster_polyline(points, true, &mut put, &mut grid);
+                }
+                ScreenFormKind::Text { text, at, .. } => {
+                    let chars: Vec<char> = text.content.chars().collect();
+                    let start_col =
+                        (at.0 / CELL_W as f64) as i64 - chars.len() as i64 / 2;
+                    let row = (at.1 / CELL_H as f64) as i64;
+                    for (i, ch) in chars.iter().enumerate() {
+                        put(start_col + i as i64, row, *ch, &mut grid);
+                    }
+                }
+                ScreenFormKind::Image {
+                    width,
+                    height,
+                    at,
+                    ..
+                } => {
+                    let c0 = ((at.0 - width / 2.0) / CELL_W as f64) as i64;
+                    let c1 = ((at.0 + width / 2.0) / CELL_W as f64) as i64;
+                    let r0 = ((at.1 - height / 2.0) / CELL_H as f64) as i64;
+                    let r1 = ((at.1 + height / 2.0) / CELL_H as f64) as i64;
+                    for r in r0..=r1 {
+                        for c in c0..=c1 {
+                            put(c, r, '\u{2592}', &mut grid);
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+fn raster_polyline(
+    points: &[(f64, f64)],
+    close: bool,
+    put: &mut impl FnMut(i64, i64, char, &mut Vec<Vec<char>>),
+    grid: &mut Vec<Vec<char>>,
+) {
+    if points.is_empty() {
+        return;
+    }
+    let n = points.len();
+    let last = if close { n } else { n - 1 };
+    for i in 0..last {
+        let a = points[i];
+        let b = points[(i + 1) % n];
+        // Walk the segment in small steps, marking cells.
+        let steps = ((a.0 - b.0).abs().max((a.1 - b.1).abs()) / 2.0).ceil() as usize + 1;
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            let x = a.0 + (b.0 - a.0) * t;
+            let y = a.1 + (b.1 - a.1) * t;
+            put(
+                (x / CELL_W as f64) as i64,
+                (y / CELL_H as f64) as i64,
+                '\u{2588}',
+                grid,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+    use crate::element::{collage, flow, Direction, Element};
+    use crate::form::{rect, Form};
+    use crate::layout::layout;
+    use crate::position::Position;
+
+    #[test]
+    fn text_appears_at_its_position() {
+        let e = Element::container(160, 64, Position::MIDDLE, Element::plain_text("hi"));
+        let ascii = to_ascii(&layout(&e));
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("hi") || lines[2].contains("hi"), "{ascii}");
+    }
+
+    #[test]
+    fn fills_and_images_use_distinct_shades() {
+        let e = flow(
+            Direction::Down,
+            vec![
+                Element::spacer(32, 16).with_background(palette::RED),
+                Element::image(32, 16, "x.png"),
+            ],
+        );
+        let ascii = to_ascii(&layout(&e));
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert!(lines[0].contains('\u{2591}'));
+        assert!(lines[1].contains('\u{2592}'));
+    }
+
+    #[test]
+    fn forms_raster_as_blocks() {
+        let e = collage(
+            80,
+            80,
+            vec![Form::filled(palette::BLUE, rect(40.0, 40.0))],
+        );
+        let ascii = to_ascii(&layout(&e));
+        assert!(ascii.contains('\u{2588}'), "{ascii}");
+    }
+
+    #[test]
+    fn raster_is_stable_for_example1() {
+        let content = flow(
+            Direction::Down,
+            vec![
+                Element::plain_text("Welcome to Elm!"),
+                Element::image(120, 32, "flower.jpg"),
+            ],
+        );
+        let main = Element::container(160, 80, Position::MIDDLE, content);
+        let a = to_ascii(&layout(&main));
+        let b = to_ascii(&layout(&main));
+        assert_eq!(a, b);
+        assert!(a.contains("Welcome to Elm!"));
+    }
+}

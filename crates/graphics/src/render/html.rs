@@ -1,0 +1,188 @@
+//! HTML rendering of element trees.
+//!
+//! The paper's compiler emits HTML: "The output of compiling an Elm
+//! program is an HTML file" (§5). This renderer produces the same kind of
+//! output — absolutely positioned `div`s for layout, `img` for images,
+//! inline SVG for collages — from a laid-out [`DisplayList`].
+
+use std::fmt::Write as _;
+
+use crate::element::Element;
+use crate::layout::{layout, DisplayList, Primitive};
+
+/// Renders an element as an HTML fragment (a single positioned `<div>`).
+pub fn to_html_fragment(root: &Element) -> String {
+    let dl = layout(root);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<div class=\"elm\" style=\"position:relative;width:{}px;height:{}px;overflow:hidden;\">",
+        dl.width, dl.height
+    );
+    for item in &dl.items {
+        let style_pos = format!(
+            "position:absolute;left:{}px;top:{}px;width:{}px;height:{}px;",
+            item.x, item.y, item.width, item.height
+        );
+        let opacity = if item.opacity < 1.0 {
+            format!("opacity:{};", item.opacity)
+        } else {
+            String::new()
+        };
+        match &item.primitive {
+            Primitive::Fill(color) => {
+                let _ = writeln!(
+                    out,
+                    "  <div style=\"{}{}background-color:{};\"></div>",
+                    style_pos,
+                    opacity,
+                    color.to_css()
+                );
+            }
+            Primitive::Text(t) => {
+                let mut style = format!("{style_pos}{opacity}font-size:{}px;", t.size);
+                if t.bold {
+                    style.push_str("font-weight:bold;");
+                }
+                if t.italic {
+                    style.push_str("font-style:italic;");
+                }
+                if t.monospace {
+                    style.push_str("font-family:monospace;");
+                }
+                if let Some(c) = t.color {
+                    let _ = write!(style, "color:{};", c.to_css());
+                }
+                let body = escape(&t.content).replace('\n', "<br>");
+                let body = match &t.href {
+                    Some(href) => format!("<a href=\"{}\">{body}</a>", escape(href)),
+                    None => body,
+                };
+                let _ = writeln!(out, "  <div style=\"{style}\">{body}</div>");
+            }
+            Primitive::Image { src, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  <img style=\"{}{}\" src=\"{}\">",
+                    style_pos,
+                    opacity,
+                    escape(src)
+                );
+            }
+            Primitive::Video { src } => {
+                let _ = writeln!(
+                    out,
+                    "  <video style=\"{}{}\" src=\"{}\" controls></video>",
+                    style_pos,
+                    opacity,
+                    escape(src)
+                );
+            }
+            Primitive::Form(_) => {
+                // Form points are in absolute scene coordinates, so the SVG
+                // overlay spans the whole scene (one per primitive keeps
+                // paint order).
+                let single = DisplayList {
+                    items: vec![item.clone()],
+                    width: dl.width,
+                    height: dl.height,
+                };
+                let svg = super::svg::to_svg(&single);
+                let style = format!(
+                    "position:absolute;left:0;top:0;width:{}px;height:{}px;{opacity}",
+                    dl.width, dl.height
+                );
+                let _ = writeln!(out, "  <div style=\"{style}\">{svg}</div>");
+            }
+        }
+    }
+    out.push_str("</div>\n");
+    out
+}
+
+/// Renders an element as a complete HTML page, like the Elm compiler's
+/// output file.
+pub fn to_html_page(title: &str, root: &Element) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>{}</title>\n\
+         </head>\n<body style=\"margin:0;\">\n{}</body>\n</html>\n",
+        escape(title),
+        to_html_fragment(root)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+    use crate::element::{flow, Direction};
+    use crate::position::Position;
+    use crate::text::Text;
+
+    #[test]
+    fn example1_layout_renders_like_the_paper() {
+        // Paper Example 1.
+        let content = flow(
+            Direction::Down,
+            vec![
+                Element::plain_text("Welcome to Elm!"),
+                Element::image(150, 50, "flower.jpg"),
+                Element::as_text("[9,8,7,6,5,4,3,2,1]"),
+            ],
+        );
+        let main = Element::container(180, 100, Position::MIDDLE, content);
+        let html = to_html_page("Example 1", &main);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("Welcome to Elm!"));
+        assert!(html.contains("src=\"flower.jpg\""));
+        assert!(html.contains("font-family:monospace;"));
+        assert!(html.contains("width:180px;height:100px;"));
+    }
+
+    #[test]
+    fn text_styles_become_css() {
+        let t = Element::text(
+            Text::plain("styled")
+                .bold()
+                .italic()
+                .color(palette::RED)
+                .link("http://elm-lang.org"),
+        );
+        let html = to_html_fragment(&t);
+        assert!(html.contains("font-weight:bold;"));
+        assert!(html.contains("font-style:italic;"));
+        assert!(html.contains("color:rgba(204,0,0,1);"));
+        assert!(html.contains("<a href=\"http://elm-lang.org\">styled</a>"));
+    }
+
+    #[test]
+    fn collages_embed_svg() {
+        use crate::element::collage;
+        use crate::form::{rect, Form};
+        let e = collage(50, 50, vec![Form::filled(palette::BLUE, rect(10.0, 10.0))]);
+        let html = to_html_fragment(&e);
+        assert!(html.contains("<svg"));
+        assert!(html.contains("polygon"));
+    }
+
+    #[test]
+    fn html_is_escaped() {
+        let e = Element::plain_text("<script>alert(1)</script>");
+        let html = to_html_fragment(&e);
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn newlines_become_breaks() {
+        let e = Element::plain_text("line1\nline2");
+        assert!(to_html_fragment(&e).contains("line1<br>line2"));
+    }
+}

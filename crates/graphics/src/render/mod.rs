@@ -1,0 +1,7 @@
+//! Renderers over the laid-out [`crate::layout::DisplayList`]:
+//! [`html`] (what the Elm compiler emits), [`svg`] (collages), and
+//! [`ascii`] (the headless terminal "screen" used by examples and tests).
+
+pub mod ascii;
+pub mod html;
+pub mod svg;

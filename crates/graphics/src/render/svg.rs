@@ -1,0 +1,289 @@
+//! SVG rendering of display lists.
+//!
+//! Collages (and whole element trees) render to standalone SVG documents —
+//! the headless analogue of the canvas the Elm runtime draws forms on.
+//! Golden tests for Fig. 12's shapes use this renderer.
+
+use std::fmt::Write as _;
+
+use crate::color::Color;
+use crate::form::{FillStyle, LineCap, LineStyle};
+use crate::layout::{DisplayList, Placed, Primitive, ScreenFormKind};
+
+/// Renders a display list as a complete SVG document.
+pub fn to_svg(dl: &DisplayList) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        dl.width, dl.height, dl.width, dl.height
+    );
+    for item in &dl.items {
+        render_item(&mut out, item);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn fmt_pts(points: &[(f64, f64)]) -> String {
+    points
+        .iter()
+        .map(|(x, y)| format!("{},{}", trim(*x), trim(*y)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Formats a coordinate without trailing noise (3 decimal places, trimmed).
+fn trim(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s == "-0" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+fn stroke_attrs(style: &LineStyle) -> String {
+    let mut s = format!(
+        " stroke=\"{}\" stroke-width=\"{}\" fill=\"none\"",
+        css(style.color),
+        trim(style.width)
+    );
+    if !style.dashing.is_empty() {
+        let dash = style
+            .dashing
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(s, " stroke-dasharray=\"{dash}\"");
+    }
+    match style.cap {
+        LineCap::Flat => {}
+        LineCap::Round => s.push_str(" stroke-linecap=\"round\""),
+        LineCap::Padded => s.push_str(" stroke-linecap=\"square\""),
+    }
+    s
+}
+
+fn css(c: Color) -> String {
+    c.to_css()
+}
+
+fn render_item(out: &mut String, item: &Placed) {
+    let opacity_attr = if item.opacity < 1.0 {
+        format!(" opacity=\"{}\"", trim(item.opacity as f64))
+    } else {
+        String::new()
+    };
+    match &item.primitive {
+        Primitive::Fill(color) => {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"{}/>",
+                item.x,
+                item.y,
+                item.width,
+                item.height,
+                css(*color),
+                opacity_attr
+            );
+        }
+        Primitive::Text(t) => {
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" font-size=\"{}\"{}{}>{}</text>",
+                item.x,
+                item.y + t.size as i32,
+                t.size,
+                t.color
+                    .map(|c| format!(" fill=\"{}\"", css(c)))
+                    .unwrap_or_default(),
+                opacity_attr,
+                escape(&t.content)
+            );
+        }
+        Primitive::Image { src, .. } => {
+            let _ = writeln!(
+                out,
+                "  <image x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" href=\"{}\"{}/>",
+                item.x,
+                item.y,
+                item.width,
+                item.height,
+                escape(src),
+                opacity_attr
+            );
+        }
+        Primitive::Video { src } => {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#222\"{}/>\n  <text x=\"{}\" y=\"{}\" fill=\"#fff\" font-size=\"12\">video: {}</text>",
+                item.x,
+                item.y,
+                item.width,
+                item.height,
+                opacity_attr,
+                item.x + 4,
+                item.y + 16,
+                escape(src)
+            );
+        }
+        Primitive::Form(sf) => {
+            let alpha = item.opacity * sf.alpha;
+            let alpha_attr = if alpha < 1.0 {
+                format!(" opacity=\"{}\"", trim(alpha as f64))
+            } else {
+                String::new()
+            };
+            match &sf.kind {
+                ScreenFormKind::Line { style, points } => {
+                    let _ = writeln!(
+                        out,
+                        "  <polyline points=\"{}\"{}{}/>",
+                        fmt_pts(points),
+                        stroke_attrs(style),
+                        alpha_attr
+                    );
+                }
+                ScreenFormKind::Shape { style, points } => match style {
+                    FillStyle::Filled(color) => {
+                        let _ = writeln!(
+                            out,
+                            "  <polygon points=\"{}\" fill=\"{}\"{}/>",
+                            fmt_pts(points),
+                            css(*color),
+                            alpha_attr
+                        );
+                    }
+                    FillStyle::Outlined(ls) => {
+                        let _ = writeln!(
+                            out,
+                            "  <polygon points=\"{}\"{}{}/>",
+                            fmt_pts(points),
+                            stroke_attrs(ls),
+                            alpha_attr
+                        );
+                    }
+                    FillStyle::Textured(src) => {
+                        let _ = writeln!(
+                            out,
+                            "  <polygon points=\"{}\" fill=\"url({})\"{}/>",
+                            fmt_pts(points),
+                            escape(src),
+                            alpha_attr
+                        );
+                    }
+                },
+                ScreenFormKind::Text { text, at, theta } => {
+                    let rot = if theta.abs() > 1e-12 {
+                        format!(
+                            " transform=\"rotate({} {} {})\"",
+                            trim(theta.to_degrees()),
+                            trim(at.0),
+                            trim(at.1)
+                        )
+                    } else {
+                        String::new()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"{}\"{}{}>{}</text>",
+                        trim(at.0),
+                        trim(at.1),
+                        text.size,
+                        rot,
+                        alpha_attr,
+                        escape(&text.content)
+                    );
+                }
+                ScreenFormKind::Image {
+                    width,
+                    height,
+                    src,
+                    at,
+                    theta,
+                } => {
+                    let rot = if theta.abs() > 1e-12 {
+                        format!(
+                            " transform=\"rotate({} {} {})\"",
+                            trim(theta.to_degrees()),
+                            trim(at.0),
+                            trim(at.1)
+                        )
+                    } else {
+                        String::new()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  <image x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" href=\"{}\"{}{}/>",
+                        trim(at.0 - width / 2.0),
+                        trim(at.1 - height / 2.0),
+                        trim(*width),
+                        trim(*height),
+                        escape(src),
+                        rot,
+                        alpha_attr
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+    use crate::element::collage;
+    use crate::form::{dashed, degrees, ngon, oval, path, rect, solid, Form};
+    use crate::layout::layout;
+
+    #[test]
+    fn fig12_collage_renders_all_four_forms() {
+        // Paper Fig. 12 verbatim.
+        let square = rect(70.0, 70.0);
+        let pentagon = ngon(5, 20.0);
+        let circle = oval(50.0, 50.0);
+        let zigzag = path(vec![(0.0, 0.0), (10.0, 10.0), (0.0, 30.0), (10.0, 40.0)]);
+        let main = collage(
+            140,
+            140,
+            vec![
+                Form::filled(palette::GREEN, pentagon),
+                Form::outlined(dashed(palette::BLUE), circle),
+                Form::outlined(solid(palette::BLACK), square).rotated(degrees(70.0)),
+                Form::trace(solid(palette::RED), zigzag).shifted(40.0, 40.0),
+            ],
+        );
+        let svg = to_svg(&layout(&main));
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polygon").count(), 3);
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.contains("stroke-dasharray=\"8,4\""));
+        assert!(svg.contains(&css(palette::GREEN)));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let e = crate::element::Element::plain_text("a < b & c");
+        let svg = to_svg(&layout(&e));
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn trim_strips_noise() {
+        assert_eq!(trim(1.0), "1");
+        assert_eq!(trim(1.25), "1.25");
+        assert_eq!(trim(-0.0001), "0");
+        assert_eq!(trim(2.5000001), "2.5");
+    }
+}

@@ -1,0 +1,140 @@
+//! Styled text, after Elm's `Text` library.
+//!
+//! **Font-metric substitution** (see DESIGN.md): a browser measures text
+//! with real font metrics; headless we use a fixed-metric model — every
+//! glyph is `0.6 × size` wide and a line is `1.2 × size` tall. The layout
+//! engine is exact with respect to this model, so all layout invariants
+//! are still meaningfully tested.
+
+use serde::{Deserialize, Serialize};
+
+use crate::color::Color;
+
+/// Default font size in pixels.
+pub const DEFAULT_SIZE: u32 = 14;
+
+/// Width of one glyph as a fraction of the font size.
+pub const GLYPH_WIDTH_RATIO: f64 = 0.6;
+
+/// Line height as a fraction of the font size.
+pub const LINE_HEIGHT_RATIO: f64 = 1.2;
+
+/// A run of styled text (possibly multi-line).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Text {
+    /// The text content; `\n` separates lines.
+    pub content: String,
+    /// Font size in pixels.
+    pub size: u32,
+    /// Bold?
+    pub bold: bool,
+    /// Italic?
+    pub italic: bool,
+    /// Monospace?
+    pub monospace: bool,
+    /// Foreground color, if set.
+    pub color: Option<Color>,
+    /// Hyperlink target, if any.
+    pub href: Option<String>,
+}
+
+impl Text {
+    /// Plain text with default styling — Elm's `toText`.
+    pub fn plain(content: impl Into<String>) -> Text {
+        Text {
+            content: content.into(),
+            size: DEFAULT_SIZE,
+            bold: false,
+            italic: false,
+            monospace: false,
+            color: None,
+            href: None,
+        }
+    }
+
+    /// Monospace text — Elm's `monospace` (used by `asText`).
+    pub fn code(content: impl Into<String>) -> Text {
+        Text {
+            monospace: true,
+            ..Text::plain(content)
+        }
+    }
+
+    /// Returns bold text — Elm's `bold`.
+    pub fn bold(mut self) -> Text {
+        self.bold = true;
+        self
+    }
+
+    /// Returns italic text — Elm's `italic`.
+    pub fn italic(mut self) -> Text {
+        self.italic = true;
+        self
+    }
+
+    /// Sets the font size — Elm's `Text.height`.
+    pub fn size(mut self, size: u32) -> Text {
+        self.size = size;
+        self
+    }
+
+    /// Sets the color — Elm's `Text.color`.
+    pub fn color(mut self, color: Color) -> Text {
+        self.color = Some(color);
+        self
+    }
+
+    /// Turns the text into a link — Elm's `Text.link`.
+    pub fn link(mut self, href: impl Into<String>) -> Text {
+        self.href = Some(href.into());
+        self
+    }
+
+    /// The lines of the text.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.content.split('\n')
+    }
+
+    /// Measured size `(width, height)` in pixels under the fixed-metric
+    /// model (see module docs).
+    pub fn measure(&self) -> (u32, u32) {
+        let longest = self.lines().map(|l| l.chars().count()).max().unwrap_or(0);
+        let line_count = self.lines().count().max(1);
+        let w = (longest as f64 * self.size as f64 * GLYPH_WIDTH_RATIO).ceil() as u32;
+        let h = (line_count as f64 * self.size as f64 * LINE_HEIGHT_RATIO).ceil() as u32;
+        (w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+
+    #[test]
+    fn builder_style_composition() {
+        let t = Text::plain("hi").bold().italic().size(20).color(palette::RED);
+        assert!(t.bold && t.italic);
+        assert_eq!(t.size, 20);
+        assert_eq!(t.color, Some(palette::RED));
+    }
+
+    #[test]
+    fn measurement_follows_fixed_metrics() {
+        let t = Text::plain("hello").size(10);
+        // 5 chars * 10px * 0.6 = 30; 1 line * 10px * 1.2 = 12.
+        assert_eq!(t.measure(), (30, 12));
+        let multi = Text::plain("ab\nlonger line").size(10);
+        let (w, h) = multi.measure();
+        assert_eq!(w, (11.0f64 * 10.0 * 0.6).ceil() as u32);
+        assert_eq!(h, 24);
+    }
+
+    #[test]
+    fn empty_text_still_has_line_height() {
+        let t = Text::plain("");
+        let (w, h) = t.measure();
+        assert_eq!(w, 0);
+        assert!(h > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the layout solver: the algebraic laws of purely
+//! functional layout, on randomly generated element trees.
+
+use proptest::prelude::*;
+
+use elm_graphics::{
+    flow, layout, palette, Direction, Element, ElementKind, Position, Primitive,
+};
+
+/// A generated element tree (depth-bounded).
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = prop_oneof![
+        (1u32..60, 1u32..40).prop_map(|(w, h)| Element::spacer(w, h).with_background(palette::GRAY)),
+        "[a-z]{1,12}".prop_map(Element::plain_text),
+        (10u32..80, 10u32..60).prop_map(|(w, h)| Element::image(w, h, "x.png")),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_element(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        2 => (any::<u8>(), prop::collection::vec(inner.clone(), 0..4)).prop_map(|(d, children)| {
+            let dir = match d % 6 {
+                0 => Direction::Right,
+                1 => Direction::Left,
+                2 => Direction::Down,
+                3 => Direction::Up,
+                4 => Direction::Inward,
+                _ => Direction::Outward,
+            };
+            flow(dir, children)
+        }),
+        1 => (40u32..160, 40u32..120, any::<u8>(), inner).prop_map(|(w, h, p, child)| {
+            let pos = [
+                Position::TOP_LEFT,
+                Position::MID_TOP,
+                Position::TOP_RIGHT,
+                Position::MID_LEFT,
+                Position::MIDDLE,
+                Position::MID_RIGHT,
+                Position::BOTTOM_LEFT,
+                Position::MID_BOTTOM,
+                Position::BOTTOM_RIGHT,
+            ][(p % 9) as usize];
+            Element::container(w, h, pos, child)
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Layout is a pure function: same tree, same display list.
+    #[test]
+    fn layout_is_deterministic(e in arb_element(3)) {
+        prop_assert_eq!(layout(&e), layout(&e));
+    }
+
+    /// The flow sizing laws of Example 1: vertical stacking sums heights
+    /// and maxes widths; horizontal does the converse.
+    #[test]
+    fn flow_sizes_obey_the_laws(children in prop::collection::vec(arb_element(2), 0..5)) {
+        let down = flow(Direction::Down, children.clone());
+        prop_assert_eq!(down.height, children.iter().map(|c| c.height).sum::<u32>());
+        prop_assert_eq!(down.width, children.iter().map(|c| c.width).max().unwrap_or(0));
+
+        let right = flow(Direction::Right, children.clone());
+        prop_assert_eq!(right.width, children.iter().map(|c| c.width).sum::<u32>());
+        prop_assert_eq!(right.height, children.iter().map(|c| c.height).max().unwrap_or(0));
+    }
+
+    /// Primitive count is invariant under flow direction (direction only
+    /// moves children; it never drops or duplicates them).
+    #[test]
+    fn direction_never_drops_primitives(children in prop::collection::vec(arb_element(2), 0..5)) {
+        let count = |d: Direction| layout(&flow(d, children.clone())).items.len();
+        let base = count(Direction::Down);
+        for d in [Direction::Up, Direction::Left, Direction::Right, Direction::Inward, Direction::Outward] {
+            prop_assert_eq!(count(d), base);
+        }
+    }
+
+    /// Within a Down flow of *leaf* boxes, successive children tile the
+    /// column without overlap and in order.
+    #[test]
+    fn down_flow_children_are_disjoint_vertically(
+        sizes in prop::collection::vec((1u32..50, 1u32..40), 1..6)
+    ) {
+        let children: Vec<Element> = sizes
+            .iter()
+            .map(|(w, h)| Element::spacer(*w, *h).with_background(palette::GRAY))
+            .collect();
+        let e = flow(Direction::Down, children);
+        let dl = layout(&e);
+        let fills: Vec<_> = dl
+            .items
+            .iter()
+            .filter(|p| matches!(p.primitive, Primitive::Fill(_)))
+            .collect();
+        prop_assert_eq!(fills.len(), sizes.len());
+        let mut cursor = 0i32;
+        for (fill, (w, h)) in fills.iter().zip(&sizes) {
+            prop_assert_eq!(fill.y, cursor);
+            prop_assert_eq!((fill.width, fill.height), (*w, *h));
+            cursor += *h as i32;
+        }
+    }
+
+    /// Effective opacity is always within [0, 1].
+    #[test]
+    fn opacity_stays_bounded(e in arb_element(3), o1 in 0.0f32..=1.0, o2 in 0.0f32..=1.0) {
+        let wrapped = Element::container(
+            200,
+            200,
+            Position::MIDDLE,
+            e.with_opacity(o1),
+        )
+        .with_opacity(o2);
+        for item in layout(&wrapped).items {
+            prop_assert!((0.0..=1.0).contains(&item.opacity));
+        }
+    }
+
+    /// Containers never change the child's size, only its position.
+    #[test]
+    fn containers_translate_but_do_not_resize(e in arb_element(2), w in 10u32..200, h in 10u32..200) {
+        let direct = layout(&e);
+        let contained = layout(&Element::container(w, h, Position::MIDDLE, e.clone()));
+        prop_assert_eq!(direct.items.len(), contained.items.len());
+        for (a, b) in direct.items.iter().zip(&contained.items) {
+            prop_assert_eq!(a.width, b.width);
+            prop_assert_eq!(a.height, b.height);
+            prop_assert_eq!(&a.primitive, &b.primitive);
+            // Uniform translation across all primitives.
+            prop_assert_eq!(b.x - a.x, contained.items[0].x - direct.items[0].x);
+            prop_assert_eq!(b.y - a.y, contained.items[0].y - direct.items[0].y);
+        }
+    }
+
+    /// The HTML and ASCII renderers never panic on generated trees, and
+    /// re-rendering is stable.
+    #[test]
+    fn renderers_are_total_and_stable(e in arb_element(3)) {
+        let dl = layout(&e);
+        let ascii = elm_graphics::render::ascii::to_ascii(&dl);
+        prop_assert_eq!(&ascii, &elm_graphics::render::ascii::to_ascii(&dl));
+        let html = elm_graphics::render::html::to_html_fragment(&e);
+        prop_assert_eq!(&html, &elm_graphics::render::html::to_html_fragment(&e));
+        let svg = elm_graphics::render::svg::to_svg(&dl);
+        prop_assert!(svg.starts_with("<svg"));
+    }
+}
+
+/// Non-proptest sanity anchor: the generator actually produces all kinds.
+#[test]
+fn generator_covers_the_element_kinds() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    let mut seen_flow = false;
+    let mut seen_container = false;
+    for _ in 0..200 {
+        let e = arb_element(3).new_tree(&mut runner).unwrap().current();
+        match e.kind {
+            ElementKind::Flow { .. } => seen_flow = true,
+            ElementKind::Container { .. } => seen_container = true,
+            _ => {}
+        }
+    }
+    assert!(seen_flow && seen_container);
+}

@@ -1,0 +1,82 @@
+//! Error types for graph construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors detected when finalizing a [`crate::graph::SignalGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// A referenced node id does not exist (or an `async` inner reference
+    /// points forward).
+    UnknownNode(NodeId),
+    /// A compute node was declared with zero parents.
+    ComputeWithoutParents(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "signal graph has no nodes"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::ComputeWithoutParents(id) => {
+                write!(f, "compute node {id} has no parents")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Errors raised while executing a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// An occurrence referenced a node that is not a source of this graph.
+    NotASource(NodeId),
+    /// An input occurrence arrived without a payload.
+    MissingPayload(NodeId),
+    /// The runtime was already shut down.
+    Stopped,
+    /// A worker thread disappeared (channel disconnected / panicked).
+    WorkerLost(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NotASource(id) => write!(f, "node {id} is not a source node"),
+            RunError::MissingPayload(id) => {
+                write!(f, "input occurrence for {id} carried no payload")
+            }
+            RunError::Stopped => write!(f, "runtime already stopped"),
+            RunError::WorkerLost(what) => write!(f, "worker thread lost: {what}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        assert_eq!(GraphError::Empty.to_string(), "signal graph has no nodes");
+        assert_eq!(
+            RunError::NotASource(NodeId(4)).to_string(),
+            "node n4 is not a source node"
+        );
+        assert_eq!(RunError::Stopped.to_string(), "runtime already stopped");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+        assert_send_sync::<RunError>();
+    }
+}

@@ -1,0 +1,146 @@
+//! Events and edge messages.
+//!
+//! The paper's semantics (§3.3.2) revolve around two kinds of message:
+//!
+//! * **events** — a source node produced a new value; the global event
+//!   dispatcher assigns each a total order and broadcasts it to every source,
+//! * **edge messages** — `Change v` / `NoChange` values flowing along the
+//!   FIFO queue of each signal-graph edge, exactly one per source event.
+//!
+//! [`Occurrence`] is the external stimulus (`newEvent` in Fig. 11);
+//! [`Propagated`] is the datatype `'a event = NoChange 'a | Change 'a` of
+//! Fig. 9, with the payload of `NoChange` kept implicitly (each node caches
+//! the last value of every incoming edge).
+
+use crate::graph::NodeId;
+use crate::value::Value;
+
+/// A stimulus handed to the global event dispatcher: "source `source` has a
+/// new value". For input sources the payload travels with the occurrence; for
+/// `async` sources the payload is queued inside the async node (paper Fig. 10,
+/// translation of `async s`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Occurrence {
+    /// The source node this occurrence is relevant to.
+    pub source: NodeId,
+    /// New value for input sources; `None` for `async`-generated occurrences
+    /// whose payload is already buffered at the async node.
+    pub payload: Option<Value>,
+}
+
+impl Occurrence {
+    /// An external input event carrying `value`.
+    pub fn input(source: NodeId, value: impl Into<Value>) -> Self {
+        Occurrence {
+            source,
+            payload: Some(value.into()),
+        }
+    }
+
+    /// An internally generated event for an `async` source.
+    pub fn async_ready(source: NodeId) -> Self {
+        Occurrence {
+            source,
+            payload: None,
+        }
+    }
+}
+
+/// What a node emitted for one globally-ordered event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Propagated {
+    /// The node computed a new value.
+    Change(Value),
+    /// The node's value is unchanged; downstream work can be skipped.
+    NoChange,
+}
+
+impl Propagated {
+    /// `true` for [`Propagated::Change`] — the `change` helper of Fig. 9.
+    pub fn is_change(&self) -> bool {
+        matches!(self, Propagated::Change(_))
+    }
+
+    /// Returns the new value, if any.
+    pub fn changed_value(&self) -> Option<&Value> {
+        match self {
+            Propagated::Change(v) => Some(v),
+            Propagated::NoChange => None,
+        }
+    }
+}
+
+/// One observation at a program's output (`main`) node: the globally ordered
+/// event sequence number, which source fired, and what the output did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutputEvent {
+    /// Global sequence number assigned by the dispatcher (0-based).
+    pub seq: u64,
+    /// The source node whose event triggered this round of propagation.
+    pub source: NodeId,
+    /// Whether the output node changed, and its value if it did.
+    pub output: Propagated,
+}
+
+impl OutputEvent {
+    /// The output value if this round changed it.
+    pub fn value(&self) -> Option<&Value> {
+        self.output.changed_value()
+    }
+}
+
+/// Extracts only the changed values from a stream of output events — the
+/// sequence a user would actually see rendered.
+pub fn changed_values(events: &[OutputEvent]) -> Vec<Value> {
+    events
+        .iter()
+        .filter_map(|e| e.value().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_constructors() {
+        let o = Occurrence::input(NodeId(3), 7i64);
+        assert_eq!(o.source, NodeId(3));
+        assert_eq!(o.payload, Some(Value::Int(7)));
+        let a = Occurrence::async_ready(NodeId(9));
+        assert_eq!(a.payload, None);
+    }
+
+    #[test]
+    fn propagated_accessors() {
+        assert!(Propagated::Change(Value::Unit).is_change());
+        assert!(!Propagated::NoChange.is_change());
+        assert_eq!(
+            Propagated::Change(Value::Int(5)).changed_value(),
+            Some(&Value::Int(5))
+        );
+        assert_eq!(Propagated::NoChange.changed_value(), None);
+    }
+
+    #[test]
+    fn changed_values_filters_no_change_rounds() {
+        let events = vec![
+            OutputEvent {
+                seq: 0,
+                source: NodeId(0),
+                output: Propagated::Change(Value::Int(1)),
+            },
+            OutputEvent {
+                seq: 1,
+                source: NodeId(1),
+                output: Propagated::NoChange,
+            },
+            OutputEvent {
+                seq: 2,
+                source: NodeId(0),
+                output: Propagated::Change(Value::Int(2)),
+            },
+        ];
+        assert_eq!(changed_values(&events), vec![Value::Int(1), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,905 @@
+//! The concurrent, pipelined scheduler — the paper's actual semantics.
+//!
+//! This is a direct Rust instantiation of the translation to Concurrent ML
+//! (paper §3.3.2, Figs. 9–11):
+//!
+//! * each signal-graph node runs on **its own thread** of control,
+//! * each edge is an **unbounded FIFO queue** (a crossbeam channel; CML's
+//!   `mailbox`),
+//! * a **global event dispatcher** thread assigns every event a position in
+//!   the total order and notifies *all* source nodes (CML's `eventNotify`
+//!   multicast channel): the one relevant source emits `Change v`, every
+//!   other source emits `NoChange`, so each node consumes exactly one
+//!   message per incoming edge per event,
+//! * an `async s` node is two threads: a *listener* subscribed to the inner
+//!   signal that buffers `Change` values and posts fresh events to the
+//!   dispatcher (`send newEvent id`), and a *source* participating in the
+//!   primary graph like any input.
+//!
+//! Because edges are queues, processing is **pipelined**: event *k+1* can
+//! enter the graph while event *k* is still being computed downstream, yet
+//! per-edge FIFO order plus the dispatcher's total order preserve the
+//! synchronous semantics (differentially tested against
+//! [`crate::sched::sync::SyncRuntime`]).
+//!
+//! # Quiescence
+//!
+//! Test and harness code must know when all in-flight events have fully
+//! propagated. CML's original formulation never terminates; we add a *flush
+//! protocol*: the dispatcher broadcasts a `Flush(round)` marker which
+//! travels every edge in FIFO order behind all outstanding `Step` messages;
+//! async listeners acknowledge markers back to the dispatcher. A flush
+//! round that completes without any new event being dispatched proves the
+//! graph quiescent. Markers are invisible to node behaviors.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::behavior::StepInputs;
+use crate::error::RunError;
+use crate::event::{Occurrence, OutputEvent, Propagated};
+use crate::graph::{NodeId, NodeKind, SignalGraph};
+use crate::stats::Stats;
+use crate::value::Value;
+
+/// A message on a signal-graph edge.
+#[derive(Clone, Debug)]
+enum Msg {
+    /// One event round: the globally ordered seq, the source that fired,
+    /// and this edge's `Change`/`NoChange` payload.
+    Step {
+        seq: u64,
+        source: NodeId,
+        prop: Propagated,
+    },
+    /// Quiescence marker (see module docs).
+    Flush(u64),
+    /// Orderly shutdown.
+    Stop,
+}
+
+/// Dispatcher broadcast to one source node.
+#[derive(Clone, Debug)]
+enum SourceCmd {
+    Step {
+        seq: u64,
+        source: NodeId,
+        /// True if this event is relevant to the receiving source.
+        relevant: bool,
+        /// New value, for relevant *input* sources.
+        payload: Option<Value>,
+    },
+    Flush(u64),
+    Stop,
+}
+
+/// Control messages into the dispatcher thread.
+#[derive(Debug)]
+enum Ctrl {
+    /// An external input event (CML `newEvent` with payload).
+    Event(Occurrence),
+    /// An `async` node has a buffered value ready (CML `send newEvent id`).
+    AsyncReady(NodeId),
+    /// Flush acknowledgement from an async listener.
+    FlushAck(u64),
+    /// Harness request: flush until quiescent, then report the final round.
+    Quiesce,
+    /// Harness request: shut everything down.
+    Stop,
+}
+
+/// Message arriving at the harness-held sink channel.
+#[derive(Debug)]
+enum SinkMsg {
+    Step(OutputEvent),
+    Flush(u64),
+}
+
+/// A running concurrent (thread-per-node) execution of a [`SignalGraph`].
+///
+/// ```
+/// use elm_runtime::{ConcurrentRuntime, GraphBuilder, Occurrence, Value};
+///
+/// let mut g = GraphBuilder::new();
+/// let x = g.input("Mouse.x", 0i64);
+/// let sq = g.lift1("square", |v| Value::Int(v.as_int().unwrap().pow(2)), x);
+/// let graph = g.finish(sq).unwrap();
+///
+/// let mut rt = ConcurrentRuntime::start(&graph);
+/// rt.feed(Occurrence::input(x, 9i64)).unwrap();
+/// let outs = rt.drain().unwrap();
+/// assert_eq!(outs[0].value(), Some(&Value::Int(81)));
+/// rt.stop();
+/// ```
+pub struct ConcurrentRuntime {
+    ctrl_tx: Sender<Ctrl>,
+    quiet_rx: Receiver<u64>,
+    sink_rx: Receiver<SinkMsg>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<Stats>,
+    input_ok: Vec<bool>,
+    stopped: bool,
+}
+
+impl ConcurrentRuntime {
+    /// Spawns the dispatcher and one thread per node (plus one listener
+    /// thread per `async` node) and starts executing `graph`.
+    pub fn start(graph: &SignalGraph) -> Self {
+        let stats = Stats::new();
+        let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
+        let (quiet_tx, quiet_rx) = unbounded::<u64>();
+        let (sink_tx, sink_rx) = unbounded::<SinkMsg>();
+
+        let n = graph.len();
+        let mut handles = Vec::new();
+
+        // One subscriber list per node; edge channels are created as
+        // children declare their subscriptions.
+        let mut subs: Vec<Vec<Sender<Msg>>> = vec![Vec::new(); n];
+        // Per compute node: receivers in parent order.
+        let mut compute_rx: Vec<Option<Vec<Receiver<Msg>>>> = (0..n).map(|_| None).collect();
+        for node in graph.nodes() {
+            if let NodeKind::Compute { .. } = node.kind {
+                let mut rxs = Vec::with_capacity(node.parents.len());
+                for p in &node.parents {
+                    let (tx, rx) = unbounded::<Msg>();
+                    subs[p.index()].push(tx);
+                    rxs.push(rx);
+                }
+                compute_rx[node.id.index()] = Some(rxs);
+            }
+        }
+
+        // Async plumbing: pending-value buffers shared between listener and
+        // source halves, plus the listener's subscription to the inner node.
+        let mut async_listeners = 0usize;
+        let mut pending: Vec<Option<Arc<Mutex<VecDeque<Value>>>>> = (0..n).map(|_| None).collect();
+        let mut listener_rx: Vec<Option<Receiver<Msg>>> = (0..n).map(|_| None).collect();
+        for node in graph.nodes() {
+            if let NodeKind::Async { inner } = node.kind {
+                let (tx, rx) = unbounded::<Msg>();
+                subs[inner.index()].push(tx);
+                listener_rx[node.id.index()] = Some(rx);
+                pending[node.id.index()] = Some(Arc::new(Mutex::new(VecDeque::new())));
+                async_listeners += 1;
+            }
+        }
+
+        // The harness subscribes to the output node.
+        {
+            let (tx, rx) = unbounded::<Msg>();
+            subs[graph.output().index()].push(tx);
+            let sink_tx = sink_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("sig-sink".into())
+                    .spawn(move || sink_loop(rx, sink_tx))
+                    .expect("spawn sink thread"),
+            );
+        }
+
+        // Dispatcher broadcast channels, one per source node.
+        let mut source_cmd_tx: Vec<(NodeId, Sender<SourceCmd>)> = Vec::new();
+
+        // Spawn node threads.
+        let mut subs = subs; // consumed below
+        for node in graph.nodes() {
+            let my_subs = std::mem::take(&mut subs[node.id.index()]);
+            match &node.kind {
+                NodeKind::Input { .. } => {
+                    let (tx, rx) = unbounded::<SourceCmd>();
+                    source_cmd_tx.push((node.id, tx));
+                    let stats = stats.clone();
+                    let default = node.default.clone();
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("sig-input-{}", node.label))
+                            .spawn(move || input_loop(rx, my_subs, default, stats))
+                            .expect("spawn input thread"),
+                    );
+                }
+                NodeKind::Async { inner } => {
+                    let buf = pending[node.id.index()]
+                        .clone()
+                        .expect("async node has a pending buffer");
+                    // Source half.
+                    let (tx, rx) = unbounded::<SourceCmd>();
+                    source_cmd_tx.push((node.id, tx));
+                    {
+                        let stats = stats.clone();
+                        let buf = buf.clone();
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("sig-async-src-{}", node.id))
+                                .spawn(move || async_source_loop(rx, my_subs, buf, stats))
+                                .expect("spawn async source thread"),
+                        );
+                    }
+                    // Listener half.
+                    let rx = listener_rx[node.id.index()]
+                        .take()
+                        .expect("async node has a listener subscription");
+                    let ctrl = ctrl_tx.clone();
+                    let id = node.id;
+                    let stats = stats.clone();
+                    let _ = inner;
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("sig-async-listen-{}", node.id))
+                            .spawn(move || async_listener_loop(rx, buf, ctrl, id, stats))
+                            .expect("spawn async listener thread"),
+                    );
+                }
+                NodeKind::Compute { spec } => {
+                    let rxs = compute_rx[node.id.index()]
+                        .take()
+                        .expect("compute node has parent receivers");
+                    let behavior = spec.instantiate();
+                    let parent_defaults: Vec<Value> = node
+                        .parents
+                        .iter()
+                        .map(|p| graph.node(*p).default.clone())
+                        .collect();
+                    let default = node.default.clone();
+                    let stats = stats.clone();
+                    let label = node.label.clone();
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("sig-{label}"))
+                            .spawn(move || {
+                                compute_loop(rxs, my_subs, behavior, parent_defaults, default, stats)
+                            })
+                            .expect("spawn compute thread"),
+                    );
+                }
+            }
+        }
+
+        // Dispatcher thread.
+        {
+            let stats = stats.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("sig-dispatcher".into())
+                    .spawn(move || {
+                        dispatcher_loop(ctrl_rx, source_cmd_tx, quiet_tx, async_listeners, stats)
+                    })
+                    .expect("spawn dispatcher thread"),
+            );
+        }
+
+        let input_ok = graph
+            .nodes()
+            .iter()
+            .map(|nd| matches!(nd.kind, NodeKind::Input { .. }))
+            .collect();
+
+        ConcurrentRuntime {
+            ctrl_tx,
+            quiet_rx,
+            sink_rx,
+            handles,
+            stats,
+            input_ok,
+            stopped: false,
+        }
+    }
+
+    /// The execution counters for this run.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Sends an external input event to the dispatcher. Returns immediately;
+    /// propagation happens on the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the runtime is stopped or `occ` does not target an input
+    /// source with a payload.
+    pub fn feed(&self, occ: Occurrence) -> Result<(), RunError> {
+        if self.stopped {
+            return Err(RunError::Stopped);
+        }
+        if !self.input_ok.get(occ.source.index()).copied().unwrap_or(false) {
+            return Err(RunError::NotASource(occ.source));
+        }
+        if occ.payload.is_none() {
+            return Err(RunError::MissingPayload(occ.source));
+        }
+        self.ctrl_tx
+            .send(Ctrl::Event(occ))
+            .map_err(|_| RunError::WorkerLost("dispatcher".into()))
+    }
+
+    /// Receives the next output event, blocking up to `timeout`. Returns
+    /// `None` on timeout. Flush markers are transparent.
+    pub fn next_output(&self, timeout: Duration) -> Option<OutputEvent> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            match self.sink_rx.recv_timeout(remaining) {
+                Ok(SinkMsg::Step(ev)) => return Some(ev),
+                Ok(SinkMsg::Flush(_)) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Waits until every in-flight event (including `async`-generated ones)
+    /// has fully propagated, then returns all output events observed since
+    /// the last drain, in dispatcher order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if worker threads have died.
+    pub fn drain(&mut self) -> Result<Vec<OutputEvent>, RunError> {
+        if self.stopped {
+            return Err(RunError::Stopped);
+        }
+        self.ctrl_tx
+            .send(Ctrl::Quiesce)
+            .map_err(|_| RunError::WorkerLost("dispatcher".into()))?;
+        // Generous bound: protects the caller from a hung graph (e.g. a
+        // node blocked forever in user code) instead of deadlocking.
+        const DRAIN_TIMEOUT: Duration = Duration::from_secs(300);
+        let final_round = self
+            .quiet_rx
+            .recv_timeout(DRAIN_TIMEOUT)
+            .map_err(|_| RunError::WorkerLost("dispatcher quiet channel".into()))?;
+        let mut out = Vec::new();
+        loop {
+            match self.sink_rx.recv_timeout(DRAIN_TIMEOUT) {
+                Ok(SinkMsg::Step(ev)) => out.push(ev),
+                Ok(SinkMsg::Flush(r)) if r >= final_round => break,
+                Ok(SinkMsg::Flush(_)) => continue,
+                Err(_) => return Err(RunError::WorkerLost("sink".into())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Shuts down all worker threads and joins them.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        let _ = self.ctrl_tx.send(Ctrl::Stop);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Convenience: starts a runtime, feeds `trace`, drains, stops.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any occurrence is invalid for `graph`.
+    pub fn run_trace(
+        graph: &SignalGraph,
+        trace: impl IntoIterator<Item = Occurrence>,
+    ) -> Result<Vec<OutputEvent>, RunError> {
+        let mut rt = ConcurrentRuntime::start(graph);
+        for occ in trace {
+            rt.feed(occ)?;
+        }
+        let out = rt.drain()?;
+        rt.stop();
+        Ok(out)
+    }
+}
+
+impl Drop for ConcurrentRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loops
+// ---------------------------------------------------------------------------
+
+fn broadcast(subs: &[Sender<Msg>], msg: &Msg, stats: &Stats) {
+    for s in subs {
+        if matches!(msg, Msg::Step { .. }) {
+            stats.record_message();
+        }
+        let _ = s.send(msg.clone());
+    }
+}
+
+/// Input source: Fig. 10's translation of `⟨id, mc, v⟩`.
+fn input_loop(rx: Receiver<SourceCmd>, subs: Vec<Sender<Msg>>, _default: Value, stats: Arc<Stats>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SourceCmd::Step {
+                seq,
+                source,
+                relevant,
+                payload,
+            } => {
+                let prop = if relevant {
+                    let v = payload.expect("relevant input events carry a payload");
+                    Propagated::Change(v)
+                } else {
+                    Propagated::NoChange
+                };
+                broadcast(&subs, &Msg::Step { seq, source, prop }, &stats);
+            }
+            SourceCmd::Flush(r) => broadcast(&subs, &Msg::Flush(r), &stats),
+            SourceCmd::Stop => {
+                broadcast(&subs, &Msg::Stop, &stats);
+                return;
+            }
+        }
+    }
+}
+
+/// The source half of an `async` node: emits buffered inner-signal values
+/// when the dispatcher says this node's event is up.
+fn async_source_loop(
+    rx: Receiver<SourceCmd>,
+    subs: Vec<Sender<Msg>>,
+    buf: Arc<Mutex<VecDeque<Value>>>,
+    stats: Arc<Stats>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SourceCmd::Step {
+                seq,
+                source,
+                relevant,
+                ..
+            } => {
+                let prop = if relevant {
+                    match buf.lock().pop_front() {
+                        Some(v) => Propagated::Change(v),
+                        // Cannot happen: AsyncReady is sent after the push.
+                        None => Propagated::NoChange,
+                    }
+                } else {
+                    Propagated::NoChange
+                };
+                broadcast(&subs, &Msg::Step { seq, source, prop }, &stats);
+            }
+            SourceCmd::Flush(r) => broadcast(&subs, &Msg::Flush(r), &stats),
+            SourceCmd::Stop => {
+                broadcast(&subs, &Msg::Stop, &stats);
+                return;
+            }
+        }
+    }
+}
+
+/// The listener half of an `async` node: Fig. 10's spawned loop that turns
+/// inner `Change`s into fresh dispatcher events.
+fn async_listener_loop(
+    rx: Receiver<Msg>,
+    buf: Arc<Mutex<VecDeque<Value>>>,
+    ctrl: Sender<Ctrl>,
+    id: NodeId,
+    stats: Arc<Stats>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Step {
+                prop: Propagated::Change(v),
+                ..
+            } => {
+                buf.lock().push_back(v);
+                stats.record_async_event();
+                if ctrl.send(Ctrl::AsyncReady(id)).is_err() {
+                    return;
+                }
+            }
+            Msg::Step { .. } => {}
+            Msg::Flush(r) => {
+                if ctrl.send(Ctrl::FlushAck(r)).is_err() {
+                    return;
+                }
+            }
+            Msg::Stop => return,
+        }
+    }
+}
+
+/// Compute node: Fig. 10's `liftn`/`foldp` translation, generalized over
+/// [`crate::behavior::NodeBehavior`].
+fn compute_loop(
+    rxs: Vec<Receiver<Msg>>,
+    subs: Vec<Sender<Msg>>,
+    mut behavior: Box<dyn crate::behavior::NodeBehavior>,
+    mut parent_values: Vec<Value>,
+    mut prev: Value,
+    stats: Arc<Stats>,
+) {
+    let mut poisoned = false;
+    loop {
+        // One message per incoming edge per round; blocked until all arrive
+        // (paper: "computation at the node is blocked until values are
+        // available on all incoming edges").
+        let mut msgs = Vec::with_capacity(rxs.len());
+        for rx in &rxs {
+            match rx.recv() {
+                Ok(m) => msgs.push(m),
+                Err(_) => return,
+            }
+        }
+        match &msgs[0] {
+            Msg::Stop => {
+                broadcast(&subs, &Msg::Stop, &stats);
+                return;
+            }
+            Msg::Flush(r) => {
+                debug_assert!(msgs.iter().all(|m| matches!(m, Msg::Flush(r2) if r2 == r)));
+                broadcast(&subs, &Msg::Flush(*r), &stats);
+            }
+            Msg::Step { seq, source, .. } => {
+                let (seq, source) = (*seq, *source);
+                let mut changed = vec![false; msgs.len()];
+                for (i, m) in msgs.iter().enumerate() {
+                    let Msg::Step {
+                        seq: s2,
+                        prop,
+                        ..
+                    } = m
+                    else {
+                        unreachable!("all edges deliver the same round kind in FIFO order");
+                    };
+                    debug_assert_eq!(*s2, seq, "edges must agree on the event round");
+                    if let Propagated::Change(v) = prop {
+                        parent_values[i] = v.clone();
+                        changed[i] = true;
+                    }
+                }
+                let prop = if poisoned {
+                    // A previous panic poisoned this node; keep the message
+                    // protocol alive but never compute again.
+                    Propagated::NoChange
+                } else if changed.iter().any(|c| *c) {
+                    stats.record_computation();
+                    let vals: Vec<&Value> = parent_values.iter().collect();
+                    // A panicking node function must not deadlock the rest
+                    // of the graph: catch it, poison the node, propagate
+                    // NoChange so downstream queues stay aligned.
+                    let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        behavior.step(StepInputs {
+                            changed: &changed,
+                            values: &vals,
+                            prev: &prev,
+                        })
+                    }));
+                    match stepped {
+                        Ok(Some(v)) => {
+                            prev = v.clone();
+                            Propagated::Change(v)
+                        }
+                        Ok(None) => Propagated::NoChange,
+                        Err(_) => {
+                            poisoned = true;
+                            stats.record_node_panic();
+                            Propagated::NoChange
+                        }
+                    }
+                } else {
+                    stats.record_memo_skip();
+                    Propagated::NoChange
+                };
+                broadcast(&subs, &Msg::Step { seq, source, prop }, &stats);
+            }
+        }
+    }
+}
+
+/// Translates edge messages on the output node into harness-visible events.
+fn sink_loop(rx: Receiver<Msg>, sink_tx: Sender<SinkMsg>) {
+    while let Ok(msg) = rx.recv() {
+        let out = match msg {
+            Msg::Step { seq, source, prop } => SinkMsg::Step(OutputEvent {
+                seq,
+                source,
+                output: prop,
+            }),
+            Msg::Flush(r) => SinkMsg::Flush(r),
+            Msg::Stop => return,
+        };
+        if sink_tx.send(out).is_err() {
+            return;
+        }
+    }
+}
+
+/// The global event dispatcher (paper Fig. 11): totally orders events and
+/// notifies every source of every event. Extended with the flush protocol
+/// for quiescence detection.
+fn dispatcher_loop(
+    ctrl_rx: Receiver<Ctrl>,
+    sources: Vec<(NodeId, Sender<SourceCmd>)>,
+    quiet_tx: Sender<u64>,
+    async_listeners: usize,
+    stats: Arc<Stats>,
+) {
+    let mut seq: u64 = 0;
+    let mut flush_round: u64 = 0;
+
+    let broadcast_step = |seq: u64, occ_source: NodeId, payload: Option<Value>| {
+        for (id, tx) in &sources {
+            let relevant = *id == occ_source;
+            let _ = tx.send(SourceCmd::Step {
+                seq,
+                source: occ_source,
+                relevant,
+                payload: if relevant { payload.clone() } else { None },
+            });
+        }
+    };
+    let broadcast_flush = |r: u64| {
+        for (_, tx) in &sources {
+            let _ = tx.send(SourceCmd::Flush(r));
+        }
+    };
+    let broadcast_stop = || {
+        for (_, tx) in &sources {
+            let _ = tx.send(SourceCmd::Stop);
+        }
+    };
+
+    while let Ok(ctrl) = ctrl_rx.recv() {
+        match ctrl {
+            Ctrl::Event(occ) => {
+                stats.record_event();
+                broadcast_step(seq, occ.source, occ.payload);
+                seq += 1;
+            }
+            Ctrl::AsyncReady(id) => {
+                stats.record_event();
+                broadcast_step(seq, id, None);
+                seq += 1;
+            }
+            Ctrl::FlushAck(_) => {} // stale ack from an earlier drain
+            Ctrl::Stop => {
+                broadcast_stop();
+                return;
+            }
+            Ctrl::Quiesce => {
+                // Flush repeatedly until a round completes with no new
+                // events dispatched in the meantime.
+                loop {
+                    flush_round += 1;
+                    let round = flush_round;
+                    broadcast_flush(round);
+                    let mut acks = 0usize;
+                    let mut new_events = 0usize;
+                    while acks < async_listeners {
+                        match ctrl_rx.recv() {
+                            Ok(Ctrl::FlushAck(r)) if r == round => acks += 1,
+                            Ok(Ctrl::FlushAck(_)) => {}
+                            Ok(Ctrl::Event(occ)) => {
+                                stats.record_event();
+                                broadcast_step(seq, occ.source, occ.payload);
+                                seq += 1;
+                                new_events += 1;
+                            }
+                            Ok(Ctrl::AsyncReady(id)) => {
+                                stats.record_event();
+                                broadcast_step(seq, id, None);
+                                seq += 1;
+                                new_events += 1;
+                            }
+                            Ok(Ctrl::Quiesce) => {} // collapse nested drains
+                            Ok(Ctrl::Stop) => {
+                                broadcast_stop();
+                                return;
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                    if new_events == 0 {
+                        let _ = quiet_tx.send(round);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::changed_values;
+    use crate::graph::GraphBuilder;
+    use crate::sched::sync::SyncRuntime;
+
+    fn int(v: &Value) -> i64 {
+        v.as_int().unwrap()
+    }
+
+    #[test]
+    fn concurrent_matches_sync_on_async_free_graph() {
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let a = g.input("a", 0i64);
+            let b = g.input("b", 10i64);
+            let sum = g.lift2("sum", |x, y| Value::Int(int(x) + int(y)), a, b);
+            let acc = g.foldp("acc", |v, s| Value::Int(int(v) + int(s)), 0i64, sum);
+            let graph = g.finish(acc).unwrap();
+            (graph, a, b)
+        };
+        let (graph, a, b) = build();
+        let trace = vec![
+            Occurrence::input(a, 1i64),
+            Occurrence::input(b, 2i64),
+            Occurrence::input(a, 3i64),
+            Occurrence::input(b, 4i64),
+            Occurrence::input(a, 5i64),
+        ];
+        let sync_out = SyncRuntime::run_trace(&graph, trace.clone()).unwrap();
+        let conc_out = ConcurrentRuntime::run_trace(&graph, trace).unwrap();
+        assert_eq!(sync_out, conc_out);
+    }
+
+    #[test]
+    fn pipelined_execution_preserves_global_order_on_deep_chain() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let mut cur = i;
+        for d in 0..32 {
+            cur = g.lift1(format!("inc{d}"), |v| Value::Int(int(v) + 1), cur);
+        }
+        let graph = g.finish(cur).unwrap();
+        let trace: Vec<_> = (0..50).map(|k| Occurrence::input(i, k as i64)).collect();
+        let outs = ConcurrentRuntime::run_trace(&graph, trace).unwrap();
+        let vals = changed_values(&outs);
+        assert_eq!(vals.len(), 50);
+        for (k, v) in vals.iter().enumerate() {
+            assert_eq!(int(v), k as i64 + 32);
+        }
+        // Sequence numbers are the dispatcher's total order.
+        let seqs: Vec<u64> = outs.iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn async_decouples_slow_subgraph() {
+        // §5's asyncEg: lift2 (,) Mouse.x (async (lift f Mouse.y))
+        let mut g = GraphBuilder::new();
+        let mx = g.input("Mouse.x", 0i64);
+        let my = g.input("Mouse.y", 0i64);
+        let slow = g.lift1(
+            "f",
+            |v| {
+                std::thread::sleep(Duration::from_millis(5));
+                Value::Int(int(v) * 10)
+            },
+            my,
+        );
+        let async_slow = g.async_source(slow);
+        let pair = g.lift2(
+            "(,)",
+            |x, fy| Value::pair(x.clone(), fy.clone()),
+            mx,
+            async_slow,
+        );
+        let graph = g.finish(pair).unwrap();
+
+        let mut rt = ConcurrentRuntime::start(&graph);
+        rt.feed(Occurrence::input(my, 1i64)).unwrap();
+        for k in 0..20 {
+            rt.feed(Occurrence::input(mx, k as i64)).unwrap();
+        }
+        let outs = rt.drain().unwrap();
+        rt.stop();
+
+        // All 20 mouse-x updates appear, in order, uninterrupted by the
+        // slow computation; the async result lands eventually.
+        let xs: Vec<i64> = outs
+            .iter()
+            .filter_map(|o| o.value())
+            .map(|p| int(p.as_pair().unwrap().0))
+            .collect();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(xs, sorted, "mouse updates must stay in order");
+        let final_pair = outs.last().and_then(|o| o.value()).unwrap();
+        // After drain, the async value must have arrived (value 10).
+        let ys: Vec<i64> = outs
+            .iter()
+            .filter_map(|o| o.value())
+            .map(|p| int(p.as_pair().unwrap().1))
+            .collect();
+        assert!(ys.contains(&10), "async result must eventually appear: {ys:?}");
+        let _ = final_pair;
+    }
+
+    #[test]
+    fn async_preserves_per_signal_order() {
+        // Values flowing through an async boundary keep their relative
+        // order even though they detach from the global order.
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let double = g.lift1("double", |v| Value::Int(int(v) * 2), i);
+        let a = g.async_source(double);
+        let id = g.lift1("id", |v| v.clone(), a);
+        let graph = g.finish(id).unwrap();
+
+        let trace: Vec<_> = (1..=25).map(|k| Occurrence::input(i, k as i64)).collect();
+        let outs = ConcurrentRuntime::run_trace(&graph, trace).unwrap();
+        let vals: Vec<i64> = changed_values(&outs).iter().map(int).collect();
+        assert_eq!(vals, (1..=25).map(|k| k * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn drain_is_reusable_and_incremental() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let l = g.lift1("id", |v| v.clone(), i);
+        let graph = g.finish(l).unwrap();
+        let mut rt = ConcurrentRuntime::start(&graph);
+
+        rt.feed(Occurrence::input(i, 1i64)).unwrap();
+        let first = rt.drain().unwrap();
+        assert_eq!(changed_values(&first), vec![Value::Int(1)]);
+
+        rt.feed(Occurrence::input(i, 2i64)).unwrap();
+        rt.feed(Occurrence::input(i, 3i64)).unwrap();
+        let second = rt.drain().unwrap();
+        assert_eq!(
+            changed_values(&second),
+            vec![Value::Int(2), Value::Int(3)]
+        );
+        rt.stop();
+    }
+
+    #[test]
+    fn empty_drain_returns_no_events() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let graph = g.finish(i).unwrap();
+        let mut rt = ConcurrentRuntime::start(&graph);
+        assert!(rt.drain().unwrap().is_empty());
+        rt.stop();
+    }
+
+    #[test]
+    fn feed_validates_targets() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let l = g.lift1("id", |v| v.clone(), i);
+        let a = g.async_source(l);
+        let graph = g.finish(a).unwrap();
+        let rt = ConcurrentRuntime::start(&graph);
+        assert!(matches!(
+            rt.feed(Occurrence::input(l, 0i64)),
+            Err(RunError::NotASource(_))
+        ));
+        // Feeding an async source externally is also rejected.
+        assert!(matches!(
+            rt.feed(Occurrence::input(a, 0i64)),
+            Err(RunError::NotASource(_))
+        ));
+    }
+
+    #[test]
+    fn stop_joins_all_threads() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let l = g.lift1("id", |v| v.clone(), i);
+        let a = g.async_source(l);
+        let m = g.lift1("id2", |v| v.clone(), a);
+        let graph = g.finish(m).unwrap();
+        let rt = ConcurrentRuntime::start(&graph);
+        rt.feed(Occurrence::input(i, 42i64)).unwrap();
+        rt.stop(); // must not hang
+    }
+}

@@ -1,0 +1,11 @@
+//! Schedulers: three execution models for one [`crate::graph::SignalGraph`].
+//!
+//! | Scheduler | Model | Role in the reproduction |
+//! |-----------|-------|--------------------------|
+//! | [`concurrent::ConcurrentRuntime`] | thread-per-node, pipelined, global event dispatcher | the paper's semantics (§3.3.2, Figs. 9–11) |
+//! | [`sync::SyncRuntime`] | single-threaded, one event fully propagated at a time | the conceptual synchronous semantics; non-pipelined baseline; deterministic test oracle |
+//! | [`pull::PullRuntime`] | whole-graph recomputation per sampling tick | the traditional continuous-FRP baseline (§1, §6.1) |
+
+pub mod concurrent;
+pub mod pull;
+pub mod sync;

@@ -1,0 +1,190 @@
+//! The pull-based sampling baseline.
+//!
+//! "Traditional" FRP systems (Fran and successors; paper §1, §6.1) treat
+//! signals as continuously varying and therefore *sample* them: the whole
+//! program is recomputed at some sampling rate with the latest input values,
+//! whether or not anything changed. The paper's first efficiency claim is
+//! that Elm's discrete, push-based signals avoid this wholesale
+//! recomputation.
+//!
+//! [`PullRuntime`] executes the same [`SignalGraph`] under that model: input
+//! values are merely *stored* when they arrive, and every call to
+//! [`PullRuntime::sample`] recomputes every node from scratch. `foldp` nodes
+//! step once per sample (the continuous analogue of integrating state), and
+//! `async` has no meaning without discrete events — the inner value is read
+//! through directly. Experiment E4 compares computations-per-delivered-
+//! update between this scheduler and the push-based ones.
+
+use crate::behavior::{NodeBehavior, StepInputs};
+use crate::error::RunError;
+use crate::graph::{NodeId, NodeKind, SignalGraph};
+use crate::stats::Stats;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Sampling (pull-based) executor of a [`SignalGraph`].
+///
+/// ```
+/// use elm_runtime::{GraphBuilder, PullRuntime, Value};
+///
+/// let mut g = GraphBuilder::new();
+/// let x = g.input("x", 1i64);
+/// let sq = g.lift1("sq", |v| Value::Int(v.as_int().unwrap().pow(2)), x);
+/// let graph = g.finish(sq).unwrap();
+///
+/// let mut rt = PullRuntime::new(&graph);
+/// rt.set_input(x, 7i64).unwrap();
+/// assert_eq!(rt.sample(), &Value::Int(49));
+/// assert_eq!(rt.sample(), &Value::Int(49)); // recomputed again anyway
+/// assert_eq!(rt.stats().computations(), 2);
+/// ```
+pub struct PullRuntime {
+    graph: SignalGraph,
+    values: Vec<Value>,
+    behaviors: Vec<Option<Box<dyn NodeBehavior>>>,
+    stats: Arc<Stats>,
+}
+
+impl PullRuntime {
+    /// Instantiates sampling state for `graph`.
+    pub fn new(graph: &SignalGraph) -> Self {
+        let values = graph.nodes().iter().map(|n| n.default.clone()).collect();
+        let behaviors = graph
+            .nodes()
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Compute { spec } => Some(spec.instantiate()),
+                _ => None,
+            })
+            .collect();
+        PullRuntime {
+            graph: graph.clone(),
+            values,
+            behaviors,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The execution counters for this run.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Stores a new current value for an input; no computation happens
+    /// until the next [`PullRuntime::sample`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not an input node of this graph.
+    pub fn set_input(&mut self, id: NodeId, value: impl Into<Value>) -> Result<(), RunError> {
+        match self.graph.nodes().get(id.index()).map(|n| &n.kind) {
+            Some(NodeKind::Input { .. }) => {
+                self.values[id.index()] = value.into();
+                Ok(())
+            }
+            _ => Err(RunError::NotASource(id)),
+        }
+    }
+
+    /// Recomputes the entire graph from current input values and returns
+    /// the output node's value — one sampling tick.
+    pub fn sample(&mut self) -> &Value {
+        self.stats.record_event();
+        for idx in 0..self.graph.len() {
+            let node = &self.graph.nodes()[idx];
+            match &node.kind {
+                NodeKind::Input { .. } => {}
+                NodeKind::Async { inner } => {
+                    // Sampling has no discrete events to reorder; read through.
+                    self.values[idx] = self.values[inner.index()].clone();
+                }
+                NodeKind::Compute { .. } => {
+                    let flags = vec![true; node.parents.len()];
+                    let parent_vals: Vec<&Value> =
+                        node.parents.iter().map(|p| &self.values[p.index()]).collect();
+                    let prev = self.values[idx].clone();
+                    self.stats.record_computation();
+                    let behavior = self.behaviors[idx]
+                        .as_mut()
+                        .expect("compute nodes always have behaviors");
+                    if let Some(v) = behavior.step(StepInputs {
+                        changed: &flags,
+                        values: &parent_vals,
+                        prev: &prev,
+                    }) {
+                        self.values[idx] = v;
+                    }
+                }
+            }
+        }
+        &self.values[self.graph.output().index()]
+    }
+
+    /// Current value of any node.
+    pub fn value(&self, id: NodeId) -> &Value {
+        &self.values[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn int(v: &Value) -> i64 {
+        v.as_int().unwrap()
+    }
+
+    #[test]
+    fn sampling_recomputes_even_when_nothing_changed() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", 0i64);
+        let a = g.lift1("a", |v| Value::Int(int(v) + 1), x);
+        let b = g.lift1("b", |v| Value::Int(int(v) * 2), a);
+        let graph = g.finish(b).unwrap();
+        let mut rt = PullRuntime::new(&graph);
+        for _ in 0..10 {
+            rt.sample();
+        }
+        // 2 compute nodes × 10 samples, zero input changes.
+        assert_eq!(rt.stats().computations(), 20);
+    }
+
+    #[test]
+    fn sampled_foldp_steps_every_tick() {
+        // The continuous model cannot tell "no event" from "same value":
+        // a counter over a constant signal counts samples, not events.
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", 0i64);
+        let count = g.foldp("count", |_v, acc| Value::Int(int(acc) + 1), 0i64, x);
+        let graph = g.finish(count).unwrap();
+        let mut rt = PullRuntime::new(&graph);
+        rt.sample();
+        rt.sample();
+        rt.sample();
+        assert_eq!(int(rt.value(count)), 3);
+    }
+
+    #[test]
+    fn set_input_validates_target() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", 0i64);
+        let l = g.lift1("id", |v| v.clone(), x);
+        let graph = g.finish(l).unwrap();
+        let mut rt = PullRuntime::new(&graph);
+        assert!(rt.set_input(l, 3i64).is_err());
+        assert!(rt.set_input(x, 3i64).is_ok());
+        assert_eq!(rt.sample(), &Value::Int(3));
+    }
+
+    #[test]
+    fn async_reads_through_under_sampling() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", 5i64);
+        let a = g.async_source(x);
+        let graph = g.finish(a).unwrap();
+        let mut rt = PullRuntime::new(&graph);
+        rt.set_input(x, 9i64).unwrap();
+        assert_eq!(rt.sample(), &Value::Int(9));
+    }
+}

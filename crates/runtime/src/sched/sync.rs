@@ -1,0 +1,447 @@
+//! The synchronous scheduler: the paper's *conceptual* semantics.
+//!
+//! §3.3.2: "Conceptually, signal computation is synchronous: when an event
+//! occurs … it is as if the new value propagates completely through the
+//! signal graph before the next event is processed." This scheduler does
+//! exactly that, single-threaded, one event at a time in global order. It is
+//!
+//! * the deterministic reference that the concurrent scheduler is tested
+//!   against (they must agree on async-free graphs, and per-subgraph order
+//!   must be preserved in general), and
+//! * the **non-pipelined baseline** for experiment E6 — an event cannot
+//!   begin processing until the previous one has fully propagated.
+//!
+//! `async` nodes still work here: changes of the inner signal are queued and
+//! re-enter the event queue as fresh occurrences (FIFO, like the `newEvent`
+//! mailbox of Fig. 11), so programs behave identically — only pipelining and
+//! wall-clock concurrency are absent.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::behavior::{NodeBehavior, StepInputs};
+use crate::error::RunError;
+use crate::event::{Occurrence, OutputEvent, Propagated};
+use crate::graph::{NodeId, NodeKind, SignalGraph};
+use crate::stats::Stats;
+use crate::value::Value;
+
+/// Single-threaded, globally-ordered executor of a [`SignalGraph`].
+///
+/// ```
+/// use elm_runtime::{GraphBuilder, Occurrence, SyncRuntime, Value};
+///
+/// let mut g = GraphBuilder::new();
+/// let clicks = g.input("Mouse.clicks", Value::Unit);
+/// let count = g.foldp("count", |_, acc| Value::Int(acc.as_int().unwrap() + 1), 0i64, clicks);
+/// let graph = g.finish(count).unwrap();
+///
+/// let mut rt = SyncRuntime::new(&graph);
+/// rt.feed(Occurrence::input(clicks, Value::Unit)).unwrap();
+/// rt.feed(Occurrence::input(clicks, Value::Unit)).unwrap();
+/// let outs = rt.run_to_quiescence();
+/// assert_eq!(outs.last().unwrap().value(), Some(&Value::Int(2)));
+/// ```
+pub struct SyncRuntime {
+    graph: SignalGraph,
+    values: Vec<Value>,
+    behaviors: Vec<Option<Box<dyn NodeBehavior>>>,
+    pending_async: Vec<VecDeque<Value>>,
+    queue: VecDeque<Occurrence>,
+    next_seq: u64,
+    stats: Arc<Stats>,
+    memoize: bool,
+}
+
+impl SyncRuntime {
+    /// Instantiates runtime state for `graph` with memoization enabled.
+    pub fn new(graph: &SignalGraph) -> Self {
+        Self::with_memoization(graph, true)
+    }
+
+    /// Like [`SyncRuntime::new`], but allows disabling `NoChange`
+    /// memoization. Without memoization every node recomputes on every
+    /// event and cannot tell whether its inputs changed — the ablation of
+    /// experiment E11, which demonstrates both the wasted work *and* the
+    /// `foldp` incorrectness the paper warns about (§3.3.2: a key-press
+    /// counter must not increment on mouse events).
+    pub fn with_memoization(graph: &SignalGraph, memoize: bool) -> Self {
+        let values: Vec<Value> = graph.nodes().iter().map(|n| n.default.clone()).collect();
+        let behaviors = graph
+            .nodes()
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Compute { spec } => Some(spec.instantiate()),
+                _ => None,
+            })
+            .collect();
+        let pending_async = graph.nodes().iter().map(|_| VecDeque::new()).collect();
+        SyncRuntime {
+            graph: graph.clone(),
+            values,
+            behaviors,
+            pending_async,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            stats: Stats::new(),
+            memoize,
+        }
+    }
+
+    /// The execution counters for this run.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Current value of any node.
+    pub fn value(&self, id: NodeId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Current value of the output (`main`) node.
+    pub fn output_value(&self) -> &Value {
+        self.value(self.graph.output())
+    }
+
+    /// Number of occurrences waiting in the event queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues an external occurrence.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the occurrence does not target an input source of this
+    /// graph or carries no payload.
+    pub fn feed(&mut self, occ: Occurrence) -> Result<(), RunError> {
+        match &self.graph.nodes().get(occ.source.index()).map(|n| &n.kind) {
+            Some(NodeKind::Input { .. }) => {
+                if occ.payload.is_none() {
+                    return Err(RunError::MissingPayload(occ.source));
+                }
+                self.queue.push_back(occ);
+                Ok(())
+            }
+            _ => Err(RunError::NotASource(occ.source)),
+        }
+    }
+
+    /// Processes the next queued occurrence, if any, propagating it
+    /// completely through the graph. Returns the resulting output event.
+    pub fn step(&mut self) -> Option<OutputEvent> {
+        let occ = self.queue.pop_front()?;
+        Some(self.dispatch(occ))
+    }
+
+    /// Processes queued events (including any `async`-generated follow-ups)
+    /// until the queue is empty, returning one output event per round.
+    pub fn run_to_quiescence(&mut self) -> Vec<OutputEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.step() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Convenience: runs a whole input trace on a fresh runtime.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any occurrence is invalid for `graph`.
+    pub fn run_trace(
+        graph: &SignalGraph,
+        trace: impl IntoIterator<Item = Occurrence>,
+    ) -> Result<Vec<OutputEvent>, RunError> {
+        let mut rt = SyncRuntime::new(graph);
+        let mut out = Vec::new();
+        for occ in trace {
+            rt.feed(occ)?;
+            // Drain after each external event so async-generated events
+            // interleave in FIFO order exactly as the dispatcher would.
+            out.extend(rt.run_to_quiescence());
+        }
+        Ok(out)
+    }
+
+    fn dispatch(&mut self, occ: Occurrence) -> OutputEvent {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.record_event();
+
+        let n = self.graph.len();
+        let mut changed = vec![false; n];
+
+        // Stage 1: exactly one source is "relevant" to this event; all other
+        // sources implicitly emit NoChange (paper §3.3.2).
+        let src = occ.source;
+        match &self.graph.node(src).kind {
+            NodeKind::Input { .. } => {
+                let v = occ
+                    .payload
+                    .clone()
+                    .expect("feed() guarantees input occurrences carry payloads");
+                self.values[src.index()] = v;
+                changed[src.index()] = true;
+            }
+            NodeKind::Async { .. } => {
+                if let Some(v) = self.pending_async[src.index()].pop_front() {
+                    self.values[src.index()] = v;
+                    changed[src.index()] = true;
+                }
+            }
+            NodeKind::Compute { .. } => {
+                unreachable!("compute nodes never appear as occurrence sources")
+            }
+        }
+
+        // Stage 2: propagate in topological (= id) order. Node ids are a
+        // topological order by construction, so a single left-to-right pass
+        // is a complete synchronous propagation.
+        for idx in 0..n {
+            let node = &self.graph.nodes()[idx];
+            match &node.kind {
+                NodeKind::Input { .. } => {}
+                NodeKind::Async { inner } => {
+                    // The secondary subgraph produced a change this round:
+                    // buffer it and schedule a fresh global event (FIFO).
+                    if changed[inner.index()] {
+                        self.pending_async[idx].push_back(self.values[inner.index()].clone());
+                        self.queue.push_back(Occurrence::async_ready(node.id));
+                        self.stats.record_async_event();
+                    }
+                }
+                NodeKind::Compute { .. } => {
+                    self.stats.record_message();
+                    let any_changed = node.parents.iter().any(|p| changed[p.index()]);
+                    if self.memoize && !any_changed {
+                        self.stats.record_memo_skip();
+                        continue;
+                    }
+                    let flags: Vec<bool> = if self.memoize {
+                        node.parents.iter().map(|p| changed[p.index()]).collect()
+                    } else {
+                        // Ablation: without NoChange tracking a node cannot
+                        // know which inputs changed; everything looks new.
+                        vec![true; node.parents.len()]
+                    };
+                    let parent_vals: Vec<&Value> =
+                        node.parents.iter().map(|p| &self.values[p.index()]).collect();
+                    let prev = self.values[idx].clone();
+                    self.stats.record_computation();
+                    let behavior = self.behaviors[idx]
+                        .as_mut()
+                        .expect("compute nodes always have behaviors");
+                    let out = behavior.step(StepInputs {
+                        changed: &flags,
+                        values: &parent_vals,
+                        prev: &prev,
+                    });
+                    if let Some(v) = out {
+                        self.values[idx] = v;
+                        changed[idx] = true;
+                    }
+                }
+            }
+        }
+
+        let out_id = self.graph.output();
+        let output = if changed[out_id.index()] {
+            Propagated::Change(self.values[out_id.index()].clone())
+        } else {
+            Propagated::NoChange
+        };
+        OutputEvent {
+            seq,
+            source: src,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::changed_values;
+    use crate::graph::GraphBuilder;
+
+    fn int(v: &Value) -> i64 {
+        v.as_int().unwrap()
+    }
+
+    #[test]
+    fn lift_recomputes_only_on_relevant_events() {
+        // Fig. 7 graph: relative mouse position.
+        let mut g = GraphBuilder::new();
+        let mouse_x = g.input("Mouse.x", 0i64);
+        let width = g.input("Window.width", 100i64);
+        let rel = g.lift2(
+            "ratio",
+            |y, z| Value::Int(100 * int(y) / int(z).max(1)),
+            mouse_x,
+            width,
+        );
+        let graph = g.finish(rel).unwrap();
+
+        let outs = SyncRuntime::run_trace(
+            &graph,
+            [
+                Occurrence::input(mouse_x, 50i64),
+                Occurrence::input(width, 200i64),
+                Occurrence::input(mouse_x, 100i64),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            changed_values(&outs),
+            vec![Value::Int(50), Value::Int(25), Value::Int(50)]
+        );
+    }
+
+    #[test]
+    fn foldp_counts_only_its_own_events() {
+        // §3.3.2: the key-press counter must ignore mouse events.
+        let mut g = GraphBuilder::new();
+        let keys = g.input("Keyboard.lastPressed", 0i64);
+        let mouse = g.input("Mouse.x", 0i64);
+        let count = g.foldp("count", |_k, acc| Value::Int(int(acc) + 1), 0i64, keys);
+        let both = g.lift2("pair", |c, m| Value::pair(c.clone(), m.clone()), count, mouse);
+        let graph = g.finish(both).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        rt.feed(Occurrence::input(keys, 65i64)).unwrap();
+        rt.feed(Occurrence::input(mouse, 10i64)).unwrap();
+        rt.feed(Occurrence::input(mouse, 20i64)).unwrap();
+        rt.feed(Occurrence::input(keys, 66i64)).unwrap();
+        rt.run_to_quiescence();
+        assert_eq!(int(rt.value(count)), 2);
+    }
+
+    #[test]
+    fn without_memoization_foldp_is_wrong() {
+        // The ablation demonstrates why NoChange is "critical to ensure
+        // correct execution" (§3.3.2).
+        let mut g = GraphBuilder::new();
+        let keys = g.input("keys", 0i64);
+        let mouse = g.input("mouse", 0i64);
+        let count = g.foldp("count", |_k, acc| Value::Int(int(acc) + 1), 0i64, keys);
+        let both = g.lift2("pair", |c, m| Value::pair(c.clone(), m.clone()), count, mouse);
+        let graph = g.finish(both).unwrap();
+
+        let mut rt = SyncRuntime::with_memoization(&graph, false);
+        for occ in [
+            Occurrence::input(keys, 65i64),
+            Occurrence::input(mouse, 1i64),
+            Occurrence::input(mouse, 2i64),
+        ] {
+            rt.feed(occ).unwrap();
+        }
+        rt.run_to_quiescence();
+        // One key press, but the broken counter saw all three events.
+        assert_eq!(int(rt.value(count)), 3);
+    }
+
+    #[test]
+    fn memoization_skips_unchanged_subgraphs() {
+        let mut g = GraphBuilder::new();
+        let a = g.input("a", 0i64);
+        let b = g.input("b", 0i64);
+        let fa = g.lift1("fa", |v| v.clone(), a);
+        let fb = g.lift1("fb", |v| v.clone(), b);
+        let join = g.lift2("join", |x, y| Value::pair(x.clone(), y.clone()), fa, fb);
+        let graph = g.finish(join).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        rt.feed(Occurrence::input(a, 1i64)).unwrap();
+        rt.run_to_quiescence();
+        let snap = rt.stats().snapshot();
+        // fa and join recomputed; fb was skipped.
+        assert_eq!(snap.computations, 2);
+        assert_eq!(snap.memo_skips, 1);
+    }
+
+    #[test]
+    fn async_events_are_queued_fifo_and_processed_later() {
+        // Fig. 8(c): primary graph pairs async word-pairs with the mouse.
+        let mut g = GraphBuilder::new();
+        let words = g.input("words", Value::str(""));
+        let translated = g.lift1(
+            "toFrench",
+            |w| Value::str(format!("fr:{}", w.as_str().unwrap_or(""))),
+            words,
+        );
+        let a = g.async_source(translated);
+        let mouse = g.input("mouse", 0i64);
+        let main = g.lift2("scene", |t, m| Value::pair(t.clone(), m.clone()), a, mouse);
+        let graph = g.finish(main).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        rt.feed(Occurrence::input(words, "cat")).unwrap();
+        rt.feed(Occurrence::input(mouse, 5i64)).unwrap();
+        let outs = rt.run_to_quiescence();
+
+        // Round 0: words event — secondary subgraph computes, async queues a
+        // new event; main does NOT change yet (async emitted NoChange).
+        assert_eq!(outs[0].output, Propagated::NoChange);
+        // Round 1: mouse event (was queued before the async-generated one).
+        assert_eq!(
+            outs[1].value().unwrap().as_pair().unwrap().1,
+            &Value::Int(5)
+        );
+        // Round 2: the async event delivers the translation.
+        assert_eq!(
+            outs[2].value().unwrap().as_pair().unwrap().0,
+            &Value::str("fr:cat")
+        );
+        assert_eq!(rt.stats().async_events(), 1);
+        assert_eq!(rt.stats().events(), 3);
+    }
+
+    #[test]
+    fn async_default_value_is_inner_default() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 7i64);
+        let a = g.async_source(i);
+        let graph = g.finish(a).unwrap();
+        let rt = SyncRuntime::new(&graph);
+        assert_eq!(rt.value(a), &Value::Int(7));
+    }
+
+    #[test]
+    fn feed_rejects_non_sources_and_missing_payloads() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let l = g.lift1("id", |v| v.clone(), i);
+        let graph = g.finish(l).unwrap();
+        let mut rt = SyncRuntime::new(&graph);
+        assert_eq!(
+            rt.feed(Occurrence::input(l, 0i64)),
+            Err(RunError::NotASource(l))
+        );
+        assert_eq!(
+            rt.feed(Occurrence {
+                source: i,
+                payload: None
+            }),
+            Err(RunError::MissingPayload(i))
+        );
+    }
+
+    #[test]
+    fn drop_repeats_and_keep_if_interact_with_memoization() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let dr = g.drop_repeats(i);
+        let even = g.keep_if(|v| int(v) % 2 == 0, 0i64, dr);
+        let count = g.foldp("count", |_v, acc| Value::Int(int(acc) + 1), 0i64, even);
+        let graph = g.finish(count).unwrap();
+
+        let trace = [2i64, 2, 4, 5, 5, 6].map(|v| Occurrence::input(i, v));
+        let outs = SyncRuntime::run_trace(&graph, trace).unwrap();
+        // Changes reaching the counter: 2, 4, 6  (dup 2 and 5s filtered).
+        assert_eq!(
+            changed_values(&outs).last(),
+            Some(&Value::Int(3))
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Failure injection: a panicking node function must not deadlock the
+//! pipelined runtime.
+//!
+//! The paper's CML model has no story for a crashing node — a real system
+//! needs one. Our policy: the node is *poisoned* (counted in stats), emits
+//! `NoChange` forever after, and the rest of the graph keeps running; the
+//! drain/quiescence protocol stays live.
+
+use elm_runtime::{
+    changed_values, ConcurrentRuntime, GraphBuilder, Occurrence, SyncRuntime, Value,
+};
+
+fn poison_graph() -> (elm_runtime::SignalGraph, elm_runtime::NodeId, elm_runtime::NodeId) {
+    let mut g = GraphBuilder::new();
+    let a = g.input("a", 0i64);
+    let b = g.input("b", 0i64);
+    let fragile = g.lift1(
+        "fragile",
+        |v| {
+            let n = v.as_int().unwrap_or(0);
+            assert!(n != 13, "unlucky value");
+            Value::Int(n * 2)
+        },
+        a,
+    );
+    let sturdy = g.lift1("sturdy", |v| Value::Int(v.as_int().unwrap_or(0) + 100), b);
+    let join = g.lift2(
+        "join",
+        |x, y| Value::pair(x.clone(), y.clone()),
+        fragile,
+        sturdy,
+    );
+    let graph = g.finish(join).unwrap();
+    (graph, a, b)
+}
+
+#[test]
+fn panicking_node_poisons_but_does_not_deadlock() {
+    // Silence the panic backtrace noise from the poisoned worker.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let (graph, a, b) = poison_graph();
+    let mut rt = ConcurrentRuntime::start(&graph);
+    rt.feed(Occurrence::input(a, 1i64)).unwrap();
+    rt.feed(Occurrence::input(a, 13i64)).unwrap(); // boom
+    rt.feed(Occurrence::input(a, 2i64)).unwrap(); // poisoned: ignored
+    rt.feed(Occurrence::input(b, 5i64)).unwrap(); // unaffected branch
+    let outs = rt.drain().expect("drain must complete despite the panic");
+
+    let vals = changed_values(&outs);
+    // Event 1: (2, 100). Event 13: poisoned, NoChange at join? No — join
+    // sees no change from fragile but nothing else changed either, so the
+    // 13-event yields NoChange overall. Event 2: fragile poisoned →
+    // NoChange. Event b=5: join recomputes with last good fragile value.
+    assert_eq!(vals.len(), 2, "{vals:?}");
+    assert_eq!(
+        vals[0],
+        Value::pair(Value::Int(2), Value::Int(100))
+    );
+    assert_eq!(
+        vals[1],
+        Value::pair(Value::Int(2), Value::Int(105))
+    );
+    assert_eq!(rt.stats().node_panics(), 1);
+    rt.stop();
+
+    std::panic::set_hook(prev_hook);
+}
+
+#[test]
+fn sync_runtime_panics_surface_to_the_caller() {
+    // The single-threaded scheduler propagates the panic directly — the
+    // caller is on the same stack and should see it.
+    let (graph, a, _b) = poison_graph();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut rt = SyncRuntime::new(&graph);
+        rt.feed(Occurrence::input(a, 13i64)).unwrap();
+        rt.run_to_quiescence();
+    }));
+    assert!(result.is_err(), "sync scheduler surfaces the panic");
+}
+
+#[test]
+fn poisoned_async_subgraph_still_quiesces() {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut g = GraphBuilder::new();
+    let i = g.input("i", 0i64);
+    let fragile = g.lift1(
+        "fragile",
+        |v| {
+            assert!(v.as_int() != Some(13), "boom");
+            v.clone()
+        },
+        i,
+    );
+    let a = g.async_source(fragile);
+    let mouse = g.input("m", 0i64);
+    let join = g.lift2("join", |x, y| Value::pair(x.clone(), y.clone()), a, mouse);
+    let graph = g.finish(join).unwrap();
+
+    let mut rt = ConcurrentRuntime::start(&graph);
+    rt.feed(Occurrence::input(i, 13i64)).unwrap(); // poisons the secondary subgraph
+    rt.feed(Occurrence::input(mouse, 1i64)).unwrap();
+    rt.feed(Occurrence::input(mouse, 2i64)).unwrap();
+    let outs = rt.drain().expect("quiesces with a poisoned secondary subgraph");
+    let vals = changed_values(&outs);
+    assert_eq!(vals.len(), 2);
+    assert_eq!(rt.stats().node_panics(), 1);
+    assert_eq!(rt.stats().async_events(), 0, "no async event was generated");
+    rt.stop();
+
+    std::panic::set_hook(prev_hook);
+}

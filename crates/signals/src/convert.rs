@@ -1,0 +1,237 @@
+//! Conversions between Rust types and the runtime's dynamic [`Value`].
+//!
+//! The signal runtime is dynamically typed (like its CML model in the
+//! paper); this module recovers static types for the `Signal<T>` embedding.
+//! [`SignalValue`] plays the role of the paper's `⟦·⟧V` value translation,
+//! in both directions.
+
+use std::sync::Arc;
+
+use elm_runtime::Value;
+
+/// Types that can travel on signal-graph edges.
+///
+/// Implementations must round-trip: `T::from_value(&v.into_value())`
+/// reproduces the original (up to `Clone`). Primitive Elm-ish types have
+/// structural encodings; arbitrary Rust types can be carried opaquely via
+/// [`Opaque`].
+pub trait SignalValue: Clone + Send + Sync + 'static {
+    /// Encodes into a dynamic value.
+    fn into_value(self) -> Value;
+    /// Decodes from a dynamic value. Returns `None` on shape mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+
+    /// Decodes, panicking on mismatch — used internally where the type
+    /// system already guarantees the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not have this type's encoding.
+    fn from_value_unwrap(v: &Value) -> Self {
+        Self::from_value(v).unwrap_or_else(|| {
+            panic!(
+                "signal value shape mismatch: expected {}, got {} ({v:?})",
+                std::any::type_name::<Self>(),
+                v.kind()
+            )
+        })
+    }
+}
+
+impl SignalValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl SignalValue for () {
+    fn into_value(self) -> Value {
+        Value::Unit
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        matches!(v, Value::Unit).then_some(())
+    }
+}
+
+impl SignalValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_int()
+    }
+}
+
+impl SignalValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Float(self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_float()
+    }
+}
+
+impl SignalValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+impl SignalValue for String {
+    fn into_value(self) -> Value {
+        Value::from(self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl SignalValue for Arc<str> {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl<A: SignalValue, B: SignalValue> SignalValue for (A, B) {
+    fn into_value(self) -> Value {
+        Value::pair(self.0.into_value(), self.1.into_value())
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        let (a, b) = v.as_pair()?;
+        Some((A::from_value(a)?, B::from_value(b)?))
+    }
+}
+
+impl<A: SignalValue, B: SignalValue, C: SignalValue> SignalValue for (A, B, C) {
+    fn into_value(self) -> Value {
+        // Right-nested pairs, matching FElm's encoding of wider tuples.
+        Value::pair(
+            self.0.into_value(),
+            Value::pair(self.1.into_value(), self.2.into_value()),
+        )
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        let (a, rest) = v.as_pair()?;
+        let (b, c) = rest.as_pair()?;
+        Some((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?))
+    }
+}
+
+impl<T: SignalValue> SignalValue for Vec<T> {
+    fn into_value(self) -> Value {
+        Value::list(self.into_iter().map(SignalValue::into_value))
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_list()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: SignalValue> SignalValue for Option<T> {
+    /// `None` encodes as unit, `Some(x)` as a 1-element list — mirroring
+    /// Elm's `Maybe` as an algebraic datatype without adding a variant to
+    /// the runtime value.
+    fn into_value(self) -> Value {
+        match self {
+            None => Value::Unit,
+            Some(x) => Value::list([x.into_value()]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Unit => Some(None),
+            Value::List(items) if items.len() == 1 => Some(Some(T::from_value(&items[0])?)),
+            _ => None,
+        }
+    }
+}
+
+/// Carries an arbitrary Rust value opaquely through the signal graph.
+///
+/// ```
+/// use elm_signals::{Opaque, SignalValue};
+///
+/// #[derive(Clone, Debug, PartialEq)]
+/// struct Sprite { x: i32 }
+///
+/// let v = Opaque(Sprite { x: 3 }).into_value();
+/// let back: Opaque<Sprite> = Opaque::from_value(&v).unwrap();
+/// assert_eq!(back.0, Sprite { x: 3 });
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Opaque<T>(pub T);
+
+impl<T: Clone + Send + Sync + 'static> SignalValue for Opaque<T> {
+    fn into_value(self) -> Value {
+        Value::ext(self.0)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.downcast_ext::<T>().cloned().map(Opaque)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: SignalValue + PartialEq + std::fmt::Debug>(x: T) {
+        let v = x.clone().into_value();
+        assert_eq!(T::from_value(&v), Some(x));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(());
+        round_trip(42i64);
+        round_trip(2.5f64);
+        round_trip(true);
+        round_trip("hello".to_string());
+        round_trip(Arc::<str>::from("shared"));
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        round_trip((1i64, "x".to_string()));
+        round_trip((1i64, 2.0f64, false));
+        round_trip(vec![1i64, 2, 3]);
+        round_trip(Some(7i64));
+        round_trip(Option::<i64>::None);
+        round_trip(vec![(1i64, true), (2i64, false)]);
+    }
+
+    #[test]
+    fn mismatched_shapes_decode_to_none() {
+        assert_eq!(i64::from_value(&Value::str("no")), None);
+        assert_eq!(<(i64, i64)>::from_value(&Value::Int(1)), None);
+        assert_eq!(Vec::<i64>::from_value(&Value::list([Value::Bool(true)])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn unwrap_panics_with_context() {
+        i64::from_value_unwrap(&Value::Unit);
+    }
+}

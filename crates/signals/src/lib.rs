@@ -1,0 +1,52 @@
+//! Typed asynchronous FRP signals — the primary public API of the
+//! PLDI 2013 Elm-paper reproduction.
+//!
+//! This crate is the Rust analogue of Elm's `Signal` library and of the
+//! paper's Elm-in-Haskell embedding (§5): a statically typed layer over the
+//! concurrent pipelined signal runtime in `elm-runtime`. It provides:
+//!
+//! * [`Signal<T>`] with the paper's combinators — `map` (`lift`),
+//!   [`lift2`]/[`lift3`]/[`lift4`], [`Signal::foldp`], and the headline
+//!   [`Signal::async_`] for marking subgraphs whose long-running
+//!   computation must not block the rest of the GUI (§3.3.2);
+//! * the §4.2 library combinators: [`Signal::merge`],
+//!   [`Signal::sample_on`], [`Signal::keep_if`], [`Signal::drop_repeats`],
+//!   [`Signal::count`], …;
+//! * [`SignalNetwork`] / [`Program`] / [`Running`] for building programs
+//!   and running them on the concurrent (pipelined) or synchronous
+//!   (deterministic) engine.
+//!
+//! # Example: the paper's `asyncEg` (§5)
+//!
+//! ```
+//! use elm_signals::{lift2, Engine, SignalNetwork};
+//!
+//! let mut net = SignalNetwork::new();
+//! let (mouse_x, hx) = net.input::<i64>("Mouse.x", 0);
+//! let (mouse_y, hy) = net.input::<i64>("Mouse.y", 0);
+//!
+//! // f is potentially long-running; async keeps the GUI responsive.
+//! let f_y = mouse_y.map(|y| y * y).async_();
+//! let main = lift2(|x, fy| (x, fy), &mouse_x, &f_y);
+//!
+//! let prog = net.program(&main).unwrap();
+//! let mut run = prog.start(Engine::Concurrent);
+//! run.send(&hy, 3).unwrap();
+//! run.send(&hx, 10).unwrap();
+//! let outs = run.drain_changes().unwrap();
+//! assert!(outs.contains(&(10, 9)));
+//! run.stop();
+//! ```
+
+#![warn(missing_docs)]
+
+mod convert;
+mod network;
+mod program;
+
+pub use convert::{Opaque, SignalValue};
+pub use network::{combine, lift2, lift3, lift4, merges, zip, InputHandle, Signal, SignalNetwork};
+pub use program::{Engine, Program, Running};
+
+// Re-export the runtime layer for users who need graph-level access.
+pub use elm_runtime as runtime;

@@ -1,0 +1,74 @@
+//! Image search — paper §2, Example 3: the headline `async` demo.
+//!
+//! ```text
+//! (inputField, tags) = Input.text "Enter a tag"
+//! getImage tags = lift (fittedImage 300 200) (syncGet (lift requestTag tags))
+//! scene input pos img = flow down [ input, asText pos, img ]
+//! main = lift3 scene inputField Mouse.position (async (getImage tags))
+//! ```
+//!
+//! The mock image service takes 40 ms per request. With `async`, mouse
+//! updates keep flowing while fetches are in flight; the measured
+//! responsiveness comparison is experiment E5 (`cargo bench`). Run with
+//! `cargo run --example image_search`.
+
+use std::time::Duration;
+
+use elm_frp::prelude::*;
+use elm_signals::lift3;
+
+fn main() {
+    let http = MockHttp::image_service(Duration::from_millis(40));
+
+    let mut net = SignalNetwork::new();
+    let (input_field, tags, tags_handle) = elm_environment::text_input(&mut net, "Enter a tag");
+    let (mouse, mouse_handle) = net.input::<(i64, i64)>("Mouse.position", (0, 0));
+
+    // getImage: tag -> request -> (blocking) response -> fitted image.
+    let requests = tags.map(|t| MockHttp::request_tag(&t));
+    let responses = elm_environment::sync_get(http.clone(), &requests);
+    let image = responses.map(|r| {
+        let url = MockHttp::image_url_of(&r).unwrap_or_default();
+        Opaque(Element::fitted_image(300, 200, url))
+    });
+
+    // The async annotation: without it, every mouse update would wait for
+    // the fetch in flight.
+    let async_image = image.async_();
+
+    let scene = lift3(
+        |field: Opaque<Element>, pos: (i64, i64), img: Opaque<Element>| {
+            Opaque(flow(
+                Direction::Down,
+                vec![field.0, Element::as_text(format!("{pos:?}")), img.0],
+            ))
+        },
+        &input_field,
+        &mouse,
+        &async_image,
+    );
+
+    let program = net.program(&scene).unwrap();
+    println!("signal graph:\n{}", program.to_dot());
+
+    let mut gui = Gui::start(&program, Engine::Concurrent);
+
+    // The user types "flower", then wiggles the mouse while the fetch is
+    // in flight.
+    for (i, prefix) in ["f", "fl", "flo", "flow", "flowe", "flower"].iter().enumerate() {
+        gui.send(&tags_handle, prefix.to_string()).unwrap();
+        gui.send(&mouse_handle, (10 + i as i64, 20)).unwrap();
+    }
+    println!("final screen after typing + mouse movement:");
+    print!("{}", gui.screen_ascii());
+    println!(
+        "requests served by the mock image service: {}",
+        http.requests_served()
+    );
+    let stats = gui.stats();
+    println!(
+        "events={} (async-generated: {})",
+        stats.events, stats.async_events
+    );
+    gui.stop();
+}

@@ -1,0 +1,156 @@
+//! Pong — §5: "Elm has also been used to make Pong and other games, which
+//! require highly interactive GUIs."
+//!
+//! The classic FRP game shape: inputs (frame ticks, mouse, arrow keys) are
+//! sampled per frame, a pure `step` function folds the game state over
+//! time (`foldp`), and a pure `view` renders the state as a collage.
+//! A scripted match runs headlessly; frames render to ASCII.
+//!
+//! Run with `cargo run --example pong`.
+
+use elm_frp::prelude::*;
+use elm_graphics::{oval, rect, solid, Form, Text};
+use elm_signals::lift3;
+
+const W: f64 = 400.0;
+const H: f64 = 240.0;
+const PADDLE_H: f64 = 60.0;
+
+/// The full game state — a pure value folded over frame inputs.
+#[derive(Clone, Debug, PartialEq)]
+struct Game {
+    ball: (f64, f64),
+    velocity: (f64, f64),
+    left_y: f64,
+    right_y: f64,
+    score: (u32, u32),
+}
+
+impl Game {
+    fn new() -> Game {
+        Game {
+            ball: (0.0, 0.0),
+            velocity: (120.0, 75.0),
+            left_y: 0.0,
+            right_y: 0.0,
+            score: (0, 0),
+        }
+    }
+}
+
+/// One frame's inputs: elapsed time, left paddle target (mouse y in
+/// collage coordinates), right paddle direction (arrow keys).
+#[derive(Clone, Debug, PartialEq)]
+struct Frame {
+    dt: f64,
+    mouse_y: f64,
+    arrows_y: f64,
+}
+
+/// The pure physics/logic step.
+fn step(input: &Frame, g: &Game) -> Game {
+    let mut g = g.clone();
+    let dt = input.dt;
+    // Paddles.
+    g.left_y = input.mouse_y.clamp(-H / 2.0 + PADDLE_H / 2.0, H / 2.0 - PADDLE_H / 2.0);
+    g.right_y = (g.right_y + input.arrows_y * 180.0 * dt)
+        .clamp(-H / 2.0 + PADDLE_H / 2.0, H / 2.0 - PADDLE_H / 2.0);
+    // Ball.
+    let (mut x, mut y) = g.ball;
+    let (mut vx, mut vy) = g.velocity;
+    x += vx * dt;
+    y += vy * dt;
+    // Walls.
+    if !(-H / 2.0 + 5.0..=H / 2.0 - 5.0).contains(&y) {
+        vy = -vy;
+        y = y.clamp(-H / 2.0 + 5.0, H / 2.0 - 5.0);
+    }
+    // Paddles at x = ±(W/2 - 15).
+    let hits = |paddle_y: f64| (y - paddle_y).abs() < PADDLE_H / 2.0 + 5.0;
+    if x < -W / 2.0 + 20.0 && vx < 0.0 && hits(g.left_y) {
+        vx = -vx * 1.05;
+        x = -W / 2.0 + 20.0;
+    } else if x > W / 2.0 - 20.0 && vx > 0.0 && hits(g.right_y) {
+        vx = -vx * 1.05;
+        x = W / 2.0 - 20.0;
+    }
+    // Scoring.
+    if x < -W / 2.0 {
+        g.score.1 += 1;
+        (x, y, vx, vy) = (0.0, 0.0, 120.0, 75.0);
+    } else if x > W / 2.0 {
+        g.score.0 += 1;
+        (x, y, vx, vy) = (0.0, 0.0, -120.0, 75.0);
+    }
+    g.ball = (x, y);
+    g.velocity = (vx, vy);
+    g
+}
+
+/// The pure view: state to collage.
+fn view(g: &Game) -> Element {
+    collage(
+        W as u32,
+        H as u32,
+        vec![
+            Form::outlined(solid(palette::CHARCOAL), rect(W - 2.0, H - 2.0)),
+            Form::filled(palette::BLACK, rect(10.0, PADDLE_H)).shifted(-W / 2.0 + 12.0, g.left_y),
+            Form::filled(palette::BLACK, rect(10.0, PADDLE_H)).shifted(W / 2.0 - 12.0, g.right_y),
+            Form::filled(palette::RED, oval(10.0, 10.0)).shifted(g.ball.0, g.ball.1),
+            Form::text(Text::plain(format!("{} : {}", g.score.0, g.score.1)).size(18))
+                .shifted(0.0, H / 2.0 - 16.0),
+        ],
+    )
+}
+
+fn main() {
+    let mut net = SignalNetwork::new();
+    let (fps, tick) = net.input::<f64>("Time.fps", 0.0);
+    let (mouse_y, hm) = net.input::<i64>("Mouse.y", 0);
+    let (arrows, ha) = net.input::<(i64, i64)>("Keyboard.arrows", (0, 0));
+
+    // Pack the current inputs, then sample them on each frame tick so the
+    // game advances exactly once per frame (the Fig. 13 `Time.fps` idiom).
+    let packed = lift3(
+        |dt: f64, my: i64, ar: (i64, i64)| {
+            Opaque(Frame {
+                dt: dt / 1000.0,
+                // screen y (down) to collage y (up)
+                mouse_y: (H / 2.0) - my as f64,
+                arrows_y: ar.1 as f64,
+            })
+        },
+        &fps,
+        &mouse_y,
+        &arrows,
+    );
+    let per_frame = fps.sample_on(&packed);
+    let state = per_frame.foldp(Opaque(Game::new()), |input, acc| {
+        Opaque(step(&input.0, &acc.0))
+    });
+    let main_sig = state.map(|g| Opaque(view(&g.0)));
+    let program = net.program(&main_sig).unwrap();
+
+    println!("signal graph:\n{}", program.to_dot());
+
+    let mut gui = Gui::start(&program, Engine::Synchronous);
+
+    // Scripted match: 60 frames at ~30 fps; the left player tracks the
+    // ball lazily via the mouse, the right player holds "up".
+    gui.send(&ha, (0, 1)).unwrap();
+    let mut shown = 0;
+    for frame in 0..60 {
+        // The "player" chases the ball's height with the mouse.
+        let target = 120 - (frame % 30) * 4;
+        gui.send(&hm, target as i64).unwrap();
+        gui.send(&tick, 33.0).unwrap();
+        if frame % 20 == 19 {
+            shown += 1;
+            println!("-- frame {} --", frame + 1);
+            print!("{}", gui.screen_ascii());
+        }
+    }
+    assert!(shown > 0);
+    println!("total frames rendered: {}", gui.frames().len());
+    gui.stop();
+}

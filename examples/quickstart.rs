@@ -1,0 +1,63 @@
+//! Quickstart — paper §2, Example 1: purely functional layout.
+//!
+//! ```text
+//! content = flow down [ plainText "Welcome to Elm!"
+//!                     , image 150 50 "flower.jpg"
+//!                     , asText (reverse [1..9]) ]
+//! main = container 180 100 middle content
+//! ```
+//!
+//! Run with `cargo run --example quickstart`. The "screen" is printed as
+//! an ASCII raster (the headless display), and the HTML the paper's
+//! compiler would emit is written to `target/quickstart.html`.
+
+use elm_frp::prelude::*;
+use elm_graphics::render::{ascii, html};
+
+fn main() {
+    let reversed: Vec<i64> = (1..=9).rev().collect();
+    let content = flow(
+        Direction::Down,
+        vec![
+            Element::plain_text("Welcome to Elm!"),
+            Element::image(150, 50, "flower.jpg"),
+            Element::as_text(format!("{reversed:?}")),
+        ],
+    );
+    let main_el = Element::container(180, 100, Position::MIDDLE, content);
+
+    println!("-- Figure 1: basic layout ({}x{}) --", main_el.width, main_el.height);
+    let dl = elm_graphics::layout(&main_el);
+    print!("{}", ascii::to_ascii(&dl));
+
+    let page = html::to_html_page("Welcome to Elm!", &main_el);
+    let out = std::path::Path::new("target/quickstart.html");
+    if let Err(e) = std::fs::write(out, &page) {
+        eprintln!("could not write {}: {e}", out.display());
+    } else {
+        println!("\nwrote {} ({} bytes)", out.display(), page.len());
+    }
+
+    // The same layout, inspected: the container centers its content.
+    println!("\nprimitives:");
+    for item in &dl.items {
+        println!(
+            "  at ({:>3},{:>3}) {:>3}x{:<3} {:?}",
+            item.x,
+            item.y,
+            item.width,
+            item.height,
+            kind_name(&item.primitive)
+        );
+    }
+}
+
+fn kind_name(p: &elm_graphics::Primitive) -> &'static str {
+    match p {
+        elm_graphics::Primitive::Fill(_) => "fill",
+        elm_graphics::Primitive::Text(_) => "text",
+        elm_graphics::Primitive::Image { .. } => "image",
+        elm_graphics::Primitive::Video { .. } => "video",
+        elm_graphics::Primitive::Form(_) => "form",
+    }
+}

@@ -1,0 +1,54 @@
+//! Shapes — paper Fig. 12: creating and combining forms.
+//!
+//! ```text
+//! square   = rect 70 70
+//! pentagon = ngon 5 20
+//! circle   = oval 50 50
+//! zigzag   = path [ (0,0), (10,10), (0,30), (10,40) ]
+//! main = collage 140 140
+//!   [ filled green pentagon
+//!   , outlined (dashed blue) circle
+//!   , rotate (degrees 70) (outlined (solid black) square)
+//!   , move 40 40 (trace (solid red) zigzag) ]
+//! ```
+//!
+//! Run with `cargo run --example shapes`; writes `target/shapes.svg`.
+
+use elm_frp::prelude::*;
+use elm_graphics::render::{ascii, svg};
+use elm_graphics::{dashed, degrees, ngon, oval, path, rect, solid};
+
+fn main() {
+    let square = rect(70.0, 70.0);
+    let pentagon = ngon(5, 20.0);
+    let circle = oval(50.0, 50.0);
+    let zigzag = path(vec![(0.0, 0.0), (10.0, 10.0), (0.0, 30.0), (10.0, 40.0)]);
+
+    let main_el = collage(
+        140,
+        140,
+        vec![
+            Form::filled(palette::GREEN, pentagon),
+            Form::outlined(dashed(palette::BLUE), circle),
+            Form::outlined(solid(palette::BLACK), square).rotated(degrees(70.0)),
+            Form::trace(solid(palette::RED), zigzag).shifted(40.0, 40.0),
+        ],
+    );
+
+    let dl = elm_graphics::layout(&main_el);
+    println!("-- Figure 12 collage, ASCII raster --");
+    print!("{}", ascii::to_ascii(&dl));
+
+    let doc = svg::to_svg(&dl);
+    let out = std::path::Path::new("target/shapes.svg");
+    match std::fs::write(out, &doc) {
+        Ok(()) => println!("\nwrote {} ({} bytes of SVG)", out.display(), doc.len()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+
+    // Demonstrate the transform algebra: bounds before and after rotation.
+    let plain = Form::outlined(solid(palette::BLACK), rect(70.0, 70.0));
+    let rotated = plain.clone().rotated(degrees(45.0));
+    println!("\nsquare bounds:          {:?}", plain.bounds().unwrap());
+    println!("rotated 45° bounds:     {:?}", rotated.bounds().unwrap());
+}

@@ -1,0 +1,81 @@
+//! Slide show — paper Fig. 14: reacting to user input.
+//!
+//! ```text
+//! pics = [ "shells.jpg", "car.jpg", "book.jpg" ]
+//! display i = image 475 315 (ith (i `mod` length pics) pics)
+//! count s = foldp (\_ c -> c + 1) 0 s
+//! index1 = count Mouse.clicks
+//! index2 = count (Time.every (3 * second))
+//! index3 = count Keyboard.lastPressed
+//! main = lift display index1
+//! ```
+//!
+//! All three index variants from the figure are built; clicks drive the
+//! screen, and the timer/keyboard variants are shown side by side.
+//! Run with `cargo run --example slideshow`.
+
+use elm_frp::prelude::*;
+
+const PICS: [&str; 3] = ["shells.jpg", "car.jpg", "book.jpg"];
+
+fn display(i: i64) -> Element {
+    let pic = PICS[(i.rem_euclid(PICS.len() as i64)) as usize];
+    flow(
+        Direction::Down,
+        vec![
+            Element::image(475, 315, pic),
+            Element::plain_text(format!("showing {pic}")),
+        ],
+    )
+}
+
+fn main() {
+    let mut net = SignalNetwork::new();
+    let (clicks, click_handle) = net.input::<()>("Mouse.clicks", ());
+    let (timer, timer_handle) = net.input::<i64>("Time.millis", 0);
+    let (keys, key_handle) = net.input::<i64>("Keyboard.lastPressed", 0);
+
+    // The three counters of Fig. 14.
+    let index1 = clicks.count();
+    let index2 = timer.count();
+    let index3 = keys.count();
+
+    let main_sig = lift3(
+        |i1: i64, i2: i64, i3: i64| {
+            Opaque(flow(
+                Direction::Down,
+                vec![
+                    display(i1),
+                    Element::plain_text(format!(
+                        "clicks: {i1}  timer ticks: {i2}  key presses: {i3}"
+                    )),
+                ],
+            ))
+        },
+        &index1,
+        &index2,
+        &index3,
+    );
+    let program = net.program(&main_sig).unwrap();
+
+    let mut gui = Gui::start(&program, Engine::Synchronous);
+    println!("initial screen:");
+    print!("{}", gui.screen_ascii());
+
+    // The user clicks through the slide show…
+    for _ in 0..2 {
+        gui.send(&click_handle, ()).unwrap();
+    }
+    // …three seconds pass (one tick per 3000 ms, simulated)…
+    gui.send(&timer_handle, 3000).unwrap();
+    // …and a key is pressed.
+    gui.send(&key_handle, 32).unwrap();
+
+    println!("\nafter 2 clicks, 1 timer tick, 1 key press:");
+    print!("{}", gui.screen_ascii());
+
+    println!("\nframes rendered: {}", gui.frames().len());
+    gui.stop();
+}
+
+use elm_signals::lift3;

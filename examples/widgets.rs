@@ -1,0 +1,69 @@
+//! Input widgets — §4.2: "Input components such as text boxes, buttons,
+//! and sliders are represented as a pair of signals: an element (for the
+//! graphical component) and a value (for the value input)."
+//!
+//! A small settings panel built from all four widgets, driven headlessly.
+//! Run with `cargo run --example widgets`.
+
+use elm_frp::prelude::*;
+use elm_environment::{button, checkbox, slider, text_input};
+use elm_signals::lift4;
+
+fn main() {
+    let mut net = SignalNetwork::new();
+    let (name_field, name, h_name) = text_input(&mut net, "Your name");
+    let (save_btn, saves, h_save) = button(&mut net, "Save");
+    let (dark_box, dark, h_dark) = checkbox(&mut net, "dark mode");
+    let (vol_slider, volume, h_vol) = slider(&mut net, "volume", 0.0, 1.0, 0.5);
+
+    let save_count = saves.count();
+    let summary = lift4(
+        |n: String, d: bool, v: f64, s: i64| {
+            format!(
+                "settings: name={n:?} dark={d} volume={v:.2} (saved {s}x)",
+            )
+        },
+        &name,
+        &dark,
+        &volume,
+        &save_count,
+    );
+
+    let widgets = lift4(
+        |a: Opaque<Element>, b: Opaque<Element>, c: Opaque<Element>, d: Opaque<Element>| {
+            Opaque(flow(Direction::Down, vec![a.0, b.0, c.0, d.0]))
+        },
+        &name_field,
+        &save_btn,
+        &dark_box,
+        &vol_slider,
+    );
+    let main_sig = lift2(
+        |w: Opaque<Element>, s: String| {
+            Opaque(flow(
+                Direction::Down,
+                vec![w.0, Element::plain_text(s)],
+            ))
+        },
+        &widgets,
+        &summary,
+    );
+    let program = net.program(&main_sig).unwrap();
+
+    let mut gui = Gui::start(&program, Engine::Synchronous);
+    println!("initial panel:");
+    print!("{}", gui.screen_ascii());
+
+    // The user fills in the panel.
+    gui.send(&h_name, "Evan".to_string()).unwrap();
+    gui.send(&h_dark, true).unwrap();
+    gui.send(&h_vol, 0.8).unwrap();
+    gui.send(&h_save, ()).unwrap();
+
+    println!("\nafter interaction:");
+    print!("{}", gui.screen_ascii());
+    assert!(gui
+        .screen_ascii()
+        .contains("settings: name=\"Evan\" dark=true volume=0.80 (saved 1x)"));
+    gui.stop();
+}

@@ -1,0 +1,3 @@
+-- Fig. 13's Keyboard.arrows record moves a character.
+step a pos = {x = pos.x + a.x * 10, y = pos.y + a.y * 10}
+main = foldp step {x = 0, y = 0} Keyboard.arrows

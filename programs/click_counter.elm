@@ -1,0 +1,2 @@
+-- Paper §3.1: count key presses / clicks with foldp.
+main = foldp (\k c -> c + 1) 0 Mouse.clicks

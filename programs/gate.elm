@@ -1,0 +1,4 @@
+-- Conditional display: pick between two views based on the shift key.
+label s = if s then "recording" else "idle"
+truthy n = n /= 0
+main = lift (\s -> label (truthy s)) Keyboard.shift

@@ -1,0 +1,6 @@
+-- §4.2 library primitives composed: count distinct even mouse positions
+-- while sampling the window width on clicks.
+evens = keepIf (\n -> n % 2 == 0) 0 Mouse.x
+deduped = dropRepeats evens
+sampled = sampleOn Mouse.clicks Window.width
+main = foldp (\v acc -> acc + v) 0 (merge deduped sampled)

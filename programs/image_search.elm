@@ -1,0 +1,6 @@
+-- Paper §2 Example 3's wiring (the HTTP fetch is simulated by string work;
+-- the Rust harness substitutes the real mock service).
+requestTag t = "GET /search?tags=" ++ t
+getImage tags = lift (\t -> requestTag t ++ ".jpg") tags
+scene = \a -> \b -> (a, b)
+main = lift3 (\i p m -> (i, (p, m))) Input.text Mouse.position (async (getImage Input.text))

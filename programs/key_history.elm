@@ -1,0 +1,2 @@
+-- Accumulate the last pressed keys in a list.
+main = foldp (\k hist -> k :: hist) [] Keyboard.lastPressed

@@ -1,0 +1,2 @@
+-- Paper §2 Example 2: display the mouse position.
+main = lift (\p -> p) Mouse.position

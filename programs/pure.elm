@@ -1,0 +1,3 @@
+-- A non-reactive program: main is a plain value.
+fib = \n -> if n < 2 then n else n
+main = (fib 10) * 6 + 2

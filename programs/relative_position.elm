@@ -1,0 +1,2 @@
+-- Paper Fig. 7: relative x-position of the mouse.
+main = lift2 (\y z -> (100 * y) / z) Mouse.x Window.width

@@ -1,0 +1,6 @@
+-- Paper Fig. 14: a simple slide-show.
+pics = ["shells.jpg", "car.jpg", "book.jpg"]
+display i = ith (i % length pics) pics
+count s = foldp (\x c -> c + 1) 0 s
+index1 = count Mouse.clicks
+main = lift display index1

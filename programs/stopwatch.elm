@@ -1,0 +1,2 @@
+-- Accumulate elapsed time from frame deltas.
+main = foldp (\dt total -> total + dt) 0.0 Time.fps

@@ -1,0 +1,5 @@
+-- An ADT-driven state machine: the traffic light cycles on clicks.
+data Light = Red | Green | Blue
+next l = case l of | Red -> Green | Green -> Blue | Blue -> Red
+show l = case l of | Red -> "red" | Green -> "green" | Blue -> "blue"
+main = lift show (foldp (\c l -> next l) Red Mouse.clicks)

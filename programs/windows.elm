@@ -1,0 +1,3 @@
+-- Window geometry arithmetic.
+area wh = fst wh * snd wh
+main = lift (\wh -> (area wh, fst wh - snd wh)) Window.dimensions

@@ -1,0 +1,5 @@
+-- Paper §3.3.2: pair words with their (simulated) translations,
+-- asynchronously, alongside the live mouse position.
+toFrench w = "fr:" ++ w
+wordPairs = lift2 (\a b -> (a, b)) Words.input (lift toFrench Words.input)
+main = lift2 (\p m -> (p, m)) (async wordPairs) Mouse.position

@@ -1,0 +1,55 @@
+//! # elm-frp — a reproduction of *Asynchronous Functional Reactive
+//! Programming for GUIs* (Czaplicki & Chong, PLDI 2013)
+//!
+//! This workspace rebuilds the paper's entire system in Rust:
+//!
+//! | Crate | Paper artifact |
+//! |-------|----------------|
+//! | [`runtime`] | the concurrent pipelined signal runtime (§3.3.2, Figs. 9–11), plus synchronous and pull-based baseline schedulers |
+//! | [`signals`] | the typed `Signal` library with `lift`/`foldp`/`async` and the §4.2 combinators |
+//! | [`felm`] | the FElm core calculus: parser, stratified type system (Fig. 4), two-stage semantics (Figs. 5–6) |
+//! | [`graphics`] | purely functional layout: Elements, Forms, collage (§4.1, Fig. 12) |
+//! | [`automaton`] | discrete Arrowized FRP (§4.3) |
+//! | [`environment`] | the simulated browser: virtual clock, input devices, mock HTTP, headless GUI harness |
+//! | [`compiler`] | the Elm-to-JavaScript compiler (§5) |
+//!
+//! See `DESIGN.md` for the system inventory and per-experiment index, and
+//! `EXPERIMENTS.md` for reproduced results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use elm_frp::prelude::*;
+//!
+//! // main = lift asText Mouse.position      (paper Example 2)
+//! let mut net = SignalNetwork::new();
+//! let (mouse, h) = net.input::<(i64, i64)>("Mouse.position", (0, 0));
+//! let main = mouse.map(|p| Opaque(Element::as_text(format!("{p:?}"))));
+//! let program = net.program(&main).unwrap();
+//!
+//! let mut gui = Gui::start(&program, Engine::Concurrent);
+//! gui.send(&h, (3, 4)).unwrap();
+//! assert!(gui.screen_ascii().contains("(3, 4)"));
+//! gui.stop();
+//! ```
+
+pub use elm_automaton as automaton;
+pub use elm_compiler as compiler;
+pub use elm_environment as environment;
+pub use elm_graphics as graphics;
+pub use elm_runtime as runtime;
+pub use elm_signals as signals;
+pub use felm;
+
+/// The most common imports, for examples and quick starts.
+pub mod prelude {
+    pub use elm_automaton::{combine, foldp_via_automaton, run as run_automaton, Automaton};
+    pub use elm_environment::{text_input, Gui, MockHttp, Simulator, VirtualClock};
+    pub use elm_graphics::{
+        collage, flow, layers, palette, Color, Direction, Element, Form, Position, Text,
+    };
+    pub use elm_signals::{
+        combine as combine_signals, lift2, lift3, lift4, merges, zip, Engine, InputHandle,
+        Opaque, Program, Running, Signal, SignalNetwork, SignalValue,
+    };
+}

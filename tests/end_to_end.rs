@@ -1,0 +1,168 @@
+//! Cross-crate integration: FElm source programs, the typed Signal DSL,
+//! both schedulers, the environment simulator, and the GUI harness working
+//! together.
+
+use std::time::Duration;
+
+use elm_environment::{Gui, MockHttp, Simulator};
+use elm_graphics::Element;
+use elm_runtime::{changed_values, ConcurrentRuntime, Occurrence, SyncRuntime, Value};
+use elm_signals::{lift2, Engine, Opaque, SignalNetwork};
+use felm::env::InputEnv;
+use felm::pipeline::compile_source;
+
+/// The FElm interpreter and the typed DSL produce identical output for the
+/// same program and trace.
+#[test]
+fn felm_and_dsl_agree_on_the_click_counter() {
+    // FElm version.
+    let compiled = compile_source(
+        "main = foldp (\\x c -> c + 1) 0 Mouse.clicks",
+        &InputEnv::standard(),
+    )
+    .unwrap();
+    let graph = compiled.graph().unwrap();
+    let clicks = graph.input_named("Mouse.clicks").unwrap();
+    let felm_out = SyncRuntime::run_trace(
+        graph,
+        (0..5).map(|_| Occurrence::input(clicks, Value::Unit)),
+    )
+    .unwrap();
+
+    // DSL version.
+    let mut net = SignalNetwork::new();
+    let (c, h) = net.input::<()>("Mouse.clicks", ());
+    let count = c.count();
+    let prog = net.program(&count).unwrap();
+    let mut run = prog.start(Engine::Synchronous);
+    for _ in 0..5 {
+        run.send(&h, ()).unwrap();
+    }
+    let dsl_out = run.drain_changes().unwrap();
+
+    assert_eq!(
+        changed_values(&felm_out),
+        dsl_out.into_iter().map(Value::Int).collect::<Vec<_>>()
+    );
+}
+
+/// The same FElm program behaves identically on the synchronous and the
+/// concurrent scheduler (async-free ⇒ equal sequences).
+#[test]
+fn felm_graphs_run_identically_on_both_schedulers() {
+    let compiled = compile_source(
+        "main = lift2 (\\a b -> (a * 10, b)) Mouse.x (foldp (\\k n -> n + k) 0 Keyboard.lastPressed)",
+        &InputEnv::standard(),
+    )
+    .unwrap();
+    let graph = compiled.graph().unwrap();
+    let mx = graph.input_named("Mouse.x").unwrap();
+    let keys = graph.input_named("Keyboard.lastPressed").unwrap();
+    let trace: Vec<Occurrence> = (0..40)
+        .map(|k| {
+            if k % 3 == 0 {
+                Occurrence::input(keys, Value::Int(k))
+            } else {
+                Occurrence::input(mx, Value::Int(k))
+            }
+        })
+        .collect();
+    let sync_out = SyncRuntime::run_trace(graph, trace.clone()).unwrap();
+    let conc_out = ConcurrentRuntime::run_trace(graph, trace).unwrap();
+    assert_eq!(sync_out, conc_out);
+}
+
+/// Paper Example 3 end to end: text field + mouse + async image fetch in
+/// the headless GUI, on the concurrent engine.
+#[test]
+fn example3_gui_stays_responsive_and_converges() {
+    let http = MockHttp::image_service(Duration::from_millis(10));
+
+    let mut net = SignalNetwork::new();
+    let (field, tags, tags_h) = elm_environment::text_input(&mut net, "Enter a tag");
+    let (mouse, mouse_h) = net.input::<(i64, i64)>("Mouse.position", (0, 0));
+    let requests = tags.map(|t| MockHttp::request_tag(&t));
+    let responses = elm_environment::sync_get(http, &requests);
+    let image = responses
+        .map(|r| Opaque(Element::fitted_image(300, 200, MockHttp::image_url_of(&r).unwrap_or_default())))
+        .async_();
+    let scene = elm_signals::lift3(
+        |f: Opaque<Element>, p: (i64, i64), img: Opaque<Element>| {
+            Opaque(elm_graphics::flow(
+                elm_graphics::Direction::Down,
+                vec![f.0, Element::as_text(format!("{p:?}")), img.0],
+            ))
+        },
+        &field,
+        &mouse,
+        &image,
+    );
+    let prog = net.program(&scene).unwrap();
+
+    let mut gui = Gui::start(&prog, Engine::Concurrent);
+    gui.send(&tags_h, "flower".to_string()).unwrap();
+    gui.send(&mouse_h, (42, 7)).unwrap();
+    let screen = gui.screen_ascii();
+    assert!(screen.contains("(42, 7)"), "mouse position visible:\n{screen}");
+    // After quiescence the async image result has arrived; layout contains
+    // the fitted image box (rastered as ▒).
+    assert!(screen.contains('\u{2592}'), "image visible:\n{screen}");
+    gui.stop();
+}
+
+/// A recorded simulator session replays identically on both engines.
+#[test]
+fn recorded_sessions_replay_deterministically() {
+    let mut sim = Simulator::with_seed(99);
+    sim.resize(300, 200);
+    sim.mouse_walk(25, 20, 16);
+    sim.mouse_click();
+    sim.mouse_walk(25, 20, 16);
+    sim.mouse_click();
+    let full = sim.into_trace();
+    // Keep the signals the program declares.
+    let trace = elm_runtime::Trace {
+        events: full
+            .events
+            .into_iter()
+            .filter(|e| e.input == "Mouse.position" || e.input == "Mouse.clicks")
+            .collect(),
+    };
+
+    let build = || {
+        let mut net = SignalNetwork::new();
+        let (pos, _h) = net.input::<(i64, i64)>("Mouse.position", (0, 0));
+        let (clicks, _h2) = net.input::<()>("Mouse.clicks", ());
+        let count = clicks.count();
+        let main = lift2(|p: (i64, i64), c: i64| (p, c), &pos, &count);
+        net.program(&main).unwrap()
+    };
+
+    let run_on = |engine: Engine| {
+        let prog = build();
+        let mut run = prog.start(engine);
+        run.send_trace(&trace).unwrap();
+        let out = run.drain_changes().unwrap();
+        run.stop();
+        out
+    };
+
+    let sync_out = run_on(Engine::Synchronous);
+    let conc_out = run_on(Engine::Concurrent);
+    assert_eq!(sync_out, conc_out);
+    assert_eq!(sync_out.last().unwrap().1, 2, "two clicks counted");
+}
+
+/// Trace serialization round-trips through JSON (record/replay substrate).
+#[test]
+fn traces_round_trip_through_json() {
+    let mut sim = Simulator::with_seed(7);
+    sim.type_text("hi");
+    sim.mouse_move(1, 2);
+    sim.run_timer(50, 200);
+    let trace = sim.into_trace();
+
+    let json = serde_json::to_string_pretty(&trace).unwrap();
+    let back: elm_runtime::Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, back);
+}

@@ -1,0 +1,192 @@
+//! Richer end-to-end GUI scenarios: whole paper examples driven by the
+//! simulated environment, with assertions on the rendered screens.
+
+use elm_environment::{inputs, Gui, Simulator};
+use elm_graphics::{flow, Direction, Element};
+use elm_runtime::Trace;
+use elm_signals::{lift2, lift3, Engine, Opaque, SignalNetwork};
+
+/// Keeps only the inputs a program declares, so simulator recordings can
+/// drive narrower programs.
+fn restrict(trace: Trace, names: &[&str]) -> Trace {
+    Trace {
+        events: trace
+            .events
+            .into_iter()
+            .filter(|e| names.contains(&e.input.as_str()))
+            .collect(),
+    }
+}
+
+/// Fig. 14's slide show driven by a *timer* (index2): three seconds per
+/// slide, recorded on the virtual clock and replayed.
+#[test]
+fn slideshow_advances_on_timer_ticks() {
+    const PICS: [&str; 3] = ["shells.jpg", "car.jpg", "book.jpg"];
+
+    let mut net = SignalNetwork::new();
+    let (timer, _h) = net.input::<i64>(inputs::TIME_MILLIS, 0);
+    let index2 = timer.count();
+    let main = index2.map(|i| {
+        let pic = PICS[(i.rem_euclid(PICS.len() as i64)) as usize];
+        Opaque(flow(
+            Direction::Down,
+            vec![
+                Element::image(200, 120, pic),
+                Element::plain_text(format!("slide {i}: {pic}")),
+            ],
+        ))
+    });
+    let prog = net.program(&main).unwrap();
+
+    // Record 9 seconds of timer at 3000 ms.
+    let mut sim = Simulator::new();
+    sim.run_timer(3000, 9000);
+    let trace = restrict(sim.into_trace(), &[inputs::TIME_MILLIS]);
+
+    let mut gui = Gui::start(&prog, Engine::Synchronous);
+    let frames = gui.play(&trace).unwrap();
+    assert_eq!(frames, 3, "three ticks in nine seconds");
+    assert!(gui.screen_ascii().contains("slide 3: shells.jpg"));
+    gui.stop();
+}
+
+/// A character moved by arrow keys (Fig. 13's `Keyboard.arrows` record),
+/// drawn as a collage; the screen reflects the accumulated position.
+#[test]
+fn arrows_move_a_character_on_screen() {
+    use elm_graphics::{palette, rect, Form};
+    use elm_signals::SignalValue;
+
+    // The DSL program declares arrows as a record via the dynamic Value.
+    let mut net = SignalNetwork::new();
+    let (arrows, _h) = net.input::<elm_runtime::Value>(
+        inputs::KEY_ARROWS,
+        elm_runtime::Value::record([
+            ("x".to_string(), elm_runtime::Value::Int(0)),
+            ("y".to_string(), elm_runtime::Value::Int(0)),
+        ]),
+    );
+    let pos = arrows.foldp((0i64, 0i64), |a, (x, y)| {
+        let rec = a.as_record().expect("arrows record");
+        (
+            x + rec["x"].as_int().unwrap_or(0) * 20,
+            y + rec["y"].as_int().unwrap_or(0) * 20,
+        )
+    });
+    let main = pos.map(|(x, y)| {
+        Opaque(elm_graphics::collage(
+            160,
+            160,
+            vec![Form::filled(palette::RED, rect(16.0, 16.0)).shifted(x as f64, y as f64)],
+        ))
+    });
+    let prog = net.program(&main).unwrap();
+
+    let mut sim = Simulator::new();
+    sim.arrows(1, 0).advance(50);
+    sim.arrows(1, 1).advance(50);
+    sim.arrows(0, 1).advance(50);
+    let trace = restrict(sim.into_trace(), &[inputs::KEY_ARROWS]);
+
+    let mut gui = Gui::start(&prog, Engine::Synchronous);
+    gui.play(&trace).unwrap();
+    // Position should be (40, 40) in collage coordinates: the square sits
+    // up-right of center → screen up-right quadrant.
+    let dl = gui.screen_layout();
+    let elm_graphics::Primitive::Form(sf) = &dl.items[0].primitive else {
+        panic!("expected the character form")
+    };
+    let elm_graphics::layout::ScreenFormKind::Shape { points, .. } = &sf.kind else {
+        panic!()
+    };
+    let cx = points.iter().map(|p| p.0).sum::<f64>() / points.len() as f64;
+    let cy = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+    assert!((cx - 120.0).abs() < 1e-9, "x: {cx}");
+    assert!((cy - 40.0).abs() < 1e-9, "y: {cy}");
+    let _ = <(i64, i64)>::from_value; // silence unused-import pedantry paths
+    gui.stop();
+}
+
+/// The full Example 3 session recorded by the simulator: typing emits both
+/// `Keyboard.lastPressed` and `Input.text`, the mouse keeps moving, and
+/// the final screen shows everything.
+#[test]
+fn example3_full_session_via_simulator() {
+    use elm_environment::MockHttp;
+    use std::time::Duration;
+
+    let http = MockHttp::image_service(Duration::from_millis(5));
+
+    let mut net = SignalNetwork::new();
+    let (field, tags, _ht) = elm_environment::text_input(&mut net, "Enter a tag");
+    let (mouse, _hm) = net.input::<(i64, i64)>(inputs::MOUSE_POSITION, (0, 0));
+    let requests = tags.map(|t| MockHttp::request_tag(&t));
+    let responses = elm_environment::sync_get(http.clone(), &requests);
+    let image = responses
+        .map(|r| Opaque(Element::fitted_image(300, 60, MockHttp::image_url_of(&r).unwrap_or_default())))
+        .async_();
+    let scene = lift3(
+        |f: Opaque<Element>, p: (i64, i64), img: Opaque<Element>| {
+            Opaque(flow(
+                Direction::Down,
+                vec![f.0, Element::as_text(format!("{p:?}")), img.0],
+            ))
+        },
+        &field,
+        &mouse,
+        &image,
+    );
+    let prog = net.program(&scene).unwrap();
+
+    let mut sim = Simulator::with_seed(42);
+    sim.mouse_move(5, 5).advance(20);
+    sim.type_text("cat");
+    sim.mouse_move(50, 60).advance(20);
+    let trace = restrict(
+        sim.into_trace(),
+        &[inputs::MOUSE_POSITION, inputs::INPUT_TEXT],
+    );
+
+    let mut gui = Gui::start(&prog, Engine::Concurrent);
+    gui.play(&trace).unwrap();
+    let screen = gui.screen_ascii();
+    assert!(screen.contains("cat"), "typed text visible:\n{screen}");
+    assert!(screen.contains("(50, 60)"), "mouse visible:\n{screen}");
+    assert!(
+        http.requests_served() >= 3,
+        "one request per keystroke (plus the default)"
+    );
+    gui.stop();
+}
+
+/// keepWhen gating from the shift key: a recorder that only logs mouse
+/// positions while shift is held.
+#[test]
+fn shift_gated_recording() {
+    let mut net = SignalNetwork::new();
+    let (shift, _hs) = net.input::<i64>(inputs::KEY_SHIFT, 0);
+    let (mouse, _hm) = net.input::<(i64, i64)>(inputs::MOUSE_POSITION, (0, 0));
+    let gate = shift.map(|s| s != 0);
+    let gated = mouse.keep_when(&gate, (0, 0));
+    let count = gated.count();
+    let main = lift2(|c: i64, m: (i64, i64)| (c, m), &count, &mouse);
+    let prog = net.program(&main).unwrap();
+
+    let mut sim = Simulator::new();
+    sim.mouse_move(1, 1).advance(10); // not recorded
+    sim.shift(true).advance(10);
+    sim.mouse_move(2, 2).advance(10); // recorded
+    sim.mouse_move(3, 3).advance(10); // recorded
+    sim.shift(false).advance(10);
+    sim.mouse_move(4, 4).advance(10); // not recorded
+    let trace = restrict(
+        sim.into_trace(),
+        &[inputs::KEY_SHIFT, inputs::MOUSE_POSITION],
+    );
+
+    let mut gui_prog = prog.start(Engine::Synchronous);
+    gui_prog.send_trace(&trace).unwrap();
+    let outs = gui_prog.drain_changes().unwrap();
+    assert_eq!(outs.last().unwrap().0, 2, "exactly two gated positions");
+}

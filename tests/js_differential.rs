@@ -1,0 +1,315 @@
+//! Differential testing of the Elm-to-JavaScript compiler (paper §5):
+//! the same FElm program, driven by the same event trace, must produce the
+//! same output sequence whether executed by
+//!
+//! * the Rust signal runtime (synchronous scheduler — the reference
+//!   semantics), or
+//! * the compiled JavaScript under Node.js.
+//!
+//! Skipped (with a note) when `node` is not on the PATH.
+
+use std::io::Write as _;
+use std::process::Command;
+
+use elm_runtime::{changed_values, Occurrence, SyncRuntime, Value};
+use felm::env::InputEnv;
+use felm::pipeline::{compile_source, ProgramResult};
+
+/// JS driver: loads the compiled module, feeds events, prints the display
+/// sequence (initial value + every change) as JSON lines.
+const DRIVER: &str = r#"
+const compiled = require(process.argv[2]);
+const events = JSON.parse(require('fs').readFileSync(process.argv[3], 'utf8'));
+const outputs = [];
+compiled.rt.start(function (v) { outputs.push(v); });
+for (const [name, value] of events) compiled.rt.notify(name, value);
+// Let async setTimeout(0) chains drain before reporting.
+setTimeout(function () { console.log(JSON.stringify(outputs)); }, 120);
+"#;
+
+fn node_available() -> bool {
+    Command::new("node")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Encodes a runtime value the way the JS runtime represents it.
+fn to_json(v: &Value) -> String {
+    match v {
+        Value::Unit => "null".to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Float(x) => format!("{x}"),
+        Value::Str(s) => format!("{:?}", s.as_ref()),
+        Value::Pair(p) => format!(
+            "{{\"fst\": {}, \"snd\": {}}}",
+            to_json(&p.0),
+            to_json(&p.1)
+        ),
+        Value::List(items) => format!(
+            "[{}]",
+            items.iter().map(to_json).collect::<Vec<_>>().join(", ")
+        ),
+        Value::Tagged(tag, args) => format!(
+            "{{\"ctor\": {:?}, \"args\": [{}]}}",
+            tag.as_ref(),
+            args.iter().map(to_json).collect::<Vec<_>>().join(", ")
+        ),
+        Value::Record(fields) => format!(
+            "{{{}}}",
+            fields
+                .iter()
+                .map(|(k, v)| format!("{:?}: {}", k, to_json(v)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        other => panic!("not JS-encodable: {other:?}"),
+    }
+}
+
+/// Normalizes a serde-free JSON string for comparison (strip whitespace).
+fn canon(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Runs `src` on both backends with the same events; asserts equal output
+/// sequences.
+fn differential(src: &str, events: &[(&str, Value)]) {
+    if !node_available() {
+        eprintln!("skipping JS differential test: node not available");
+        return;
+    }
+    let env = InputEnv::standard();
+
+    // --- Rust reference run -------------------------------------------------
+    let compiled = compile_source(src, &env).expect("compiles");
+    let ProgramResult::Reactive(graph) = &compiled.result else {
+        panic!("test programs are reactive");
+    };
+    // Feed every external event before draining: this matches the JS
+    // event loop, where all `notify` calls run before any `setTimeout`
+    // callback delivers an async-generated event.
+    let mut rt = SyncRuntime::new(graph);
+    let initial = rt.output_value().clone();
+    for (name, value) in events {
+        let id = graph.input_named(name).expect("declared input");
+        rt.feed(Occurrence::input(id, value.clone())).expect("feeds");
+    }
+    let outs = rt.run_to_quiescence();
+    let mut expected: Vec<String> = vec![to_json(&initial)];
+    expected.extend(changed_values(&outs).iter().map(to_json));
+
+    // --- JS run --------------------------------------------------------------
+    let js = elm_compiler::compile_to_js(src, &env).expect("compiles to JS");
+    let dir = std::env::temp_dir().join(format!(
+        "elm-frp-jsdiff-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let module = dir.join("program.js");
+    let driver = dir.join("driver.js");
+    let events_file = dir.join("events.json");
+    std::fs::write(&module, &js).unwrap();
+    std::fs::write(&driver, DRIVER).unwrap();
+    let mut f = std::fs::File::create(&events_file).unwrap();
+    write!(
+        f,
+        "[{}]",
+        events
+            .iter()
+            .map(|(name, v)| format!("[{:?}, {}]", name, to_json(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
+
+    let output = Command::new("node")
+        .arg(&driver)
+        .arg(&module)
+        .arg(&events_file)
+        .output()
+        .expect("node runs");
+    assert!(
+        output.status.success(),
+        "node failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let got = canon(stdout.trim());
+    let want = canon(&format!("[{}]", expected.join(",")));
+    assert_eq!(got, want, "JS and Rust runs disagree for:\n{src}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fig7_relative_position_agrees() {
+    differential(
+        "main = lift2 (\\y z -> (100 * y) / z) Mouse.x Window.width",
+        &[
+            ("Mouse.x", Value::Int(512)),
+            ("Window.width", Value::Int(2048)),
+            ("Mouse.x", Value::Int(100)),
+        ],
+    );
+}
+
+#[test]
+fn foldp_counter_agrees() {
+    differential(
+        "main = foldp (\\k c -> c + 1) 0 Keyboard.lastPressed",
+        &[
+            ("Keyboard.lastPressed", Value::Int(65)),
+            ("Keyboard.lastPressed", Value::Int(66)),
+            ("Keyboard.lastPressed", Value::Int(67)),
+        ],
+    );
+}
+
+#[test]
+fn memoization_agrees_on_multi_input_programs() {
+    let src = "\
+count s = foldp (\\x c -> c + 1) 0 s
+main = lift2 (\\c m -> (c, m)) (count Keyboard.lastPressed) Mouse.x";
+    differential(
+        src,
+        &[
+            ("Keyboard.lastPressed", Value::Int(65)),
+            ("Mouse.x", Value::Int(10)),
+            ("Mouse.x", Value::Int(20)),
+            ("Keyboard.lastPressed", Value::Int(66)),
+        ],
+    );
+}
+
+#[test]
+fn strings_and_conditionals_agree() {
+    let src = "\
+label w = if w > 50 then \"wide\" else \"narrow\"
+main = lift (\\w -> label w ++ \"!\") Window.width";
+    differential(
+        src,
+        &[
+            ("Window.width", Value::Int(10)),
+            ("Window.width", Value::Int(100)),
+        ],
+    );
+}
+
+#[test]
+fn async_programs_agree_after_drain() {
+    // With a single async source fed one word at a time, both backends
+    // deliver the same sequence once quiescent.
+    let src = "\
+translated = lift (\\w -> \"fr:\" ++ w) Words.input
+main = lift2 (\\t m -> (t, m)) (async translated) Mouse.x";
+    differential(
+        src,
+        &[
+            ("Words.input", Value::str("cat")),
+            ("Mouse.x", Value::Int(5)),
+            ("Words.input", Value::str("dog")),
+        ],
+    );
+}
+
+#[test]
+fn fig14_slideshow_with_lists_agrees() {
+    let src = r#"
+pics = ["shells.jpg", "car.jpg", "book.jpg"]
+display i = ith (i % length pics) pics
+count s = foldp (\x c -> c + 1) 0 s
+main = lift display (count Mouse.clicks)
+"#;
+    differential(
+        src,
+        &[
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+        ],
+    );
+}
+
+#[test]
+fn record_programs_agree() {
+    let arrows = |x: i64, y: i64| {
+        Value::record([
+            ("x".to_string(), Value::Int(x)),
+            ("y".to_string(), Value::Int(y)),
+        ])
+    };
+    let src = "\
+step a pos = {x = a.x + pos.x, y = a.y + pos.y}
+main = foldp step {x = 0, y = 0} Keyboard.arrows";
+    differential(
+        src,
+        &[
+            ("Keyboard.arrows", arrows(1, 0)),
+            ("Keyboard.arrows", arrows(1, 1)),
+            ("Keyboard.arrows", arrows(0, -1)),
+        ],
+    );
+}
+
+#[test]
+fn list_folds_agree() {
+    let src = "main = foldp (\\k hist -> k :: hist) [] Keyboard.lastPressed";
+    differential(
+        src,
+        &[
+            ("Keyboard.lastPressed", Value::Int(1)),
+            ("Keyboard.lastPressed", Value::Int(2)),
+            ("Keyboard.lastPressed", Value::Int(3)),
+        ],
+    );
+}
+
+#[test]
+fn signal_primitives_agree() {
+    let src = "\
+evens = keepIf (\\n -> n % 2 == 0) 0 Mouse.x
+deduped = dropRepeats evens
+sampled = sampleOn Mouse.clicks Window.width
+main = foldp (\\v acc -> acc + v) 0 (merge deduped sampled)";
+    differential(
+        src,
+        &[
+            ("Mouse.x", Value::Int(2)),
+            ("Mouse.x", Value::Int(2)), // deduped
+            ("Mouse.x", Value::Int(3)), // filtered
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.x", Value::Int(4)),
+        ],
+    );
+}
+
+#[test]
+fn adt_state_machines_agree() {
+    let src = "\
+data Light = Red | Green | Blue
+next l = case l of | Red -> Green | Green -> Blue | Blue -> Red
+main = foldp (\\c l -> next l) Red Mouse.clicks";
+    differential(
+        src,
+        &[
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+        ],
+    );
+}
+
+#[test]
+fn shared_let_signals_agree() {
+    let src = "\
+shared = lift (\\x -> x * 2) Mouse.x
+main = lift2 (\\a b -> a + b) shared shared";
+    differential(
+        src,
+        &[("Mouse.x", Value::Int(3)), ("Mouse.x", Value::Int(7))],
+    );
+}

@@ -1,0 +1,114 @@
+//! Golden tests for the purely functional layout figures:
+//! Fig. 1 (Example 1's layout) and Fig. 12 (the shapes collage).
+
+use elm_graphics::render::{ascii, html, svg};
+use elm_graphics::{
+    collage, dashed, degrees, flow, layout, ngon, oval, palette, path, rect, solid, Direction,
+    Element, Form, Position,
+};
+
+fn example1() -> Element {
+    let content = flow(
+        Direction::Down,
+        vec![
+            Element::plain_text("Welcome to Elm!"),
+            Element::image(150, 50, "flower.jpg"),
+            Element::as_text("[9, 8, 7, 6, 5, 4, 3, 2, 1]"),
+        ],
+    );
+    Element::container(180, 100, Position::MIDDLE, content)
+}
+
+#[test]
+fn fig1_ascii_raster_is_stable() {
+    let dl = layout(&example1());
+    let raster = ascii::to_ascii(&dl);
+    // The raster is deterministic; pin its load-bearing properties.
+    // 100px tall scene at 16px per character row → 7 rows.
+    assert_eq!(raster.lines().count(), 100usize.div_ceil(16));
+    assert!(raster.contains("come to Elm!"), "{raster}");
+    assert!(raster.contains('\u{2592}'), "image block present");
+}
+
+#[test]
+fn fig1_display_list_geometry() {
+    let el = example1();
+    let dl = layout(&el);
+    assert_eq!((dl.width, dl.height), (180, 100));
+    assert_eq!(dl.items.len(), 3);
+    let [text, image, astext] = &dl.items[..] else {
+        panic!("three primitives")
+    };
+    // Vertically contiguous (flow down), horizontally left-aligned within
+    // the flow box, which is centered in the container.
+    assert_eq!(image.y, text.y + text.height as i32);
+    assert_eq!(astext.y, image.y + image.height as i32);
+    assert_eq!(text.x, image.x);
+    let flow_height = text.height + image.height + astext.height;
+    assert_eq!(text.y, (100 - flow_height as i32) / 2);
+}
+
+#[test]
+fn fig1_html_golden_structure() {
+    let page = html::to_html_page("fig1", &example1());
+    assert!(page.contains("<title>fig1</title>"));
+    assert_eq!(page.matches("position:absolute").count(), 3);
+    assert!(page.contains("Welcome to Elm!"));
+    assert!(page.contains("<img"));
+    // Rendering twice is byte-identical (pure function).
+    assert_eq!(page, html::to_html_page("fig1", &example1()));
+}
+
+#[test]
+fn fig12_svg_golden() {
+    let square = rect(70.0, 70.0);
+    let pentagon = ngon(5, 20.0);
+    let circle = oval(50.0, 50.0);
+    let zigzag = path(vec![(0.0, 0.0), (10.0, 10.0), (0.0, 30.0), (10.0, 40.0)]);
+    let main = collage(
+        140,
+        140,
+        vec![
+            Form::filled(palette::GREEN, pentagon),
+            Form::outlined(dashed(palette::BLUE), circle),
+            Form::outlined(solid(palette::BLACK), square).rotated(degrees(70.0)),
+            Form::trace(solid(palette::RED), zigzag).shifted(40.0, 40.0),
+        ],
+    );
+    let doc = svg::to_svg(&layout(&main));
+
+    // Structure: 3 polygons (pentagon, circle, square) + 1 polyline.
+    assert_eq!(doc.matches("<polygon").count(), 3);
+    assert_eq!(doc.matches("<polyline").count(), 1);
+    // The pentagon is filled green; circle dashed blue; square solid black.
+    assert!(doc.contains("fill=\"rgba(115,210,22,1)\""));
+    assert!(doc.contains("stroke=\"rgba(52,101,164,1)\" stroke-width=\"1\" fill=\"none\" stroke-dasharray=\"8,4\""));
+    assert!(doc.contains("stroke=\"rgba(0,0,0,1)\""));
+    // The zigzag was moved (40, 40): its first point lands at collage
+    // center (70,70) + (40,-40) = (110, 30).
+    assert!(doc.contains("110,30"), "{doc}");
+    // Deterministic output.
+    let doc2 = svg::to_svg(&layout(&collage(140, 140, vec![])));
+    assert!(doc2.starts_with("<svg"));
+}
+
+#[test]
+fn rotated_square_vertices_land_where_the_math_says() {
+    let f = Form::outlined(solid(palette::BLACK), rect(70.0, 70.0)).rotated(degrees(70.0));
+    let e = collage(140, 140, vec![f]);
+    let dl = layout(&e);
+    let elm_graphics::Primitive::Form(sf) = &dl.items[0].primitive else {
+        panic!()
+    };
+    let elm_graphics::layout::ScreenFormKind::Shape { points, .. } = &sf.kind else {
+        panic!()
+    };
+    // Corner (-35, -35) rotated 70° CCW then mapped to screen:
+    let (sin, cos) = degrees(70.0).sin_cos();
+    let (x, y) = (-35.0 * cos - -35.0 * sin, -35.0 * sin + -35.0 * cos);
+    let expect = (70.0 + x, 70.0 - y);
+    let found = points
+        .iter()
+        .any(|p| (p.0 - expect.0).abs() < 1e-9 && (p.1 - expect.1).abs() < 1e-9);
+    assert!(found, "expected corner {expect:?} in {points:?}");
+}
