@@ -74,9 +74,7 @@ impl<A: 'static, B: 'static> Automaton<A, B> {
     /// `pure : (a -> b) -> Automaton a b`.
     pub fn pure(f: impl Fn(&A) -> B + Send + Sync + 'static) -> Self {
         let f = Arc::new(f);
-        fn make<A: 'static, B: 'static>(
-            f: Arc<dyn Fn(&A) -> B + Send + Sync>,
-        ) -> Automaton<A, B> {
+        fn make<A: 'static, B: 'static>(f: Arc<dyn Fn(&A) -> B + Send + Sync>) -> Automaton<A, B> {
             Automaton::new(move |a| (make(f.clone()), f(a)))
         }
         make(f)
@@ -323,10 +321,7 @@ mod tests {
             id.clone().then(f.clone()).run_iter(inputs),
             f.run_iter(inputs)
         );
-        assert_eq!(
-            f.clone().then(id).run_iter(inputs),
-            f.run_iter(inputs)
-        );
+        assert_eq!(f.clone().then(id).run_iter(inputs), f.run_iter(inputs));
         // (f >>> g) >>> h == f >>> (g >>> h)
         let left = f.clone().then(g.clone()).then(h.clone());
         let right = f.then(g.then(h));

@@ -25,20 +25,16 @@ fn bench(c: &mut Criterion) {
         for use_async in [false, true] {
             let label = if use_async { "async-hop" } else { "inline" };
             let (graph, input, value) = hop_graph(use_async, payload);
-            group.bench_with_input(
-                BenchmarkId::new(label, payload),
-                &payload,
-                |b, _| {
-                    b.iter(|| {
-                        let mut rt = ConcurrentRuntime::start(&graph);
-                        for _ in 0..EVENTS {
-                            rt.feed(Occurrence::input(input, value.clone())).unwrap();
-                        }
-                        rt.drain().unwrap();
-                        rt.stop();
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, payload), &payload, |b, _| {
+                b.iter(|| {
+                    let mut rt = ConcurrentRuntime::start(&graph);
+                    for _ in 0..EVENTS {
+                        rt.feed(Occurrence::input(input, value.clone())).unwrap();
+                    }
+                    rt.drain().unwrap();
+                    rt.stop();
+                })
+            });
         }
     }
     group.finish();

@@ -33,12 +33,8 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.throughput(Throughput::Elements(EVENTS as u64));
 
-    group.bench_function("foldp-primitive", |b| {
-        b.iter(|| run_signal_program(false))
-    });
-    group.bench_function("run-init-encoding", |b| {
-        b.iter(|| run_signal_program(true))
-    });
+    group.bench_function("foldp-primitive", |b| b.iter(|| run_signal_program(false)));
+    group.bench_function("run-init-encoding", |b| b.iter(|| run_signal_program(true)));
 
     // Raw stepping, no signal network: composition depth sweep.
     for depth in [1usize, 8, 32] {
@@ -54,8 +50,9 @@ fn bench(c: &mut Criterion) {
 
     // Dynamic collections (the AFRP use case).
     for width in [10usize, 100] {
-        let autos: Vec<Automaton<i64, i64>> =
-            (0..width).map(|_| Automaton::state(0i64, |x, acc| acc + x)).collect();
+        let autos: Vec<Automaton<i64, i64>> = (0..width)
+            .map(|_| Automaton::state(0i64, |x, acc| acc + x))
+            .collect();
         let all = combine(autos);
         let inputs: Vec<i64> = (0..100).collect();
         group.bench_with_input(BenchmarkId::new("combine", width), &width, |b, _| {

@@ -6,10 +6,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elm_runtime::Value;
 use felm::ast::Expr;
 use felm::parser::parse_expr;
 use felm::translate::{apply_function, apply_function_small_step};
-use elm_runtime::Value;
 
 /// A curried two-argument function with `depth` nested lets and calls.
 fn workload(depth: usize) -> Expr {

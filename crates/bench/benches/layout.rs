@@ -41,7 +41,10 @@ fn shapes(n: usize) -> Element {
             .map(|k| {
                 Form::outlined(solid(palette::BLUE), ngon(5 + k % 5, 20.0))
                     .rotated(degrees(k as f64 * 7.0))
-                    .shifted((k % 40) as f64 * 20.0 - 400.0, (k / 40) as f64 * 20.0 - 400.0)
+                    .shifted(
+                        (k % 40) as f64 * 20.0 - 400.0,
+                        (k / 40) as f64 * 20.0 - 400.0,
+                    )
             })
             .collect(),
     )

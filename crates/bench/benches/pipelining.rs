@@ -25,15 +25,11 @@ fn bench(c: &mut Criterion) {
 
     for depth in [1usize, 4, 16] {
         let (graph, input) = deep_chain(depth, STAGE_LATENCY, CostModel::Block);
-        group.bench_with_input(
-            BenchmarkId::new("non-pipelined", depth),
-            &depth,
-            |b, _| {
-                b.iter(|| {
-                    SyncRuntime::run_trace(&graph, int_events(input, EVENTS)).unwrap();
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("non-pipelined", depth), &depth, |b, _| {
+            b.iter(|| {
+                SyncRuntime::run_trace(&graph, int_events(input, EVENTS)).unwrap();
+            })
+        });
         group.bench_with_input(BenchmarkId::new("pipelined", depth), &depth, |b, _| {
             b.iter(|| {
                 ConcurrentRuntime::run_trace(&graph, int_events(input, EVENTS)).unwrap();

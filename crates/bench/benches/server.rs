@@ -1,0 +1,82 @@
+//! Serving-layer scenario: throughput of the multi-session signal server
+//! as the session count grows.
+//!
+//! Each iteration opens `sessions` instances of the `dashboard` builtin
+//! on an in-process [`Server`], drives every session with its own
+//! deterministic simulator trace from a driver thread (batched ingress),
+//! and waits for all queues to drain. The interesting comparison is
+//! events/sec at 1 session (pure per-event cost) versus 8 sessions
+//! (shard-parallel hosting) — the serving layer should scale with
+//! available cores rather than serialize sessions.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elm_environment::Simulator;
+use elm_runtime::PlainValue;
+use elm_server::{ProgramSpec, Server, ServerConfig};
+
+const EVENTS_PER_SESSION: usize = 2_000;
+const BATCH: usize = 64;
+
+fn drive(server: &Arc<Server>, traces: &[elm_runtime::Trace]) {
+    let mut sessions = Vec::with_capacity(traces.len());
+    for _ in 0..traces.len() {
+        sessions.push(
+            server
+                .open(ProgramSpec::Builtin("dashboard"), None, None)
+                .unwrap()
+                .session,
+        );
+    }
+    let mut drivers = Vec::with_capacity(sessions.len());
+    for (i, &session) in sessions.iter().enumerate() {
+        let server = Arc::clone(server);
+        let trace = traces[i].clone();
+        drivers.push(thread::spawn(move || {
+            let events: Vec<(String, PlainValue)> = trace
+                .events
+                .into_iter()
+                .map(|e| (e.input, e.value))
+                .collect();
+            for chunk in events.chunks(BATCH) {
+                server.batch(session, chunk).unwrap();
+            }
+            while server.query(session).unwrap().queue_len > 0 {
+                thread::yield_now();
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().unwrap();
+    }
+    for session in sessions {
+        server.close(session).unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    for sessions in [1usize, 8] {
+        let traces = Simulator::fan_out(42, sessions, EVENTS_PER_SESSION);
+        let server = Arc::new(Server::start(ServerConfig::default()));
+        group.throughput(Throughput::Elements((sessions * EVENTS_PER_SESSION) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("hosted-dashboard", sessions),
+            &sessions,
+            |b, _| b.iter(|| drive(&server, &traces)),
+        );
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -41,7 +41,9 @@ fn median(mut xs: Vec<Duration>) -> Duration {
 /// E4: push-based discrete signals vs pull-based sampling — computations
 /// and time for one simulated second.
 fn e4_push_vs_pull() {
-    println!("\n== E4: push-based vs pull-based recomputation (64-leaf sum tree, 60 Hz sampling) ==");
+    println!(
+        "\n== E4: push-based vs pull-based recomputation (64-leaf sum tree, 60 Hz sampling) =="
+    );
     println!(
         "{:>10} {:>16} {:>16} {:>14} {:>14}",
         "events/s", "push computs", "pull computs", "push time", "pull time"
@@ -69,7 +71,8 @@ fn e4_push_vs_pull() {
             for _ in 0..per_sample {
                 if fed < rate {
                     let occ = &events[fed];
-                    pull.set_input(occ.source, occ.payload.clone().unwrap()).unwrap();
+                    pull.set_input(occ.source, occ.payload.clone().unwrap())
+                        .unwrap();
                     fed += 1;
                 }
             }
@@ -202,7 +205,9 @@ fn e11_nochange() {
             count
         );
     }
-    println!("(correct foldp count is 50 — events on `a` only; the ablation double-counts nothing here");
+    println!(
+        "(correct foldp count is 50 — events on `a` only; the ablation double-counts nothing here"
+    );
     println!(" but mis-counts once events hit `b`; see the mixed-trace row below)");
     for memoize in [true, false] {
         let (graph, a, b) = diamond_graph(Duration::from_micros(200), CostModel::Spin);

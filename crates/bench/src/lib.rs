@@ -48,7 +48,9 @@ pub fn busy_work(cost: Duration) {
     let mut x = 0u64;
     while start.elapsed() < cost {
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         std::hint::black_box(x);
     }
@@ -80,12 +82,7 @@ pub fn responsiveness_graph(
         my,
     );
     let right = if use_async { g.async_source(f) } else { f };
-    let pair = g.lift2(
-        "(,)",
-        |x, fy| Value::pair(x.clone(), fy.clone()),
-        mx,
-        right,
-    );
+    let pair = g.lift2("(,)", |x, fy| Value::pair(x.clone(), fy.clone()), mx, right);
     (g.finish(pair).expect("valid graph"), mx, my)
 }
 
@@ -140,7 +137,9 @@ pub fn wide_graph(width: usize, node_cost: Duration, model: CostModel) -> (Signa
 pub fn tree_graph(leaves: usize) -> (SignalGraph, Vec<NodeId>) {
     assert!(leaves.is_power_of_two(), "leaves must be a power of two");
     let mut g = GraphBuilder::new();
-    let inputs: Vec<NodeId> = (0..leaves).map(|k| g.input(format!("leaf{k}"), 0i64)).collect();
+    let inputs: Vec<NodeId> = (0..leaves)
+        .map(|k| g.input(format!("leaf{k}"), 0i64))
+        .collect();
     let mut layer = inputs.clone();
     let mut level = 0;
     while layer.len() > 1 {

@@ -85,14 +85,16 @@ pub fn js_expr(e: &Expr) -> String {
                 parts.join(", ")
             )
         }
-        ExprKind::Case { scrutinee, branches } => {
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
             // (function (__s) { if (...) return ...; ... })(scrutinee)
             let mut body = String::new();
             for b in branches {
                 match &b.pattern {
                     Pattern::Ctor { name, binders } => {
-                        let params: Vec<String> =
-                            binders.iter().map(|x| sanitize(x)).collect();
+                        let params: Vec<String> = binders.iter().map(|x| sanitize(x)).collect();
                         let args: Vec<String> = (0..binders.len())
                             .map(|k| format!("__s.args[{k}]"))
                             .collect();
@@ -117,10 +119,7 @@ pub fn js_expr(e: &Expr) -> String {
                 }
             }
             body.push_str("throw new Error('no case branch matched');");
-            format!(
-                "(function (__s) {{ {body} }})({})",
-                js_expr(scrutinee)
-            )
+            format!("(function (__s) {{ {body} }})({})", js_expr(scrutinee))
         }
         // Signal forms never appear inside simple values.
         ExprKind::Lift { .. }
@@ -333,7 +332,11 @@ impl Gen<'_> {
                 let _ = writeln!(self.out, "var {var} = rt.async({parent});");
                 var
             }
-            SignalTerm::Prim { op, values, signals } => {
+            SignalTerm::Prim {
+                op,
+                values,
+                signals,
+            } => {
                 use felm::ast::SignalPrimOp;
                 let parents: Vec<String> = signals.iter().map(|s| self.walk(s)).collect();
                 let var = self.fresh();
@@ -353,11 +356,7 @@ impl Gen<'_> {
                         );
                     }
                     SignalPrimOp::DropRepeats => {
-                        let _ = writeln!(
-                            self.out,
-                            "var {var} = rt.dropRepeats({});",
-                            parents[0]
-                        );
+                        let _ = writeln!(self.out, "var {var} = rt.dropRepeats({});", parents[0]);
                     }
                     SignalPrimOp::KeepIf => {
                         let _ = writeln!(

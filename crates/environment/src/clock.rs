@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn tick_schedule_is_exact() {
-        assert_eq!(VirtualClock::ticks_between(100, 0, 350), vec![100, 200, 300]);
+        assert_eq!(
+            VirtualClock::ticks_between(100, 0, 350),
+            vec![100, 200, 300]
+        );
         assert_eq!(VirtualClock::ticks_between(100, 100, 300), vec![200, 300]);
         assert_eq!(VirtualClock::ticks_between(100, 0, 99), Vec::<u64>::new());
         // Window boundaries are (from, to].

@@ -9,8 +9,8 @@
 
 use elm_graphics::render::{ascii, html};
 use elm_graphics::{layout, DisplayList, Element};
-use elm_signals::{Engine, InputHandle, Opaque, Program, Running, Signal, SignalNetwork};
 use elm_runtime::{RunError, Trace};
+use elm_signals::{Engine, InputHandle, Opaque, Program, Running, Signal, SignalNetwork};
 
 /// A running GUI program with frame capture.
 pub struct Gui {
@@ -279,11 +279,7 @@ mod tests {
     fn checkbox_reflects_state() {
         let mut net = SignalNetwork::new();
         let (face, checked, h) = checkbox(&mut net, "dark mode");
-        let main = lift2(
-            |f: Opaque<Element>, _on: bool| f,
-            &face,
-            &checked,
-        );
+        let main = lift2(|f: Opaque<Element>, _on: bool| f, &face, &checked);
         let prog = net.program(&main).unwrap();
         let mut gui = Gui::start(&prog, Engine::Synchronous);
         assert!(gui.screen_ascii().contains("[ ] dark mode"));

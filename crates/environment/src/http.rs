@@ -54,11 +54,7 @@ impl MockHttp {
             std::thread::sleep(self.latency);
         }
         self.served.fetch_add(1, Ordering::Relaxed);
-        let tag = request
-            .rsplit("tags=")
-            .next()
-            .unwrap_or("unknown")
-            .trim();
+        let tag = request.rsplit("tags=").next().unwrap_or("unknown").trim();
         format!("{{\"url\": \"http://images.example/{tag}.jpg\"}}")
     }
 

@@ -233,7 +233,8 @@ impl Simulator {
         let from = self.clock.now();
         let to = from + span;
         for t in VirtualClock::ticks_between(period, from, to) {
-            self.trace.push(t, inputs::TIME_MILLIS, PlainValue::Int(t as i64));
+            self.trace
+                .push(t, inputs::TIME_MILLIS, PlainValue::Int(t as i64));
         }
         self.clock.advance(span);
         self
@@ -270,6 +271,54 @@ impl Simulator {
             self.clock.advance(interval);
         }
         self
+    }
+
+    /// A mixed interactive workload of roughly `events` input events:
+    /// mouse walks, clicks, typing, words, and timer ticks, in a
+    /// deterministic per-seed shuffle. The building block for multi-session
+    /// load generation.
+    pub fn workload(seed: u64, events: usize) -> Trace {
+        let mut sim = Simulator::with_seed(seed);
+        while sim.trace.events.len() < events {
+            match sim.rng.gen_range(0u32..10) {
+                0..=4 => {
+                    sim.mouse_walk(4, 25, 7);
+                }
+                5..=6 => {
+                    sim.mouse_click();
+                    sim.advance(11);
+                }
+                7 => {
+                    let n = sim.rng.gen_range(1usize..5);
+                    let word: String = (0..n)
+                        .map(|_| (b'a' + sim.rng.gen_range(0u8..26)) as char)
+                        .collect();
+                    sim.word(&word);
+                    sim.advance(40);
+                }
+                8 => {
+                    let key = sim.rng.gen_range(32i64..127);
+                    sim.key_press(key);
+                    sim.advance(25);
+                }
+                _ => {
+                    sim.run_timer(50, 150);
+                }
+            }
+        }
+        let mut trace = sim.into_trace();
+        trace.events.truncate(events);
+        trace
+    }
+
+    /// Fans a workload out across `sessions` concurrent sessions: one
+    /// distinct deterministic trace per session, each of roughly
+    /// `events_per_session` events. Session `i` gets seed `base_seed + i`,
+    /// so any single session can be replayed standalone for comparison.
+    pub fn fan_out(base_seed: u64, sessions: usize, events_per_session: usize) -> Vec<Trace> {
+        (0..sessions)
+            .map(|i| Simulator::workload(base_seed + i as u64, events_per_session))
+            .collect()
     }
 
     /// Finishes the session, returning the recorded trace.
@@ -335,10 +384,19 @@ mod tests {
         sim.run_fps(50, 100); // 20ms period → 5 frames
         let t = sim.into_trace();
         assert_eq!(t.events.len(), 5);
-        assert!(t
-            .events
-            .iter()
-            .all(|e| e.value == PlainValue::Float(20.0)));
+        assert!(t.events.iter().all(|e| e.value == PlainValue::Float(20.0)));
+    }
+
+    #[test]
+    fn workload_fan_out_is_distinct_and_deterministic() {
+        let traces = Simulator::fan_out(100, 4, 200);
+        assert_eq!(traces.len(), 4);
+        for t in &traces {
+            assert_eq!(t.events.len(), 200);
+        }
+        assert_ne!(traces[0], traces[1]);
+        // Session i is replayable standalone with seed base + i.
+        assert_eq!(traces[2], Simulator::workload(102, 200));
     }
 
     #[test]

@@ -508,12 +508,10 @@ impl fmt::Display for Type {
                 }
                 write!(f, "}}")
             }
-            Type::Fun(a, b) => {
-                match **a {
-                    Type::Fun(..) => write!(f, "({a}) -> {b}"),
-                    _ => write!(f, "{a} -> {b}"),
-                }
-            }
+            Type::Fun(a, b) => match **a {
+                Type::Fun(..) => write!(f, "({a}) -> {b}"),
+                _ => write!(f, "{a} -> {b}"),
+            },
             Type::Signal(t) => {
                 write!(f, "Signal ")?;
                 atom(t, f)

@@ -174,10 +174,7 @@ impl Context<'_> {
                 let t_ty = self.synth(t)?;
                 let f_ty = self.synth(f)?;
                 if t_ty != f_ty {
-                    return err(
-                        span,
-                        format!("if-branches disagree: {t_ty} versus {f_ty}"),
-                    );
+                    return err(span, format!("if-branches disagree: {t_ty} versus {f_ty}"));
                 }
                 Ok(t_ty)
             }
@@ -233,7 +230,10 @@ impl Context<'_> {
                     ListOp::Tail => Type::List(elem),
                     ListOp::IsEmpty | ListOp::Length => Type::Int,
                 }),
-                other => err(l.span, format!("{} expects a list, got {other}", op.keyword())),
+                other => err(
+                    l.span,
+                    format!("{} expects a list, got {other}", op.keyword()),
+                ),
             },
             ExprKind::Record(fields) => {
                 let mut tys = std::collections::BTreeMap::new();
@@ -389,7 +389,10 @@ impl Context<'_> {
                 }
                 Ok(Type::Named(info.adt))
             }
-            ExprKind::Case { scrutinee, branches } => {
+            ExprKind::Case {
+                scrutinee,
+                branches,
+            } => {
                 let scrut_ty = self.synth(scrutinee)?;
                 let Type::Named(adt) = &scrut_ty else {
                     return err(
@@ -500,7 +503,10 @@ impl Context<'_> {
         let sig_payload = |this: &mut Self, e: &Expr| -> Result<Type, TypeError> {
             match this.synth(e)? {
                 Type::Signal(t) => Ok(*t),
-                other => err(e.span, format!("{} expects a signal, got {other}", op.keyword())),
+                other => err(
+                    e.span,
+                    format!("{} expects a signal, got {other}", op.keyword()),
+                ),
             }
         };
         match op {
@@ -548,13 +554,7 @@ impl Context<'_> {
         }
     }
 
-    fn binop_type(
-        &self,
-        op: BinOp,
-        a: &Type,
-        b: &Type,
-        span: Span,
-    ) -> Result<Type, TypeError> {
+    fn binop_type(&self, op: BinOp, a: &Type, b: &Type, span: Span) -> Result<Type, TypeError> {
         use BinOp::*;
         let both = |t: &Type| a == t && b == t;
         match op {
@@ -581,28 +581,40 @@ impl Context<'_> {
                 } else if both(&Type::Float) && !matches!(op, Mod) {
                     Ok(Type::Float)
                 } else {
-                    err(span, format!("{op} expects two Ints (or Floats), got {a} and {b}"))
+                    err(
+                        span,
+                        format!("{op} expects two Ints (or Floats), got {a} and {b}"),
+                    )
                 }
             }
             And | Or => {
                 if both(&Type::Int) {
                     Ok(Type::Int)
                 } else {
-                    err(span, format!("{op} expects Ints (0 = false), got {a} and {b}"))
+                    err(
+                        span,
+                        format!("{op} expects Ints (0 = false), got {a} and {b}"),
+                    )
                 }
             }
             Eq | Ne => {
                 if a == b && (both(&Type::Int) || both(&Type::Float) || both(&Type::Str)) {
                     Ok(Type::Int)
                 } else {
-                    err(span, format!("{op} compares equal primitive types, got {a} and {b}"))
+                    err(
+                        span,
+                        format!("{op} compares equal primitive types, got {a} and {b}"),
+                    )
                 }
             }
             Lt | Le | Gt | Ge => {
                 if a == b && (both(&Type::Int) || both(&Type::Float)) {
                     Ok(Type::Int)
                 } else {
-                    err(span, format!("{op} compares Ints or Floats, got {a} and {b}"))
+                    err(
+                        span,
+                        format!("{op} compares Ints or Floats, got {a} and {b}"),
+                    )
                 }
             }
         }
@@ -632,17 +644,17 @@ mod tests {
 
     #[test]
     fn lambda_application_and_let() {
-        assert_eq!(
-            ty("(\\(x : Int) -> x + 1) 41").unwrap(),
-            Type::Int
-        );
+        assert_eq!(ty("(\\(x : Int) -> x + 1) 41").unwrap(), Type::Int);
         assert_eq!(
             ty("\\(f : Int -> Int) -> f 0").unwrap(),
             Type::fun(Type::fun(Type::Int, Type::Int), Type::Int)
         );
         assert_eq!(ty("let x = 1 in x + x").unwrap(), Type::Int);
         assert!(ty("(\\(x : Int) -> x) ()").is_err());
-        assert!(ty("\\x -> x").is_err(), "unannotated lambda needs inference");
+        assert!(
+            ty("\\x -> x").is_err(),
+            "unannotated lambda needs inference"
+        );
     }
 
     #[test]
@@ -681,9 +693,7 @@ mod tests {
         // Base type must match the accumulator.
         assert!(ty("foldp (\\(k : Int) -> \\(c : Int) -> c) () Keyboard.lastPressed").is_err());
         // Accumulator in/out must agree.
-        assert!(
-            ty("foldp (\\(k : Int) -> \\(c : Int) -> \"s\") 0 Keyboard.lastPressed").is_err()
-        );
+        assert!(ty("foldp (\\(k : Int) -> \\(c : Int) -> \"s\") 0 Keyboard.lastPressed").is_err());
     }
 
     #[test]

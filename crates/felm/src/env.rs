@@ -46,7 +46,11 @@ impl InputEnv {
         let mut env = InputEnv::new();
         let pair_i = Type::pair(Type::Int, Type::Int);
         let origin = Value::pair(Value::Int(0), Value::Int(0));
-        env.declare("Mouse.position", Type::signal(pair_i.clone()), origin.clone());
+        env.declare(
+            "Mouse.position",
+            Type::signal(pair_i.clone()),
+            origin.clone(),
+        );
         env.declare("Mouse.x", Type::signal(Type::Int), Value::Int(0));
         env.declare("Mouse.y", Type::signal(Type::Int), Value::Int(0));
         env.declare("Mouse.clicks", Type::signal(Type::Unit), Value::Unit);
@@ -100,14 +104,8 @@ impl InputEnv {
             Type::Signal(inner) if inner.is_simple() => {}
             other => panic!("input {name} must have a simple signal type, got {other}"),
         }
-        self.decls.insert(
-            name.clone(),
-            InputDecl {
-                name,
-                ty,
-                default,
-            },
-        );
+        self.decls
+            .insert(name.clone(), InputDecl { name, ty, default });
     }
 
     /// Looks up a declaration.
@@ -166,7 +164,6 @@ mod tests {
     }
 }
 
-
 /// Information about one declared constructor.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CtorInfo {
@@ -222,9 +219,8 @@ impl Adts {
             }
             for (ctor, args) in &def.ctors {
                 for ty in args {
-                    out.validate_arg(ty).map_err(|m| {
-                        err(format!("constructor `{ctor}` of `{}`: {m}", def.name))
-                    })?;
+                    out.validate_arg(ty)
+                        .map_err(|m| err(format!("constructor `{ctor}` of `{}`: {m}", def.name)))?;
                 }
                 let info = CtorInfo {
                     adt: def.name.clone(),
@@ -251,9 +247,7 @@ impl Adts {
                     Err(format!("unknown type `{name}`"))
                 }
             }
-            Type::Signal(_) | Type::Var(_) => {
-                Err(format!("`{ty}` is not a simple type"))
-            }
+            Type::Signal(_) | Type::Var(_) => Err(format!("`{ty}` is not a simple type")),
             Type::Pair(a, b) | Type::Fun(a, b) => {
                 self.validate_arg(a)?;
                 self.validate_arg(b)
@@ -328,9 +322,14 @@ impl Adts {
             }
             ExprKind::CtorApp(name, args) => ExprKind::CtorApp(
                 name.clone(),
-                args.iter().map(|a| self.resolve(a)).collect::<Result<_, _>>()?,
+                args.iter()
+                    .map(|a| self.resolve(a))
+                    .collect::<Result<_, _>>()?,
             ),
-            ExprKind::Case { scrutinee, branches } => ExprKind::Case {
+            ExprKind::Case {
+                scrutinee,
+                branches,
+            } => ExprKind::Case {
                 scrutinee: Box::new(self.resolve(scrutinee)?),
                 branches: branches
                     .iter()
@@ -404,7 +403,10 @@ impl Adts {
             ExprKind::Fst(p) => ExprKind::Fst(Box::new(self.resolve(p)?)),
             ExprKind::Snd(p) => ExprKind::Snd(Box::new(self.resolve(p)?)),
             ExprKind::List(items) => ExprKind::List(
-                items.iter().map(|i| self.resolve(i)).collect::<Result<_, _>>()?,
+                items
+                    .iter()
+                    .map(|i| self.resolve(i))
+                    .collect::<Result<_, _>>()?,
             ),
             ExprKind::ListOp(op, l) => ExprKind::ListOp(*op, Box::new(self.resolve(l)?)),
             ExprKind::Ith(i, l) => {
@@ -416,12 +418,13 @@ impl Adts {
                     .map(|(k, v)| Ok((k.clone(), self.resolve(v)?)))
                     .collect::<Result<_, crate::check::TypeError>>()?,
             ),
-            ExprKind::Field(r, name) => {
-                ExprKind::Field(Box::new(self.resolve(r)?), name.clone())
-            }
+            ExprKind::Field(r, name) => ExprKind::Field(Box::new(self.resolve(r)?), name.clone()),
             ExprKind::Lift { func, args } => ExprKind::Lift {
                 func: Box::new(self.resolve(func)?),
-                args: args.iter().map(|a| self.resolve(a)).collect::<Result<_, _>>()?,
+                args: args
+                    .iter()
+                    .map(|a| self.resolve(a))
+                    .collect::<Result<_, _>>()?,
             },
             ExprKind::Foldp { func, init, signal } => ExprKind::Foldp {
                 func: Box::new(self.resolve(func)?),
@@ -431,7 +434,10 @@ impl Adts {
             ExprKind::Async(inner) => ExprKind::Async(Box::new(self.resolve(inner)?)),
             ExprKind::SignalPrim { op, args } => ExprKind::SignalPrim {
                 op: *op,
-                args: args.iter().map(|a| self.resolve(a)).collect::<Result<_, _>>()?,
+                args: args
+                    .iter()
+                    .map(|a| self.resolve(a))
+                    .collect::<Result<_, _>>()?,
             },
         };
         Ok(Expr::new(kind, e.span))

@@ -86,8 +86,7 @@ pub fn is_signal_term(e: &Expr) -> bool {
         ExprKind::Async(inner) => is_signal_term(inner),
         ExprKind::SignalPrim { op, args } => {
             let values = op.value_args();
-            args[..values].iter().all(is_value)
-                && args[values..].iter().all(is_signal_term)
+            args[..values].iter().all(is_value) && args[values..].iter().all(is_signal_term)
         }
         _ => false,
     }
@@ -176,7 +175,10 @@ pub fn free_vars(e: &Expr, out: &mut Vec<String>) {
                 free_vars(a, out);
             }
         }
-        ExprKind::Case { scrutinee, branches } => {
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
             free_vars(scrutinee, out);
             for b in branches {
                 let mut inner = Vec::new();
@@ -312,11 +314,13 @@ pub fn subst(e: &Expr, x: &str, v: &Expr) -> Expr {
             args: args.iter().map(|a| subst(a, x, v)).collect(),
         },
         ExprKind::Ctor(name) => ExprKind::Ctor(name.clone()),
-        ExprKind::CtorApp(name, args) => ExprKind::CtorApp(
-            name.clone(),
-            args.iter().map(|a| subst(a, x, v)).collect(),
-        ),
-        ExprKind::Case { scrutinee, branches } => {
+        ExprKind::CtorApp(name, args) => {
+            ExprKind::CtorApp(name.clone(), args.iter().map(|a| subst(a, x, v)).collect())
+        }
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
             let scrutinee = Box::new(subst(scrutinee, x, v));
             let branches = branches
                 .iter()
@@ -371,7 +375,10 @@ pub fn subst(e: &Expr, x: &str, v: &Expr) -> Expr {
                     }
                 })
                 .collect();
-            ExprKind::Case { scrutinee, branches }
+            ExprKind::Case {
+                scrutinee,
+                branches,
+            }
         }
     };
     Expr::new(kind, e.span)
@@ -712,16 +719,14 @@ pub fn step(e: &Expr) -> Result<Option<Expr>, EvalError> {
                 })
             } else {
                 match &rec.kind {
-                    ExprKind::Record(fields) => {
-                        match fields.iter().find(|(f, _)| f == name) {
-                            Some((_, v)) => v.clone(),
-                            None => {
-                                return Err(EvalError::Stuck {
-                                    reason: format!("record has no field `{name}`"),
-                                })
-                            }
+                    ExprKind::Record(fields) => match fields.iter().find(|(f, _)| f == name) {
+                        Some((_, v)) => v.clone(),
+                        None => {
+                            return Err(EvalError::Stuck {
+                                reason: format!("record has no field `{name}`"),
+                            })
                         }
-                    }
+                    },
                     _ => {
                         return Err(EvalError::Stuck {
                             reason: "field access on a non-record".into(),
@@ -970,7 +975,11 @@ pub fn step(e: &Expr) -> Result<Option<Expr>, EvalError> {
             // Value operands first (F contexts: EXPAND applies).
             let mut pos = None;
             for (k, a) in args.iter().enumerate() {
-                let done = if k < values { is_value(a) } else { is_signal_term(a) };
+                let done = if k < values {
+                    is_value(a)
+                } else {
+                    is_signal_term(a)
+                };
                 if !done {
                     pos = Some(k);
                     break;
@@ -1049,7 +1058,10 @@ pub fn step(e: &Expr) -> Result<Option<Expr>, EvalError> {
                 });
             }
         }
-        ExprKind::Case { scrutinee, branches } => {
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
             if let Some(next) = step(scrutinee)? {
                 Expr::new(
                     ExprKind::Case {
@@ -1080,15 +1092,12 @@ pub fn step(e: &Expr) -> Result<Option<Expr>, EvalError> {
                 let mut chosen = None;
                 'branches: for b in branches {
                     match (&b.pattern, &scrutinee.kind) {
-                        (
-                            Pattern::Ctor { name, binders },
-                            ExprKind::CtorApp(tag, args),
-                        ) if name == tag => {
+                        (Pattern::Ctor { name, binders }, ExprKind::CtorApp(tag, args))
+                            if name == tag =>
+                        {
                             if binders.len() != args.len() {
                                 return Err(EvalError::Stuck {
-                                    reason: format!(
-                                        "pattern `{name}` binder count mismatch"
-                                    ),
+                                    reason: format!("pattern `{name}` binder count mismatch"),
                                 });
                             }
                             let mut body = b.body.clone();
@@ -1147,11 +1156,7 @@ fn step_proj(inner: &Expr, span: crate::span::Span, first: bool) -> Result<Expr,
         return Ok(expand_let(x, s, u, &[], rebuild));
     }
     match &inner.kind {
-        ExprKind::Pair(a, b) => Ok(if first {
-            (**a).clone()
-        } else {
-            (**b).clone()
-        }),
+        ExprKind::Pair(a, b) => Ok(if first { (**a).clone() } else { (**b).clone() }),
         _ => Err(EvalError::Stuck {
             reason: "projection from a non-pair".into(),
         }),
@@ -1336,7 +1341,10 @@ mod tests {
         let stuck = |src: &str| normalize(&parse_expr(src).unwrap(), DEFAULT_FUEL).unwrap_err();
         assert!(matches!(stuck("1 2"), EvalError::Stuck { .. }));
         assert!(matches!(stuck("1 + ()"), EvalError::Stuck { .. }));
-        assert!(matches!(stuck("if () then 1 else 2"), EvalError::Stuck { .. }));
+        assert!(matches!(
+            stuck("if () then 1 else 2"),
+            EvalError::Stuck { .. }
+        ));
         assert!(matches!(stuck("fst 3"), EvalError::Stuck { .. }));
         assert!(matches!(stuck("x + 1"), EvalError::Stuck { .. }));
         assert!(matches!(stuck("Mouse.x + 1"), EvalError::Stuck { .. }));

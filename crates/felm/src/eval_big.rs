@@ -96,10 +96,9 @@ impl PartialEq for RtValue {
             (RtValue::Pair(a), RtValue::Pair(b)) => a.0 == b.0 && a.1 == b.1,
             (RtValue::List(a), RtValue::List(b)) => a == b,
             (RtValue::Record(a), RtValue::Record(b)) => a == b,
-            (
-                RtValue::Tagged { tag: t1, args: a1 },
-                RtValue::Tagged { tag: t2, args: a2 },
-            ) => t1 == t2 && a1 == a2,
+            (RtValue::Tagged { tag: t1, args: a1 }, RtValue::Tagged { tag: t2, args: a2 }) => {
+                t1 == t2 && a1 == a2
+            }
             _ => false,
         }
     }
@@ -293,7 +292,10 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
                 args: Arc::new(vals),
             })
         }
-        ExprKind::Case { scrutinee, branches } => {
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
             let value = eval(env, scrutinee)?;
             for b in branches {
                 match (&b.pattern, &value) {
@@ -474,7 +476,10 @@ mod tests {
         assert_eq!(big("1 + 2 * 3"), RtValue::Int(7));
         assert_eq!(big("(\\f x -> f (f x)) (\\n -> n * 2) 5"), RtValue::Int(20));
         assert_eq!(big("let a = 3 in let b = a * a in b + a"), RtValue::Int(12));
-        assert_eq!(big("if 1 < 2 then \"y\" else \"n\""), RtValue::Str("y".into()));
+        assert_eq!(
+            big("if 1 < 2 then \"y\" else \"n\""),
+            RtValue::Str("y".into())
+        );
         assert_eq!(big("fst (snd ((1, 2), (3, 4)))"), RtValue::Int(3));
     }
 
@@ -514,7 +519,11 @@ mod tests {
     #[test]
     fn signal_forms_are_rejected() {
         assert!(eval(&Env::empty(), &parse_expr("Mouse.x").unwrap()).is_err());
-        assert!(eval(&Env::empty(), &parse_expr("lift (\\x -> x) Mouse.x").unwrap()).is_err());
+        assert!(eval(
+            &Env::empty(),
+            &parse_expr("lift (\\x -> x) Mouse.x").unwrap()
+        )
+        .is_err());
     }
 
     #[test]

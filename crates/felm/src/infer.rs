@@ -20,8 +20,8 @@
 use std::collections::HashMap;
 
 use crate::ast::{BinOp, Expr, ExprKind, Pattern, SignalPrimOp, Type};
-use crate::env::Adts;
 use crate::check::TypeError;
+use crate::env::Adts;
 use crate::env::InputEnv;
 use crate::span::Span;
 
@@ -289,8 +289,7 @@ impl Infer<'_> {
             | (Type::Int, Type::Int)
             | (Type::Float, Type::Float)
             | (Type::Str, Type::Str) => Ok(()),
-            (Type::Pair(a1, a2), Type::Pair(b1, b2))
-            | (Type::Fun(a1, a2), Type::Fun(b1, b2)) => {
+            (Type::Pair(a1, a2), Type::Pair(b1, b2)) | (Type::Fun(a1, a2), Type::Fun(b1, b2)) => {
                 self.unify(a1, b1, span)?;
                 self.unify(a2, b2, span)
             }
@@ -405,12 +404,7 @@ impl Infer<'_> {
         walk(&scheme.ty, &mapping)
     }
 
-    fn with_var<T>(
-        &mut self,
-        name: &str,
-        scheme: Scheme,
-        f: impl FnOnce(&mut Self) -> T,
-    ) -> T {
+    fn with_var<T>(&mut self, name: &str, scheme: Scheme, f: impl FnOnce(&mut Self) -> T) -> T {
         self.vars.entry(name.to_string()).or_default().push(scheme);
         let out = f(self);
         if let Some(stack) = self.vars.get_mut(name) {
@@ -738,7 +732,10 @@ impl Infer<'_> {
                 }
                 Ok(Type::Named(info.adt))
             }
-            ExprKind::Case { scrutinee, branches } => {
+            ExprKind::Case {
+                scrutinee,
+                branches,
+            } => {
                 let scrut_ty = self.infer(scrutinee)?;
                 let result = self.fresh();
                 let mut covered: Vec<String> = Vec::new();
@@ -747,11 +744,10 @@ impl Infer<'_> {
                 for branch in branches {
                     match &branch.pattern {
                         Pattern::Ctor { name, binders } => {
-                            let info =
-                                self.adts.ctor(name).cloned().ok_or_else(|| TypeError {
-                                    message: format!("unknown constructor `{name}`"),
-                                    span,
-                                })?;
+                            let info = self.adts.ctor(name).cloned().ok_or_else(|| TypeError {
+                                message: format!("unknown constructor `{name}`"),
+                                span,
+                            })?;
                             if binders.len() != info.args.len() {
                                 return Err(TypeError {
                                     message: format!(
@@ -849,11 +845,7 @@ impl Infer<'_> {
                     }
                     SignalPrimOp::KeepIf => {
                         let pred = self.infer(&args[0])?;
-                        self.unify(
-                            &pred,
-                            &Type::fun(payload.clone(), Type::Int),
-                            args[0].span,
-                        )?;
+                        self.unify(&pred, &Type::fun(payload.clone(), Type::Int), args[0].span)?;
                         let base = self.infer(&args[1])?;
                         self.unify(&base, &payload, args[1].span)?;
                         let sig = self.infer(&args[2])?;
@@ -957,7 +949,10 @@ mod tests {
 
     #[test]
     fn conditional_branches_unify() {
-        assert_eq!(ty("\\b -> if b then 1 else 2").unwrap(), Type::fun(Type::Int, Type::Int));
+        assert_eq!(
+            ty("\\b -> if b then 1 else 2").unwrap(),
+            Type::fun(Type::Int, Type::Int)
+        );
         assert!(ty("if 1 then 2 else \"s\"").is_err());
     }
 

@@ -150,9 +150,9 @@ impl SignalTerm {
                     signal: Box::new(SignalTerm::from_expr(signal)?),
                 })
             }
-            ExprKind::Async(inner) => Ok(SignalTerm::Async(Box::new(SignalTerm::from_expr(
-                inner,
-            )?))),
+            ExprKind::Async(inner) => {
+                Ok(SignalTerm::Async(Box::new(SignalTerm::from_expr(inner)?)))
+            }
             ExprKind::SignalPrim { op, args } => {
                 let n = op.value_args();
                 let (values, signals) = args.split_at(n);

@@ -212,9 +212,7 @@ impl Parser {
                 let span = self.bump().span;
                 Ok((name, span))
             }
-            other => Err(self.error(format!(
-                "expected a capitalized name, found `{other}`"
-            ))),
+            other => Err(self.error(format!("expected a capitalized name, found `{other}`"))),
         }
     }
 
@@ -559,7 +557,10 @@ impl Parser {
                 let index = self.atom()?;
                 let list = self.atom()?;
                 let span = start.to(list.span);
-                Ok(Expr::new(ExprKind::Ith(Box::new(index), Box::new(list)), span))
+                Ok(Expr::new(
+                    ExprKind::Ith(Box::new(index), Box::new(list)),
+                    span,
+                ))
             }
             Token::Merge | Token::SampleOn | Token::DropRepeats | Token::KeepIf => {
                 let t = self.bump();
@@ -874,7 +875,9 @@ mod tests {
         assert!(matches!(body.kind, K::Lam { .. }));
 
         let e = pe("\\(x : Int) -> x");
-        let K::Lam { ann, .. } = &e.kind else { panic!() };
+        let K::Lam { ann, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(ann, &Some(Type::Int));
     }
 
@@ -959,14 +962,15 @@ main =
     #[test]
     fn type_annotations_parse_signal_types() {
         let e = pe("\\(f : Int -> Int) -> f");
-        let K::Lam { ann, .. } = &e.kind else { panic!() };
+        let K::Lam { ann, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(ann, &Some(Type::fun(Type::Int, Type::Int)));
 
         let e = pe("\\(s : Signal (Int, Int)) -> s");
-        let K::Lam { ann, .. } = &e.kind else { panic!() };
-        assert_eq!(
-            ann,
-            &Some(Type::signal(Type::pair(Type::Int, Type::Int)))
-        );
+        let K::Lam { ann, .. } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(ann, &Some(Type::signal(Type::pair(Type::Int, Type::Int))));
     }
 }

@@ -170,11 +170,9 @@ main = lift (\\i -> i % 3) index1";
         assert_eq!(p.program_type, Type::signal(Type::Int));
         let g = p.graph().unwrap();
         let clicks = g.input_named("Mouse.clicks").unwrap();
-        let outs = SyncRuntime::run_trace(
-            g,
-            (0..5).map(|_| Occurrence::input(clicks, Value::Unit)),
-        )
-        .unwrap();
+        let outs =
+            SyncRuntime::run_trace(g, (0..5).map(|_| Occurrence::input(clicks, Value::Unit)))
+                .unwrap();
         assert_eq!(
             changed_values(&outs),
             [1, 2, 0, 1, 2].map(Value::Int).to_vec()

@@ -40,7 +40,8 @@ fn is_atomic(e: &Expr) -> bool {
             | ExprKind::Record(_)
             | ExprKind::Field(..)
             | ExprKind::Ctor(_)
-    ) || matches!(&e.kind, ExprKind::CtorApp(_, args) if args.is_empty()) || matches!(&e.kind, ExprKind::Int(n) if *n >= 0)
+    ) || matches!(&e.kind, ExprKind::CtorApp(_, args) if args.is_empty())
+        || matches!(&e.kind, ExprKind::Int(n) if *n >= 0)
 }
 
 fn write_atom(out: &mut String, e: &Expr) {
@@ -281,7 +282,10 @@ fn write_expr(out: &mut String, e: &Expr, parenthesize_app: bool) {
                 out.push(')');
             }
         }
-        ExprKind::Case { scrutinee, branches } => {
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
             let wrap = parenthesize_app;
             if wrap {
                 out.push('(');
@@ -384,19 +388,8 @@ mod tests {
             (K::Fst(x), K::Fst(y)) | (K::Snd(x), K::Snd(y)) | (K::Async(x), K::Async(y)) => {
                 same(x, y)
             }
-            (
-                K::Lift {
-                    func: f1,
-                    args: a1,
-                },
-                K::Lift {
-                    func: f2,
-                    args: a2,
-                },
-            ) => {
-                same(f1, f2)
-                    && a1.len() == a2.len()
-                    && a1.iter().zip(a2).all(|(x, y)| same(x, y))
+            (K::Lift { func: f1, args: a1 }, K::Lift { func: f2, args: a2 }) => {
+                same(f1, f2) && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| same(x, y))
             }
             (
                 K::Foldp {

@@ -483,7 +483,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self, start: usize) -> SpannedToken {
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\'')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\'')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
@@ -542,8 +545,7 @@ impl<'a> Lexer<'a> {
             ) {
                 self.pos += 1;
             }
-            if self.peek() == Some(b'.')
-                && matches!(self.peek2(), Some(b'a'..=b'z' | b'A'..=b'Z'))
+            if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'a'..=b'z' | b'A'..=b'Z'))
             {
                 self.pos += 1;
             } else {
@@ -704,10 +706,22 @@ mod tests {
 
     #[test]
     fn errors_are_reported_with_spans() {
-        assert!(matches!(lex("a # b"), Err(LexError::UnexpectedChar('#', _))));
-        assert!(matches!(lex("\"open"), Err(LexError::UnterminatedString(_))));
-        assert!(matches!(lex("{- open"), Err(LexError::UnterminatedComment(_))));
-        assert!(matches!(lex("a & b"), Err(LexError::UnexpectedChar('&', _))));
+        assert!(matches!(
+            lex("a # b"),
+            Err(LexError::UnexpectedChar('#', _))
+        ));
+        assert!(matches!(
+            lex("\"open"),
+            Err(LexError::UnterminatedString(_))
+        ));
+        assert!(matches!(
+            lex("{- open"),
+            Err(LexError::UnterminatedComment(_))
+        ));
+        assert!(matches!(
+            lex("a & b"),
+            Err(LexError::UnexpectedChar('&', _))
+        ));
     }
 
     #[test]

@@ -77,9 +77,7 @@ pub fn value_to_expr(v: &Value) -> Option<Expr> {
         ),
         Value::Tagged(tag, args) => ExprKind::CtorApp(
             tag.to_string(),
-            args.iter()
-                .map(value_to_expr)
-                .collect::<Option<Vec<_>>>()?,
+            args.iter().map(value_to_expr).collect::<Option<Vec<_>>>()?,
         ),
         _ => return None,
     }))
@@ -109,9 +107,7 @@ pub fn expr_to_value(e: &Expr) -> Option<Value> {
         ),
         ExprKind::CtorApp(tag, args) => Value::tagged(
             tag,
-            args.iter()
-                .map(expr_to_value)
-                .collect::<Option<Vec<_>>>()?,
+            args.iter().map(expr_to_value).collect::<Option<Vec<_>>>()?,
         ),
         _ => return None,
     })
@@ -134,15 +130,13 @@ pub fn apply_function(func: &Expr, args: &[Value]) -> Value {
     let mut cur = crate::eval_big::eval(&crate::eval_big::Env::empty(), func)
         .unwrap_or_else(|err| panic!("embedded FElm function got stuck: {err}"));
     for a in args {
-        let arg = crate::eval_big::from_runtime_value(a).unwrap_or_else(|| {
-            panic!("runtime value {a:?} is outside FElm's data universe")
-        });
+        let arg = crate::eval_big::from_runtime_value(a)
+            .unwrap_or_else(|| panic!("runtime value {a:?} is outside FElm's data universe"));
         cur = crate::eval_big::apply(cur, arg)
             .unwrap_or_else(|err| panic!("embedded FElm function got stuck: {err}"));
     }
-    crate::eval_big::to_runtime_value(&cur).unwrap_or_else(|| {
-        panic!("embedded FElm function returned a non-data value")
-    })
+    crate::eval_big::to_runtime_value(&cur)
+        .unwrap_or_else(|| panic!("embedded FElm function returned a non-data value"))
 }
 
 /// [`apply_function`] by literal Fig. 6 β-reduction — the specification
@@ -154,16 +148,14 @@ pub fn apply_function(func: &Expr, args: &[Value]) -> Value {
 pub fn apply_function_small_step(func: &Expr, args: &[Value]) -> Value {
     let mut e = func.clone();
     for a in args {
-        let lit = value_to_expr(a).unwrap_or_else(|| {
-            panic!("runtime value {a:?} is outside FElm's data universe")
-        });
+        let lit = value_to_expr(a)
+            .unwrap_or_else(|| panic!("runtime value {a:?} is outside FElm's data universe"));
         e = Expr::synth(ExprKind::App(Box::new(e), Box::new(lit)));
     }
     let normal = normalize(&e, DEFAULT_FUEL)
         .unwrap_or_else(|err| panic!("embedded FElm function got stuck: {err}"));
-    expr_to_value(&normal).unwrap_or_else(|| {
-        panic!("embedded FElm function returned a non-data value")
-    })
+    expr_to_value(&normal)
+        .unwrap_or_else(|| panic!("embedded FElm function returned a non-data value"))
 }
 
 /// Translates a validated signal term to a runnable signal graph.
@@ -227,11 +219,9 @@ impl Translator<'_> {
                         // `let x = s in v`: a constant display over a live
                         // signal — output v regardless of events.
                         let constant = expr_to_value(v).unwrap_or(Value::Unit);
-                        Ok(self.builder.lift1(
-                            "const",
-                            move |_| constant.clone(),
-                            shared,
-                        ))
+                        Ok(self
+                            .builder
+                            .lift1("const", move |_| constant.clone(), shared))
                     }
                 };
                 if let Some(stack) = self.scope.get_mut(name) {
@@ -253,9 +243,8 @@ impl Translator<'_> {
             SignalTerm::Foldp { func, init, signal } => {
                 let parent = self.walk(signal)?;
                 let f = func.clone();
-                let init_value = expr_to_value(init).unwrap_or_else(|| {
-                    panic!("foldp base value is outside FElm's data universe")
-                });
+                let init_value = expr_to_value(init)
+                    .unwrap_or_else(|| panic!("foldp base value is outside FElm's data universe"));
                 Ok(self.builder.foldp(
                     "foldp",
                     move |new, acc| apply_function(&f, &[new.clone(), acc.clone()]),
@@ -267,7 +256,11 @@ impl Translator<'_> {
                 let parent = self.walk(inner)?;
                 Ok(self.builder.async_source(parent))
             }
-            SignalTerm::Prim { op, values, signals } => {
+            SignalTerm::Prim {
+                op,
+                values,
+                signals,
+            } => {
                 use crate::ast::SignalPrimOp;
                 let parents = signals
                     .iter()
@@ -325,21 +318,16 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(
-            changed_values(&outs),
-            vec![Value::Int(50), Value::Int(25)]
-        );
+        assert_eq!(changed_values(&outs), vec![Value::Int(50), Value::Int(25)]);
     }
 
     #[test]
     fn foldp_counter_runs() {
         let g = graph_of("foldp (\\k c -> c + 1) 0 Keyboard.lastPressed");
         let keys = g.input_named("Keyboard.lastPressed").unwrap();
-        let outs = SyncRuntime::run_trace(
-            &g,
-            (0..4).map(|k| Occurrence::input(keys, 65 + k as i64)),
-        )
-        .unwrap();
+        let outs =
+            SyncRuntime::run_trace(&g, (0..4).map(|k| Occurrence::input(keys, 65 + k as i64)))
+                .unwrap();
         assert_eq!(changed_values(&outs).last(), Some(&Value::Int(4)));
     }
 
@@ -354,9 +342,7 @@ mod tests {
 
     #[test]
     fn let_multicast_shares_nodes() {
-        let g = graph_of(
-            "let s = lift (\\x -> x * 2) Mouse.x in lift2 (\\a b -> a + b) s s",
-        );
+        let g = graph_of("let s = lift (\\x -> x * 2) Mouse.x in lift2 (\\a b -> a + b) s s");
         // Mouse.x, the shared lift, and the combining lift: 3 nodes.
         assert_eq!(g.len(), 3);
     }
@@ -371,10 +357,7 @@ mod tests {
         let words = g.input_named("Words.input").unwrap();
         let outs = SyncRuntime::run_trace(
             &g,
-            [
-                Occurrence::input(words, "hey"),
-                Occurrence::input(mx, 3i64),
-            ],
+            [Occurrence::input(words, "hey"), Occurrence::input(mx, 3i64)],
         )
         .unwrap();
         let finals = changed_values(&outs);

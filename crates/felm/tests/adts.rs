@@ -37,11 +37,11 @@ fn declarations_validate() {
     assert!(Adts::from_defs(&parse_program(&format!("{MAYBE}\nmain = 1")).unwrap().datas).is_ok());
     // Errors.
     for bad in [
-        "data Int = X",                              // reserved name
-        "data A = X\ndata A = Y",                    // duplicate type
-        "data A = X\ndata B = X",                    // duplicate constructor
-        "data A = X (Signal Int)",                   // non-simple argument
-        "data A = X Unknown",                        // unknown type reference
+        "data Int = X",            // reserved name
+        "data A = X\ndata A = Y",  // duplicate type
+        "data A = X\ndata B = X",  // duplicate constructor
+        "data A = X (Signal Int)", // non-simple argument
+        "data A = X Unknown",      // unknown type reference
     ] {
         let prog = parse_program(&format!("{bad}\nmain = 1")).unwrap();
         assert!(Adts::from_defs(&prog.datas).is_err(), "{bad}");
@@ -156,11 +156,8 @@ main = lift show (foldp (\\c l -> next l) Red Mouse.clicks)";
     assert_eq!(compiled.program_type, Type::signal(Type::Str));
     let g = compiled.graph().unwrap();
     let clicks = g.input_named("Mouse.clicks").unwrap();
-    let outs = SyncRuntime::run_trace(
-        g,
-        (0..4).map(|_| Occurrence::input(clicks, Value::Unit)),
-    )
-    .unwrap();
+    let outs =
+        SyncRuntime::run_trace(g, (0..4).map(|_| Occurrence::input(clicks, Value::Unit))).unwrap();
     assert_eq!(
         changed_values(&outs),
         ["green", "blue", "red", "green"].map(Value::str).to_vec()

@@ -44,7 +44,13 @@ fn list_literals_and_primitives_evaluate() {
 
 #[test]
 fn list_runtime_errors_are_stuck() {
-    for src in ["head []", "tail []", "ith 5 [1]", "ith (0 - 1) [1]", "1 :: 2"] {
+    for src in [
+        "head []",
+        "tail []",
+        "ith 5 [1]",
+        "ith (0 - 1) [1]",
+        "1 :: 2",
+    ] {
         let e = parse_expr(src).unwrap();
         assert!(
             normalize(&e, DEFAULT_FUEL).is_err(),
@@ -109,8 +115,7 @@ fn lists_pretty_print_round_trip() {
     ] {
         let e = parse_expr(src).unwrap();
         let printed = pretty(&e);
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("{printed}: {err}"));
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("{printed}: {err}"));
         assert_eq!(pretty(&reparsed), printed, "{src}");
     }
 }
@@ -161,15 +166,9 @@ fn signals_of_lists_work() {
     assert_eq!(compiled.program_type, Type::signal(Type::list(Type::Int)));
     let graph = compiled.graph().unwrap();
     let keys = graph.input_named("Keyboard.lastPressed").unwrap();
-    let outs = SyncRuntime::run_trace(
-        graph,
-        [65i64, 66, 67].map(|k| Occurrence::input(keys, k)),
-    )
-    .unwrap();
-    assert_eq!(
-        changed_values(&outs).last(),
-        Some(&ints(&[67, 66, 65]))
-    );
+    let outs =
+        SyncRuntime::run_trace(graph, [65i64, 66, 67].map(|k| Occurrence::input(keys, k))).unwrap();
+    assert_eq!(changed_values(&outs).last(), Some(&ints(&[67, 66, 65])));
 }
 
 #[test]

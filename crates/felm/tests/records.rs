@@ -21,7 +21,10 @@ fn eval_value(src: &str) -> Value {
 }
 
 fn point(x: i64, y: i64) -> Value {
-    Value::record([("x".to_string(), Value::Int(x)), ("y".to_string(), Value::Int(y))])
+    Value::record([
+        ("x".to_string(), Value::Int(x)),
+        ("y".to_string(), Value::Int(y)),
+    ])
 }
 
 #[test]
@@ -104,7 +107,10 @@ main = foldp step (0, 0) Keyboard.arrows";
     let push = |x: i64, y: i64| {
         Occurrence::input(
             arrows,
-            Value::record([("x".to_string(), Value::Int(x)), ("y".to_string(), Value::Int(y))]),
+            Value::record([
+                ("x".to_string(), Value::Int(x)),
+                ("y".to_string(), Value::Int(y)),
+            ]),
         )
     };
     let outs = SyncRuntime::run_trace(graph, [push(1, 0), push(1, 1), push(0, -1)]).unwrap();

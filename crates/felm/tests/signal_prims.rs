@@ -16,7 +16,10 @@ fn primitives_type_check_and_infer() {
     let env = InputEnv::standard();
     let cases = [
         ("merge Mouse.x Window.width", Type::signal(Type::Int)),
-        ("sampleOn Mouse.clicks Mouse.position", Type::signal(Type::pair(Type::Int, Type::Int))),
+        (
+            "sampleOn Mouse.clicks Mouse.position",
+            Type::signal(Type::pair(Type::Int, Type::Int)),
+        ),
         ("dropRepeats Keyboard.shift", Type::signal(Type::Int)),
         (
             "keepIf (\\(n : Int) -> n > 100) 0 Mouse.x",
@@ -29,11 +32,11 @@ fn primitives_type_check_and_infer() {
         assert_eq!(infer_type(&env, &e).unwrap(), want, "inference: {src}");
     }
     for bad in [
-        "merge Mouse.x Words.input",          // payloads disagree
-        "merge Mouse.x 3",                    // non-signal operand
-        "keepIf (\\n -> n) \"s\" Mouse.x",    // base type mismatch
+        "merge Mouse.x Words.input",       // payloads disagree
+        "merge Mouse.x 3",                 // non-signal operand
+        "keepIf (\\n -> n) \"s\" Mouse.x", // base type mismatch
         "dropRepeats 5",
-        "sampleOn Mouse.clicks",              // parse: missing operand
+        "sampleOn Mouse.clicks", // parse: missing operand
     ] {
         let result = parse_expr(bad)
             .map_err(|e| e.to_string())
@@ -106,11 +109,8 @@ fn keep_if_filters_with_an_felm_predicate() {
     let compiled = compile_source(src, &InputEnv::standard()).unwrap();
     let g = compiled.graph().unwrap();
     let mx = g.input_named("Mouse.x").unwrap();
-    let outs = SyncRuntime::run_trace(
-        g,
-        [1i64, 2, 3, 4, 5, 6].map(|v| Occurrence::input(mx, v)),
-    )
-    .unwrap();
+    let outs =
+        SyncRuntime::run_trace(g, [1i64, 2, 3, 4, 5, 6].map(|v| Occurrence::input(mx, v))).unwrap();
     assert_eq!(
         changed_values(&outs),
         vec![Value::Int(2), Value::Int(4), Value::Int(6)]
@@ -123,11 +123,8 @@ fn drop_repeats_dedupes() {
     let compiled = compile_source(src, &InputEnv::standard()).unwrap();
     let g = compiled.graph().unwrap();
     let shift = g.input_named("Keyboard.shift").unwrap();
-    let outs = SyncRuntime::run_trace(
-        g,
-        [1i64, 1, 0, 0, 1].map(|v| Occurrence::input(shift, v)),
-    )
-    .unwrap();
+    let outs =
+        SyncRuntime::run_trace(g, [1i64, 1, 0, 0, 1].map(|v| Occurrence::input(shift, v))).unwrap();
     assert_eq!(
         changed_values(&outs),
         vec![Value::Int(1), Value::Int(0), Value::Int(1)]
@@ -149,11 +146,11 @@ main = foldp (\\v acc -> acc + v) 0 (merge deduped (sampleOn Mouse.clicks Window
     let outs = SyncRuntime::run_trace(
         g,
         vec![
-            Occurrence::input(mx, 2i64),          // +2
-            Occurrence::input(mx, 2i64),          // deduped
-            Occurrence::input(mx, 4i64),          // +4
+            Occurrence::input(mx, 2i64),            // +2
+            Occurrence::input(mx, 2i64),            // deduped
+            Occurrence::input(mx, 4i64),            // +4
             Occurrence::input(clicks, Value::Unit), // +1024 (window width)
-            Occurrence::input(mx, 5i64),          // filtered
+            Occurrence::input(mx, 5i64),            // filtered
         ],
     )
     .unwrap();
@@ -176,10 +173,8 @@ fn primitives_under_async_still_split_subgraphs() {
 
 #[test]
 fn whole_programs_with_prims_parse_via_program_syntax() {
-    let prog = parse_program(
-        "gate = keepIf (\\n -> n > 0) 0 Mouse.x\nmain = merge gate Mouse.y",
-    )
-    .unwrap();
+    let prog =
+        parse_program("gate = keepIf (\\n -> n > 0) 0 Mouse.x\nmain = merge gate Mouse.y").unwrap();
     let e = prog.to_expr().unwrap();
     assert_eq!(
         infer_type(&InputEnv::standard(), &e).unwrap(),

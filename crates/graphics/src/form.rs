@@ -294,10 +294,7 @@ impl Form {
     pub fn apply(&self, p: Point) -> Point {
         let (sin, cos) = self.theta.sin_cos();
         let (sx, sy) = (p.0 * self.scale, p.1 * self.scale);
-        (
-            sx * cos - sy * sin + self.x,
-            sx * sin + sy * cos + self.y,
-        )
+        (sx * cos - sy * sin + self.x, sx * sin + sy * cos + self.y)
     }
 
     /// Axis-aligned bounding box `((min_x, min_y), (max_x, max_y))` in
@@ -419,7 +416,10 @@ mod tests {
         let child = Form::filled(palette::RED, square(2.0)).shifted(5.0, 0.0);
         let g = Form::group(vec![child]).rotated(degrees(180.0));
         let ((x0, _), (x1, _)) = g.bounds().unwrap();
-        assert!(x0 < -3.9 && x1 < -3.9 + 2.2, "group moved to the left: {x0} {x1}");
+        assert!(
+            x0 < -3.9 && x1 < -3.9 + 2.2,
+            "group moved to the left: {x0} {x1}"
+        );
     }
 
     #[test]

@@ -121,10 +121,7 @@ impl DisplayList {
         self.items
             .iter()
             .filter(|p| {
-                x >= p.x
-                    && y >= p.y
-                    && x < p.x + p.width as i32
-                    && y < p.y + p.height as i32
+                x >= p.x && y >= p.y && x < p.x + p.width as i32 && y < p.y + p.height as i32
             })
             .collect()
     }
@@ -345,15 +342,7 @@ fn flatten_form(
                 // composition.
                 let composed = compose(f, c);
                 flatten_form(
-                    &composed,
-                    center,
-                    alpha,
-                    out,
-                    box_x,
-                    box_y,
-                    box_w,
-                    box_h,
-                    opacity,
+                    &composed, center, alpha, out, box_x, box_y, box_w, box_h, opacity,
                 );
             }
         }

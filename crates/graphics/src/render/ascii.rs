@@ -71,18 +71,14 @@ pub fn to_ascii(dl: &DisplayList) -> String {
                 }
                 ScreenFormKind::Text { text, at, .. } => {
                     let chars: Vec<char> = text.content.chars().collect();
-                    let start_col =
-                        (at.0 / CELL_W as f64) as i64 - chars.len() as i64 / 2;
+                    let start_col = (at.0 / CELL_W as f64) as i64 - chars.len() as i64 / 2;
                     let row = (at.1 / CELL_H as f64) as i64;
                     for (i, ch) in chars.iter().enumerate() {
                         put(start_col + i as i64, row, *ch, &mut grid);
                     }
                 }
                 ScreenFormKind::Image {
-                    width,
-                    height,
-                    at,
-                    ..
+                    width, height, at, ..
                 } => {
                     let c0 = ((at.0 - width / 2.0) / CELL_W as f64) as i64;
                     let c1 = ((at.0 + width / 2.0) / CELL_W as f64) as i64;
@@ -152,7 +148,10 @@ mod tests {
         let ascii = to_ascii(&layout(&e));
         let lines: Vec<&str> = ascii.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines[1].contains("hi") || lines[2].contains("hi"), "{ascii}");
+        assert!(
+            lines[1].contains("hi") || lines[2].contains("hi"),
+            "{ascii}"
+        );
     }
 
     #[test]
@@ -172,11 +171,7 @@ mod tests {
 
     #[test]
     fn forms_raster_as_blocks() {
-        let e = collage(
-            80,
-            80,
-            vec![Form::filled(palette::BLUE, rect(40.0, 40.0))],
-        );
+        let e = collage(80, 80, vec![Form::filled(palette::BLUE, rect(40.0, 40.0))]);
         let ascii = to_ascii(&layout(&e));
         assert!(ascii.contains('\u{2588}'), "{ascii}");
     }

@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn builder_style_composition() {
-        let t = Text::plain("hi").bold().italic().size(20).color(palette::RED);
+        let t = Text::plain("hi")
+            .bold()
+            .italic()
+            .size(20)
+            .color(palette::RED);
         assert!(t.bold && t.italic);
         assert_eq!(t.size, 20);
         assert_eq!(t.color, Some(palette::RED));

@@ -3,14 +3,13 @@
 
 use proptest::prelude::*;
 
-use elm_graphics::{
-    flow, layout, palette, Direction, Element, ElementKind, Position, Primitive,
-};
+use elm_graphics::{flow, layout, palette, Direction, Element, ElementKind, Position, Primitive};
 
 /// A generated element tree (depth-bounded).
 fn arb_element(depth: u32) -> BoxedStrategy<Element> {
     let leaf = prop_oneof![
-        (1u32..60, 1u32..40).prop_map(|(w, h)| Element::spacer(w, h).with_background(palette::GRAY)),
+        (1u32..60, 1u32..40)
+            .prop_map(|(w, h)| Element::spacer(w, h).with_background(palette::GRAY)),
         "[a-z]{1,12}".prop_map(Element::plain_text),
         (10u32..80, 10u32..60).prop_map(|(w, h)| Element::image(w, h, "x.png")),
     ];

@@ -431,7 +431,12 @@ impl BehaviorSpec for Custom {
 mod tests {
     use super::*;
 
-    fn step_of(spec: &dyn BehaviorSpec, changed: &[bool], values: &[&Value], prev: &Value) -> Option<Value> {
+    fn step_of(
+        spec: &dyn BehaviorSpec,
+        changed: &[bool],
+        values: &[&Value],
+        prev: &Value,
+    ) -> Option<Value> {
         let mut b = spec.instantiate();
         b.step(StepInputs {
             changed,
@@ -470,7 +475,10 @@ mod tests {
             step_of(&Merge, &[false, true], &[&a, &b], &Value::Unit),
             Some(Value::Int(2))
         );
-        assert_eq!(step_of(&Merge, &[false, false], &[&a, &b], &Value::Unit), None);
+        assert_eq!(
+            step_of(&Merge, &[false, false], &[&a, &b], &Value::Unit),
+            None
+        );
     }
 
     #[test]
@@ -485,7 +493,10 @@ mod tests {
             step_of(&SampleOn, &[false, true], &[&tick, &data], &Value::Int(0)),
             None
         );
-        assert_eq!(SampleOn.default_value(&[Value::Unit, Value::Int(7)]), Value::Int(7));
+        assert_eq!(
+            SampleOn.default_value(&[Value::Unit, Value::Int(7)]),
+            Value::Int(7)
+        );
     }
 
     #[test]
@@ -495,12 +506,18 @@ mod tests {
             step_of(&keep, &[true], &[&Value::Int(3)], &Value::Int(0)),
             Some(Value::Int(3))
         );
-        assert_eq!(step_of(&keep, &[true], &[&Value::Int(-3)], &Value::Int(0)), None);
+        assert_eq!(
+            step_of(&keep, &[true], &[&Value::Int(-3)], &Value::Int(0)),
+            None
+        );
         assert_eq!(keep.default_value(&[Value::Int(-5)]), Value::Int(-1));
         assert_eq!(keep.default_value(&[Value::Int(5)]), Value::Int(5));
 
         let drop = KeepIf::drop(|v| v.as_int().unwrap_or(0) > 0, 0i64);
-        assert_eq!(step_of(&drop, &[true], &[&Value::Int(3)], &Value::Int(0)), None);
+        assert_eq!(
+            step_of(&drop, &[true], &[&Value::Int(3)], &Value::Int(0)),
+            None
+        );
         assert_eq!(
             step_of(&drop, &[true], &[&Value::Int(-3)], &Value::Int(0)),
             Some(Value::Int(-3))

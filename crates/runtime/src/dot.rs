@@ -31,7 +31,9 @@ pub fn to_dot(graph: &SignalGraph) -> String {
     let owner = graph.subgraph_owner();
     out.push_str("digraph signal_graph {\n");
     out.push_str("  rankdir=TB;\n");
-    out.push_str("  dispatcher [label=\"Global Event\\nDispatcher\", shape=ellipse, style=dashed];\n");
+    out.push_str(
+        "  dispatcher [label=\"Global Event\\nDispatcher\", shape=ellipse, style=dashed];\n",
+    );
 
     // Primary nodes first.
     for node in graph.nodes() {
@@ -70,7 +72,11 @@ pub fn to_dot(graph: &SignalGraph) -> String {
             }
             NodeKind::Async { inner } => {
                 let _ = writeln!(out, "  dispatcher -> {} [style=dashed];", node.id);
-                let _ = writeln!(out, "  {} -> {} [style=dotted, label=\"buffer\"];", inner, node.id);
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [style=dotted, label=\"buffer\"];",
+                    inner, node.id
+                );
             }
             NodeKind::Compute { .. } => {}
         }

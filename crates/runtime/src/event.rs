@@ -92,10 +92,7 @@ impl OutputEvent {
 /// Extracts only the changed values from a stream of output events — the
 /// sequence a user would actually see rendered.
 pub fn changed_values(events: &[OutputEvent]) -> Vec<Value> {
-    events
-        .iter()
-        .filter_map(|e| e.value().cloned())
-        .collect()
+    events.iter().filter_map(|e| e.value().cloned()).collect()
 }
 
 #[cfg(test)]

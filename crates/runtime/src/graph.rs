@@ -251,7 +251,13 @@ impl GraphBuilder {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, kind: NodeKind, parents: Vec<NodeId>, default: Value, label: String) -> NodeId {
+    fn push(
+        &mut self,
+        kind: NodeKind,
+        parents: Vec<NodeId>,
+        default: Value,
+        label: String,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         for p in &parents {
             assert!(
@@ -504,10 +510,20 @@ mod tests {
         let mut g = GraphBuilder::new();
         let words = g.input("words", Value::str(""));
         let to_french = g.lift1("toFrench", |v| v.clone(), words);
-        let word_pairs = g.lift2("(,)", |a, b| Value::pair(a.clone(), b.clone()), words, to_french);
+        let word_pairs = g.lift2(
+            "(,)",
+            |a, b| Value::pair(a.clone(), b.clone()),
+            words,
+            to_french,
+        );
         let async_pairs = g.async_source(word_pairs);
         let mouse = g.input("Mouse.position", Value::pair(Value::Int(0), Value::Int(0)));
-        let main = g.lift2("(,)", |a, b| Value::pair(a.clone(), b.clone()), async_pairs, mouse);
+        let main = g.lift2(
+            "(,)",
+            |a, b| Value::pair(a.clone(), b.clone()),
+            async_pairs,
+            mouse,
+        );
         let graph = g.finish(main).unwrap();
 
         assert_eq!(graph.async_sources(), vec![async_pairs]);

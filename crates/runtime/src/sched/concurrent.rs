@@ -252,7 +252,14 @@ impl ConcurrentRuntime {
                         std::thread::Builder::new()
                             .name(format!("sig-{label}"))
                             .spawn(move || {
-                                compute_loop(rxs, my_subs, behavior, parent_defaults, default, stats)
+                                compute_loop(
+                                    rxs,
+                                    my_subs,
+                                    behavior,
+                                    parent_defaults,
+                                    default,
+                                    stats,
+                                )
                             })
                             .expect("spawn compute thread"),
                     );
@@ -306,7 +313,12 @@ impl ConcurrentRuntime {
         if self.stopped {
             return Err(RunError::Stopped);
         }
-        if !self.input_ok.get(occ.source.index()).copied().unwrap_or(false) {
+        if !self
+            .input_ok
+            .get(occ.source.index())
+            .copied()
+            .unwrap_or(false)
+        {
             return Err(RunError::NotASource(occ.source));
         }
         if occ.payload.is_none() {
@@ -548,12 +560,7 @@ fn compute_loop(
                 let (seq, source) = (*seq, *source);
                 let mut changed = vec![false; msgs.len()];
                 for (i, m) in msgs.iter().enumerate() {
-                    let Msg::Step {
-                        seq: s2,
-                        prop,
-                        ..
-                    } = m
-                    else {
+                    let Msg::Step { seq: s2, prop, .. } = m else {
                         unreachable!("all edges deliver the same round kind in FIFO order");
                     };
                     debug_assert_eq!(*s2, seq, "edges must agree on the event round");
@@ -818,7 +825,10 @@ mod tests {
             .filter_map(|o| o.value())
             .map(|p| int(p.as_pair().unwrap().1))
             .collect();
-        assert!(ys.contains(&10), "async result must eventually appear: {ys:?}");
+        assert!(
+            ys.contains(&10),
+            "async result must eventually appear: {ys:?}"
+        );
         let _ = final_pair;
     }
 
@@ -854,10 +864,7 @@ mod tests {
         rt.feed(Occurrence::input(i, 2i64)).unwrap();
         rt.feed(Occurrence::input(i, 3i64)).unwrap();
         let second = rt.drain().unwrap();
-        assert_eq!(
-            changed_values(&second),
-            vec![Value::Int(2), Value::Int(3)]
-        );
+        assert_eq!(changed_values(&second), vec![Value::Int(2), Value::Int(3)]);
         rt.stop();
     }
 

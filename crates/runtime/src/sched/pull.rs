@@ -100,8 +100,11 @@ impl PullRuntime {
                 }
                 NodeKind::Compute { .. } => {
                     let flags = vec![true; node.parents.len()];
-                    let parent_vals: Vec<&Value> =
-                        node.parents.iter().map(|p| &self.values[p.index()]).collect();
+                    let parent_vals: Vec<&Value> = node
+                        .parents
+                        .iter()
+                        .map(|p| &self.values[p.index()])
+                        .collect();
                     let prev = self.values[idx].clone();
                     self.stats.record_computation();
                     let behavior = self.behaviors[idx]

@@ -51,6 +51,10 @@ pub struct SyncRuntime {
     next_seq: u64,
     stats: Arc<Stats>,
     memoize: bool,
+    /// Nodes whose behavior panicked: they emit `NoChange` from then on,
+    /// matching the concurrent scheduler's poisoning semantics so hosts
+    /// (e.g. the multi-session server) can detect and evict them.
+    poisoned: Vec<bool>,
 }
 
 impl SyncRuntime {
@@ -85,6 +89,7 @@ impl SyncRuntime {
             next_seq: 0,
             stats: Stats::new(),
             memoize,
+            poisoned: vec![false; graph.len()],
         }
     }
 
@@ -213,6 +218,13 @@ impl SyncRuntime {
                 }
                 NodeKind::Compute { .. } => {
                     self.stats.record_message();
+                    if self.poisoned[idx] {
+                        // A previous panic poisoned this node; it emits
+                        // NoChange forever (same as the concurrent
+                        // scheduler, which must keep its message protocol
+                        // alive).
+                        continue;
+                    }
                     let any_changed = node.parents.iter().any(|p| changed[p.index()]);
                     if self.memoize && !any_changed {
                         self.stats.record_memo_skip();
@@ -225,21 +237,36 @@ impl SyncRuntime {
                         // know which inputs changed; everything looks new.
                         vec![true; node.parents.len()]
                     };
-                    let parent_vals: Vec<&Value> =
-                        node.parents.iter().map(|p| &self.values[p.index()]).collect();
+                    let parent_vals: Vec<&Value> = node
+                        .parents
+                        .iter()
+                        .map(|p| &self.values[p.index()])
+                        .collect();
                     let prev = self.values[idx].clone();
                     self.stats.record_computation();
                     let behavior = self.behaviors[idx]
                         .as_mut()
                         .expect("compute nodes always have behaviors");
-                    let out = behavior.step(StepInputs {
-                        changed: &flags,
-                        values: &parent_vals,
-                        prev: &prev,
-                    });
-                    if let Some(v) = out {
-                        self.values[idx] = v;
-                        changed[idx] = true;
+                    // A panicking node function poisons the node rather
+                    // than tearing down the whole runtime — single-threaded
+                    // parity with the concurrent scheduler's behavior.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        behavior.step(StepInputs {
+                            changed: &flags,
+                            values: &parent_vals,
+                            prev: &prev,
+                        })
+                    }));
+                    match out {
+                        Ok(Some(v)) => {
+                            self.values[idx] = v;
+                            changed[idx] = true;
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            self.poisoned[idx] = true;
+                            self.stats.record_node_panic();
+                        }
                     }
                 }
             }
@@ -305,7 +332,12 @@ mod tests {
         let keys = g.input("Keyboard.lastPressed", 0i64);
         let mouse = g.input("Mouse.x", 0i64);
         let count = g.foldp("count", |_k, acc| Value::Int(int(acc) + 1), 0i64, keys);
-        let both = g.lift2("pair", |c, m| Value::pair(c.clone(), m.clone()), count, mouse);
+        let both = g.lift2(
+            "pair",
+            |c, m| Value::pair(c.clone(), m.clone()),
+            count,
+            mouse,
+        );
         let graph = g.finish(both).unwrap();
 
         let mut rt = SyncRuntime::new(&graph);
@@ -325,7 +357,12 @@ mod tests {
         let keys = g.input("keys", 0i64);
         let mouse = g.input("mouse", 0i64);
         let count = g.foldp("count", |_k, acc| Value::Int(int(acc) + 1), 0i64, keys);
-        let both = g.lift2("pair", |c, m| Value::pair(c.clone(), m.clone()), count, mouse);
+        let both = g.lift2(
+            "pair",
+            |c, m| Value::pair(c.clone(), m.clone()),
+            count,
+            mouse,
+        );
         let graph = g.finish(both).unwrap();
 
         let mut rt = SyncRuntime::with_memoization(&graph, false);
@@ -428,6 +465,31 @@ mod tests {
     }
 
     #[test]
+    fn panicking_node_is_poisoned_not_fatal() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let risky = g.lift1(
+            "risky",
+            |v| match v {
+                Value::Int(n) if *n < 0 => panic!("negative"),
+                v => v.clone(),
+            },
+            i,
+        );
+        let graph = g.finish(risky).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        rt.feed(Occurrence::input(i, 3i64)).unwrap();
+        rt.feed(Occurrence::input(i, -1i64)).unwrap();
+        rt.feed(Occurrence::input(i, 9i64)).unwrap();
+        let outs = rt.run_to_quiescence();
+        // The panic becomes NoChange; the node never computes again.
+        assert_eq!(changed_values(&outs), vec![Value::Int(3)]);
+        assert_eq!(rt.stats().node_panics(), 1);
+        assert_eq!(rt.value(risky), &Value::Int(3));
+    }
+
+    #[test]
     fn drop_repeats_and_keep_if_interact_with_memoization() {
         let mut g = GraphBuilder::new();
         let i = g.input("i", 0i64);
@@ -439,9 +501,6 @@ mod tests {
         let trace = [2i64, 2, 4, 5, 5, 6].map(|v| Occurrence::input(i, v));
         let outs = SyncRuntime::run_trace(&graph, trace).unwrap();
         // Changes reaching the counter: 2, 4, 6  (dup 2 and 5s filtered).
-        assert_eq!(
-            changed_values(&outs).last(),
-            Some(&Value::Int(3))
-        );
+        assert_eq!(changed_values(&outs).last(), Some(&Value::Int(3)));
     }
 }

@@ -131,7 +131,10 @@ impl Trace {
     /// Panics if `at_ms` goes backwards.
     pub fn push(&mut self, at_ms: u64, input: impl Into<String>, value: PlainValue) {
         if let Some(last) = self.events.last() {
-            assert!(last.at_ms <= at_ms, "trace timestamps must be nondecreasing");
+            assert!(
+                last.at_ms <= at_ms,
+                "trace timestamps must be nondecreasing"
+            );
         }
         self.events.push(TraceEvent {
             at_ms,

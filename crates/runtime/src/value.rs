@@ -78,7 +78,10 @@ impl Value {
 
     /// Builds a tagged union value (a constructor application).
     pub fn tagged(tag: impl AsRef<str>, args: impl IntoIterator<Item = Value>) -> Self {
-        Value::Tagged(Arc::from(tag.as_ref()), Arc::new(args.into_iter().collect()))
+        Value::Tagged(
+            Arc::from(tag.as_ref()),
+            Arc::new(args.into_iter().collect()),
+        )
     }
 
     /// Returns the tag and arguments, if this is a `Tagged` value.

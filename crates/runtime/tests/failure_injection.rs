@@ -10,7 +10,11 @@ use elm_runtime::{
     changed_values, ConcurrentRuntime, GraphBuilder, Occurrence, SyncRuntime, Value,
 };
 
-fn poison_graph() -> (elm_runtime::SignalGraph, elm_runtime::NodeId, elm_runtime::NodeId) {
+fn poison_graph() -> (
+    elm_runtime::SignalGraph,
+    elm_runtime::NodeId,
+    elm_runtime::NodeId,
+) {
     let mut g = GraphBuilder::new();
     let a = g.input("a", 0i64);
     let b = g.input("b", 0i64);
@@ -54,14 +58,8 @@ fn panicking_node_poisons_but_does_not_deadlock() {
     // 13-event yields NoChange overall. Event 2: fragile poisoned →
     // NoChange. Event b=5: join recomputes with last good fragile value.
     assert_eq!(vals.len(), 2, "{vals:?}");
-    assert_eq!(
-        vals[0],
-        Value::pair(Value::Int(2), Value::Int(100))
-    );
-    assert_eq!(
-        vals[1],
-        Value::pair(Value::Int(2), Value::Int(105))
-    );
+    assert_eq!(vals[0], Value::pair(Value::Int(2), Value::Int(100)));
+    assert_eq!(vals[1], Value::pair(Value::Int(2), Value::Int(105)));
     assert_eq!(rt.stats().node_panics(), 1);
     rt.stop();
 
@@ -69,16 +67,29 @@ fn panicking_node_poisons_but_does_not_deadlock() {
 }
 
 #[test]
-fn sync_runtime_panics_surface_to_the_caller() {
-    // The single-threaded scheduler propagates the panic directly — the
-    // caller is on the same stack and should see it.
-    let (graph, a, _b) = poison_graph();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        let mut rt = SyncRuntime::new(&graph);
-        rt.feed(Occurrence::input(a, 13i64)).unwrap();
-        rt.run_to_quiescence();
-    }));
-    assert!(result.is_err(), "sync scheduler surfaces the panic");
+fn sync_runtime_poisons_like_the_concurrent_one() {
+    // Both schedulers share the poisoning policy, so hosts that run many
+    // programs on the synchronous engine (the multi-session server) can
+    // detect a crashed node via stats and evict the session instead of
+    // dying with it.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let (graph, a, b) = poison_graph();
+    let mut rt = SyncRuntime::new(&graph);
+    rt.feed(Occurrence::input(a, 1i64)).unwrap();
+    rt.feed(Occurrence::input(a, 13i64)).unwrap(); // boom
+    rt.feed(Occurrence::input(a, 2i64)).unwrap(); // poisoned: ignored
+    rt.feed(Occurrence::input(b, 5i64)).unwrap(); // unaffected branch
+    let vals = changed_values(&rt.run_to_quiescence());
+
+    // Same observable sequence as the concurrent scheduler's test above.
+    assert_eq!(vals.len(), 2, "{vals:?}");
+    assert_eq!(vals[0], Value::pair(Value::Int(2), Value::Int(100)));
+    assert_eq!(vals[1], Value::pair(Value::Int(2), Value::Int(105)));
+    assert_eq!(rt.stats().node_panics(), 1);
+
+    std::panic::set_hook(prev_hook);
 }
 
 #[test]
@@ -105,7 +116,9 @@ fn poisoned_async_subgraph_still_quiesces() {
     rt.feed(Occurrence::input(i, 13i64)).unwrap(); // poisons the secondary subgraph
     rt.feed(Occurrence::input(mouse, 1i64)).unwrap();
     rt.feed(Occurrence::input(mouse, 2i64)).unwrap();
-    let outs = rt.drain().expect("quiesces with a poisoned secondary subgraph");
+    let outs = rt
+        .drain()
+        .expect("quiesces with a poisoned secondary subgraph");
     let vals = changed_values(&outs);
     assert_eq!(vals.len(), 2);
     assert_eq!(rt.stats().node_panics(), 1);

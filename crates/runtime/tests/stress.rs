@@ -44,12 +44,7 @@ fn async_diamond_stays_aligned() {
     let fast = g.lift1("fast", |v| v.clone(), i);
     let slow_inner = g.lift1("slow", |v| Value::Int(v.as_int().unwrap() * 100), i);
     let slow = g.async_source(slow_inner);
-    let join = g.lift2(
-        "join",
-        |a, b| Value::pair(a.clone(), b.clone()),
-        fast,
-        slow,
-    );
+    let join = g.lift2("join", |a, b| Value::pair(a.clone(), b.clone()), fast, slow);
     let graph = g.finish(join).unwrap();
 
     let trace: Vec<_> = (1..=30).map(|k| Occurrence::input(i, k as i64)).collect();

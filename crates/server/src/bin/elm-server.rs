@@ -1,0 +1,66 @@
+//! The `elm-server` daemon: hosts FRP sessions over TCP.
+//!
+//! ```text
+//! elm-server [--addr 127.0.0.1:7878] [--shards N] [--queue N]
+//!            [--policy block|drop-oldest|coalesce] [--idle-ms N]
+//! ```
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use elm_server::{net, BackpressurePolicy, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: elm-server [--addr HOST:PORT] [--shards N] [--queue N] \
+         [--policy block|drop-oldest|coalesce] [--idle-ms N]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--shards" => config.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => {
+                config.session.queue_capacity = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--policy" => {
+                config.session.policy =
+                    BackpressurePolicy::parse(&value()).unwrap_or_else(|| usage())
+            }
+            "--idle-ms" => {
+                config.idle_timeout = Some(Duration::from_millis(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("elm-server: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    let server = Arc::new(Server::start(config));
+    println!(
+        "elm-server listening on {addr} ({} shards, queue {}, policy {})",
+        config.shards,
+        config.session.queue_capacity,
+        config.session.policy.label()
+    );
+    println!("builtin programs: {}", server.registry().names().join(", "));
+    net::serve(server, listener);
+}

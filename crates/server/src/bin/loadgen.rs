@@ -1,0 +1,271 @@
+//! Load generator: drives M concurrent sessions with simulator traces
+//! and reports throughput, ingest-to-output latency percentiles, and a
+//! per-session isolation check against single-session synchronous
+//! replay.
+//!
+//! ```text
+//! loadgen [--sessions M] [--events N] [--program NAME] [--shards N]
+//!         [--queue N] [--policy P] [--seed S] [--out BENCH_server.json]
+//! ```
+//!
+//! `--events` is per session; the default workload is 64 sessions ×
+//! 10000 events of mixed mouse/keyboard/timer traffic, each session on
+//! its own deterministic seed.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use elm_environment::Simulator;
+use elm_runtime::{PlainValue, Trace};
+use elm_server::{BackpressurePolicy, ProgramSpec, Server, ServerConfig};
+use elm_signals::{Engine, Program};
+use serde_json::Value as Json;
+
+const BATCH: usize = 64;
+
+struct Args {
+    sessions: usize,
+    events: usize,
+    program: String,
+    shards: usize,
+    queue: usize,
+    policy: BackpressurePolicy,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 64,
+            events: 10_000,
+            program: "dashboard".to_string(),
+            shards: ServerConfig::default().shards,
+            queue: 1024,
+            policy: BackpressurePolicy::Block,
+            seed: 42,
+            out: "BENCH_server.json".to_string(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--sessions M] [--events N] [--program NAME] [--shards N] \
+         [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--sessions" => a.sessions = value().parse().unwrap_or_else(|_| usage()),
+            "--events" => a.events = value().parse().unwrap_or_else(|_| usage()),
+            "--program" => a.program = value(),
+            "--shards" => a.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => a.queue = value().parse().unwrap_or_else(|_| usage()),
+            "--policy" => a.policy = BackpressurePolicy::parse(&value()).unwrap_or_else(|| usage()),
+            "--seed" => a.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = value(),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    a
+}
+
+/// Replays `trace` through a fresh single-session synchronous runtime,
+/// skipping inputs the program does not declare — exactly the events the
+/// server admits — and returns the final output value.
+fn sync_replay(server: &Server, program: &str, trace: &Trace) -> PlainValue {
+    let (_, graph) = server
+        .registry()
+        .resolve(ProgramSpec::Builtin(program))
+        .expect("program resolved once already");
+    let mut running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+    for e in &trace.events {
+        if graph.input_named(&e.input).is_some() {
+            running
+                .send_named(&e.input, e.value.to_value())
+                .expect("replay event");
+        }
+    }
+    running.drain_raw().expect("replay drain");
+    PlainValue::from_value(running.current()).expect("replay value is plain")
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "loadgen: {} sessions x {} events, program '{}', {} shards, queue {}, policy {}",
+        args.sessions,
+        args.events,
+        args.program,
+        args.shards,
+        args.queue,
+        args.policy.label()
+    );
+
+    let traces = Simulator::fan_out(args.seed, args.sessions, args.events);
+    let server = Arc::new(Server::start(ServerConfig {
+        shards: args.shards,
+        session: elm_server::SessionConfig {
+            queue_capacity: args.queue,
+            policy: args.policy,
+        },
+        idle_timeout: None,
+    }));
+
+    let mut session_ids = Vec::with_capacity(args.sessions);
+    for _ in 0..args.sessions {
+        let info = server
+            .open(ProgramSpec::Builtin(&args.program), None, None)
+            .unwrap_or_else(|e| {
+                eprintln!("loadgen: open failed: {e}");
+                exit(1);
+            });
+        session_ids.push(info.session);
+    }
+
+    // Concurrent ingest: one driver thread per session, batching events
+    // and then waiting for the session's queue to drain.
+    let started = Instant::now();
+    let mut drivers = Vec::with_capacity(args.sessions);
+    for (i, &session) in session_ids.iter().enumerate() {
+        let server = Arc::clone(&server);
+        let trace = traces[i].clone();
+        drivers.push(thread::spawn(move || {
+            let events: Vec<(String, PlainValue)> = trace
+                .events
+                .into_iter()
+                .map(|e| (e.input, e.value))
+                .collect();
+            for chunk in events.chunks(BATCH) {
+                server.batch(session, chunk).expect("batch");
+            }
+            while server.query(session).expect("query").queue_len > 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().expect("driver thread");
+    }
+    let elapsed = started.elapsed();
+
+    let (global, per_session) = server.stats();
+    let total_events = (args.sessions * args.events) as f64;
+    let events_per_sec = total_events / elapsed.as_secs_f64();
+
+    // Isolation check: each session's final value must equal a
+    // single-session synchronous replay of its own trace.
+    let mut mismatches = 0usize;
+    for (i, &session) in session_ids.iter().enumerate() {
+        let served = server.query(session).expect("final query").value;
+        let replayed = sync_replay(&server, &args.program, &traces[i]);
+        if served != replayed {
+            mismatches += 1;
+            eprintln!(
+                "loadgen: ISOLATION MISMATCH session {session}: served {served:?} != replay {replayed:?}"
+            );
+        }
+    }
+    let isolation = if mismatches == 0 { "OK" } else { "FAILED" };
+
+    println!(
+        "sessions={} events/session={} total={}",
+        args.sessions, args.events, total_events as u64
+    );
+    println!(
+        "elapsed={:.3}s throughput={:.0} events/sec",
+        elapsed.as_secs_f64(),
+        events_per_sec
+    );
+    println!(
+        "ingest-to-output latency: p50={}us p90={}us p99={}us max={}us ({} samples)",
+        global.latency.p50_us,
+        global.latency.p90_us,
+        global.latency.p99_us,
+        global.latency.max_us,
+        global.latency.count
+    );
+    println!(
+        "ingress: enqueued={} ignored={} dropped={} coalesced={}",
+        global.ingress.enqueued,
+        global.ingress.ignored,
+        global.ingress.dropped,
+        global.ingress.coalesced
+    );
+    println!(
+        "runtime: events={} computations={} memo_skips={}",
+        global.runtime.events, global.runtime.computations, global.runtime.memo_skips
+    );
+    println!("per-session isolation check = {isolation}");
+
+    let report = Json::Map(vec![
+        (
+            "benchmark".to_string(),
+            Json::Str("server-loadgen".to_string()),
+        ),
+        ("program".to_string(), Json::Str(args.program.clone())),
+        ("sessions".to_string(), Json::U64(args.sessions as u64)),
+        (
+            "events_per_session".to_string(),
+            Json::U64(args.events as u64),
+        ),
+        ("shards".to_string(), Json::U64(args.shards as u64)),
+        ("queue_capacity".to_string(), Json::U64(args.queue as u64)),
+        (
+            "policy".to_string(),
+            Json::Str(args.policy.label().to_string()),
+        ),
+        ("seed".to_string(), Json::U64(args.seed)),
+        ("elapsed_s".to_string(), Json::F64(elapsed.as_secs_f64())),
+        ("events_per_sec".to_string(), Json::F64(events_per_sec)),
+        (
+            "latency_p50_us".to_string(),
+            Json::U64(global.latency.p50_us),
+        ),
+        (
+            "latency_p90_us".to_string(),
+            Json::U64(global.latency.p90_us),
+        ),
+        (
+            "latency_p99_us".to_string(),
+            Json::U64(global.latency.p99_us),
+        ),
+        (
+            "latency_max_us".to_string(),
+            Json::U64(global.latency.max_us),
+        ),
+        (
+            "latency_samples".to_string(),
+            Json::U64(global.latency.count),
+        ),
+        (
+            "global".to_string(),
+            serde_json::to_value(&global).expect("stats serialize"),
+        ),
+        ("isolation".to_string(), Json::Str(isolation.to_string())),
+    ]);
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
+    if let Err(e) = std::fs::write(&args.out, pretty + "\n") {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+    } else {
+        eprintln!("loadgen: wrote {}", args.out);
+    }
+
+    let _ = per_session;
+    if let Ok(s) = Arc::try_unwrap(server) {
+        s.shutdown();
+    }
+    if mismatches > 0 {
+        exit(1);
+    }
+}

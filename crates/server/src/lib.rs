@@ -1,0 +1,37 @@
+//! elm-server — a multi-session signal server.
+//!
+//! The paper's runtime executes *one* FRP program against *one* event
+//! stream. This crate scales that out: a [`server::Server`] hosts many
+//! concurrent program instances (sessions), each an isolated signal
+//! graph on the deterministic synchronous engine, pinned actor-style to
+//! a shard worker thread. A newline-delimited JSON protocol
+//! ([`protocol`]) exposes the whole lifecycle over TCP ([`net`]):
+//! `open` (builtin from the [`registry::Registry`] or ad-hoc FElm source
+//! compiled by `felm`), `event` / `batch` ingress with configurable
+//! backpressure ([`protocol::BackpressurePolicy`]), `query`,
+//! `subscribe` (streamed output changes), `stats`, and `close`.
+//!
+//! Isolation is the core guarantee: a session's outputs depend only on
+//! its own event stream, so N sessions fed concurrently produce exactly
+//! what N single-program synchronous replays would — the property the
+//! `loadgen` binary checks end to end. Sessions that idle past the
+//! configured timeout, or whose nodes panic (poisoning, paper §3.3.2),
+//! are evicted gracefully rather than wedging their shard.
+
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+pub mod shard;
+
+pub use protocol::{
+    BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary, OpenInfo,
+    QueryInfo, Request, ServerStats, SessionStats, Update,
+};
+pub use registry::{ProgramSpec, Registry};
+pub use server::{Server, ServerConfig};
+pub use session::{Session, SessionConfig, SessionId};
+pub use shard::{Command, ShardCounters, ShardHandle, ShardStats};

@@ -1,0 +1,148 @@
+//! TCP front end: newline-delimited JSON over a socket.
+//!
+//! One reader thread per connection parses request lines and dispatches
+//! to the shared [`Server`]; one writer thread serializes replies and
+//! subscription pushes from an outbound channel, so streamed updates
+//! interleave safely with request/reply traffic on the same socket.
+//!
+//! Try it with `nc` (see the README quick-start):
+//!
+//! ```text
+//! $ echo '{"cmd":"open","program":"counter"}' | nc localhost 7878
+//! {"ok":true,"session":0,"program":"counter","inputs":["Mouse.clicks"],"initial":{"Int":0}}
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::{self, Sender};
+
+use crate::protocol::{self, Request};
+use crate::registry::ProgramSpec;
+use crate::server::Server;
+
+/// Accepts connections forever, one handler thread per client.
+pub fn serve(server: Arc<Server>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let server = Arc::clone(&server);
+                thread::spawn(move || handle_client(server, stream));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Runs one client connection to completion (EOF or socket error).
+pub fn handle_client(server: Arc<Server>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = channel::unbounded::<String>();
+    let mut write_half = stream;
+    let writer = thread::spawn(move || {
+        for line in out_rx.iter() {
+            if write_half
+                .write_all(line.as_bytes())
+                .and_then(|()| write_half.write_all(b"\n"))
+                .and_then(|()| write_half.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let reply = dispatch(&server, line, &out_tx);
+        if out_tx.send(reply).is_err() {
+            break;
+        }
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+fn dispatch(server: &Arc<Server>, line: &str, out: &Sender<String>) -> String {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return protocol::err_line(&e),
+    };
+    match request {
+        Request::Open {
+            program,
+            source,
+            queue,
+            policy,
+        } => {
+            let spec = match (&program, &source) {
+                (Some(p), None) => ProgramSpec::Builtin(p),
+                (None, Some(s)) => ProgramSpec::Source(s),
+                _ => {
+                    return protocol::err_line(
+                        "open needs exactly one of \"program\" or \"source\"",
+                    )
+                }
+            };
+            match server.open(spec, queue, policy) {
+                Ok(info) => protocol::opened_line(&info),
+                Err(e) => protocol::err_line(&e),
+            }
+        }
+        Request::Event {
+            session,
+            input,
+            value,
+        } => match server.event(session, &input, value) {
+            Ok(outcome) => protocol::event_line(outcome),
+            Err(e) => protocol::err_line(&e),
+        },
+        Request::Batch { session, events } => match server.batch(session, &events) {
+            Ok(outcome) => protocol::batch_line(&outcome),
+            Err(e) => protocol::err_line(&e),
+        },
+        Request::Query { session } => match server.query(session) {
+            Ok(info) => protocol::query_line(&info),
+            Err(e) => protocol::err_line(&e),
+        },
+        Request::Subscribe { session } => match server.subscribe(session) {
+            Ok(rx) => {
+                // Forward updates until the session closes or the client
+                // goes away; the writer thread owns actual socket I/O.
+                let out = out.clone();
+                thread::spawn(move || {
+                    for update in rx.iter() {
+                        if out.send(protocol::update_line(&update)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                protocol::subscribed_line(session)
+            }
+            Err(e) => protocol::err_line(&e),
+        },
+        Request::Stats { session } => match session {
+            Some(id) => match server.session_stats(id) {
+                Ok(stats) => protocol::session_stats_line(&stats),
+                Err(e) => protocol::err_line(&e),
+            },
+            None => {
+                let (global, sessions) = server.stats();
+                protocol::stats_line(&global, &sessions)
+            }
+        },
+        Request::Close { session } => match server.close(session) {
+            Ok(()) => protocol::closed_line(session),
+            Err(e) => protocol::err_line(&e),
+        },
+    }
+}

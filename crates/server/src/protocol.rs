@@ -1,0 +1,622 @@
+//! The wire vocabulary: requests, replies, and pushed updates.
+//!
+//! The protocol is newline-delimited JSON (NDJSON) over TCP. Every request
+//! is one JSON object on one line with a `"cmd"` field; every request gets
+//! exactly one reply line with an `"ok"` field. A `subscribe` additionally
+//! streams `{"update": …}` lines as the session's output signal changes.
+//!
+//! Values on the wire reuse [`PlainValue`]'s serde shape (externally
+//! tagged): `{"Int":5}`, `"Unit"`, `{"Pair":[{"Int":1},{"Int":2}]}` — the
+//! same encoding `elm-runtime` traces use on disk, so recorded traces can
+//! be replayed over the wire verbatim.
+
+use elm_runtime::{PlainValue, StatsSnapshot};
+use serde_json::Value as Json;
+
+/// One client → server command, decoded from a JSON line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Instantiate a program as a new session. Exactly one of `program`
+    /// (a registry name) or `source` (FElm source text) must be set.
+    Open {
+        /// Builtin program name from the registry.
+        program: Option<String>,
+        /// FElm source to compile (`main = …`).
+        source: Option<String>,
+        /// Ingress queue capacity override.
+        queue: Option<usize>,
+        /// Backpressure policy override.
+        policy: Option<BackpressurePolicy>,
+    },
+    /// One input event for a session.
+    Event {
+        /// Target session.
+        session: u64,
+        /// Input signal name, e.g. `"Mouse.x"`.
+        input: String,
+        /// The new value.
+        value: PlainValue,
+    },
+    /// Many input events for a session, enqueued in order.
+    Batch {
+        /// Target session.
+        session: u64,
+        /// `(input, value)` pairs in delivery order.
+        events: Vec<(String, PlainValue)>,
+    },
+    /// Read a session's current output value and queue depth.
+    Query {
+        /// Target session.
+        session: u64,
+    },
+    /// Stream the session's output changes as `{"update": …}` lines.
+    Subscribe {
+        /// Target session.
+        session: u64,
+    },
+    /// Per-session (with `session`) or global (without) counters.
+    Stats {
+        /// Restrict to one session.
+        session: Option<u64>,
+    },
+    /// Tear a session down.
+    Close {
+        /// Target session.
+        session: u64,
+    },
+}
+
+/// What to do when a session's bounded ingress queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Pump the session synchronously to make room — the producer's
+    /// request does not complete until the queue has drained, so a slow
+    /// session slows its own clients rather than losing events.
+    #[default]
+    Block,
+    /// Drop the oldest queued event to admit the new one.
+    DropOldest,
+    /// Replace the newest queued event *on the same input signal* with the
+    /// new value (falling back to drop-oldest if no such event is queued).
+    /// Right for absolute-state signals like `Mouse.position` where only
+    /// the latest value matters.
+    Coalesce,
+}
+
+impl BackpressurePolicy {
+    /// Parses the wire spelling (`"block"`, `"drop-oldest"`, `"coalesce"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(BackpressurePolicy::Block),
+            "drop-oldest" | "drop_oldest" => Some(BackpressurePolicy::DropOldest),
+            "coalesce" => Some(BackpressurePolicy::Coalesce),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::DropOldest => "drop-oldest",
+            BackpressurePolicy::Coalesce => "coalesce",
+        }
+    }
+}
+
+/// What happened to one submitted event at the ingress queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued normally.
+    Accepted,
+    /// Queued, at the cost of evicting the oldest queued event.
+    DroppedOldest,
+    /// Merged into an already-queued event on the same input.
+    Coalesced,
+    /// Not queued: the session's program does not declare this input (or
+    /// the session is poisoned and awaiting eviction).
+    Ignored,
+}
+
+impl EnqueueOutcome {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnqueueOutcome::Accepted => "accepted",
+            EnqueueOutcome::DroppedOldest => "dropped-oldest",
+            EnqueueOutcome::Coalesced => "coalesced",
+            EnqueueOutcome::Ignored => "ignored",
+        }
+    }
+}
+
+/// Per-category tally for a batch submission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct BatchOutcome {
+    /// Events queued (including those that evicted an older event).
+    pub accepted: u64,
+    /// Older events evicted to admit new ones.
+    pub dropped: u64,
+    /// Events merged into already-queued ones.
+    pub coalesced: u64,
+    /// Events skipped for undeclared inputs.
+    pub ignored: u64,
+}
+
+impl BatchOutcome {
+    /// Folds one event's outcome into the tally.
+    pub fn record(&mut self, outcome: EnqueueOutcome) {
+        match outcome {
+            EnqueueOutcome::Accepted => self.accepted += 1,
+            EnqueueOutcome::DroppedOldest => {
+                self.accepted += 1;
+                self.dropped += 1;
+            }
+            EnqueueOutcome::Coalesced => self.coalesced += 1,
+            EnqueueOutcome::Ignored => self.ignored += 1,
+        }
+    }
+}
+
+/// Reply to a successful `open`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct OpenInfo {
+    /// The new session's id.
+    pub session: u64,
+    /// Resolved program name (`"<source>"` for ad-hoc source).
+    pub program: String,
+    /// Input signal names the program declares — events on any other
+    /// input are ignored (and counted).
+    pub inputs: Vec<String>,
+    /// The output's initial value, before any event.
+    pub initial: PlainValue,
+}
+
+/// Reply to `query`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct QueryInfo {
+    /// The session id.
+    pub session: u64,
+    /// Resolved program name.
+    pub program: String,
+    /// The output signal's current value.
+    pub value: PlainValue,
+    /// Events waiting in the ingress queue.
+    pub queue_len: u64,
+    /// True once a node panicked; the session is about to be evicted.
+    pub poisoned: bool,
+}
+
+/// Ingress-side counters for one session (or summed across sessions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct IngressStats {
+    /// Events admitted to the queue.
+    pub enqueued: u64,
+    /// Oldest-event evictions under pressure.
+    pub dropped: u64,
+    /// Same-signal merges under pressure.
+    pub coalesced: u64,
+    /// Events on undeclared inputs.
+    pub ignored: u64,
+    /// Pump cycles executed.
+    pub pumps: u64,
+    /// Output changes produced.
+    pub events_out: u64,
+    /// Current queue depth.
+    pub queue_len: u64,
+    /// Live subscribers.
+    pub subscribers: u64,
+}
+
+impl IngressStats {
+    /// Counter-wise sum, mirroring [`StatsSnapshot::merged`].
+    pub fn merged(&self, other: &IngressStats) -> IngressStats {
+        IngressStats {
+            enqueued: self.enqueued + other.enqueued,
+            dropped: self.dropped + other.dropped,
+            coalesced: self.coalesced + other.coalesced,
+            ignored: self.ignored + other.ignored,
+            pumps: self.pumps + other.pumps,
+            events_out: self.events_out + other.events_out,
+            queue_len: self.queue_len + other.queue_len,
+            subscribers: self.subscribers + other.subscribers,
+        }
+    }
+}
+
+/// Ingest-to-output latency percentiles, in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct LatencySummary {
+    /// Samples measured.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (sorts `samples` in place).
+    pub fn compute(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let pick = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        LatencySummary {
+            count: samples.len() as u64,
+            p50_us: pick(0.50),
+            p90_us: pick(0.90),
+            p99_us: pick(0.99),
+            max_us: *samples.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Everything the server knows about one session's execution.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct SessionStats {
+    /// The session id.
+    pub session: u64,
+    /// Resolved program name.
+    pub program: String,
+    /// Scheduler counters from the session's runtime.
+    pub runtime: StatsSnapshot,
+    /// Ingress-queue counters.
+    pub ingress: IngressStats,
+    /// Ingest-to-output latency.
+    pub latency: LatencySummary,
+    /// True once a node panicked.
+    pub poisoned: bool,
+}
+
+/// Aggregated view across the whole server.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct ServerStats {
+    /// Sessions currently hosted.
+    pub sessions_live: u64,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions closed by request.
+    pub closed: u64,
+    /// Sessions evicted for idling past the timeout.
+    pub evicted_idle: u64,
+    /// Sessions evicted after a node panic.
+    pub evicted_poisoned: u64,
+    /// Runtime counters summed over live sessions.
+    pub runtime: StatsSnapshot,
+    /// Ingress counters summed over live sessions.
+    pub ingress: IngressStats,
+    /// Latency over all live sessions' samples.
+    pub latency: LatencySummary,
+}
+
+/// One server → subscriber push.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Update {
+    /// The session's output signal changed.
+    Changed {
+        /// Which session.
+        session: u64,
+        /// Monotonic per-session change counter.
+        seq: u64,
+        /// The new output value.
+        value: PlainValue,
+    },
+    /// The session is gone; no further updates will arrive.
+    Closed {
+        /// Which session.
+        session: u64,
+        /// `"closed"`, `"idle"`, `"poisoned"`, or `"shutdown"`.
+        reason: String,
+    },
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn as_u64(j: &Json) -> Option<u64> {
+    match j {
+        Json::U64(n) => Some(*n),
+        Json::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn req_u64(json: &Json, name: &str) -> Result<u64, String> {
+    json.get(name)
+        .and_then(as_u64)
+        .ok_or_else(|| format!("missing or non-integer field \"{name}\""))
+}
+
+fn opt_str(json: &Json, name: &str) -> Option<String> {
+    json.get(name).and_then(Json::as_str).map(str::to_string)
+}
+
+fn plain_value(json: &Json, name: &str) -> Result<PlainValue, String> {
+    let v = json
+        .get(name)
+        .ok_or_else(|| format!("missing field \"{name}\""))?;
+    serde_json::from_value(v.clone()).map_err(|e| format!("bad \"{name}\": {e}"))
+}
+
+impl Request {
+    /// Decodes one NDJSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, an unknown
+    /// `cmd`, or missing/mistyped fields.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let json: Json = serde_json::from_str(line).map_err(|e| format!("bad json: {e}"))?;
+        let cmd = json
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"cmd\"")?;
+        match cmd {
+            "open" => {
+                let policy = match opt_str(&json, "policy") {
+                    None => None,
+                    Some(p) => Some(BackpressurePolicy::parse(&p).ok_or_else(|| {
+                        format!("unknown policy '{p}' (block | drop-oldest | coalesce)")
+                    })?),
+                };
+                Ok(Request::Open {
+                    program: opt_str(&json, "program"),
+                    source: opt_str(&json, "source"),
+                    queue: json.get("queue").and_then(as_u64).map(|n| n as usize),
+                    policy,
+                })
+            }
+            "event" => Ok(Request::Event {
+                session: req_u64(&json, "session")?,
+                input: opt_str(&json, "input").ok_or("missing string field \"input\"")?,
+                value: plain_value(&json, "value")?,
+            }),
+            "batch" => {
+                let session = req_u64(&json, "session")?;
+                let raw = json
+                    .get("events")
+                    .and_then(Json::as_seq)
+                    .ok_or("missing array field \"events\"")?;
+                let mut events = Vec::with_capacity(raw.len());
+                for e in raw {
+                    events.push((
+                        opt_str(e, "input").ok_or("batch event missing \"input\"")?,
+                        plain_value(e, "value")?,
+                    ));
+                }
+                Ok(Request::Batch { session, events })
+            }
+            "query" => Ok(Request::Query {
+                session: req_u64(&json, "session")?,
+            }),
+            "subscribe" => Ok(Request::Subscribe {
+                session: req_u64(&json, "session")?,
+            }),
+            "stats" => Ok(Request::Stats {
+                session: json.get("session").and_then(as_u64),
+            }),
+            "close" => Ok(Request::Close {
+                session: req_u64(&json, "session")?,
+            }),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+}
+
+fn line(json: Json) -> String {
+    serde_json::to_string(&json).expect("response serialization is infallible")
+}
+
+/// `{"ok":false,"error":…}` — the reply for any failed request.
+pub fn err_line(msg: &str) -> String {
+    line(obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.to_string())),
+    ]))
+}
+
+fn ok_with(mut fields: Vec<(&str, Json)>) -> String {
+    fields.insert(0, ("ok", Json::Bool(true)));
+    line(obj(fields))
+}
+
+fn to_json<T: serde::Serialize>(v: &T) -> Json {
+    serde_json::to_value(v).expect("response serialization is infallible")
+}
+
+/// Reply for `open`.
+pub fn opened_line(info: &OpenInfo) -> String {
+    ok_with(vec![
+        ("session", Json::U64(info.session)),
+        ("program", Json::Str(info.program.clone())),
+        (
+            "inputs",
+            Json::Seq(info.inputs.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("initial", to_json(&info.initial)),
+    ])
+}
+
+/// Reply for `event`.
+pub fn event_line(outcome: EnqueueOutcome) -> String {
+    ok_with(vec![("outcome", Json::Str(outcome.label().to_string()))])
+}
+
+/// Reply for `batch`.
+pub fn batch_line(outcome: &BatchOutcome) -> String {
+    ok_with(vec![("outcome", to_json(outcome))])
+}
+
+/// Reply for `query`.
+pub fn query_line(info: &QueryInfo) -> String {
+    ok_with(vec![
+        ("session", Json::U64(info.session)),
+        ("program", Json::Str(info.program.clone())),
+        ("value", to_json(&info.value)),
+        ("queue_len", Json::U64(info.queue_len)),
+        ("poisoned", Json::Bool(info.poisoned)),
+    ])
+}
+
+/// Reply for `subscribe` (updates then stream separately).
+pub fn subscribed_line(session: u64) -> String {
+    ok_with(vec![("subscribed", Json::U64(session))])
+}
+
+/// Reply for `close`.
+pub fn closed_line(session: u64) -> String {
+    ok_with(vec![("closed", Json::U64(session))])
+}
+
+/// Reply for global `stats`.
+pub fn stats_line(global: &ServerStats, sessions: &[SessionStats]) -> String {
+    ok_with(vec![
+        ("global", to_json(global)),
+        (
+            "sessions",
+            Json::Seq(sessions.iter().map(to_json).collect()),
+        ),
+    ])
+}
+
+/// Reply for per-session `stats`.
+pub fn session_stats_line(stats: &SessionStats) -> String {
+    ok_with(vec![("stats", to_json(stats))])
+}
+
+/// An asynchronous `{"update":…}` push line.
+pub fn update_line(update: &Update) -> String {
+    match update {
+        Update::Changed {
+            session,
+            seq,
+            value,
+        } => line(obj(vec![
+            ("update", Json::Str("changed".to_string())),
+            ("session", Json::U64(*session)),
+            ("seq", Json::U64(*seq)),
+            ("value", to_json(value)),
+        ])),
+        Update::Closed { session, reason } => line(obj(vec![
+            ("update", Json::Str("closed".to_string())),
+            ("session", Json::U64(*session)),
+            ("reason", Json::Str(reason.clone())),
+        ])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_command_set() {
+        let open =
+            Request::parse(r#"{"cmd":"open","program":"counter","queue":8,"policy":"coalesce"}"#)
+                .unwrap();
+        assert_eq!(
+            open,
+            Request::Open {
+                program: Some("counter".to_string()),
+                source: None,
+                queue: Some(8),
+                policy: Some(BackpressurePolicy::Coalesce),
+            }
+        );
+
+        let event =
+            Request::parse(r#"{"cmd":"event","session":3,"input":"Mouse.x","value":{"Int":7}}"#)
+                .unwrap();
+        assert_eq!(
+            event,
+            Request::Event {
+                session: 3,
+                input: "Mouse.x".to_string(),
+                value: PlainValue::Int(7),
+            }
+        );
+
+        let batch = Request::parse(
+            r#"{"cmd":"batch","session":1,"events":[{"input":"Mouse.clicks","value":"Unit"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            batch,
+            Request::Batch {
+                session: 1,
+                events: vec![("Mouse.clicks".to_string(), PlainValue::Unit)],
+            }
+        );
+
+        assert_eq!(
+            Request::parse(r#"{"cmd":"stats"}"#).unwrap(),
+            Request::Stats { session: None }
+        );
+        assert!(Request::parse(r#"{"cmd":"nope"}"#).is_err());
+        assert!(Request::parse("{").is_err());
+        assert!(Request::parse(r#"{"cmd":"event","session":1,"input":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn reply_lines_are_json_objects() {
+        let l = opened_line(&OpenInfo {
+            session: 2,
+            program: "counter".to_string(),
+            inputs: vec!["Mouse.clicks".to_string()],
+            initial: PlainValue::Int(0),
+        });
+        let parsed: Json = serde_json::from_str(&l).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        // The JSON parser reads small integers back as i64.
+        assert_eq!(parsed.get("session"), Some(&Json::I64(2)));
+        assert_eq!(
+            parsed.get("initial"),
+            Some(&Json::Map(vec![("Int".to_string(), Json::I64(0))]))
+        );
+
+        let e = err_line("boom");
+        let parsed: Json = serde_json::from_str(&e).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::compute(&mut samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(LatencySummary::compute(&mut []), LatencySummary::default());
+    }
+
+    #[test]
+    fn batch_outcome_tallies() {
+        let mut b = BatchOutcome::default();
+        b.record(EnqueueOutcome::Accepted);
+        b.record(EnqueueOutcome::DroppedOldest);
+        b.record(EnqueueOutcome::Coalesced);
+        b.record(EnqueueOutcome::Ignored);
+        assert_eq!(
+            b,
+            BatchOutcome {
+                accepted: 2,
+                dropped: 1,
+                coalesced: 1,
+                ignored: 1,
+            }
+        );
+    }
+}

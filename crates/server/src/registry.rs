@@ -1,0 +1,154 @@
+//! Named programs a client can instantiate without shipping source.
+//!
+//! Builtins are FElm sources compiled on demand through the full `felm`
+//! pipeline against the paper's standard input environment, plus one
+//! native graph (`crashy`) used to exercise node-poisoning eviction.
+//! Clients can also `open` with ad-hoc FElm source, which goes through
+//! the same pipeline.
+
+use elm_runtime::{GraphBuilder, SignalGraph, Value};
+use felm::env::InputEnv;
+use felm::pipeline::compile_source;
+
+/// How a client names the program to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramSpec<'a> {
+    /// A registry builtin, by name.
+    Builtin(&'a str),
+    /// Ad-hoc FElm source (`main = …`).
+    Source(&'a str),
+}
+
+enum Builtin {
+    Felm(&'static str),
+    Native(fn() -> SignalGraph),
+}
+
+/// The server's program table.
+pub struct Registry {
+    env: InputEnv,
+    builtins: Vec<(&'static str, Builtin)>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+const COUNTER: &str = "main = foldp (\\e n -> n + 1) 0 Mouse.clicks";
+const MOUSE_SUM: &str = "main = lift2 (\\x y -> x + y) Mouse.x Mouse.y";
+const MOUSE_LATEST: &str = "main = lift (\\x -> x) Mouse.x";
+const WINDOW_AREA: &str = "main = lift2 (\\w h -> w * h) Window.width Window.height";
+const LATEST_WORD: &str = "main = lift (\\w -> w) Words.input";
+const DASHBOARD: &str = "count s = foldp (\\e n -> n + 1) 0 s\n\
+                         clicks = count Mouse.clicks\n\
+                         keys = count Keyboard.lastPressed\n\
+                         main = lift2 (\\a b -> a * 1000 + b) clicks (lift2 (\\k x -> k + x) keys Mouse.x)";
+
+/// `Mouse.x` doubled — but any negative input panics the node, poisoning
+/// it (paper §3.3.2's `NoChange` thereafter) so eviction can be tested.
+fn crashy_graph() -> SignalGraph {
+    let mut g = GraphBuilder::new();
+    let x = g.input("Mouse.x", 0i64);
+    let out = g.lift1(
+        "crashy",
+        |v| match v {
+            Value::Int(n) if *n < 0 => panic!("crashy: negative input"),
+            Value::Int(n) => Value::Int(n * 2),
+            other => other.clone(),
+        },
+        x,
+    );
+    g.finish(out).expect("crashy graph is well-formed")
+}
+
+impl Registry {
+    /// The standard table: five FElm builtins plus the native `crashy`.
+    pub fn standard() -> Registry {
+        Registry {
+            env: InputEnv::standard(),
+            builtins: vec![
+                ("counter", Builtin::Felm(COUNTER)),
+                ("mouse-sum", Builtin::Felm(MOUSE_SUM)),
+                ("mouse-latest", Builtin::Felm(MOUSE_LATEST)),
+                ("window-area", Builtin::Felm(WINDOW_AREA)),
+                ("latest-word", Builtin::Felm(LATEST_WORD)),
+                ("dashboard", Builtin::Felm(DASHBOARD)),
+                ("crashy", Builtin::Native(crashy_graph)),
+            ],
+        }
+    }
+
+    /// Builtin names, for discovery / error messages.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.builtins.iter().map(|(n, _)| *n).collect()
+    }
+
+    fn compile(&self, src: &str) -> Result<SignalGraph, String> {
+        let compiled = compile_source(src, &self.env).map_err(|e| format!("compile error: {e}"))?;
+        compiled
+            .graph()
+            .cloned()
+            .ok_or_else(|| "program is not reactive: `main` is not a signal".to_string())
+    }
+
+    /// Resolves a spec to `(display name, signal graph)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown builtin name or a source that does not compile
+    /// to a signal program.
+    pub fn resolve(&self, spec: ProgramSpec<'_>) -> Result<(String, SignalGraph), String> {
+        match spec {
+            ProgramSpec::Builtin(name) => {
+                let builtin = self
+                    .builtins
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, b)| b)
+                    .ok_or_else(|| {
+                        format!("unknown program '{name}' (try one of {:?})", self.names())
+                    })?;
+                let graph = match builtin {
+                    Builtin::Felm(src) => self.compile(src)?,
+                    Builtin::Native(f) => f(),
+                };
+                Ok((name.to_string(), graph))
+            }
+            ProgramSpec::Source(src) => Ok(("<source>".to_string(), self.compile(src)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_compiles_to_a_graph() {
+        let r = Registry::standard();
+        for name in r.names() {
+            let (resolved, graph) = r.resolve(ProgramSpec::Builtin(name)).unwrap();
+            assert_eq!(resolved, name);
+            assert!(!graph.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn ad_hoc_source_and_errors() {
+        let r = Registry::standard();
+        let (name, graph) = r
+            .resolve(ProgramSpec::Source(
+                "main = lift (\\k -> k) Keyboard.lastPressed",
+            ))
+            .unwrap();
+        assert_eq!(name, "<source>");
+        assert!(graph.input_named("Keyboard.lastPressed").is_some());
+
+        assert!(r.resolve(ProgramSpec::Builtin("nope")).is_err());
+        assert!(r.resolve(ProgramSpec::Source("main = 1 +")).is_err());
+        // A non-reactive program compiles but is rejected here.
+        assert!(r.resolve(ProgramSpec::Source("main = 1 + 2")).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! One hosted FRP program: its runtime, bounded ingress queue, and
+//! subscriber fan-out.
+//!
+//! A session runs on the deterministic synchronous engine, owned by
+//! exactly one shard worker thread — actor-style, so no session state is
+//! ever shared across threads. Events arrive through [`Session::enqueue`]
+//! (applying the configured [`BackpressurePolicy`] when the queue is
+//! full) and are applied in FIFO order by [`Session::pump`], which feeds
+//! the batch to the runtime, drains outputs to subscribers, and records
+//! ingest-to-output latency per event.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+use elm_runtime::{PlainValue, SignalGraph, Value};
+use elm_signals::{Engine, Program, Running};
+
+use crate::protocol::{
+    BackpressurePolicy, EnqueueOutcome, IngressStats, LatencySummary, QueryInfo, SessionStats,
+    Update,
+};
+
+/// Session identifier, unique for the server's lifetime.
+pub type SessionId = u64;
+
+/// Per-session ingress configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum events waiting between pumps.
+    pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub policy: BackpressurePolicy,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            queue_capacity: 1024,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Latency sample cap per session — enough for any realistic stats window
+/// while bounding memory for immortal sessions.
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+struct Queued {
+    input: String,
+    value: Value,
+    at: Instant,
+}
+
+/// A hosted program instance (see module docs).
+pub struct Session {
+    id: SessionId,
+    program_name: String,
+    graph: SignalGraph,
+    running: Running<Value>,
+    queue: VecDeque<Queued>,
+    config: SessionConfig,
+    subscribers: Vec<Sender<Update>>,
+    enqueued: u64,
+    dropped: u64,
+    coalesced: u64,
+    ignored: u64,
+    pumps: u64,
+    events_out: u64,
+    seq: u64,
+    latencies: Vec<u64>,
+    last_activity: Instant,
+    poisoned: bool,
+    seen_panics: u64,
+}
+
+impl Session {
+    /// Instantiates `graph` on the synchronous engine.
+    pub fn new(
+        id: SessionId,
+        program_name: String,
+        graph: SignalGraph,
+        config: SessionConfig,
+    ) -> Session {
+        let running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+        Session {
+            id,
+            program_name,
+            graph,
+            running,
+            queue: VecDeque::new(),
+            config,
+            subscribers: Vec::new(),
+            enqueued: 0,
+            dropped: 0,
+            coalesced: 0,
+            ignored: 0,
+            pumps: 0,
+            events_out: 0,
+            seq: 0,
+            latencies: Vec::new(),
+            last_activity: Instant::now(),
+            poisoned: false,
+            seen_panics: 0,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Resolved program name.
+    pub fn program_name(&self) -> &str {
+        &self.program_name
+    }
+
+    /// Events currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True once a node panicked (or the runtime died); the shard evicts
+    /// such sessions instead of letting them wedge.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Last time a client touched this session.
+    pub fn last_activity(&self) -> Instant {
+        self.last_activity
+    }
+
+    /// Registers an output-change subscriber.
+    pub fn subscribe(&mut self, sink: Sender<Update>) {
+        self.last_activity = Instant::now();
+        self.subscribers.push(sink);
+    }
+
+    /// Admits one event, applying the backpressure policy when full.
+    pub fn enqueue(&mut self, input: &str, value: Value) -> EnqueueOutcome {
+        self.last_activity = Instant::now();
+        if self.poisoned || self.graph.input_named(input).is_none() {
+            self.ignored += 1;
+            return EnqueueOutcome::Ignored;
+        }
+        let mut outcome = EnqueueOutcome::Accepted;
+        if self.queue.len() >= self.config.queue_capacity {
+            match self.config.policy {
+                // Drain synchronously: the producer's request completes
+                // only after the backlog is applied, so pressure flows
+                // back to the client instead of losing events.
+                BackpressurePolicy::Block => self.pump(),
+                BackpressurePolicy::DropOldest => {
+                    self.queue.pop_front();
+                    self.dropped += 1;
+                    outcome = EnqueueOutcome::DroppedOldest;
+                }
+                BackpressurePolicy::Coalesce => {
+                    if let Some(q) = self.queue.iter_mut().rev().find(|q| q.input == input) {
+                        // Keep the original enqueue time: latency then
+                        // honestly reports how stale the merged slot is.
+                        q.value = value;
+                        self.coalesced += 1;
+                        return EnqueueOutcome::Coalesced;
+                    }
+                    self.queue.pop_front();
+                    self.dropped += 1;
+                    outcome = EnqueueOutcome::DroppedOldest;
+                }
+            }
+        }
+        self.queue.push_back(Queued {
+            input: input.to_string(),
+            value,
+            at: Instant::now(),
+        });
+        self.enqueued += 1;
+        outcome
+    }
+
+    /// Applies every queued event in order and streams resulting output
+    /// changes to subscribers.
+    pub fn pump(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let batch: Vec<Queued> = self.queue.drain(..).collect();
+        let named: Vec<(&str, Value)> = batch
+            .iter()
+            .map(|q| (q.input.as_str(), q.value.clone()))
+            .collect();
+        // Names were validated at enqueue time, so an error here means the
+        // runtime itself died — treat it like poisoning.
+        let outs = self
+            .running
+            .feed_batch(&named)
+            .and_then(|()| self.running.drain_raw());
+        match outs {
+            Ok(events) => {
+                for ev in &events {
+                    let Some(v) = ev.value() else { continue };
+                    self.seq += 1;
+                    self.events_out += 1;
+                    if self.subscribers.is_empty() {
+                        continue;
+                    }
+                    if let Some(pv) = PlainValue::from_value(v) {
+                        let update = Update::Changed {
+                            session: self.id,
+                            seq: self.seq,
+                            value: pv,
+                        };
+                        self.subscribers.retain(|s| s.send(update.clone()).is_ok());
+                    }
+                }
+            }
+            Err(_) => self.poisoned = true,
+        }
+        let done = Instant::now();
+        for q in &batch {
+            if self.latencies.len() < MAX_LATENCY_SAMPLES {
+                self.latencies
+                    .push(done.duration_since(q.at).as_micros() as u64);
+            }
+        }
+        self.pumps += 1;
+        let panics = self.running.stats().node_panics;
+        if panics > self.seen_panics {
+            self.seen_panics = panics;
+            self.poisoned = true;
+        }
+    }
+
+    /// The current output value and queue state.
+    pub fn query(&self) -> QueryInfo {
+        let value = PlainValue::from_value(self.running.current())
+            .unwrap_or_else(|| PlainValue::Str("<opaque>".to_string()));
+        QueryInfo {
+            session: self.id,
+            program: self.program_name.clone(),
+            value,
+            queue_len: self.queue.len() as u64,
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Ingress counters.
+    pub fn ingress_stats(&self) -> IngressStats {
+        IngressStats {
+            enqueued: self.enqueued,
+            dropped: self.dropped,
+            coalesced: self.coalesced,
+            ignored: self.ignored,
+            pumps: self.pumps,
+            events_out: self.events_out,
+            queue_len: self.queue.len() as u64,
+            subscribers: self.subscribers.len() as u64,
+        }
+    }
+
+    /// Raw ingest-to-output latency samples, in microseconds.
+    pub fn latency_samples(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Full per-session statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            session: self.id,
+            program: self.program_name.clone(),
+            runtime: self.running.stats(),
+            ingress: self.ingress_stats(),
+            latency: LatencySummary::compute(&mut self.latencies.clone()),
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Tells subscribers the session is gone.
+    pub fn notify_closed(&mut self, reason: &str) {
+        let update = Update::Closed {
+            session: self.id,
+            reason: reason.to_string(),
+        };
+        self.subscribers.retain(|s| s.send(update.clone()).is_ok());
+        self.subscribers.clear();
+    }
+
+    /// Stops the underlying runtime.
+    pub fn stop(self) {
+        self.running.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ProgramSpec, Registry};
+
+    fn session(program: &str, capacity: usize, policy: BackpressurePolicy) -> Session {
+        let (name, graph) = Registry::standard()
+            .resolve(ProgramSpec::Builtin(program))
+            .unwrap();
+        Session::new(
+            1,
+            name,
+            graph,
+            SessionConfig {
+                queue_capacity: capacity,
+                policy,
+            },
+        )
+    }
+
+    #[test]
+    fn block_policy_pumps_instead_of_losing_events() {
+        let mut s = session("counter", 4, BackpressurePolicy::Block);
+        for _ in 0..10 {
+            assert_eq!(
+                s.enqueue("Mouse.clicks", Value::Unit),
+                EnqueueOutcome::Accepted
+            );
+        }
+        s.pump();
+        assert_eq!(s.query().value, PlainValue::Int(10));
+        let ing = s.ingress_stats();
+        assert_eq!((ing.dropped, ing.coalesced), (0, 0));
+        assert_eq!(ing.enqueued, 10);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_tail() {
+        let mut s = session("counter", 4, BackpressurePolicy::DropOldest);
+        let mut outcomes = Vec::new();
+        for _ in 0..10 {
+            outcomes.push(s.enqueue("Mouse.clicks", Value::Unit));
+        }
+        assert_eq!(outcomes[3], EnqueueOutcome::Accepted);
+        assert_eq!(outcomes[9], EnqueueOutcome::DroppedOldest);
+        s.pump();
+        // Only the 4 surviving events reach the fold.
+        assert_eq!(s.query().value, PlainValue::Int(4));
+        assert_eq!(s.ingress_stats().dropped, 6);
+    }
+
+    #[test]
+    fn coalesce_merges_same_signal_events() {
+        let mut s = session("mouse-latest", 4, BackpressurePolicy::Coalesce);
+        for n in 1..=10 {
+            s.enqueue("Mouse.x", Value::Int(n));
+        }
+        assert_eq!(s.queue_len(), 4);
+        s.pump();
+        // The newest value survives the merge chain.
+        assert_eq!(s.query().value, PlainValue::Int(10));
+        assert_eq!(s.ingress_stats().coalesced, 6);
+        assert_eq!(s.ingress_stats().dropped, 0);
+    }
+
+    #[test]
+    fn unknown_inputs_are_ignored_not_fatal() {
+        let mut s = session("counter", 16, BackpressurePolicy::Block);
+        assert_eq!(
+            s.enqueue("No.such.signal", Value::Unit),
+            EnqueueOutcome::Ignored
+        );
+        s.enqueue("Mouse.clicks", Value::Unit);
+        s.pump();
+        assert_eq!(s.query().value, PlainValue::Int(1));
+        assert_eq!(s.ingress_stats().ignored, 1);
+        assert!(!s.is_poisoned());
+    }
+
+    #[test]
+    fn node_panic_poisons_the_session() {
+        let mut s = session("crashy", 16, BackpressurePolicy::Block);
+        s.enqueue("Mouse.x", Value::Int(21));
+        s.pump();
+        assert_eq!(s.query().value, PlainValue::Int(42));
+        s.enqueue("Mouse.x", Value::Int(-1));
+        s.pump();
+        assert!(s.is_poisoned());
+        // Further traffic is ignored rather than wedging the shard.
+        assert_eq!(s.enqueue("Mouse.x", Value::Int(5)), EnqueueOutcome::Ignored);
+    }
+
+    #[test]
+    fn subscribers_receive_ordered_updates_and_latency_is_recorded() {
+        let mut s = session("counter", 16, BackpressurePolicy::Block);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        s.subscribe(tx);
+        s.enqueue("Mouse.clicks", Value::Unit);
+        s.enqueue("Mouse.clicks", Value::Unit);
+        s.pump();
+        let got: Vec<Update> = rx.try_iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                Update::Changed {
+                    session: 1,
+                    seq: 1,
+                    value: PlainValue::Int(1)
+                },
+                Update::Changed {
+                    session: 1,
+                    seq: 2,
+                    value: PlainValue::Int(2)
+                },
+            ]
+        );
+        assert_eq!(s.latency_samples().len(), 2);
+        s.notify_closed("closed");
+        assert_eq!(
+            rx.try_iter().collect::<Vec<_>>(),
+            vec![Update::Closed {
+                session: 1,
+                reason: "closed".to_string()
+            }]
+        );
+    }
+}

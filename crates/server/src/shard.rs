@@ -1,0 +1,472 @@
+//! Sharded worker pool: each shard is one thread owning a disjoint set of
+//! sessions, actor-style.
+//!
+//! Sessions are pinned to a shard at open time (`session id % shard
+//! count`), so all mutation of a session happens on one thread and the
+//! shard needs no locks around session state. Commands arrive on a
+//! channel with per-request reply channels; after each burst of commands
+//! the shard pumps every session with queued events, then sweeps for
+//! evictions (idle timeout, node poisoning).
+
+use std::collections::HashMap;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use elm_runtime::{NodeKind, PlainValue, SignalGraph, Value};
+
+use crate::protocol::{BatchOutcome, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats, Update};
+use crate::session::{Session, SessionConfig, SessionId};
+
+/// How long a shard sleeps when no commands arrive before re-checking
+/// eviction deadlines.
+const TICK: Duration = Duration::from_millis(5);
+
+/// How many commands a shard absorbs back-to-back before it pumps the
+/// affected sessions — bounds ingest-to-output latency under a firehose.
+const MAX_BURST: usize = 256;
+
+/// Lifecycle counters owned by one shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Sessions opened on this shard.
+    pub opened: u64,
+    /// Sessions closed by request.
+    pub closed: u64,
+    /// Sessions evicted for idling past the timeout.
+    pub evicted_idle: u64,
+    /// Sessions evicted after a node panic.
+    pub evicted_poisoned: u64,
+}
+
+/// A shard's answer to [`Command::Stats`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Lifecycle counters.
+    pub counters: ShardCounters,
+    /// Per-session statistics for the selected sessions.
+    pub sessions: Vec<SessionStats>,
+    /// Raw latency samples of the selected sessions, for cross-session
+    /// percentile aggregation (in-process only; never serialized).
+    pub samples: Vec<u64>,
+}
+
+/// One request to a shard. Every variant carries its own reply channel.
+pub enum Command {
+    /// Host a new session.
+    Open {
+        /// Pre-assigned session id (routing already happened).
+        id: SessionId,
+        /// Display name of the resolved program.
+        name: String,
+        /// The compiled signal graph.
+        graph: SignalGraph,
+        /// Ingress configuration.
+        config: SessionConfig,
+        /// Replies with the open summary.
+        reply: Sender<OpenInfo>,
+    },
+    /// One input event.
+    Event {
+        /// Target session.
+        session: SessionId,
+        /// Input signal name.
+        input: String,
+        /// The value.
+        value: Value,
+        /// Replies with the queue outcome.
+        reply: Sender<Result<EnqueueOutcome, String>>,
+    },
+    /// Many input events, enqueued in order.
+    Batch {
+        /// Target session.
+        session: SessionId,
+        /// `(input, value)` pairs.
+        events: Vec<(String, Value)>,
+        /// Replies with the per-category tally.
+        reply: Sender<Result<BatchOutcome, String>>,
+    },
+    /// Current output value.
+    Query {
+        /// Target session.
+        session: SessionId,
+        /// Replies with the snapshot.
+        reply: Sender<Result<QueryInfo, String>>,
+    },
+    /// Register an update subscriber.
+    Subscribe {
+        /// Target session.
+        session: SessionId,
+        /// Where updates go.
+        sink: Sender<Update>,
+        /// Acknowledges registration.
+        reply: Sender<Result<(), String>>,
+    },
+    /// Statistics for one session (`Some`) or all on this shard (`None`).
+    Stats {
+        /// Optional session filter.
+        session: Option<SessionId>,
+        /// Replies with counters and per-session stats.
+        reply: Sender<ShardStats>,
+    },
+    /// Tear a session down.
+    Close {
+        /// Target session.
+        session: SessionId,
+        /// Acknowledges the close.
+        reply: Sender<Result<(), String>>,
+    },
+    /// Stop the shard thread (pumps and notifies remaining sessions).
+    Shutdown,
+}
+
+/// Handle to a running shard thread.
+pub struct ShardHandle {
+    tx: Sender<Command>,
+    handle: JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// Spawns a shard worker.
+    pub fn spawn(index: usize, idle_timeout: Option<Duration>) -> ShardHandle {
+        let (tx, rx) = channel::unbounded();
+        let handle = thread::Builder::new()
+            .name(format!("elm-shard-{index}"))
+            .spawn(move || run(rx, idle_timeout))
+            .expect("spawning a shard thread");
+        ShardHandle { tx, handle }
+    }
+
+    /// The shard's command channel.
+    pub fn sender(&self) -> &Sender<Command> {
+        &self.tx
+    }
+
+    /// Stops the shard and joins its thread.
+    pub fn shutdown(self) {
+        let _ = self.tx.send(Command::Shutdown);
+        let _ = self.handle.join();
+    }
+}
+
+fn input_names(graph: &SignalGraph) -> Vec<String> {
+    graph
+        .nodes()
+        .iter()
+        .filter_map(|n| match &n.kind {
+            NodeKind::Input { name } => Some(name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+struct Shard {
+    sessions: HashMap<SessionId, Session>,
+    counters: ShardCounters,
+    idle_timeout: Option<Duration>,
+}
+
+fn run(rx: Receiver<Command>, idle_timeout: Option<Duration>) {
+    let mut shard = Shard {
+        sessions: HashMap::new(),
+        counters: ShardCounters::default(),
+        idle_timeout,
+    };
+    'outer: loop {
+        match rx.recv_timeout(TICK) {
+            Ok(cmd) => {
+                if shard.handle(cmd) {
+                    break 'outer;
+                }
+                for _ in 0..MAX_BURST {
+                    match rx.try_recv() {
+                        Ok(cmd) => {
+                            if shard.handle(cmd) {
+                                break 'outer;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        shard.pump_all();
+        shard.evict();
+    }
+    // Drain whatever is queued so clients that already got an "accepted"
+    // see their events applied, then tell subscribers we're gone.
+    shard.pump_all();
+    for (_, mut s) in shard.sessions.drain() {
+        s.notify_closed("shutdown");
+        s.stop();
+    }
+}
+
+impl Shard {
+    /// Applies one command; returns true on [`Command::Shutdown`].
+    fn handle(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Open {
+                id,
+                name,
+                graph,
+                config,
+                reply,
+            } => {
+                let info = OpenInfo {
+                    session: id,
+                    program: name.clone(),
+                    inputs: input_names(&graph),
+                    initial: PlainValue::from_value(&graph.node(graph.output()).default)
+                        .unwrap_or_else(|| PlainValue::Str("<opaque>".to_string())),
+                };
+                self.sessions
+                    .insert(id, Session::new(id, name, graph, config));
+                self.counters.opened += 1;
+                let _ = reply.send(info);
+            }
+            Command::Event {
+                session,
+                input,
+                value,
+                reply,
+            } => {
+                let res = self.with_session(session, |s| s.enqueue(&input, value));
+                let _ = reply.send(res);
+            }
+            Command::Batch {
+                session,
+                events,
+                reply,
+            } => {
+                let res = self.with_session(session, |s| {
+                    let mut outcome = BatchOutcome::default();
+                    for (input, value) in events {
+                        outcome.record(s.enqueue(&input, value));
+                    }
+                    outcome
+                });
+                let _ = reply.send(res);
+            }
+            Command::Query { session, reply } => {
+                let _ = reply.send(self.with_session(session, |s| {
+                    // Answer with applied state, not queued state.
+                    s.pump();
+                    s.query()
+                }));
+            }
+            Command::Subscribe {
+                session,
+                sink,
+                reply,
+            } => {
+                let _ = reply.send(self.with_session(session, |s| s.subscribe(sink)));
+            }
+            Command::Stats { session, reply } => {
+                let selected: Vec<&Session> = match session {
+                    Some(id) => self.sessions.get(&id).into_iter().collect(),
+                    None => self.sessions.values().collect(),
+                };
+                let mut stats = ShardStats {
+                    counters: self.counters,
+                    ..ShardStats::default()
+                };
+                for s in selected {
+                    stats.sessions.push(s.stats());
+                    stats.samples.extend_from_slice(s.latency_samples());
+                }
+                let _ = reply.send(stats);
+            }
+            Command::Close { session, reply } => {
+                let res = match self.sessions.remove(&session) {
+                    Some(mut s) => {
+                        s.pump();
+                        s.notify_closed("closed");
+                        s.stop();
+                        self.counters.closed += 1;
+                        Ok(())
+                    }
+                    None => Err(format!("unknown session {session}")),
+                };
+                let _ = reply.send(res);
+            }
+            Command::Shutdown => return true,
+        }
+        false
+    }
+
+    fn with_session<R>(
+        &mut self,
+        id: SessionId,
+        f: impl FnOnce(&mut Session) -> R,
+    ) -> Result<R, String> {
+        match self.sessions.get_mut(&id) {
+            Some(s) => Ok(f(s)),
+            None => Err(format!("unknown session {id}")),
+        }
+    }
+
+    fn pump_all(&mut self) {
+        for s in self.sessions.values_mut() {
+            s.pump();
+        }
+    }
+
+    fn evict(&mut self) {
+        let now = Instant::now();
+        let doomed: Vec<(SessionId, &'static str)> = self
+            .sessions
+            .values()
+            .filter_map(|s| {
+                if s.is_poisoned() {
+                    Some((s.id(), "poisoned"))
+                } else if self
+                    .idle_timeout
+                    .is_some_and(|t| now.duration_since(s.last_activity()) > t)
+                {
+                    Some((s.id(), "idle"))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (id, reason) in doomed {
+            if let Some(mut s) = self.sessions.remove(&id) {
+                s.notify_closed(reason);
+                s.stop();
+                match reason {
+                    "poisoned" => self.counters.evicted_poisoned += 1,
+                    _ => self.counters.evicted_idle += 1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ProgramSpec, Registry};
+
+    fn open_on(
+        shard: &ShardHandle,
+        id: SessionId,
+        program: &str,
+        config: SessionConfig,
+    ) -> OpenInfo {
+        let (name, graph) = Registry::standard()
+            .resolve(ProgramSpec::Builtin(program))
+            .unwrap();
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Open {
+                id,
+                name,
+                graph,
+                config,
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap()
+    }
+
+    fn query_on(shard: &ShardHandle, id: SessionId) -> Result<QueryInfo, String> {
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Query {
+                session: id,
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn shard_hosts_sessions_and_answers_queries() {
+        let shard = ShardHandle::spawn(0, None);
+        let info = open_on(&shard, 7, "counter", SessionConfig::default());
+        assert_eq!(info.session, 7);
+        assert_eq!(info.inputs, vec!["Mouse.clicks".to_string()]);
+        assert_eq!(info.initial, PlainValue::Int(0));
+
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Event {
+                session: 7,
+                input: "Mouse.clicks".to_string(),
+                value: Value::Unit,
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Ok(EnqueueOutcome::Accepted));
+        assert_eq!(query_on(&shard, 7).unwrap().value, PlainValue::Int(1));
+        assert!(query_on(&shard, 99).is_err());
+        shard.shutdown();
+    }
+
+    #[test]
+    fn poisoned_sessions_are_evicted_not_wedged() {
+        let shard = ShardHandle::spawn(0, None);
+        open_on(&shard, 1, "crashy", SessionConfig::default());
+        open_on(&shard, 2, "counter", SessionConfig::default());
+
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Event {
+                session: 1,
+                input: "Mouse.x".to_string(),
+                value: Value::Int(-5),
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap().unwrap();
+
+        // The eviction sweep runs after the command burst; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if query_on(&shard, 1).is_err() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "poisoned session never evicted");
+            thread::sleep(Duration::from_millis(2));
+        }
+        // The sibling session is untouched.
+        assert_eq!(query_on(&shard, 2).unwrap().value, PlainValue::Int(0));
+
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Stats {
+                session: None,
+                reply: tx,
+            })
+            .unwrap();
+        let stats = rx.recv().unwrap();
+        assert_eq!(stats.counters.evicted_poisoned, 1);
+        assert_eq!(stats.sessions.len(), 1);
+        shard.shutdown();
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_after_the_timeout() {
+        let shard = ShardHandle::spawn(0, Some(Duration::from_millis(30)));
+        open_on(&shard, 1, "counter", SessionConfig::default());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match query_on(&shard, 1) {
+                // Querying touches the session, pushing the idle deadline
+                // out — so back off longer than the timeout between polls.
+                Ok(_) => thread::sleep(Duration::from_millis(50)),
+                Err(_) => break,
+            }
+            assert!(Instant::now() < deadline, "idle session never evicted");
+        }
+        shard.shutdown();
+    }
+}

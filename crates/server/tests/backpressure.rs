@@ -1,0 +1,135 @@
+//! Satellite: backpressure policies and poisoning observed through the
+//! public `Server` API — drop-oldest/coalesce counters tick, and a
+//! session whose node panics is evicted rather than wedging its shard.
+
+use std::time::{Duration, Instant};
+
+use elm_runtime::PlainValue;
+use elm_server::{BackpressurePolicy, ProgramSpec, Server, ServerConfig, SessionConfig};
+
+fn tiny_queue_server(policy: BackpressurePolicy) -> Server {
+    Server::start(ServerConfig {
+        shards: 1,
+        session: SessionConfig {
+            queue_capacity: 4,
+            policy,
+        },
+        idle_timeout: None,
+    })
+}
+
+#[test]
+fn drop_oldest_counts_drops_and_keeps_the_newest_events() {
+    let server = tiny_queue_server(BackpressurePolicy::DropOldest);
+    let s = server
+        .open(ProgramSpec::Builtin("mouse-latest"), None, None)
+        .unwrap()
+        .session;
+
+    // A batch twice the queue capacity lands in one shard command, so the
+    // pump cannot interleave: the first half must be dropped.
+    let batch: Vec<(String, PlainValue)> = (1..=8)
+        .map(|n| ("Mouse.x".to_string(), PlainValue::Int(n)))
+        .collect();
+    let outcome = server.batch(s, &batch).unwrap();
+    assert_eq!(outcome.dropped, 4, "{outcome:?}");
+
+    let q = server.query(s).unwrap();
+    assert_eq!(q.value, PlainValue::Int(8), "newest event survives");
+
+    let (global, _) = server.stats();
+    assert_eq!(global.ingress.dropped, 4);
+    server.shutdown();
+}
+
+#[test]
+fn coalesce_merges_same_input_events_and_keeps_distinct_inputs() {
+    let server = tiny_queue_server(BackpressurePolicy::Coalesce);
+    let s = server
+        .open(ProgramSpec::Builtin("mouse-sum"), None, None)
+        .unwrap()
+        .session;
+
+    // Fill the queue with two inputs, then keep updating one of them: the
+    // newer Mouse.x samples replace the queued one in place.
+    let batch: Vec<(String, PlainValue)> = vec![
+        ("Mouse.x".to_string(), PlainValue::Int(1)),
+        ("Mouse.y".to_string(), PlainValue::Int(10)),
+        ("Mouse.x".to_string(), PlainValue::Int(2)),
+        ("Mouse.y".to_string(), PlainValue::Int(20)),
+        ("Mouse.x".to_string(), PlainValue::Int(3)),
+        ("Mouse.x".to_string(), PlainValue::Int(4)),
+    ];
+    let outcome = server.batch(s, &batch).unwrap();
+    assert_eq!(outcome.coalesced, 2, "{outcome:?}");
+
+    let q = server.query(s).unwrap();
+    assert_eq!(q.value, PlainValue::Int(24), "x=4 coalesced over x=3, y=20");
+
+    let (global, _) = server.stats();
+    assert_eq!(global.ingress.coalesced, 2);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_inputs_are_ignored_not_fatal() {
+    let server = tiny_queue_server(BackpressurePolicy::Block);
+    let s = server
+        .open(ProgramSpec::Builtin("counter"), None, None)
+        .unwrap()
+        .session;
+    let batch: Vec<(String, PlainValue)> = vec![
+        ("Mouse.clicks".to_string(), PlainValue::Unit),
+        ("No.SuchInput".to_string(), PlainValue::Int(1)),
+        ("Mouse.clicks".to_string(), PlainValue::Unit),
+    ];
+    let outcome = server.batch(s, &batch).unwrap();
+    assert_eq!(outcome.accepted, 2);
+    assert_eq!(outcome.ignored, 1);
+    assert_eq!(server.query(s).unwrap().value, PlainValue::Int(2));
+    server.shutdown();
+}
+
+#[test]
+fn poisoned_session_is_evicted_and_the_shard_stays_live() {
+    let server = tiny_queue_server(BackpressurePolicy::Block);
+    let healthy = server
+        .open(ProgramSpec::Builtin("counter"), None, None)
+        .unwrap()
+        .session;
+    let doomed = server
+        .open(ProgramSpec::Builtin("crashy"), None, None)
+        .unwrap()
+        .session;
+
+    server.event(doomed, "Mouse.x", PlainValue::Int(5)).unwrap();
+    assert_eq!(server.query(doomed).unwrap().value, PlainValue::Int(10));
+    // Negative input makes the crashy node panic; the session is poisoned
+    // and the shard's eviction sweep removes it.
+    server
+        .event(doomed, "Mouse.x", PlainValue::Int(-1))
+        .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match server.query(doomed) {
+            Err(_) => break, // evicted: the session is gone
+            Ok(_) if Instant::now() > deadline => panic!("poisoned session never evicted"),
+            Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+
+    // The sibling session on the same shard is unharmed.
+    server
+        .event(healthy, "Mouse.clicks", PlainValue::Unit)
+        .unwrap();
+    assert_eq!(server.query(healthy).unwrap().value, PlainValue::Int(1));
+
+    let (global, sessions) = server.stats();
+    assert_eq!(global.evicted_poisoned, 1);
+    // Runtime counters aggregate over *live* sessions only; the evicted
+    // one is gone, so only the healthy session remains in view.
+    assert_eq!(global.sessions_live, 1);
+    assert_eq!(sessions.len(), 1);
+    server.shutdown();
+}

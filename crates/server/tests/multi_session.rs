@@ -1,0 +1,160 @@
+//! Satellite: many concurrent sessions with distinct simulator traces
+//! must be perfectly isolated — each final output equals a single-session
+//! synchronous replay of that session's own trace.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use elm_environment::Simulator;
+use elm_runtime::{PlainValue, Trace};
+use elm_server::{ProgramSpec, Server, ServerConfig};
+use elm_signals::{Engine, Program};
+
+fn sync_replay(server: &Server, program: &str, trace: &Trace) -> PlainValue {
+    let (_, graph) = server
+        .registry()
+        .resolve(ProgramSpec::Builtin(program))
+        .unwrap();
+    let mut running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+    for e in &trace.events {
+        // The server ignores events on inputs the program does not
+        // declare; skip them here the same way.
+        if graph.input_named(&e.input).is_some() {
+            running.send_named(&e.input, e.value.to_value()).unwrap();
+        }
+    }
+    running.drain_raw().unwrap();
+    PlainValue::from_value(running.current()).unwrap()
+}
+
+#[test]
+fn concurrent_sessions_match_single_session_replay() {
+    const SESSIONS: usize = 12;
+    const EVENTS: usize = 600;
+    let program = "dashboard";
+
+    let traces = Simulator::fan_out(0xE1A0, SESSIONS, EVENTS);
+    let server = Arc::new(Server::start(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    }));
+
+    let mut ids = Vec::new();
+    for _ in 0..SESSIONS {
+        ids.push(
+            server
+                .open(ProgramSpec::Builtin(program), None, None)
+                .unwrap()
+                .session,
+        );
+    }
+
+    // Drive every session from its own thread, interleaving batches of
+    // different sizes so shard bursts mix sessions arbitrarily.
+    let mut drivers = Vec::new();
+    for (i, &session) in ids.iter().enumerate() {
+        let server = Arc::clone(&server);
+        let trace = traces[i].clone();
+        drivers.push(thread::spawn(move || {
+            let chunk = 16 + (i % 5) * 13;
+            for events in trace.events.chunks(chunk) {
+                let batch: Vec<(String, PlainValue)> = events
+                    .iter()
+                    .map(|e| (e.input.clone(), e.value.clone()))
+                    .collect();
+                server.batch(session, &batch).unwrap();
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().unwrap();
+    }
+
+    for (i, &session) in ids.iter().enumerate() {
+        let served = server.query(session).unwrap();
+        assert_eq!(served.queue_len, 0, "query pumps before answering");
+        let replayed = sync_replay(&server, program, &traces[i]);
+        assert_eq!(served.value, replayed, "session {session} diverged");
+    }
+
+    let (global, sessions) = server.stats();
+    assert_eq!(global.sessions_live, SESSIONS as u64);
+    assert_eq!(sessions.len(), SESSIONS);
+    // Block policy: nothing may be lost under pressure.
+    assert_eq!(global.ingress.dropped, 0);
+    assert_eq!(global.ingress.coalesced, 0);
+    assert!(global.latency.count > 0, "latency samples were recorded");
+
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+#[test]
+fn mixed_programs_share_the_pool_without_interference() {
+    let programs = ["counter", "mouse-sum", "window-area", "latest-word"];
+    let traces = Simulator::fan_out(7, programs.len(), 400);
+    let server = Arc::new(Server::start(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    }));
+
+    let ids: Vec<u64> = programs
+        .iter()
+        .map(|p| {
+            server
+                .open(ProgramSpec::Builtin(p), None, None)
+                .unwrap()
+                .session
+        })
+        .collect();
+
+    let mut drivers = Vec::new();
+    for (i, &session) in ids.iter().enumerate() {
+        let server = Arc::clone(&server);
+        let trace = traces[i].clone();
+        drivers.push(thread::spawn(move || {
+            for e in &trace.events {
+                server.event(session, &e.input, e.value.clone()).unwrap();
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().unwrap();
+    }
+
+    for (i, &session) in ids.iter().enumerate() {
+        let served = server.query(session).unwrap().value;
+        let replayed = sync_replay(&server, programs[i], &traces[i]);
+        assert_eq!(served, replayed, "program {} diverged", programs[i]);
+    }
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+#[test]
+fn subscribers_see_every_change_in_order() {
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        ..ServerConfig::default()
+    });
+    let s = server
+        .open(ProgramSpec::Builtin("counter"), None, None)
+        .unwrap()
+        .session;
+    let rx = server.subscribe(s).unwrap();
+    for _ in 0..5 {
+        server.event(s, "Mouse.clicks", PlainValue::Unit).unwrap();
+    }
+    server.query(s).unwrap();
+
+    let mut seen = Vec::new();
+    while seen.len() < 5 {
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            elm_server::Update::Changed { seq, value, .. } => seen.push((seq, value)),
+            other => panic!("unexpected update {other:?}"),
+        }
+    }
+    let expected: Vec<(u64, PlainValue)> =
+        (1..=5).map(|n| (n, PlainValue::Int(n as i64))).collect();
+    assert_eq!(seen, expected);
+    server.shutdown();
+}

@@ -1,0 +1,169 @@
+//! End-to-end wire test: a real TCP client speaking the newline-delimited
+//! JSON protocol against `net::serve`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use elm_server::{net, Server, ServerConfig};
+use serde_json::Value as Json;
+
+fn start_server() -> std::net::SocketAddr {
+    let server = Arc::new(Server::start(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    thread::spawn(move || net::serve(server, listener));
+    addr
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        serde_json::from_str(line.trim()).unwrap()
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key).unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+}
+
+fn as_u64(v: &Json) -> u64 {
+    match v {
+        Json::U64(n) => *n,
+        Json::I64(n) => *n as u64,
+        other => panic!("not an integer: {other:?}"),
+    }
+}
+
+fn assert_ok(v: &Json) {
+    assert_eq!(field(v, "ok"), &Json::Bool(true), "{v:?}");
+}
+
+#[test]
+fn full_session_lifecycle_over_tcp() {
+    let addr = start_server();
+    let mut c = Client::connect(addr);
+
+    let opened = c.round_trip(r#"{"cmd":"open","program":"counter"}"#);
+    assert_ok(&opened);
+    let session = as_u64(field(&opened, "session"));
+    assert_eq!(field(field(&opened, "initial"), "Int"), &Json::I64(0));
+
+    for _ in 0..3 {
+        let r = c.round_trip(&format!(
+            r#"{{"cmd":"event","session":{session},"input":"Mouse.clicks","value":"Unit"}}"#
+        ));
+        assert_ok(&r);
+        assert_eq!(field(&r, "outcome"), &Json::Str("accepted".into()));
+    }
+
+    let q = c.round_trip(&format!(r#"{{"cmd":"query","session":{session}}}"#));
+    assert_ok(&q);
+    assert_eq!(field(field(&q, "value"), "Int"), &Json::I64(3));
+    assert_eq!(as_u64(field(&q, "queue_len")), 0);
+
+    let closed = c.round_trip(&format!(r#"{{"cmd":"close","session":{session}}}"#));
+    assert_ok(&closed);
+    assert_eq!(as_u64(field(&closed, "closed")), session);
+
+    let gone = c.round_trip(&format!(r#"{{"cmd":"query","session":{session}}}"#));
+    assert_eq!(field(&gone, "ok"), &Json::Bool(false));
+}
+
+#[test]
+fn subscribe_streams_updates_to_the_wire() {
+    let addr = start_server();
+    let mut c = Client::connect(addr);
+
+    let opened = c.round_trip(r#"{"cmd":"open","program":"counter"}"#);
+    assert_ok(&opened);
+    let session = as_u64(field(&opened, "session"));
+
+    let sub = c.round_trip(&format!(r#"{{"cmd":"subscribe","session":{session}}}"#));
+    assert_ok(&sub);
+
+    c.send(&format!(
+        r#"{{"cmd":"event","session":{session},"input":"Mouse.clicks","value":"Unit"}}"#
+    ));
+    c.send(&format!(r#"{{"cmd":"query","session":{session}}}"#));
+
+    // Replies and pushed updates interleave on the same socket; collect
+    // until we have seen the update, the event reply, and the query reply.
+    let mut update = None;
+    let mut replies = 0;
+    while update.is_none() || replies < 2 {
+        let msg = c.recv();
+        if msg.get("update").is_some() {
+            update = Some(msg);
+        } else {
+            assert_ok(&msg);
+            replies += 1;
+        }
+    }
+    let update = update.unwrap();
+    assert_eq!(field(&update, "update"), &Json::Str("changed".into()));
+    assert_eq!(as_u64(field(&update, "seq")), 1);
+    assert_eq!(field(field(&update, "value"), "Int"), &Json::I64(1));
+}
+
+#[test]
+fn ad_hoc_source_and_stats_over_tcp() {
+    let addr = start_server();
+    let mut c = Client::connect(addr);
+
+    let src = "main = foldp (\\\\x acc -> acc + x) 0 Mouse.x";
+    let opened = c.round_trip(&format!(r#"{{"cmd":"open","source":"{src}"}}"#));
+    assert_ok(&opened);
+    let session = as_u64(field(&opened, "session"));
+
+    for n in [3, 4, 5] {
+        let r = c.round_trip(&format!(
+            r#"{{"cmd":"event","session":{session},"input":"Mouse.x","value":{{"Int":{n}}}}}"#
+        ));
+        assert_ok(&r);
+    }
+    let q = c.round_trip(&format!(r#"{{"cmd":"query","session":{session}}}"#));
+    assert_eq!(field(field(&q, "value"), "Int"), &Json::I64(12));
+
+    let stats = c.round_trip(r#"{"cmd":"stats"}"#);
+    assert_ok(&stats);
+    let global = field(&stats, "global");
+    assert_eq!(as_u64(field(global, "sessions_live")), 1);
+    assert_eq!(as_u64(field(global, "opened")), 1);
+
+    let bad = c.round_trip(r#"{"cmd":"open"}"#);
+    assert_eq!(field(&bad, "ok"), &Json::Bool(false));
+
+    let garbage = c.round_trip("this is not json");
+    assert_eq!(field(&garbage, "ok"), &Json::Bool(false));
+}

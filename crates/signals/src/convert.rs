@@ -226,7 +226,10 @@ mod tests {
     fn mismatched_shapes_decode_to_none() {
         assert_eq!(i64::from_value(&Value::str("no")), None);
         assert_eq!(<(i64, i64)>::from_value(&Value::Int(1)), None);
-        assert_eq!(Vec::<i64>::from_value(&Value::list([Value::Bool(true)])), None);
+        assert_eq!(
+            Vec::<i64>::from_value(&Value::list([Value::Bool(true)])),
+            None
+        );
     }
 
     #[test]

@@ -161,13 +161,12 @@ impl<T: SignalValue> Signal<T> {
     }
 
     /// `lift : (a -> b) -> Signal a -> Signal b` (paper §2, Example 2).
-    pub fn map<U: SignalValue>(
-        &self,
-        f: impl Fn(T) -> U + Send + Sync + 'static,
-    ) -> Signal<U> {
-        let id = self.net.borrow_mut().lift1("lift", move |v| {
-            f(T::from_value_unwrap(v)).into_value()
-        }, self.id);
+    pub fn map<U: SignalValue>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Signal<U> {
+        let id = self.net.borrow_mut().lift1(
+            "lift",
+            move |v| f(T::from_value_unwrap(v)).into_value(),
+            self.id,
+        );
         self.derive(id)
     }
 
@@ -213,11 +212,7 @@ impl<T: SignalValue> Signal<T> {
     }
 
     /// `keepIf : (a -> Bool) -> a -> Signal a -> Signal a`.
-    pub fn keep_if(
-        &self,
-        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
-        base: T,
-    ) -> Signal<T> {
+    pub fn keep_if(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static, base: T) -> Signal<T> {
         let id = self.net.borrow_mut().keep_if(
             move |v| pred(&T::from_value_unwrap(v)),
             base.into_value(),
@@ -227,11 +222,7 @@ impl<T: SignalValue> Signal<T> {
     }
 
     /// `dropIf : (a -> Bool) -> a -> Signal a -> Signal a`.
-    pub fn drop_if(
-        &self,
-        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
-        base: T,
-    ) -> Signal<T> {
+    pub fn drop_if(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static, base: T) -> Signal<T> {
         let id = self.net.borrow_mut().drop_if(
             move |v| pred(&T::from_value_unwrap(v)),
             base.into_value(),
@@ -382,13 +373,14 @@ pub fn merges<T: SignalValue>(signals: &[Signal<T>]) -> Signal<T> {
 ///
 /// Panics if `signals` is empty.
 pub fn combine<T: SignalValue>(signals: &[Signal<T>]) -> Signal<Vec<T>> {
-    let first = signals.first().expect("combine requires at least one signal");
+    let first = signals
+        .first()
+        .expect("combine requires at least one signal");
     let ids: Vec<_> = signals.iter().map(|s| s.id).collect();
-    let id = first.net.borrow_mut().lift_n(
-        "combine",
-        |vs| Value::list(vs.iter().cloned()),
-        ids,
-    );
+    let id = first
+        .net
+        .borrow_mut()
+        .lift_n("combine", |vs| Value::list(vs.iter().cloned()), ids);
     first.derive(id)
 }
 

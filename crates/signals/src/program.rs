@@ -41,6 +41,18 @@ pub struct Program<T> {
     _marker: PhantomData<fn() -> T>,
 }
 
+impl Program<Value> {
+    /// Wraps an already-built signal graph (e.g. compiled by `felm`) as a
+    /// dynamically-typed program: the output signal carries raw [`Value`]s.
+    ///
+    /// This is the entry point for hosts that receive graphs at runtime —
+    /// like the multi-session server — rather than building them through
+    /// [`crate::SignalNetwork`]'s typed combinators.
+    pub fn from_dynamic_graph(graph: SignalGraph) -> Self {
+        Program::from_graph(graph)
+    }
+}
+
 impl<T: SignalValue> Program<T> {
     pub(crate) fn from_graph(graph: SignalGraph) -> Self {
         Program {
@@ -99,7 +111,11 @@ impl<T: SignalValue> Running<T> {
     ///
     /// Fails if the handle belongs to a different graph or the runtime has
     /// stopped.
-    pub fn send<U: SignalValue>(&mut self, input: &InputHandle<U>, value: U) -> Result<(), RunError> {
+    pub fn send<U: SignalValue>(
+        &mut self,
+        input: &InputHandle<U>,
+        value: U,
+    ) -> Result<(), RunError> {
         let occ = Occurrence::input(input.node_id(), value.into_value());
         match &mut self.inner {
             Inner::Concurrent(rt) => rt.feed(occ),
@@ -123,6 +139,34 @@ impl<T: SignalValue> Running<T> {
             Inner::Concurrent(rt) => rt.feed(occ),
             Inner::Synchronous(rt) => rt.feed(occ),
         }
+    }
+
+    /// Sends a batch of dynamic events, each addressed by input name, in
+    /// order. One name resolution error aborts the batch at that point:
+    /// earlier events are already queued, the failing one and everything
+    /// after it are not.
+    ///
+    /// This is the bulk ingress path used by the multi-session server —
+    /// resolving names once per event but making only one pass over the
+    /// engine dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unknown input name or if the runtime has
+    /// stopped.
+    pub fn feed_batch(&mut self, events: &[(&str, Value)]) -> Result<(), RunError> {
+        for (name, value) in events {
+            let id = self
+                .graph
+                .input_named(name)
+                .ok_or_else(|| RunError::WorkerLost(format!("unknown input '{name}'")))?;
+            let occ = Occurrence::input(id, value.clone());
+            match &mut self.inner {
+                Inner::Concurrent(rt) => rt.feed(occ)?,
+                Inner::Synchronous(rt) => rt.feed(occ)?,
+            }
+        }
+        Ok(())
     }
 
     /// Feeds every event of a recorded trace (ignoring its timestamps).
@@ -268,6 +312,24 @@ mod tests {
         run.send_named("Mouse.clicks", Value::Unit).unwrap();
         assert!(run.send_named("Nope", Value::Unit).is_err());
         assert_eq!(run.drain_changes().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn feed_batch_queues_in_order_and_stops_at_first_error() {
+        let (prog, _h) = counter_program();
+        let mut run = prog.start(Engine::Synchronous);
+        run.feed_batch(&[("Mouse.clicks", Value::Unit), ("Mouse.clicks", Value::Unit)])
+            .unwrap();
+        assert_eq!(run.drain_changes().unwrap(), vec![1, 2]);
+
+        // Unknown name aborts mid-batch: the first event still lands.
+        let err = run.feed_batch(&[
+            ("Mouse.clicks", Value::Unit),
+            ("No.such.input", Value::Unit),
+            ("Mouse.clicks", Value::Unit),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(run.drain_changes().unwrap(), vec![3]);
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn main() {
             });
             (path.clone(), src)
         }
-        None => ("<bundled slideshow counter>".to_string(), BUNDLED.to_string()),
+        None => (
+            "<bundled slideshow counter>".to_string(),
+            BUNDLED.to_string(),
+        ),
     };
 
     let env = InputEnv::standard();
@@ -52,8 +55,8 @@ fn main() {
     }
 
     let (js, stats) = elm_compiler::compile_with_stats(&source, &env).expect("compiles");
-    let html = elm_compiler::compile_to_html("compiled elm program", &source, &env)
-        .expect("compiles");
+    let html =
+        elm_compiler::compile_to_html("compiled elm program", &source, &env).expect("compiles");
     println!(
         "  {} bytes of FElm -> {} bytes of JavaScript ({} graph nodes)",
         stats.source_bytes, stats.output_bytes, stats.graph_nodes

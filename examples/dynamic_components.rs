@@ -61,9 +61,12 @@ impl Board {
             "{} widget(s); click adds one, ticks advance all:",
             self.widgets.len()
         ))];
-        rows.extend(self.outputs.iter().enumerate().map(|(k, v)| {
-            Element::as_text(format!("  widget {k} (x{}): {v}", k + 1))
-        }));
+        rows.extend(
+            self.outputs
+                .iter()
+                .enumerate()
+                .map(|(k, v)| Element::as_text(format!("  widget {k} (x{}): {v}", k + 1))),
+        );
         flow(Direction::Down, rows)
     }
 }

@@ -55,7 +55,10 @@ fn main() {
 
     // The user types "flower", then wiggles the mouse while the fetch is
     // in flight.
-    for (i, prefix) in ["f", "fl", "flo", "flow", "flowe", "flower"].iter().enumerate() {
+    for (i, prefix) in ["f", "fl", "flo", "flow", "flowe", "flower"]
+        .iter()
+        .enumerate()
+    {
         gui.send(&tags_handle, prefix.to_string()).unwrap();
         gui.send(&mouse_handle, (10 + i as i64, 20)).unwrap();
     }

@@ -52,7 +52,9 @@ fn step(input: &Frame, g: &Game) -> Game {
     let mut g = g.clone();
     let dt = input.dt;
     // Paddles.
-    g.left_y = input.mouse_y.clamp(-H / 2.0 + PADDLE_H / 2.0, H / 2.0 - PADDLE_H / 2.0);
+    g.left_y = input
+        .mouse_y
+        .clamp(-H / 2.0 + PADDLE_H / 2.0, H / 2.0 - PADDLE_H / 2.0);
     g.right_y = (g.right_y + input.arrows_y * 180.0 * dt)
         .clamp(-H / 2.0 + PADDLE_H / 2.0, H / 2.0 - PADDLE_H / 2.0);
     // Ball.

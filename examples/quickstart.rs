@@ -26,7 +26,10 @@ fn main() {
     );
     let main_el = Element::container(180, 100, Position::MIDDLE, content);
 
-    println!("-- Figure 1: basic layout ({}x{}) --", main_el.width, main_el.height);
+    println!(
+        "-- Figure 1: basic layout ({}x{}) --",
+        main_el.width, main_el.height
+    );
     let dl = elm_graphics::layout(&main_el);
     print!("{}", ascii::to_ascii(&dl));
 

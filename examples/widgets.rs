@@ -5,8 +5,8 @@
 //! A small settings panel built from all four widgets, driven headlessly.
 //! Run with `cargo run --example widgets`.
 
-use elm_frp::prelude::*;
 use elm_environment::{button, checkbox, slider, text_input};
+use elm_frp::prelude::*;
 use elm_signals::lift4;
 
 fn main() {
@@ -19,9 +19,7 @@ fn main() {
     let save_count = saves.count();
     let summary = lift4(
         |n: String, d: bool, v: f64, s: i64| {
-            format!(
-                "settings: name={n:?} dark={d} volume={v:.2} (saved {s}x)",
-            )
+            format!("settings: name={n:?} dark={d} volume={v:.2} (saved {s}x)",)
         },
         &name,
         &dark,
@@ -40,10 +38,7 @@ fn main() {
     );
     let main_sig = lift2(
         |w: Opaque<Element>, s: String| {
-            Opaque(flow(
-                Direction::Down,
-                vec![w.0, Element::plain_text(s)],
-            ))
+            Opaque(flow(Direction::Down, vec![w.0, Element::plain_text(s)]))
         },
         &widgets,
         &summary,

@@ -61,7 +61,10 @@ fn main() {
             &mouse,
         );
         let program = net.program(&main_sig).unwrap();
-        println!("-- Fig. 8(c): async wordPairs + mouse --\n{}", program.to_dot());
+        println!(
+            "-- Fig. 8(c): async wordPairs + mouse --\n{}",
+            program.to_dot()
+        );
 
         let mut run = program.start(Engine::Concurrent);
         run.send(&hw, "house".to_string()).unwrap();

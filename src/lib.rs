@@ -49,7 +49,7 @@ pub mod prelude {
         collage, flow, layers, palette, Color, Direction, Element, Form, Position, Text,
     };
     pub use elm_signals::{
-        combine as combine_signals, lift2, lift3, lift4, merges, zip, Engine, InputHandle,
-        Opaque, Program, Running, Signal, SignalNetwork, SignalValue,
+        combine as combine_signals, lift2, lift3, lift4, merges, zip, Engine, InputHandle, Opaque,
+        Program, Running, Signal, SignalNetwork, SignalValue,
     };
 }

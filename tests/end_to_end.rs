@@ -84,7 +84,13 @@ fn example3_gui_stays_responsive_and_converges() {
     let requests = tags.map(|t| MockHttp::request_tag(&t));
     let responses = elm_environment::sync_get(http, &requests);
     let image = responses
-        .map(|r| Opaque(Element::fitted_image(300, 200, MockHttp::image_url_of(&r).unwrap_or_default())))
+        .map(|r| {
+            Opaque(Element::fitted_image(
+                300,
+                200,
+                MockHttp::image_url_of(&r).unwrap_or_default(),
+            ))
+        })
         .async_();
     let scene = elm_signals::lift3(
         |f: Opaque<Element>, p: (i64, i64), img: Opaque<Element>| {
@@ -103,7 +109,10 @@ fn example3_gui_stays_responsive_and_converges() {
     gui.send(&tags_h, "flower".to_string()).unwrap();
     gui.send(&mouse_h, (42, 7)).unwrap();
     let screen = gui.screen_ascii();
-    assert!(screen.contains("(42, 7)"), "mouse position visible:\n{screen}");
+    assert!(
+        screen.contains("(42, 7)"),
+        "mouse position visible:\n{screen}"
+    );
     // After quiescence the async image result has arrived; layout contains
     // the fitted image box (rastered as ▒).
     assert!(screen.contains('\u{2592}'), "image visible:\n{screen}");

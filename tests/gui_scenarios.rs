@@ -124,7 +124,13 @@ fn example3_full_session_via_simulator() {
     let requests = tags.map(|t| MockHttp::request_tag(&t));
     let responses = elm_environment::sync_get(http.clone(), &requests);
     let image = responses
-        .map(|r| Opaque(Element::fitted_image(300, 60, MockHttp::image_url_of(&r).unwrap_or_default())))
+        .map(|r| {
+            Opaque(Element::fitted_image(
+                300,
+                60,
+                MockHttp::image_url_of(&r).unwrap_or_default(),
+            ))
+        })
         .async_();
     let scene = lift3(
         |f: Opaque<Element>, p: (i64, i64), img: Opaque<Element>| {

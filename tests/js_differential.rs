@@ -42,11 +42,7 @@ fn to_json(v: &Value) -> String {
         Value::Int(n) => n.to_string(),
         Value::Float(x) => format!("{x}"),
         Value::Str(s) => format!("{:?}", s.as_ref()),
-        Value::Pair(p) => format!(
-            "{{\"fst\": {}, \"snd\": {}}}",
-            to_json(&p.0),
-            to_json(&p.1)
-        ),
+        Value::Pair(p) => format!("{{\"fst\": {}, \"snd\": {}}}", to_json(&p.0), to_json(&p.1)),
         Value::List(items) => format!(
             "[{}]",
             items.iter().map(to_json).collect::<Vec<_>>().join(", ")
@@ -94,7 +90,8 @@ fn differential(src: &str, events: &[(&str, Value)]) {
     let initial = rt.output_value().clone();
     for (name, value) in events {
         let id = graph.input_named(name).expect("declared input");
-        rt.feed(Occurrence::input(id, value.clone())).expect("feeds");
+        rt.feed(Occurrence::input(id, value.clone()))
+            .expect("feeds");
     }
     let outs = rt.run_to_quiescence();
     let mut expected: Vec<String> = vec![to_json(&initial)];

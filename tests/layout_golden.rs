@@ -82,7 +82,9 @@ fn fig12_svg_golden() {
     assert_eq!(doc.matches("<polyline").count(), 1);
     // The pentagon is filled green; circle dashed blue; square solid black.
     assert!(doc.contains("fill=\"rgba(115,210,22,1)\""));
-    assert!(doc.contains("stroke=\"rgba(52,101,164,1)\" stroke-width=\"1\" fill=\"none\" stroke-dasharray=\"8,4\""));
+    assert!(doc.contains(
+        "stroke=\"rgba(52,101,164,1)\" stroke-width=\"1\" fill=\"none\" stroke-dasharray=\"8,4\""
+    ));
     assert!(doc.contains("stroke=\"rgba(0,0,0,1)\""));
     // The zigzag was moved (40, 40): its first point lands at collage
     // center (70,70) + (40,-40) = (110, 30).

@@ -43,11 +43,19 @@ fn random_graph(seed: u64, with_async: bool) -> RandomGraph {
     };
     for k in 0..n_compute {
         let pick = |rng: &mut StdRng, pool: &[NodeId]| pool[rng.gen_range(0..pool.len())];
-        let choice = if async_at == Some(k) { 6 } else { rng.gen_range(0..6) };
+        let choice = if async_at == Some(k) {
+            6
+        } else {
+            rng.gen_range(0..6)
+        };
         let id = match choice {
             0 => {
                 let a = pick(&mut rng, &pool);
-                g.lift1(format!("neg{k}"), |v| Value::Int(-v.as_int().unwrap_or(0)), a)
+                g.lift1(
+                    format!("neg{k}"),
+                    |v| Value::Int(-v.as_int().unwrap_or(0)),
+                    a,
+                )
             }
             1 => {
                 let (a, b) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
@@ -181,7 +189,11 @@ fn async_preserves_per_signal_order_under_load() {
     let i = g.input("i", 0i64);
     let mut cur = i;
     for d in 0..8 {
-        cur = g.lift1(format!("stage{d}"), |v| Value::Int(v.as_int().unwrap() + 1), cur);
+        cur = g.lift1(
+            format!("stage{d}"),
+            |v| Value::Int(v.as_int().unwrap() + 1),
+            cur,
+        );
     }
     let a = g.async_source(cur);
     let out = g.lift1("id", |v| v.clone(), a);

@@ -57,10 +57,7 @@ impl Gen {
             1 => Type::Str,
             2 => Type::pair(Type::Int, Type::Int),
             3 => Type::list(Type::Int),
-            4 => Type::record([
-                ("x".to_string(), Type::Int),
-                ("y".to_string(), Type::Str),
-            ]),
+            4 => Type::record([("x".to_string(), Type::Int), ("y".to_string(), Type::Str)]),
             5 => Type::Named("Shade".to_string()),
             _ => Type::fun(Type::Int, Type::Int),
         }
@@ -70,8 +67,7 @@ impl Gen {
     fn expr(&mut self, ty: &Type, ctx: &[(String, Type)], depth: u32) -> Expr {
         // Prefer a variable of the right type sometimes.
         if depth == 0 || self.rng.gen_bool(0.25) {
-            let candidates: Vec<&(String, Type)> =
-                ctx.iter().filter(|(_, t)| t == ty).collect();
+            let candidates: Vec<&(String, Type)> = ctx.iter().filter(|(_, t)| t == ty).collect();
             if !candidates.is_empty() && self.rng.gen_bool(0.7) {
                 let (name, _) = candidates[self.rng.gen_range(0..candidates.len())];
                 return Expr::synth(ExprKind::Var(name.clone()));
@@ -124,7 +120,7 @@ impl Gen {
         match ty {
             Type::Int => Expr::synth(ExprKind::Int(self.rng.gen_range(-9..10))),
             Type::Str => Expr::synth(ExprKind::Str(
-                ["a", "b", "xyz", ""][self.rng.gen_range(0..4)].to_string(),
+                ["a", "b", "xyz", ""][self.rng.gen_range(0..4usize)].to_string(),
             )),
             Type::Unit => Expr::synth(ExprKind::Unit),
             Type::Pair(a, b) => Expr::synth(ExprKind::Pair(
@@ -262,8 +258,7 @@ impl Gen {
     fn signal(&mut self, payload: &Type, ctx: &[(String, Type)], depth: u32) -> Expr {
         let sig_ty = Type::signal(payload.clone());
         // Existing signal variable?
-        let candidates: Vec<&(String, Type)> =
-            ctx.iter().filter(|(_, t)| *t == sig_ty).collect();
+        let candidates: Vec<&(String, Type)> = ctx.iter().filter(|(_, t)| *t == sig_ty).collect();
         if !candidates.is_empty() && self.rng.gen_bool(0.3) {
             let (name, _) = candidates[self.rng.gen_range(0..candidates.len())];
             return Expr::synth(ExprKind::Var(name.clone()));
@@ -374,7 +369,7 @@ impl Gen {
     fn input_for(&mut self, payload: &Type) -> Expr {
         let name = match payload {
             Type::Int => ["Mouse.x", "Mouse.y", "Window.width", "Keyboard.lastPressed"]
-                [self.rng.gen_range(0..4)],
+                [self.rng.gen_range(0..4usize)],
             Type::Str => "Words.input",
             Type::Pair(_, _) => "Mouse.position",
             Type::Unit => "Mouse.clicks",
@@ -415,7 +410,12 @@ fn theorem1_holds_on_generated_terms() {
         // (1) Well typed at the target type, by both type systems.
         let checked = type_of_with(&env, &adts, &e)
             .unwrap_or_else(|err| panic!("seed {seed}: checker rejected: {err}\n{}", pretty(&e)));
-        assert_eq!(checked, ty, "seed {seed}: unexpected type for {}", pretty(&e));
+        assert_eq!(
+            checked,
+            ty,
+            "seed {seed}: unexpected type for {}",
+            pretty(&e)
+        );
         let inferred = infer_type_with(&env, &adts, &e)
             .unwrap_or_else(|err| panic!("seed {seed}: inference rejected: {err}"));
         assert_eq!(inferred, ty, "seed {seed}: inference disagrees");
@@ -425,7 +425,11 @@ fn theorem1_holds_on_generated_terms() {
             .unwrap_or_else(|err| panic!("seed {seed}: evaluation failed: {err}\n{}", pretty(&e)));
 
         // (3) Final term in the Fig. 5 grammar.
-        assert!(is_final(&normal), "seed {seed}: not final: {}", pretty(&normal));
+        assert!(
+            is_final(&normal),
+            "seed {seed}: not final: {}",
+            pretty(&normal)
+        );
         FinalTerm::from_expr(&normal)
             .unwrap_or_else(|err| panic!("seed {seed}: IL violation: {err}"));
 
@@ -499,12 +503,19 @@ fn big_step_agrees_with_small_step() {
         }
         let normal = normalize(&e, DEFAULT_FUEL).unwrap();
         let small = expr_to_value(&normal).expect("data-typed result");
-        let big = to_runtime_value(&eval(&Env::empty(), &e).unwrap())
-            .expect("data-typed result");
-        assert_eq!(small, big, "seed {seed}: interpreters disagree on {}", pretty(&e));
+        let big = to_runtime_value(&eval(&Env::empty(), &e).unwrap()).expect("data-typed result");
+        assert_eq!(
+            small,
+            big,
+            "seed {seed}: interpreters disagree on {}",
+            pretty(&e)
+        );
         compared += 1;
     }
-    assert!(compared > 100, "expected many data-typed terms, got {compared}");
+    assert!(
+        compared > 100,
+        "expected many data-typed terms, got {compared}"
+    );
 }
 
 #[test]
@@ -530,7 +541,10 @@ fn generated_reactive_terms_translate_and_run() {
         let mut rt = SyncRuntime::new(&graph);
         for node in graph.nodes() {
             if let elm_runtime::NodeKind::Input { name } = &node.kind {
-                let v = env.get(name).map(|d| d.default.clone()).unwrap_or(Value::Unit);
+                let v = env
+                    .get(name)
+                    .map(|d| d.default.clone())
+                    .unwrap_or(Value::Unit);
                 rt.feed(Occurrence::input(node.id, v)).unwrap();
             }
         }

@@ -1,0 +1,324 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness-`false` benchmark API this workspace uses:
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_custom`,
+//! throughput annotation, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is simple wall-clock sampling (no statistics
+//! beyond mean over samples).
+//!
+//! `cargo test` also runs harness-`false` bench binaries; to keep the test
+//! suite fast, each benchmark body executes exactly once in that mode.
+//! Full timing only happens under `cargo bench` (detected via the
+//! `--bench` argument cargo passes) or with `CRITERION_FORCE=1`.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Whether this process should actually measure or just smoke-run.
+fn measuring() -> bool {
+    std::env::args().any(|a| a == "--bench") || std::env::var_os("CRITERION_FORCE").is_some()
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    measuring: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measuring: measuring(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if self.measuring {
+            eprintln!("group {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Annotates following benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        if !self.criterion.measuring {
+            // Smoke mode (`cargo test`): one iteration, no timing output.
+            let mut b = Bencher {
+                mode: Mode::Smoke,
+                elapsed: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            return;
+        }
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter = loop {
+            let mut b = Bencher {
+                mode: Mode::Measure { iters: 1 },
+                elapsed: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            let per = b.elapsed.max(Duration::from_nanos(1));
+            if Instant::now() >= warm_deadline {
+                break per;
+            }
+        };
+        // Sampling: pick an iteration count per sample that fits the budget.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+                .clamp(1, 1_000_000_000) as u64;
+            let mut b = Bencher {
+                mode: Mode::Measure { iters },
+                elapsed: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += b.iters_done;
+            per_iter = Duration::from_nanos(
+                (b.elapsed.as_nanos() / u128::from(b.iters_done.max(1))).max(1) as u64,
+            );
+        }
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / mean_ns * 1e9 / 1e6),
+            Throughput::Bytes(n) => format!(
+                " ({:.3} MiB/s)",
+                n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+            ),
+        });
+        eprintln!(
+            "  {}/{:<40} {:>12.1} ns/iter{}",
+            self.name,
+            id.id,
+            mean_ns,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Ends the group (display symmetry with real criterion).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    Smoke,
+    Measure { iters: u64 },
+}
+
+/// Passed to each benchmark body to drive iterations.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let iters = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure { iters } => iters,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += iters;
+    }
+
+    /// Lets the body time `iters` iterations itself and report the total.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        let iters = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure { iters } => iters,
+        };
+        self.elapsed += f(iters);
+        self.iters_done += iters;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion { measuring: false };
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(50);
+            group.bench_function("one", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measuring_mode_reports_and_iterates() {
+        let mut c = Criterion { measuring: true };
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.measurement_time(Duration::from_millis(30));
+            group.warm_up_time(Duration::from_millis(5));
+            group.throughput(Throughput::Elements(10));
+            group.bench_with_input(BenchmarkId::new("n", 4), &4u32, |b, &_x| {
+                b.iter(|| calls += 1)
+            });
+            group.finish();
+        }
+        assert!(calls > 3);
+    }
+
+    #[test]
+    fn iter_custom_accumulates_reported_time() {
+        let mut c = Criterion { measuring: true };
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.measurement_time(Duration::from_millis(10));
+            group.warm_up_time(Duration::from_millis(1));
+            group.bench_function("custom", |b| {
+                b.iter_custom(|iters| Duration::from_nanos(iters * 100))
+            });
+            group.finish();
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! MPMC channels (the `crossbeam-channel` subset the workspace uses).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error on [`Sender::send`]: all receivers are gone. Carries the value.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error on [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Error on [`Receiver::recv`]: channel empty and all senders gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error on [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+/// Error on [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Waiters blocked in `recv` (signalled on push / disconnect).
+    readable: Condvar,
+    /// Waiters blocked in bounded `send` (signalled on pop / disconnect).
+    writable: Condvar,
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC: each message is
+/// delivered to exactly one receiver).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a channel of unbounded capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a channel holding at most `cap` messages; `send` blocks when
+/// full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake blocked receivers so they observe
+            // disconnection.
+            let _guard = self.inner.lock();
+            self.inner.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.inner.lock();
+            self.inner.writable.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Fails (returning the value) if all receivers were dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.inner.lock();
+        loop {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if q.len() >= cap => {
+                    q = self
+                        .inner
+                        .writable
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        q.push_back(value);
+        self.inner.readable.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `Full` if a bounded channel is at capacity, or
+    /// `Disconnected` if all receivers were dropped.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.inner.lock();
+        if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.inner.capacity {
+            if q.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        q.push_back(value);
+        self.inner.readable.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Fails once the channel is empty and all senders were dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.inner.writable.notify_one();
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            q = self
+                .inner
+                .readable
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receives a message, blocking up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// `Timeout` if nothing arrived in time; `Disconnected` once the
+    /// channel is empty and all senders were dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.inner.writable.notify_one();
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, res) = self
+                .inner
+                .readable
+                .wait_timeout(q, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+            if res.timed_out() && q.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// `Empty` if no message is ready; `Disconnected` once the channel is
+    /// empty and all senders were dropped.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.inner.lock();
+        if let Some(v) = q.pop_front() {
+            self.inner.writable.notify_one();
+            return Ok(v);
+        }
+        if self.inner.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over messages until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Blocking iterator for [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Non-blocking iterator for [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let t = std::thread::spawn(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn mpmc_distributes_across_receivers() {
+        let (tx, rx) = unbounded::<usize>();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || rx2.iter().count());
+        let a = rx.iter().count();
+        let b = h.join().unwrap();
+        assert_eq!(a + b, 100);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`channel`] — MPMC channels with the `crossbeam-channel` API
+//! the workspace uses (`unbounded`, `bounded`, cloneable senders *and*
+//! receivers, `recv_timeout`, `try_recv`). Built on `Mutex` + `Condvar`;
+//! slower than the real lock-free implementation but semantically
+//! equivalent, including disconnect behavior on last-handle drop.
+
+pub mod channel;

@@ -1,0 +1,588 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Random-generation property testing with proptest's API shape but
+//! without shrinking: a failing case panics with the generated inputs in
+//! the assertion message instead of minimizing them. Strategies are
+//! composable generator objects ([`strategy::Strategy`]); the `proptest!`
+//! macro expands each property into a `#[test]` that runs
+//! `ProptestConfig::cases` deterministic cases.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy combinators and the [`Strategy`](strategy::Strategy) trait.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike real proptest there is no shrinking: `new_tree` captures a
+    /// single generated value.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+            O: 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+        }
+
+        /// Generates one value wrapped in a [`ValueTree`].
+        ///
+        /// # Errors
+        ///
+        /// Never fails here; the `Result` mirrors real proptest.
+        fn new_tree(
+            &self,
+            runner: &mut crate::test_runner::TestRunner,
+        ) -> Result<TestTree<Self::Value>, String> {
+            Ok(TestTree {
+                value: self.generate(runner.rng()),
+            })
+        }
+    }
+
+    /// A generated value (real proptest's shrink tree, minus shrinking).
+    pub trait ValueTree {
+        /// The type of the captured value.
+        type Value;
+
+        /// The current (= only) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The concrete [`ValueTree`]: just the generated value.
+    pub struct TestTree<T> {
+        pub(crate) value: T,
+    }
+
+    impl<T: Clone> ValueTree for TestTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// A type-erased, reference-counted strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut StdRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generator closure.
+        pub fn from_fn(f: impl Fn(&mut StdRng) -> T + 'static) -> Self {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// A strategy that always yields the same value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among boxed strategies (`prop_oneof!` backend).
+    pub struct Union;
+
+    impl Union {
+        /// Builds the weighted-choice strategy.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or all weights are zero.
+        #[allow(clippy::new_ret_no_self)] // mirrors the real proptest signature
+        pub fn new<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+            let total: u32 = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted option");
+            BoxedStrategy::from_fn(move |rng| {
+                let mut pick = rng.gen_range(0..total);
+                for (w, s) in &options {
+                    if pick < *w {
+                        return s.generate(rng);
+                    }
+                    pick -= w;
+                }
+                unreachable!("weights covered the whole range")
+            })
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($t:ident $idx:tt),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+
+    /// String strategies from a small regex subset: literal characters,
+    /// `[a-z0-9_]`-style classes, and `{n}` / `{m,n}` / `?` / `*` / `+`
+    /// quantifiers (with `*`/`+` capped at 8 repeats).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal.
+            let atom: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                    let class = expand_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling `\\` in pattern {pattern:?}"));
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse::<usize>().unwrap(),
+                            n.trim().parse::<usize>().unwrap(),
+                        ),
+                        None => {
+                            let n = body.trim().parse::<usize>().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let reps = rng.gen_range(lo..=hi);
+            for _ in 0..reps {
+                out.push(atom[rng.gen_range(0..atom.len())]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                for c in lo..=hi {
+                    chars.push(char::from_u32(c).unwrap());
+                }
+                i += 3;
+            } else {
+                chars.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty class in pattern {pattern:?}");
+        chars
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use super::*;
+
+    /// A range of collection sizes.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let len = rng.gen_range(size.lo..size.hi_exclusive);
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Test-runner state and configuration.
+pub mod test_runner {
+    use super::*;
+
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Holds the RNG driving generation.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed: identical values every run.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x70726f7074657374),
+            }
+        }
+
+        /// The generation RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::deterministic()
+        }
+    }
+}
+
+/// Arbitrary: default strategies per type (`any::<T>()`).
+pub mod arbitrary {
+    use super::strategy::BoxedStrategy;
+    use super::*;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The whole-domain strategy for `Self`.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    BoxedStrategy::from_fn(|rng| rng.gen_range(<$t>::MIN..=<$t>::MAX))
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            BoxedStrategy::from_fn(|rng| rng.gen_bool(0.5))
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary() -> BoxedStrategy<f64> {
+            // Finite, sign-symmetric, spanning many magnitudes.
+            BoxedStrategy::from_fn(|rng| {
+                let mag = rng.gen_range(-300i32..=300);
+                rng.gen_range(-1.0f64..1.0) * 10f64.powi(mag / 10)
+            })
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+/// Everything test files import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec`, …).
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a property (panics with the message; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted or unweighted choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::deterministic();
+            for _case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        runner.rng(),
+                    );
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        let strat = (1u32..10, 0.0f64..=1.0);
+        for _ in 0..200 {
+            let (a, b) = strat.generate(runner.rng());
+            assert!((1..10).contains(&a));
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(runner.rng());
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_loosely() {
+        let mut runner = TestRunner::deterministic();
+        let strat = prop_oneof![
+            9 => Just(1i32),
+            1 => Just(2i32),
+        ];
+        let ones = (0..500)
+            .filter(|_| strat.generate(runner.rng()) == 1)
+            .count();
+        assert!(ones > 300, "weighted pick looks broken: {ones}/500");
+    }
+
+    #[test]
+    fn collection_vec_obeys_size_range() {
+        let mut runner = TestRunner::deterministic();
+        let strat = prop::collection::vec(0u8..5, 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(runner.rng());
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0i64..100, v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x >= 0);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

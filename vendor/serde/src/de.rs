@@ -1,0 +1,227 @@
+//! Deserialization: rebuilding values from [`Content`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::Content;
+
+/// Deserialization failure: a human-readable path-less message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// A type-mismatch error naming what was expected and found.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tree's shape does not match `Self`.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Reads a struct field from a map, treating a missing key as `Null` (so
+/// `Option` fields default to `None`, as with real serde's derive).
+pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, Error> {
+    match map.get(name) {
+        Some(v) => T::from_content(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => {
+            T::from_content(&Content::Null).map_err(|_| Error(format!("missing field `{name}`")))
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let n: i128 = match content {
+                    Content::I64(n) => i128::from(*n),
+                    Content::U64(n) => i128::from(*n),
+                    // Tolerate floats that are exactly integral (JSON has
+                    // one number type).
+                    Content::F64(x) if x.fract() == 0.0 => *x as i128,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(x) => Ok(*x),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            // serde_json writes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            other => Err(Error::expected("float", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-char string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Rc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(Arc::from)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::expected("seq", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("seq (tuple)", content))?;
+                if seq.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {} elements, found {}",
+                        $len,
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}

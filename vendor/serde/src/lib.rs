@@ -1,0 +1,90 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! compact serialization framework under serde's names. Instead of serde's
+//! visitor architecture, values convert to and from a single self-describing
+//! tree, [`Content`]; `serde_json` (also vendored) renders that tree as
+//! JSON. Enum representation follows serde's externally-tagged convention,
+//! so the wire shapes match what real serde would produce for the same
+//! types.
+//!
+//! `#[derive(Serialize, Deserialize)]` works via the vendored
+//! `serde_derive` proc-macro for non-generic structs and enums — exactly
+//! the shapes this workspace defines.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+// The derive macros shadow the trait names in the macro namespace, exactly
+// like real serde with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree: the data model every [`Serialize`] type
+/// lowers to and every [`Deserialize`] type is rebuilt from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// Null / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (array / tuple).
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order (struct / map / tagged
+    /// enum variant).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short label for error messages ("map", "seq", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "seq",
+            Content::Map(_) => "map",
+        }
+    }
+}

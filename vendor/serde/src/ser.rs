@@ -1,0 +1,177 @@
+//! Serialization: lowering values into [`Content`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::Content;
+
+/// Types that can lower themselves into the [`Content`] data model.
+pub trait Serialize {
+    /// Produces the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if *self <= i64::MAX as u64 {
+            Content::I64(*self as i64)
+        } else {
+            Content::U64(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        (*self as u64).to_content()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        // Deterministic output regardless of hasher state.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derive macros targeting
+//! the vendored `serde` crate's [`Content`] data model. Supports the item
+//! shapes this workspace defines: non-generic structs (named, tuple, unit)
+//! and non-generic enums (unit, tuple, and struct variants), with serde's
+//! externally-tagged enum representation.
+//!
+//! `#[serde(...)]` attributes are not supported and produce a compile
+//! error rather than silently changing meaning.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (vendored data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive internal codegen error: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Input model + parser
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    StructNamed(Vec<String>),
+    StructTuple(usize),
+    StructUnit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` outer attributes; rejects `#[serde(...)]`.
+    fn skip_attrs(&mut self) -> Result<(), String> {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        return Err(
+                            "vendored serde_derive does not support #[serde(...)] attributes"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => return Err("malformed attribute".to_string()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Consumes tokens until a top-level `,` (angle-bracket aware),
+    /// leaving the cursor *after* the comma. Returns whether anything was
+    /// consumed before it.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        self.next();
+                        return;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle -= 1;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(ts);
+    c.skip_attrs()?;
+    c.skip_vis();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if c.is_punct('<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            if c.is_punct(';') || c.at_end() {
+                return Ok(Input {
+                    name,
+                    data: Data::StructUnit,
+                });
+            }
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                    name,
+                    data: Data::StructNamed(parse_named_fields(g.stream())?),
+                }),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                    name,
+                    data: Data::StructTuple(count_tuple_elems(g.stream())),
+                }),
+                other => Err(format!("unsupported struct body: {other:?}")),
+            }
+        }
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                data: Data::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs()?;
+        if c.at_end() {
+            return Ok(fields);
+        }
+        c.skip_vis();
+        let field = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        c.skip_until_comma();
+    }
+}
+
+/// Counts the elements of a tuple body (`A, B<C, D>, E`), angle-aware.
+fn count_tuple_elems(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    while !c.at_end() {
+        count += 1;
+        c.skip_until_comma();
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs()?;
+        if c.at_end() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_elems(g.stream());
+                c.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant and the trailing comma.
+        c.skip_until_comma();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::StructUnit => "::serde::Content::Null".to_string(),
+        Data::StructTuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::StructTuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Data::StructNamed(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![(::std::string::String::from({vname:?}), ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(::std::string::String::from({vname:?}), ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_content(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::StructUnit => format!(
+            "match content {{ \
+                 ::serde::Content::Null => Ok({name}), \
+                 other => Err(::serde::de::Error::expected(\"null for unit struct {name}\", other)), \
+             }}"
+        ),
+        Data::StructTuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+        }
+        Data::StructTuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = content.as_seq().ok_or_else(|| ::serde::de::Error::expected(\"seq for tuple struct {name}\", content))?; \
+                 if seq.len() != {n} {{ return Err(::serde::de::Error::custom(format!(\"expected {n} elements for {name}, found {{}}\", seq.len()))); }} \
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Data::StructNamed(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(content, {f:?})?"))
+                .collect();
+            format!(
+                "if content.as_map().is_none() {{ return Err(::serde::de::Error::expected(\"map for struct {name}\", content)); }} \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("{vname:?} => Ok({name}::{vname}),"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push(format!(
+                            "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_content(inner)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => {{ \
+                                 let seq = inner.as_seq().ok_or_else(|| ::serde::de::Error::expected(\"seq for variant {name}::{vname}\", inner))?; \
+                                 if seq.len() != {n} {{ return Err(::serde::de::Error::custom(format!(\"expected {n} elements for {name}::{vname}, found {{}}\", seq.len()))); }} \
+                                 Ok({name}::{vname}({})) \
+                             }}",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de::field(inner, {f:?})?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => Ok({name}::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match content {{ \
+                     ::serde::Content::Str(tag) => match tag.as_str() {{ \
+                         {} \
+                         other => Err(::serde::de::Error::custom(format!(\"unknown unit variant `{{other}}` for {name}\"))), \
+                     }}, \
+                     ::serde::Content::Map(entries) if entries.len() == 1 => {{ \
+                         let (tag, inner) = &entries[0]; \
+                         match tag.as_str() {{ \
+                             {} \
+                             other => Err(::serde::de::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))), \
+                         }} \
+                     }}, \
+                     other => Err(::serde::de::Error::expected(\"externally tagged enum {name}\", other)), \
+                 }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} \
+         }}"
+    )
+}
