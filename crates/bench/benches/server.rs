@@ -1,32 +1,35 @@
 //! Serving-layer scenario: throughput of the multi-session signal server
-//! as the session count grows.
+//! as the session count grows, and the cost of crash recovery.
 //!
-//! Each iteration opens `sessions` instances of the `dashboard` builtin
-//! on an in-process [`Server`], drives every session with its own
+//! Each iteration opens `sessions` instances of a builtin program on an
+//! in-process [`Server`], drives every session with its own
 //! deterministic simulator trace from a driver thread (batched ingress),
-//! and waits for all queues to drain. The interesting comparison is
+//! and waits for all queues to drain. The interesting comparisons are
 //! events/sec at 1 session (pure per-event cost) versus 8 sessions
 //! (shard-parallel hosting) — the serving layer should scale with
-//! available cores rather than serialize sessions.
+//! available cores rather than serialize sessions — and the chaos
+//! variant, which prices write-ahead journaling, periodic snapshots, and
+//! supervised restart under injected crashes against the fault-free
+//! baseline.
 
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use elm_environment::Simulator;
+use elm_environment::{FaultPlan, Simulator};
 use elm_runtime::PlainValue;
-use elm_server::{ProgramSpec, Server, ServerConfig};
+use elm_server::{ProgramSpec, RestartPolicy, Server, ServerConfig, SessionConfig};
 
 const EVENTS_PER_SESSION: usize = 2_000;
 const BATCH: usize = 64;
 
-fn drive(server: &Arc<Server>, traces: &[elm_runtime::Trace]) {
+fn drive(server: &Arc<Server>, program: &str, traces: &[elm_runtime::Trace]) {
     let mut sessions = Vec::with_capacity(traces.len());
     for _ in 0..traces.len() {
         sessions.push(
             server
-                .open(ProgramSpec::Builtin("dashboard"), None, None)
+                .open(ProgramSpec::Builtin(program), None, None)
                 .unwrap()
                 .session,
         );
@@ -69,7 +72,41 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hosted-dashboard", sessions),
             &sessions,
-            |b, _| b.iter(|| drive(&server, &traces)),
+            |b, _| b.iter(|| drive(&server, "dashboard", &traces)),
+        );
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    // Crash-recovery pricing: the same hosted load, but with seeded
+    // runtime crashes forcing snapshot restores + journal replays.
+    {
+        let sessions = 8usize;
+        let faults = FaultPlan {
+            seed: 42,
+            crash: 0.001,
+            ..FaultPlan::disabled()
+        };
+        let traces = Simulator::fan_out_with_faults(42, sessions, EVENTS_PER_SESSION, &faults);
+        let server = Arc::new(Server::start(ServerConfig {
+            session: SessionConfig {
+                snapshot_interval: 256,
+                journal_segment: 256,
+                restart: RestartPolicy {
+                    max_restarts: 100_000,
+                    ..RestartPolicy::default()
+                },
+                faults,
+                ..SessionConfig::default()
+            },
+            ..ServerConfig::default()
+        }));
+        group.throughput(Throughput::Elements((sessions * EVENTS_PER_SESSION) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("hosted-chaos", sessions),
+            &sessions,
+            |b, _| b.iter(|| drive(&server, "chaos", &traces)),
         );
         if let Ok(s) = Arc::try_unwrap(server) {
             s.shutdown();

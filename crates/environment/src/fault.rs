@@ -1,0 +1,137 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a seeded set of failure probabilities threaded
+//! through the simulator (poison-pill events, queue-full bursts) and the
+//! server (injected session crashes, shard-worker stalls, journal append
+//! failures). Every consumer derives its own RNG stream with
+//! [`FaultPlan::rng`], keyed by a stream constant and its own id, so the
+//! whole fault schedule is a pure function of the plan's seed and the
+//! traffic — reruns with the same seed inject the same faults at the
+//! same event positions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG stream selector: faults injected into generated workloads
+/// (poison pills, bursts).
+pub const STREAM_WORKLOAD: u64 = 1;
+/// RNG stream selector: injected session crashes.
+pub const STREAM_CRASH: u64 = 2;
+/// RNG stream selector: journal append failures.
+pub const STREAM_JOURNAL: u64 = 3;
+/// RNG stream selector: shard-worker stalls.
+pub const STREAM_STALL: u64 = 4;
+
+/// Seeded probabilities for every injectable fault class.
+///
+/// All-zero probabilities (see [`FaultPlan::disabled`]) make every
+/// consumer a no-op, so the plan can be threaded through configs
+/// unconditionally.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; all fault RNG streams derive from it.
+    pub seed: u64,
+    /// Per-workload-step probability of emitting a poison-pill event that
+    /// makes a susceptible node panic (a negative `Mouse.x`).
+    pub node_panic: f64,
+    /// Per-applied-event probability that the session's runtime crashes
+    /// (loses all in-memory state) right after applying the event.
+    pub crash: f64,
+    /// Per-command-burst probability that a shard worker stalls.
+    pub stall: f64,
+    /// How long a stalled shard worker sleeps, in milliseconds.
+    pub stall_ms: u64,
+    /// Per-workload-step probability of a same-signal event burst sized
+    /// to overflow small ingress queues.
+    pub queue_full_burst: f64,
+    /// Events per injected burst.
+    pub burst_len: usize,
+    /// Per-append probability that a journal append fails.
+    pub journal_fail: f64,
+}
+
+impl FaultPlan {
+    /// No faults; every consumer behaves exactly as without a plan.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            node_panic: 0.0,
+            crash: 0.0,
+            stall: 0.0,
+            stall_ms: 0,
+            queue_full_burst: 0.0,
+            burst_len: 0,
+            journal_fail: 0.0,
+        }
+    }
+
+    /// The default chaos mix used by `loadgen --chaos`: frequent node
+    /// panics, occasional crashes, stalls, bursts, and journal failures.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            node_panic: 0.005,
+            crash: 0.0005,
+            stall: 0.01,
+            stall_ms: 2,
+            queue_full_burst: 0.002,
+            burst_len: 48,
+            journal_fail: 0.001,
+        }
+    }
+
+    /// True if any fault class has a nonzero probability.
+    pub fn is_active(&self) -> bool {
+        self.node_panic > 0.0
+            || self.crash > 0.0
+            || self.stall > 0.0
+            || self.queue_full_burst > 0.0
+            || self.journal_fail > 0.0
+    }
+
+    /// A deterministic RNG for one consumer: `stream` is one of the
+    /// `STREAM_*` constants, `id` the consumer's own identity (session
+    /// id, shard index, workload seed). Distinct `(seed, stream, id)`
+    /// triples give independent streams.
+    pub fn rng(&self, stream: u64, id: u64) -> StdRng {
+        // splitmix64-style finalizer over the combined key, so adjacent
+        // ids do not produce correlated streams.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)))
+            .wrapping_add(0xbf58_476d_1ce4_e5b9u64.wrapping_mul(id.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        StdRng::seed_from_u64(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn disabled_plan_is_inactive() {
+        assert!(!FaultPlan::disabled().is_active());
+        assert!(FaultPlan::chaos(7).is_active());
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_independent() {
+        let plan = FaultPlan::chaos(42);
+        let draw = |stream, id| -> Vec<u64> {
+            let mut rng = plan.rng(stream, id);
+            (0..8).map(|_| rng.gen::<u64>()).collect()
+        };
+        assert_eq!(draw(STREAM_CRASH, 3), draw(STREAM_CRASH, 3));
+        assert_ne!(draw(STREAM_CRASH, 3), draw(STREAM_CRASH, 4));
+        assert_ne!(draw(STREAM_CRASH, 3), draw(STREAM_JOURNAL, 3));
+        // Different master seeds shift every stream.
+        let other = FaultPlan::chaos(43);
+        let mut rng = other.rng(STREAM_CRASH, 3);
+        let alt: Vec<u64> = (0..8).map(|_| rng.gen::<u64>()).collect();
+        assert_ne!(draw(STREAM_CRASH, 3), alt);
+    }
+}

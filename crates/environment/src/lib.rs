@@ -8,16 +8,20 @@
 //!   configurable blocking latency (the Flickr substitute);
 //! * [`Gui`] — a headless "browser window" coupling a reactive program to
 //!   frames rendered as ASCII, HTML, or display lists;
-//! * [`text_input`] — the paper's `Input.text` widget.
+//! * [`text_input`] — the paper's `Input.text` widget;
+//! * [`FaultPlan`] — seeded fault-injection probabilities for chaos
+//!   testing the server's crash recovery.
 
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fault;
 pub mod gui;
 pub mod http;
 pub mod simulator;
 
 pub use clock::{Millis, VirtualClock};
+pub use fault::FaultPlan;
 pub use gui::{button, checkbox, render_text_field, slider, text_input, Gui};
 pub use http::{sync_get, MockHttp};
 pub use simulator::{inputs, Simulator};

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clock::{Millis, VirtualClock};
+use crate::fault::{self, FaultPlan};
 
 /// Standard input-signal names, matching `felm::env::InputEnv::standard`
 /// and the signals of paper Fig. 13.
@@ -321,6 +322,82 @@ impl Simulator {
             .collect()
     }
 
+    /// Like [`Simulator::workload`] but laced with injected faults from a
+    /// [`FaultPlan`]: with probability `plan.node_panic` per step the
+    /// workload emits a poison-pill event (a negative `Mouse.x`, which
+    /// makes susceptible nodes panic), and with probability
+    /// `plan.queue_full_burst` it emits a rapid same-signal burst of
+    /// `plan.burst_len` events to overflow small ingress queues. The
+    /// fault schedule is drawn from the plan's `STREAM_WORKLOAD` stream
+    /// keyed by `seed`, so the laced trace is fully determined by
+    /// `(seed, events, plan)`.
+    pub fn workload_with_faults(seed: u64, events: usize, plan: &FaultPlan) -> Trace {
+        if !plan.is_active() {
+            return Simulator::workload(seed, events);
+        }
+        let mut faults = plan.rng(fault::STREAM_WORKLOAD, seed);
+        let mut sim = Simulator::with_seed(seed);
+        while sim.trace.events.len() < events {
+            match sim.rng.gen_range(0u32..10) {
+                0..=4 => {
+                    sim.mouse_walk(4, 25, 7);
+                }
+                5..=6 => {
+                    sim.mouse_click();
+                    sim.advance(11);
+                }
+                7 => {
+                    let n = sim.rng.gen_range(1usize..5);
+                    let word: String = (0..n)
+                        .map(|_| (b'a' + sim.rng.gen_range(0u8..26)) as char)
+                        .collect();
+                    sim.word(&word);
+                    sim.advance(40);
+                }
+                8 => {
+                    let key = sim.rng.gen_range(32i64..127);
+                    sim.key_press(key);
+                    sim.advance(25);
+                }
+                _ => {
+                    sim.run_timer(50, 150);
+                }
+            }
+            if plan.node_panic > 0.0 && faults.gen_bool(plan.node_panic) {
+                // Poison pill: programs with a node that rejects negative
+                // x-coordinates panic on this event.
+                sim.emit(inputs::MOUSE_X, PlainValue::Int(-1));
+                sim.advance(3);
+            }
+            if plan.queue_full_burst > 0.0 && faults.gen_bool(plan.queue_full_burst) {
+                for i in 0..plan.burst_len as i64 {
+                    let x = (sim.mouse.0 + i) % sim.window.0.max(1);
+                    sim.emit(inputs::MOUSE_X, PlainValue::Int(x));
+                }
+                sim.advance(1);
+            }
+        }
+        let mut trace = sim.into_trace();
+        trace.events.truncate(events);
+        trace
+    }
+
+    /// Fault-laced version of [`Simulator::fan_out`]: session `i` gets
+    /// seed `base_seed + i` and its own fault stream derived from that
+    /// seed, so each session's laced trace is still replayable standalone.
+    pub fn fan_out_with_faults(
+        base_seed: u64,
+        sessions: usize,
+        events_per_session: usize,
+        plan: &FaultPlan,
+    ) -> Vec<Trace> {
+        (0..sessions)
+            .map(|i| {
+                Simulator::workload_with_faults(base_seed + i as u64, events_per_session, plan)
+            })
+            .collect()
+    }
+
     /// Finishes the session, returning the recorded trace.
     pub fn into_trace(self) -> Trace {
         self.trace
@@ -397,6 +474,31 @@ mod tests {
         assert_ne!(traces[0], traces[1]);
         // Session i is replayable standalone with seed base + i.
         assert_eq!(traces[2], Simulator::workload(102, 200));
+    }
+
+    #[test]
+    fn fault_laced_workloads_are_deterministic_and_poisoned() {
+        let plan = FaultPlan {
+            node_panic: 0.2,
+            queue_full_burst: 0.1,
+            burst_len: 8,
+            ..FaultPlan::chaos(9)
+        };
+        let a = Simulator::workload_with_faults(5, 400, &plan);
+        let b = Simulator::workload_with_faults(5, 400, &plan);
+        assert_eq!(a, b);
+        assert!(a
+            .events
+            .iter()
+            .any(|e| e.input == inputs::MOUSE_X && e.value == PlainValue::Int(-1)));
+        // A disabled plan reduces to the plain workload.
+        assert_eq!(
+            Simulator::workload_with_faults(5, 400, &FaultPlan::disabled()),
+            Simulator::workload(5, 400)
+        );
+        // Fan-out sessions stay standalone-replayable.
+        let fleet = Simulator::fan_out_with_faults(100, 3, 200, &plan);
+        assert_eq!(fleet[2], Simulator::workload_with_faults(102, 200, &plan));
     }
 
     #[test]

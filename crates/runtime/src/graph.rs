@@ -185,6 +185,44 @@ impl SignalGraph {
         out
     }
 
+    /// A structural hash of the graph: node count, output id, and each
+    /// node's kind, wiring, label, and default-value shape. Two graphs
+    /// built the same way hash the same, so a [`crate::RuntimeSnapshot`]
+    /// can be checked for compatibility before being restored into a
+    /// runtime (restoring node values into a differently-shaped graph
+    /// would silently corrupt state).
+    ///
+    /// Stable within one process; not a persistent format.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.nodes.len().hash(&mut h);
+        self.output.0.hash(&mut h);
+        for n in &self.nodes {
+            n.id.0.hash(&mut h);
+            n.label.hash(&mut h);
+            for p in &n.parents {
+                p.0.hash(&mut h);
+            }
+            match &n.kind {
+                NodeKind::Input { name } => {
+                    0u8.hash(&mut h);
+                    name.hash(&mut h);
+                }
+                NodeKind::Compute { spec } => {
+                    1u8.hash(&mut h);
+                    spec.op_name().hash(&mut h);
+                }
+                NodeKind::Async { inner } => {
+                    2u8.hash(&mut h);
+                    inner.0.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Partitions nodes into the *primary subgraph* (reaches the output
     /// without passing through an `async` boundary) and *secondary
     /// subgraphs* (feed `async` nodes), reproducing the decomposition of

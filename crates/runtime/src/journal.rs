@@ -1,0 +1,346 @@
+//! Per-session write-ahead event journal.
+//!
+//! Theorem 1 makes an FRP program a deterministic function of its input
+//! history, so a session is fully reconstructible from a log of its
+//! admitted events. [`EventJournal`] is that log: append-before-dispatch
+//! (the entry is durable before the runtime sees the event), sequence-
+//! numbered to align with [`crate::StatsSnapshot`] event counts, stored
+//! as bounded in-memory segments with an optional NDJSON file backend.
+//!
+//! Recovery replays only the *suffix* after the last snapshot:
+//! [`EventJournal::truncate_through`] discards segments fully covered by
+//! a snapshot, bounding both memory and replay length.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::trace::PlainValue;
+
+/// One journaled input event.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JournalEntry {
+    /// 1-based sequence number; aligns with the runtime's event counter.
+    pub seq: u64,
+    /// Input signal name, e.g. `"Mouse.x"`.
+    pub input: String,
+    /// The event payload.
+    pub value: PlainValue,
+}
+
+/// Why an append was not recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// The configured failure hook rejected this append (fault injection,
+    /// standing in for a full disk / failed fsync).
+    Rejected,
+    /// The file backend failed.
+    Io(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Rejected => write!(f, "journal append rejected"),
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+        }
+    }
+}
+
+/// Hook deciding whether the next append fails (deterministic fault
+/// injection). Returning `true` rejects the append.
+pub type FailureHook = Box<dyn FnMut(&JournalEntry) -> bool + Send>;
+
+/// A segmented, truncatable write-ahead log of input events.
+///
+/// ```
+/// use elm_runtime::{EventJournal, JournalEntry, PlainValue};
+///
+/// let mut j = EventJournal::new(4);
+/// for seq in 1..=6 {
+///     j.append(JournalEntry { seq, input: "Mouse.x".into(), value: PlainValue::Int(seq as i64) })
+///         .unwrap();
+/// }
+/// assert_eq!(j.len(), 6);
+/// j.truncate_through(4); // a snapshot now covers seq <= 4
+/// assert_eq!(j.suffix_after(4).len(), 2);
+/// ```
+pub struct EventJournal {
+    /// Sealed segments (oldest first) followed by the active tail.
+    segments: VecDeque<Vec<JournalEntry>>,
+    segment_capacity: usize,
+    /// Highest sequence number appended so far.
+    last_seq: u64,
+    /// Everything at or below this seq has been dropped by truncation.
+    truncated_through: u64,
+    file: Option<File>,
+    fail_hook: Option<FailureHook>,
+}
+
+impl fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("len", &self.len())
+            .field("last_seq", &self.last_seq)
+            .field("truncated_through", &self.truncated_through)
+            .field("file", &self.file.is_some())
+            .finish()
+    }
+}
+
+impl EventJournal {
+    /// An in-memory journal whose segments seal after `segment_capacity`
+    /// entries (truncation drops whole sealed segments).
+    pub fn new(segment_capacity: usize) -> EventJournal {
+        let mut segments = VecDeque::new();
+        segments.push_back(Vec::new());
+        EventJournal {
+            segments,
+            segment_capacity: segment_capacity.max(1),
+            last_seq: 0,
+            truncated_through: 0,
+            file: None,
+            fail_hook: None,
+        }
+    }
+
+    /// Like [`EventJournal::new`], but additionally appends every entry —
+    /// and every truncation marker — as one NDJSON line to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created/opened for append.
+    pub fn with_file(segment_capacity: usize, path: &Path) -> Result<EventJournal, JournalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        let mut j = EventJournal::new(segment_capacity);
+        j.file = Some(file);
+        Ok(j)
+    }
+
+    /// Installs a deterministic failure hook (fault injection). The hook
+    /// runs once per append attempt; `true` rejects that append.
+    pub fn set_failure_hook(&mut self, hook: FailureHook) {
+        self.fail_hook = Some(hook);
+    }
+
+    /// Appends one entry. `entry.seq` must be strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the failure hook rejects the append or the file backend
+    /// errors; the entry is then **not** recorded (the caller decides
+    /// whether to drop the event or protect it with a forced snapshot).
+    pub fn append(&mut self, entry: JournalEntry) -> Result<u64, JournalError> {
+        assert!(
+            entry.seq > self.last_seq,
+            "journal sequence numbers must be strictly increasing ({} after {})",
+            entry.seq,
+            self.last_seq
+        );
+        if let Some(hook) = &mut self.fail_hook {
+            if hook(&entry) {
+                // The seq is still consumed: a rejected append leaves a
+                // hole, never a renumbering.
+                self.last_seq = entry.seq;
+                return Err(JournalError::Rejected);
+            }
+        }
+        if let Some(file) = &mut self.file {
+            let line =
+                serde_json::to_string(&entry).map_err(|e| JournalError::Io(e.to_string()))?;
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .map_err(|e| JournalError::Io(e.to_string()))?;
+        }
+        let seq = entry.seq;
+        self.last_seq = seq;
+        let tail = self.segments.back_mut().expect("always one active segment");
+        tail.push(entry);
+        if tail.len() >= self.segment_capacity {
+            self.segments.push_back(Vec::new());
+        }
+        Ok(seq)
+    }
+
+    /// Entries with `seq > after`, oldest first — the replay suffix for a
+    /// snapshot covering everything through `after`.
+    pub fn suffix_after(&self, after: u64) -> Vec<JournalEntry> {
+        self.segments
+            .iter()
+            .flatten()
+            .filter(|e| e.seq > after)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops sealed segments whose every entry is `<= through` (a snapshot
+    /// now covers them). The file backend appends a marker line instead of
+    /// rewriting history.
+    pub fn truncate_through(&mut self, through: u64) {
+        while self.segments.len() > 1 {
+            let oldest = &self.segments[0];
+            if oldest.last().is_some_and(|e| e.seq <= through) || oldest.is_empty() {
+                self.segments.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.truncated_through = self.truncated_through.max(through);
+        if let Some(file) = &mut self.file {
+            let marker = format!("{{\"snapshot_through\":{through}}}");
+            let _ = file
+                .write_all(marker.as_bytes())
+                .and_then(|()| file.write_all(b"\n"));
+        }
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// True if no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest sequence number ever appended (0 before the first).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Highest sequence number dropped by truncation (0 if none).
+    pub fn truncated_through(&self) -> u64 {
+        self.truncated_through
+    }
+
+    /// Reads entries back from a file written by [`EventJournal::with_file`],
+    /// honoring the latest `snapshot_through` marker: only entries after it
+    /// are returned (the replay suffix a restart would need).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be read or a line is malformed.
+    pub fn read_file(path: &Path) -> Result<(u64, Vec<JournalEntry>), JournalError> {
+        let file = File::open(path).map_err(|e| JournalError::Io(e.to_string()))?;
+        let mut through = 0u64;
+        let mut entries: Vec<JournalEntry> = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let line = line.map_err(|e| JournalError::Io(e.to_string()))?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Ok(json) = serde_json::from_str::<serde_json::Value>(line) {
+                if let Some(t) = json.get("snapshot_through").and_then(|v| match v {
+                    serde_json::Value::U64(n) => Some(*n),
+                    serde_json::Value::I64(n) if *n >= 0 => Some(*n as u64),
+                    _ => None,
+                }) {
+                    through = through.max(t);
+                    continue;
+                }
+            }
+            let entry: JournalEntry =
+                serde_json::from_str(line).map_err(|e| JournalError::Io(e.to_string()))?;
+            entries.push(entry);
+        }
+        entries.retain(|e| e.seq > through);
+        Ok((through, entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            input: "Mouse.x".to_string(),
+            value: PlainValue::Int(seq as i64),
+        }
+    }
+
+    #[test]
+    fn appends_and_reads_suffixes() {
+        let mut j = EventJournal::new(3);
+        for seq in 1..=7 {
+            assert_eq!(j.append(entry(seq)), Ok(seq));
+        }
+        assert_eq!(j.len(), 7);
+        assert_eq!(j.last_seq(), 7);
+        let suffix = j.suffix_after(5);
+        assert_eq!(suffix.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7]);
+        assert_eq!(j.suffix_after(0).len(), 7);
+        assert_eq!(j.suffix_after(7).len(), 0);
+    }
+
+    #[test]
+    fn truncation_drops_covered_segments_only() {
+        let mut j = EventJournal::new(2);
+        for seq in 1..=7 {
+            j.append(entry(seq)).unwrap();
+        }
+        // Segments: [1,2][3,4][5,6][7]. A snapshot through 5 can drop the
+        // first two sealed segments but not [5,6] (6 > 5 must survive).
+        j.truncate_through(5);
+        assert_eq!(j.truncated_through(), 5);
+        let seqs: Vec<u64> = j.suffix_after(0).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        // The replay suffix is unaffected by what truncation kept extra.
+        assert_eq!(j.suffix_after(5).len(), 2);
+    }
+
+    #[test]
+    fn failure_hook_rejects_but_consumes_the_seq() {
+        let mut j = EventJournal::new(8);
+        let mut toggle = false;
+        j.set_failure_hook(Box::new(move |_| {
+            toggle = !toggle;
+            toggle // reject every other append
+        }));
+        assert_eq!(j.append(entry(1)), Err(JournalError::Rejected));
+        assert_eq!(j.append(entry(2)), Ok(2));
+        assert_eq!(j.append(entry(3)), Err(JournalError::Rejected));
+        assert_eq!(j.append(entry(4)), Ok(4));
+        assert_eq!(j.last_seq(), 4);
+        let seqs: Vec<u64> = j.suffix_after(0).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 4]);
+    }
+
+    #[test]
+    fn file_backend_round_trips_with_markers() {
+        let dir = std::env::temp_dir().join(format!("elm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j1.ndjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = EventJournal::with_file(4, &path).unwrap();
+            for seq in 1..=5 {
+                j.append(entry(seq)).unwrap();
+            }
+            j.truncate_through(3);
+            j.append(entry(6)).unwrap();
+        }
+        let (through, entries) = EventJournal::read_file(&path).unwrap();
+        assert_eq!(through, 3);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_seq_is_a_bug() {
+        let mut j = EventJournal::new(4);
+        j.append(entry(2)).unwrap();
+        j.append(entry(2)).unwrap();
+    }
+}

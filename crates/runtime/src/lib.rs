@@ -50,6 +50,7 @@ pub mod dot;
 pub mod error;
 pub mod event;
 pub mod graph;
+pub mod journal;
 pub mod sched;
 pub mod stats;
 pub mod trace;
@@ -62,9 +63,10 @@ pub use behavior::{
 pub use error::{GraphError, RunError};
 pub use event::{changed_values, Occurrence, OutputEvent, Propagated};
 pub use graph::{GraphBuilder, Node, NodeId, NodeKind, SignalGraph};
+pub use journal::{EventJournal, JournalEntry, JournalError};
 pub use sched::concurrent::ConcurrentRuntime;
 pub use sched::pull::PullRuntime;
-pub use sched::sync::SyncRuntime;
+pub use sched::sync::{RuntimeSnapshot, SyncRuntime};
 pub use stats::{Stats, StatsSnapshot};
 pub use trace::{PlainValue, Trace, TraceEvent};
 pub use value::Value;

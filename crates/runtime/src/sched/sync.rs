@@ -57,6 +57,42 @@ pub struct SyncRuntime {
     poisoned: Vec<bool>,
 }
 
+/// A point-in-time copy of a [`SyncRuntime`]'s mutable state, sufficient
+/// to reconstruct it exactly on a fresh runtime over the same graph.
+///
+/// Built-in node behaviors are stateless — a `foldp`'s accumulator *is*
+/// the node's previous output value — so capturing every node's latest
+/// value, the poison flags, the buffered `async` values, and the event
+/// queue captures the whole machine. (Only [`crate::Custom`] behaviors
+/// can hold hidden state; programs using them get a best-effort restore
+/// that re-instantiates the behavior fresh.)
+#[derive(Clone, Debug)]
+pub struct RuntimeSnapshot {
+    fingerprint: u64,
+    next_seq: u64,
+    values: Vec<Value>,
+    poisoned: Vec<bool>,
+    pending_async: Vec<VecDeque<Value>>,
+    queue: VecDeque<Occurrence>,
+}
+
+impl RuntimeSnapshot {
+    /// The structural hash of the graph this snapshot was taken from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The sequence number the runtime would assign to its next event.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events that were queued but not yet dispatched at snapshot time.
+    pub fn queued_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
 impl SyncRuntime {
     /// Instantiates runtime state for `graph` with memoization enabled.
     pub fn new(graph: &SignalGraph) -> Self {
@@ -167,6 +203,53 @@ impl SyncRuntime {
             out.extend(rt.run_to_quiescence());
         }
         Ok(out)
+    }
+
+    /// Captures the runtime's complete mutable state (cheap: values are
+    /// structurally shared, so this is mostly `Arc` bumps).
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            fingerprint: self.graph.fingerprint(),
+            next_seq: self.next_seq,
+            values: self.values.clone(),
+            poisoned: self.poisoned.clone(),
+            pending_async: self.pending_async.clone(),
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Overwrites this runtime's state with `snap`, as if every event the
+    /// snapshot had seen had just been replayed here. Behaviors are
+    /// re-instantiated fresh (built-ins are stateless; see
+    /// [`RuntimeSnapshot`]). Stats counters are *not* restored — they
+    /// describe this runtime's own work, and a recovery host adds the
+    /// replayed suffix on top.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RunError::WorkerLost`] if the snapshot was taken from
+    /// a structurally different graph.
+    pub fn restore(&mut self, snap: &RuntimeSnapshot) -> Result<(), RunError> {
+        if snap.fingerprint != self.graph.fingerprint() {
+            return Err(RunError::WorkerLost(
+                "snapshot does not match this signal graph".to_string(),
+            ));
+        }
+        self.values = snap.values.clone();
+        self.poisoned = snap.poisoned.clone();
+        self.pending_async = snap.pending_async.clone();
+        self.queue = snap.queue.clone();
+        self.next_seq = snap.next_seq;
+        self.behaviors = self
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Compute { spec } => Some(spec.instantiate()),
+                _ => None,
+            })
+            .collect();
+        Ok(())
     }
 
     fn dispatch(&mut self, occ: Occurrence) -> OutputEvent {
@@ -487,6 +570,80 @@ mod tests {
         assert_eq!(changed_values(&outs), vec![Value::Int(3)]);
         assert_eq!(rt.stats().node_panics(), 1);
         assert_eq!(rt.value(risky), &Value::Int(3));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        // foldp state lives in the node's prev value, so restore + resume
+        // must continue the fold where the snapshot left it.
+        let mut g = GraphBuilder::new();
+        let clicks = g.input("clicks", Value::Unit);
+        let count = g.foldp("count", |_, acc| Value::Int(int(acc) + 1), 0i64, clicks);
+        let graph = g.finish(count).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        for _ in 0..3 {
+            rt.feed(Occurrence::input(clicks, Value::Unit)).unwrap();
+        }
+        rt.run_to_quiescence();
+        let snap = rt.snapshot();
+        assert_eq!(snap.next_seq(), 3);
+
+        let mut fresh = SyncRuntime::new(&graph);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.value(count), &Value::Int(3));
+        fresh.feed(Occurrence::input(clicks, Value::Unit)).unwrap();
+        fresh.run_to_quiescence();
+        assert_eq!(fresh.value(count), &Value::Int(4));
+    }
+
+    #[test]
+    fn snapshot_preserves_poisoning_and_queued_events() {
+        let mut g = GraphBuilder::new();
+        let i = g.input("i", 0i64);
+        let risky = g.lift1(
+            "risky",
+            |v| match v {
+                Value::Int(n) if *n < 0 => panic!("negative"),
+                v => v.clone(),
+            },
+            i,
+        );
+        let graph = g.finish(risky).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        rt.feed(Occurrence::input(i, 3i64)).unwrap();
+        rt.feed(Occurrence::input(i, -1i64)).unwrap();
+        rt.run_to_quiescence();
+        // Queue one event but do not dispatch it before snapshotting.
+        rt.feed(Occurrence::input(i, 7i64)).unwrap();
+        let snap = rt.snapshot();
+        assert_eq!(snap.queued_events(), 1);
+
+        let mut fresh = SyncRuntime::new(&graph);
+        fresh.restore(&snap).unwrap();
+        let outs = fresh.run_to_quiescence();
+        // The poisoned node stays poisoned: the queued event is dispatched
+        // but produces NoChange, and no new panic is counted.
+        assert_eq!(changed_values(&outs), Vec::<Value>::new());
+        assert_eq!(fresh.stats().node_panics(), 0);
+        assert_eq!(fresh.value(risky), &Value::Int(3));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshots() {
+        let mut g1 = GraphBuilder::new();
+        let a = g1.input("a", 0i64);
+        let graph1 = g1.finish(a).unwrap();
+
+        let mut g2 = GraphBuilder::new();
+        let b = g2.input("b", 0i64);
+        let graph2 = g2.finish(b).unwrap();
+
+        let rt1 = SyncRuntime::new(&graph1);
+        let mut rt2 = SyncRuntime::new(&graph2);
+        assert!(rt2.restore(&rt1.snapshot()).is_err());
+        assert_ne!(graph1.fingerprint(), graph2.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Satellite property: crash recovery is semantically invisible on the
+//! synchronous engine. For any event sequence and any snapshot point,
+//! `restore(snapshot)` + replay of the journal suffix reproduces exactly
+//! the state *and* the output stream of an uninterrupted run — the
+//! constructive form of the paper's Theorem 1 (a session is a pure
+//! function of its event journal).
+
+use elm_runtime::{
+    changed_values, EventJournal, GraphBuilder, JournalEntry, Occurrence, PlainValue, SignalGraph,
+    SyncRuntime, Value,
+};
+use proptest::prelude::*;
+
+/// Two inputs, a stateful fold, and a join — enough structure that any
+/// lost, duplicated, or reordered replay event changes the fold's value.
+fn graph() -> SignalGraph {
+    let mut g = GraphBuilder::new();
+    let a = g.input("a", 0i64);
+    let b = g.input("b", 0i64);
+    let sum = g.foldp(
+        "sum",
+        |e, acc| Value::Int(acc.as_int().unwrap_or(0) * 3 + e.as_int().unwrap_or(0)),
+        0i64,
+        a,
+    );
+    let join = g.lift2(
+        "join",
+        |s, y| Value::Int(s.as_int().unwrap_or(0) * 1000 + y.as_int().unwrap_or(0)),
+        sum,
+        b,
+    );
+    g.finish(join).expect("well-formed test graph")
+}
+
+fn feed_one(rt: &mut SyncRuntime, graph: &SignalGraph, input: &str, v: i64) -> Vec<Value> {
+    let node = graph.input_named(input).expect("declared input");
+    rt.feed(Occurrence::input(node, v)).expect("feed");
+    changed_values(&rt.run_to_quiescence())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn restore_plus_journal_suffix_equals_uninterrupted_run(
+        events in prop::collection::vec((any::<bool>(), -50i64..50), 0..60),
+        cut in 0usize..61,
+    ) {
+        let g = graph();
+        let cut = cut.min(events.len());
+
+        // Uninterrupted oracle: every post-cut output, plus final state.
+        let mut oracle = SyncRuntime::new(&g);
+        let mut oracle_tail: Vec<Value> = Vec::new();
+        for (i, (is_a, v)) in events.iter().enumerate() {
+            let outs = feed_one(&mut oracle, &g, if *is_a { "a" } else { "b" }, *v);
+            if i >= cut {
+                oracle_tail.extend(outs);
+            }
+        }
+        let oracle_final = oracle.output_value().clone();
+
+        // Crashing run: journal every event, snapshot at the cut, then
+        // "crash" — drop the runtime on the floor and recover a fresh one
+        // from snapshot + journal suffix.
+        let mut journal = EventJournal::new(8);
+        let mut live = SyncRuntime::new(&g);
+        for (i, (is_a, v)) in events.iter().enumerate() {
+            journal
+                .append(JournalEntry {
+                    seq: (i + 1) as u64,
+                    input: if *is_a { "a" } else { "b" }.to_string(),
+                    value: PlainValue::Int(*v),
+                })
+                .expect("append");
+            feed_one(&mut live, &g, if *is_a { "a" } else { "b" }, *v);
+            if i + 1 == cut {
+                // Snapshot time: also truncate, as the server does.
+                let snap = live.snapshot();
+                journal.truncate_through(cut as u64);
+                drop(live);
+
+                let mut recovered = SyncRuntime::new(&g);
+                recovered.restore(&snap).expect("snapshot matches graph");
+                live = recovered;
+            }
+        }
+        // A cut at 0 means recovery from a pristine snapshot.
+        if cut == 0 {
+            let snap = SyncRuntime::new(&g).snapshot();
+            let mut recovered = SyncRuntime::new(&g);
+            recovered.restore(&snap).expect("snapshot matches graph");
+            live = recovered;
+        }
+
+        // The replay above interleaved recovery *into* the feeding loop,
+        // proving in-place restoration; now do it the server's way too —
+        // from the journal suffix alone.
+        let snap_at_cut = {
+            let mut rt = SyncRuntime::new(&g);
+            for (is_a, v) in &events[..cut] {
+                feed_one(&mut rt, &g, if *is_a { "a" } else { "b" }, *v);
+            }
+            rt.snapshot()
+        };
+        let mut replayed = SyncRuntime::new(&g);
+        replayed.restore(&snap_at_cut).expect("restore");
+        let mut replay_tail: Vec<Value> = Vec::new();
+        for entry in journal.suffix_after(cut as u64) {
+            let v = match entry.value {
+                PlainValue::Int(n) => n,
+                other => panic!("unexpected journal value {other:?}"),
+            };
+            replay_tail.extend(feed_one(&mut replayed, &g, &entry.input, v));
+        }
+
+        prop_assert_eq!(live.output_value(), &oracle_final);
+        prop_assert_eq!(replayed.output_value(), &oracle_final);
+        prop_assert_eq!(replay_tail, oracle_tail);
+        prop_assert_eq!(replayed.snapshot().next_seq(), oracle.snapshot().next_seq());
+    }
+}

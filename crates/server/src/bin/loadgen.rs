@@ -6,20 +6,33 @@
 //! ```text
 //! loadgen [--sessions M] [--events N] [--program NAME] [--shards N]
 //!         [--queue N] [--policy P] [--seed S] [--out BENCH_server.json]
+//!         [--chaos] [--snapshot-interval N] [--crash-prob P]
+//!         [--panic-prob P] [--journal-fail-prob P] [--stall-prob P]
 //! ```
 //!
 //! `--events` is per session; the default workload is 64 sessions ×
 //! 10000 events of mixed mouse/keyboard/timer traffic, each session on
 //! its own deterministic seed.
+//!
+//! `--chaos` turns on the deterministic fault-injection harness: traces
+//! are laced with poison-pill events and queue bursts, sessions suffer
+//! seeded runtime crashes and journal append failures, and shard workers
+//! stall — all derived from `--seed`. The run fails (nonzero exit) if
+//! any session's recovery fails, any recovery replays more than the
+//! snapshot interval, any recovered session's final output diverges from
+//! an uninterrupted synchronous replay, or (with panics enabled) fewer
+//! than a quarter of the sessions were actually hit by a panic.
 
 use std::process::exit;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use elm_environment::Simulator;
+use elm_environment::{FaultPlan, Simulator};
 use elm_runtime::{PlainValue, Trace};
-use elm_server::{BackpressurePolicy, ProgramSpec, Server, ServerConfig};
+use elm_server::{
+    BackpressurePolicy, ProgramSpec, RestartPolicy, Server, ServerConfig, SessionConfig,
+};
 use elm_signals::{Engine, Program};
 use serde_json::Value as Json;
 
@@ -28,12 +41,18 @@ const BATCH: usize = 64;
 struct Args {
     sessions: usize,
     events: usize,
-    program: String,
+    program: Option<String>,
     shards: usize,
     queue: usize,
     policy: BackpressurePolicy,
     seed: u64,
     out: String,
+    chaos: bool,
+    snapshot_interval: u64,
+    crash_prob: f64,
+    panic_prob: f64,
+    journal_fail_prob: f64,
+    stall_prob: f64,
 }
 
 impl Default for Args {
@@ -41,12 +60,18 @@ impl Default for Args {
         Args {
             sessions: 64,
             events: 10_000,
-            program: "dashboard".to_string(),
+            program: None,
             shards: ServerConfig::default().shards,
             queue: 1024,
             policy: BackpressurePolicy::Block,
             seed: 42,
             out: "BENCH_server.json".to_string(),
+            chaos: false,
+            snapshot_interval: 256,
+            crash_prob: 0.0005,
+            panic_prob: 0.005,
+            journal_fail_prob: 0.001,
+            stall_prob: 0.01,
         }
     }
 }
@@ -54,7 +79,9 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions M] [--events N] [--program NAME] [--shards N] \
-         [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE]"
+         [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE] \
+         [--chaos] [--snapshot-interval N] [--crash-prob P] [--panic-prob P] \
+         [--journal-fail-prob P] [--stall-prob P]"
     );
     exit(2)
 }
@@ -67,12 +94,22 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--sessions" => a.sessions = value().parse().unwrap_or_else(|_| usage()),
             "--events" => a.events = value().parse().unwrap_or_else(|_| usage()),
-            "--program" => a.program = value(),
+            "--program" => a.program = Some(value()),
             "--shards" => a.shards = value().parse().unwrap_or_else(|_| usage()),
             "--queue" => a.queue = value().parse().unwrap_or_else(|_| usage()),
             "--policy" => a.policy = BackpressurePolicy::parse(&value()).unwrap_or_else(|| usage()),
             "--seed" => a.seed = value().parse().unwrap_or_else(|_| usage()),
             "--out" => a.out = value(),
+            "--chaos" => a.chaos = true,
+            "--snapshot-interval" => {
+                a.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--crash-prob" => a.crash_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--panic-prob" => a.panic_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--journal-fail-prob" => {
+                a.journal_fail_prob = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--stall-prob" => a.stall_prob = value().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -82,7 +119,8 @@ fn parse_args() -> Args {
 
 /// Replays `trace` through a fresh single-session synchronous runtime,
 /// skipping inputs the program does not declare — exactly the events the
-/// server admits — and returns the final output value.
+/// server admits — and returns the final output value. In chaos mode
+/// this is the uninterrupted oracle every recovered session must match.
 fn sync_replay(server: &Server, program: &str, trace: &Trace) -> PlainValue {
     let (_, graph) = server
         .registry()
@@ -102,22 +140,70 @@ fn sync_replay(server: &Server, program: &str, trace: &Trace) -> PlainValue {
 
 fn main() {
     let args = parse_args();
+    let program = args
+        .program
+        .clone()
+        .unwrap_or_else(|| if args.chaos { "chaos" } else { "dashboard" }.to_string());
+    let faults = if args.chaos {
+        FaultPlan {
+            seed: args.seed,
+            node_panic: args.panic_prob,
+            crash: args.crash_prob,
+            stall: args.stall_prob,
+            stall_ms: 2,
+            queue_full_burst: 0.002,
+            burst_len: 48,
+            journal_fail: args.journal_fail_prob,
+        }
+    } else {
+        FaultPlan::disabled()
+    };
+    if args.chaos {
+        // Injected poison pills panic inside node closures by design;
+        // keep their backtraces out of the report. Anything else still
+        // reaches the default hook.
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("");
+            if !msg.starts_with("chaos:") && !msg.starts_with("crashy:") {
+                previous(info);
+            }
+        }));
+    }
     eprintln!(
-        "loadgen: {} sessions x {} events, program '{}', {} shards, queue {}, policy {}",
+        "loadgen: {} sessions x {} events, program '{}', {} shards, queue {}, policy {}{}",
         args.sessions,
         args.events,
-        args.program,
+        program,
         args.shards,
         args.queue,
-        args.policy.label()
+        args.policy.label(),
+        if args.chaos { ", CHAOS" } else { "" }
     );
 
-    let traces = Simulator::fan_out(args.seed, args.sessions, args.events);
+    let traces = Simulator::fan_out_with_faults(args.seed, args.sessions, args.events, &faults);
     let server = Arc::new(Server::start(ServerConfig {
         shards: args.shards,
-        session: elm_server::SessionConfig {
+        session: SessionConfig {
             queue_capacity: args.queue,
             policy: args.policy,
+            snapshot_interval: args.snapshot_interval.max(1),
+            // Seal journal segments at the snapshot cadence so truncation
+            // keeps pace with snapshots.
+            journal_segment: args.snapshot_interval.max(1) as usize,
+            restart: RestartPolicy {
+                // Chaos runs must never exhaust the budget by sheer fault
+                // volume; budget exhaustion is a failure we detect, not a
+                // load knob.
+                max_restarts: 100_000,
+                ..RestartPolicy::default()
+            },
+            faults,
         },
         idle_timeout: None,
     }));
@@ -125,7 +211,7 @@ fn main() {
     let mut session_ids = Vec::with_capacity(args.sessions);
     for _ in 0..args.sessions {
         let info = server
-            .open(ProgramSpec::Builtin(&args.program), None, None)
+            .open(ProgramSpec::Builtin(&program), None, None)
             .unwrap_or_else(|e| {
                 eprintln!("loadgen: open failed: {e}");
                 exit(1);
@@ -163,12 +249,14 @@ fn main() {
     let total_events = (args.sessions * args.events) as f64;
     let events_per_sec = total_events / elapsed.as_secs_f64();
 
-    // Isolation check: each session's final value must equal a
-    // single-session synchronous replay of its own trace.
+    // Isolation / recovery-correctness check: each session's final value
+    // must equal a single-session synchronous replay of its own trace —
+    // in chaos mode that replay is uninterrupted, so it also proves
+    // crash recovery lost and duplicated nothing.
     let mut mismatches = 0usize;
     for (i, &session) in session_ids.iter().enumerate() {
         let served = server.query(session).expect("final query").value;
-        let replayed = sync_replay(&server, &args.program, &traces[i]);
+        let replayed = sync_replay(&server, &program, &traces[i]);
         if served != replayed {
             mismatches += 1;
             eprintln!(
@@ -208,12 +296,61 @@ fn main() {
     );
     println!("per-session isolation check = {isolation}");
 
+    // Chaos verdicts.
+    let affected = per_session
+        .iter()
+        .filter(|s| s.runtime.node_panics > 0)
+        .count();
+    let mut chaos_failures: Vec<String> = Vec::new();
+    if args.chaos {
+        println!(
+            "recovery: restarts={} replayed_events={} max_replay={} snapshots={} \
+             journal_failures={} recovery_failed={}",
+            global.recovery.restarts,
+            global.recovery.replayed_events,
+            global.recovery.max_replay,
+            global.recovery.snapshot_count,
+            global.recovery.journal_failures,
+            global.recovery_failed
+        );
+        println!(
+            "chaos: {}/{} sessions hit by node panics",
+            affected, args.sessions
+        );
+        if global.recovery_failed > 0 {
+            chaos_failures.push(format!(
+                "{} session(s) exhausted their restart budget",
+                global.recovery_failed
+            ));
+        }
+        if global.recovery.max_replay > args.snapshot_interval.max(1) {
+            chaos_failures.push(format!(
+                "a recovery replayed {} events, above the snapshot interval {}",
+                global.recovery.max_replay, args.snapshot_interval
+            ));
+        }
+        if args.panic_prob > 0.0 && affected * 4 < args.sessions {
+            chaos_failures.push(format!(
+                "only {affected}/{} sessions saw a node panic (< 25%)",
+                args.sessions
+            ));
+        }
+        for f in &chaos_failures {
+            eprintln!("loadgen: CHAOS FAILURE: {f}");
+        }
+        if chaos_failures.is_empty() {
+            println!("chaos verdict = OK");
+        } else {
+            println!("chaos verdict = FAILED");
+        }
+    }
+
     let report = Json::Map(vec![
         (
             "benchmark".to_string(),
             Json::Str("server-loadgen".to_string()),
         ),
-        ("program".to_string(), Json::Str(args.program.clone())),
+        ("program".to_string(), Json::Str(program.clone())),
         ("sessions".to_string(), Json::U64(args.sessions as u64)),
         (
             "events_per_session".to_string(),
@@ -226,6 +363,12 @@ fn main() {
             Json::Str(args.policy.label().to_string()),
         ),
         ("seed".to_string(), Json::U64(args.seed)),
+        ("chaos".to_string(), Json::Bool(args.chaos)),
+        (
+            "snapshot_interval".to_string(),
+            Json::U64(args.snapshot_interval),
+        ),
+        ("sessions_panicked".to_string(), Json::U64(affected as u64)),
         ("elapsed_s".to_string(), Json::F64(elapsed.as_secs_f64())),
         ("events_per_sec".to_string(), Json::F64(events_per_sec)),
         (
@@ -253,6 +396,19 @@ fn main() {
             serde_json::to_value(&global).expect("stats serialize"),
         ),
         ("isolation".to_string(), Json::Str(isolation.to_string())),
+        (
+            "chaos_verdict".to_string(),
+            Json::Str(
+                if !args.chaos {
+                    "n/a"
+                } else if chaos_failures.is_empty() {
+                    "OK"
+                } else {
+                    "FAILED"
+                }
+                .to_string(),
+            ),
+        ),
     ]);
     let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
     if let Err(e) = std::fs::write(&args.out, pretty + "\n") {
@@ -261,11 +417,10 @@ fn main() {
         eprintln!("loadgen: wrote {}", args.out);
     }
 
-    let _ = per_session;
     if let Ok(s) = Arc::try_unwrap(server) {
         s.shutdown();
     }
-    if mismatches > 0 {
+    if mismatches > 0 || !chaos_failures.is_empty() {
         exit(1);
     }
 }

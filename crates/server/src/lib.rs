@@ -15,8 +15,20 @@
 //! its own event stream, so N sessions fed concurrently produce exactly
 //! what N single-program synchronous replays would — the property the
 //! `loadgen` binary checks end to end. Sessions that idle past the
-//! configured timeout, or whose nodes panic (poisoning, paper §3.3.2),
-//! are evicted gracefully rather than wedging their shard.
+//! configured timeout are evicted gracefully rather than wedging their
+//! shard.
+//!
+//! Sessions are additionally *crash-recoverable*: every applied event is
+//! write-ahead journaled ([`elm_runtime::EventJournal`]), the runtime is
+//! snapshotted on a configurable cadence, and when a session's runtime
+//! dies (a node panic, an injected fault, an engine error) the shard
+//! restores the last snapshot and replays the journal suffix under a
+//! supervised restart budget ([`supervisor`]) — the session keeps its
+//! id and subscribers. Only budget exhaustion evicts, with the
+//! `recovery_failed` close reason. A deterministic fault-injection
+//! layer ([`elm_environment::FaultPlan`]) drives the `loadgen --chaos`
+//! harness that checks recovered outputs byte-for-byte against an
+//! uninterrupted synchronous replay.
 
 #![warn(missing_docs)]
 
@@ -26,12 +38,14 @@ pub mod registry;
 pub mod server;
 pub mod session;
 pub mod shard;
+pub mod supervisor;
 
 pub use protocol::{
     BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary, OpenInfo,
-    QueryInfo, Request, ServerStats, SessionStats, Update,
+    QueryInfo, RecoveryStats, Request, ServerStats, SessionStats, Update,
 };
 pub use registry::{ProgramSpec, Registry};
 pub use server::{Server, ServerConfig};
 pub use session::{Session, SessionConfig, SessionId};
 pub use shard::{Command, ShardCounters, ShardHandle, ShardStats};
+pub use supervisor::{RestartBudget, RestartDecision, RestartPolicy};

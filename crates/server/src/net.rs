@@ -118,10 +118,13 @@ fn dispatch(server: &Arc<Server>, line: &str, out: &Sender<String>) -> String {
             Ok(rx) => {
                 // Forward updates until the session closes or the client
                 // goes away; the writer thread owns actual socket I/O.
+                // A `closed` update is always the stream's final message,
+                // so the forwarder ends right after relaying it.
                 let out = out.clone();
                 thread::spawn(move || {
                     for update in rx.iter() {
-                        if out.send(protocol::update_line(&update)).is_err() {
+                        let is_final = matches!(update, crate::protocol::Update::Closed { .. });
+                        if out.send(protocol::update_line(&update)).is_err() || is_final {
                             break;
                         }
                     }

@@ -114,7 +114,7 @@ pub enum EnqueueOutcome {
     /// Merged into an already-queued event on the same input.
     Coalesced,
     /// Not queued: the session's program does not declare this input (or
-    /// the session is poisoned and awaiting eviction).
+    /// the session exhausted its restart budget and awaits eviction).
     Ignored,
 }
 
@@ -183,7 +183,9 @@ pub struct QueryInfo {
     pub value: PlainValue,
     /// Events waiting in the ingress queue.
     pub queue_len: u64,
-    /// True once a node panicked; the session is about to be evicted.
+    /// True once a node ever panicked in this session. The session keeps
+    /// running (panicked nodes emit `NoChange` forever, paper §3.3.2);
+    /// only an exhausted restart budget evicts it.
     pub poisoned: bool,
 }
 
@@ -257,6 +259,39 @@ impl LatencySummary {
     }
 }
 
+/// Crash-recovery counters for one session (or summed across sessions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct RecoveryStats {
+    /// Supervised restarts performed (crash → snapshot + replay).
+    pub restarts: u64,
+    /// Journal entries re-applied across all recoveries.
+    pub replayed_events: u64,
+    /// Longest single-recovery replay — bounded by the snapshot interval.
+    pub max_replay: u64,
+    /// Snapshots taken.
+    pub snapshot_count: u64,
+    /// Journal entries currently retained (after snapshot truncation).
+    pub journal_len: u64,
+    /// Journal appends that failed (event applied anyway; an immediate
+    /// snapshot re-covers the gap).
+    pub journal_failures: u64,
+}
+
+impl RecoveryStats {
+    /// Counter-wise sum (`max_replay` takes the max), mirroring
+    /// [`StatsSnapshot::merged`].
+    pub fn merged(&self, other: &RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            restarts: self.restarts + other.restarts,
+            replayed_events: self.replayed_events + other.replayed_events,
+            max_replay: self.max_replay.max(other.max_replay),
+            snapshot_count: self.snapshot_count + other.snapshot_count,
+            journal_len: self.journal_len + other.journal_len,
+            journal_failures: self.journal_failures + other.journal_failures,
+        }
+    }
+}
+
 /// Everything the server knows about one session's execution.
 #[derive(Clone, Debug, PartialEq, serde::Serialize)]
 pub struct SessionStats {
@@ -270,7 +305,10 @@ pub struct SessionStats {
     pub ingress: IngressStats,
     /// Ingest-to-output latency.
     pub latency: LatencySummary,
-    /// True once a node panicked.
+    /// Crash-recovery counters.
+    pub recovery: RecoveryStats,
+    /// True once a node ever panicked in this session (panicked nodes stay
+    /// poisoned across recoveries, per the paper's semantics).
     pub poisoned: bool,
 }
 
@@ -285,12 +323,21 @@ pub struct ServerStats {
     pub closed: u64,
     /// Sessions evicted for idling past the timeout.
     pub evicted_idle: u64,
-    /// Sessions evicted after a node panic.
-    pub evicted_poisoned: u64,
+    /// Sessions evicted after exhausting their restart budget.
+    pub recovery_failed: u64,
+    /// Supervised restarts summed over live sessions.
+    pub restarts: u64,
+    /// Journal entries re-applied during recovery, summed over live
+    /// sessions.
+    pub replayed_events: u64,
+    /// Snapshots taken, summed over live sessions.
+    pub snapshot_count: u64,
     /// Runtime counters summed over live sessions.
     pub runtime: StatsSnapshot,
     /// Ingress counters summed over live sessions.
     pub ingress: IngressStats,
+    /// Recovery counters summed over live sessions.
+    pub recovery: RecoveryStats,
     /// Latency over all live sessions' samples.
     pub latency: LatencySummary,
 }
@@ -307,11 +354,12 @@ pub enum Update {
         /// The new output value.
         value: PlainValue,
     },
-    /// The session is gone; no further updates will arrive.
+    /// The session is gone; no further updates will arrive. Always the
+    /// final message on a subscription stream.
     Closed {
         /// Which session.
         session: u64,
-        /// `"closed"`, `"idle"`, `"poisoned"`, or `"shutdown"`.
+        /// `"closed"`, `"idle"`, `"recovery_failed"`, or `"shutdown"`.
         reason: String,
     },
 }

@@ -1,8 +1,10 @@
 //! Named programs a client can instantiate without shipping source.
 //!
 //! Builtins are FElm sources compiled on demand through the full `felm`
-//! pipeline against the paper's standard input environment, plus one
-//! native graph (`crashy`) used to exercise node-poisoning eviction.
+//! pipeline against the paper's standard input environment, plus two
+//! native graphs: `crashy` (panics on negative `Mouse.x`, exercising
+//! node poisoning and supervised recovery) and `chaos` (the chaos-mode
+//! workload program, a fold that keeps changing after poisoning).
 //! Clients can also `open` with ad-hoc FElm source, which goes through
 //! the same pipeline.
 
@@ -47,7 +49,8 @@ const DASHBOARD: &str = "count s = foldp (\\e n -> n + 1) 0 s\n\
                          main = lift2 (\\a b -> a * 1000 + b) clicks (lift2 (\\k x -> k + x) keys Mouse.x)";
 
 /// `Mouse.x` doubled — but any negative input panics the node, poisoning
-/// it (paper §3.3.2's `NoChange` thereafter) so eviction can be tested.
+/// it (paper §3.3.2's `NoChange` thereafter) so crash recovery can be
+/// tested.
 fn crashy_graph() -> SignalGraph {
     let mut g = GraphBuilder::new();
     let x = g.input("Mouse.x", 0i64);
@@ -63,8 +66,42 @@ fn crashy_graph() -> SignalGraph {
     g.finish(out).expect("crashy graph is well-formed")
 }
 
+/// The chaos-mode workhorse: a click counter combined with a panic-prone
+/// `Mouse.x` path. The counter keeps the output changing after the risky
+/// node is poisoned (so recovery correctness stays observable), and the
+/// fold makes any lost or duplicated replay event visible in the final
+/// value.
+fn chaos_graph() -> SignalGraph {
+    let mut g = GraphBuilder::new();
+    let clicks = g.input("Mouse.clicks", Value::Unit);
+    let x = g.input("Mouse.x", 0i64);
+    let count = g.foldp(
+        "count",
+        |_e, acc| Value::Int(acc.as_int().unwrap_or(0) + 1),
+        0i64,
+        clicks,
+    );
+    let risky = g.lift1(
+        "risky",
+        |v| match v {
+            Value::Int(n) if *n < 0 => panic!("chaos: negative input"),
+            Value::Int(n) => Value::Int(n * 2),
+            other => other.clone(),
+        },
+        x,
+    );
+    let out = g.lift2(
+        "board",
+        |c, r| Value::Int(c.as_int().unwrap_or(0) * 100_000 + r.as_int().unwrap_or(0)),
+        count,
+        risky,
+    );
+    g.finish(out).expect("chaos graph is well-formed")
+}
+
 impl Registry {
-    /// The standard table: five FElm builtins plus the native `crashy`.
+    /// The standard table: the FElm builtins plus the native `crashy` and
+    /// `chaos` graphs.
     pub fn standard() -> Registry {
         Registry {
             env: InputEnv::standard(),
@@ -76,6 +113,7 @@ impl Registry {
                 ("latest-word", Builtin::Felm(LATEST_WORD)),
                 ("dashboard", Builtin::Felm(DASHBOARD)),
                 ("crashy", Builtin::Native(crashy_graph)),
+                ("chaos", Builtin::Native(chaos_graph)),
             ],
         }
     }

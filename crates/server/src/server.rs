@@ -14,14 +14,14 @@ use elm_runtime::{PlainValue, StatsSnapshot};
 
 use crate::protocol::{
     BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary, OpenInfo,
-    QueryInfo, ServerStats, SessionStats, Update,
+    QueryInfo, RecoveryStats, ServerStats, SessionStats, Update,
 };
 use crate::registry::{ProgramSpec, Registry};
 use crate::session::{SessionConfig, SessionId};
 use crate::shard::{Command, ShardHandle, ShardStats};
 
 /// Server-wide configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServerConfig {
     /// Worker threads; sessions are pinned to `session id % shards`.
     pub shards: usize,
@@ -56,7 +56,7 @@ impl Server {
     /// Starts the shard pool.
     pub fn start(config: ServerConfig) -> Server {
         let shards = (0..config.shards.max(1))
-            .map(|i| ShardHandle::spawn(i, config.idle_timeout))
+            .map(|i| ShardHandle::spawn(i, config.idle_timeout, config.session.faults))
             .collect();
         Server {
             shards,
@@ -231,24 +231,32 @@ impl Server {
             opened: 0,
             closed: 0,
             evicted_idle: 0,
-            evicted_poisoned: 0,
+            recovery_failed: 0,
+            restarts: 0,
+            replayed_events: 0,
+            snapshot_count: 0,
             runtime: StatsSnapshot::default(),
             ingress: IngressStats::default(),
+            recovery: RecoveryStats::default(),
             latency: LatencySummary::default(),
         };
         for shard in per_shard {
             global.opened += shard.counters.opened;
             global.closed += shard.counters.closed;
             global.evicted_idle += shard.counters.evicted_idle;
-            global.evicted_poisoned += shard.counters.evicted_poisoned;
+            global.recovery_failed += shard.counters.recovery_failed;
             global.sessions_live += shard.sessions.len() as u64;
             for s in &shard.sessions {
                 global.runtime = global.runtime.merged(&s.runtime);
                 global.ingress = global.ingress.merged(&s.ingress);
+                global.recovery = global.recovery.merged(&s.recovery);
             }
             sessions.extend(shard.sessions);
             samples.extend(shard.samples);
         }
+        global.restarts = global.recovery.restarts;
+        global.replayed_events = global.recovery.replayed_events;
+        global.snapshot_count = global.recovery.snapshot_count;
         global.latency = LatencySummary::compute(&mut samples);
         sessions.sort_by_key(|s| s.session);
         (global, sessions)

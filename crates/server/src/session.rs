@@ -1,36 +1,67 @@
-//! One hosted FRP program: its runtime, bounded ingress queue, and
-//! subscriber fan-out.
+//! One hosted FRP program: its runtime, bounded ingress queue, event
+//! journal, snapshots, and subscriber fan-out.
 //!
 //! A session runs on the deterministic synchronous engine, owned by
 //! exactly one shard worker thread — actor-style, so no session state is
 //! ever shared across threads. Events arrive through [`Session::enqueue`]
 //! (applying the configured [`BackpressurePolicy`] when the queue is
-//! full) and are applied in FIFO order by [`Session::pump`], which feeds
-//! the batch to the runtime, drains outputs to subscribers, and records
-//! ingest-to-output latency per event.
+//! full) and are applied in FIFO order by [`Session::pump`].
+//!
+//! # Crash recovery
+//!
+//! The pump write-ahead-journals every event *at dispatch time*,
+//! immediately before feeding it to the runtime — never at enqueue time,
+//! so events dropped or coalesced under backpressure are never journaled
+//! and the journal is the exact applied-event log. Every
+//! `snapshot_interval` applied events the session snapshots its runtime
+//! ([`elm_runtime::RuntimeSnapshot`]) and truncates the journal behind
+//! it, bounding any recovery replay below the interval. When the runtime
+//! dies — a node panic, an injected crash from the [`FaultPlan`], or an
+//! engine error — the session asks its [`RestartBudget`] for a restart
+//! slot, rebuilds a fresh runtime, restores the snapshot, and silently
+//! replays the journal suffix (outputs were already delivered, so replay
+//! drains them without re-publishing). Theorem 1 of the paper makes this
+//! sound: the synchronous engine is a deterministic function of the
+//! applied event sequence. Once the budget is exhausted the session is
+//! marked `recovery_failed` and the shard evicts it.
 
 use std::collections::VecDeque;
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
-use elm_runtime::{PlainValue, SignalGraph, Value};
+use elm_environment::fault::{self, FaultPlan};
+use elm_runtime::{
+    EventJournal, JournalEntry, PlainValue, RuntimeSnapshot, SignalGraph, StatsSnapshot, Value,
+};
 use elm_signals::{Engine, Program, Running};
+use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::protocol::{
-    BackpressurePolicy, EnqueueOutcome, IngressStats, LatencySummary, QueryInfo, SessionStats,
-    Update,
+    BackpressurePolicy, EnqueueOutcome, IngressStats, LatencySummary, QueryInfo, RecoveryStats,
+    SessionStats, Update,
 };
+use crate::supervisor::{RestartBudget, RestartDecision, RestartPolicy};
 
 /// Session identifier, unique for the server's lifetime.
 pub type SessionId = u64;
 
-/// Per-session ingress configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Per-session ingress and recovery configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SessionConfig {
     /// Maximum events waiting between pumps.
     pub queue_capacity: usize,
     /// What to do when the queue is full.
     pub policy: BackpressurePolicy,
+    /// Applied events between runtime snapshots — the bound on how many
+    /// journal entries any single recovery replays.
+    pub snapshot_interval: u64,
+    /// Journal segment capacity (entries per in-memory segment).
+    pub journal_segment: usize,
+    /// Restart budget for crash recovery.
+    pub restart: RestartPolicy,
+    /// Injected faults (disabled by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for SessionConfig {
@@ -38,6 +69,10 @@ impl Default for SessionConfig {
         SessionConfig {
             queue_capacity: 1024,
             policy: BackpressurePolicy::Block,
+            snapshot_interval: 256,
+            journal_segment: 1024,
+            restart: RestartPolicy::default(),
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -70,8 +105,27 @@ pub struct Session {
     seq: u64,
     latencies: Vec<u64>,
     last_activity: Instant,
-    poisoned: bool,
-    seen_panics: u64,
+    // --- crash recovery ---
+    journal: EventJournal,
+    snapshot: Option<(u64, RuntimeSnapshot)>,
+    applied_seq: u64,
+    restarts: u64,
+    replayed_events: u64,
+    max_replay: u64,
+    snapshot_count: u64,
+    journal_failures: u64,
+    recovery_failed: bool,
+    budget: RestartBudget,
+    // Panics seen in the *current* runtime incarnation; replayed panics
+    // during recovery are folded in here so they don't recrash.
+    panic_baseline: u64,
+    ever_panicked: bool,
+    pending_recovery: Option<Instant>,
+    crash_rng: Option<StdRng>,
+    // Runtime counters accumulated from previous incarnations.
+    stats_base: StatsSnapshot,
+    // Last applied output value, served to queries even mid-recovery.
+    last_output: Value,
 }
 
 impl Session {
@@ -83,6 +137,15 @@ impl Session {
         config: SessionConfig,
     ) -> Session {
         let running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+        let mut journal = EventJournal::new(config.journal_segment.max(1));
+        if config.faults.journal_fail > 0.0 {
+            let mut rng = config.faults.rng(fault::STREAM_JOURNAL, id);
+            let p = config.faults.journal_fail;
+            journal.set_failure_hook(Box::new(move |_| rng.gen_bool(p)));
+        }
+        let crash_rng =
+            (config.faults.crash > 0.0).then(|| config.faults.rng(fault::STREAM_CRASH, id));
+        let last_output = running.current().clone();
         Session {
             id,
             program_name,
@@ -100,8 +163,22 @@ impl Session {
             seq: 0,
             latencies: Vec::new(),
             last_activity: Instant::now(),
-            poisoned: false,
-            seen_panics: 0,
+            journal,
+            snapshot: None,
+            applied_seq: 0,
+            restarts: 0,
+            replayed_events: 0,
+            max_replay: 0,
+            snapshot_count: 0,
+            journal_failures: 0,
+            recovery_failed: false,
+            budget: RestartBudget::new(config.restart),
+            panic_baseline: 0,
+            ever_panicked: false,
+            pending_recovery: None,
+            crash_rng,
+            stats_base: StatsSnapshot::default(),
+            last_output,
         }
     }
 
@@ -120,10 +197,23 @@ impl Session {
         self.queue.len()
     }
 
-    /// True once a node panicked (or the runtime died); the shard evicts
-    /// such sessions instead of letting them wedge.
+    /// True once a node ever panicked in this session. Unlike the
+    /// pre-recovery server this is *not* a death sentence: the session
+    /// recovers in place and the poisoned node emits `NoChange` forever
+    /// (paper §3.3.2).
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.ever_panicked
+    }
+
+    /// True once the restart budget is exhausted; the shard evicts such
+    /// sessions with the `recovery_failed` close reason.
+    pub fn recovery_failed(&self) -> bool {
+        self.recovery_failed
+    }
+
+    /// Supervised restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Last time a client touched this session.
@@ -140,7 +230,7 @@ impl Session {
     /// Admits one event, applying the backpressure policy when full.
     pub fn enqueue(&mut self, input: &str, value: Value) -> EnqueueOutcome {
         self.last_activity = Instant::now();
-        if self.poisoned || self.graph.input_named(input).is_none() {
+        if self.recovery_failed || self.graph.input_named(input).is_none() {
             self.ignored += 1;
             return EnqueueOutcome::Ignored;
         }
@@ -149,8 +239,23 @@ impl Session {
             match self.config.policy {
                 // Drain synchronously: the producer's request completes
                 // only after the backlog is applied, so pressure flows
-                // back to the client instead of losing events.
-                BackpressurePolicy::Block => self.pump(),
+                // back to the client instead of losing events. A recovery
+                // backoff defers the drain; Block waits it out (never
+                // drops), stopping only if recovery gives the session up.
+                BackpressurePolicy::Block => {
+                    self.pump();
+                    while self.queue.len() >= self.config.queue_capacity.max(1)
+                        && !self.recovery_failed
+                    {
+                        if let Some(deadline) = self.pending_recovery {
+                            let now = Instant::now();
+                            if deadline > now {
+                                std::thread::sleep(deadline - now);
+                            }
+                        }
+                        self.pump();
+                    }
+                }
                 BackpressurePolicy::DropOldest => {
                     self.queue.pop_front();
                     self.dropped += 1;
@@ -170,6 +275,12 @@ impl Session {
                 }
             }
         }
+        // The pumps above may have exhausted the restart budget; nothing
+        // enqueued now would ever be applied.
+        if self.recovery_failed {
+            self.ignored += 1;
+            return EnqueueOutcome::Ignored;
+        }
         self.queue.push_back(Queued {
             input: input.to_string(),
             value,
@@ -179,69 +290,191 @@ impl Session {
         outcome
     }
 
-    /// Applies every queued event in order and streams resulting output
-    /// changes to subscribers.
+    /// Applies every queued event in order — journaling each immediately
+    /// before dispatch, snapshotting on the configured cadence — and
+    /// streams resulting output changes to subscribers. Crashes (real or
+    /// injected) leave the unapplied tail queued and trigger supervised
+    /// recovery.
     pub fn pump(&mut self) {
-        if self.queue.is_empty() {
+        self.maybe_recover();
+        if self.recovery_failed || self.pending_recovery.is_some() || self.queue.is_empty() {
             return;
         }
-        let batch: Vec<Queued> = self.queue.drain(..).collect();
-        let named: Vec<(&str, Value)> = batch
-            .iter()
-            .map(|q| (q.input.as_str(), q.value.clone()))
-            .collect();
-        // Names were validated at enqueue time, so an error here means the
-        // runtime itself died — treat it like poisoning.
-        let outs = self
-            .running
-            .feed_batch(&named)
-            .and_then(|()| self.running.drain_raw());
-        match outs {
-            Ok(events) => {
-                for ev in &events {
-                    let Some(v) = ev.value() else { continue };
-                    self.seq += 1;
-                    self.events_out += 1;
-                    if self.subscribers.is_empty() {
-                        continue;
-                    }
-                    if let Some(pv) = PlainValue::from_value(v) {
-                        let update = Update::Changed {
-                            session: self.id,
-                            seq: self.seq,
-                            value: pv,
-                        };
-                        self.subscribers.retain(|s| s.send(update.clone()).is_ok());
-                    }
+        let mut batch: VecDeque<Queued> = std::mem::take(&mut self.queue);
+        let mut crashed = false;
+        while let Some(q) = batch.pop_front() {
+            let seq = self.applied_seq + 1;
+            // Write-ahead append: the entry hits the journal before the
+            // runtime sees the event, so a crash can never lose an
+            // applied-but-unjournaled event.
+            let journal_ok = match PlainValue::from_value(&q.value) {
+                Some(pv) => self
+                    .journal
+                    .append(JournalEntry {
+                        seq,
+                        input: q.input.clone(),
+                        value: pv,
+                    })
+                    .is_ok(),
+                None => false,
+            };
+            let applied = self
+                .running
+                .send_named(&q.input, q.value.clone())
+                .and_then(|()| self.running.drain_raw());
+            let outs = match applied {
+                Ok(outs) => outs,
+                Err(_) => {
+                    // The engine itself died mid-event; the event may or
+                    // may not have taken effect. Re-deliver it after
+                    // recovery: the journal entry is superseded because
+                    // recovery replays only seqs <= applied_seq.
+                    batch.push_front(q);
+                    crashed = true;
+                    break;
+                }
+            };
+            self.applied_seq = seq;
+            for ev in &outs {
+                let Some(v) = ev.value() else { continue };
+                self.seq += 1;
+                self.events_out += 1;
+                self.last_output = v.clone();
+                if self.subscribers.is_empty() {
+                    continue;
+                }
+                if let Some(pv) = PlainValue::from_value(v) {
+                    let update = Update::Changed {
+                        session: self.id,
+                        seq: self.seq,
+                        value: pv,
+                    };
+                    self.subscribers.retain(|s| s.send(update.clone()).is_ok());
                 }
             }
-            Err(_) => self.poisoned = true,
-        }
-        let done = Instant::now();
-        for q in &batch {
             if self.latencies.len() < MAX_LATENCY_SAMPLES {
                 self.latencies
-                    .push(done.duration_since(q.at).as_micros() as u64);
+                    .push(Instant::now().duration_since(q.at).as_micros() as u64);
+            }
+            if !journal_ok {
+                // The applied event is missing from the journal; snapshot
+                // immediately so no recovery ever needs the hole.
+                self.journal_failures += 1;
+                self.take_snapshot();
+            } else if self.applied_seq - self.snapshot_seq() >= self.config.snapshot_interval {
+                self.take_snapshot();
+            }
+            let panics = self.running.stats().node_panics;
+            if panics > self.panic_baseline {
+                self.panic_baseline = panics;
+                self.ever_panicked = true;
+                crashed = true;
+            }
+            if !crashed {
+                if let Some(rng) = self.crash_rng.as_mut() {
+                    crashed = rng.gen_bool(self.config.faults.crash);
+                }
+            }
+            if crashed {
+                break;
             }
         }
+        // Anything unapplied goes back to the queue head, order intact.
+        while let Some(q) = batch.pop_back() {
+            self.queue.push_front(q);
+        }
         self.pumps += 1;
-        let panics = self.running.stats().node_panics;
-        if panics > self.seen_panics {
-            self.seen_panics = panics;
-            self.poisoned = true;
+        if crashed {
+            self.supervise();
+            self.maybe_recover();
         }
     }
 
-    /// The current output value and queue state.
+    fn snapshot_seq(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |(seq, _)| *seq)
+    }
+
+    fn take_snapshot(&mut self) {
+        if let Some(snap) = self.running.snapshot() {
+            self.snapshot = Some((self.applied_seq, snap));
+            self.snapshot_count += 1;
+            self.journal.truncate_through(self.applied_seq);
+        }
+    }
+
+    /// Books a restart slot for a crash that just happened, or gives the
+    /// session up when the budget is exhausted.
+    fn supervise(&mut self) {
+        match self.budget.on_crash(Instant::now()) {
+            RestartDecision::Restart { after } => {
+                self.pending_recovery = Some(Instant::now() + after);
+            }
+            RestartDecision::GiveUp => {
+                self.recovery_failed = true;
+                self.pending_recovery = None;
+                self.queue.clear();
+            }
+        }
+    }
+
+    fn maybe_recover(&mut self) {
+        if let Some(deadline) = self.pending_recovery {
+            if Instant::now() >= deadline {
+                self.perform_recovery();
+            }
+        }
+    }
+
+    /// Rebuilds the runtime from snapshot + journal suffix. Replayed
+    /// events are drained silently: their outputs were already delivered
+    /// before the crash.
+    fn perform_recovery(&mut self) {
+        let fresh = Program::from_dynamic_graph(self.graph.clone()).start(Engine::Synchronous);
+        let dead = std::mem::replace(&mut self.running, fresh);
+        self.stats_base = self.stats_base.merged(&dead.stats());
+        dead.stop();
+        let from = match &self.snapshot {
+            Some((seq, snap)) => {
+                self.running
+                    .restore(snap)
+                    .expect("a session snapshot always matches its own graph");
+                *seq
+            }
+            None => 0,
+        };
+        let mut replayed = 0u64;
+        for entry in self.journal.suffix_after(from) {
+            if entry.seq > self.applied_seq {
+                break;
+            }
+            // Replay errors would mean the deterministic engine diverged
+            // from its own history; nothing smarter to do than continue —
+            // the proptest suite guards this path.
+            let _ = self
+                .running
+                .send_named(&entry.input, entry.value.to_value())
+                .and_then(|()| self.running.drain_raw());
+            replayed += 1;
+        }
+        self.replayed_events += replayed;
+        self.max_replay = self.max_replay.max(replayed);
+        self.panic_baseline = self.running.stats().node_panics;
+        self.last_output = self.running.current().clone();
+        self.pending_recovery = None;
+        self.restarts += 1;
+    }
+
+    /// The current output value and queue state. Served from the last
+    /// applied output, so it stays answerable mid-recovery.
     pub fn query(&self) -> QueryInfo {
-        let value = PlainValue::from_value(self.running.current())
+        let value = PlainValue::from_value(&self.last_output)
             .unwrap_or_else(|| PlainValue::Str("<opaque>".to_string()));
         QueryInfo {
             session: self.id,
             program: self.program_name.clone(),
             value,
             queue_len: self.queue.len() as u64,
-            poisoned: self.poisoned,
+            poisoned: self.ever_panicked,
         }
     }
 
@@ -259,24 +492,40 @@ impl Session {
         }
     }
 
+    /// Crash-recovery counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            restarts: self.restarts,
+            replayed_events: self.replayed_events,
+            max_replay: self.max_replay,
+            snapshot_count: self.snapshot_count,
+            journal_len: self.journal.len() as u64,
+            journal_failures: self.journal_failures,
+        }
+    }
+
     /// Raw ingest-to-output latency samples, in microseconds.
     pub fn latency_samples(&self) -> &[u64] {
         &self.latencies
     }
 
-    /// Full per-session statistics.
+    /// Full per-session statistics. Runtime counters accumulate across
+    /// restarts (recovery replay is counted again; `replayed_events`
+    /// records exactly how much).
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             session: self.id,
             program: self.program_name.clone(),
-            runtime: self.running.stats(),
+            runtime: self.stats_base.merged(&self.running.stats()),
             ingress: self.ingress_stats(),
             latency: LatencySummary::compute(&mut self.latencies.clone()),
-            poisoned: self.poisoned,
+            recovery: self.recovery_stats(),
+            poisoned: self.ever_panicked,
         }
     }
 
-    /// Tells subscribers the session is gone.
+    /// Tells subscribers the session is gone. Always the final message on
+    /// the stream: subscribers are dropped right after.
     pub fn notify_closed(&mut self, reason: &str) {
         let update = Update::Closed {
             session: self.id,
@@ -296,20 +545,24 @@ impl Session {
 mod tests {
     use super::*;
     use crate::registry::{ProgramSpec, Registry};
+    use std::time::Duration;
 
     fn session(program: &str, capacity: usize, policy: BackpressurePolicy) -> Session {
-        let (name, graph) = Registry::standard()
-            .resolve(ProgramSpec::Builtin(program))
-            .unwrap();
-        Session::new(
-            1,
-            name,
-            graph,
+        session_with(
+            program,
             SessionConfig {
                 queue_capacity: capacity,
                 policy,
+                ..SessionConfig::default()
             },
         )
+    }
+
+    fn session_with(program: &str, config: SessionConfig) -> Session {
+        let (name, graph) = Registry::standard()
+            .resolve(ProgramSpec::Builtin(program))
+            .unwrap();
+        Session::new(1, name, graph, config)
     }
 
     #[test]
@@ -372,16 +625,159 @@ mod tests {
     }
 
     #[test]
-    fn node_panic_poisons_the_session() {
+    fn node_panic_recovers_in_place() {
         let mut s = session("crashy", 16, BackpressurePolicy::Block);
         s.enqueue("Mouse.x", Value::Int(21));
         s.pump();
         assert_eq!(s.query().value, PlainValue::Int(42));
         s.enqueue("Mouse.x", Value::Int(-1));
         s.pump();
+        // The panic poisons the node but the session restarts from its
+        // journal instead of dying: the poisoned node is NoChange forever.
         assert!(s.is_poisoned());
-        // Further traffic is ignored rather than wedging the shard.
-        assert_eq!(s.enqueue("Mouse.x", Value::Int(5)), EnqueueOutcome::Ignored);
+        assert!(!s.recovery_failed());
+        assert_eq!(s.restarts(), 1);
+        assert_eq!(
+            s.enqueue("Mouse.x", Value::Int(5)),
+            EnqueueOutcome::Accepted
+        );
+        s.pump();
+        // Output is frozen at the pre-panic value, exactly as an
+        // uninterrupted run would freeze it (paper §3.3.2).
+        assert_eq!(s.query().value, PlainValue::Int(42));
+        let rec = s.recovery_stats();
+        assert_eq!(rec.restarts, 1);
+        assert_eq!(rec.replayed_events, 2);
+    }
+
+    #[test]
+    fn snapshots_bound_the_replay() {
+        let mut s = session_with(
+            "counter",
+            SessionConfig {
+                snapshot_interval: 4,
+                // Segments seal at the snapshot cadence, so truncation
+                // actually reclaims them.
+                journal_segment: 4,
+                ..SessionConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            s.enqueue("Mouse.clicks", Value::Unit);
+        }
+        s.pump();
+        assert_eq!(s.query().value, PlainValue::Int(10));
+        let rec = s.recovery_stats();
+        assert_eq!(rec.snapshot_count, 2); // at seq 4 and 8
+        assert_eq!(rec.journal_len, 2); // 9 and 10 survive truncation
+    }
+
+    #[test]
+    fn injected_crashes_recover_without_losing_or_duplicating_events() {
+        let faults = FaultPlan {
+            crash: 0.2,
+            ..FaultPlan::chaos(11)
+        };
+        let mut s = session_with(
+            "counter",
+            SessionConfig {
+                snapshot_interval: 8,
+                // ~40 crashes expected over 200 events; keep the budget
+                // far above that so recovery never gives up here.
+                restart: RestartPolicy {
+                    max_restarts: 1000,
+                    ..RestartPolicy::default()
+                },
+                faults,
+                ..SessionConfig::default()
+            },
+        );
+        let (tx, rx) = crossbeam::channel::unbounded();
+        s.subscribe(tx);
+        for _ in 0..200 {
+            s.enqueue("Mouse.clicks", Value::Unit);
+            s.pump();
+        }
+        // Recovery backoff can leave a tail queued; drain it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while s.queue_len() > 0 {
+            assert!(Instant::now() < deadline, "queue never drained");
+            std::thread::sleep(Duration::from_millis(1));
+            s.pump();
+        }
+        assert!(!s.recovery_failed());
+        let rec = s.recovery_stats();
+        assert!(rec.restarts > 0, "crash probability 0.2 never fired");
+        assert!(rec.max_replay <= 8, "replay exceeded the snapshot interval");
+        // Exactly-once delivery: the counter saw all 200 clicks, and the
+        // subscriber stream is the uninterrupted 1..=200 fold.
+        assert_eq!(s.query().value, PlainValue::Int(200));
+        let got: Vec<Update> = rx.try_iter().collect();
+        assert_eq!(got.len(), 200);
+        assert_eq!(
+            got.last(),
+            Some(&Update::Changed {
+                session: 1,
+                seq: 200,
+                value: PlainValue::Int(200)
+            })
+        );
+    }
+
+    #[test]
+    fn exhausted_restart_budget_fails_recovery() {
+        let faults = FaultPlan {
+            crash: 1.0,
+            ..FaultPlan::chaos(3)
+        };
+        let mut s = session_with(
+            "counter",
+            SessionConfig {
+                restart: RestartPolicy {
+                    max_restarts: 3,
+                    window: Duration::from_secs(60),
+                    backoff_base: Duration::ZERO,
+                    backoff_cap: Duration::ZERO,
+                },
+                faults,
+                ..SessionConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            s.enqueue("Mouse.clicks", Value::Unit);
+            s.pump();
+        }
+        assert!(s.recovery_failed());
+        assert_eq!(
+            s.enqueue("Mouse.clicks", Value::Unit),
+            EnqueueOutcome::Ignored
+        );
+    }
+
+    #[test]
+    fn journal_failures_force_a_covering_snapshot() {
+        let faults = FaultPlan {
+            journal_fail: 1.0,
+            ..FaultPlan::chaos(5)
+        };
+        let mut s = session_with(
+            "counter",
+            SessionConfig {
+                faults,
+                ..SessionConfig::default()
+            },
+        );
+        for _ in 0..5 {
+            s.enqueue("Mouse.clicks", Value::Unit);
+        }
+        s.pump();
+        let rec = s.recovery_stats();
+        assert_eq!(rec.journal_failures, 5);
+        // Every failed append snapshots right after the apply, so the
+        // journal holes are always behind a snapshot.
+        assert_eq!(rec.snapshot_count, 5);
+        assert_eq!(rec.journal_len, 0);
+        assert_eq!(s.query().value, PlainValue::Int(5));
     }
 
     #[test]

@@ -6,14 +6,20 @@
 //! shard needs no locks around session state. Commands arrive on a
 //! channel with per-request reply channels; after each burst of commands
 //! the shard pumps every session with queued events, then sweeps for
-//! evictions (idle timeout, node poisoning).
+//! evictions (idle timeout, exhausted restart budget). Sessions whose
+//! runtimes crash are *not* evicted — they recover in place from
+//! snapshot + journal (see [`crate::session`]); only a session that
+//! exhausts its [`crate::supervisor::RestartBudget`] is removed, with
+//! the `recovery_failed` close reason.
 
 use std::collections::HashMap;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use elm_environment::fault::{self, FaultPlan};
 use elm_runtime::{NodeKind, PlainValue, SignalGraph, Value};
+use rand::Rng;
 
 use crate::protocol::{BatchOutcome, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats, Update};
 use crate::session::{Session, SessionConfig, SessionId};
@@ -35,8 +41,8 @@ pub struct ShardCounters {
     pub closed: u64,
     /// Sessions evicted for idling past the timeout.
     pub evicted_idle: u64,
-    /// Sessions evicted after a node panic.
-    pub evicted_poisoned: u64,
+    /// Sessions evicted after exhausting their restart budget.
+    pub recovery_failed: u64,
 }
 
 /// A shard's answer to [`Command::Stats`].
@@ -127,12 +133,14 @@ pub struct ShardHandle {
 }
 
 impl ShardHandle {
-    /// Spawns a shard worker.
-    pub fn spawn(index: usize, idle_timeout: Option<Duration>) -> ShardHandle {
+    /// Spawns a shard worker. `faults` drives worker-stall injection
+    /// (deterministically seeded by the shard index); pass
+    /// [`FaultPlan::disabled`] for a fault-free shard.
+    pub fn spawn(index: usize, idle_timeout: Option<Duration>, faults: FaultPlan) -> ShardHandle {
         let (tx, rx) = channel::unbounded();
         let handle = thread::Builder::new()
             .name(format!("elm-shard-{index}"))
-            .spawn(move || run(rx, idle_timeout))
+            .spawn(move || run(rx, idle_timeout, index, faults))
             .expect("spawning a shard thread");
         ShardHandle { tx, handle }
     }
@@ -166,12 +174,16 @@ struct Shard {
     idle_timeout: Option<Duration>,
 }
 
-fn run(rx: Receiver<Command>, idle_timeout: Option<Duration>) {
+fn run(rx: Receiver<Command>, idle_timeout: Option<Duration>, index: usize, faults: FaultPlan) {
     let mut shard = Shard {
         sessions: HashMap::new(),
         counters: ShardCounters::default(),
         idle_timeout,
     };
+    // Worker-stall injection: one roll per handled command burst. Stalls
+    // only delay the worker (sessions must tolerate a frozen shard); they
+    // never change what gets applied.
+    let mut stall_rng = (faults.stall > 0.0).then(|| faults.rng(fault::STREAM_STALL, index as u64));
     'outer: loop {
         match rx.recv_timeout(TICK) {
             Ok(cmd) => {
@@ -186,6 +198,11 @@ fn run(rx: Receiver<Command>, idle_timeout: Option<Duration>) {
                             }
                         }
                         Err(_) => break,
+                    }
+                }
+                if let Some(rng) = stall_rng.as_mut() {
+                    if rng.gen_bool(faults.stall) {
+                        thread::sleep(Duration::from_millis(faults.stall_ms));
                     }
                 }
             }
@@ -320,8 +337,8 @@ impl Shard {
             .sessions
             .values()
             .filter_map(|s| {
-                if s.is_poisoned() {
-                    Some((s.id(), "poisoned"))
+                if s.recovery_failed() {
+                    Some((s.id(), "recovery_failed"))
                 } else if self
                     .idle_timeout
                     .is_some_and(|t| now.duration_since(s.last_activity()) > t)
@@ -337,7 +354,7 @@ impl Shard {
                 s.notify_closed(reason);
                 s.stop();
                 match reason {
-                    "poisoned" => self.counters.evicted_poisoned += 1,
+                    "recovery_failed" => self.counters.recovery_failed += 1,
                     _ => self.counters.evicted_idle += 1,
                 }
             }
@@ -387,7 +404,7 @@ mod tests {
 
     #[test]
     fn shard_hosts_sessions_and_answers_queries() {
-        let shard = ShardHandle::spawn(0, None);
+        let shard = ShardHandle::spawn(0, None, FaultPlan::disabled());
         let info = open_on(&shard, 7, "counter", SessionConfig::default());
         assert_eq!(info.session, 7);
         assert_eq!(info.inputs, vec!["Mouse.clicks".to_string()]);
@@ -410,30 +427,35 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_sessions_are_evicted_not_wedged() {
-        let shard = ShardHandle::spawn(0, None);
+    fn poisoned_sessions_recover_in_place_instead_of_eviction() {
+        let shard = ShardHandle::spawn(0, None, FaultPlan::disabled());
         open_on(&shard, 1, "crashy", SessionConfig::default());
         open_on(&shard, 2, "counter", SessionConfig::default());
 
-        let (tx, rx) = channel::bounded(1);
-        shard
-            .sender()
-            .send(Command::Event {
-                session: 1,
-                input: "Mouse.x".to_string(),
-                value: Value::Int(-5),
-                reply: tx,
-            })
-            .unwrap();
-        rx.recv().unwrap().unwrap();
+        for v in [21, -5] {
+            let (tx, rx) = channel::bounded(1);
+            shard
+                .sender()
+                .send(Command::Event {
+                    session: 1,
+                    input: "Mouse.x".to_string(),
+                    value: Value::Int(v),
+                    reply: tx,
+                })
+                .unwrap();
+            rx.recv().unwrap().unwrap();
+        }
 
-        // The eviction sweep runs after the command burst; poll briefly.
+        // The panic triggered a supervised restart, not an eviction: the
+        // session keeps its id, answers queries, and reports the restart.
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            if query_on(&shard, 1).is_err() {
+            let q = query_on(&shard, 1).expect("session must survive the panic");
+            if q.poisoned {
+                assert_eq!(q.value, PlainValue::Int(42));
                 break;
             }
-            assert!(Instant::now() < deadline, "poisoned session never evicted");
+            assert!(Instant::now() < deadline, "panic never surfaced");
             thread::sleep(Duration::from_millis(2));
         }
         // The sibling session is untouched.
@@ -448,14 +470,73 @@ mod tests {
             })
             .unwrap();
         let stats = rx.recv().unwrap();
-        assert_eq!(stats.counters.evicted_poisoned, 1);
-        assert_eq!(stats.sessions.len(), 1);
+        assert_eq!(stats.counters.recovery_failed, 0);
+        assert_eq!(stats.sessions.len(), 2);
+        let crashy = stats.sessions.iter().find(|s| s.session == 1).unwrap();
+        assert_eq!(crashy.recovery.restarts, 1);
+        shard.shutdown();
+    }
+
+    #[test]
+    fn budget_exhaustion_evicts_with_recovery_failed() {
+        let shard = ShardHandle::spawn(0, None, FaultPlan::disabled());
+        let config = SessionConfig {
+            restart: crate::supervisor::RestartPolicy {
+                max_restarts: 0,
+                ..crate::supervisor::RestartPolicy::default()
+            },
+            ..SessionConfig::default()
+        };
+        open_on(&shard, 1, "crashy", config);
+        let (sub_tx, sub_rx) = channel::unbounded();
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Subscribe {
+                session: 1,
+                sink: sub_tx,
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap().unwrap();
+
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Event {
+                session: 1,
+                input: "Mouse.x".to_string(),
+                value: Value::Int(-5),
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap().unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if query_on(&shard, 1).is_err() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "doomed session never evicted");
+            thread::sleep(Duration::from_millis(2));
+        }
+        // The final message on the stream names the reason.
+        let last = sub_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("a closed notice");
+        assert_eq!(
+            last,
+            Update::Closed {
+                session: 1,
+                reason: "recovery_failed".to_string()
+            }
+        );
         shard.shutdown();
     }
 
     #[test]
     fn idle_sessions_are_evicted_after_the_timeout() {
-        let shard = ShardHandle::spawn(0, Some(Duration::from_millis(30)));
+        let shard = ShardHandle::spawn(0, Some(Duration::from_millis(30)), FaultPlan::disabled());
         open_on(&shard, 1, "counter", SessionConfig::default());
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {

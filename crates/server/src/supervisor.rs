@@ -1,0 +1,153 @@
+//! Restart supervision for crash-recoverable sessions.
+//!
+//! When a session's runtime dies (a node panic poisons it, or the fault
+//! layer injects a crash), the owning shard does not evict it — it
+//! rebuilds the runtime from the latest snapshot plus the journal suffix.
+//! The [`RestartBudget`] bounds how hard a shard will try: each crash
+//! consumes one restart from a sliding window, restarts back off
+//! exponentially, and once the window is exhausted the session is
+//! permanently evicted with the `recovery_failed` close reason. This is
+//! the classic supervisor-with-intensity model: transient faults heal in
+//! place, crash loops are cut off instead of burning a shard thread.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// How aggressively a crashed session may be restarted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Crashes tolerated inside one sliding `window` before giving up.
+    pub max_restarts: u32,
+    /// The sliding window over which crashes are counted.
+    pub window: Duration,
+    /// Backoff before the second restart in a window; doubles per
+    /// subsequent restart. The first restart in a window is immediate.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 32,
+            window: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the supervisor decided about one crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartDecision {
+    /// Recover the session after waiting `after` (zero = immediately).
+    Restart {
+        /// Backoff delay before the recovery runs.
+        after: Duration,
+    },
+    /// The budget is exhausted; evict with `recovery_failed`.
+    GiveUp,
+}
+
+/// Sliding-window crash counter implementing a [`RestartPolicy`].
+#[derive(Debug)]
+pub struct RestartBudget {
+    policy: RestartPolicy,
+    recent: VecDeque<Instant>,
+}
+
+impl RestartBudget {
+    /// A fresh budget under `policy`.
+    pub fn new(policy: RestartPolicy) -> RestartBudget {
+        RestartBudget {
+            policy,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Crashes currently inside the window (as of the last `on_crash`).
+    pub fn recent_crashes(&self) -> u32 {
+        self.recent.len() as u32
+    }
+
+    /// Records a crash at `now` and decides whether to restart.
+    pub fn on_crash(&mut self, now: Instant) -> RestartDecision {
+        while let Some(&front) = self.recent.front() {
+            if now.duration_since(front) > self.policy.window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.recent.len() as u32 >= self.policy.max_restarts {
+            return RestartDecision::GiveUp;
+        }
+        let prior = self.recent.len() as u32;
+        self.recent.push_back(now);
+        RestartDecision::Restart {
+            after: self.delay(prior),
+        }
+    }
+
+    /// Backoff for the `n`-th restart in the window (0-based): the first
+    /// is immediate, then `base * 2^(n-1)` capped at `backoff_cap`.
+    fn delay(&self, n: u32) -> Duration {
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (n - 1).min(31);
+        self.policy
+            .backoff_base
+            .saturating_mul(factor)
+            .min(self.policy.backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(max: u32, window_ms: u64) -> RestartPolicy {
+        RestartPolicy {
+            max_restarts: max,
+            window: Duration::from_millis(window_ms),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps_then_gives_up() {
+        let mut b = RestartBudget::new(policy(6, 60_000));
+        let t = Instant::now();
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            match b.on_crash(t) {
+                RestartDecision::Restart { after } => delays.push(after.as_millis() as u64),
+                RestartDecision::GiveUp => panic!("gave up inside the budget"),
+            }
+        }
+        assert_eq!(delays, vec![0, 1, 2, 4, 8, 8]);
+        assert_eq!(b.on_crash(t), RestartDecision::GiveUp);
+    }
+
+    #[test]
+    fn window_expiry_refills_the_budget() {
+        let mut b = RestartBudget::new(policy(2, 100));
+        let t0 = Instant::now();
+        assert!(matches!(b.on_crash(t0), RestartDecision::Restart { .. }));
+        assert!(matches!(b.on_crash(t0), RestartDecision::Restart { .. }));
+        assert_eq!(b.on_crash(t0), RestartDecision::GiveUp);
+        // Past the window the old crashes age out and the first restart
+        // is immediate again.
+        let later = t0 + Duration::from_millis(150);
+        assert_eq!(
+            b.on_crash(later),
+            RestartDecision::Restart {
+                after: Duration::ZERO
+            }
+        );
+        assert_eq!(b.recent_crashes(), 1);
+    }
+}

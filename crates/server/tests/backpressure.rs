@@ -1,8 +1,7 @@
 //! Satellite: backpressure policies and poisoning observed through the
 //! public `Server` API — drop-oldest/coalesce counters tick, and a
-//! session whose node panics is evicted rather than wedging its shard.
-
-use std::time::{Duration, Instant};
+//! session whose node panics recovers in place rather than wedging its
+//! shard.
 
 use elm_runtime::PlainValue;
 use elm_server::{BackpressurePolicy, ProgramSpec, Server, ServerConfig, SessionConfig};
@@ -13,6 +12,7 @@ fn tiny_queue_server(policy: BackpressurePolicy) -> Server {
         session: SessionConfig {
             queue_capacity: 4,
             policy,
+            ..SessionConfig::default()
         },
         idle_timeout: None,
     })
@@ -91,7 +91,7 @@ fn unknown_inputs_are_ignored_not_fatal() {
 }
 
 #[test]
-fn poisoned_session_is_evicted_and_the_shard_stays_live() {
+fn poisoned_session_recovers_and_the_shard_stays_live() {
     let server = tiny_queue_server(BackpressurePolicy::Block);
     let healthy = server
         .open(ProgramSpec::Builtin("counter"), None, None)
@@ -104,20 +104,15 @@ fn poisoned_session_is_evicted_and_the_shard_stays_live() {
 
     server.event(doomed, "Mouse.x", PlainValue::Int(5)).unwrap();
     assert_eq!(server.query(doomed).unwrap().value, PlainValue::Int(10));
-    // Negative input makes the crashy node panic; the session is poisoned
-    // and the shard's eviction sweep removes it.
+    // Negative input makes the crashy node panic; the supervisor restarts
+    // the session in place from snapshot + journal instead of evicting it.
     server
         .event(doomed, "Mouse.x", PlainValue::Int(-1))
         .unwrap();
 
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match server.query(doomed) {
-            Err(_) => break, // evicted: the session is gone
-            Ok(_) if Instant::now() > deadline => panic!("poisoned session never evicted"),
-            Ok(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
+    let q = server.query(doomed).unwrap();
+    assert!(q.poisoned, "the panic is still visible in query info");
+    assert_eq!(q.value, PlainValue::Int(10), "last good output survives");
 
     // The sibling session on the same shard is unharmed.
     server
@@ -126,10 +121,9 @@ fn poisoned_session_is_evicted_and_the_shard_stays_live() {
     assert_eq!(server.query(healthy).unwrap().value, PlainValue::Int(1));
 
     let (global, sessions) = server.stats();
-    assert_eq!(global.evicted_poisoned, 1);
-    // Runtime counters aggregate over *live* sessions only; the evicted
-    // one is gone, so only the healthy session remains in view.
-    assert_eq!(global.sessions_live, 1);
-    assert_eq!(sessions.len(), 1);
+    assert_eq!(global.recovery_failed, 0, "budget was never exhausted");
+    assert_eq!(global.recovery.restarts, 1);
+    assert_eq!(global.sessions_live, 2, "the poisoned session stays live");
+    assert_eq!(sessions.len(), 2);
     server.shutdown();
 }

@@ -1,0 +1,171 @@
+//! Tentpole integration: crash recovery observed through the public
+//! `Server` API. A session whose runtime dies keeps its id, its
+//! subscribers, and its queryability; outputs under injected crashes
+//! match an uninterrupted synchronous replay; and only restart-budget
+//! exhaustion ends a session, with the `recovery_failed` close reason.
+
+use elm_environment::FaultPlan;
+use elm_runtime::PlainValue;
+use elm_server::{
+    BackpressurePolicy, ProgramSpec, RestartPolicy, Server, ServerConfig, SessionConfig, Update,
+};
+use elm_signals::{Engine, Program};
+
+#[test]
+fn crashy_session_recovers_in_place_with_subscribers_intact() {
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        session: SessionConfig::default(),
+        idle_timeout: None,
+    });
+    let s = server
+        .open(ProgramSpec::Builtin("crashy"), None, None)
+        .unwrap()
+        .session;
+    let rx = server.subscribe(s).unwrap();
+
+    server.event(s, "Mouse.x", PlainValue::Int(5)).unwrap();
+    server.event(s, "Mouse.x", PlainValue::Int(-1)).unwrap(); // panic + restart
+    server.event(s, "Mouse.x", PlainValue::Int(7)).unwrap();
+
+    // Same session id answers queries after the crash, and the poisoned
+    // node stays NoChange (paper §3.3.2) across the restart: the -1 and
+    // the post-recovery 7 both leave the output at 10.
+    let q = server.query(s).unwrap();
+    assert!(q.poisoned);
+    assert_eq!(q.value, PlainValue::Int(10));
+
+    let stats = server.session_stats(s).unwrap();
+    assert_eq!(stats.recovery.restarts, 1);
+    assert!(stats.recovery.replayed_events <= stats.recovery.snapshot_count.max(1) * 256);
+    assert!(!stats.poisoned || stats.recovery.restarts > 0);
+
+    // The pre-crash update reached the subscriber exactly once, and the
+    // channel is still connected — closing the session proves it with a
+    // final `closed` message.
+    server.close(s).unwrap();
+    let updates: Vec<Update> = rx.iter().collect();
+    let changes: Vec<&Update> = updates
+        .iter()
+        .filter(|u| matches!(u, Update::Changed { .. }))
+        .collect();
+    assert_eq!(changes.len(), 1, "{updates:?}");
+    match changes[0] {
+        Update::Changed { seq, value, .. } => {
+            assert_eq!(*seq, 1);
+            assert_eq!(value, &PlainValue::Int(10));
+        }
+        _ => unreachable!(),
+    }
+    match updates.last() {
+        Some(Update::Closed { reason, .. }) => assert_eq!(reason, "closed"),
+        other => panic!("stream must end with closed, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn injected_crashes_match_uninterrupted_synchronous_replay() {
+    // Feed the chaos program a deterministic trace while the fault plan
+    // crashes the runtime roughly every fifty events, then demand the
+    // final output equal a crash-free single-session replay.
+    let faults = FaultPlan {
+        seed: 0xC0FFEE,
+        crash: 0.02,
+        ..FaultPlan::disabled()
+    };
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        session: SessionConfig {
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            snapshot_interval: 16,
+            journal_segment: 16,
+            restart: RestartPolicy {
+                max_restarts: 10_000,
+                ..RestartPolicy::default()
+            },
+            faults,
+        },
+        idle_timeout: None,
+    });
+    let s = server
+        .open(ProgramSpec::Builtin("chaos"), None, None)
+        .unwrap()
+        .session;
+
+    let events: Vec<(String, PlainValue)> = (1..=400)
+        .flat_map(|n| {
+            [
+                ("Mouse.clicks".to_string(), PlainValue::Unit),
+                ("Mouse.x".to_string(), PlainValue::Int(n)),
+            ]
+        })
+        .collect();
+    for chunk in events.chunks(32) {
+        server.batch(s, chunk).unwrap();
+    }
+    while server.query(s).unwrap().queue_len > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let stats = server.session_stats(s).unwrap();
+    assert!(stats.recovery.restarts > 0, "faults must actually fire");
+    assert!(
+        stats.recovery.max_replay <= 16,
+        "snapshots bound replay, saw {}",
+        stats.recovery.max_replay
+    );
+
+    // Uninterrupted oracle.
+    let (_, graph) = server
+        .registry()
+        .resolve(ProgramSpec::Builtin("chaos"))
+        .unwrap();
+    let mut oracle = Program::from_dynamic_graph(graph).start(Engine::Synchronous);
+    for (input, value) in &events {
+        oracle.send_named(input, value.to_value()).unwrap();
+    }
+    oracle.drain_raw().unwrap();
+    let expected = PlainValue::from_value(oracle.current()).unwrap();
+
+    assert_eq!(server.query(s).unwrap().value, expected);
+    server.shutdown();
+}
+
+#[test]
+fn budget_exhaustion_closes_with_recovery_failed() {
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        session: SessionConfig {
+            restart: RestartPolicy {
+                max_restarts: 0,
+                ..RestartPolicy::default()
+            },
+            ..SessionConfig::default()
+        },
+        idle_timeout: None,
+    });
+    let s = server
+        .open(ProgramSpec::Builtin("crashy"), None, None)
+        .unwrap()
+        .session;
+    let rx = server.subscribe(s).unwrap();
+
+    server.event(s, "Mouse.x", PlainValue::Int(-1)).unwrap();
+
+    // The eviction sweep removes the session; its stream must end with
+    // the recovery_failed reason.
+    match rx.iter().last() {
+        Some(Update::Closed { reason, session }) => {
+            assert_eq!(reason, "recovery_failed");
+            assert_eq!(session, s);
+        }
+        other => panic!("expected terminal closed update, got {other:?}"),
+    }
+    assert!(server.query(s).is_err(), "session is gone");
+
+    let (global, _) = server.stats();
+    assert_eq!(global.recovery_failed, 1);
+    server.shutdown();
+}

@@ -7,18 +7,22 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use elm_server::{net, Server, ServerConfig};
+use elm_server::{net, RestartPolicy, Server, ServerConfig, SessionConfig};
 use serde_json::Value as Json;
 
-fn start_server() -> std::net::SocketAddr {
-    let server = Arc::new(Server::start(ServerConfig {
-        shards: 2,
-        ..ServerConfig::default()
-    }));
+fn start_with(config: ServerConfig) -> std::net::SocketAddr {
+    let server = Arc::new(Server::start(config));
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     thread::spawn(move || net::serve(server, listener));
     addr
+}
+
+fn start_server() -> std::net::SocketAddr {
+    start_with(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    })
 }
 
 struct Client {
@@ -134,6 +138,51 @@ fn subscribe_streams_updates_to_the_wire() {
     assert_eq!(field(&update, "update"), &Json::Str("changed".into()));
     assert_eq!(as_u64(field(&update, "seq")), 1);
     assert_eq!(field(field(&update, "value"), "Int"), &Json::I64(1));
+}
+
+#[test]
+fn closed_update_with_reason_is_the_final_stream_message() {
+    // A zero-restart budget turns the first crash into a recovery failure,
+    // so the subscriber must see a final `closed` update carrying the
+    // `recovery_failed` reason.
+    let addr = start_with(ServerConfig {
+        shards: 1,
+        session: SessionConfig {
+            restart: RestartPolicy {
+                max_restarts: 0,
+                ..RestartPolicy::default()
+            },
+            ..SessionConfig::default()
+        },
+        idle_timeout: None,
+    });
+    let mut c = Client::connect(addr);
+
+    let opened = c.round_trip(r#"{"cmd":"open","program":"crashy"}"#);
+    assert_ok(&opened);
+    let session = as_u64(field(&opened, "session"));
+    assert_ok(&c.round_trip(&format!(r#"{{"cmd":"subscribe","session":{session}}}"#)));
+
+    c.send(&format!(
+        r#"{{"cmd":"event","session":{session},"input":"Mouse.x","value":{{"Int":-1}}}}"#
+    ));
+
+    // Collect pushed updates until the stream's terminal `closed` line.
+    let closed = loop {
+        let msg = c.recv();
+        if msg.get("update") == Some(&Json::Str("closed".into())) {
+            break msg;
+        }
+    };
+    assert_eq!(as_u64(field(&closed, "session")), session);
+    assert_eq!(
+        field(&closed, "reason"),
+        &Json::Str("recovery_failed".into())
+    );
+
+    // The session itself is gone.
+    let gone = c.round_trip(&format!(r#"{{"cmd":"query","session":{session}}}"#));
+    assert_eq!(field(&gone, "ok"), &Json::Bool(false));
 }
 
 #[test]

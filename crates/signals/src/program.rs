@@ -16,8 +16,8 @@ use std::marker::PhantomData;
 use std::time::Duration;
 
 use elm_runtime::{
-    ConcurrentRuntime, Occurrence, OutputEvent, RunError, SignalGraph, StatsSnapshot, SyncRuntime,
-    Trace, Value,
+    ConcurrentRuntime, Occurrence, OutputEvent, RunError, RuntimeSnapshot, SignalGraph,
+    StatsSnapshot, SyncRuntime, Trace, Value,
 };
 
 use crate::convert::SignalValue;
@@ -252,6 +252,37 @@ impl<T: SignalValue> Running<T> {
         }
     }
 
+    /// Captures the runtime's mutable state for crash recovery. Only the
+    /// deterministic synchronous engine supports this (the concurrent
+    /// engine's state is spread across worker threads); returns `None`
+    /// there.
+    pub fn snapshot(&self) -> Option<RuntimeSnapshot> {
+        match &self.inner {
+            Inner::Concurrent(_) => None,
+            Inner::Synchronous(rt) => Some(rt.snapshot()),
+        }
+    }
+
+    /// Restores state captured by [`Running::snapshot`], refreshing the
+    /// cached current output value. Synchronous engine only.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the concurrent engine or if the snapshot belongs to a
+    /// structurally different graph.
+    pub fn restore(&mut self, snap: &RuntimeSnapshot) -> Result<(), RunError> {
+        match &mut self.inner {
+            Inner::Concurrent(_) => Err(RunError::WorkerLost(
+                "snapshot/restore requires the synchronous engine".to_string(),
+            )),
+            Inner::Synchronous(rt) => {
+                rt.restore(snap)?;
+                self.current = T::from_value_unwrap(rt.output_value());
+                Ok(())
+            }
+        }
+    }
+
     /// Execution counters.
     pub fn stats(&self) -> StatsSnapshot {
         match &self.inner {
@@ -361,6 +392,29 @@ mod tests {
         assert_eq!(run.next_change(Duration::from_secs(5)), Some(2));
         assert_eq!(run.next_change(Duration::from_millis(50)), None);
         run.stop();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_on_the_sync_engine() {
+        let (prog, h) = counter_program();
+        let mut run = prog.start(Engine::Synchronous);
+        for _ in 0..3 {
+            run.send(&h, ()).unwrap();
+        }
+        run.drain_changes().unwrap();
+        let snap = run.snapshot().expect("sync engine snapshots");
+
+        let mut restored = prog.start(Engine::Synchronous);
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.current(), &3);
+        restored.send(&h, ()).unwrap();
+        assert_eq!(restored.drain_changes().unwrap(), vec![4]);
+
+        // The concurrent engine refuses both directions.
+        let mut conc = prog.start(Engine::Concurrent);
+        assert!(conc.snapshot().is_none());
+        assert!(conc.restore(&snap).is_err());
+        conc.stop();
     }
 
     #[test]
