@@ -29,7 +29,7 @@ fn drive(server: &Arc<Server>, program: &str, traces: &[elm_runtime::Trace]) {
     for _ in 0..traces.len() {
         sessions.push(
             server
-                .open(ProgramSpec::Builtin(program), None, None)
+                .open(ProgramSpec::Builtin(program), None, None, false)
                 .unwrap()
                 .session,
         );

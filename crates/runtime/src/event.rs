@@ -13,6 +13,7 @@
 //! the last value of every incoming edge).
 
 use crate::graph::NodeId;
+use crate::tracing::TraceId;
 use crate::value::Value;
 
 /// A stimulus handed to the global event dispatcher: "source `source` has a
@@ -26,6 +27,11 @@ pub struct Occurrence {
     /// New value for input sources; `None` for `async`-generated occurrences
     /// whose payload is already buffered at the async node.
     pub payload: Option<Value>,
+    /// Causal trace context. [`TraceId::NONE`] for untraced occurrences; a
+    /// tracer-equipped scheduler assigns a fresh id at ingress, and
+    /// `async`-generated occurrences inherit the id of the event whose
+    /// propagation buffered their payload.
+    pub trace: TraceId,
 }
 
 impl Occurrence {
@@ -34,6 +40,7 @@ impl Occurrence {
         Occurrence {
             source,
             payload: Some(value.into()),
+            trace: TraceId::NONE,
         }
     }
 
@@ -42,7 +49,14 @@ impl Occurrence {
         Occurrence {
             source,
             payload: None,
+            trace: TraceId::NONE,
         }
+    }
+
+    /// The same occurrence stamped with a trace id.
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -106,6 +120,9 @@ mod tests {
         assert_eq!(o.payload, Some(Value::Int(7)));
         let a = Occurrence::async_ready(NodeId(9));
         assert_eq!(a.payload, None);
+        assert!(a.trace.is_none());
+        let traced = a.with_trace(TraceId(5));
+        assert_eq!(traced.trace, TraceId(5));
     }
 
     #[test]

@@ -51,9 +51,11 @@ pub mod error;
 pub mod event;
 pub mod graph;
 pub mod journal;
+pub mod metrics;
 pub mod sched;
 pub mod stats;
 pub mod trace;
+pub mod tracing;
 mod value;
 
 pub use behavior::{
@@ -64,9 +66,14 @@ pub use error::{GraphError, RunError};
 pub use event::{changed_values, Occurrence, OutputEvent, Propagated};
 pub use graph::{GraphBuilder, Node, NodeId, NodeKind, SignalGraph};
 pub use journal::{EventJournal, JournalEntry, JournalError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use sched::concurrent::ConcurrentRuntime;
 pub use sched::pull::PullRuntime;
 pub use sched::sync::{RuntimeSnapshot, SyncRuntime};
 pub use stats::{Stats, StatsSnapshot};
 pub use trace::{PlainValue, Trace, TraceEvent};
+pub use tracing::{
+    assemble, reachable_from, NodeSpan, NodeTimingSnapshot, PlainSpan, PlainSpanTree, SpanKind,
+    SpanRing, SpanTree, TraceId, Tracer,
+};
 pub use value::Value;

@@ -1,0 +1,501 @@
+//! Lightweight in-tree metrics primitives and Prometheus-text exposition.
+//!
+//! The paper's efficiency claims (§1, §3.3.2) are about latency and avoided
+//! work; this module gives every layer of the runtime a uniform way to count
+//! and time both. Three live instrument types — [`Counter`], [`Gauge`], and a
+//! fixed-bucket log₂-scale [`Histogram`] — are plain atomics so they can be
+//! updated from any scheduler thread without locks, and [`Registry`] renders
+//! point-in-time samples of them in the Prometheus text exposition format
+//! (`# TYPE` lines, cumulative `_bucket{le=...}` series, `_sum`/`_count`).
+//!
+//! The existing [`crate::Stats`] counters are built on [`Counter`], so one
+//! accounting path feeds both the legacy `StatsSnapshot` view and the
+//! `/metrics` exposition surface.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets, including the final `+Inf` bucket.
+///
+/// Bucket `i < HISTOGRAM_BUCKETS - 1` counts observations `v` with
+/// `v <= 2^i` (and greater than the previous bound); with nanosecond
+/// observations the finite bounds run from 1 ns to `2^30` ns ≈ 1.07 s.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (or track a running maximum).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log₂-scale histogram with atomic bucket counters.
+///
+/// Observations are `u64` (by convention: nanoseconds). Bucket `i` has the
+/// inclusive upper bound `2^i`; the last bucket is `+Inf`. The scale is fixed
+/// so histograms can be merged across sessions without coordination.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket an observation falls into.
+    pub fn bucket_index(v: u64) -> usize {
+        let idx = if v <= 1 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros() as usize
+        };
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`None` for the `+Inf` bucket).
+    pub fn bucket_le(i: usize) -> Option<u64> {
+        if i + 1 < HISTOGRAM_BUCKETS {
+            Some(1u64 << i)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy for serialization / merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: per-bucket (non-cumulative)
+/// counts plus total sum and count.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Non-cumulative count per bucket (`HISTOGRAM_BUCKETS` entries, or empty
+    /// for a default/unobserved histogram).
+    pub buckets: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Bucket-wise sum, for aggregating per-session histograms into a global
+    /// series. Both operands must use the fixed log₂ scale.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let n = self.buckets.len().max(other.buckets.len());
+        let mut buckets = vec![0u64; n];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets.get(i).copied().unwrap_or(0)
+                + other.buckets.get(i).copied().unwrap_or(0);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum + other.sum,
+            count: self.count + other.count,
+        }
+    }
+}
+
+/// One sample (label set + value) of a metric family.
+#[derive(Debug)]
+struct Sample {
+    labels: String, // pre-rendered `{k="v",...}` or empty
+    value: String,
+}
+
+/// One metric family: name, type, help, and its samples.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    kind: &'static str,
+    help: String,
+    samples: Vec<Sample>,
+}
+
+/// A collection of metric families that renders as Prometheus text.
+///
+/// Callers register point-in-time values (there is no live registration —
+/// instruments stay owned by the subsystems that update them and are sampled
+/// at exposition time). Families keep insertion order; repeated registrations
+/// of the same name append samples to the existing family.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+/// Escapes a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a label set as `{k="v",...}`, or an empty string for no labels.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Renders a label set with one extra trailing label (used for `le` /
+/// `quantile`).
+fn render_labels_plus(labels: &[(&str, &str)], key: &str, value: &str) -> String {
+    let mut all: Vec<(&str, &str)> = labels.to_vec();
+    all.push((key, value));
+    render_labels(&all)
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &str, kind: &'static str, help: &str) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            kind,
+            help: help.to_string(),
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    /// Registers a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let labels = render_labels(labels);
+        self.family(name, "counter", help).samples.push(Sample {
+            labels,
+            value: value.to_string(),
+        });
+    }
+
+    /// Registers a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: i64) {
+        let labels = render_labels(labels);
+        self.family(name, "gauge", help).samples.push(Sample {
+            labels,
+            value: value.to_string(),
+        });
+    }
+
+    /// Registers a histogram sample from a snapshot, scaling each bucket
+    /// bound by `scale` (e.g. `1e-9` to expose nanosecond observations in
+    /// seconds). Buckets are rendered cumulatively with `le` labels, plus
+    /// `_sum` and `_count` series.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        let mut cumulative = 0u64;
+        let fam = self.family(name, "histogram", help);
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += snap.buckets.get(i).copied().unwrap_or(0);
+            let le = match Histogram::bucket_le(i) {
+                Some(bound) => format!("{}", bound as f64 * scale),
+                None => "+Inf".to_string(),
+            };
+            fam.samples.push(Sample {
+                labels: render_labels_plus(labels, "le", &le),
+                value: cumulative.to_string(),
+            });
+        }
+        fam.samples.push(Sample {
+            labels: render_labels(labels),
+            value: format!("{}", snap.sum as f64 * scale),
+        });
+        // `_sum` / `_count` suffixes are attached at render time via the
+        // sample ordering: the last two samples of each labelled histogram
+        // are sum then count.
+        fam.samples.push(Sample {
+            labels: render_labels(labels),
+            value: snap.count.to_string(),
+        });
+    }
+
+    /// Registers a summary sample: pre-computed quantiles plus sum and count.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        quantiles: &[(f64, f64)],
+        sum: f64,
+        count: u64,
+    ) {
+        let fam = self.family(name, "summary", help);
+        for (q, v) in quantiles {
+            fam.samples.push(Sample {
+                labels: render_labels_plus(labels, "quantile", &format!("{q}")),
+                value: format!("{v}"),
+            });
+        }
+        fam.samples.push(Sample {
+            labels: render_labels(labels),
+            value: format!("{sum}"),
+        });
+        fam.samples.push(Sample {
+            labels: render_labels(labels),
+            value: count.to_string(),
+        });
+    }
+
+    /// Renders all families in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind));
+            match fam.kind {
+                "histogram" | "summary" => {
+                    // Samples arrive in repeating groups: quantile/bucket
+                    // lines (with `le`/`quantile` labels), then sum, then
+                    // count for each label set.
+                    let marker = if fam.kind == "histogram" {
+                        "le=\""
+                    } else {
+                        "quantile=\""
+                    };
+                    let mut i = 0;
+                    while i < fam.samples.len() {
+                        let s = &fam.samples[i];
+                        if s.labels.contains(marker) {
+                            let suffix = if fam.kind == "histogram" {
+                                "_bucket"
+                            } else {
+                                ""
+                            };
+                            out.push_str(&format!(
+                                "{}{}{} {}\n",
+                                fam.name, suffix, s.labels, s.value
+                            ));
+                            i += 1;
+                        } else {
+                            // sum then count
+                            out.push_str(&format!("{}_sum{} {}\n", fam.name, s.labels, s.value));
+                            if let Some(c) = fam.samples.get(i + 1) {
+                                out.push_str(&format!(
+                                    "{}_count{} {}\n",
+                                    fam.name, c.labels, c.value
+                                ));
+                            }
+                            i += 2;
+                        }
+                    }
+                }
+                _ => {
+                    for s in &fam.samples {
+                        out.push_str(&format!("{}{} {}\n", fam.name, s.labels, s.value));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // v <= 2^i lands in bucket i (first bound 2^0 = 1).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_le(0), Some(1));
+        assert_eq!(Histogram::bucket_le(4), Some(16));
+        assert_eq!(Histogram::bucket_le(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_observe_and_merge() {
+        let h = Histogram::new();
+        h.observe(1);
+        h.observe(100);
+        h.observe(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 1_000_101);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 3);
+        let merged = snap.merged(&snap);
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn histogram_snapshot_roundtrips_through_json() {
+        let h = Histogram::new();
+        h.observe(42);
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let mut reg = Registry::new();
+        reg.counter("elm_events_total", "Events processed.", &[], 12);
+        reg.gauge(
+            "elm_shard_queue_depth",
+            "Queued events per shard.",
+            &[("shard", "0")],
+            3,
+        );
+        let h = Histogram::new();
+        h.observe(1);
+        h.observe(2_000_000_000);
+        reg.histogram(
+            "elm_node_compute_seconds",
+            "Per-node compute time.",
+            &[("node", "1")],
+            &h.snapshot(),
+            1e-9,
+        );
+        reg.summary(
+            "elm_ingest_latency_seconds",
+            "Ingest-to-output latency.",
+            &[],
+            &[(0.5, 0.001), (0.99, 0.004)],
+            1.5,
+            100,
+        );
+        let text = reg.render();
+        assert!(text.contains("# TYPE elm_events_total counter"));
+        assert!(text.contains("elm_events_total 12"));
+        assert!(text.contains("elm_shard_queue_depth{shard=\"0\"} 3"));
+        assert!(text.contains("# TYPE elm_node_compute_seconds histogram"));
+        assert!(text.contains("elm_node_compute_seconds_bucket{node=\"1\",le=\"+Inf\"} 2"));
+        assert!(text.contains("elm_node_compute_seconds_count{node=\"1\"} 2"));
+        assert!(text.contains("elm_ingest_latency_seconds{quantile=\"0.5\"} 0.001"));
+        assert!(text.contains("elm_ingest_latency_seconds_count 100"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("elm_node_compute_seconds_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

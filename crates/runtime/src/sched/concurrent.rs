@@ -45,7 +45,13 @@ use crate::error::RunError;
 use crate::event::{Occurrence, OutputEvent, Propagated};
 use crate::graph::{NodeId, NodeKind, SignalGraph};
 use crate::stats::Stats;
+use crate::tracing::{NodeSpan, SpanKind, TraceId, Tracer};
 use crate::value::Value;
+
+/// Shared pending-value buffer between an async node's listener half and
+/// its source half: completed inner values awaiting re-injection, each
+/// carrying the trace id of the round that produced it.
+type PendingBuf = Arc<Mutex<VecDeque<(Value, TraceId)>>>;
 
 /// A message on a signal-graph edge.
 #[derive(Clone, Debug)]
@@ -56,6 +62,11 @@ enum Msg {
         seq: u64,
         source: NodeId,
         prop: Propagated,
+        /// Causal trace of the round ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
+        /// Dispatch tick of the round (tracer clock; 0 when untraced), so
+        /// every node can report its queue wait for this event.
+        at_ns: u64,
     },
     /// Quiescence marker (see module docs).
     Flush(u64),
@@ -73,6 +84,10 @@ enum SourceCmd {
         relevant: bool,
         /// New value, for relevant *input* sources.
         payload: Option<Value>,
+        /// Causal trace of the round ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
+        /// Dispatch tick of the round (tracer clock; 0 when untraced).
+        at_ns: u64,
     },
     Flush(u64),
     Stop,
@@ -83,8 +98,10 @@ enum SourceCmd {
 enum Ctrl {
     /// An external input event (CML `newEvent` with payload).
     Event(Occurrence),
-    /// An `async` node has a buffered value ready (CML `send newEvent id`).
-    AsyncReady(NodeId),
+    /// An `async` node has a buffered value ready (CML `send newEvent id`);
+    /// the trace id of the round that buffered the value rides along so the
+    /// handoff stays in the originating causal trace.
+    AsyncReady(NodeId, TraceId),
     /// Flush acknowledgement from an async listener.
     FlushAck(u64),
     /// Harness request: flush until quiescent, then report the final round.
@@ -124,12 +141,20 @@ pub struct ConcurrentRuntime {
     stats: Arc<Stats>,
     input_ok: Vec<bool>,
     stopped: bool,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ConcurrentRuntime {
     /// Spawns the dispatcher and one thread per node (plus one listener
     /// thread per `async` node) and starts executing `graph`.
     pub fn start(graph: &SignalGraph) -> Self {
+        Self::start_with_tracer(graph, None)
+    }
+
+    /// Like [`ConcurrentRuntime::start`], but with an optional tracing hub:
+    /// the dispatcher stamps every event with a trace id and every node that
+    /// applies or recomputes records a span.
+    pub fn start_with_tracer(graph: &SignalGraph, tracer: Option<Arc<Tracer>>) -> Self {
         let stats = Stats::new();
         let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
         let (quiet_tx, quiet_rx) = unbounded::<u64>();
@@ -158,7 +183,7 @@ impl ConcurrentRuntime {
         // Async plumbing: pending-value buffers shared between listener and
         // source halves, plus the listener's subscription to the inner node.
         let mut async_listeners = 0usize;
-        let mut pending: Vec<Option<Arc<Mutex<VecDeque<Value>>>>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<Option<PendingBuf>> = (0..n).map(|_| None).collect();
         let mut listener_rx: Vec<Option<Receiver<Msg>>> = (0..n).map(|_| None).collect();
         for node in graph.nodes() {
             if let NodeKind::Async { inner } = node.kind {
@@ -196,10 +221,12 @@ impl ConcurrentRuntime {
                     source_cmd_tx.push((node.id, tx));
                     let stats = stats.clone();
                     let default = node.default.clone();
+                    let tracer = tracer.clone();
+                    let id = node.id;
                     handles.push(
                         std::thread::Builder::new()
                             .name(format!("sig-input-{}", node.label))
-                            .spawn(move || input_loop(rx, my_subs, default, stats))
+                            .spawn(move || input_loop(rx, my_subs, default, stats, tracer, id))
                             .expect("spawn input thread"),
                     );
                 }
@@ -213,10 +240,14 @@ impl ConcurrentRuntime {
                     {
                         let stats = stats.clone();
                         let buf = buf.clone();
+                        let tracer = tracer.clone();
+                        let id = node.id;
                         handles.push(
                             std::thread::Builder::new()
                                 .name(format!("sig-async-src-{}", node.id))
-                                .spawn(move || async_source_loop(rx, my_subs, buf, stats))
+                                .spawn(move || {
+                                    async_source_loop(rx, my_subs, buf, stats, tracer, id)
+                                })
                                 .expect("spawn async source thread"),
                         );
                     }
@@ -248,6 +279,8 @@ impl ConcurrentRuntime {
                     let default = node.default.clone();
                     let stats = stats.clone();
                     let label = node.label.clone();
+                    let tracer = tracer.clone();
+                    let id = node.id;
                     handles.push(
                         std::thread::Builder::new()
                             .name(format!("sig-{label}"))
@@ -259,6 +292,8 @@ impl ConcurrentRuntime {
                                     parent_defaults,
                                     default,
                                     stats,
+                                    tracer,
+                                    id,
                                 )
                             })
                             .expect("spawn compute thread"),
@@ -270,11 +305,19 @@ impl ConcurrentRuntime {
         // Dispatcher thread.
         {
             let stats = stats.clone();
+            let tracer = tracer.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name("sig-dispatcher".into())
                     .spawn(move || {
-                        dispatcher_loop(ctrl_rx, source_cmd_tx, quiet_tx, async_listeners, stats)
+                        dispatcher_loop(
+                            ctrl_rx,
+                            source_cmd_tx,
+                            quiet_tx,
+                            async_listeners,
+                            stats,
+                            tracer,
+                        )
                     })
                     .expect("spawn dispatcher thread"),
             );
@@ -294,12 +337,18 @@ impl ConcurrentRuntime {
             stats,
             input_ok,
             stopped: false,
+            tracer,
         }
     }
 
     /// The execution counters for this run.
     pub fn stats(&self) -> &Arc<Stats> {
         &self.stats
+    }
+
+    /// The attached tracing hub, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Sends an external input event to the dispatcher. Returns immediately;
@@ -431,7 +480,14 @@ fn broadcast(subs: &[Sender<Msg>], msg: &Msg, stats: &Stats) {
 }
 
 /// Input source: Fig. 10's translation of `⟨id, mc, v⟩`.
-fn input_loop(rx: Receiver<SourceCmd>, subs: Vec<Sender<Msg>>, _default: Value, stats: Arc<Stats>) {
+fn input_loop(
+    rx: Receiver<SourceCmd>,
+    subs: Vec<Sender<Msg>>,
+    _default: Value,
+    stats: Arc<Stats>,
+    tracer: Option<Arc<Tracer>>,
+    id: NodeId,
+) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             SourceCmd::Step {
@@ -439,14 +495,45 @@ fn input_loop(rx: Receiver<SourceCmd>, subs: Vec<Sender<Msg>>, _default: Value, 
                 source,
                 relevant,
                 payload,
+                trace,
+                at_ns,
             } => {
+                let start_ns = match (&tracer, relevant) {
+                    (Some(t), true) => t.now_ns(),
+                    _ => 0,
+                };
                 let prop = if relevant {
                     let v = payload.expect("relevant input events carry a payload");
                     Propagated::Change(v)
                 } else {
                     Propagated::NoChange
                 };
-                broadcast(&subs, &Msg::Step { seq, source, prop }, &stats);
+                if relevant {
+                    if let Some(t) = &tracer {
+                        t.record(NodeSpan {
+                            trace,
+                            seq,
+                            node: id.0,
+                            kind: SpanKind::Input,
+                            start_ns,
+                            end_ns: t.now_ns(),
+                            queue_ns: start_ns.saturating_sub(at_ns),
+                            changed: true,
+                            panicked: false,
+                        });
+                    }
+                }
+                broadcast(
+                    &subs,
+                    &Msg::Step {
+                        seq,
+                        source,
+                        prop,
+                        trace,
+                        at_ns,
+                    },
+                    &stats,
+                );
             }
             SourceCmd::Flush(r) => broadcast(&subs, &Msg::Flush(r), &stats),
             SourceCmd::Stop => {
@@ -462,8 +549,10 @@ fn input_loop(rx: Receiver<SourceCmd>, subs: Vec<Sender<Msg>>, _default: Value, 
 fn async_source_loop(
     rx: Receiver<SourceCmd>,
     subs: Vec<Sender<Msg>>,
-    buf: Arc<Mutex<VecDeque<Value>>>,
+    buf: PendingBuf,
     stats: Arc<Stats>,
+    tracer: Option<Arc<Tracer>>,
+    id: NodeId,
 ) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -471,18 +560,49 @@ fn async_source_loop(
                 seq,
                 source,
                 relevant,
+                trace,
+                at_ns,
                 ..
             } => {
+                let start_ns = match (&tracer, relevant) {
+                    (Some(t), true) => t.now_ns(),
+                    _ => 0,
+                };
                 let prop = if relevant {
                     match buf.lock().pop_front() {
-                        Some(v) => Propagated::Change(v),
+                        Some((v, _)) => Propagated::Change(v),
                         // Cannot happen: AsyncReady is sent after the push.
                         None => Propagated::NoChange,
                     }
                 } else {
                     Propagated::NoChange
                 };
-                broadcast(&subs, &Msg::Step { seq, source, prop }, &stats);
+                if relevant {
+                    if let Some(t) = &tracer {
+                        t.record(NodeSpan {
+                            trace,
+                            seq,
+                            node: id.0,
+                            kind: SpanKind::Async,
+                            start_ns,
+                            end_ns: t.now_ns(),
+                            queue_ns: start_ns.saturating_sub(at_ns),
+                            changed: prop.is_change(),
+                            panicked: false,
+                        });
+                    }
+                }
+                broadcast(
+                    &subs,
+                    &Msg::Step {
+                        seq,
+                        source,
+                        prop,
+                        trace,
+                        at_ns,
+                    },
+                    &stats,
+                );
             }
             SourceCmd::Flush(r) => broadcast(&subs, &Msg::Flush(r), &stats),
             SourceCmd::Stop => {
@@ -494,10 +614,12 @@ fn async_source_loop(
 }
 
 /// The listener half of an `async` node: Fig. 10's spawned loop that turns
-/// inner `Change`s into fresh dispatcher events.
+/// inner `Change`s into fresh dispatcher events. The buffered value keeps
+/// its round's trace id so the re-injected event continues the same causal
+/// trace.
 fn async_listener_loop(
     rx: Receiver<Msg>,
-    buf: Arc<Mutex<VecDeque<Value>>>,
+    buf: PendingBuf,
     ctrl: Sender<Ctrl>,
     id: NodeId,
     stats: Arc<Stats>,
@@ -506,11 +628,12 @@ fn async_listener_loop(
         match msg {
             Msg::Step {
                 prop: Propagated::Change(v),
+                trace,
                 ..
             } => {
-                buf.lock().push_back(v);
+                buf.lock().push_back((v, trace));
                 stats.record_async_event();
-                if ctrl.send(Ctrl::AsyncReady(id)).is_err() {
+                if ctrl.send(Ctrl::AsyncReady(id, trace)).is_err() {
                     return;
                 }
             }
@@ -527,6 +650,7 @@ fn async_listener_loop(
 
 /// Compute node: Fig. 10's `liftn`/`foldp` translation, generalized over
 /// [`crate::behavior::NodeBehavior`].
+#[allow(clippy::too_many_arguments)]
 fn compute_loop(
     rxs: Vec<Receiver<Msg>>,
     subs: Vec<Sender<Msg>>,
@@ -534,6 +658,8 @@ fn compute_loop(
     mut parent_values: Vec<Value>,
     mut prev: Value,
     stats: Arc<Stats>,
+    tracer: Option<Arc<Tracer>>,
+    id: NodeId,
 ) {
     let mut poisoned = false;
     loop {
@@ -556,8 +682,14 @@ fn compute_loop(
                 debug_assert!(msgs.iter().all(|m| matches!(m, Msg::Flush(r2) if r2 == r)));
                 broadcast(&subs, &Msg::Flush(*r), &stats);
             }
-            Msg::Step { seq, source, .. } => {
-                let (seq, source) = (*seq, *source);
+            Msg::Step {
+                seq,
+                source,
+                trace,
+                at_ns,
+                ..
+            } => {
+                let (seq, source, trace, at_ns) = (*seq, *source, *trace, *at_ns);
                 let mut changed = vec![false; msgs.len()];
                 for (i, m) in msgs.iter().enumerate() {
                     let Msg::Step { seq: s2, prop, .. } = m else {
@@ -576,6 +708,7 @@ fn compute_loop(
                 } else if changed.iter().any(|c| *c) {
                     stats.record_computation();
                     let vals: Vec<&Value> = parent_values.iter().collect();
+                    let start_ns = tracer.as_ref().map_or(0, |t| t.now_ns());
                     // A panicking node function must not deadlock the rest
                     // of the graph: catch it, poison the node, propagate
                     // NoChange so downstream queues stay aligned.
@@ -586,7 +719,8 @@ fn compute_loop(
                             prev: &prev,
                         })
                     }));
-                    match stepped {
+                    let panicked = stepped.is_err();
+                    let prop = match stepped {
                         Ok(Some(v)) => {
                             prev = v.clone();
                             Propagated::Change(v)
@@ -597,12 +731,36 @@ fn compute_loop(
                             stats.record_node_panic();
                             Propagated::NoChange
                         }
+                    };
+                    if let Some(t) = &tracer {
+                        t.record(NodeSpan {
+                            trace,
+                            seq,
+                            node: id.0,
+                            kind: SpanKind::Compute,
+                            start_ns,
+                            end_ns: t.now_ns(),
+                            queue_ns: start_ns.saturating_sub(at_ns),
+                            changed: prop.is_change(),
+                            panicked,
+                        });
                     }
+                    prop
                 } else {
                     stats.record_memo_skip();
                     Propagated::NoChange
                 };
-                broadcast(&subs, &Msg::Step { seq, source, prop }, &stats);
+                broadcast(
+                    &subs,
+                    &Msg::Step {
+                        seq,
+                        source,
+                        prop,
+                        trace,
+                        at_ns,
+                    },
+                    &stats,
+                );
             }
         }
     }
@@ -612,7 +770,9 @@ fn compute_loop(
 fn sink_loop(rx: Receiver<Msg>, sink_tx: Sender<SinkMsg>) {
     while let Ok(msg) = rx.recv() {
         let out = match msg {
-            Msg::Step { seq, source, prop } => SinkMsg::Step(OutputEvent {
+            Msg::Step {
+                seq, source, prop, ..
+            } => SinkMsg::Step(OutputEvent {
                 seq,
                 source,
                 output: prop,
@@ -635,21 +795,32 @@ fn dispatcher_loop(
     quiet_tx: Sender<u64>,
     async_listeners: usize,
     stats: Arc<Stats>,
+    tracer: Option<Arc<Tracer>>,
 ) {
     let mut seq: u64 = 0;
     let mut flush_round: u64 = 0;
 
-    let broadcast_step = |seq: u64, occ_source: NodeId, payload: Option<Value>| {
-        for (id, tx) in &sources {
-            let relevant = *id == occ_source;
-            let _ = tx.send(SourceCmd::Step {
-                seq,
-                source: occ_source,
-                relevant,
-                payload: if relevant { payload.clone() } else { None },
-            });
+    // Assigns (or keeps) the trace id and dispatch tick of one event round.
+    let stamp = |trace: TraceId| -> (TraceId, u64) {
+        match &tracer {
+            Some(t) if t.is_enabled() => (t.ensure_trace(trace), t.now_ns()),
+            _ => (trace, 0),
         }
     };
+    let broadcast_step =
+        |seq: u64, occ_source: NodeId, payload: Option<Value>, trace: TraceId, at_ns: u64| {
+            for (id, tx) in &sources {
+                let relevant = *id == occ_source;
+                let _ = tx.send(SourceCmd::Step {
+                    seq,
+                    source: occ_source,
+                    relevant,
+                    payload: if relevant { payload.clone() } else { None },
+                    trace,
+                    at_ns,
+                });
+            }
+        };
     let broadcast_flush = |r: u64| {
         for (_, tx) in &sources {
             let _ = tx.send(SourceCmd::Flush(r));
@@ -665,12 +836,14 @@ fn dispatcher_loop(
         match ctrl {
             Ctrl::Event(occ) => {
                 stats.record_event();
-                broadcast_step(seq, occ.source, occ.payload);
+                let (trace, at_ns) = stamp(occ.trace);
+                broadcast_step(seq, occ.source, occ.payload, trace, at_ns);
                 seq += 1;
             }
-            Ctrl::AsyncReady(id) => {
+            Ctrl::AsyncReady(id, trace) => {
                 stats.record_event();
-                broadcast_step(seq, id, None);
+                let (trace, at_ns) = stamp(trace);
+                broadcast_step(seq, id, None, trace, at_ns);
                 seq += 1;
             }
             Ctrl::FlushAck(_) => {} // stale ack from an earlier drain
@@ -693,13 +866,15 @@ fn dispatcher_loop(
                             Ok(Ctrl::FlushAck(_)) => {}
                             Ok(Ctrl::Event(occ)) => {
                                 stats.record_event();
-                                broadcast_step(seq, occ.source, occ.payload);
+                                let (trace, at_ns) = stamp(occ.trace);
+                                broadcast_step(seq, occ.source, occ.payload, trace, at_ns);
                                 seq += 1;
                                 new_events += 1;
                             }
-                            Ok(Ctrl::AsyncReady(id)) => {
+                            Ok(Ctrl::AsyncReady(id, trace)) => {
                                 stats.record_event();
-                                broadcast_step(seq, id, None);
+                                let (trace, at_ns) = stamp(trace);
+                                broadcast_step(seq, id, None, trace, at_ns);
                                 seq += 1;
                                 new_events += 1;
                             }
@@ -895,6 +1070,41 @@ mod tests {
             rt.feed(Occurrence::input(a, 0i64)),
             Err(RunError::NotASource(_))
         ));
+    }
+
+    #[test]
+    fn tracer_spans_reconstruct_async_handoff_across_threads() {
+        let mut g = GraphBuilder::new();
+        let words = g.input("words", Value::str(""));
+        let slow = g.lift1("slow", |v| v.clone(), words);
+        let a = g.async_source(slow);
+        let main = g.lift1("render", |v| v.clone(), a);
+        let graph = g.finish(main).unwrap();
+
+        let tracer = crate::tracing::Tracer::for_graph(&graph);
+        let mut rt = ConcurrentRuntime::start_with_tracer(&graph, Some(Arc::clone(&tracer)));
+        rt.feed(Occurrence::input(words, "cat")).unwrap();
+        rt.drain().unwrap();
+        rt.stop();
+
+        let spans = tracer.drain_spans();
+        let trees = crate::tracing::assemble(&spans, &graph);
+        assert_eq!(trees.len(), 1, "handoff must stay in one trace: {spans:?}");
+        let tree = &trees[0];
+        assert_eq!(
+            tree.node_set(),
+            crate::tracing::reachable_from(&graph, words)
+        );
+        let async_span = tree
+            .spans
+            .iter()
+            .position(|s| s.node == a.0)
+            .expect("async span present");
+        assert_eq!(
+            tree.spans[tree.parent[async_span].unwrap()].node,
+            slow.0,
+            "async span's causal parent is the wrapped inner node"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::error::RunError;
 use crate::event::{Occurrence, OutputEvent, Propagated};
 use crate::graph::{NodeId, NodeKind, SignalGraph};
 use crate::stats::Stats;
+use crate::tracing::{NodeSpan, SpanKind, TraceId, Tracer};
 use crate::value::Value;
 
 /// Single-threaded, globally-ordered executor of a [`SignalGraph`].
@@ -46,7 +47,7 @@ pub struct SyncRuntime {
     graph: SignalGraph,
     values: Vec<Value>,
     behaviors: Vec<Option<Box<dyn NodeBehavior>>>,
-    pending_async: Vec<VecDeque<Value>>,
+    pending_async: Vec<VecDeque<(Value, TraceId)>>,
     queue: VecDeque<Occurrence>,
     next_seq: u64,
     stats: Arc<Stats>,
@@ -55,6 +56,9 @@ pub struct SyncRuntime {
     /// matching the concurrent scheduler's poisoning semantics so hosts
     /// (e.g. the multi-session server) can detect and evict them.
     poisoned: Vec<bool>,
+    /// Optional tracing hub. `None` (the default) keeps dispatch on the
+    /// untraced fast path.
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// A point-in-time copy of a [`SyncRuntime`]'s mutable state, sufficient
@@ -72,7 +76,7 @@ pub struct RuntimeSnapshot {
     next_seq: u64,
     values: Vec<Value>,
     poisoned: Vec<bool>,
-    pending_async: Vec<VecDeque<Value>>,
+    pending_async: Vec<VecDeque<(Value, TraceId)>>,
     queue: VecDeque<Occurrence>,
 }
 
@@ -126,12 +130,24 @@ impl SyncRuntime {
             stats: Stats::new(),
             memoize,
             poisoned: vec![false; graph.len()],
+            tracer: None,
         }
     }
 
     /// The execution counters for this run.
     pub fn stats(&self) -> &Arc<Stats> {
         &self.stats
+    }
+
+    /// Attaches a tracing hub: every subsequently dispatched event gets a
+    /// trace id and per-node spans.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracing hub, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Current value of any node.
@@ -260,6 +276,15 @@ impl SyncRuntime {
         let n = self.graph.len();
         let mut changed = vec![false; n];
 
+        // Tracing fast path: `tracer` is None (or disabled) in the default
+        // configuration, so untraced dispatch pays one Option check.
+        let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
+        let mut trace = match &tracer {
+            Some(t) => t.ensure_trace(occ.trace),
+            None => occ.trace,
+        };
+        let dispatch_ns = tracer.as_ref().map_or(0, |t| t.now_ns());
+
         // Stage 1: exactly one source is "relevant" to this event; all other
         // sources implicitly emit NoChange (paper §3.3.2).
         let src = occ.source;
@@ -271,11 +296,44 @@ impl SyncRuntime {
                     .expect("feed() guarantees input occurrences carry payloads");
                 self.values[src.index()] = v;
                 changed[src.index()] = true;
+                if let Some(t) = &tracer {
+                    let now = t.now_ns();
+                    t.record(NodeSpan {
+                        trace,
+                        seq,
+                        node: src.0,
+                        kind: SpanKind::Input,
+                        start_ns: dispatch_ns,
+                        end_ns: now,
+                        queue_ns: 0,
+                        changed: true,
+                        panicked: false,
+                    });
+                }
             }
             NodeKind::Async { .. } => {
-                if let Some(v) = self.pending_async[src.index()].pop_front() {
+                if let Some((v, buffered_trace)) = self.pending_async[src.index()].pop_front() {
                     self.values[src.index()] = v;
                     changed[src.index()] = true;
+                    // The async re-entry continues the trace of the event
+                    // whose propagation buffered this value.
+                    if !buffered_trace.is_none() {
+                        trace = buffered_trace;
+                    }
+                    if let Some(t) = &tracer {
+                        let now = t.now_ns();
+                        t.record(NodeSpan {
+                            trace,
+                            seq,
+                            node: src.0,
+                            kind: SpanKind::Async,
+                            start_ns: dispatch_ns,
+                            end_ns: now,
+                            queue_ns: 0,
+                            changed: true,
+                            panicked: false,
+                        });
+                    }
                 }
             }
             NodeKind::Compute { .. } => {
@@ -293,9 +351,13 @@ impl SyncRuntime {
                 NodeKind::Async { inner } => {
                     // The secondary subgraph produced a change this round:
                     // buffer it and schedule a fresh global event (FIFO).
+                    // The buffered value keeps this round's trace id so the
+                    // handoff lands in the same causal trace.
                     if changed[inner.index()] {
-                        self.pending_async[idx].push_back(self.values[inner.index()].clone());
-                        self.queue.push_back(Occurrence::async_ready(node.id));
+                        self.pending_async[idx]
+                            .push_back((self.values[inner.index()].clone(), trace));
+                        self.queue
+                            .push_back(Occurrence::async_ready(node.id).with_trace(trace));
                         self.stats.record_async_event();
                     }
                 }
@@ -330,6 +392,7 @@ impl SyncRuntime {
                     let behavior = self.behaviors[idx]
                         .as_mut()
                         .expect("compute nodes always have behaviors");
+                    let start_ns = tracer.as_ref().map_or(0, |t| t.now_ns());
                     // A panicking node function poisons the node rather
                     // than tearing down the whole runtime — single-threaded
                     // parity with the concurrent scheduler's behavior.
@@ -340,6 +403,7 @@ impl SyncRuntime {
                             prev: &prev,
                         })
                     }));
+                    let panicked = out.is_err();
                     match out {
                         Ok(Some(v)) => {
                             self.values[idx] = v;
@@ -350,6 +414,20 @@ impl SyncRuntime {
                             self.poisoned[idx] = true;
                             self.stats.record_node_panic();
                         }
+                    }
+                    if let Some(t) = &tracer {
+                        let end_ns = t.now_ns();
+                        t.record(NodeSpan {
+                            trace,
+                            seq,
+                            node: idx as u32,
+                            kind: SpanKind::Compute,
+                            start_ns,
+                            end_ns,
+                            queue_ns: start_ns.saturating_sub(dispatch_ns),
+                            changed: changed[idx],
+                            panicked,
+                        });
                     }
                 }
             }
@@ -541,7 +619,8 @@ mod tests {
         assert_eq!(
             rt.feed(Occurrence {
                 source: i,
-                payload: None
+                payload: None,
+                trace: TraceId::NONE,
             }),
             Err(RunError::MissingPayload(i))
         );
@@ -644,6 +723,42 @@ mod tests {
         let mut rt2 = SyncRuntime::new(&graph2);
         assert!(rt2.restore(&rt1.snapshot()).is_err());
         assert_ne!(graph1.fingerprint(), graph2.fingerprint());
+    }
+
+    #[test]
+    fn tracer_spans_cover_async_handoff_in_one_trace() {
+        let mut g = GraphBuilder::new();
+        let words = g.input("words", Value::str(""));
+        let slow = g.lift1("slow", |v| v.clone(), words);
+        let a = g.async_source(slow);
+        let main = g.lift1("render", |v| v.clone(), a);
+        let graph = g.finish(main).unwrap();
+
+        let mut rt = SyncRuntime::new(&graph);
+        let tracer = Tracer::for_graph(&graph);
+        rt.set_tracer(Arc::clone(&tracer));
+        rt.feed(Occurrence::input(words, "cat")).unwrap();
+        rt.run_to_quiescence();
+
+        let spans = tracer.drain_spans();
+        let trees = crate::tracing::assemble(&spans, &graph);
+        // One ingress event, two rounds (ingress + async handoff), one trace.
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(
+            tree.node_set(),
+            crate::tracing::reachable_from(&graph, words)
+        );
+        let seqs: Vec<u64> = tree.spans.iter().map(|s| s.seq).collect();
+        assert!(seqs.contains(&0) && seqs.contains(&1));
+        // The async span's parent is the wrapped inner node's span.
+        let async_idx = tree
+            .spans
+            .iter()
+            .position(|s| s.kind == SpanKind::Async)
+            .unwrap();
+        let parent = tree.parent[async_idx].unwrap();
+        assert_eq!(tree.spans[parent].node, slow.0);
     }
 
     #[test]

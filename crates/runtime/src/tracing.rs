@@ -1,0 +1,785 @@
+//! Causal per-event tracing: trace ids, node spans, a lock-free span ring,
+//! and span-tree reconstruction.
+//!
+//! The paper's responsiveness argument (§1, §3.3) is a claim about *where an
+//! event spends its time* inside the signal graph: `async` moves slow nodes
+//! off the update path, so the latency of the path that matters stays low.
+//! This module makes that visible. Every ingress [`crate::Occurrence`] is
+//! stamped with a [`TraceId`]; both schedulers record a [`NodeSpan`] for each
+//! node that actually participates in propagating that event (the source
+//! apply plus every recomputation — memo-skipped nodes are *not* spanned, so
+//! a trace's node set is exactly the subgraph the event touched). When an
+//! `async` node re-injects a buffered value as a fresh global event, the new
+//! round inherits the originating trace id, so the handoff shows up in the
+//! same trace as a span whose causal parent is the async node's wrapped
+//! `inner` node.
+//!
+//! Spans land in a bounded lock-free MPMC ring ([`SpanRing`], a Vyukov-style
+//! sequence-stamped array queue) with drop-oldest overflow, so tracing never
+//! blocks a scheduler thread and memory stays bounded. [`assemble`] groups
+//! drained spans by trace id and rebuilds each event's propagation tree using
+//! the graph's edge structure.
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::graph::{NodeId, NodeKind, SignalGraph};
+use crate::metrics::{Histogram, HistogramSnapshot};
+
+/// Identifier of one causal trace: an ingress event plus every propagation
+/// round it spawns (async handoffs inherit the id). `TraceId::NONE` (zero)
+/// marks an untraced occurrence; real ids start at 1 and are allocated by
+/// the [`Tracer`] attached to a runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The null trace id carried by untraced occurrences.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// True if this is the null id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// What role a node played in a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An input source applying an ingress payload.
+    Input,
+    /// An `async` source re-injecting a buffered value (the handoff back to
+    /// the global queue).
+    Async,
+    /// A compute node recomputing.
+    Compute,
+}
+
+impl SpanKind {
+    /// Stable lowercase name for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Input => "input",
+            SpanKind::Async => "async",
+            SpanKind::Compute => "compute",
+        }
+    }
+}
+
+/// One node's participation in one propagation round of a trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSpan {
+    /// The causal trace this span belongs to.
+    pub trace: TraceId,
+    /// Global event sequence number of the propagation round.
+    pub seq: u64,
+    /// The node (graph topological index).
+    pub node: u32,
+    /// The node's role in this round.
+    pub kind: SpanKind,
+    /// Monotonic start tick, nanoseconds from the tracer's origin.
+    pub start_ns: u64,
+    /// Monotonic end tick.
+    pub end_ns: u64,
+    /// Wait between the round's dispatch and this span's start.
+    pub queue_ns: u64,
+    /// Whether the node emitted `Change` (false = `NoChange`).
+    pub changed: bool,
+    /// Whether the node's step function panicked (poisoning it).
+    pub panicked: bool,
+}
+
+/// One slot of the [`SpanRing`]: a sequence stamp plus storage.
+struct Slot {
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<NodeSpan>>,
+}
+
+/// A bounded lock-free MPMC ring buffer of [`NodeSpan`]s (Vyukov-style
+/// sequence-stamped array queue). `push` drops the oldest span on overflow
+/// instead of blocking, so scheduler threads never wait on observers.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are only written by the thread that won the enqueue-position
+// CAS and only read by the thread that won the dequeue-position CAS; the
+// per-slot stamp (Acquire/Release) orders those accesses.
+unsafe impl Send for SpanRing {}
+unsafe impl Sync for SpanRing {}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// Creates a ring with at least `capacity` slots (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        SpanRing {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans discarded by drop-oldest overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to enqueue; returns `false` if the ring is full.
+    pub fn try_push(&self, span: NodeSpan) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let diff = stamp as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS grants exclusive write
+                        // access to this slot until the stamp is published.
+                        unsafe { (*slot.value.get()).write(span) };
+                        slot.stamp.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return false; // full
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue the oldest span.
+    pub fn try_pop(&self) -> Option<NodeSpan> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let diff = stamp as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS grants exclusive read
+                        // access; the Acquire stamp load saw the writer's
+                        // Release store, so the slot is initialized.
+                        let span = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.stamp
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(span);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Enqueues, discarding the oldest span (counted in [`SpanRing::dropped`])
+    /// if the ring is full. Never blocks.
+    pub fn push(&self, span: NodeSpan) {
+        while !self.try_push(span) {
+            if self.try_pop().is_some() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains every currently queued span, oldest first.
+    pub fn drain(&self) -> Vec<NodeSpan> {
+        let mut out = Vec::new();
+        while let Some(s) = self.try_pop() {
+            out.push(s);
+        }
+        out
+    }
+}
+
+/// Per-node live timing instruments.
+#[derive(Debug)]
+struct NodePerf {
+    label: String,
+    kind: &'static str,
+    computes: AtomicU64,
+    compute: Histogram,
+    queue: Histogram,
+}
+
+/// A point-in-time copy of one node's timing instruments, serializable so it
+/// can travel inside session stats and be merged across sessions.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeTimingSnapshot {
+    /// The node (graph topological index).
+    pub node: u32,
+    /// The node's diagnostic label.
+    pub label: String,
+    /// Node kind: `"input"`, `"async"`, or `"compute"`.
+    pub kind: String,
+    /// Spans recorded for this node (source applies or recomputations).
+    pub computes: u64,
+    /// Compute-time histogram (nanoseconds).
+    pub compute: HistogramSnapshot,
+    /// Dispatch-to-start queue-wait histogram (nanoseconds).
+    pub queue: HistogramSnapshot,
+}
+
+impl NodeTimingSnapshot {
+    /// Merges another snapshot of the *same* node (e.g. from a different
+    /// session hosting the same program).
+    pub fn merged(&self, other: &NodeTimingSnapshot) -> NodeTimingSnapshot {
+        NodeTimingSnapshot {
+            node: self.node,
+            label: self.label.clone(),
+            kind: self.kind.clone(),
+            computes: self.computes + other.computes,
+            compute: self.compute.merged(&other.compute),
+            queue: self.queue.merged(&other.queue),
+        }
+    }
+}
+
+/// Default span-ring capacity (slots) used by [`Tracer::for_graph`].
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// The per-runtime tracing hub: allocates trace ids, supplies the monotonic
+/// clock, owns the span ring, and accumulates per-node timing histograms.
+///
+/// A `Tracer` is shared (`Arc`) between a runtime's scheduler threads and
+/// whoever drains spans. All operations are wait-free or lock-free; when
+/// `enabled` is false, [`Tracer::record`] is a single relaxed atomic load.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    origin: Instant,
+    next_trace: AtomicU64,
+    ring: SpanRing,
+    nodes: Vec<NodePerf>,
+}
+
+impl Tracer {
+    /// Creates a tracer sized for `graph` with the default ring capacity.
+    pub fn for_graph(graph: &SignalGraph) -> Arc<Tracer> {
+        Tracer::with_capacity(graph, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a tracer sized for `graph` with an explicit ring capacity.
+    pub fn with_capacity(graph: &SignalGraph, ring_capacity: usize) -> Arc<Tracer> {
+        let nodes = graph
+            .nodes()
+            .iter()
+            .map(|n| NodePerf {
+                label: n.label.clone(),
+                kind: match n.kind {
+                    NodeKind::Input { .. } => "input",
+                    NodeKind::Async { .. } => "async",
+                    NodeKind::Compute { .. } => "compute",
+                },
+                computes: AtomicU64::new(0),
+                compute: Histogram::new(),
+                queue: Histogram::new(),
+            })
+            .collect();
+        Arc::new(Tracer {
+            enabled: AtomicBool::new(true),
+            origin: Instant::now(),
+            next_trace: AtomicU64::new(1),
+            ring: SpanRing::new(ring_capacity),
+            nodes,
+        })
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables span recording (id allocation keeps working).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds elapsed since this tracer was created (the monotonic tick
+    /// domain of all spans it records).
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Allocates a fresh trace id.
+    pub fn next_trace_id(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Returns `trace` unchanged if already assigned, otherwise allocates a
+    /// fresh id (the ingress point of a causal trace).
+    pub fn ensure_trace(&self, trace: TraceId) -> TraceId {
+        if trace.is_none() {
+            self.next_trace_id()
+        } else {
+            trace
+        }
+    }
+
+    /// Records one span into the ring and the node's timing histograms.
+    pub fn record(&self, span: NodeSpan) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(perf) = self.nodes.get(span.node as usize) {
+            perf.computes.fetch_add(1, Ordering::Relaxed);
+            perf.compute
+                .observe(span.end_ns.saturating_sub(span.start_ns));
+            perf.queue.observe(span.queue_ns);
+        }
+        self.ring.push(span);
+    }
+
+    /// Drains all queued spans, oldest first.
+    pub fn drain_spans(&self) -> Vec<NodeSpan> {
+        self.ring.drain()
+    }
+
+    /// Spans discarded by ring overflow.
+    pub fn dropped_spans(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Point-in-time copy of every node's timing instruments.
+    pub fn node_timings(&self) -> Vec<NodeTimingSnapshot> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| NodeTimingSnapshot {
+                node: i as u32,
+                label: p.label.clone(),
+                kind: p.kind.to_string(),
+                computes: p.computes.load(Ordering::Relaxed),
+                compute: p.compute.snapshot(),
+                queue: p.queue.snapshot(),
+            })
+            .collect()
+    }
+}
+
+/// One reconstructed causal trace: the spans of every propagation round an
+/// ingress event spawned, linked into a tree by the graph's edge structure.
+#[derive(Clone, Debug)]
+pub struct SpanTree {
+    /// The trace id.
+    pub trace: TraceId,
+    /// Member spans, sorted by `(seq, node)`.
+    pub spans: Vec<NodeSpan>,
+    /// For each span (by index into `spans`), the index of its causal parent
+    /// span, or `None` for the root(s).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl SpanTree {
+    /// The set of node indices that participated in this trace.
+    pub fn node_set(&self) -> BTreeSet<u32> {
+        self.spans.iter().map(|s| s.node).collect()
+    }
+
+    /// Indices of root spans (spans with no causal parent — normally the
+    /// single ingress input span).
+    pub fn roots(&self) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Serializable flat form (each span carries its parent's node id).
+    pub fn to_plain(&self, graph: &SignalGraph) -> PlainSpanTree {
+        PlainSpanTree {
+            trace: self.trace.0,
+            spans: self
+                .spans
+                .iter()
+                .enumerate()
+                .map(|(i, s)| PlainSpan {
+                    node: s.node,
+                    label: graph
+                        .nodes()
+                        .get(s.node as usize)
+                        .map(|n| n.label.clone())
+                        .unwrap_or_default(),
+                    kind: s.kind.name().to_string(),
+                    seq: s.seq,
+                    start_ns: s.start_ns,
+                    end_ns: s.end_ns,
+                    queue_ns: s.queue_ns,
+                    changed: s.changed,
+                    panicked: s.panicked,
+                    parent: self.parent[i].map(|p| self.spans[p].node),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable form of a [`SpanTree`], suitable for NDJSON streaming.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlainSpanTree {
+    /// The trace id.
+    pub trace: u64,
+    /// Member spans with parent links by node id.
+    pub spans: Vec<PlainSpan>,
+}
+
+/// Serializable form of a [`NodeSpan`] inside a [`PlainSpanTree`].
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlainSpan {
+    /// The node (graph topological index).
+    pub node: u32,
+    /// The node's diagnostic label.
+    pub label: String,
+    /// Span kind name (`input` / `async` / `compute`).
+    pub kind: String,
+    /// Propagation-round sequence number.
+    pub seq: u64,
+    /// Monotonic start tick (ns).
+    pub start_ns: u64,
+    /// Monotonic end tick (ns).
+    pub end_ns: u64,
+    /// Dispatch-to-start wait (ns).
+    pub queue_ns: u64,
+    /// Whether the node emitted `Change`.
+    pub changed: bool,
+    /// Whether the node panicked.
+    pub panicked: bool,
+    /// The causal parent span's node id (`None` for the trace root).
+    pub parent: Option<u32>,
+}
+
+/// Groups drained spans by trace id and reconstructs each trace's span tree.
+///
+/// Parent links are derived from the graph: a compute span's parent is the
+/// latest same-trace span of one of its graph parents at or before its round;
+/// an async span's parent is the span of the wrapped `inner` node from the
+/// originating round (the handoff edge); input spans are roots.
+pub fn assemble(spans: &[NodeSpan], graph: &SignalGraph) -> Vec<SpanTree> {
+    let mut by_trace: BTreeMap<u64, Vec<NodeSpan>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace.0).or_default().push(*s);
+    }
+    let mut out = Vec::new();
+    for (trace, mut members) in by_trace {
+        members.sort_by_key(|s| (s.seq, s.node));
+        let mut parent = vec![None; members.len()];
+        for (i, s) in members.iter().enumerate() {
+            let node = graph.nodes().get(s.node as usize);
+            let candidates: Vec<NodeId> = match (s.kind, node) {
+                (SpanKind::Compute, Some(n)) => n.parents.clone(),
+                (SpanKind::Async, Some(n)) => match n.kind {
+                    NodeKind::Async { inner } => vec![inner],
+                    _ => Vec::new(),
+                },
+                _ => Vec::new(),
+            };
+            // Latest candidate span at or before this round; ties broken by
+            // smaller node id for determinism.
+            let mut best: Option<(u64, u32, usize)> = None;
+            for (j, other) in members.iter().enumerate() {
+                if j == i || other.seq > s.seq {
+                    continue;
+                }
+                if !candidates.iter().any(|c| c.0 == other.node) {
+                    continue;
+                }
+                let key = (other.seq, u32::MAX - other.node, j);
+                match best {
+                    Some((bs, bn, _)) if (bs, bn) >= (key.0, key.1) => {}
+                    _ => best = Some(key),
+                }
+            }
+            parent[i] = best.map(|(_, _, j)| j);
+        }
+        out.push(SpanTree {
+            trace: TraceId(trace),
+            spans: members,
+            parent,
+        });
+    }
+    out
+}
+
+/// The set of nodes reachable from `start` by following signal-graph edges,
+/// including the async handoff edge `inner → async` (an event at `start`
+/// can, at most, touch exactly these nodes).
+pub fn reachable_from(graph: &SignalGraph, start: NodeId) -> BTreeSet<u32> {
+    let mut children = graph.children();
+    for n in graph.nodes() {
+        if let NodeKind::Async { inner } = n.kind {
+            children[inner.index()].push(n.id);
+        }
+    }
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![start];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id.0) {
+            continue;
+        }
+        for c in &children[id.index()] {
+            stack.push(*c);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::value::Value;
+
+    fn span(trace: u64, seq: u64, node: u32, kind: SpanKind) -> NodeSpan {
+        NodeSpan {
+            trace: TraceId(trace),
+            seq,
+            node,
+            kind,
+            start_ns: seq * 10,
+            end_ns: seq * 10 + 5,
+            queue_ns: 1,
+            changed: true,
+            panicked: false,
+        }
+    }
+
+    #[test]
+    fn ring_push_pop_fifo() {
+        let ring = SpanRing::new(8);
+        for i in 0..5 {
+            assert!(ring.try_push(span(1, i, i as u32, SpanKind::Compute)));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(drained[0].seq, 0);
+        assert_eq!(drained[4].seq, 4);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drop_oldest_on_overflow() {
+        let ring = SpanRing::new(4); // capacity 4
+        for i in 0..10 {
+            ring.push(span(1, i, 0, SpanKind::Compute));
+        }
+        assert_eq!(ring.dropped(), 6);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 4);
+        // The oldest were dropped; the newest four survive.
+        assert_eq!(drained[0].seq, 6);
+        assert_eq!(drained[3].seq, 9);
+    }
+
+    #[test]
+    fn ring_concurrent_producers_lose_nothing_under_capacity() {
+        let ring = Arc::new(SpanRing::new(4096));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        ring.push(span(t, i, t as u32, SpanKind::Compute));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.drain().len(), 2000);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn tracer_allocates_ids_and_records_timings() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("Mouse.x", 0i64);
+        let d = g.lift1("double", |v| Value::Int(v.as_int().unwrap() * 2), x);
+        let graph = g.finish(d).unwrap();
+        let tracer = Tracer::for_graph(&graph);
+        let t1 = tracer.ensure_trace(TraceId::NONE);
+        let t2 = tracer.ensure_trace(TraceId::NONE);
+        assert_ne!(t1, t2);
+        assert_eq!(tracer.ensure_trace(t1), t1);
+        tracer.record(NodeSpan {
+            trace: t1,
+            seq: 0,
+            node: 1,
+            kind: SpanKind::Compute,
+            start_ns: 10,
+            end_ns: 30,
+            queue_ns: 4,
+            changed: true,
+            panicked: false,
+        });
+        let timings = tracer.node_timings();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[1].computes, 1);
+        assert_eq!(timings[1].compute.sum, 20);
+        assert_eq!(timings[1].queue.sum, 4);
+        assert_eq!(timings[0].computes, 0);
+        assert_eq!(tracer.drain_spans().len(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("Mouse.x", 0i64);
+        let graph = g.finish(x).unwrap();
+        let tracer = Tracer::for_graph(&graph);
+        tracer.set_enabled(false);
+        tracer.record(span(1, 0, 0, SpanKind::Input));
+        assert!(tracer.drain_spans().is_empty());
+        assert_eq!(tracer.node_timings()[0].computes, 0);
+    }
+
+    #[test]
+    fn assemble_links_compute_spans_to_graph_parents() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("Mouse.x", 0i64);
+        let y = g.input("Mouse.y", 0i64);
+        let sum = g.lift2(
+            "sum",
+            |a, b| Value::Int(a.as_int().unwrap() + b.as_int().unwrap()),
+            x,
+            y,
+        );
+        let graph = g.finish(sum).unwrap();
+        let spans = vec![
+            span(7, 0, x.0, SpanKind::Input),
+            span(7, 0, sum.0, SpanKind::Compute),
+            span(8, 1, y.0, SpanKind::Input),
+            span(8, 1, sum.0, SpanKind::Compute),
+        ];
+        let trees = assemble(&spans, &graph);
+        assert_eq!(trees.len(), 2);
+        let t7 = &trees[0];
+        assert_eq!(t7.trace, TraceId(7));
+        assert_eq!(t7.roots(), vec![0]);
+        // sum's parent is the x input span in trace 7, the y span in trace 8.
+        assert_eq!(t7.parent[1], Some(0));
+        assert_eq!(t7.spans[t7.parent[1].unwrap()].node, x.0);
+        let t8 = &trees[1];
+        assert_eq!(t8.spans[t8.parent[1].unwrap()].node, y.0);
+        let plain = t7.to_plain(&graph);
+        assert_eq!(plain.spans[1].parent, Some(x.0));
+        assert_eq!(plain.spans[0].parent, None);
+    }
+
+    #[test]
+    fn assemble_links_async_handoff_to_inner_node() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("Mouse.x", 0i64);
+        let slow = g.lift1("slow", |v| v.clone(), x);
+        let a = g.async_source(slow);
+        let out = g.lift1("render", |v| v.clone(), a);
+        let graph = g.finish(out).unwrap();
+        // Round 0: ingress at x, slow computes, async buffers.
+        // Round 1 (same trace): async re-injects, render computes.
+        let spans = vec![
+            span(3, 0, x.0, SpanKind::Input),
+            span(3, 0, slow.0, SpanKind::Compute),
+            span(3, 1, a.0, SpanKind::Async),
+            span(3, 1, out.0, SpanKind::Compute),
+        ];
+        let trees = assemble(&spans, &graph);
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        // async's parent is slow's span from the earlier round.
+        assert_eq!(t.spans[t.parent[2].unwrap()].node, slow.0);
+        // render's parent is the async span.
+        assert_eq!(t.spans[t.parent[3].unwrap()].node, a.0);
+        assert_eq!(t.roots(), vec![0]);
+        assert_eq!(
+            t.node_set(),
+            [x.0, slow.0, a.0, out.0].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn reachable_includes_async_handoff_edge() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("Mouse.x", 0i64);
+        let y = g.input("Mouse.y", 0i64);
+        let slow = g.lift1("slow", |v| v.clone(), x);
+        let a = g.async_source(slow);
+        let out = g.lift2("pair", |l, r| Value::pair(l.clone(), r.clone()), a, y);
+        let graph = g.finish(out).unwrap();
+        let from_x = reachable_from(&graph, x);
+        assert_eq!(from_x, [x.0, slow.0, a.0, out.0].into_iter().collect());
+        let from_y = reachable_from(&graph, y);
+        assert_eq!(from_y, [y.0, out.0].into_iter().collect());
+    }
+
+    #[test]
+    fn plain_span_tree_roundtrips_through_json() {
+        let tree = PlainSpanTree {
+            trace: 9,
+            spans: vec![PlainSpan {
+                node: 0,
+                label: "Mouse.x".into(),
+                kind: "input".into(),
+                seq: 0,
+                start_ns: 1,
+                end_ns: 2,
+                queue_ns: 0,
+                changed: true,
+                panicked: false,
+                parent: None,
+            }],
+        };
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: PlainSpanTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+}

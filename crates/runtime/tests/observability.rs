@@ -1,0 +1,88 @@
+//! Satellite properties for the observability layer.
+//!
+//! * Histogram accounting: for any sequence of observations, the per-bucket
+//!   counts sum to the recorded sample count (and merging preserves that
+//!   invariant) — so the Prometheus `_bucket`/`_count` series can never
+//!   disagree.
+//! * Span-ring accounting: pushed = drained + dropped, and the ring never
+//!   exceeds its capacity.
+
+use elm_runtime::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use elm_runtime::tracing::{NodeSpan, SpanKind, SpanRing, TraceId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_bucket_counts_sum_to_sample_count(
+        samples in proptest::collection::vec(any::<u64>(), 0..200)
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        // Every observation lands in the bucket whose bound covers it.
+        for &s in &samples {
+            let idx = Histogram::bucket_index(s);
+            prop_assert!(idx < HISTOGRAM_BUCKETS);
+            if let Some(le) = Histogram::bucket_le(idx) {
+                prop_assert!(s <= le, "sample {} above bucket bound {}", s, le);
+                if idx > 0 {
+                    let prev = Histogram::bucket_le(idx - 1).unwrap();
+                    prop_assert!(s > prev, "sample {} not above previous bound {}", s, prev);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_preserves_bucket_sum_invariant(
+        a in proptest::collection::vec(0u64..(1u64 << 50), 0..100),
+        b in proptest::collection::vec(0u64..(1u64 << 50), 0..100),
+    ) {
+        let ha = Histogram::new();
+        for &s in &a { ha.observe(s); }
+        let hb = Histogram::new();
+        for &s in &b { hb.observe(s); }
+        let merged = ha.snapshot().merged(&hb.snapshot());
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+        prop_assert_eq!(
+            merged.sum,
+            a.iter().sum::<u64>() + b.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn span_ring_conserves_spans(
+        pushes in 0usize..300,
+        cap in 2usize..64,
+    ) {
+        let ring = SpanRing::new(cap);
+        for i in 0..pushes {
+            ring.push(NodeSpan {
+                trace: TraceId(1),
+                seq: i as u64,
+                node: 0,
+                kind: SpanKind::Compute,
+                start_ns: 0,
+                end_ns: 1,
+                queue_ns: 0,
+                changed: true,
+                panicked: false,
+            });
+        }
+        let drained = ring.drain();
+        prop_assert!(drained.len() <= ring.capacity());
+        prop_assert_eq!(drained.len() as u64 + ring.dropped(), pushes as u64);
+        // Drop-oldest: survivors are the newest pushes, in order.
+        for (k, s) in drained.iter().enumerate() {
+            prop_assert_eq!(s.seq, (pushes - drained.len() + k) as u64);
+        }
+    }
+}

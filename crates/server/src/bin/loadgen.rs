@@ -14,6 +14,13 @@
 //! 10000 events of mixed mouse/keyboard/timer traffic, each session on
 //! its own deterministic seed.
 //!
+//! Sessions are opened with `observe: true`, so every run also exercises
+//! the observability surface: it dumps the Prometheus scrape
+//! (`BENCH_metrics.prom`), the reconstructed span trees of a seeded
+//! traced workload (`BENCH_trace.json`), and a heat-annotated DOT
+//! rendering of the graph (`BENCH_heat.dot`), and fails if span trees on
+//! either scheduler do not match the graph's causal structure.
+//!
 //! `--chaos` turns on the deterministic fault-injection harness: traces
 //! are laced with poison-pill events and queue bursts, sessions suffer
 //! seeded runtime crashes and journal append failures, and shard workers
@@ -29,7 +36,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use elm_environment::{FaultPlan, Simulator};
-use elm_runtime::{PlainValue, Trace};
+use elm_runtime::{
+    assemble, dot, reachable_from, NodeId, PlainSpanTree, PlainValue, Trace, Tracer,
+};
 use elm_server::{
     BackpressurePolicy, ProgramSpec, RestartPolicy, Server, ServerConfig, SessionConfig,
 };
@@ -138,6 +147,85 @@ fn sync_replay(server: &Server, program: &str, trace: &Trace) -> PlainValue {
     PlainValue::from_value(running.current()).expect("replay value is plain")
 }
 
+/// Runs a seeded simulator workload through an *observed* single-session
+/// runtime on `engine` and checks that the reconstructed span trees match
+/// the graph's causal structure: every tree's node set is contained in the
+/// reachable subgraph of its ingress node, and at least one tree covers
+/// that subgraph exactly. Returns the plain span trees plus the tracer's
+/// per-node timing snapshots on success.
+fn trace_check(
+    server: &Server,
+    program: &str,
+    seed: u64,
+    engine: Engine,
+) -> Result<(Vec<PlainSpanTree>, Vec<elm_runtime::NodeTimingSnapshot>), String> {
+    const TRACE_EVENTS: usize = 200;
+    let (_, graph) = server
+        .registry()
+        .resolve(ProgramSpec::Builtin(program))
+        .map_err(|e| format!("resolve: {e}"))?;
+    let tracer = Tracer::for_graph(&graph);
+    tracer.set_enabled(true);
+    let mut running =
+        Program::from_dynamic_graph(graph.clone()).start_observed(engine, Some(tracer.clone()));
+    let workload = Simulator::workload(seed, TRACE_EVENTS);
+    for e in &workload.events {
+        if graph.input_named(&e.input).is_some() {
+            running
+                .send_named(&e.input, e.value.to_value())
+                .map_err(|e| format!("send: {e}"))?;
+        }
+    }
+    running.drain_raw().map_err(|e| format!("drain: {e}"))?;
+    running.stop();
+
+    let spans = tracer.drain_spans();
+    let trees = assemble(&spans, &graph);
+    if trees.is_empty() {
+        return Err("no span trees reconstructed".to_string());
+    }
+    let mut exact = 0usize;
+    for tree in &trees {
+        let roots = tree.roots();
+        if roots.is_empty() {
+            return Err(format!("trace {} has no root span", tree.trace.0));
+        }
+        let mut reachable = std::collections::BTreeSet::new();
+        for &r in &roots {
+            reachable.extend(reachable_from(&graph, NodeId(tree.spans[r].node)));
+        }
+        let nodes = tree.node_set();
+        if !nodes.is_subset(&reachable) {
+            return Err(format!(
+                "trace {}: span nodes {nodes:?} escape the reachable subgraph {reachable:?}",
+                tree.trace.0
+            ));
+        }
+        if nodes == reachable {
+            exact += 1;
+        }
+    }
+    if exact == 0 {
+        return Err(format!(
+            "none of {} trees covered its reachable subgraph exactly",
+            trees.len()
+        ));
+    }
+    let plain = trees.iter().map(|t| t.to_plain(&graph)).collect();
+    Ok((plain, tracer.node_timings()))
+}
+
+/// Sums every `elm_restarts_total{...}` sample in Prometheus exposition
+/// text — the scrape-side view of supervised restarts.
+fn scraped_restarts_total(metrics_text: &str) -> u64 {
+    metrics_text
+        .lines()
+        .filter(|l| l.starts_with("elm_restarts_total"))
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter_map(|(_, v)| v.parse::<f64>().ok())
+        .sum::<f64>() as u64
+}
+
 fn main() {
     let args = parse_args();
     let program = args
@@ -204,6 +292,9 @@ fn main() {
                 ..RestartPolicy::default()
             },
             faults,
+            // Observability is the point of this binary: every session
+            // records spans and per-node timing histograms.
+            observe: true,
         },
         idle_timeout: None,
     }));
@@ -211,7 +302,7 @@ fn main() {
     let mut session_ids = Vec::with_capacity(args.sessions);
     for _ in 0..args.sessions {
         let info = server
-            .open(ProgramSpec::Builtin(&program), None, None)
+            .open(ProgramSpec::Builtin(&program), None, None, true)
             .unwrap_or_else(|e| {
                 eprintln!("loadgen: open failed: {e}");
                 exit(1);
@@ -246,6 +337,7 @@ fn main() {
     let elapsed = started.elapsed();
 
     let (global, per_session) = server.stats();
+    let metrics_text = server.metrics_text();
     let total_events = (args.sessions * args.events) as f64;
     let events_per_sec = total_events / elapsed.as_secs_f64();
 
@@ -335,6 +427,20 @@ fn main() {
                 args.sessions
             ));
         }
+        // The metrics endpoint must agree with the supervisor about how
+        // many restarts happened — a scrape is only useful if it tells
+        // the same story as the recovery machinery itself.
+        let scraped = scraped_restarts_total(&metrics_text);
+        if scraped != global.recovery.restarts {
+            chaos_failures.push(format!(
+                "metrics endpoint reports {scraped} restarts but the supervisor counted {}",
+                global.recovery.restarts
+            ));
+        } else {
+            println!(
+                "metrics cross-check: elm_restarts_total sum {scraped} == supervisor restarts"
+            );
+        }
         for f in &chaos_failures {
             eprintln!("loadgen: CHAOS FAILURE: {f}");
         }
@@ -342,6 +448,62 @@ fn main() {
             println!("chaos verdict = OK");
         } else {
             println!("chaos verdict = FAILED");
+        }
+    }
+
+    // Trace-reconstruction acceptance: the same seeded workload, traced on
+    // BOTH schedulers, must yield span trees matching the graph's causal
+    // structure. The synchronous run's artifacts are kept for inspection.
+    let mut trace_failures: Vec<String> = Vec::new();
+    let mut sync_trees: Vec<PlainSpanTree> = Vec::new();
+    let mut sync_timings = Vec::new();
+    match trace_check(&server, &program, args.seed, Engine::Synchronous) {
+        Ok((trees, timings)) => {
+            sync_trees = trees;
+            sync_timings = timings;
+        }
+        Err(e) => trace_failures.push(format!("synchronous scheduler: {e}")),
+    }
+    if let Err(e) = trace_check(&server, &program, args.seed, Engine::Concurrent) {
+        trace_failures.push(format!("concurrent scheduler: {e}"));
+    }
+    for f in &trace_failures {
+        eprintln!("loadgen: TRACE FAILURE: {f}");
+    }
+    let trace_verdict = if trace_failures.is_empty() {
+        "OK"
+    } else {
+        "FAILED"
+    };
+    println!(
+        "trace reconstruction check = {trace_verdict} ({} trees, both schedulers)",
+        sync_trees.len()
+    );
+
+    // Observability artifacts: span trees, the Prometheus scrape, and a
+    // heat-annotated DOT rendering of the traced graph.
+    let trace_json =
+        serde_json::to_string_pretty(&serde_json::to_value(&sync_trees).expect("trees serialize"))
+            .expect("trees serialize");
+    for (path, contents) in [
+        ("BENCH_trace.json", trace_json + "\n"),
+        ("BENCH_metrics.prom", metrics_text.clone()),
+        (
+            "BENCH_heat.dot",
+            server
+                .registry()
+                .resolve(ProgramSpec::Builtin(&program))
+                .map(|(_, graph)| {
+                    let heat: Vec<u64> = sync_timings.iter().map(|t| t.compute.sum).collect();
+                    dot::to_dot_with_heat(&graph, &heat)
+                })
+                .unwrap_or_default(),
+        ),
+    ] {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+        } else {
+            eprintln!("loadgen: wrote {path}");
         }
     }
 
@@ -397,6 +559,18 @@ fn main() {
         ),
         ("isolation".to_string(), Json::Str(isolation.to_string())),
         (
+            "trace_check".to_string(),
+            Json::Str(trace_verdict.to_string()),
+        ),
+        (
+            "trace_trees".to_string(),
+            Json::U64(sync_trees.len() as u64),
+        ),
+        (
+            "restarts_total_scraped".to_string(),
+            Json::U64(scraped_restarts_total(&metrics_text)),
+        ),
+        (
             "chaos_verdict".to_string(),
             Json::Str(
                 if !args.chaos {
@@ -420,7 +594,7 @@ fn main() {
     if let Ok(s) = Arc::try_unwrap(server) {
         s.shutdown();
     }
-    if mismatches > 0 || !chaos_failures.is_empty() {
+    if mismatches > 0 || !chaos_failures.is_empty() || !trace_failures.is_empty() {
         exit(1);
     }
 }

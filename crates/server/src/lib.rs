@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod registry;
@@ -46,6 +47,6 @@ pub use protocol::{
 };
 pub use registry::{ProgramSpec, Registry};
 pub use server::{Server, ServerConfig};
-pub use session::{Session, SessionConfig, SessionId};
+pub use session::{Session, SessionConfig, SessionId, TraceMailbox, TracePop};
 pub use shard::{Command, ShardCounters, ShardHandle, ShardStats};
 pub use supervisor::{RestartBudget, RestartDecision, RestartPolicy};

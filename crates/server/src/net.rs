@@ -22,6 +22,7 @@ use crossbeam::channel::{self, Sender};
 use crate::protocol::{self, Request};
 use crate::registry::ProgramSpec;
 use crate::server::Server;
+use crate::session::TracePop;
 
 /// Accepts connections forever, one handler thread per client.
 pub fn serve(server: Arc<Server>, listener: TcpListener) {
@@ -63,6 +64,12 @@ pub fn handle_client(server: Arc<Server>, stream: TcpStream) {
         if line.is_empty() {
             continue;
         }
+        // HTTP-ish escape hatch: a Prometheus scraper (or curl) speaking
+        // plain HTTP gets one response and a closed connection.
+        if let Some(rest) = line.strip_prefix("GET ") {
+            let _ = out_tx.send(http_response(&server, rest));
+            break;
+        }
         let reply = dispatch(&server, line, &out_tx);
         if out_tx.send(reply).is_err() {
             break;
@@ -70,6 +77,30 @@ pub fn handle_client(server: Arc<Server>, stream: TcpStream) {
     }
     drop(out_tx);
     let _ = writer.join();
+}
+
+/// Builds a minimal HTTP/1.0 response for `GET <path> ...` request lines.
+/// Only `/metrics` exists. The writer thread appends one `\n` to every
+/// outbound line, so the advertised `Content-Length` counts it.
+fn http_response(server: &Arc<Server>, request_rest: &str) -> String {
+    let path = request_rest.split_whitespace().next().unwrap_or("");
+    let (status, content_type, body) = if path == "/metrics" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            server.metrics_text(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no such path {path}\n"),
+        )
+    };
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len() + 1,
+    )
 }
 
 fn dispatch(server: &Arc<Server>, line: &str, out: &Sender<String>) -> String {
@@ -83,6 +114,7 @@ fn dispatch(server: &Arc<Server>, line: &str, out: &Sender<String>) -> String {
             source,
             queue,
             policy,
+            observe,
         } => {
             let spec = match (&program, &source) {
                 (Some(p), None) => ProgramSpec::Builtin(p),
@@ -93,7 +125,7 @@ fn dispatch(server: &Arc<Server>, line: &str, out: &Sender<String>) -> String {
                     )
                 }
             };
-            match server.open(spec, queue, policy) {
+            match server.open(spec, queue, policy, observe) {
                 Ok(info) => protocol::opened_line(&info),
                 Err(e) => protocol::err_line(&e),
             }
@@ -142,6 +174,36 @@ fn dispatch(server: &Arc<Server>, line: &str, out: &Sender<String>) -> String {
                 let (global, sessions) = server.stats();
                 protocol::stats_line(&global, &sessions)
             }
+        },
+        Request::Metrics => protocol::metrics_line(&server.metrics_text()),
+        Request::Trace { session } => match server.trace_subscribe(session) {
+            Ok(mailbox) => {
+                // Forward rendered trace lines until the session closes
+                // the mailbox or the client goes away. Waits are bounded
+                // so a dead connection is noticed within a second.
+                let out = out.clone();
+                thread::spawn(move || loop {
+                    match mailbox.recv_timeout(std::time::Duration::from_secs(1)) {
+                        TracePop::Line(line) => {
+                            if out.send(line).is_err() {
+                                mailbox.close();
+                                break;
+                            }
+                        }
+                        TracePop::Empty => {
+                            if out.send(String::new()).is_err() {
+                                // Writer is gone; skip the keepalive probe
+                                // and stop pulling lines.
+                                mailbox.close();
+                                break;
+                            }
+                        }
+                        TracePop::Closed => break,
+                    }
+                });
+                protocol::trace_subscribed_line(session)
+            }
+            Err(e) => protocol::err_line(&e),
         },
         Request::Close { session } => match server.close(session) {
             Ok(()) => protocol::closed_line(session),

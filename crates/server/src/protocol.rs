@@ -10,7 +10,7 @@
 //! same encoding `elm-runtime` traces use on disk, so recorded traces can
 //! be replayed over the wire verbatim.
 
-use elm_runtime::{PlainValue, StatsSnapshot};
+use elm_runtime::{NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot};
 use serde_json::Value as Json;
 
 /// One client → server command, decoded from a JSON line.
@@ -27,6 +27,10 @@ pub enum Request {
         queue: Option<usize>,
         /// Backpressure policy override.
         policy: Option<BackpressurePolicy>,
+        /// Attach a causal tracer + per-node timing histograms to the
+        /// session (`"observe":true`). Off by default: untraced sessions
+        /// pay no observability overhead.
+        observe: bool,
     },
     /// One input event for a session.
     Event {
@@ -58,6 +62,15 @@ pub enum Request {
     Stats {
         /// Restrict to one session.
         session: Option<u64>,
+    },
+    /// Prometheus-text exposition of every server metric family. The same
+    /// text is served to HTTP clients that send `GET /metrics`.
+    Metrics,
+    /// Stream the session's completed span trees as `{"trace": …}` lines.
+    /// Requires the session to have been opened with `"observe":true`.
+    Trace {
+        /// Target session.
+        session: u64,
     },
     /// Tear a session down.
     Close {
@@ -243,18 +256,28 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a sample set (sorts `samples` in place).
+    ///
+    /// Degenerate sets are well-defined: an empty set yields the all-zero
+    /// default (not a panic), and a single-sample set reports that sample
+    /// for every percentile and the max.
     pub fn compute(samples: &mut [u64]) -> LatencySummary {
         if samples.is_empty() {
             return LatencySummary::default();
         }
         samples.sort_unstable();
-        let pick = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        // `(len-1) * p` rounds to at most len-1 for p ≤ 1, so `pick` can
+        // never index out of bounds — including the single-sample case,
+        // where every percentile is samples[0].
+        let pick = |p: f64| {
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
         LatencySummary {
             count: samples.len() as u64,
             p50_us: pick(0.50),
             p90_us: pick(0.90),
             p99_us: pick(0.99),
-            max_us: *samples.last().expect("nonempty"),
+            max_us: samples[samples.len() - 1],
         }
     }
 }
@@ -272,6 +295,10 @@ pub struct RecoveryStats {
     pub snapshot_count: u64,
     /// Journal entries currently retained (after snapshot truncation).
     pub journal_len: u64,
+    /// Journal appends performed.
+    pub journal_appends: u64,
+    /// Journal truncations (each snapshot truncates the journal it covers).
+    pub journal_truncations: u64,
     /// Journal appends that failed (event applied anyway; an immediate
     /// snapshot re-covers the gap).
     pub journal_failures: u64,
@@ -287,6 +314,8 @@ impl RecoveryStats {
             max_replay: self.max_replay.max(other.max_replay),
             snapshot_count: self.snapshot_count + other.snapshot_count,
             journal_len: self.journal_len + other.journal_len,
+            journal_appends: self.journal_appends + other.journal_appends,
+            journal_truncations: self.journal_truncations + other.journal_truncations,
             journal_failures: self.journal_failures + other.journal_failures,
         }
     }
@@ -310,6 +339,11 @@ pub struct SessionStats {
     /// True once a node ever panicked in this session (panicked nodes stay
     /// poisoned across recoveries, per the paper's semantics).
     pub poisoned: bool,
+    /// Per-node compute / queue-wait timings, if the session was opened
+    /// with `"observe":true` (empty otherwise).
+    pub nodes: Vec<NodeTimingSnapshot>,
+    /// Trace spans lost to ring-buffer overflow (drop-oldest policy).
+    pub spans_dropped: u64,
 }
 
 /// Aggregated view across the whole server.
@@ -424,6 +458,7 @@ impl Request {
                     source: opt_str(&json, "source"),
                     queue: json.get("queue").and_then(as_u64).map(|n| n as usize),
                     policy,
+                    observe: matches!(json.get("observe"), Some(Json::Bool(true))),
                 })
             }
             "event" => Ok(Request::Event {
@@ -454,6 +489,10 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats {
                 session: json.get("session").and_then(as_u64),
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "trace" => Ok(Request::Trace {
+                session: req_u64(&json, "session")?,
             }),
             "close" => Ok(Request::Close {
                 session: req_u64(&json, "session")?,
@@ -544,6 +583,26 @@ pub fn session_stats_line(stats: &SessionStats) -> String {
     ok_with(vec![("stats", to_json(stats))])
 }
 
+/// Reply for `metrics`: the Prometheus exposition text, JSON-escaped.
+pub fn metrics_line(text: &str) -> String {
+    ok_with(vec![("metrics", Json::Str(text.to_string()))])
+}
+
+/// Reply for `trace` (span trees then stream separately).
+pub fn trace_subscribed_line(session: u64) -> String {
+    ok_with(vec![("trace_subscribed", Json::U64(session))])
+}
+
+/// An asynchronous `{"trace":…}` push line carrying one completed span
+/// tree: one ingress event's full propagation through the session's graph.
+pub fn trace_line(session: u64, tree: &PlainSpanTree) -> String {
+    line(obj(vec![
+        ("trace", Json::U64(tree.trace)),
+        ("session", Json::U64(session)),
+        ("spans", to_json(&tree.spans)),
+    ]))
+}
+
 /// An asynchronous `{"update":…}` push line.
 pub fn update_line(update: &Update) -> String {
     match update {
@@ -581,8 +640,13 @@ mod tests {
                 source: None,
                 queue: Some(8),
                 policy: Some(BackpressurePolicy::Coalesce),
+                observe: false,
             }
         );
+
+        let observed =
+            Request::parse(r#"{"cmd":"open","program":"counter","observe":true}"#).unwrap();
+        assert!(matches!(observed, Request::Open { observe: true, .. }));
 
         let event =
             Request::parse(r#"{"cmd":"event","session":3,"input":"Mouse.x","value":{"Int":7}}"#)
@@ -612,6 +676,15 @@ mod tests {
             Request::parse(r#"{"cmd":"stats"}"#).unwrap(),
             Request::Stats { session: None }
         );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"trace","session":7}"#).unwrap(),
+            Request::Trace { session: 7 }
+        );
+        assert!(Request::parse(r#"{"cmd":"trace"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"nope"}"#).is_err());
         assert!(Request::parse("{").is_err());
         assert!(Request::parse(r#"{"cmd":"event","session":1,"input":"x"}"#).is_err());
@@ -647,7 +720,64 @@ mod tests {
         assert_eq!(s.p50_us, 51);
         assert_eq!(s.p99_us, 99);
         assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn latency_summary_empty_set_is_the_zero_default() {
         assert_eq!(LatencySummary::compute(&mut []), LatencySummary::default());
+        assert_eq!(
+            LatencySummary::compute(&mut Vec::new()),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn latency_summary_single_sample_reports_it_everywhere() {
+        let mut one = [42u64];
+        let s = LatencySummary::compute(&mut one);
+        assert_eq!(
+            s,
+            LatencySummary {
+                count: 1,
+                p50_us: 42,
+                p90_us: 42,
+                p99_us: 42,
+                max_us: 42,
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_and_trace_lines_are_json_objects() {
+        let m = metrics_line("# HELP elm_events_total x\nelm_events_total 3\n");
+        let parsed: Json = serde_json::from_str(&m).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        assert!(parsed
+            .get("metrics")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("elm_events_total 3"));
+
+        let tree = PlainSpanTree {
+            trace: 9,
+            spans: vec![elm_runtime::PlainSpan {
+                node: 0,
+                label: "Mouse.clicks".to_string(),
+                kind: "input".to_string(),
+                seq: 0,
+                start_ns: 10,
+                end_ns: 20,
+                queue_ns: 0,
+                changed: true,
+                panicked: false,
+                parent: None,
+            }],
+        };
+        let t = trace_line(4, &tree);
+        let parsed: Json = serde_json::from_str(&t).unwrap();
+        assert_eq!(parsed.get("trace"), Some(&Json::I64(9)));
+        assert_eq!(parsed.get("session"), Some(&Json::I64(4)));
+        assert_eq!(parsed.get("spans").and_then(Json::as_seq).unwrap().len(), 1);
     }
 
     #[test]

@@ -17,8 +17,9 @@ use crate::protocol::{
     QueryInfo, RecoveryStats, ServerStats, SessionStats, Update,
 };
 use crate::registry::{ProgramSpec, Registry};
-use crate::session::{SessionConfig, SessionId};
+use crate::session::{SessionConfig, SessionId, TraceMailbox};
 use crate::shard::{Command, ShardHandle, ShardStats};
+use std::sync::Arc;
 
 /// Server-wide configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,6 +104,7 @@ impl Server {
         spec: ProgramSpec<'_>,
         queue: Option<usize>,
         policy: Option<BackpressurePolicy>,
+        observe: bool,
     ) -> Result<OpenInfo, String> {
         let (name, graph) = self.registry.resolve(spec)?;
         let mut config = self.config.session;
@@ -111,6 +113,9 @@ impl Server {
         }
         if let Some(p) = policy {
             config.policy = p;
+        }
+        if observe {
+            config.observe = true;
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         self.ask(id, |reply| Command::Open {
@@ -206,24 +211,46 @@ impl Server {
             .ok_or_else(|| format!("unknown session {session}"))
     }
 
-    /// Global counters plus per-session statistics for every live session.
-    pub fn stats(&self) -> (ServerStats, Vec<SessionStats>) {
+    /// Streams completed span trees as rendered `{"trace":…}` NDJSON
+    /// lines. Requires the session to have been opened with `observe`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown or unobserved session.
+    pub fn trace_subscribe(&self, session: SessionId) -> Result<Arc<TraceMailbox>, String> {
+        let mailbox = TraceMailbox::new();
+        let sink = mailbox.clone();
+        self.ask(session, |reply| Command::TraceSubscribe {
+            session,
+            sink,
+            reply,
+        })??;
+        Ok(mailbox)
+    }
+
+    /// Polls every shard for its statistics. Shard identity is preserved:
+    /// entry `i` of the result came from shard `i`'s reply (dead shards
+    /// report a default entry).
+    fn collect_shard_stats(&self) -> Vec<ShardStats> {
         let mut per_shard: Vec<ShardStats> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let (tx, rx) = channel::bounded(1);
-            if shard
+            let reply = shard
                 .sender()
                 .send(Command::Stats {
                     session: None,
                     reply: tx,
                 })
-                .is_ok()
-            {
-                if let Ok(s) = rx.recv() {
-                    per_shard.push(s);
-                }
-            }
+                .ok()
+                .and_then(|()| rx.recv().ok());
+            per_shard.push(reply.unwrap_or_default());
         }
+        per_shard
+    }
+
+    /// Global counters plus per-session statistics for every live session.
+    pub fn stats(&self) -> (ServerStats, Vec<SessionStats>) {
+        let per_shard = self.collect_shard_stats();
         let mut sessions: Vec<SessionStats> = Vec::new();
         let mut samples: Vec<u64> = Vec::new();
         let mut global = ServerStats {
@@ -262,6 +289,34 @@ impl Server {
         (global, sessions)
     }
 
+    /// Renders every server metric family as Prometheus exposition text —
+    /// the payload behind both the `metrics` wire verb and `GET /metrics`.
+    pub fn metrics_text(&self) -> String {
+        let per_shard = self.collect_shard_stats();
+        let shard_depths: Vec<u64> = per_shard.iter().map(|s| s.queue_depth).collect();
+        let mut sessions: Vec<SessionStats> = Vec::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut counters = crate::shard::ShardCounters::default();
+        for shard in per_shard {
+            counters.opened += shard.counters.opened;
+            counters.closed += shard.counters.closed;
+            counters.evicted_idle += shard.counters.evicted_idle;
+            counters.recovery_failed += shard.counters.recovery_failed;
+            sessions.extend(shard.sessions);
+            samples.extend(shard.samples);
+        }
+        sessions.sort_by_key(|s| s.session);
+        let latency_sum_us: u64 = samples.iter().sum();
+        let latency = LatencySummary::compute(&mut samples);
+        crate::metrics::render_prometheus(
+            &counters,
+            &sessions,
+            &shard_depths,
+            &latency,
+            latency_sum_us,
+        )
+    }
+
     /// Tears a session down (subscribers get a final `closed` update).
     ///
     /// # Errors
@@ -290,10 +345,10 @@ mod tests {
             ..ServerConfig::default()
         });
         let a = server
-            .open(ProgramSpec::Builtin("counter"), None, None)
+            .open(ProgramSpec::Builtin("counter"), None, None, false)
             .unwrap();
         let b = server
-            .open(ProgramSpec::Builtin("mouse-sum"), None, None)
+            .open(ProgramSpec::Builtin("mouse-sum"), None, None, false)
             .unwrap();
         assert_ne!(a.session, b.session);
 
@@ -332,7 +387,7 @@ mod tests {
             ..ServerConfig::default()
         });
         let s = server
-            .open(ProgramSpec::Builtin("counter"), None, None)
+            .open(ProgramSpec::Builtin("counter"), None, None, false)
             .unwrap();
         let rx = server.subscribe(s.session).unwrap();
         server
@@ -367,6 +422,7 @@ mod tests {
                 ProgramSpec::Source("main = foldp (\\k acc -> acc + k) 0 Keyboard.lastPressed"),
                 None,
                 None,
+                false,
             )
             .unwrap();
         server

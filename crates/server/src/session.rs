@@ -26,12 +26,14 @@
 //! marked `recovery_failed` and the shard evicts it.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
 use elm_environment::fault::{self, FaultPlan};
 use elm_runtime::{
-    EventJournal, JournalEntry, PlainValue, RuntimeSnapshot, SignalGraph, StatsSnapshot, Value,
+    Counter, EventJournal, Gauge, JournalEntry, NodeTimingSnapshot, PlainValue, RuntimeSnapshot,
+    SignalGraph, StatsSnapshot, Tracer, Value,
 };
 use elm_signals::{Engine, Program, Running};
 use rand::rngs::StdRng;
@@ -62,6 +64,10 @@ pub struct SessionConfig {
     pub restart: RestartPolicy,
     /// Injected faults (disabled by default).
     pub faults: FaultPlan,
+    /// Attach a causal [`Tracer`] (per-event span trees + per-node timing
+    /// histograms). Off by default so untraced sessions pay no
+    /// observability overhead.
+    pub observe: bool,
 }
 
 impl Default for SessionConfig {
@@ -73,6 +79,7 @@ impl Default for SessionConfig {
             journal_segment: 1024,
             restart: RestartPolicy::default(),
             faults: FaultPlan::disabled(),
+            observe: false,
         }
     }
 }
@@ -81,10 +88,114 @@ impl Default for SessionConfig {
 /// while bounding memory for immortal sessions.
 const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 
+/// Rendered trace lines queued per `trace` subscriber, drop-oldest.
+pub const TRACE_SUBSCRIBER_CAPACITY: usize = 256;
+
+/// A bounded drop-oldest mailbox of rendered trace lines, shared between a
+/// session (producer, on its shard thread) and one `trace` forwarder
+/// thread (consumer, owned by the subscriber's connection).
+///
+/// The pump must never block on a slow subscriber, so a full mailbox
+/// evicts its oldest line instead of waiting. Either side may [`close`]
+/// the mailbox: the consumer when its connection dies (the session then
+/// prunes it), the session when it shuts down (the forwarder then exits).
+///
+/// [`close`]: TraceMailbox::close
+#[derive(Debug, Default)]
+pub struct TraceMailbox {
+    inner: std::sync::Mutex<MailboxState>,
+    ready: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct MailboxState {
+    lines: VecDeque<String>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// Outcome of one [`TraceMailbox::recv_timeout`] wait.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TracePop {
+    /// The next queued line.
+    Line(String),
+    /// Nothing arrived within the timeout; the mailbox is still open.
+    Empty,
+    /// The mailbox is closed and drained; no more lines will ever arrive.
+    Closed,
+}
+
+impl TraceMailbox {
+    /// Creates an open, empty, shareable mailbox.
+    pub fn new() -> Arc<TraceMailbox> {
+        Arc::new(TraceMailbox::default())
+    }
+
+    /// Producer side: stores `line`, evicting the oldest queued line when
+    /// full. Returns `None` when the mailbox is closed (the producer
+    /// should forget it), otherwise whether an eviction happened.
+    fn push(&self, line: String) -> Option<bool> {
+        let mut st = self.inner.lock().expect("mailbox lock");
+        if st.closed {
+            return None;
+        }
+        let evicted = st.lines.len() >= TRACE_SUBSCRIBER_CAPACITY;
+        if evicted {
+            st.lines.pop_front();
+            st.dropped += 1;
+        }
+        st.lines.push_back(line);
+        drop(st);
+        self.ready.notify_one();
+        Some(evicted)
+    }
+
+    /// Consumer side: waits up to `timeout` for the next line. Queued
+    /// lines are still delivered after [`TraceMailbox::close`];
+    /// [`TracePop::Closed`] only once the backlog is drained.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> TracePop {
+        let mut st = self.inner.lock().expect("mailbox lock");
+        if st.lines.is_empty() && !st.closed {
+            let (guard, _timeout) = self.ready.wait_timeout(st, timeout).expect("mailbox lock");
+            st = guard;
+        }
+        match st.lines.pop_front() {
+            Some(line) => TracePop::Line(line),
+            None if st.closed => TracePop::Closed,
+            None => TracePop::Empty,
+        }
+    }
+
+    /// Closes the mailbox from either side and wakes a waiting consumer.
+    pub fn close(&self) {
+        self.inner.lock().expect("mailbox lock").closed = true;
+        self.ready.notify_one();
+    }
+
+    /// Lines evicted because the consumer fell behind.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("mailbox lock").dropped
+    }
+}
+
 struct Queued {
     input: String,
     value: Value,
     at: Instant,
+}
+
+/// Crash-recovery and journal activity, kept as [`Counter`]s/[`Gauge`]s so
+/// the same accounting feeds both [`RecoveryStats`] and the metrics
+/// exposition surface (no parallel ad-hoc `u64` bookkeeping).
+#[derive(Debug, Default)]
+struct RecoveryCounters {
+    restarts: Counter,
+    replayed_events: Counter,
+    max_replay: Gauge,
+    snapshots: Counter,
+    journal_appends: Counter,
+    journal_truncations: Counter,
+    journal_failures: Counter,
 }
 
 /// A hosted program instance (see module docs).
@@ -109,11 +220,7 @@ pub struct Session {
     journal: EventJournal,
     snapshot: Option<(u64, RuntimeSnapshot)>,
     applied_seq: u64,
-    restarts: u64,
-    replayed_events: u64,
-    max_replay: u64,
-    snapshot_count: u64,
-    journal_failures: u64,
+    recovery: RecoveryCounters,
     recovery_failed: bool,
     budget: RestartBudget,
     // Panics seen in the *current* runtime incarnation; replayed panics
@@ -126,6 +233,12 @@ pub struct Session {
     stats_base: StatsSnapshot,
     // Last applied output value, served to queries even mid-recovery.
     last_output: Value,
+    // Causal tracer shared with every runtime incarnation (histograms
+    // accumulate across recoveries). None unless `config.observe`.
+    tracer: Option<Arc<Tracer>>,
+    // `trace` subscribers: bounded drop-oldest mailboxes of NDJSON lines.
+    trace_subscribers: Vec<Arc<TraceMailbox>>,
+    trace_lines_dropped: u64,
 }
 
 impl Session {
@@ -136,7 +249,13 @@ impl Session {
         graph: SignalGraph,
         config: SessionConfig,
     ) -> Session {
-        let running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+        let tracer = config.observe.then(|| {
+            let t = Tracer::for_graph(&graph);
+            t.set_enabled(true);
+            t
+        });
+        let running = Program::from_dynamic_graph(graph.clone())
+            .start_observed(Engine::Synchronous, tracer.clone());
         let mut journal = EventJournal::new(config.journal_segment.max(1));
         if config.faults.journal_fail > 0.0 {
             let mut rng = config.faults.rng(fault::STREAM_JOURNAL, id);
@@ -166,11 +285,7 @@ impl Session {
             journal,
             snapshot: None,
             applied_seq: 0,
-            restarts: 0,
-            replayed_events: 0,
-            max_replay: 0,
-            snapshot_count: 0,
-            journal_failures: 0,
+            recovery: RecoveryCounters::default(),
             recovery_failed: false,
             budget: RestartBudget::new(config.restart),
             panic_baseline: 0,
@@ -179,6 +294,9 @@ impl Session {
             crash_rng,
             stats_base: StatsSnapshot::default(),
             last_output,
+            tracer,
+            trace_subscribers: Vec::new(),
+            trace_lines_dropped: 0,
         }
     }
 
@@ -213,7 +331,40 @@ impl Session {
 
     /// Supervised restarts performed so far.
     pub fn restarts(&self) -> u64 {
-        self.restarts
+        self.recovery.restarts.get()
+    }
+
+    /// True when the session was opened with `observe:true` and thus has a
+    /// tracer attached.
+    pub fn is_observed(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The session's causal tracer, if observed.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Per-node compute / queue-wait timings (empty when not observed).
+    pub fn node_timings(&self) -> Vec<NodeTimingSnapshot> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.node_timings())
+            .unwrap_or_default()
+    }
+
+    /// Registers a span-tree subscriber. Fails (returns `false`) when the
+    /// session was not opened with `observe:true`. The mailbox is bounded
+    /// to [`TRACE_SUBSCRIBER_CAPACITY`] lines and drops its oldest line
+    /// rather than blocking the pump.
+    pub fn subscribe_trace(&mut self, sink: Arc<TraceMailbox>) -> bool {
+        self.last_activity = Instant::now();
+        if self.tracer.is_none() {
+            sink.close();
+            return false;
+        }
+        self.trace_subscribers.push(sink);
+        true
     }
 
     /// Last time a client touched this session.
@@ -318,6 +469,9 @@ impl Session {
                     .is_ok(),
                 None => false,
             };
+            if journal_ok {
+                self.recovery.journal_appends.inc();
+            }
             let applied = self
                 .running
                 .send_named(&q.input, q.value.clone())
@@ -359,7 +513,7 @@ impl Session {
             if !journal_ok {
                 // The applied event is missing from the journal; snapshot
                 // immediately so no recovery ever needs the hole.
-                self.journal_failures += 1;
+                self.recovery.journal_failures.inc();
                 self.take_snapshot();
             } else if self.applied_seq - self.snapshot_seq() >= self.config.snapshot_interval {
                 self.take_snapshot();
@@ -388,6 +542,39 @@ impl Session {
             self.supervise();
             self.maybe_recover();
         }
+        self.flush_traces();
+    }
+
+    /// Drains completed spans from the tracer's ring, reassembles them
+    /// into span trees, and fans rendered lines out to `trace`
+    /// subscribers. Full subscriber channels drop their oldest line
+    /// (bounded, non-blocking); disconnected subscribers are pruned.
+    fn flush_traces(&mut self) {
+        let Some(tracer) = self.tracer.as_ref() else {
+            return;
+        };
+        if self.trace_subscribers.is_empty() {
+            // Nobody listening: leave spans in the (bounded, drop-oldest)
+            // ring so a late subscriber still sees recent history.
+            return;
+        }
+        let spans = tracer.drain_spans();
+        if spans.is_empty() {
+            return;
+        }
+        for tree in elm_runtime::assemble(&spans, &self.graph) {
+            let line = crate::protocol::trace_line(self.id, &tree.to_plain(&self.graph));
+            let mut dropped = 0u64;
+            self.trace_subscribers
+                .retain(|mb| match mb.push(line.clone()) {
+                    Some(evicted) => {
+                        dropped += u64::from(evicted);
+                        true
+                    }
+                    None => false,
+                });
+            self.trace_lines_dropped += dropped;
+        }
     }
 
     fn snapshot_seq(&self) -> u64 {
@@ -397,8 +584,9 @@ impl Session {
     fn take_snapshot(&mut self) {
         if let Some(snap) = self.running.snapshot() {
             self.snapshot = Some((self.applied_seq, snap));
-            self.snapshot_count += 1;
+            self.recovery.snapshots.inc();
             self.journal.truncate_through(self.applied_seq);
+            self.recovery.journal_truncations.inc();
         }
     }
 
@@ -429,7 +617,10 @@ impl Session {
     /// events are drained silently: their outputs were already delivered
     /// before the crash.
     fn perform_recovery(&mut self) {
-        let fresh = Program::from_dynamic_graph(self.graph.clone()).start(Engine::Synchronous);
+        // Re-attach the same tracer: per-node histograms accumulate across
+        // incarnations, like the runtime counters below.
+        let fresh = Program::from_dynamic_graph(self.graph.clone())
+            .start_observed(Engine::Synchronous, self.tracer.clone());
         let dead = std::mem::replace(&mut self.running, fresh);
         self.stats_base = self.stats_base.merged(&dead.stats());
         dead.stop();
@@ -456,12 +647,18 @@ impl Session {
                 .and_then(|()| self.running.drain_raw());
             replayed += 1;
         }
-        self.replayed_events += replayed;
-        self.max_replay = self.max_replay.max(replayed);
+        self.recovery.replayed_events.add(replayed);
+        self.recovery.max_replay.set_max(replayed as i64);
         self.panic_baseline = self.running.stats().node_panics;
         self.last_output = self.running.current().clone();
         self.pending_recovery = None;
-        self.restarts += 1;
+        self.recovery.restarts.inc();
+        if let Some(tracer) = self.tracer.as_ref() {
+            // Replayed events re-recorded spans for outputs that were
+            // already delivered; discard them so subscribers never see a
+            // duplicate span tree.
+            let _ = tracer.drain_spans();
+        }
     }
 
     /// The current output value and queue state. Served from the last
@@ -495,12 +692,14 @@ impl Session {
     /// Crash-recovery counters.
     pub fn recovery_stats(&self) -> RecoveryStats {
         RecoveryStats {
-            restarts: self.restarts,
-            replayed_events: self.replayed_events,
-            max_replay: self.max_replay,
-            snapshot_count: self.snapshot_count,
+            restarts: self.recovery.restarts.get(),
+            replayed_events: self.recovery.replayed_events.get(),
+            max_replay: self.recovery.max_replay.get().max(0) as u64,
+            snapshot_count: self.recovery.snapshots.get(),
             journal_len: self.journal.len() as u64,
-            journal_failures: self.journal_failures,
+            journal_appends: self.recovery.journal_appends.get(),
+            journal_truncations: self.recovery.journal_truncations.get(),
+            journal_failures: self.recovery.journal_failures.get(),
         }
     }
 
@@ -521,6 +720,9 @@ impl Session {
             latency: LatencySummary::compute(&mut self.latencies.clone()),
             recovery: self.recovery_stats(),
             poisoned: self.ever_panicked,
+            nodes: self.node_timings(),
+            spans_dropped: self.tracer.as_ref().map_or(0, |t| t.dropped_spans())
+                + self.trace_lines_dropped,
         }
     }
 
@@ -533,6 +735,9 @@ impl Session {
         };
         self.subscribers.retain(|s| s.send(update.clone()).is_ok());
         self.subscribers.clear();
+        for mb in self.trace_subscribers.drain(..) {
+            mb.close();
+        }
     }
 
     /// Stops the underlying runtime.

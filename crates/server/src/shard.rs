@@ -21,8 +21,10 @@ use elm_environment::fault::{self, FaultPlan};
 use elm_runtime::{NodeKind, PlainValue, SignalGraph, Value};
 use rand::Rng;
 
+use std::sync::Arc;
+
 use crate::protocol::{BatchOutcome, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats, Update};
-use crate::session::{Session, SessionConfig, SessionId};
+use crate::session::{Session, SessionConfig, SessionId, TraceMailbox};
 
 /// How long a shard sleeps when no commands arrive before re-checking
 /// eviction deadlines.
@@ -55,6 +57,9 @@ pub struct ShardStats {
     /// Raw latency samples of the selected sessions, for cross-session
     /// percentile aggregation (in-process only; never serialized).
     pub samples: Vec<u64>,
+    /// Events queued across *all* sessions on this shard at snapshot
+    /// time (the shard's ingress backlog), regardless of session filter.
+    pub queue_depth: u64,
 }
 
 /// One request to a shard. Every variant carries its own reply channel.
@@ -105,6 +110,15 @@ pub enum Command {
         session: SessionId,
         /// Where updates go.
         sink: Sender<Update>,
+        /// Acknowledges registration.
+        reply: Sender<Result<(), String>>,
+    },
+    /// Register a span-tree (`trace`) subscriber.
+    TraceSubscribe {
+        /// Target session.
+        session: SessionId,
+        /// Where rendered trace lines go (bounded, drop-oldest).
+        sink: Arc<TraceMailbox>,
         /// Acknowledges registration.
         reply: Sender<Result<(), String>>,
     },
@@ -281,6 +295,24 @@ impl Shard {
             } => {
                 let _ = reply.send(self.with_session(session, |s| s.subscribe(sink)));
             }
+            Command::TraceSubscribe {
+                session,
+                sink,
+                reply,
+            } => {
+                let res = self
+                    .with_session(session, |s| s.subscribe_trace(sink))
+                    .and_then(|observed| {
+                        if observed {
+                            Ok(())
+                        } else {
+                            Err(format!(
+                                "session {session} was not opened with \"observe\":true"
+                            ))
+                        }
+                    });
+                let _ = reply.send(res);
+            }
             Command::Stats { session, reply } => {
                 let selected: Vec<&Session> = match session {
                     Some(id) => self.sessions.get(&id).into_iter().collect(),
@@ -288,6 +320,7 @@ impl Shard {
                 };
                 let mut stats = ShardStats {
                     counters: self.counters,
+                    queue_depth: self.sessions.values().map(|s| s.queue_len() as u64).sum(),
                     ..ShardStats::default()
                 };
                 for s in selected {

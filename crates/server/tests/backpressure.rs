@@ -22,7 +22,7 @@ fn tiny_queue_server(policy: BackpressurePolicy) -> Server {
 fn drop_oldest_counts_drops_and_keeps_the_newest_events() {
     let server = tiny_queue_server(BackpressurePolicy::DropOldest);
     let s = server
-        .open(ProgramSpec::Builtin("mouse-latest"), None, None)
+        .open(ProgramSpec::Builtin("mouse-latest"), None, None, false)
         .unwrap()
         .session;
 
@@ -46,7 +46,7 @@ fn drop_oldest_counts_drops_and_keeps_the_newest_events() {
 fn coalesce_merges_same_input_events_and_keeps_distinct_inputs() {
     let server = tiny_queue_server(BackpressurePolicy::Coalesce);
     let s = server
-        .open(ProgramSpec::Builtin("mouse-sum"), None, None)
+        .open(ProgramSpec::Builtin("mouse-sum"), None, None, false)
         .unwrap()
         .session;
 
@@ -75,7 +75,7 @@ fn coalesce_merges_same_input_events_and_keeps_distinct_inputs() {
 fn unknown_inputs_are_ignored_not_fatal() {
     let server = tiny_queue_server(BackpressurePolicy::Block);
     let s = server
-        .open(ProgramSpec::Builtin("counter"), None, None)
+        .open(ProgramSpec::Builtin("counter"), None, None, false)
         .unwrap()
         .session;
     let batch: Vec<(String, PlainValue)> = vec![
@@ -94,11 +94,11 @@ fn unknown_inputs_are_ignored_not_fatal() {
 fn poisoned_session_recovers_and_the_shard_stays_live() {
     let server = tiny_queue_server(BackpressurePolicy::Block);
     let healthy = server
-        .open(ProgramSpec::Builtin("counter"), None, None)
+        .open(ProgramSpec::Builtin("counter"), None, None, false)
         .unwrap()
         .session;
     let doomed = server
-        .open(ProgramSpec::Builtin("crashy"), None, None)
+        .open(ProgramSpec::Builtin("crashy"), None, None, false)
         .unwrap()
         .session;
 

@@ -44,7 +44,7 @@ fn concurrent_sessions_match_single_session_replay() {
     for _ in 0..SESSIONS {
         ids.push(
             server
-                .open(ProgramSpec::Builtin(program), None, None)
+                .open(ProgramSpec::Builtin(program), None, None, false)
                 .unwrap()
                 .session,
         );
@@ -102,7 +102,7 @@ fn mixed_programs_share_the_pool_without_interference() {
         .iter()
         .map(|p| {
             server
-                .open(ProgramSpec::Builtin(p), None, None)
+                .open(ProgramSpec::Builtin(p), None, None, false)
                 .unwrap()
                 .session
         })
@@ -137,7 +137,7 @@ fn subscribers_see_every_change_in_order() {
         ..ServerConfig::default()
     });
     let s = server
-        .open(ProgramSpec::Builtin("counter"), None, None)
+        .open(ProgramSpec::Builtin("counter"), None, None, false)
         .unwrap()
         .session;
     let rx = server.subscribe(s).unwrap();

@@ -19,7 +19,7 @@ fn crashy_session_recovers_in_place_with_subscribers_intact() {
         idle_timeout: None,
     });
     let s = server
-        .open(ProgramSpec::Builtin("crashy"), None, None)
+        .open(ProgramSpec::Builtin("crashy"), None, None, false)
         .unwrap()
         .session;
     let rx = server.subscribe(s).unwrap();
@@ -86,11 +86,14 @@ fn injected_crashes_match_uninterrupted_synchronous_replay() {
                 ..RestartPolicy::default()
             },
             faults,
+            // Trace under fire: recovery must re-attach the tracer and
+            // keep outputs byte-identical to the crash-free replay.
+            observe: true,
         },
         idle_timeout: None,
     });
     let s = server
-        .open(ProgramSpec::Builtin("chaos"), None, None)
+        .open(ProgramSpec::Builtin("chaos"), None, None, false)
         .unwrap()
         .session;
 
@@ -147,7 +150,7 @@ fn budget_exhaustion_closes_with_recovery_failed() {
         idle_timeout: None,
     });
     let s = server
-        .open(ProgramSpec::Builtin("crashy"), None, None)
+        .open(ProgramSpec::Builtin("crashy"), None, None, false)
         .unwrap()
         .session;
     let rx = server.subscribe(s).unwrap();

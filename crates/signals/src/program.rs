@@ -13,11 +13,12 @@
 //! freedom that `async` deliberately introduces.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 use std::time::Duration;
 
 use elm_runtime::{
     ConcurrentRuntime, Occurrence, OutputEvent, RunError, RuntimeSnapshot, SignalGraph,
-    StatsSnapshot, SyncRuntime, Trace, Value,
+    StatsSnapshot, SyncRuntime, Trace, Tracer, Value,
 };
 
 use crate::convert::SignalValue;
@@ -78,9 +79,27 @@ impl<T: SignalValue> Program<T> {
 
     /// Starts executing on `engine`.
     pub fn start(&self, engine: Engine) -> Running<T> {
+        self.start_observed(engine, None)
+    }
+
+    /// Starts executing on `engine` with an optional causal [`Tracer`]
+    /// attached: every ingress event gets a trace id and each node that
+    /// computes records a span, so the propagation of a single event can be
+    /// reconstructed as a span tree afterwards.
+    ///
+    /// Passing `None` is exactly [`Program::start`] — no tracing overhead.
+    pub fn start_observed(&self, engine: Engine, tracer: Option<Arc<Tracer>>) -> Running<T> {
         let inner = match engine {
-            Engine::Concurrent => Inner::Concurrent(ConcurrentRuntime::start(&self.graph)),
-            Engine::Synchronous => Inner::Synchronous(SyncRuntime::new(&self.graph)),
+            Engine::Concurrent => {
+                Inner::Concurrent(ConcurrentRuntime::start_with_tracer(&self.graph, tracer))
+            }
+            Engine::Synchronous => {
+                let mut rt = SyncRuntime::new(&self.graph);
+                if let Some(t) = tracer {
+                    rt.set_tracer(t);
+                }
+                Inner::Synchronous(rt)
+            }
         };
         Running {
             inner,
@@ -283,6 +302,14 @@ impl<T: SignalValue> Running<T> {
         }
     }
 
+    /// The tracer attached at [`Program::start_observed`] time, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        match &self.inner {
+            Inner::Concurrent(rt) => rt.tracer(),
+            Inner::Synchronous(rt) => rt.tracer(),
+        }
+    }
+
     /// Execution counters.
     pub fn stats(&self) -> StatsSnapshot {
         match &self.inner {
@@ -415,6 +442,25 @@ mod tests {
         assert!(conc.snapshot().is_none());
         assert!(conc.restore(&snap).is_err());
         conc.stop();
+    }
+
+    #[test]
+    fn start_observed_records_spans_on_both_engines() {
+        let (prog, h) = counter_program();
+        for engine in [Engine::Synchronous, Engine::Concurrent] {
+            let tracer = Tracer::for_graph(prog.graph());
+            tracer.set_enabled(true);
+            let mut run = prog.start_observed(engine, Some(tracer.clone()));
+            run.send(&h, ()).unwrap();
+            run.drain_changes().unwrap();
+            run.stop();
+            let spans = tracer.drain_spans();
+            assert!(!spans.is_empty(), "{engine:?} recorded no spans");
+            assert!(spans.iter().all(|s| !s.trace.is_none()), "{engine:?}");
+        }
+        // Plain start attaches no tracer.
+        let run = prog.start(Engine::Synchronous);
+        assert!(run.tracer().is_none());
     }
 
     #[test]
