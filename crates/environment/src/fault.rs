@@ -21,6 +21,10 @@ pub const STREAM_CRASH: u64 = 2;
 pub const STREAM_JOURNAL: u64 = 3;
 /// RNG stream selector: shard-worker stalls.
 pub const STREAM_STALL: u64 = 4;
+/// RNG stream selector: injected runaway/allocator-bomb programs.
+pub const STREAM_RUNAWAY: u64 = 5;
+/// RNG stream selector: event-flood bursts (overload traffic).
+pub const STREAM_FLOOD: u64 = 6;
 
 /// Seeded probabilities for every injectable fault class.
 ///
@@ -48,6 +52,15 @@ pub struct FaultPlan {
     pub burst_len: usize,
     /// Per-append probability that a journal append fails.
     pub journal_fail: f64,
+    /// Per-workload-step probability of an event flood: a burst of
+    /// `flood_len` back-to-back events simulating an overloading client.
+    pub flood: f64,
+    /// Events per injected flood.
+    pub flood_len: usize,
+    /// Per-event probability that a workload step triggers a runaway
+    /// (fuel-exhausting) or allocator-bomb code path in the target
+    /// program.
+    pub runaway: f64,
 }
 
 impl FaultPlan {
@@ -62,6 +75,9 @@ impl FaultPlan {
             queue_full_burst: 0.0,
             burst_len: 0,
             journal_fail: 0.0,
+            flood: 0.0,
+            flood_len: 0,
+            runaway: 0.0,
         }
     }
 
@@ -77,6 +93,23 @@ impl FaultPlan {
             queue_full_burst: 0.002,
             burst_len: 48,
             journal_fail: 0.001,
+            flood: 0.0,
+            flood_len: 0,
+            runaway: 0.0,
+        }
+    }
+
+    /// The overload mix used by `loadgen --overload`: sustained event
+    /// floods plus runaway/allocator-bomb triggers, and none of the
+    /// crash-recovery chaos (overload runs measure governance, not
+    /// recovery).
+    pub fn flood(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            flood: 0.05,
+            flood_len: 96,
+            runaway: 0.02,
+            ..FaultPlan::disabled()
         }
     }
 
@@ -87,6 +120,35 @@ impl FaultPlan {
             || self.stall > 0.0
             || self.queue_full_burst > 0.0
             || self.journal_fail > 0.0
+            || self.flood > 0.0
+            || self.runaway > 0.0
+    }
+
+    /// Composes two plans: probabilities, burst sizes, and stall lengths
+    /// combine element-wise by maximum, and the seed is taken from `self`
+    /// (`other.seed` only breaks the tie when `self` has no active fault
+    /// class — so merging a live chaos plan with a flood preset keeps the
+    /// chaos schedule reproducible). Merging is what lets `loadgen` apply
+    /// chaos *and* flood streams in one run without hand-assembling a
+    /// combined plan.
+    pub fn merge(&self, other: &FaultPlan) -> FaultPlan {
+        FaultPlan {
+            seed: if self.is_active() || other.seed == 0 {
+                self.seed
+            } else {
+                other.seed
+            },
+            node_panic: self.node_panic.max(other.node_panic),
+            crash: self.crash.max(other.crash),
+            stall: self.stall.max(other.stall),
+            stall_ms: self.stall_ms.max(other.stall_ms),
+            queue_full_burst: self.queue_full_burst.max(other.queue_full_burst),
+            burst_len: self.burst_len.max(other.burst_len),
+            journal_fail: self.journal_fail.max(other.journal_fail),
+            flood: self.flood.max(other.flood),
+            flood_len: self.flood_len.max(other.flood_len),
+            runaway: self.runaway.max(other.runaway),
+        }
     }
 
     /// A deterministic RNG for one consumer: `stream` is one of the
@@ -133,5 +195,38 @@ mod tests {
         let mut rng = other.rng(STREAM_CRASH, 3);
         let alt: Vec<u64> = (0..8).map(|_| rng.gen::<u64>()).collect();
         assert_ne!(draw(STREAM_CRASH, 3), alt);
+    }
+
+    #[test]
+    fn merge_composes_elementwise_and_keeps_the_live_seed() {
+        let chaos = FaultPlan::chaos(42);
+        let flood = FaultPlan::flood(99);
+        let merged = chaos.merge(&flood);
+
+        // Element-wise max: every chaos class survives, flood classes join.
+        assert_eq!(merged.node_panic, chaos.node_panic);
+        assert_eq!(merged.flood, flood.flood);
+        assert_eq!(merged.flood_len, flood.flood_len);
+        assert_eq!(merged.runaway, flood.runaway);
+        assert!(merged.is_active());
+
+        // Seed determinism pins to the left (active) plan: the merged
+        // plan's crash stream is bit-identical to the chaos plan's.
+        assert_eq!(merged.seed, 42);
+        let draw = |plan: &FaultPlan| -> Vec<u64> {
+            let mut rng = plan.rng(STREAM_CRASH, 3);
+            (0..8).map(|_| rng.gen::<u64>()).collect()
+        };
+        assert_eq!(draw(&merged), draw(&chaos));
+        // And the flood stream is deterministic across identical merges.
+        let again = chaos.merge(&flood);
+        let mut a = merged.rng(STREAM_FLOOD, 1);
+        let mut b = again.rng(STREAM_FLOOD, 1);
+        let fa: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let fb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(fa, fb);
+
+        // Merging onto an inactive plan adopts the active seed.
+        assert_eq!(FaultPlan::disabled().merge(&flood).seed, 99);
     }
 }

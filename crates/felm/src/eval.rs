@@ -23,6 +23,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::ast::{BinOp, Expr, ExprKind, ListOp, Pattern};
+use crate::budget::{Meter, Trap};
 
 /// Errors of stage-one evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,6 +37,9 @@ pub enum EvalError {
     /// The fuel bound was exhausted (defensive; well-typed FElm is
     /// strongly normalizing since the calculus has no recursion).
     OutOfFuel,
+    /// A metered evaluation exhausted its [`crate::budget::Budget`] —
+    /// raised only by the `_metered` entry points.
+    Trap(Trap),
 }
 
 impl fmt::Display for EvalError {
@@ -43,11 +47,18 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::Stuck { reason } => write!(f, "evaluation stuck: {reason}"),
             EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+            EvalError::Trap(t) => write!(f, "resource trap: {t}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<Trap> for EvalError {
+    fn from(t: Trap) -> EvalError {
+        EvalError::Trap(t)
+    }
+}
 
 /// True for simple values `v ::= () | n | λx. e` (plus the full-language
 /// float/string literals and pairs of values).
@@ -1181,6 +1192,102 @@ pub fn normalize(e: &Expr, fuel: u64) -> Result<Expr, EvalError> {
         }
     }
     Err(EvalError::OutOfFuel)
+}
+
+/// Size and depth of a term, for small-step resource accounting: `cells`
+/// counts AST nodes plus the length of string literals and collections
+/// (so a doubling string shows up as growing allocation, not one node),
+/// `depth` is the maximum syntactic nesting.
+pub fn expr_cost(e: &Expr) -> (u64, u64) {
+    fn sub(children: &[&Expr]) -> (u64, u64) {
+        let mut cells = 0u64;
+        let mut depth = 0u64;
+        for c in children {
+            let (cc, cd) = expr_cost(c);
+            cells = cells.saturating_add(cc);
+            depth = depth.max(cd);
+        }
+        (cells, depth)
+    }
+    let (cells, depth) = match &e.kind {
+        ExprKind::Unit
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Var(_)
+        | ExprKind::Input(_)
+        | ExprKind::Ctor(_) => (0, 0),
+        ExprKind::Str(s) => (s.len() as u64, 0),
+        ExprKind::Lam { body, .. } => expr_cost(body),
+        ExprKind::App(a, b) | ExprKind::BinOp(_, a, b) | ExprKind::Pair(a, b) => {
+            sub(&[a.as_ref(), b.as_ref()])
+        }
+        ExprKind::Ith(a, b) => sub(&[a.as_ref(), b.as_ref()]),
+        ExprKind::If(c, t, f) => sub(&[c.as_ref(), t.as_ref(), f.as_ref()]),
+        ExprKind::Let { value, body, .. } => sub(&[value.as_ref(), body.as_ref()]),
+        ExprKind::Fst(x) | ExprKind::Snd(x) | ExprKind::ListOp(_, x) | ExprKind::Async(x) => {
+            expr_cost(x)
+        }
+        ExprKind::Field(x, _) => expr_cost(x),
+        ExprKind::List(items) | ExprKind::CtorApp(_, items) => {
+            let (c, d) = sub(&items.iter().collect::<Vec<_>>());
+            (c.saturating_add(items.len() as u64), d)
+        }
+        ExprKind::Record(fields) => {
+            let (c, d) = sub(&fields.iter().map(|(_, v)| v).collect::<Vec<_>>());
+            (c.saturating_add(fields.len() as u64), d)
+        }
+        ExprKind::Lift { func, args } => {
+            let mut children: Vec<&Expr> = vec![func];
+            children.extend(args.iter());
+            sub(&children)
+        }
+        ExprKind::Foldp { func, init, signal } => {
+            sub(&[func.as_ref(), init.as_ref(), signal.as_ref()])
+        }
+        ExprKind::Case {
+            scrutinee,
+            branches,
+        } => {
+            let mut children: Vec<&Expr> = vec![scrutinee];
+            children.extend(branches.iter().map(|b| &b.body));
+            sub(&children)
+        }
+        ExprKind::SignalPrim { args, .. } => sub(&args.iter().collect::<Vec<_>>()),
+    };
+    (cells.saturating_add(1), depth.saturating_add(1))
+}
+
+/// [`normalize`] under a [`Meter`]: every reduction step charges one fuel
+/// tick, term growth is charged as allocation, and the evolving term's
+/// syntactic depth is checked against the budget — so an adversarial
+/// program traps with a typed [`Trap`] instead of diverging or exhausting
+/// memory.
+///
+/// With an unlimited meter this is step-for-step identical to
+/// [`normalize`] with unbounded fuel (property-tested in
+/// `tests/fuel_determinism.rs`).
+///
+/// # Errors
+///
+/// Propagates [`EvalError::Stuck`] and returns [`EvalError::Trap`] when
+/// the meter's budget is exhausted.
+pub fn normalize_metered(e: &Expr, meter: &mut Meter) -> Result<Expr, EvalError> {
+    let mut cur = e.clone();
+    let (mut prev_cells, depth) = expr_cost(&cur);
+    meter.check_depth(depth)?;
+    loop {
+        meter.tick()?;
+        match step(&cur)? {
+            Some(next) => {
+                let (cells, depth) = expr_cost(&next);
+                meter.check_depth(depth)?;
+                meter.alloc(cells.saturating_sub(prev_cells))?;
+                prev_cells = cells;
+                cur = next;
+            }
+            None => return Ok(cur),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::ast::{BinOp, Expr, ExprKind, ListOp, Pattern};
+use crate::budget::Meter;
 use crate::eval::EvalError;
 
 /// A runtime value of the big-step machine.
@@ -174,61 +175,99 @@ fn stuck<T>(reason: impl Into<String>) -> Result<T, EvalError> {
 /// assert_eq!(eval(&Env::empty(), &e).unwrap(), RtValue::Int(43));
 /// ```
 pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
+    eval_metered(env, e, &mut Meter::unlimited())
+}
+
+/// [`eval`] under a [`Meter`]: every node visit charges one fuel tick,
+/// every value construction charges allocation (strings/lists/records by
+/// length), and evaluation nesting counts against the depth budget, so an
+/// adversarial term traps with a typed [`crate::budget::Trap`] instead of
+/// spinning or exhausting memory. With an unlimited meter this is the
+/// exact same computation as [`eval`] (which is this function with
+/// [`Meter::unlimited`]).
+///
+/// # Errors
+///
+/// [`EvalError::Stuck`] on ill-typed terms, [`EvalError::Trap`] on budget
+/// exhaustion.
+pub fn eval_metered(env: &Env, e: &Expr, meter: &mut Meter) -> Result<RtValue, EvalError> {
+    meter.tick()?;
+    meter.enter()?;
+    let r = eval_node(env, e, meter);
+    meter.leave();
+    r
+}
+
+fn eval_node(env: &Env, e: &Expr, meter: &mut Meter) -> Result<RtValue, EvalError> {
     match &e.kind {
         ExprKind::Unit => Ok(RtValue::Unit),
         ExprKind::Int(n) => Ok(RtValue::Int(*n)),
         ExprKind::Float(x) => Ok(RtValue::Float(*x)),
-        ExprKind::Str(s) => Ok(RtValue::Str(Arc::from(s.as_str()))),
+        ExprKind::Str(s) => {
+            meter.alloc(1 + s.len() as u64)?;
+            Ok(RtValue::Str(Arc::from(s.as_str())))
+        }
         ExprKind::Var(x) => match env.lookup(x) {
             Some(v) => Ok(v.clone()),
             None => stuck(format!("unbound variable {x}")),
         },
-        ExprKind::Lam { param, body, .. } => Ok(RtValue::Closure {
-            param: param.clone(),
-            body: Arc::new((**body).clone()),
-            env: env.clone(),
-        }),
+        ExprKind::Lam { param, body, .. } => {
+            meter.alloc(1)?;
+            Ok(RtValue::Closure {
+                param: param.clone(),
+                body: Arc::new((**body).clone()),
+                env: env.clone(),
+            })
+        }
         ExprKind::App(f, a) => {
-            let fv = eval(env, f)?;
-            let av = eval(env, a)?;
-            apply(fv, av)
+            let fv = eval_metered(env, f, meter)?;
+            let av = eval_metered(env, a, meter)?;
+            apply_metered(fv, av, meter)
         }
         ExprKind::BinOp(op, a, b) => {
-            let av = eval(env, a)?;
-            let bv = eval(env, b)?;
-            delta(*op, &av, &bv)
+            let av = eval_metered(env, a, meter)?;
+            let bv = eval_metered(env, b, meter)?;
+            delta(*op, &av, &bv, meter)
         }
-        ExprKind::If(c, t, f) => match eval(env, c)? {
+        ExprKind::If(c, t, f) => match eval_metered(env, c, meter)? {
             RtValue::Int(n) => {
                 if n != 0 {
-                    eval(env, t)
+                    eval_metered(env, t, meter)
                 } else {
-                    eval(env, f)
+                    eval_metered(env, f, meter)
                 }
             }
             other => stuck(format!("if-condition is not an integer: {other:?}")),
         },
         ExprKind::Let { name, value, body } => {
-            let v = eval(env, value)?;
-            eval(&env.bind(name.clone(), v), body)
+            let v = eval_metered(env, value, meter)?;
+            meter.alloc(1)?;
+            eval_metered(&env.bind(name.clone(), v), body, meter)
         }
-        ExprKind::Pair(a, b) => Ok(RtValue::Pair(Arc::new((eval(env, a)?, eval(env, b)?)))),
-        ExprKind::Fst(p) => match eval(env, p)? {
+        ExprKind::Pair(a, b) => {
+            meter.alloc(1)?;
+            Ok(RtValue::Pair(Arc::new((
+                eval_metered(env, a, meter)?,
+                eval_metered(env, b, meter)?,
+            ))))
+        }
+        ExprKind::Fst(p) => match eval_metered(env, p, meter)? {
             RtValue::Pair(pr) => Ok(pr.0.clone()),
             other => stuck(format!("fst of a non-pair: {other:?}")),
         },
-        ExprKind::Snd(p) => match eval(env, p)? {
+        ExprKind::Snd(p) => match eval_metered(env, p, meter)? {
             RtValue::Pair(pr) => Ok(pr.1.clone()),
             other => stuck(format!("snd of a non-pair: {other:?}")),
         },
         ExprKind::List(items) => {
+            meter.alloc(1 + items.len() as u64)?;
             let vals = items
                 .iter()
-                .map(|i| eval(env, i))
+                .map(|i| eval_metered(env, i, meter))
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(RtValue::List(Arc::new(vals)))
         }
-        ExprKind::ListOp(op, l) => match eval(env, l)? {
+        ExprKind::ListOp(op, l) => match eval_metered(env, l, meter)? {
             RtValue::List(items) => match op {
                 ListOp::Head => match items.first() {
                     Some(h) => Ok(h.clone()),
@@ -238,6 +277,7 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
                     if items.is_empty() {
                         stuck("tail of the empty list")
                     } else {
+                        meter.alloc(items.len() as u64)?;
                         Ok(RtValue::List(Arc::new(items[1..].to_vec())))
                     }
                 }
@@ -247,11 +287,11 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
             other => stuck(format!("{} of a non-list: {other:?}", op.keyword())),
         },
         ExprKind::Ith(index, l) => {
-            let i = match eval(env, index)? {
+            let i = match eval_metered(env, index, meter)? {
                 RtValue::Int(n) => n,
                 other => return stuck(format!("ith index is not an int: {other:?}")),
             };
-            match eval(env, l)? {
+            match eval_metered(env, l, meter)? {
                 RtValue::List(items) => {
                     if i < 0 || i as usize >= items.len() {
                         stuck(format!(
@@ -266,13 +306,14 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
             }
         }
         ExprKind::Record(fields) => {
+            meter.alloc(1 + fields.len() as u64)?;
             let mut out = std::collections::BTreeMap::new();
             for (name, value) in fields {
-                out.insert(name.clone(), eval(env, value)?);
+                out.insert(name.clone(), eval_metered(env, value, meter)?);
             }
             Ok(RtValue::Record(Arc::new(out)))
         }
-        ExprKind::Field(rec, name) => match eval(env, rec)? {
+        ExprKind::Field(rec, name) => match eval_metered(env, rec, meter)? {
             RtValue::Record(fields) => match fields.get(name) {
                 Some(v) => Ok(v.clone()),
                 None => stuck(format!("record has no field `{name}`")),
@@ -283,9 +324,10 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
             "unresolved constructor `{name}` (run Adts::resolve first)"
         )),
         ExprKind::CtorApp(name, args) => {
+            meter.alloc(1 + args.len() as u64)?;
             let vals = args
                 .iter()
-                .map(|a| eval(env, a))
+                .map(|a| eval_metered(env, a, meter))
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(RtValue::Tagged {
                 tag: Arc::from(name.as_str()),
@@ -296,7 +338,7 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
             scrutinee,
             branches,
         } => {
-            let value = eval(env, scrutinee)?;
+            let value = eval_metered(env, scrutinee, meter)?;
             for b in branches {
                 match (&b.pattern, &value) {
                     (Pattern::Ctor { name, binders }, RtValue::Tagged { tag, args })
@@ -308,13 +350,13 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
                                 env2 = env2.bind(binder.clone(), arg.clone());
                             }
                         }
-                        return eval(&env2, &b.body);
+                        return eval_metered(&env2, &b.body, meter);
                     }
                     (Pattern::Ctor { .. }, _) => continue,
                     (Pattern::Var(x), _) => {
-                        return eval(&env.bind(x.clone(), value.clone()), &b.body)
+                        return eval_metered(&env.bind(x.clone(), value.clone()), &b.body, meter)
                     }
-                    (Pattern::Wildcard, _) => return eval(env, &b.body),
+                    (Pattern::Wildcard, _) => return eval_metered(env, &b.body, meter),
                 }
             }
             stuck(format!("no case branch matched {value:?}"))
@@ -333,17 +375,33 @@ pub fn eval(env: &Env, e: &Expr) -> Result<RtValue, EvalError> {
 ///
 /// [`EvalError::Stuck`] if `f` is not a closure.
 pub fn apply(f: RtValue, arg: RtValue) -> Result<RtValue, EvalError> {
+    apply_metered(f, arg, &mut Meter::unlimited())
+}
+
+/// [`apply`] under a [`Meter`] (see [`eval_metered`]).
+///
+/// # Errors
+///
+/// [`EvalError::Stuck`] if `f` is not a closure, [`EvalError::Trap`] on
+/// budget exhaustion.
+pub fn apply_metered(f: RtValue, arg: RtValue, meter: &mut Meter) -> Result<RtValue, EvalError> {
     match f {
-        RtValue::Closure { param, body, env } => eval(&env.bind(param, arg), &body),
+        RtValue::Closure { param, body, env } => eval_metered(&env.bind(param, arg), &body, meter),
         other => stuck(format!("application of a non-function: {other:?}")),
     }
 }
 
-fn delta(op: BinOp, a: &RtValue, b: &RtValue) -> Result<RtValue, EvalError> {
+fn delta(op: BinOp, a: &RtValue, b: &RtValue, meter: &mut Meter) -> Result<RtValue, EvalError> {
     use RtValue::{Float, Int, Str};
     let r = match (op, a, b) {
-        (BinOp::Append, Str(x), Str(y)) => Str(Arc::from(format!("{x}{y}").as_str())),
+        (BinOp::Append, Str(x), Str(y)) => {
+            // Charge before materializing: an append chain must trap on the
+            // budget, not take the memory down with it.
+            meter.alloc(x.len() as u64 + y.len() as u64)?;
+            Str(Arc::from(format!("{x}{y}").as_str()))
+        }
         (BinOp::Cons, head, RtValue::List(items)) => {
+            meter.alloc(1 + items.len() as u64)?;
             let mut out = Vec::with_capacity(items.len() + 1);
             out.push(head.clone());
             out.extend(items.iter().cloned());

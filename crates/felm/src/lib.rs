@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod budget;
 pub mod check;
 pub mod env;
 pub mod eval;

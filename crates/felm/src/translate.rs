@@ -121,22 +121,72 @@ pub fn expr_to_value(e: &Expr) -> Option<Value> {
 /// property-tested, and [`apply_function_small_step`] keeps the
 /// specification path available (the `interpreter` bench compares them).
 ///
+/// When the hosting scheduler has activated a per-event resource
+/// governor ([`elm_runtime::governor`]), the application runs metered
+/// against the event's remaining fuel/allocation pools and deadline; a
+/// budget trap is recorded on the governor (the scheduler rolls the
+/// event back) and a `Unit` sentinel is returned instead of panicking.
+/// Ungoverned applications evaluate unmetered, exactly as before.
+///
 /// # Panics
 ///
 /// Panics if application gets stuck or produces a non-data value — both
 /// impossible for nodes built from well-typed programs; a panic here
 /// indicates translation of an unchecked term.
 pub fn apply_function(func: &Expr, args: &[Value]) -> Value {
-    let mut cur = crate::eval_big::eval(&crate::eval_big::Env::empty(), func)
-        .unwrap_or_else(|err| panic!("embedded FElm function got stuck: {err}"));
-    for a in args {
-        let arg = crate::eval_big::from_runtime_value(a)
-            .unwrap_or_else(|| panic!("runtime value {a:?} is outside FElm's data universe"));
-        cur = crate::eval_big::apply(cur, arg)
+    use crate::budget::{Budget, Meter, Trap};
+    use crate::eval::EvalError;
+    use elm_runtime::governor;
+
+    let Some(view) = governor::active() else {
+        // Ungoverned fast path: no accounting at all.
+        let mut cur = crate::eval_big::eval(&crate::eval_big::Env::empty(), func)
             .unwrap_or_else(|err| panic!("embedded FElm function got stuck: {err}"));
+        for a in args {
+            let arg = crate::eval_big::from_runtime_value(a)
+                .unwrap_or_else(|| panic!("runtime value {a:?} is outside FElm's data universe"));
+            cur = crate::eval_big::apply(cur, arg)
+                .unwrap_or_else(|err| panic!("embedded FElm function got stuck: {err}"));
+        }
+        return crate::eval_big::to_runtime_value(&cur)
+            .unwrap_or_else(|| panic!("embedded FElm function returned a non-data value"));
+    };
+
+    // Governed path: evaluate against the event's *remaining* pools so a
+    // budget bounds the total work of the event, not of each node.
+    let mut meter = Meter::new(Budget {
+        fuel: view.fuel_left,
+        max_alloc_cells: view.alloc_left,
+        max_depth: view.max_depth,
+    })
+    .with_deadline(view.deadline);
+    let result = (|| {
+        let mut cur =
+            crate::eval_big::eval_metered(&crate::eval_big::Env::empty(), func, &mut meter)?;
+        for a in args {
+            let arg = crate::eval_big::from_runtime_value(a)
+                .unwrap_or_else(|| panic!("runtime value {a:?} is outside FElm's data universe"));
+            cur = crate::eval_big::apply_metered(cur, arg, &mut meter)?;
+        }
+        Ok(cur)
+    })();
+    governor::consume(meter.fuel_used(), meter.alloc_cells());
+    match result {
+        Ok(cur) => crate::eval_big::to_runtime_value(&cur)
+            .unwrap_or_else(|| panic!("embedded FElm function returned a non-data value")),
+        Err(EvalError::Trap(t)) => {
+            governor::record_trap(match t {
+                Trap::OutOfFuel => governor::TrapKind::OutOfFuel,
+                Trap::OutOfMemory => governor::TrapKind::OutOfMemory,
+                Trap::DepthExceeded => governor::TrapKind::DepthExceeded,
+                Trap::DeadlineExceeded => governor::TrapKind::DeadlineExceeded,
+            });
+            // Sentinel; the scheduler sees the recorded trap and rolls
+            // the whole event back, so this value is never observed.
+            Value::Unit
+        }
+        Err(err) => panic!("embedded FElm function got stuck: {err}"),
     }
-    crate::eval_big::to_runtime_value(&cur)
-        .unwrap_or_else(|| panic!("embedded FElm function returned a non-data value"))
 }
 
 /// [`apply_function`] by literal Fig. 6 β-reduction — the specification

@@ -15,6 +15,7 @@
 use crate::graph::NodeId;
 use crate::tracing::TraceId;
 use crate::value::Value;
+use std::time::Instant;
 
 /// A stimulus handed to the global event dispatcher: "source `source` has a
 /// new value". For input sources the payload travels with the occurrence; for
@@ -32,6 +33,13 @@ pub struct Occurrence {
     /// `async`-generated occurrences inherit the id of the event whose
     /// propagation buffered their payload.
     pub trace: TraceId,
+    /// Wall-clock deadline for processing this occurrence. When set, node
+    /// computation checks it between (and, for metered evaluators, inside)
+    /// reductions; blowing it traps only this event with
+    /// [`crate::governor::TrapKind::DeadlineExceeded`]. `None` (the
+    /// default) means the scheduler's configured per-event timeout, or no
+    /// deadline at all.
+    pub deadline: Option<Instant>,
 }
 
 impl Occurrence {
@@ -41,6 +49,7 @@ impl Occurrence {
             source,
             payload: Some(value.into()),
             trace: TraceId::NONE,
+            deadline: None,
         }
     }
 
@@ -50,12 +59,19 @@ impl Occurrence {
             source,
             payload: None,
             trace: TraceId::NONE,
+            deadline: None,
         }
     }
 
     /// The same occurrence stamped with a trace id.
     pub fn with_trace(mut self, trace: TraceId) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// The same occurrence with a processing deadline attached.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 }

@@ -1,0 +1,304 @@
+//! Ambient per-event resource governor.
+//!
+//! The runtime hosts node functions it cannot inspect — compiled FElm
+//! closures among them — so per-event resource limits have to be enforced
+//! *inside* the evaluation those closures perform. This module provides
+//! the contract between the scheduler and the evaluators without coupling
+//! their crates: before running an event's node computations, the
+//! scheduler [`enter`]s a governor carrying the event's remaining fuel,
+//! allocation pool, depth bound, and deadline; a metered evaluator calls
+//! [`active`] to discover the limits, draws the pools down with
+//! [`consume`], and reports exhaustion with [`record_trap`]; after the
+//! event the scheduler collects the verdict with [`take_trap`].
+//!
+//! The governor is thread-local (one event is dispatched at a time per
+//! runtime, on one thread) and re-entrant: nested scopes save and restore
+//! the outer state, so a governed runtime embedded in another governed
+//! computation stays isolated.
+//!
+//! Fuel and allocation pools are *shared across all nodes of one event*:
+//! a budget bounds the total work an event may cause, not the work per
+//! node, so a graph with many nodes cannot multiply an attacker's budget.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Per-event resource limits enforced by the governor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventLimits {
+    /// Total reduction steps / interpreter node visits allowed per event,
+    /// summed over every node the event recomputes.
+    pub fuel: u64,
+    /// Total cells an event may allocate (scalars count 1,
+    /// strings/lists/records their length).
+    pub max_alloc_cells: u64,
+    /// Maximum evaluation nesting depth inside any single node function.
+    pub max_depth: u64,
+}
+
+impl EventLimits {
+    /// Limits that never trap.
+    pub fn unlimited() -> EventLimits {
+        EventLimits {
+            fuel: u64::MAX,
+            max_alloc_cells: u64::MAX,
+            max_depth: u64::MAX,
+        }
+    }
+}
+
+impl Default for EventLimits {
+    /// Defaults matching `felm::budget::Budget::default()`: generous for
+    /// honest programs, milliseconds-to-trap for runaways.
+    fn default() -> EventLimits {
+        EventLimits {
+            fuel: 2_000_000,
+            max_alloc_cells: 16 * 1024 * 1024,
+            max_depth: 4096,
+        }
+    }
+}
+
+/// The kind of resource exhaustion that stopped an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// The per-event fuel pool ran out.
+    OutOfFuel,
+    /// The per-event allocation pool ran out.
+    OutOfMemory,
+    /// A node function nested deeper than the depth bound.
+    DepthExceeded,
+    /// The event's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl TrapKind {
+    /// Stable lower-case label for metrics and wire errors.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrapKind::OutOfFuel => "out_of_fuel",
+            TrapKind::OutOfMemory => "out_of_memory",
+            TrapKind::DepthExceeded => "depth_exceeded",
+            TrapKind::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    /// All kinds, in metrics-rendering order.
+    pub const ALL: [TrapKind; 4] = [
+        TrapKind::OutOfFuel,
+        TrapKind::OutOfMemory,
+        TrapKind::DepthExceeded,
+        TrapKind::DeadlineExceeded,
+    ];
+}
+
+impl std::fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A metered evaluator's view of the active governor.
+#[derive(Clone, Copy, Debug)]
+pub struct GovernorView {
+    /// Fuel remaining in the event's shared pool.
+    pub fuel_left: u64,
+    /// Allocation cells remaining in the event's shared pool.
+    pub alloc_left: u64,
+    /// Depth bound for this node's evaluation.
+    pub max_depth: u64,
+    /// The event's wall-clock deadline, if any.
+    pub deadline: Option<Instant>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ActiveGovernor {
+    fuel_left: u64,
+    alloc_left: u64,
+    max_depth: u64,
+    deadline: Option<Instant>,
+    trap: Option<TrapKind>,
+}
+
+thread_local! {
+    static GOVERNOR: RefCell<Option<ActiveGovernor>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for one governed event; restores the previous governor (if
+/// any) on drop, so scopes nest safely.
+#[derive(Debug)]
+pub struct GovernorScope {
+    previous: Option<ActiveGovernor>,
+}
+
+impl Drop for GovernorScope {
+    fn drop(&mut self) {
+        GOVERNOR.with(|g| *g.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Activates a governor for the current thread with fresh pools drawn
+/// from `limits` and an optional wall-clock `deadline`. The returned
+/// scope must be kept alive for the duration of the event's node
+/// computations.
+pub fn enter(limits: EventLimits, deadline: Option<Instant>) -> GovernorScope {
+    GOVERNOR.with(|g| {
+        let previous = g.borrow_mut().replace(ActiveGovernor {
+            fuel_left: limits.fuel,
+            alloc_left: limits.max_alloc_cells,
+            max_depth: limits.max_depth,
+            deadline,
+            trap: None,
+        });
+        GovernorScope { previous }
+    })
+}
+
+/// The limits and remaining pools of the active governor, or `None` when
+/// the current computation is ungoverned (the common, zero-overhead
+/// case).
+pub fn active() -> Option<GovernorView> {
+    GOVERNOR.with(|g| {
+        g.borrow().map(|a| GovernorView {
+            fuel_left: a.fuel_left,
+            alloc_left: a.alloc_left,
+            max_depth: a.max_depth,
+            deadline: a.deadline,
+        })
+    })
+}
+
+/// Draws `fuel` and `alloc` down from the event's shared pools
+/// (saturating). Called by an evaluator after it finishes (or traps) so
+/// the *next* node computation of the same event sees the reduced pools.
+pub fn consume(fuel: u64, alloc: u64) {
+    GOVERNOR.with(|g| {
+        if let Some(a) = g.borrow_mut().as_mut() {
+            a.fuel_left = a.fuel_left.saturating_sub(fuel);
+            a.alloc_left = a.alloc_left.saturating_sub(alloc);
+        }
+    });
+}
+
+/// Records a trap on the active governor. The first trap of an event
+/// wins; later reports are ignored. A no-op when ungoverned.
+pub fn record_trap(kind: TrapKind) {
+    GOVERNOR.with(|g| {
+        if let Some(a) = g.borrow_mut().as_mut() {
+            if a.trap.is_none() {
+                a.trap = Some(kind);
+            }
+        }
+    });
+}
+
+/// Takes the recorded trap (clearing it), if any.
+pub fn take_trap() -> Option<TrapKind> {
+    GOVERNOR.with(|g| g.borrow_mut().as_mut().and_then(|a| a.trap.take()))
+}
+
+/// Peeks at the recorded trap without clearing it. The scheduler checks
+/// this between node computations to stop propagating a trapped event.
+pub fn trapped() -> Option<TrapKind> {
+    GOVERNOR.with(|g| g.borrow().and_then(|a| a.trap))
+}
+
+/// True when the active governor's deadline has passed. Used by the
+/// scheduler between node computations; evaluators check the deadline
+/// themselves on an amortized tick counter.
+pub fn deadline_blown(now: Instant) -> bool {
+    GOVERNOR.with(|g| {
+        g.borrow()
+            .and_then(|a| a.deadline)
+            .is_some_and(|d| now >= d)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ungoverned_thread_reports_nothing() {
+        assert!(active().is_none());
+        assert!(take_trap().is_none());
+        consume(10, 10); // no-op
+        record_trap(TrapKind::OutOfFuel); // no-op
+        assert!(take_trap().is_none());
+    }
+
+    #[test]
+    fn pools_draw_down_across_consumes() {
+        let _scope = enter(
+            EventLimits {
+                fuel: 100,
+                max_alloc_cells: 50,
+                max_depth: 8,
+            },
+            None,
+        );
+        let v = active().unwrap();
+        assert_eq!((v.fuel_left, v.alloc_left, v.max_depth), (100, 50, 8));
+        consume(60, 20);
+        let v = active().unwrap();
+        assert_eq!((v.fuel_left, v.alloc_left), (40, 30));
+        consume(1000, 1000); // saturates at zero
+        let v = active().unwrap();
+        assert_eq!((v.fuel_left, v.alloc_left), (0, 0));
+    }
+
+    #[test]
+    fn first_trap_wins_and_take_clears() {
+        let _scope = enter(EventLimits::default(), None);
+        record_trap(TrapKind::OutOfMemory);
+        record_trap(TrapKind::OutOfFuel);
+        assert_eq!(take_trap(), Some(TrapKind::OutOfMemory));
+        assert_eq!(take_trap(), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = enter(
+            EventLimits {
+                fuel: 7,
+                ..EventLimits::unlimited()
+            },
+            None,
+        );
+        {
+            let _inner = enter(
+                EventLimits {
+                    fuel: 99,
+                    ..EventLimits::unlimited()
+                },
+                None,
+            );
+            assert_eq!(active().unwrap().fuel_left, 99);
+        }
+        assert_eq!(active().unwrap().fuel_left, 7);
+        drop(outer);
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn deadline_blown_checks_the_clock() {
+        let now = Instant::now();
+        let _scope = enter(
+            EventLimits::unlimited(),
+            Some(now + Duration::from_secs(60)),
+        );
+        assert!(!deadline_blown(Instant::now()));
+        drop(_scope);
+        let _scope = enter(EventLimits::unlimited(), Some(now));
+        assert!(deadline_blown(Instant::now()));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrapKind::OutOfFuel.label(), "out_of_fuel");
+        assert_eq!(TrapKind::OutOfMemory.label(), "out_of_memory");
+        assert_eq!(TrapKind::DepthExceeded.label(), "depth_exceeded");
+        assert_eq!(TrapKind::DeadlineExceeded.label(), "deadline_exceeded");
+    }
+}

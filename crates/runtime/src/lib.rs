@@ -49,6 +49,7 @@ pub mod behavior;
 pub mod dot;
 pub mod error;
 pub mod event;
+pub mod governor;
 pub mod graph;
 pub mod journal;
 pub mod metrics;
@@ -64,6 +65,7 @@ pub use behavior::{
 };
 pub use error::{GraphError, RunError};
 pub use event::{changed_values, Occurrence, OutputEvent, Propagated};
+pub use governor::{EventLimits, GovernorScope, TrapKind};
 pub use graph::{GraphBuilder, Node, NodeId, NodeKind, SignalGraph};
 pub use journal::{EventJournal, JournalEntry, JournalError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};

@@ -18,10 +18,12 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::behavior::{NodeBehavior, StepInputs};
 use crate::error::RunError;
 use crate::event::{Occurrence, OutputEvent, Propagated};
+use crate::governor::{self, EventLimits, TrapKind};
 use crate::graph::{NodeId, NodeKind, SignalGraph};
 use crate::stats::Stats;
 use crate::tracing::{NodeSpan, SpanKind, TraceId, Tracer};
@@ -59,6 +61,15 @@ pub struct SyncRuntime {
     /// Optional tracing hub. `None` (the default) keeps dispatch on the
     /// untraced fast path.
     tracer: Option<Arc<Tracer>>,
+    /// Per-event resource limits; `None` (the default) dispatches
+    /// ungoverned with zero overhead.
+    limits: Option<EventLimits>,
+    /// Default per-event wall-clock deadline, applied when an occurrence
+    /// does not carry its own.
+    event_timeout: Option<Duration>,
+    /// Traps since the last [`SyncRuntime::take_traps`], as
+    /// `(seq, kind)` — one entry per trapped (and rolled-back) event.
+    trap_log: Vec<(u64, TrapKind)>,
 }
 
 /// A point-in-time copy of a [`SyncRuntime`]'s mutable state, sufficient
@@ -131,7 +142,28 @@ impl SyncRuntime {
             memoize,
             poisoned: vec![false; graph.len()],
             tracer: None,
+            limits: None,
+            event_timeout: None,
+            trap_log: Vec::new(),
         }
+    }
+
+    /// Installs (or clears) per-event resource governance: `limits`
+    /// bounds fuel/allocation/depth shared across all nodes of one
+    /// event, and `event_timeout` gives every occurrence without its own
+    /// deadline a wall-clock budget. A trapped event is rolled back
+    /// completely — values, buffered `async` payloads, and queued
+    /// follow-ups are restored, the node is *not* poisoned, and the round
+    /// reports `NoChange` — so governance never diverges replayed state.
+    pub fn set_governor(&mut self, limits: Option<EventLimits>, event_timeout: Option<Duration>) {
+        self.limits = limits;
+        self.event_timeout = event_timeout;
+    }
+
+    /// Drains the `(seq, kind)` log of events trapped since the last
+    /// call.
+    pub fn take_traps(&mut self) -> Vec<(u64, TrapKind)> {
+        std::mem::take(&mut self.trap_log)
     }
 
     /// The execution counters for this run.
@@ -276,6 +308,23 @@ impl SyncRuntime {
         let n = self.graph.len();
         let mut changed = vec![false; n];
 
+        // Resource governance. Ungoverned dispatch (the default) pays one
+        // bool check; governed dispatch activates a thread-local governor
+        // that metered node functions draw fuel/allocation from, and keeps
+        // an undo log so a trapped event rolls back to a no-op.
+        let governed =
+            self.limits.is_some() || occ.deadline.is_some() || self.event_timeout.is_some();
+        let _scope = governed.then(|| {
+            let deadline = occ
+                .deadline
+                .or_else(|| self.event_timeout.map(|t| Instant::now() + t));
+            governor::enter(self.limits.unwrap_or_else(EventLimits::unlimited), deadline)
+        });
+        let mut undo_values: Vec<(usize, Value)> = Vec::new();
+        let mut undo_async_pop: Option<(usize, (Value, TraceId))> = None;
+        let mut undo_async_pushes: Vec<usize> = Vec::new();
+        let mut undo_queue_pushes = 0usize;
+
         // Tracing fast path: `tracer` is None (or disabled) in the default
         // configuration, so untraced dispatch pays one Option check.
         let tracer = self.tracer.as_ref().filter(|t| t.is_enabled()).cloned();
@@ -294,6 +343,9 @@ impl SyncRuntime {
                     .payload
                     .clone()
                     .expect("feed() guarantees input occurrences carry payloads");
+                if governed {
+                    undo_values.push((src.index(), self.values[src.index()].clone()));
+                }
                 self.values[src.index()] = v;
                 changed[src.index()] = true;
                 if let Some(t) = &tracer {
@@ -313,6 +365,10 @@ impl SyncRuntime {
             }
             NodeKind::Async { .. } => {
                 if let Some((v, buffered_trace)) = self.pending_async[src.index()].pop_front() {
+                    if governed {
+                        undo_async_pop = Some((src.index(), (v.clone(), buffered_trace)));
+                        undo_values.push((src.index(), self.values[src.index()].clone()));
+                    }
                     self.values[src.index()] = v;
                     changed[src.index()] = true;
                     // The async re-entry continues the trace of the event
@@ -345,6 +401,11 @@ impl SyncRuntime {
         // topological order by construction, so a single left-to-right pass
         // is a complete synchronous propagation.
         for idx in 0..n {
+            if governed && governor::trapped().is_some() {
+                // A node function trapped; stop propagating — the whole
+                // round is rolled back below.
+                break;
+            }
             let node = &self.graph.nodes()[idx];
             match &node.kind {
                 NodeKind::Input { .. } => {}
@@ -359,6 +420,10 @@ impl SyncRuntime {
                         self.queue
                             .push_back(Occurrence::async_ready(node.id).with_trace(trace));
                         self.stats.record_async_event();
+                        if governed {
+                            undo_async_pushes.push(idx);
+                            undo_queue_pushes += 1;
+                        }
                     }
                 }
                 NodeKind::Compute { .. } => {
@@ -387,6 +452,13 @@ impl SyncRuntime {
                         .iter()
                         .map(|p| &self.values[p.index()])
                         .collect();
+                    if governed && governor::deadline_blown(Instant::now()) {
+                        // Check between node computations so even
+                        // non-metered (native Rust) node functions cannot
+                        // extend an event past its deadline unobserved.
+                        governor::record_trap(TrapKind::DeadlineExceeded);
+                        break;
+                    }
                     let prev = self.values[idx].clone();
                     self.stats.record_computation();
                     let behavior = self.behaviors[idx]
@@ -406,6 +478,9 @@ impl SyncRuntime {
                     let panicked = out.is_err();
                     match out {
                         Ok(Some(v)) => {
+                            if governed {
+                                undo_values.push((idx, prev.clone()));
+                            }
                             self.values[idx] = v;
                             changed[idx] = true;
                         }
@@ -430,6 +505,35 @@ impl SyncRuntime {
                         });
                     }
                 }
+            }
+        }
+
+        if governed {
+            if let Some(kind) = governor::take_trap() {
+                // Roll the whole round back: the trapped event becomes a
+                // deterministic no-op. Values are restored, the async pop
+                // is un-popped, and this round's async/queue pushes are
+                // removed, so replaying the surviving suffix of events on
+                // a fresh runtime reproduces this state exactly.
+                for (idx, v) in undo_values.into_iter().rev() {
+                    self.values[idx] = v;
+                }
+                for idx in undo_async_pushes.into_iter().rev() {
+                    self.pending_async[idx].pop_back();
+                }
+                for _ in 0..undo_queue_pushes {
+                    self.queue.pop_back();
+                }
+                if let Some((idx, entry)) = undo_async_pop {
+                    self.pending_async[idx].push_front(entry);
+                }
+                self.stats.record_trap();
+                self.trap_log.push((seq, kind));
+                return OutputEvent {
+                    seq,
+                    source: src,
+                    output: Propagated::NoChange,
+                };
             }
         }
 
@@ -621,6 +725,7 @@ mod tests {
                 source: i,
                 payload: None,
                 trace: TraceId::NONE,
+                deadline: None,
             }),
             Err(RunError::MissingPayload(i))
         );

@@ -97,6 +97,30 @@ impl Value {
         Value::Ext(Arc::new(v))
     }
 
+    /// A rough retained-size estimate in abstract cells (one cell ≈ one
+    /// word-sized allocation, strings at one cell per byte). Used by the
+    /// server's memory watermark; shared (`Arc`'d) structure is counted
+    /// once per reference, deliberately over-estimating aliased values
+    /// rather than walking identity.
+    pub fn approx_cells(&self) -> u64 {
+        match self {
+            Value::Unit | Value::Int(_) | Value::Float(_) | Value::Bool(_) => 1,
+            Value::Str(s) => 1 + s.len() as u64,
+            Value::Pair(p) => 1 + p.0.approx_cells() + p.1.approx_cells(),
+            Value::List(items) => 1 + items.iter().map(Value::approx_cells).sum::<u64>(),
+            Value::Record(fields) => {
+                1 + fields
+                    .iter()
+                    .map(|(k, v)| 1 + k.len() as u64 + v.approx_cells())
+                    .sum::<u64>()
+            }
+            Value::Tagged(tag, args) => {
+                1 + tag.len() as u64 + args.iter().map(Value::approx_cells).sum::<u64>()
+            }
+            Value::Ext(_) => 1,
+        }
+    }
+
     /// Returns the integer payload, if this is an `Int`.
     pub fn as_int(&self) -> Option<i64> {
         match self {

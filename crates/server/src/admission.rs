@@ -1,0 +1,383 @@
+//! Admission control: token-bucket rate limiting with load shedding.
+//!
+//! Every data-plane submission (`event`, `batch`) passes a shard-level
+//! [`AdmissionController`] before it may touch a session. The controller
+//! layers three checks, all of which must pass:
+//!
+//! 1. **Global memory watermark** — a server-wide [`MemoryGauge`] of
+//!    approximate retained cells (queues + journals + outputs, reported
+//!    by sessions). Above the watermark, all bulk traffic is shed.
+//! 2. **Shard token bucket** — caps the shard's aggregate event rate.
+//! 3. **Per-session buckets** — one for event count, one for payload
+//!    bytes, so a single chatty or byte-heavy client exhausts its own
+//!    quota instead of the shard's.
+//!
+//! A failed check sheds the submission with a typed `overloaded` reply
+//! carrying `retry_after_ms` — the earliest time the controller could
+//! admit it — instead of queueing unbounded work. Batches are admitted
+//! all-or-nothing so a partially-applied batch can never diverge a
+//! replay oracle. Control-plane verbs (`query`, `stats`, `metrics`,
+//! `subscribe`, `close`) never pass through the controller: the server
+//! stays observable and steerable while it sheds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::protocol::AdmissionStats;
+use crate::session::SessionId;
+
+/// Server-wide approximate-memory gauge, in cells (see
+/// [`elm_runtime::Value::approx_cells`]). Sessions report deltas; the
+/// admission controller reads the total against its watermark.
+#[derive(Debug, Default)]
+pub struct MemoryGauge(AtomicI64);
+
+impl MemoryGauge {
+    /// A zeroed, shareable gauge.
+    pub fn new() -> Arc<MemoryGauge> {
+        Arc::new(MemoryGauge::default())
+    }
+
+    /// Adjusts the gauge by a signed delta (sessions report growth and
+    /// shrinkage as their queues/journals change).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current estimate, clamped at zero.
+    pub fn cells(&self) -> u64 {
+        self.0.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+/// Rates and quotas for one shard's admission controller.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch; disabled admits everything (the default, so
+    /// existing deployments and tests are unaffected).
+    pub enabled: bool,
+    /// Shard-aggregate sustained event rate (events/second).
+    pub shard_events_per_sec: f64,
+    /// Shard bucket capacity (burst headroom, in events).
+    pub shard_burst: f64,
+    /// Per-session sustained event rate (events/second).
+    pub session_events_per_sec: f64,
+    /// Per-session bucket capacity (burst headroom, in events).
+    pub session_burst: f64,
+    /// Per-session sustained payload rate (approx cells/second).
+    pub session_cells_per_sec: f64,
+    /// Per-session payload bucket capacity (burst headroom, in cells).
+    pub session_cells_burst: f64,
+    /// Shed all bulk traffic while the [`MemoryGauge`] reads above this
+    /// many cells. Zero disables the watermark.
+    pub memory_watermark_cells: u64,
+    /// `retry_after_ms` floor for sheds that have no bucket-derived
+    /// estimate (e.g. the memory watermark).
+    pub min_retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            shard_events_per_sec: 50_000.0,
+            shard_burst: 5_000.0,
+            session_events_per_sec: 10_000.0,
+            session_burst: 1_000.0,
+            session_cells_per_sec: 5_000_000.0,
+            session_cells_burst: 500_000.0,
+            memory_watermark_cells: 256 * 1024 * 1024,
+            min_retry_after_ms: 10,
+        }
+    }
+}
+
+/// The controller's verdict for one submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Tokens were debited; enqueue the work.
+    Admit,
+    /// Shed: reply `overloaded` and suggest this minimum backoff.
+    Shed {
+        /// Milliseconds until the deficient bucket could cover the
+        /// submission at its refill rate.
+        retry_after_ms: u64,
+    },
+}
+
+/// A standard token bucket: capacity `burst`, refill `rate` per second.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    rate: f64,
+    burst: f64,
+    refilled: Instant,
+}
+
+impl Bucket {
+    fn new(rate: f64, burst: f64, now: Instant) -> Bucket {
+        Bucket {
+            tokens: burst,
+            rate: rate.max(f64::MIN_POSITIVE),
+            burst,
+            refilled: now,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.saturating_duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.refilled = now;
+    }
+
+    /// Debits `n` tokens, or reports how long until they would exist.
+    /// Oversized requests (`n > burst`) are payable after a full-refill
+    /// wait rather than never, so a giant batch still gets a finite,
+    /// honest `retry_after` (and will shed again — callers should split).
+    fn take(&mut self, n: f64, now: Instant) -> Result<(), u64> {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            return Ok(());
+        }
+        let deficit = (n.min(self.burst) - self.tokens).max(0.0);
+        Err((deficit / self.rate * 1000.0).ceil() as u64)
+    }
+}
+
+struct SessionBuckets {
+    events: Bucket,
+    cells: Bucket,
+}
+
+/// Per-shard admission state (see module docs). Owned by the shard
+/// thread; no interior locking needed.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    memory: Arc<MemoryGauge>,
+    shard: Bucket,
+    sessions: HashMap<SessionId, SessionBuckets>,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller over `config`, watching `memory` for the watermark.
+    pub fn new(config: AdmissionConfig, memory: Arc<MemoryGauge>) -> AdmissionController {
+        AdmissionController {
+            config,
+            memory,
+            shard: Bucket::new(
+                config.shard_events_per_sec,
+                config.shard_burst,
+                Instant::now(),
+            ),
+            sessions: HashMap::new(),
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Judges one submission of `events` events totalling `cells`
+    /// approximate payload cells for `session`, at time `now`.
+    /// All-or-nothing: either every event's tokens are debited or none.
+    pub fn admit(
+        &mut self,
+        session: SessionId,
+        events: u64,
+        cells: u64,
+        now: Instant,
+    ) -> Admission {
+        self.stats.offered += events;
+        if !self.config.enabled {
+            self.stats.admitted += events;
+            return Admission::Admit;
+        }
+        let verdict = self.check(session, events, cells, now);
+        match verdict {
+            Admission::Admit => self.stats.admitted += events,
+            Admission::Shed { .. } => self.stats.shed += events,
+        }
+        verdict
+    }
+
+    fn check(&mut self, session: SessionId, events: u64, cells: u64, now: Instant) -> Admission {
+        let floor = self.config.min_retry_after_ms;
+        if self.config.memory_watermark_cells > 0
+            && self.memory.cells() > self.config.memory_watermark_cells
+        {
+            return Admission::Shed {
+                retry_after_ms: floor.max(1),
+            };
+        }
+        let per = self
+            .sessions
+            .entry(session)
+            .or_insert_with(|| SessionBuckets {
+                events: Bucket::new(
+                    self.config.session_events_per_sec,
+                    self.config.session_burst,
+                    now,
+                ),
+                cells: Bucket::new(
+                    self.config.session_cells_per_sec,
+                    self.config.session_cells_burst,
+                    now,
+                ),
+            });
+        // Check (refill-only peeks) before debiting anything, so a shed
+        // never half-charges a bucket.
+        let mut shard_probe = self.shard;
+        let mut ev_probe = per.events;
+        let mut cell_probe = per.cells;
+        let wait = [
+            shard_probe.take(events as f64, now).err(),
+            ev_probe.take(events as f64, now).err(),
+            cell_probe.take(cells as f64, now).err(),
+        ]
+        .into_iter()
+        .flatten()
+        .max();
+        if let Some(ms) = wait {
+            return Admission::Shed {
+                retry_after_ms: ms.max(floor).max(1),
+            };
+        }
+        self.shard = shard_probe;
+        per.events = ev_probe;
+        per.cells = cell_probe;
+        Admission::Admit
+    }
+
+    /// Drops a closed/evicted session's buckets.
+    pub fn forget(&mut self, session: SessionId) {
+        self.sessions.remove(&session);
+    }
+
+    /// Offered/admitted/shed counters since startup.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn config() -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: true,
+            shard_events_per_sec: 100.0,
+            shard_burst: 10.0,
+            session_events_per_sec: 50.0,
+            session_burst: 5.0,
+            session_cells_per_sec: 1000.0,
+            session_cells_burst: 100.0,
+            memory_watermark_cells: 1_000_000,
+            min_retry_after_ms: 7,
+        }
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), MemoryGauge::new());
+        let now = Instant::now();
+        for _ in 0..100_000 {
+            assert_eq!(c.admit(1, 1, 1, now), Admission::Admit);
+        }
+        let s = c.stats();
+        assert_eq!((s.offered, s.admitted, s.shed), (100_000, 100_000, 0));
+    }
+
+    #[test]
+    fn burst_exhaustion_sheds_with_a_finite_retry_hint() {
+        let mut c = AdmissionController::new(config(), MemoryGauge::new());
+        let now = Instant::now();
+        // Session burst is 5: the sixth immediate event sheds.
+        for _ in 0..5 {
+            assert_eq!(c.admit(1, 1, 1, now), Admission::Admit);
+        }
+        let Admission::Shed { retry_after_ms } = c.admit(1, 1, 1, now) else {
+            panic!("expected a shed");
+        };
+        // 1 token at 50/s is 20ms away.
+        assert!(
+            (7..=20).contains(&retry_after_ms),
+            "retry_after_ms = {retry_after_ms}"
+        );
+        // After the suggested wait the bucket covers it again.
+        let later = now + Duration::from_millis(retry_after_ms + 1);
+        assert_eq!(c.admit(1, 1, 1, later), Admission::Admit);
+        let s = c.stats();
+        assert_eq!(s.offered, s.admitted + s.shed);
+    }
+
+    #[test]
+    fn batches_are_all_or_nothing() {
+        let mut c = AdmissionController::new(config(), MemoryGauge::new());
+        let now = Instant::now();
+        // A 6-event batch exceeds the session burst of 5: shed whole,
+        // and the bucket is not half-charged — 5 singles still fit.
+        assert!(matches!(c.admit(1, 6, 6, now), Admission::Shed { .. }));
+        for _ in 0..5 {
+            assert_eq!(c.admit(1, 1, 1, now), Admission::Admit);
+        }
+        assert_eq!(c.stats().shed, 6);
+    }
+
+    #[test]
+    fn per_session_quotas_isolate_noisy_neighbors() {
+        let mut c = AdmissionController::new(
+            AdmissionConfig {
+                shard_burst: 100.0,
+                ..config()
+            },
+            MemoryGauge::new(),
+        );
+        let now = Instant::now();
+        // Session 1 exhausts its own quota…
+        for _ in 0..5 {
+            assert_eq!(c.admit(1, 1, 1, now), Admission::Admit);
+        }
+        assert!(matches!(c.admit(1, 1, 1, now), Admission::Shed { .. }));
+        // …while session 2's untouched bucket still admits.
+        assert_eq!(c.admit(2, 1, 1, now), Admission::Admit);
+    }
+
+    #[test]
+    fn byte_quota_sheds_heavy_payloads_independently_of_count() {
+        let mut c = AdmissionController::new(config(), MemoryGauge::new());
+        let now = Instant::now();
+        // One event, but 101 cells against a 100-cell burst.
+        assert!(matches!(c.admit(1, 1, 101, now), Admission::Shed { .. }));
+        assert_eq!(c.admit(1, 1, 100, now), Admission::Admit);
+    }
+
+    #[test]
+    fn memory_watermark_sheds_everything_until_pressure_clears() {
+        let gauge = MemoryGauge::new();
+        let mut c = AdmissionController::new(config(), gauge.clone());
+        let now = Instant::now();
+        gauge.add(2_000_000);
+        let Admission::Shed { retry_after_ms } = c.admit(1, 1, 1, now) else {
+            panic!("expected a watermark shed");
+        };
+        assert!(retry_after_ms >= 7);
+        gauge.add(-2_000_000);
+        assert_eq!(c.admit(1, 1, 1, now), Admission::Admit);
+    }
+
+    #[test]
+    fn forget_releases_per_session_state() {
+        let mut c = AdmissionController::new(config(), MemoryGauge::new());
+        let now = Instant::now();
+        for _ in 0..5 {
+            c.admit(1, 1, 1, now);
+        }
+        assert!(matches!(c.admit(1, 1, 1, now), Admission::Shed { .. }));
+        c.forget(1);
+        // A fresh bucket (full burst) replaces the drained one.
+        assert_eq!(c.admit(1, 1, 1, now), Admission::Admit);
+    }
+}

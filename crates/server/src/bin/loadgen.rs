@@ -40,7 +40,8 @@ use elm_runtime::{
     assemble, dot, reachable_from, NodeId, PlainSpanTree, PlainValue, Trace, Tracer,
 };
 use elm_server::{
-    BackpressurePolicy, ProgramSpec, RestartPolicy, Server, ServerConfig, SessionConfig,
+    AdmissionConfig, BackpressurePolicy, ProgramSpec, RestartPolicy, Server, ServerConfig,
+    SessionConfig,
 };
 use elm_signals::{Engine, Program};
 use serde_json::Value as Json;
@@ -57,6 +58,7 @@ struct Args {
     seed: u64,
     out: String,
     chaos: bool,
+    overload: bool,
     snapshot_interval: u64,
     crash_prob: f64,
     panic_prob: f64,
@@ -76,6 +78,7 @@ impl Default for Args {
             seed: 42,
             out: "BENCH_server.json".to_string(),
             chaos: false,
+            overload: false,
             snapshot_interval: 256,
             crash_prob: 0.0005,
             panic_prob: 0.005,
@@ -89,7 +92,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions M] [--events N] [--program NAME] [--shards N] \
          [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE] \
-         [--chaos] [--snapshot-interval N] [--crash-prob P] [--panic-prob P] \
+         [--chaos] [--overload] [--snapshot-interval N] [--crash-prob P] [--panic-prob P] \
          [--journal-fail-prob P] [--stall-prob P]"
     );
     exit(2)
@@ -110,6 +113,7 @@ fn parse_args() -> Args {
             "--seed" => a.seed = value().parse().unwrap_or_else(|_| usage()),
             "--out" => a.out = value(),
             "--chaos" => a.chaos = true,
+            "--overload" => a.overload = true,
             "--snapshot-interval" => {
                 a.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
             }
@@ -226,8 +230,518 @@ fn scraped_restarts_total(metrics_text: &str) -> u64 {
         .sum::<f64>() as u64
 }
 
+/// Sums every sample of one exactly-named Prometheus family (bare or
+/// labelled) in exposition text.
+fn scraped_family_sum(metrics_text: &str, family: &str) -> u64 {
+    metrics_text
+        .lines()
+        .filter(|l| !l.starts_with('#') && l.starts_with(family))
+        .filter(|l| matches!(l.as_bytes().get(family.len()), Some(b'{') | Some(b' ')))
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter_map(|(_, v)| v.parse::<f64>().ok())
+        .sum::<f64>() as u64
+}
+
+/// Duplicates events in bursts according to the plan's flood stream —
+/// the overload traffic shape. The laced trace is what both the server
+/// and the oracle replay see, so isolation checks stay exact.
+fn lace_with_floods(trace: &elm_runtime::Trace, plan: &FaultPlan, id: u64) -> elm_runtime::Trace {
+    use rand::Rng;
+    if plan.flood <= 0.0 || plan.flood_len == 0 {
+        return trace.clone();
+    }
+    let mut rng = plan.rng(elm_environment::fault::STREAM_FLOOD, id);
+    let mut out = elm_runtime::Trace::new();
+    for e in &trace.events {
+        out.events.push(e.clone());
+        if rng.gen_bool(plan.flood) {
+            for _ in 0..plan.flood_len {
+                out.events.push(e.clone());
+            }
+        }
+    }
+    out
+}
+
+/// [`sync_replay`] under the same fuel/alloc/depth governor the live
+/// sessions ran with — and deliberately *no* deadline, since wall-clock
+/// traps would not replay deterministically. Fuel traps do: the oracle
+/// traps (and rolls back) exactly the events the live session trapped.
+fn governed_sync_replay(
+    server: &Server,
+    program: &str,
+    trace: &elm_runtime::Trace,
+    limits: elm_runtime::EventLimits,
+) -> PlainValue {
+    let (_, graph) = server
+        .registry()
+        .resolve(ProgramSpec::Builtin(program))
+        .expect("program resolved once already");
+    let mut running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+    running.set_governor(Some(limits), None);
+    for e in &trace.events {
+        if graph.input_named(&e.input).is_some() {
+            running
+                .send_named(&e.input, e.value.to_value())
+                .expect("replay event");
+        }
+    }
+    running.drain_raw().expect("replay drain");
+    PlainValue::from_value(running.current()).expect("replay value is plain")
+}
+
+/// The `--overload` harness: a deliberately over-driven server with
+/// admission control, fueled sessions, hostile builtin programs, a
+/// control-plane liveness probe, and a slow-subscriber segment — all
+/// checked against deterministic oracles and the scraped metrics.
+fn run_overload(args: &Args) -> ! {
+    use elm_environment::fault::STREAM_RUNAWAY;
+    use elm_runtime::{EventLimits, TrapKind};
+    use elm_server::client::{Client, RetryStats};
+    use elm_server::net::{self, serve_with, NetConfig};
+    use elm_server::EnqueueOutcome;
+    use rand::Rng;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let sessions = args.sessions.clamp(1, 6);
+    let events = args.events.min(1_200);
+    let governed_events = 300usize;
+    let plan = FaultPlan::flood(args.seed);
+    let limits = EventLimits {
+        fuel: 200_000,
+        max_alloc_cells: 500_000,
+        max_depth: 10_000,
+    };
+    eprintln!(
+        "loadgen: OVERLOAD {} counter sessions x {} laced events + runaway/membomb x {}, seed {}",
+        sessions, events, governed_events, args.seed
+    );
+
+    let server = Arc::new(Server::start(ServerConfig {
+        shards: 2,
+        session: SessionConfig {
+            queue_capacity: args.queue,
+            policy: BackpressurePolicy::Block,
+            limits: Some(limits),
+            // Wall-clock deadlines would trap nondeterministically and
+            // break the replay oracles; the overload run relies on the
+            // deterministic fuel/alloc/depth budget alone.
+            event_timeout: None,
+            ..SessionConfig::default()
+        },
+        idle_timeout: None,
+        admission: AdmissionConfig {
+            enabled: true,
+            session_events_per_sec: 4_000.0,
+            session_burst: 128.0,
+            session_cells_per_sec: 40_000_000.0,
+            session_cells_burst: 4_000_000.0,
+            ..AdmissionConfig::default()
+        },
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    {
+        let server = Arc::clone(&server);
+        thread::spawn(move || serve_with(server, listener, NetConfig::default()));
+    }
+    // A second front end with a tiny outbound queue and a short write
+    // deadline, so the slow-subscriber segment converges quickly.
+    let slow_listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let slow_addr = slow_listener.local_addr().expect("addr");
+    {
+        let server = Arc::clone(&server);
+        let config = NetConfig {
+            outbound_queue: 8,
+            write_deadline: Duration::from_millis(100),
+            ..NetConfig::default()
+        };
+        thread::spawn(move || serve_with(server, slow_listener, config));
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- data-plane flood through retrying TCP clients ---
+    let traces: Vec<elm_runtime::Trace> = Simulator::fan_out(args.seed, sessions, events)
+        .iter()
+        .enumerate()
+        .map(|(i, t)| lace_with_floods(t, &plan, i as u64))
+        .collect();
+    let mut counter_ids = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let info = server
+            .open(ProgramSpec::Builtin("counter"), None, None, false)
+            .expect("open counter");
+        counter_ids.push(info.session);
+    }
+    let runaway_sid = server
+        .open(ProgramSpec::Builtin("runaway"), None, None, false)
+        .expect("open runaway")
+        .session;
+    let membomb_sid = server
+        .open(ProgramSpec::Builtin("membomb"), None, None, false)
+        .expect("open membomb")
+        .session;
+
+    // Control-plane probe: while the flood runs, stats/query/metrics on
+    // a dedicated connection must be answered 100% of the time.
+    let stop_probe = Arc::new(AtomicBool::new(false));
+    let probe_attempted = Arc::new(AtomicU64::new(0));
+    let probe_answered = Arc::new(AtomicU64::new(0));
+    let prober = {
+        let stop = Arc::clone(&stop_probe);
+        let attempted = Arc::clone(&probe_attempted);
+        let answered = Arc::clone(&probe_answered);
+        let probe_session = counter_ids[0];
+        let mut client = Client::connect(addr, args.seed ^ 0xdead).expect("probe connect");
+        thread::spawn(move || {
+            let verbs = [
+                "{\"cmd\":\"stats\"}".to_string(),
+                format!("{{\"cmd\":\"query\",\"session\":{probe_session}}}"),
+                format!("{{\"cmd\":\"stats\",\"session\":{probe_session}}}"),
+            ];
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                attempted.fetch_add(1, Ordering::Relaxed);
+                match client.request(&verbs[i % verbs.len()]) {
+                    Ok(reply) if matches!(reply.get("ok"), Some(Json::Bool(true))) => {
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                i += 1;
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let mut drivers = Vec::new();
+    for (i, &session) in counter_ids.iter().enumerate() {
+        let trace = traces[i].clone();
+        let seed = args.seed + 1 + i as u64;
+        drivers.push(thread::spawn(move || -> Result<RetryStats, String> {
+            let mut client = Client::connect(addr, seed).map_err(|e| format!("connect: {e}"))?;
+            for e in &trace.events {
+                let value = serde_json::to_string(
+                    &serde_json::to_value(&e.value).expect("value serializes"),
+                )
+                .expect("value serializes");
+                let reply = client
+                    .event(session, &e.input, &value)
+                    .map_err(|e| format!("event: {e}"))?;
+                if reply.get("error").is_some() {
+                    return Err(format!("event gave up after retries: {reply:?}"));
+                }
+            }
+            Ok(client.stats())
+        }));
+    }
+    // The hostile sessions: seeded triggers flip them into the runaway /
+    // allocator-bomb branch; benign events just count.
+    let mut governed = Vec::new();
+    for (j, sid) in [runaway_sid, membomb_sid].into_iter().enumerate() {
+        let seed = args.seed + 1000 + j as u64;
+        let mut rng = plan.rng(STREAM_RUNAWAY, j as u64);
+        let trigger_prob = plan.runaway.max(0.05);
+        governed.push(thread::spawn(
+            move || -> Result<(u64, u64, RetryStats), String> {
+                let mut client =
+                    Client::connect(addr, seed).map_err(|e| format!("connect: {e}"))?;
+                let (mut triggers, mut benign) = (0u64, 0u64);
+                for _ in 0..governed_events {
+                    let hot = rng.gen_bool(trigger_prob);
+                    let value = if hot { "{\"Int\":1}" } else { "{\"Int\":0}" };
+                    let reply = client
+                        .event(sid, "Keyboard.lastPressed", value)
+                        .map_err(|e| format!("event: {e}"))?;
+                    if reply.get("error").is_some() {
+                        return Err(format!("event gave up after retries: {reply:?}"));
+                    }
+                    if hot {
+                        triggers += 1;
+                    } else {
+                        benign += 1;
+                    }
+                }
+                Ok((triggers, benign, client.stats()))
+            },
+        ));
+    }
+
+    let mut retry = RetryStats::default();
+    for d in drivers {
+        match d.join().expect("driver thread") {
+            Ok(s) => {
+                retry.requests += s.requests;
+                retry.sheds += s.sheds;
+                retry.retries += s.retries;
+                retry.gave_up += s.gave_up;
+            }
+            Err(e) => failures.push(format!("counter driver: {e}")),
+        }
+    }
+    let mut hostile: Vec<(u64, u64)> = Vec::new();
+    for g in governed {
+        match g.join().expect("governed driver") {
+            Ok((triggers, benign, s)) => {
+                hostile.push((triggers, benign));
+                retry.requests += s.requests;
+                retry.sheds += s.sheds;
+                retry.retries += s.retries;
+                retry.gave_up += s.gave_up;
+            }
+            Err(e) => failures.push(format!("hostile driver: {e}")),
+        }
+    }
+    // Drain every queue before judging.
+    for &sid in counter_ids.iter().chain([runaway_sid, membomb_sid].iter()) {
+        while server.query(sid).expect("query").queue_len > 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let elapsed = started.elapsed();
+    stop_probe.store(true, Ordering::Relaxed);
+    prober.join().expect("prober thread");
+
+    // --- verdict 1: the server stayed live for the control plane ---
+    let attempted = probe_attempted.load(Ordering::Relaxed);
+    let answered = probe_answered.load(Ordering::Relaxed);
+    println!("control-plane probes: {answered}/{attempted} answered during the flood");
+    if attempted == 0 || answered != attempted {
+        failures.push(format!(
+            "control plane dropped probes: {answered}/{attempted} answered"
+        ));
+    }
+
+    // --- verdict 2: admitted traffic was applied exactly (isolation) ---
+    let mut mismatches = 0usize;
+    for (i, &sid) in counter_ids.iter().enumerate() {
+        let served = server.query(sid).expect("final query").value;
+        let replayed = governed_sync_replay(&server, "counter", &traces[i], limits);
+        if served != replayed {
+            mismatches += 1;
+            eprintln!(
+                "loadgen: OVERLOAD ISOLATION MISMATCH session {sid}: {served:?} != {replayed:?}"
+            );
+        }
+    }
+    if mismatches > 0 {
+        failures.push(format!(
+            "{mismatches} session(s) diverged from governed replay"
+        ));
+    }
+    if retry.gave_up > 0 {
+        failures.push(format!(
+            "{} request(s) exhausted their retry budget",
+            retry.gave_up
+        ));
+    }
+    if retry.sheds == 0 {
+        failures.push("the flood never tripped admission control (no sheds seen)".to_string());
+    }
+    println!(
+        "retrying clients: {} requests, {} sheds ridden out, {} retries, {} gave up, {:.2}s",
+        retry.requests,
+        retry.sheds,
+        retry.retries,
+        retry.gave_up,
+        elapsed.as_secs_f64()
+    );
+
+    // --- verdict 3: every hostile event trapped; the sessions live on ---
+    for (label, sid, (triggers, benign), kind) in [
+        (
+            "runaway",
+            runaway_sid,
+            hostile.first().copied().unwrap_or((0, 0)),
+            TrapKind::OutOfFuel,
+        ),
+        (
+            "membomb",
+            membomb_sid,
+            hostile.get(1).copied().unwrap_or((0, 0)),
+            TrapKind::OutOfMemory,
+        ),
+    ] {
+        let stats = server.session_stats(sid).expect("hostile session stats");
+        let value = server.query(sid).expect("hostile session query").value;
+        println!(
+            "{label}: {triggers} triggers -> {} traps ({} {}), {benign} benign -> value {value:?}",
+            stats.traps.total(),
+            stats.traps.count(kind),
+            kind.label(),
+        );
+        if stats.traps.total() != triggers {
+            failures.push(format!(
+                "{label}: {triggers} hostile events but {} traps recorded",
+                stats.traps.total()
+            ));
+        }
+        if triggers > 0 && stats.traps.count(kind) == 0 {
+            failures.push(format!("{label}: no {} trap recorded", kind.label()));
+        }
+        if value != PlainValue::Int(benign as i64) {
+            failures.push(format!(
+                "{label}: session did not survive cleanly: value {value:?} != Int({benign})"
+            ));
+        }
+    }
+
+    // --- verdict 4: a slow subscriber is cut, its peers unaffected ---
+    let net_before = net::counters();
+    let word_sid = server
+        .open(ProgramSpec::Builtin("latest-word"), None, None, false)
+        .expect("open latest-word")
+        .session;
+    let subscribe = || -> (std::net::TcpStream, std::io::BufReader<std::net::TcpStream>) {
+        use std::io::{BufRead, Write};
+        let stream = std::net::TcpStream::connect(slow_addr).expect("connect slow front end");
+        let mut w = stream.try_clone().expect("clone");
+        let mut r = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        w.write_all(format!("{{\"cmd\":\"subscribe\",\"session\":{word_sid}}}\n").as_bytes())
+            .expect("subscribe");
+        let mut line = String::new();
+        r.read_line(&mut line).expect("subscribe reply");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        (w, r)
+    };
+    let (_slow_stream, _slow_reader) = subscribe();
+    let (_healthy_stream, mut healthy_reader) = subscribe();
+    let healthy_seen = Arc::new(AtomicU64::new(0));
+    {
+        use std::io::BufRead;
+        let seen = Arc::clone(&healthy_seen);
+        thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match healthy_reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        if line.contains("\"update\":\"changed\"") {
+                            seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    let fat = "w".repeat(48 * 1024);
+    let cut_deadline = Instant::now() + Duration::from_secs(30);
+    while net::counters().slow_disconnects == net_before.slow_disconnects {
+        if Instant::now() > cut_deadline {
+            failures.push("slow subscriber was never disconnected".to_string());
+            break;
+        }
+        let _ = server.event(word_sid, "Words.input", PlainValue::Str(fat.clone()));
+        let _ = server.query(word_sid);
+    }
+    // Peers must keep receiving after the cut.
+    while let Ok(EnqueueOutcome::Shed { .. }) =
+        server.event(word_sid, "Words.input", PlainValue::Str("tail".to_string()))
+    {
+        thread::sleep(Duration::from_millis(10));
+    }
+    let _ = server.query(word_sid);
+    let seen = healthy_seen.load(Ordering::Relaxed);
+    let tail_deadline = Instant::now() + Duration::from_secs(10);
+    while healthy_seen.load(Ordering::Relaxed) == seen {
+        if Instant::now() > tail_deadline {
+            failures.push("healthy subscriber stalled after the slow one was cut".to_string());
+            break;
+        }
+        let _ = server.query(word_sid);
+        thread::sleep(Duration::from_millis(10));
+    }
+    let net_after = net::counters();
+    println!(
+        "slow-subscriber segment: {} disconnect(s), healthy peer saw {} update(s)",
+        net_after.slow_disconnects - net_before.slow_disconnects,
+        healthy_seen.load(Ordering::Relaxed)
+    );
+
+    // --- verdict 5: the scraped metrics balance and agree ---
+    let metrics_text = server.metrics_text();
+    let offered = scraped_family_sum(&metrics_text, "elm_admission_offered_total");
+    let admitted = scraped_family_sum(&metrics_text, "elm_admitted_total");
+    let shed = scraped_family_sum(&metrics_text, "elm_shed_total");
+    println!("scraped admission ledger: offered={offered} admitted={admitted} shed={shed}");
+    if admitted + shed != offered {
+        failures.push(format!(
+            "admission ledger does not balance: {admitted} admitted + {shed} shed != {offered} offered"
+        ));
+    }
+    if shed == 0 {
+        failures.push("metrics report zero sheds despite the flood".to_string());
+    }
+    let scraped_traps = scraped_family_sum(&metrics_text, "elm_traps_total");
+    let (global, _) = server.stats();
+    if scraped_traps != global.traps.total() {
+        failures.push(format!(
+            "metrics report {scraped_traps} traps but sessions counted {}",
+            global.traps.total()
+        ));
+    }
+    if scraped_family_sum(&metrics_text, "elm_subscriber_disconnects_total") == 0 {
+        failures.push("metrics report zero subscriber disconnects".to_string());
+    }
+
+    for f in &failures {
+        eprintln!("loadgen: OVERLOAD FAILURE: {f}");
+    }
+    let verdict = if failures.is_empty() { "OK" } else { "FAILED" };
+    println!("overload verdict = {verdict}");
+
+    let report = Json::Map(vec![
+        (
+            "benchmark".to_string(),
+            Json::Str("server-overload".to_string()),
+        ),
+        ("sessions".to_string(), Json::U64(sessions as u64)),
+        ("events_per_session".to_string(), Json::U64(events as u64)),
+        ("seed".to_string(), Json::U64(args.seed)),
+        ("elapsed_s".to_string(), Json::F64(elapsed.as_secs_f64())),
+        ("requests".to_string(), Json::U64(retry.requests)),
+        ("sheds".to_string(), Json::U64(retry.sheds)),
+        ("retries".to_string(), Json::U64(retry.retries)),
+        ("gave_up".to_string(), Json::U64(retry.gave_up)),
+        ("offered".to_string(), Json::U64(offered)),
+        ("admitted".to_string(), Json::U64(admitted)),
+        ("shed".to_string(), Json::U64(shed)),
+        ("traps_total".to_string(), Json::U64(global.traps.total())),
+        ("control_probes_attempted".to_string(), Json::U64(attempted)),
+        ("control_probes_answered".to_string(), Json::U64(answered)),
+        (
+            "slow_subscriber_disconnects".to_string(),
+            Json::U64(net_after.slow_disconnects - net_before.slow_disconnects),
+        ),
+        (
+            "isolation_mismatches".to_string(),
+            Json::U64(mismatches as u64),
+        ),
+        ("verdict".to_string(), Json::Str(verdict.to_string())),
+    ]);
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
+    let out = if args.out == "BENCH_server.json" {
+        "BENCH_overload.json".to_string()
+    } else {
+        args.out.clone()
+    };
+    if let Err(e) = std::fs::write(&out, pretty + "\n") {
+        eprintln!("loadgen: cannot write {out}: {e}");
+    } else {
+        eprintln!("loadgen: wrote {out}");
+    }
+    exit(if failures.is_empty() { 0 } else { 1 })
+}
+
 fn main() {
     let args = parse_args();
+    if args.overload {
+        run_overload(&args);
+    }
     let program = args
         .program
         .clone()
@@ -242,6 +756,7 @@ fn main() {
             queue_full_burst: 0.002,
             burst_len: 48,
             journal_fail: args.journal_fail_prob,
+            ..FaultPlan::disabled()
         }
     } else {
         FaultPlan::disabled()
@@ -295,8 +810,10 @@ fn main() {
             // Observability is the point of this binary: every session
             // records spans and per-node timing histograms.
             observe: true,
+            ..SessionConfig::default()
         },
         idle_timeout: None,
+        admission: AdmissionConfig::default(),
     }));
 
     let mut session_ids = Vec::with_capacity(args.sessions);

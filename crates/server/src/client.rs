@@ -1,0 +1,313 @@
+//! Minimal blocking NDJSON client with overload-aware retry.
+//!
+//! Speaks the same wire protocol as [`crate::net`]: one JSON request per
+//! line, one JSON reply per line. The retry layer understands the typed
+//! `{"ok":false,"error":"overloaded","retry_after_ms":N}` shed reply and
+//! backs off with jittered exponential delays, honouring the server's
+//! `retry_after_ms` hint as a floor — the cooperating half of the
+//! admission-control contract.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value as Json;
+
+/// Numeric accessor over the vendored JSON value.
+fn as_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::U64(n) => Some(*n),
+        Json::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Retry/backoff tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First retry delay, before the server hint and jitter.
+    pub base_ms: u64,
+    /// Ceiling on any single delay.
+    pub max_ms: u64,
+    /// How many retries before giving up and returning the shed reply.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 5,
+            max_ms: 2_000,
+            max_retries: 64,
+        }
+    }
+}
+
+/// What the retry layer has seen so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Requests handed to [`Client::request_with_retry`].
+    pub requests: u64,
+    /// `overloaded` replies received (one per shed attempt).
+    pub sheds: u64,
+    /// Attempts replayed after backoff.
+    pub retries: u64,
+    /// Requests that exhausted `max_retries` still shed.
+    pub gave_up: u64,
+}
+
+/// One connection to the server's TCP front end.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    rng: StdRng,
+    policy: RetryPolicy,
+    stats: RetryStats,
+}
+
+/// Next backoff delay: exponential in the attempt number, floored by the
+/// server's `retry_after_ms` hint, capped at `policy.max_ms`, and
+/// jittered to the upper half of the window so synchronized clients
+/// de-correlate.
+fn backoff_ms(policy: RetryPolicy, attempt: u32, hint_ms: u64, rng: &mut StdRng) -> u64 {
+    let exp = policy
+        .base_ms
+        .saturating_mul(1u64 << attempt.min(20))
+        .min(policy.max_ms);
+    let target = exp.max(hint_ms).min(policy.max_ms.max(hint_ms));
+    if target <= 1 {
+        return target;
+    }
+    rng.gen_range(target / 2 + 1..=target)
+}
+
+impl Client {
+    /// Connects with the default policy, seeding jitter from `seed` so
+    /// load-generation runs stay reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn connect(addr: SocketAddr, seed: u64) -> io::Result<Client> {
+        Client::connect_with(addr, seed, RetryPolicy::default())
+    }
+
+    /// [`Client::connect`] with explicit retry tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn connect_with(addr: SocketAddr, seed: u64, policy: RetryPolicy) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            rng: StdRng::seed_from_u64(seed),
+            policy,
+            stats: RetryStats::default(),
+        })
+    }
+
+    /// Retry counters so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Sends one request line and returns the next reply object,
+    /// skipping blank keepalives and subscription pushes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, EOF, or an unparseable reply line.
+    pub fn request(&mut self, line: &str) -> io::Result<Json> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        loop {
+            let mut reply = String::new();
+            if self.reader.read_line(&mut reply)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let reply = reply.trim();
+            if reply.is_empty() {
+                continue; // trace keepalive
+            }
+            let json: Json = serde_json::from_str(reply).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}"))
+            })?;
+            if json.get("update").is_some() {
+                continue; // interleaved subscription push
+            }
+            return Ok(json);
+        }
+    }
+
+    /// [`Client::request`], but when the server sheds the request with
+    /// `overloaded` it sleeps (jittered exponential backoff, floored at
+    /// the server's `retry_after_ms` hint) and resends, up to
+    /// `max_retries` times. The final shed reply is returned verbatim if
+    /// the budget runs out, so callers can still see the refusal.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, EOF, or an unparseable reply line.
+    pub fn request_with_retry(&mut self, line: &str) -> io::Result<Json> {
+        self.stats.requests += 1;
+        let mut attempt = 0u32;
+        loop {
+            let reply = self.request(line)?;
+            let overloaded = reply.get("error").and_then(Json::as_str) == Some("overloaded");
+            if !overloaded {
+                return Ok(reply);
+            }
+            self.stats.sheds += 1;
+            if attempt >= self.policy.max_retries {
+                self.stats.gave_up += 1;
+                return Ok(reply);
+            }
+            let hint = reply.get("retry_after_ms").and_then(as_u64).unwrap_or(0);
+            let delay = backoff_ms(self.policy, attempt, hint, &mut self.rng);
+            thread::sleep(Duration::from_millis(delay));
+            attempt += 1;
+            self.stats.retries += 1;
+        }
+    }
+
+    /// Opens a builtin program; returns the new session id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an error reply.
+    pub fn open_builtin(&mut self, program: &str) -> io::Result<u64> {
+        let reply = self.request(&format!("{{\"cmd\":\"open\",\"program\":\"{program}\"}}"))?;
+        expect_ok(&reply)?;
+        reply
+            .get("session")
+            .and_then(as_u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "open reply lacks session"))
+    }
+
+    /// Sends one event (with retry); `value` must already be the JSON
+    /// encoding of a plain value, e.g. `{"Int":3}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn event(&mut self, session: u64, input: &str, value: &str) -> io::Result<Json> {
+        self.request_with_retry(&format!(
+            "{{\"cmd\":\"event\",\"session\":{session},\"input\":\"{input}\",\"value\":{value}}}"
+        ))
+    }
+
+    /// Queries the session's current output value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn query(&mut self, session: u64) -> io::Result<Json> {
+        self.request(&format!("{{\"cmd\":\"query\",\"session\":{session}}}"))
+    }
+
+    /// Fetches the Prometheus exposition text via the `metrics` verb.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a malformed reply.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        let reply = self.request("{\"cmd\":\"metrics\"}")?;
+        reply
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "metrics reply lacks text"))
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn close(&mut self, session: u64) -> io::Result<Json> {
+        self.request(&format!("{{\"cmd\":\"close\",\"session\":{session}}}"))
+    }
+}
+
+/// Turns an `{"ok":false,...}` reply into an `io::Error`.
+///
+/// # Errors
+///
+/// Fails when the reply is not `ok`.
+pub fn expect_ok(reply: &Json) -> io::Result<()> {
+    if matches!(reply.get("ok"), Some(Json::Bool(true))) {
+        Ok(())
+    } else {
+        Err(io::Error::other(format!("server refused: {reply:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+    use crate::net::{serve_with, NetConfig};
+    use crate::server::{Server, ServerConfig};
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_grows_honours_hint_and_stays_capped() {
+        let policy = RetryPolicy {
+            base_ms: 4,
+            max_ms: 100,
+            max_retries: 8,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let d0 = backoff_ms(policy, 0, 0, &mut rng);
+        assert!(d0 >= 3 && d0 <= 4, "{d0}");
+        // The server hint floors the delay.
+        let hinted = backoff_ms(policy, 0, 40, &mut rng);
+        assert!(hinted > 20 && hinted <= 40, "{hinted}");
+        // Large attempts saturate at the cap, never overflow.
+        let late = backoff_ms(policy, 31, 0, &mut rng);
+        assert!(late > 50 && late <= 100, "{late}");
+    }
+
+    #[test]
+    fn retrying_client_rides_out_admission_sheds() {
+        let server = Arc::new(Server::start(ServerConfig {
+            shards: 1,
+            admission: AdmissionConfig {
+                enabled: true,
+                session_events_per_sec: 50.0,
+                session_burst: 2.0,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || serve_with(server, listener, NetConfig::default()));
+
+        let mut client = Client::connect(addr, 7).unwrap();
+        let sid = client.open_builtin("counter").unwrap();
+        // Far more than the burst allows at once: only retries get these
+        // through.
+        for _ in 0..16 {
+            let reply = client.event(sid, "Mouse.clicks", "\"Unit\"").unwrap();
+            expect_ok(&reply).unwrap();
+        }
+        let stats = client.stats();
+        assert_eq!(stats.requests, 16);
+        assert!(stats.sheds > 0, "quota never triggered: {stats:?}");
+        assert_eq!(stats.gave_up, 0, "{stats:?}");
+        client.close(sid).unwrap();
+    }
+}

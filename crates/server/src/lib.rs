@@ -29,9 +29,22 @@
 //! layer ([`elm_environment::FaultPlan`]) drives the `loadgen --chaos`
 //! harness that checks recovered outputs byte-for-byte against an
 //! uninterrupted synchronous replay.
+//!
+//! The server is also *overload-protected* against both hostile load
+//! and hostile programs: untrusted FElm sessions run under an
+//! [`elm_runtime::EventLimits`] fuel/allocation/depth budget plus a
+//! per-event deadline (a runaway evaluation traps, rolls back, and the
+//! session lives on), shard-level token-bucket [`admission`] control
+//! sheds excess data-plane traffic with a typed `overloaded` reply and
+//! `retry_after_ms` hint while control-plane verbs stay answerable, and
+//! the TCP front end isolates slow subscribers behind bounded write
+//! queues ([`net::NetConfig`]). The cooperating [`client`] retries shed
+//! requests with jittered exponential backoff.
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod client;
 pub mod metrics;
 pub mod net;
 pub mod protocol;
@@ -41,9 +54,12 @@ pub mod session;
 pub mod shard;
 pub mod supervisor;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionController, MemoryGauge};
+pub use client::{Client, RetryPolicy, RetryStats};
+pub use net::{NetConfig, NetCounters};
 pub use protocol::{
-    BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary, OpenInfo,
-    QueryInfo, RecoveryStats, Request, ServerStats, SessionStats, Update,
+    AdmissionStats, BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary,
+    OpenInfo, QueryInfo, RecoveryStats, Request, ServerStats, SessionStats, TrapStats, Update,
 };
 pub use registry::{ProgramSpec, Registry};
 pub use server::{Server, ServerConfig};

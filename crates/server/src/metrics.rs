@@ -15,21 +15,38 @@
 //! `node`/`label` so a scrape can be joined against the DOT rendering of
 //! the graph.
 
-use elm_runtime::Registry;
+use elm_runtime::{Registry, TrapKind};
 
-use crate::protocol::{LatencySummary, SessionStats};
+use crate::net::NetCounters;
+use crate::protocol::{AdmissionStats, LatencySummary, SessionStats};
 use crate::shard::ShardCounters;
+
+/// Overload-governance inputs to the renderer: per-shard admission
+/// counters and command backlogs, the server-wide memory gauge, and the
+/// TCP front end's framing/slow-consumer counters.
+pub struct OverloadMetrics<'a> {
+    /// Admission counters, indexed by shard.
+    pub admissions: &'a [AdmissionStats],
+    /// Commands waiting on each shard's channel (admission queue depth).
+    pub backlogs: &'a [u64],
+    /// Approximate retained cells across all sessions.
+    pub memory_cells: u64,
+    /// TCP framing / subscriber-isolation counters.
+    pub net: NetCounters,
+}
 
 /// Renders the full metric surface as Prometheus exposition text.
 ///
 /// `counters` are the summed shard lifecycle counters, `sessions` the
 /// per-session statistics of every live session, `shard_depths[i]` shard
-/// `i`'s ingress backlog, and `latency`/`latency_sum_us` the cross-session
-/// ingest-to-output latency summary plus the sum of its samples.
+/// `i`'s ingress backlog, `overload` the admission/net counters, and
+/// `latency`/`latency_sum_us` the cross-session ingest-to-output latency
+/// summary plus the sum of its samples.
 pub fn render_prometheus(
     counters: &ShardCounters,
     sessions: &[SessionStats],
     shard_depths: &[u64],
+    overload: &OverloadMetrics<'_>,
     latency: &LatencySummary,
     latency_sum_us: u64,
 ) -> String {
@@ -77,6 +94,57 @@ pub fn render_prometheus(
             *depth as i64,
         );
     }
+
+    // --- admission control & overload governance ---
+    for (i, a) in overload.admissions.iter().enumerate() {
+        let shard = i.to_string();
+        let l: &[(&str, &str)] = &[("shard", &shard)];
+        reg.counter(
+            "elm_admission_offered_total",
+            "Data-plane events offered for admission.",
+            l,
+            a.offered,
+        );
+        reg.counter(
+            "elm_admitted_total",
+            "Events admitted past the controller.",
+            l,
+            a.admitted,
+        );
+        reg.counter(
+            "elm_shed_total",
+            "Events shed with a typed overloaded reply.",
+            l,
+            a.shed,
+        );
+    }
+    for (i, backlog) in overload.backlogs.iter().enumerate() {
+        let shard = i.to_string();
+        reg.gauge(
+            "elm_admission_queue_depth",
+            "Commands waiting on the shard's channel.",
+            &[("shard", &shard)],
+            *backlog as i64,
+        );
+    }
+    reg.gauge(
+        "elm_memory_cells",
+        "Approximate retained cells across all sessions (queues, journals, outputs).",
+        &[],
+        overload.memory_cells as i64,
+    );
+    reg.counter(
+        "elm_frames_rejected_total",
+        "NDJSON frames rejected for oversize or invalid UTF-8.",
+        &[],
+        overload.net.frames_rejected,
+    );
+    reg.counter(
+        "elm_subscriber_disconnects_total",
+        "Connections cut for not draining their outbound queue.",
+        &[],
+        overload.net.slow_disconnects,
+    );
 
     // --- per-session ---
     for s in sessions {
@@ -210,6 +278,14 @@ pub fn render_prometheus(
             l,
             s.spans_dropped,
         );
+        for kind in TrapKind::ALL {
+            reg.counter(
+                "elm_traps_total",
+                "Events stopped by the evaluation governor and rolled back, by kind.",
+                &[("session", &sid), ("kind", kind.label())],
+                s.traps.count(kind),
+            );
+        }
         // Per-node timing histograms (observed sessions only).
         for n in &s.nodes {
             let node = n.node.to_string();
@@ -268,7 +344,7 @@ pub fn render_prometheus(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{IngressStats, RecoveryStats};
+    use crate::protocol::{IngressStats, RecoveryStats, TrapStats};
     use elm_runtime::{Histogram, NodeTimingSnapshot, StatsSnapshot};
 
     fn sample_session() -> SessionStats {
@@ -304,6 +380,11 @@ mod tests {
                 queue: Histogram::new().snapshot(),
             }],
             spans_dropped: 0,
+            traps: TrapStats {
+                out_of_fuel: 3,
+                deadline_exceeded: 1,
+                ..TrapStats::default()
+            },
         }
     }
 
@@ -316,6 +397,22 @@ mod tests {
             },
             &[sample_session()],
             &[0, 5],
+            &OverloadMetrics {
+                admissions: &[
+                    AdmissionStats {
+                        offered: 100,
+                        admitted: 90,
+                        shed: 10,
+                    },
+                    AdmissionStats::default(),
+                ],
+                backlogs: &[7, 0],
+                memory_cells: 4096,
+                net: NetCounters {
+                    frames_rejected: 2,
+                    slow_disconnects: 1,
+                },
+            },
             &LatencySummary {
                 count: 2,
                 p50_us: 10,
@@ -356,6 +453,29 @@ mod tests {
         );
         assert!(
             text.contains("elm_journal_appends_total{session=\"3\"} 12"),
+            "{text}"
+        );
+        assert!(text.contains("elm_shed_total{shard=\"0\"} 10"), "{text}");
+        assert!(
+            text.contains("elm_admission_offered_total{shard=\"0\"} 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_admission_queue_depth{shard=\"0\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("elm_memory_cells 4096"), "{text}");
+        assert!(text.contains("elm_frames_rejected_total 2"), "{text}");
+        assert!(
+            text.contains("elm_subscriber_disconnects_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_traps_total{session=\"3\",kind=\"out_of_fuel\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_traps_total{session=\"3\",kind=\"deadline_exceeded\"} 1"),
             "{text}"
         );
         // Every line is either a comment or `name[{labels}] value`.

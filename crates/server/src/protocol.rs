@@ -10,7 +10,7 @@
 //! same encoding `elm-runtime` traces use on disk, so recorded traces can
 //! be replayed over the wire verbatim.
 
-use elm_runtime::{NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot};
+use elm_runtime::{NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot, TrapKind};
 use serde_json::Value as Json;
 
 /// One client → server command, decoded from a JSON line.
@@ -129,6 +129,13 @@ pub enum EnqueueOutcome {
     /// Not queued: the session's program does not declare this input (or
     /// the session exhausted its restart budget and awaits eviction).
     Ignored,
+    /// Not queued: admission control shed the event under overload. The
+    /// client should back off for at least `retry_after_ms` before
+    /// resubmitting.
+    Shed {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl EnqueueOutcome {
@@ -139,6 +146,7 @@ impl EnqueueOutcome {
             EnqueueOutcome::DroppedOldest => "dropped-oldest",
             EnqueueOutcome::Coalesced => "coalesced",
             EnqueueOutcome::Ignored => "ignored",
+            EnqueueOutcome::Shed { .. } => "shed",
         }
     }
 }
@@ -154,6 +162,11 @@ pub struct BatchOutcome {
     pub coalesced: u64,
     /// Events skipped for undeclared inputs.
     pub ignored: u64,
+    /// Events shed by admission control (batches are admitted
+    /// all-or-nothing, so this is 0 or the whole batch).
+    pub shed: u64,
+    /// Suggested minimum backoff when `shed` is nonzero, else 0.
+    pub retry_after_ms: u64,
 }
 
 impl BatchOutcome {
@@ -167,6 +180,7 @@ impl BatchOutcome {
             }
             EnqueueOutcome::Coalesced => self.coalesced += 1,
             EnqueueOutcome::Ignored => self.ignored += 1,
+            EnqueueOutcome::Shed { .. } => self.shed += 1,
         }
     }
 }
@@ -321,6 +335,79 @@ impl RecoveryStats {
     }
 }
 
+/// Per-kind tally of resource traps: events stopped by the evaluation
+/// governor (fuel, allocation, depth, or deadline) and rolled back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct TrapStats {
+    /// Events that exhausted their fuel budget.
+    pub out_of_fuel: u64,
+    /// Events that exhausted their allocation budget.
+    pub out_of_memory: u64,
+    /// Events that exceeded the evaluation depth budget.
+    pub depth_exceeded: u64,
+    /// Events that blew their wall-clock deadline.
+    pub deadline_exceeded: u64,
+}
+
+impl TrapStats {
+    /// Folds one trap into the tally.
+    pub fn record(&mut self, kind: TrapKind) {
+        match kind {
+            TrapKind::OutOfFuel => self.out_of_fuel += 1,
+            TrapKind::OutOfMemory => self.out_of_memory += 1,
+            TrapKind::DepthExceeded => self.depth_exceeded += 1,
+            TrapKind::DeadlineExceeded => self.deadline_exceeded += 1,
+        }
+    }
+
+    /// The tally for one kind.
+    pub fn count(&self, kind: TrapKind) -> u64 {
+        match kind {
+            TrapKind::OutOfFuel => self.out_of_fuel,
+            TrapKind::OutOfMemory => self.out_of_memory,
+            TrapKind::DepthExceeded => self.depth_exceeded,
+            TrapKind::DeadlineExceeded => self.deadline_exceeded,
+        }
+    }
+
+    /// Traps of any kind.
+    pub fn total(&self) -> u64 {
+        self.out_of_fuel + self.out_of_memory + self.depth_exceeded + self.deadline_exceeded
+    }
+
+    /// Counter-wise sum, mirroring [`StatsSnapshot::merged`].
+    pub fn merged(&self, other: &TrapStats) -> TrapStats {
+        TrapStats {
+            out_of_fuel: self.out_of_fuel + other.out_of_fuel,
+            out_of_memory: self.out_of_memory + other.out_of_memory,
+            depth_exceeded: self.depth_exceeded + other.depth_exceeded,
+            deadline_exceeded: self.deadline_exceeded + other.deadline_exceeded,
+        }
+    }
+}
+
+/// Admission-control counters (per shard, summed for the server view).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct AdmissionStats {
+    /// Data-plane events offered for admission (`event` + `batch` items).
+    pub offered: u64,
+    /// Events admitted past the controller.
+    pub admitted: u64,
+    /// Events shed with a typed `overloaded` reply.
+    pub shed: u64,
+}
+
+impl AdmissionStats {
+    /// Counter-wise sum.
+    pub fn merged(&self, other: &AdmissionStats) -> AdmissionStats {
+        AdmissionStats {
+            offered: self.offered + other.offered,
+            admitted: self.admitted + other.admitted,
+            shed: self.shed + other.shed,
+        }
+    }
+}
+
 /// Everything the server knows about one session's execution.
 #[derive(Clone, Debug, PartialEq, serde::Serialize)]
 pub struct SessionStats {
@@ -344,6 +431,9 @@ pub struct SessionStats {
     pub nodes: Vec<NodeTimingSnapshot>,
     /// Trace spans lost to ring-buffer overflow (drop-oldest policy).
     pub spans_dropped: u64,
+    /// Resource traps by kind: events governed off (and rolled back)
+    /// without poisoning the session.
+    pub traps: TrapStats,
 }
 
 /// Aggregated view across the whole server.
@@ -374,6 +464,10 @@ pub struct ServerStats {
     pub recovery: RecoveryStats,
     /// Latency over all live sessions' samples.
     pub latency: LatencySummary,
+    /// Resource traps summed over live sessions.
+    pub traps: TrapStats,
+    /// Admission-control counters summed over shards.
+    pub admission: AdmissionStats,
 }
 
 /// One server → subscriber push.
@@ -511,6 +605,28 @@ pub fn err_line(msg: &str) -> String {
     line(obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str(msg.to_string())),
+    ]))
+}
+
+/// `{"ok":false,"error":"overloaded","retry_after_ms":…}` — the typed
+/// load-shedding reply. Machine-parseable: clients match on the `error`
+/// string and honor `retry_after_ms` as a minimum backoff.
+pub fn overloaded_line(retry_after_ms: u64) -> String {
+    line(obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("overloaded".to_string())),
+        ("retry_after_ms", Json::U64(retry_after_ms)),
+    ]))
+}
+
+/// `{"ok":false,"error":"protocol_error","detail":…}` — the typed reply
+/// for framing violations (oversized line, invalid UTF-8). The connection
+/// stays usable: the offending line is discarded, not the stream.
+pub fn protocol_error_line(detail: &str) -> String {
+    line(obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("protocol_error".to_string())),
+        ("detail", Json::Str(detail.to_string())),
     ]))
 }
 
@@ -787,6 +903,7 @@ mod tests {
         b.record(EnqueueOutcome::DroppedOldest);
         b.record(EnqueueOutcome::Coalesced);
         b.record(EnqueueOutcome::Ignored);
+        b.record(EnqueueOutcome::Shed { retry_after_ms: 25 });
         assert_eq!(
             b,
             BatchOutcome {
@@ -794,7 +911,49 @@ mod tests {
                 dropped: 1,
                 coalesced: 1,
                 ignored: 1,
+                shed: 1,
+                retry_after_ms: 0,
             }
         );
+    }
+
+    #[test]
+    fn overload_and_protocol_error_lines_are_typed() {
+        let o = overloaded_line(40);
+        let parsed: Json = serde_json::from_str(&o).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(parsed.get("retry_after_ms"), Some(&Json::I64(40)));
+
+        let p = protocol_error_line("line exceeds 1048576 bytes");
+        let parsed: Json = serde_json::from_str(&p).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("protocol_error")
+        );
+        assert!(parsed
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("1048576"));
+    }
+
+    #[test]
+    fn trap_stats_record_and_merge() {
+        let mut t = TrapStats::default();
+        t.record(TrapKind::OutOfFuel);
+        t.record(TrapKind::OutOfFuel);
+        t.record(TrapKind::DeadlineExceeded);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.count(TrapKind::OutOfFuel), 2);
+        let merged = t.merged(&TrapStats {
+            out_of_memory: 4,
+            ..TrapStats::default()
+        });
+        assert_eq!(merged.total(), 7);
+        assert_eq!(merged.out_of_memory, 4);
     }
 }

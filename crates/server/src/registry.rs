@@ -22,7 +22,7 @@ pub enum ProgramSpec<'a> {
 }
 
 enum Builtin {
-    Felm(&'static str),
+    Felm(String),
     Native(fn() -> SignalGraph),
 }
 
@@ -47,6 +47,47 @@ const DASHBOARD: &str = "count s = foldp (\\e n -> n + 1) 0 s\n\
                          clicks = count Mouse.clicks\n\
                          keys = count Keyboard.lastPressed\n\
                          main = lift2 (\\a b -> a * 1000 + b) clicks (lift2 (\\k x -> k + x) keys Mouse.x)";
+
+/// A `2^k`-step Church-style iteration tower — `(tower k)` normalizes to
+/// an expression that takes about `2^k` evaluation steps, far beyond any
+/// sane fuel budget for `k ≳ 30`.
+fn tower(k: usize) -> String {
+    let mut body = String::from("(\\n -> n + 1)");
+    for _ in 0..k {
+        body = format!("(t {body})");
+    }
+    format!("(let t = \\f y -> f (f y) in {body} 0)")
+}
+
+/// A `2^k`-fold string doubling — each step doubles an 8-byte seed, so
+/// allocation explodes long before the step count does.
+fn doubling_bomb(k: usize) -> String {
+    let mut body = String::from("\"88888888\"");
+    for _ in 0..k {
+        body = format!("(d {body})");
+    }
+    format!("(let d = \\s -> s ++ s in length [{body}])")
+}
+
+/// A well-typed counter that runs away the moment a `Keyboard.lastPressed`
+/// event carries a truthy value: evaluation enters a `2^40`-step tower
+/// that only a fuel budget can stop. Negative/zero keys count normally,
+/// so the session stays useful for control-plane probes either way.
+fn runaway_source() -> String {
+    format!(
+        "main = foldp (\\k acc -> if k then {} else acc + 1) 0 Keyboard.lastPressed",
+        tower(40)
+    )
+}
+
+/// Like `runaway`, but the hostile branch allocates instead of looping:
+/// a `2^40`-fold string doubling that only an allocation budget can stop.
+fn membomb_source() -> String {
+    format!(
+        "main = foldp (\\k acc -> if k then {} else acc + 1) 0 Keyboard.lastPressed",
+        doubling_bomb(40)
+    )
+}
 
 /// `Mouse.x` doubled — but any negative input panics the node, poisoning
 /// it (paper §3.3.2's `NoChange` thereafter) so crash recovery can be
@@ -106,12 +147,14 @@ impl Registry {
         Registry {
             env: InputEnv::standard(),
             builtins: vec![
-                ("counter", Builtin::Felm(COUNTER)),
-                ("mouse-sum", Builtin::Felm(MOUSE_SUM)),
-                ("mouse-latest", Builtin::Felm(MOUSE_LATEST)),
-                ("window-area", Builtin::Felm(WINDOW_AREA)),
-                ("latest-word", Builtin::Felm(LATEST_WORD)),
-                ("dashboard", Builtin::Felm(DASHBOARD)),
+                ("counter", Builtin::Felm(COUNTER.to_string())),
+                ("mouse-sum", Builtin::Felm(MOUSE_SUM.to_string())),
+                ("mouse-latest", Builtin::Felm(MOUSE_LATEST.to_string())),
+                ("window-area", Builtin::Felm(WINDOW_AREA.to_string())),
+                ("latest-word", Builtin::Felm(LATEST_WORD.to_string())),
+                ("dashboard", Builtin::Felm(DASHBOARD.to_string())),
+                ("runaway", Builtin::Felm(runaway_source())),
+                ("membomb", Builtin::Felm(membomb_source())),
                 ("crashy", Builtin::Native(crashy_graph)),
                 ("chaos", Builtin::Native(chaos_graph)),
             ],

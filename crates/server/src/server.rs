@@ -12,9 +12,10 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver};
 use elm_runtime::{PlainValue, StatsSnapshot};
 
+use crate::admission::{AdmissionConfig, MemoryGauge};
 use crate::protocol::{
-    BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary, OpenInfo,
-    QueryInfo, RecoveryStats, ServerStats, SessionStats, Update,
+    AdmissionStats, BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary,
+    OpenInfo, QueryInfo, RecoveryStats, ServerStats, SessionStats, TrapStats, Update,
 };
 use crate::registry::{ProgramSpec, Registry};
 use crate::session::{SessionConfig, SessionId, TraceMailbox};
@@ -30,6 +31,8 @@ pub struct ServerConfig {
     pub session: SessionConfig,
     /// Evict sessions untouched for this long. `None` disables.
     pub idle_timeout: Option<Duration>,
+    /// Per-shard admission control (disabled by default).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +44,7 @@ impl Default for ServerConfig {
                 .min(8),
             session: SessionConfig::default(),
             idle_timeout: None,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -51,20 +55,37 @@ pub struct Server {
     next_id: AtomicU64,
     registry: Registry,
     config: ServerConfig,
+    memory: Arc<MemoryGauge>,
 }
 
 impl Server {
     /// Starts the shard pool.
     pub fn start(config: ServerConfig) -> Server {
+        let memory = MemoryGauge::new();
         let shards = (0..config.shards.max(1))
-            .map(|i| ShardHandle::spawn(i, config.idle_timeout, config.session.faults))
+            .map(|i| {
+                ShardHandle::spawn(
+                    i,
+                    config.idle_timeout,
+                    config.session.faults,
+                    config.admission,
+                    memory.clone(),
+                )
+            })
             .collect();
         Server {
             shards,
             next_id: AtomicU64::new(0),
             registry: Registry::standard(),
             config,
+            memory,
         }
+    }
+
+    /// The server-wide approximate-memory gauge (cells retained across
+    /// all sessions' queues, journals, and outputs).
+    pub fn memory_cells(&self) -> u64 {
+        self.memory.cells()
     }
 
     /// The program registry.
@@ -122,7 +143,7 @@ impl Server {
             id,
             name,
             graph,
-            config,
+            config: Box::new(config),
             reply,
         })
     }
@@ -266,6 +287,8 @@ impl Server {
             ingress: IngressStats::default(),
             recovery: RecoveryStats::default(),
             latency: LatencySummary::default(),
+            traps: TrapStats::default(),
+            admission: AdmissionStats::default(),
         };
         for shard in per_shard {
             global.opened += shard.counters.opened;
@@ -273,10 +296,12 @@ impl Server {
             global.evicted_idle += shard.counters.evicted_idle;
             global.recovery_failed += shard.counters.recovery_failed;
             global.sessions_live += shard.sessions.len() as u64;
+            global.admission = global.admission.merged(&shard.admission);
             for s in &shard.sessions {
                 global.runtime = global.runtime.merged(&s.runtime);
                 global.ingress = global.ingress.merged(&s.ingress);
                 global.recovery = global.recovery.merged(&s.recovery);
+                global.traps = global.traps.merged(&s.traps);
             }
             sessions.extend(shard.sessions);
             samples.extend(shard.samples);
@@ -294,6 +319,8 @@ impl Server {
     pub fn metrics_text(&self) -> String {
         let per_shard = self.collect_shard_stats();
         let shard_depths: Vec<u64> = per_shard.iter().map(|s| s.queue_depth).collect();
+        let admissions: Vec<AdmissionStats> = per_shard.iter().map(|s| s.admission).collect();
+        let backlogs: Vec<u64> = per_shard.iter().map(|s| s.cmd_backlog).collect();
         let mut sessions: Vec<SessionStats> = Vec::new();
         let mut samples: Vec<u64> = Vec::new();
         let mut counters = crate::shard::ShardCounters::default();
@@ -312,6 +339,12 @@ impl Server {
             &counters,
             &sessions,
             &shard_depths,
+            &crate::metrics::OverloadMetrics {
+                admissions: &admissions,
+                backlogs: &backlogs,
+                memory_cells: self.memory.cells(),
+                net: crate::net::counters(),
+            },
             &latency,
             latency_sum_us,
         )

@@ -27,21 +27,22 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use elm_environment::fault::{self, FaultPlan};
 use elm_runtime::{
-    Counter, EventJournal, Gauge, JournalEntry, NodeTimingSnapshot, PlainValue, RuntimeSnapshot,
-    SignalGraph, StatsSnapshot, Tracer, Value,
+    Counter, EventJournal, EventLimits, Gauge, JournalEntry, NodeTimingSnapshot, PlainValue,
+    RuntimeSnapshot, SignalGraph, StatsSnapshot, Tracer, Value,
 };
 use elm_signals::{Engine, Program, Running};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::admission::MemoryGauge;
 use crate::protocol::{
     BackpressurePolicy, EnqueueOutcome, IngressStats, LatencySummary, QueryInfo, RecoveryStats,
-    SessionStats, Update,
+    SessionStats, TrapStats, Update,
 };
 use crate::supervisor::{RestartBudget, RestartDecision, RestartPolicy};
 
@@ -68,6 +69,15 @@ pub struct SessionConfig {
     /// histograms). Off by default so untraced sessions pay no
     /// observability overhead.
     pub observe: bool,
+    /// Per-event resource budget (fuel / allocation / depth) enforced by
+    /// the runtime governor. `None` leaves evaluation ungoverned. On by
+    /// default: a server hosts untrusted programs, and the default
+    /// budget is far above anything an honest event needs.
+    pub limits: Option<EventLimits>,
+    /// Wall-clock deadline per event. A blown deadline traps and rolls
+    /// back just that event; the session stays healthy. Disabled during
+    /// recovery replay (wall time is not deterministic).
+    pub event_timeout: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -80,6 +90,8 @@ impl Default for SessionConfig {
             restart: RestartPolicy::default(),
             faults: FaultPlan::disabled(),
             observe: false,
+            limits: Some(EventLimits::default()),
+            event_timeout: None,
         }
     }
 }
@@ -239,6 +251,13 @@ pub struct Session {
     // `trace` subscribers: bounded drop-oldest mailboxes of NDJSON lines.
     trace_subscribers: Vec<Arc<TraceMailbox>>,
     trace_lines_dropped: u64,
+    // Governor traps by kind (trapped events are rolled back, not
+    // poisoning — see crate::protocol::TrapStats).
+    traps: TrapStats,
+    // Server-wide memory gauge this session reports its retained cells
+    // into, and the last figure it reported (for delta accounting).
+    memory: Option<Arc<MemoryGauge>>,
+    reported_cells: i64,
 }
 
 impl Session {
@@ -254,8 +273,9 @@ impl Session {
             t.set_enabled(true);
             t
         });
-        let running = Program::from_dynamic_graph(graph.clone())
+        let mut running = Program::from_dynamic_graph(graph.clone())
             .start_observed(Engine::Synchronous, tracer.clone());
+        running.set_governor(config.limits, config.event_timeout);
         let mut journal = EventJournal::new(config.journal_segment.max(1));
         if config.faults.journal_fail > 0.0 {
             let mut rng = config.faults.rng(fault::STREAM_JOURNAL, id);
@@ -297,7 +317,36 @@ impl Session {
             tracer,
             trace_subscribers: Vec::new(),
             trace_lines_dropped: 0,
+            traps: TrapStats::default(),
+            memory: None,
+            reported_cells: 0,
         }
+    }
+
+    /// Attaches the server-wide memory gauge; the session reports its
+    /// approximate retained cells (queue + journal + output) into it
+    /// after every pump, and withdraws them when stopped.
+    pub fn set_memory_gauge(&mut self, gauge: Arc<MemoryGauge>) {
+        self.memory = Some(gauge);
+        self.report_memory();
+    }
+
+    /// Re-estimates retained cells and reports the delta to the gauge.
+    fn report_memory(&mut self) {
+        let Some(gauge) = self.memory.as_ref() else {
+            return;
+        };
+        let queued: u64 = self
+            .queue
+            .iter()
+            .map(|q| q.value.approx_cells() + q.input.len() as u64)
+            .sum();
+        // Journal entries retain a PlainValue each; a flat per-entry
+        // charge keeps this O(journal length) without re-walking values.
+        let cells =
+            (queued + self.journal.len() as u64 * 8 + self.last_output.approx_cells()) as i64;
+        gauge.add(cells - self.reported_cells);
+        self.reported_cells = cells;
     }
 
     /// The session id.
@@ -538,11 +587,28 @@ impl Session {
             self.queue.push_front(q);
         }
         self.pumps += 1;
+        if self.collect_traps() {
+            // A trapped event was journaled but applied as a rolled-back
+            // no-op. Fuel/alloc/depth traps replay deterministically, but
+            // a deadline trap is wall-clock-dependent; snapshot now so no
+            // recovery ever replays across a trapped event.
+            self.take_snapshot();
+        }
         if crashed {
             self.supervise();
             self.maybe_recover();
         }
         self.flush_traces();
+        self.report_memory();
+    }
+
+    /// Drains the runtime's governor-trap log into the per-kind tally.
+    fn collect_traps(&mut self) -> bool {
+        let trapped = self.running.take_traps();
+        for (_seq, kind) in &trapped {
+            self.traps.record(*kind);
+        }
+        !trapped.is_empty()
     }
 
     /// Drains completed spans from the tracer's ring, reassembles them
@@ -619,8 +685,13 @@ impl Session {
     fn perform_recovery(&mut self) {
         // Re-attach the same tracer: per-node histograms accumulate across
         // incarnations, like the runtime counters below.
-        let fresh = Program::from_dynamic_graph(self.graph.clone())
+        let mut fresh = Program::from_dynamic_graph(self.graph.clone())
             .start_observed(Engine::Synchronous, self.tracer.clone());
+        // Replay runs under the same deterministic budgets but *no*
+        // wall-clock deadline: elapsed time differs between the original
+        // run and the replay, and a deadline trap here would diverge
+        // recovered state from history.
+        fresh.set_governor(self.config.limits, None);
         let dead = std::mem::replace(&mut self.running, fresh);
         self.stats_base = self.stats_base.merged(&dead.stats());
         dead.stop();
@@ -649,6 +720,12 @@ impl Session {
         }
         self.recovery.replayed_events.add(replayed);
         self.recovery.max_replay.set_max(replayed as i64);
+        // Replay reproduced any deterministic traps; they were already
+        // tallied the first time, so discard the duplicates and restore
+        // the live deadline.
+        let _ = self.running.take_traps();
+        self.running
+            .set_governor(self.config.limits, self.config.event_timeout);
         self.panic_baseline = self.running.stats().node_panics;
         self.last_output = self.running.current().clone();
         self.pending_recovery = None;
@@ -723,7 +800,13 @@ impl Session {
             nodes: self.node_timings(),
             spans_dropped: self.tracer.as_ref().map_or(0, |t| t.dropped_spans())
                 + self.trace_lines_dropped,
+            traps: self.traps,
         }
+    }
+
+    /// Governor traps tallied by kind.
+    pub fn trap_stats(&self) -> TrapStats {
+        self.traps
     }
 
     /// Tells subscribers the session is gone. Always the final message on
@@ -740,8 +823,12 @@ impl Session {
         }
     }
 
-    /// Stops the underlying runtime.
+    /// Stops the underlying runtime and withdraws the session's memory
+    /// contribution from the gauge.
     pub fn stop(self) {
+        if let Some(gauge) = self.memory.as_ref() {
+            gauge.add(-self.reported_cells);
+        }
         self.running.stop();
     }
 }

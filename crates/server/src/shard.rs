@@ -23,7 +23,10 @@ use rand::Rng;
 
 use std::sync::Arc;
 
-use crate::protocol::{BatchOutcome, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats, Update};
+use crate::admission::{Admission, AdmissionConfig, AdmissionController, MemoryGauge};
+use crate::protocol::{
+    AdmissionStats, BatchOutcome, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats, Update,
+};
 use crate::session::{Session, SessionConfig, SessionId, TraceMailbox};
 
 /// How long a shard sleeps when no commands arrive before re-checking
@@ -60,6 +63,11 @@ pub struct ShardStats {
     /// Events queued across *all* sessions on this shard at snapshot
     /// time (the shard's ingress backlog), regardless of session filter.
     pub queue_depth: u64,
+    /// Admission-control counters for this shard.
+    pub admission: AdmissionStats,
+    /// Commands waiting on the shard's channel when the last burst began
+    /// (the admission queue depth).
+    pub cmd_backlog: u64,
 }
 
 /// One request to a shard. Every variant carries its own reply channel.
@@ -72,8 +80,8 @@ pub enum Command {
         name: String,
         /// The compiled signal graph.
         graph: SignalGraph,
-        /// Ingress configuration.
-        config: SessionConfig,
+        /// Ingress configuration (boxed: it dwarfs every other variant).
+        config: Box<SessionConfig>,
         /// Replies with the open summary.
         reply: Sender<OpenInfo>,
     },
@@ -149,12 +157,20 @@ pub struct ShardHandle {
 impl ShardHandle {
     /// Spawns a shard worker. `faults` drives worker-stall injection
     /// (deterministically seeded by the shard index); pass
-    /// [`FaultPlan::disabled`] for a fault-free shard.
-    pub fn spawn(index: usize, idle_timeout: Option<Duration>, faults: FaultPlan) -> ShardHandle {
+    /// [`FaultPlan::disabled`] for a fault-free shard. `admission`
+    /// configures the shard's load-shedding controller and `memory` is
+    /// the server-wide gauge behind its watermark.
+    pub fn spawn(
+        index: usize,
+        idle_timeout: Option<Duration>,
+        faults: FaultPlan,
+        admission: AdmissionConfig,
+        memory: Arc<MemoryGauge>,
+    ) -> ShardHandle {
         let (tx, rx) = channel::unbounded();
         let handle = thread::Builder::new()
             .name(format!("elm-shard-{index}"))
-            .spawn(move || run(rx, idle_timeout, index, faults))
+            .spawn(move || run(rx, idle_timeout, index, faults, admission, memory))
             .expect("spawning a shard thread");
         ShardHandle { tx, handle }
     }
@@ -186,13 +202,26 @@ struct Shard {
     sessions: HashMap<SessionId, Session>,
     counters: ShardCounters,
     idle_timeout: Option<Duration>,
+    admission: AdmissionController,
+    memory: Arc<MemoryGauge>,
+    cmd_backlog: u64,
 }
 
-fn run(rx: Receiver<Command>, idle_timeout: Option<Duration>, index: usize, faults: FaultPlan) {
+fn run(
+    rx: Receiver<Command>,
+    idle_timeout: Option<Duration>,
+    index: usize,
+    faults: FaultPlan,
+    admission: AdmissionConfig,
+    memory: Arc<MemoryGauge>,
+) {
     let mut shard = Shard {
         sessions: HashMap::new(),
         counters: ShardCounters::default(),
         idle_timeout,
+        admission: AdmissionController::new(admission, memory.clone()),
+        memory,
+        cmd_backlog: 0,
     };
     // Worker-stall injection: one roll per handled command burst. Stalls
     // only delay the worker (sessions must tolerate a frozen shard); they
@@ -201,6 +230,7 @@ fn run(rx: Receiver<Command>, idle_timeout: Option<Duration>, index: usize, faul
     'outer: loop {
         match rx.recv_timeout(TICK) {
             Ok(cmd) => {
+                shard.cmd_backlog = rx.len() as u64;
                 if shard.handle(cmd) {
                     break 'outer;
                 }
@@ -253,8 +283,9 @@ impl Shard {
                     initial: PlainValue::from_value(&graph.node(graph.output()).default)
                         .unwrap_or_else(|| PlainValue::Str("<opaque>".to_string())),
                 };
-                self.sessions
-                    .insert(id, Session::new(id, name, graph, config));
+                let mut session = Session::new(id, name, graph, *config);
+                session.set_memory_gauge(self.memory.clone());
+                self.sessions.insert(id, session);
                 self.counters.opened += 1;
                 let _ = reply.send(info);
             }
@@ -264,7 +295,21 @@ impl Shard {
                 value,
                 reply,
             } => {
-                let res = self.with_session(session, |s| s.enqueue(&input, value));
+                let res = if !self.sessions.contains_key(&session) {
+                    Err(format!("unknown session {session}"))
+                } else {
+                    match self
+                        .admission
+                        .admit(session, 1, value.approx_cells(), Instant::now())
+                    {
+                        Admission::Shed { retry_after_ms } => {
+                            Ok(EnqueueOutcome::Shed { retry_after_ms })
+                        }
+                        Admission::Admit => {
+                            self.with_session(session, |s| s.enqueue(&input, value))
+                        }
+                    }
+                };
                 let _ = reply.send(res);
             }
             Command::Batch {
@@ -272,13 +317,30 @@ impl Shard {
                 events,
                 reply,
             } => {
-                let res = self.with_session(session, |s| {
-                    let mut outcome = BatchOutcome::default();
-                    for (input, value) in events {
-                        outcome.record(s.enqueue(&input, value));
+                let res = if !self.sessions.contains_key(&session) {
+                    Err(format!("unknown session {session}"))
+                } else {
+                    let cells: u64 = events.iter().map(|(_, v)| v.approx_cells()).sum();
+                    match self
+                        .admission
+                        .admit(session, events.len() as u64, cells, Instant::now())
+                    {
+                        // All-or-nothing: a shed batch debits no tokens
+                        // and enqueues nothing.
+                        Admission::Shed { retry_after_ms } => Ok(BatchOutcome {
+                            shed: events.len() as u64,
+                            retry_after_ms,
+                            ..BatchOutcome::default()
+                        }),
+                        Admission::Admit => self.with_session(session, |s| {
+                            let mut outcome = BatchOutcome::default();
+                            for (input, value) in events {
+                                outcome.record(s.enqueue(&input, value));
+                            }
+                            outcome
+                        }),
                     }
-                    outcome
-                });
+                };
                 let _ = reply.send(res);
             }
             Command::Query { session, reply } => {
@@ -321,6 +383,8 @@ impl Shard {
                 let mut stats = ShardStats {
                     counters: self.counters,
                     queue_depth: self.sessions.values().map(|s| s.queue_len() as u64).sum(),
+                    admission: self.admission.stats(),
+                    cmd_backlog: self.cmd_backlog,
                     ..ShardStats::default()
                 };
                 for s in selected {
@@ -335,6 +399,7 @@ impl Shard {
                         s.pump();
                         s.notify_closed("closed");
                         s.stop();
+                        self.admission.forget(session);
                         self.counters.closed += 1;
                         Ok(())
                     }
@@ -386,6 +451,7 @@ impl Shard {
             if let Some(mut s) = self.sessions.remove(&id) {
                 s.notify_closed(reason);
                 s.stop();
+                self.admission.forget(id);
                 match reason {
                     "recovery_failed" => self.counters.recovery_failed += 1,
                     _ => self.counters.evicted_idle += 1,
@@ -416,7 +482,7 @@ mod tests {
                 id,
                 name,
                 graph,
-                config,
+                config: Box::new(config),
                 reply: tx,
             })
             .unwrap();
@@ -437,7 +503,13 @@ mod tests {
 
     #[test]
     fn shard_hosts_sessions_and_answers_queries() {
-        let shard = ShardHandle::spawn(0, None, FaultPlan::disabled());
+        let shard = ShardHandle::spawn(
+            0,
+            None,
+            FaultPlan::disabled(),
+            AdmissionConfig::default(),
+            MemoryGauge::new(),
+        );
         let info = open_on(&shard, 7, "counter", SessionConfig::default());
         assert_eq!(info.session, 7);
         assert_eq!(info.inputs, vec!["Mouse.clicks".to_string()]);
@@ -461,7 +533,13 @@ mod tests {
 
     #[test]
     fn poisoned_sessions_recover_in_place_instead_of_eviction() {
-        let shard = ShardHandle::spawn(0, None, FaultPlan::disabled());
+        let shard = ShardHandle::spawn(
+            0,
+            None,
+            FaultPlan::disabled(),
+            AdmissionConfig::default(),
+            MemoryGauge::new(),
+        );
         open_on(&shard, 1, "crashy", SessionConfig::default());
         open_on(&shard, 2, "counter", SessionConfig::default());
 
@@ -512,7 +590,13 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_evicts_with_recovery_failed() {
-        let shard = ShardHandle::spawn(0, None, FaultPlan::disabled());
+        let shard = ShardHandle::spawn(
+            0,
+            None,
+            FaultPlan::disabled(),
+            AdmissionConfig::default(),
+            MemoryGauge::new(),
+        );
         let config = SessionConfig {
             restart: crate::supervisor::RestartPolicy {
                 max_restarts: 0,
@@ -569,7 +653,13 @@ mod tests {
 
     #[test]
     fn idle_sessions_are_evicted_after_the_timeout() {
-        let shard = ShardHandle::spawn(0, Some(Duration::from_millis(30)), FaultPlan::disabled());
+        let shard = ShardHandle::spawn(
+            0,
+            Some(Duration::from_millis(30)),
+            FaultPlan::disabled(),
+            AdmissionConfig::default(),
+            MemoryGauge::new(),
+        );
         open_on(&shard, 1, "counter", SessionConfig::default());
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {

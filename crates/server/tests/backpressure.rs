@@ -15,6 +15,7 @@ fn tiny_queue_server(policy: BackpressurePolicy) -> Server {
             ..SessionConfig::default()
         },
         idle_timeout: None,
+        admission: Default::default(),
     })
 }
 

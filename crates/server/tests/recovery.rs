@@ -17,6 +17,7 @@ fn crashy_session_recovers_in_place_with_subscribers_intact() {
         shards: 1,
         session: SessionConfig::default(),
         idle_timeout: None,
+        admission: Default::default(),
     });
     let s = server
         .open(ProgramSpec::Builtin("crashy"), None, None, false)
@@ -89,8 +90,10 @@ fn injected_crashes_match_uninterrupted_synchronous_replay() {
             // Trace under fire: recovery must re-attach the tracer and
             // keep outputs byte-identical to the crash-free replay.
             observe: true,
+            ..SessionConfig::default()
         },
         idle_timeout: None,
+        admission: Default::default(),
     });
     let s = server
         .open(ProgramSpec::Builtin("chaos"), None, None, false)
@@ -148,6 +151,7 @@ fn budget_exhaustion_closes_with_recovery_failed() {
             ..SessionConfig::default()
         },
         idle_timeout: None,
+        admission: Default::default(),
     });
     let s = server
         .open(ProgramSpec::Builtin("crashy"), None, None, false)

@@ -155,6 +155,7 @@ fn closed_update_with_reason_is_the_final_stream_message() {
             ..SessionConfig::default()
         },
         idle_timeout: None,
+        admission: Default::default(),
     });
     let mut c = Client::connect(addr);
 

@@ -302,6 +302,30 @@ impl<T: SignalValue> Running<T> {
         }
     }
 
+    /// Installs per-event resource governance on the synchronous engine:
+    /// `limits` bounds fuel/allocation/depth per event, `event_timeout`
+    /// gives every event a wall-clock deadline. A no-op on the concurrent
+    /// engine (whose node computations run on worker threads outside the
+    /// governor's thread-local scope).
+    pub fn set_governor(
+        &mut self,
+        limits: Option<elm_runtime::EventLimits>,
+        event_timeout: Option<Duration>,
+    ) {
+        if let Inner::Synchronous(rt) = &mut self.inner {
+            rt.set_governor(limits, event_timeout);
+        }
+    }
+
+    /// Drains the `(seq, kind)` log of governor-trapped events.
+    /// Always empty on the concurrent engine.
+    pub fn take_traps(&mut self) -> Vec<(u64, elm_runtime::TrapKind)> {
+        match &mut self.inner {
+            Inner::Concurrent(_) => Vec::new(),
+            Inner::Synchronous(rt) => rt.take_traps(),
+        }
+    }
+
     /// The tracer attached at [`Program::start_observed`] time, if any.
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         match &self.inner {
