@@ -1,0 +1,102 @@
+//! Scenario-fleet pricing: what does hosting a *diverse* population of
+//! synthesized programs cost versus the single hand-written dashboard?
+//!
+//! Three measurements: (1) raw generator throughput — scenarios
+//! synthesized per second, since `loadgen --fleet` synthesizes its whole
+//! population up front; (2) the local governed-replay oracle that every
+//! property check and every shrink attempt pays for; (3) hosted-fleet
+//! throughput — 32 distinct synthesized programs (mixed lift/foldp/
+//! async/merge shapes) opened as real sessions and driven concurrently,
+//! the closest Criterion analogue of the `--fleet` verdict run.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elm_runtime::{EventLimits, PlainValue};
+use elm_server::{ProgramSpec, Server, ServerConfig};
+use elm_synth::{run_local, GenConfig, Generator, Scenario};
+
+const EVENTS_PER_PROGRAM: usize = 500;
+const BATCH: usize = 64;
+
+fn population(programs: usize) -> Vec<Scenario> {
+    let g = Generator::new(GenConfig::default());
+    (0..programs)
+        .map(|i| g.scenario(1_000 + i as u64, EVENTS_PER_PROGRAM))
+        .collect()
+}
+
+fn drive(server: &Arc<Server>, fleet: &[Scenario]) {
+    let mut sessions = Vec::with_capacity(fleet.len());
+    for s in fleet {
+        sessions.push(
+            server
+                .open(ProgramSpec::Source(&s.source), None, None, false)
+                .unwrap()
+                .session,
+        );
+    }
+    let mut drivers = Vec::with_capacity(sessions.len());
+    for (i, &session) in sessions.iter().enumerate() {
+        let server = Arc::clone(server);
+        let events: Vec<(String, PlainValue)> = fleet[i]
+            .trace
+            .events
+            .iter()
+            .map(|e| (e.input.clone(), e.value.clone()))
+            .collect();
+        drivers.push(thread::spawn(move || {
+            for chunk in events.chunks(BATCH) {
+                server.batch(session, chunk).unwrap();
+            }
+            while server.query(session).unwrap().queue_len > 0 {
+                thread::yield_now();
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().unwrap();
+    }
+    for session in sessions {
+        server.close(session).unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    // Generator throughput: IR growth + pruning + rendering + trace.
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("synthesize-64", |b| {
+        b.iter(|| population(64));
+    });
+
+    // The shrinker's inner loop: compile + governed synchronous replay.
+    let oracle = population(1).pop().unwrap();
+    group.throughput(Throughput::Elements(EVENTS_PER_PROGRAM as u64));
+    group.bench_function("local-oracle", |b| {
+        b.iter(|| run_local(&oracle.source, &oracle.trace, EventLimits::default()).unwrap());
+    });
+
+    // Hosted diversity: 32 distinct shapes driven concurrently.
+    let programs = 32usize;
+    let fleet = population(programs);
+    let server = Arc::new(Server::start(ServerConfig::default()));
+    group.throughput(Throughput::Elements((programs * EVENTS_PER_PROGRAM) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("hosted-fleet", programs),
+        &programs,
+        |b, _| b.iter(|| drive(&server, &fleet)),
+    );
+    if let Ok(s) = Arc::try_unwrap(server) {
+        s.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

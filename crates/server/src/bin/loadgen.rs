@@ -29,6 +29,16 @@
 //! snapshot interval, any recovered session's final output diverges from
 //! an uninterrupted synchronous replay, or (with panics enabled) fewer
 //! than a quarter of the sessions were actually hit by a panic.
+//!
+//! `--fleet` hosts a *scenario fleet*: hundreds of distinct seeded FElm
+//! programs synthesized by `elm-synth`, opened as ad-hoc sources across
+//! the shards under a merged chaos + overload-flood fault plan and a
+//! per-event fuel budget. Every program is judged against its
+//! machine-checkable temporal property, a budget-governed synchronous
+//! replay (scheduler equivalence), a `describe` wire round-trip, and
+//! clean subscription-closure semantics; a deliberately mutated oracle
+//! must be caught and shrunk to a minimal repro. Any failed check makes
+//! the verdict in `BENCH_fleet.json` FAILED and the exit code nonzero.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -41,7 +51,7 @@ use elm_runtime::{
 };
 use elm_server::{
     AdmissionConfig, BackpressurePolicy, ProgramSpec, RestartPolicy, Server, ServerConfig,
-    SessionConfig,
+    SessionConfig, Update,
 };
 use elm_signals::{Engine, Program};
 use serde_json::Value as Json;
@@ -59,6 +69,8 @@ struct Args {
     out: String,
     chaos: bool,
     overload: bool,
+    fleet: bool,
+    fleet_programs: usize,
     snapshot_interval: u64,
     crash_prob: f64,
     panic_prob: f64,
@@ -79,6 +91,8 @@ impl Default for Args {
             out: "BENCH_server.json".to_string(),
             chaos: false,
             overload: false,
+            fleet: false,
+            fleet_programs: 224,
             snapshot_interval: 256,
             crash_prob: 0.0005,
             panic_prob: 0.005,
@@ -92,8 +106,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions M] [--events N] [--program NAME] [--shards N] \
          [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE] \
-         [--chaos] [--overload] [--snapshot-interval N] [--crash-prob P] [--panic-prob P] \
-         [--journal-fail-prob P] [--stall-prob P]"
+         [--chaos] [--overload] [--fleet] [--fleet-programs N] [--snapshot-interval N] \
+         [--crash-prob P] [--panic-prob P] [--journal-fail-prob P] [--stall-prob P]"
     );
     exit(2)
 }
@@ -114,6 +128,8 @@ fn parse_args() -> Args {
             "--out" => a.out = value(),
             "--chaos" => a.chaos = true,
             "--overload" => a.overload = true,
+            "--fleet" => a.fleet = true,
+            "--fleet-programs" => a.fleet_programs = value().parse().unwrap_or_else(|_| usage()),
             "--snapshot-interval" => {
                 a.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
             }
@@ -219,6 +235,15 @@ fn trace_check(
     Ok((plain, tracer.node_timings()))
 }
 
+/// Writes a benchmark artifact; a failed write is recorded as a check
+/// failure (a bench run whose evidence is missing must not report OK).
+fn write_artifact(path: &str, contents: String, failures: &mut Vec<String>) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("loadgen: wrote {path}"),
+        Err(e) => failures.push(format!("cannot write artifact {path}: {e}")),
+    }
+}
+
 /// Sums every `elm_restarts_total{...}` sample in Prometheus exposition
 /// text — the scrape-side view of supervised restarts.
 fn scraped_restarts_total(metrics_text: &str) -> u64 {
@@ -288,6 +313,586 @@ fn governed_sync_replay(
     }
     running.drain_raw().expect("replay drain");
     PlainValue::from_value(running.current()).expect("replay value is plain")
+}
+
+/// The `--fleet` harness: a scenario fleet of distinct synthesized FElm
+/// programs hosted concurrently under a merged chaos + flood fault plan.
+///
+/// Per scenario it checks: the temporal property from `elm-synth`'s
+/// oracle on a budget-governed synchronous replay, the live session's
+/// final value against that replay (scheduler equivalence), a `describe`
+/// round-trip (source + graph fingerprint + declared inputs), and that
+/// the subscription stream ends with exactly one `Closed` and nothing
+/// after it. Fleet-wide it requires chaos recoveries to have fired and
+/// all succeeded, flood lacing to have been active, and — as a mutation
+/// test of the oracle itself — a planted `CountUp -> +2` miscompilation
+/// to be caught and shrunk to a minimal program + trace repro.
+fn run_fleet(args: &Args) -> ! {
+    use elm_runtime::EventLimits;
+    use elm_synth::{
+        check_property, run_local, shrink, FleetMetrics, GenConfig, Generator, ProgramIr, Property,
+        Scenario, HOSTILE_TRIGGER,
+    };
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let programs = args.fleet_programs.max(1);
+    let events = args.events.min(200);
+    let plan = FaultPlan::chaos(args.seed).merge(&FaultPlan::flood(args.seed));
+    let limits = EventLimits {
+        fuel: 200_000,
+        max_alloc_cells: 500_000,
+        max_depth: 10_000,
+    };
+    eprintln!(
+        "loadgen: FLEET {} distinct synthesized programs x {} events each, chaos+flood, seed {}",
+        programs, events, args.seed
+    );
+
+    let generator = Generator::new(GenConfig {
+        hostile: 0.12,
+        counter_shape: 0.25,
+        ..GenConfig::default()
+    });
+    // Consecutive seeds occasionally collide on tiny shapes; keep drawing
+    // until the fleet holds `programs` *distinct* sources.
+    let mut scenarios: Vec<Scenario> = Vec::with_capacity(programs);
+    let mut seen_sources = BTreeSet::new();
+    let mut next_seed = args.seed;
+    while scenarios.len() < programs {
+        let s = generator.scenario(next_seed, events);
+        next_seed += 1;
+        if seen_sources.insert(s.source.clone()) {
+            scenarios.push(s);
+        }
+    }
+    let laced: Arc<Vec<elm_runtime::Trace>> = Arc::new(
+        scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, s)| lace_with_floods(&s.trace, &plan, i as u64))
+            .collect(),
+    );
+    let base_events: u64 = scenarios.iter().map(|s| s.trace.events.len() as u64).sum();
+    let driven_events: u64 = laced.iter().map(|t| t.events.len() as u64).sum();
+    let hostile_programs = scenarios.iter().filter(|s| s.ir.is_hostile()).count();
+    let hostile_triggers: u64 = scenarios
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.ir.is_hostile())
+        .map(|(i, _)| {
+            laced[i]
+                .events
+                .iter()
+                .filter(|e| e.value == PlainValue::Int(HOSTILE_TRIGGER))
+                .count() as u64
+        })
+        .sum();
+
+    let metrics = FleetMetrics::new();
+    let mut failures: Vec<String> = Vec::new();
+    if driven_events <= base_events {
+        failures.push("flood lacing never fired (overload inactive)".to_string());
+    }
+
+    let server = Arc::new(Server::start(ServerConfig {
+        shards: args.shards,
+        session: SessionConfig {
+            queue_capacity: args.queue,
+            policy: BackpressurePolicy::Block,
+            snapshot_interval: args.snapshot_interval.max(1),
+            journal_segment: args.snapshot_interval.max(1) as usize,
+            restart: RestartPolicy {
+                max_restarts: 100_000,
+                ..RestartPolicy::default()
+            },
+            faults: plan,
+            limits: Some(limits),
+            // Wall-clock deadlines would trap nondeterministically and
+            // break the replay oracle; fuel/alloc/depth budgets alone.
+            event_timeout: None,
+            ..SessionConfig::default()
+        },
+        idle_timeout: None,
+        admission: AdmissionConfig::default(),
+    }));
+
+    let mut session_ids = Vec::with_capacity(programs);
+    let mut subs = Vec::with_capacity(programs);
+    for (i, s) in scenarios.iter().enumerate() {
+        metrics.host(&s.shape);
+        let info = server
+            .open(ProgramSpec::Source(&s.source), None, None, false)
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "loadgen: FLEET open failed for scenario {i} (seed {}): {e}\n{}",
+                    s.seed, s.source
+                );
+                exit(1);
+            });
+        let rx = server.subscribe(info.session).unwrap_or_else(|e| {
+            eprintln!(
+                "loadgen: FLEET subscribe failed for session {}: {e}",
+                info.session
+            );
+            exit(1);
+        });
+        session_ids.push(info.session);
+        subs.push(rx);
+    }
+
+    // Concurrent ingest across a bounded worker pool: each worker claims
+    // the next un-driven scenario, batches its laced trace in, and waits
+    // for the session's queue to drain.
+    let started = Instant::now();
+    let sessions = Arc::new(session_ids.clone());
+    let next = Arc::new(AtomicUsize::new(0));
+    let workers = programs.min(32);
+    let mut drivers = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let server = Arc::clone(&server);
+        let sessions = Arc::clone(&sessions);
+        let traces = Arc::clone(&laced);
+        let next = Arc::clone(&next);
+        drivers.push(thread::spawn(move || -> Vec<String> {
+            let mut errs = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= sessions.len() {
+                    break;
+                }
+                let session = sessions[i];
+                let events: Vec<(String, PlainValue)> = traces[i]
+                    .events
+                    .iter()
+                    .map(|e| (e.input.clone(), e.value.clone()))
+                    .collect();
+                let mut dead = false;
+                for chunk in events.chunks(BATCH) {
+                    if let Err(e) = server.batch(session, chunk) {
+                        errs.push(format!("session {session}: batch failed: {e}"));
+                        dead = true;
+                        break;
+                    }
+                }
+                while !dead {
+                    match server.query(session) {
+                        Ok(q) if q.queue_len == 0 => break,
+                        Ok(_) => thread::sleep(Duration::from_millis(1)),
+                        Err(e) => {
+                            errs.push(format!("session {session}: drain query failed: {e}"));
+                            dead = true;
+                        }
+                    }
+                }
+            }
+            errs
+        }));
+    }
+    for d in drivers {
+        failures.extend(d.join().expect("fleet driver thread"));
+    }
+    let elapsed = started.elapsed();
+
+    // Pass 1 — judge every live session: governed replay oracle, property
+    // check, describe round-trip, and per-shape latency.
+    #[derive(Default)]
+    struct ShapeAgg {
+        programs: u64,
+        driven_events: u64,
+        output_changes: u64,
+        traps: u64,
+        latency_p99_max_us: u64,
+        latency_samples: u64,
+    }
+    let mut shapes: BTreeMap<String, ShapeAgg> = BTreeMap::new();
+    let mut finals: Vec<Option<i64>> = vec![None; programs];
+    for (i, s) in scenarios.iter().enumerate() {
+        let session = session_ids[i];
+        let trace = &laced[i];
+        // The budget-governed synchronous replay is both the
+        // scheduler-equivalence oracle and the stream the temporal
+        // property is judged on.
+        let local = match run_local(&s.source, trace, limits) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!(
+                    "scenario {i} (seed {}): governed replay failed: {e}",
+                    s.seed
+                ));
+                continue;
+            }
+        };
+        metrics.traps.add(local.traps.len() as u64);
+        finals[i] = Some(local.final_value);
+
+        match server.query(session) {
+            Ok(q) => {
+                if q.value != PlainValue::Int(local.final_value) {
+                    metrics.divergences.inc();
+                    failures.push(format!(
+                        "scenario {i} (seed {}, shape {}): served {:?} diverged from \
+                         governed synchronous replay Int({})",
+                        s.seed, s.shape, q.value, local.final_value
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("scenario {i}: final query failed: {e}")),
+        }
+
+        match check_property(s.property, &local.outputs, local.final_value, trace) {
+            Ok(()) => metrics.checks_passed.inc(),
+            Err(why) => {
+                metrics.checks_failed.inc();
+                // A real violation: shrink it so the verdict carries a
+                // minimal repro, not a 200-event haystack.
+                let fails = |ir: &ProgramIr, t: &Trace| {
+                    run_local(&ir.render(), t, limits)
+                        .map(|r| {
+                            check_property(ir.property(), &r.outputs, r.final_value, t).is_err()
+                        })
+                        .unwrap_or(false)
+                };
+                let small = shrink(&s.ir, trace, fails, 2_000);
+                metrics.shrink_attempts.add(small.attempts);
+                failures.push(format!(
+                    "scenario {i} (seed {}, shape {}, property {}): VIOLATED: {why}; \
+                     shrunk to {} node(s) / {} event(s):\n{}",
+                    s.seed,
+                    s.shape,
+                    s.property.name(),
+                    small.ir.nodes.len(),
+                    small.trace.events.len(),
+                    small.ir.render()
+                ));
+            }
+        }
+
+        match server.describe(session) {
+            Ok(info) => {
+                if info.source.as_deref() != Some(s.source.as_str()) {
+                    failures.push(format!(
+                        "scenario {i}: describe returned a different source"
+                    ));
+                }
+                match server
+                    .registry()
+                    .resolve_with_source(ProgramSpec::Source(&s.source))
+                {
+                    Ok((_, graph, _)) => {
+                        if info.fingerprint != graph.fingerprint() {
+                            failures.push(format!(
+                                "scenario {i}: describe fingerprint {} != recompiled {}",
+                                info.fingerprint,
+                                graph.fingerprint()
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!("scenario {i}: re-resolve failed: {e}")),
+                }
+                let mut want: Vec<String> = s.ir.inputs().iter().map(|n| n.to_string()).collect();
+                let mut got = info.inputs.clone();
+                want.sort();
+                got.sort();
+                if got != want {
+                    failures.push(format!(
+                        "scenario {i}: describe inputs {got:?} != declared {want:?}"
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("scenario {i}: describe failed: {e}")),
+        }
+
+        let agg = shapes.entry(s.shape.clone()).or_default();
+        agg.programs += 1;
+        agg.driven_events += trace.events.len() as u64;
+        agg.traps += local.traps.len() as u64;
+        match server.session_stats(session) {
+            Ok(st) => {
+                agg.latency_p99_max_us = agg.latency_p99_max_us.max(st.latency.p99_us);
+                agg.latency_samples += st.latency.count;
+            }
+            Err(e) => failures.push(format!("scenario {i}: session stats failed: {e}")),
+        }
+    }
+
+    // Fleet-wide recovery / fault-coverage verdicts, taken while every
+    // session is still live (closing drops their recovery counters).
+    let (global, _) = server.stats();
+    if global.recovery_failed > 0 {
+        failures.push(format!(
+            "{} session(s) failed recovery under the merged fault plan",
+            global.recovery_failed
+        ));
+    }
+    if global.recovery.restarts == 0 {
+        failures.push("chaos crashes never forced a recovery".to_string());
+    }
+    if hostile_programs == 0 {
+        failures.push("fleet hosted no hostile fuel profiles".to_string());
+    }
+    // A hostile fold behind a value-transforming lift never sees the raw
+    // trigger, so per-program trap parity is not a theorem; but across
+    // enough hostile programs *some* fold sits on a pass-through subtree.
+    if hostile_programs >= 16 && hostile_triggers > 0 && metrics.traps.get() == 0 {
+        failures.push(format!(
+            "{hostile_triggers} hostile trigger events produced zero governor traps"
+        ));
+    }
+
+    // Pass 2 — close every session and check closure semantics on its
+    // subscription stream: all Changed updates precede exactly one
+    // Closed, the close reason is clean, and the last observed value
+    // agrees with the replay oracle.
+    for (i, s) in scenarios.iter().enumerate() {
+        let session = session_ids[i];
+        if let Err(e) = server.close(session) {
+            failures.push(format!("scenario {i}: close failed: {e}"));
+        }
+        let mut changes = 0u64;
+        let mut last_change: Option<PlainValue> = None;
+        let mut closed: Option<String> = None;
+        loop {
+            match subs[i].recv_timeout(Duration::from_secs(30)) {
+                Ok(Update::Changed { value, .. }) => {
+                    if closed.is_some() {
+                        failures.push(format!("scenario {i}: output after Closed"));
+                    }
+                    changes += 1;
+                    last_change = Some(value);
+                }
+                Ok(Update::Closed { reason, .. }) => {
+                    if closed.is_some() {
+                        failures.push(format!("scenario {i}: duplicate Closed"));
+                    }
+                    closed = Some(reason);
+                }
+                Err(_) => break,
+            }
+        }
+        match closed.as_deref() {
+            None => failures.push(format!("scenario {i}: subscription never saw Closed")),
+            Some("recovery_failed") => {
+                failures.push(format!("scenario {i}: closed by failed recovery"))
+            }
+            Some(_) => {}
+        }
+        if let (Some(final_value), Some(last)) = (finals[i], last_change) {
+            if last != PlainValue::Int(final_value) {
+                failures.push(format!(
+                    "scenario {i}: last streamed value {last:?} != replay final Int({final_value})"
+                ));
+            }
+        }
+        if let Some(agg) = shapes.get_mut(&s.shape) {
+            agg.output_changes += changes;
+        }
+    }
+
+    // Mutation-tested oracle: miscompile a counter (`CountUp` -> `+2`),
+    // require the property checker to catch it, and shrink the failing
+    // pair to the canonical minimal repro.
+    let mutation_generator = Generator::new(GenConfig {
+        counter_shape: 1.0,
+        ..GenConfig::default()
+    });
+    let planted = mutation_generator.scenario(args.seed ^ 0x6d75_7461, 48);
+    let mut mutation = Json::Map(vec![("caught".to_string(), Json::Bool(false))]);
+    let mutated = planted
+        .ir
+        .render_mutated()
+        .expect("counter shape always has a CountUp fold");
+    match run_local(&mutated, &planted.trace, limits) {
+        Ok(run) => {
+            if check_property(
+                planted.property,
+                &run.outputs,
+                run.final_value,
+                &planted.trace,
+            )
+            .is_ok()
+            {
+                failures.push("planted oracle mutation was NOT caught".to_string());
+            } else {
+                let fails = |ir: &ProgramIr, t: &Trace| {
+                    ir.render_mutated()
+                        .and_then(|src| run_local(&src, t, limits).ok())
+                        .map(|r| {
+                            check_property(Property::ExactCount, &r.outputs, r.final_value, t)
+                                .is_err()
+                        })
+                        .unwrap_or(false)
+                };
+                let small = shrink(&planted.ir, &planted.trace, fails, 4_000);
+                metrics.shrink_attempts.add(small.attempts);
+                let repro = small.ir.render_mutated().unwrap_or_default();
+                println!(
+                    "mutation oracle: planted CountUp->+2 violation caught; shrunk to \
+                     {} node(s) / {} event(s) in {} attempt(s):",
+                    small.ir.nodes.len(),
+                    small.trace.events.len(),
+                    small.attempts
+                );
+                for line in repro.lines() {
+                    println!("    {line}");
+                }
+                if small.ir.nodes.len() != 2 || small.trace.events.len() != 1 {
+                    failures.push(format!(
+                        "mutation repro not minimal: {} node(s) / {} event(s)",
+                        small.ir.nodes.len(),
+                        small.trace.events.len()
+                    ));
+                }
+                mutation = Json::Map(vec![
+                    ("caught".to_string(), Json::Bool(true)),
+                    (
+                        "repro_nodes".to_string(),
+                        Json::U64(small.ir.nodes.len() as u64),
+                    ),
+                    (
+                        "repro_events".to_string(),
+                        Json::U64(small.trace.events.len() as u64),
+                    ),
+                    ("shrink_attempts".to_string(), Json::U64(small.attempts)),
+                    ("repro_source".to_string(), Json::Str(repro)),
+                ]);
+            }
+        }
+        Err(e) => failures.push(format!("mutated counter failed to run: {e}")),
+    }
+
+    // The fleet families render through the shared metrics registry and
+    // append onto the server's own Prometheus scrape.
+    let scrape = server.metrics_text() + &metrics.render();
+    for family in [
+        "elm_fleet_programs_hosted_total",
+        "elm_fleet_property_checks_total",
+        "elm_fleet_shrink_attempts_total",
+        "elm_fleet_scheduler_divergences_total",
+        "elm_fleet_governor_traps_total",
+    ] {
+        if !scrape.contains(family) {
+            failures.push(format!("scrape is missing the {family} family"));
+        }
+    }
+    if scraped_family_sum(&scrape, "elm_fleet_programs_hosted_total") != programs as u64 {
+        failures.push("scraped hosted-programs total disagrees with the fleet size".to_string());
+    }
+    write_artifact("BENCH_fleet_metrics.prom", scrape, &mut failures);
+
+    for f in &failures {
+        eprintln!("loadgen: FLEET FAILURE: {f}");
+    }
+    let verdict = if failures.is_empty() { "OK" } else { "FAILED" };
+    println!(
+        "fleet: {} programs ({} shapes, {} hostile) x {} base events ({} after flood lacing), \
+         {:.2}s, {:.0} events/sec",
+        programs,
+        shapes.len(),
+        hostile_programs,
+        base_events,
+        driven_events,
+        elapsed.as_secs_f64(),
+        driven_events as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "fleet checks: {} passed, {} failed, {} divergences, {} traps, {} restarts, \
+         {} recovery failures",
+        metrics.checks_passed.get(),
+        metrics.checks_failed.get(),
+        metrics.divergences.get(),
+        metrics.traps.get(),
+        global.recovery.restarts,
+        global.recovery_failed
+    );
+    println!("fleet verdict = {verdict}");
+
+    let shapes_json = Json::Map(
+        shapes
+            .iter()
+            .map(|(shape, a)| {
+                (
+                    shape.clone(),
+                    Json::Map(vec![
+                        ("programs".to_string(), Json::U64(a.programs)),
+                        ("driven_events".to_string(), Json::U64(a.driven_events)),
+                        (
+                            "events_per_sec".to_string(),
+                            Json::F64(a.driven_events as f64 / elapsed.as_secs_f64()),
+                        ),
+                        ("output_changes".to_string(), Json::U64(a.output_changes)),
+                        ("traps".to_string(), Json::U64(a.traps)),
+                        (
+                            "latency_p99_max_us".to_string(),
+                            Json::U64(a.latency_p99_max_us),
+                        ),
+                        ("latency_samples".to_string(), Json::U64(a.latency_samples)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let report = Json::Map(vec![
+        (
+            "benchmark".to_string(),
+            Json::Str("server-fleet".to_string()),
+        ),
+        ("programs".to_string(), Json::U64(programs as u64)),
+        ("events_per_program".to_string(), Json::U64(events as u64)),
+        ("base_events".to_string(), Json::U64(base_events)),
+        ("driven_events".to_string(), Json::U64(driven_events)),
+        ("seed".to_string(), Json::U64(args.seed)),
+        ("shards".to_string(), Json::U64(args.shards as u64)),
+        ("elapsed_s".to_string(), Json::F64(elapsed.as_secs_f64())),
+        (
+            "events_per_sec".to_string(),
+            Json::F64(driven_events as f64 / elapsed.as_secs_f64()),
+        ),
+        (
+            "hostile_programs".to_string(),
+            Json::U64(hostile_programs as u64),
+        ),
+        ("hostile_triggers".to_string(), Json::U64(hostile_triggers)),
+        (
+            "checks_passed".to_string(),
+            Json::U64(metrics.checks_passed.get()),
+        ),
+        (
+            "checks_failed".to_string(),
+            Json::U64(metrics.checks_failed.get()),
+        ),
+        (
+            "divergences".to_string(),
+            Json::U64(metrics.divergences.get()),
+        ),
+        ("traps".to_string(), Json::U64(metrics.traps.get())),
+        ("restarts".to_string(), Json::U64(global.recovery.restarts)),
+        (
+            "recovery_failed".to_string(),
+            Json::U64(global.recovery_failed),
+        ),
+        ("mutation".to_string(), mutation),
+        ("shapes".to_string(), shapes_json),
+        (
+            "failures".to_string(),
+            Json::Seq(failures.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+        ("verdict".to_string(), Json::Str(verdict.to_string())),
+    ]);
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
+    let out = if args.out == "BENCH_server.json" {
+        "BENCH_fleet.json".to_string()
+    } else {
+        args.out.clone()
+    };
+    let mut code = i32::from(!failures.is_empty());
+    if let Err(e) = std::fs::write(&out, pretty + "\n") {
+        eprintln!("loadgen: FLEET FAILURE: cannot write {out}: {e}");
+        code = 1;
+    } else {
+        eprintln!("loadgen: wrote {out}");
+    }
+    exit(code)
 }
 
 /// The `--overload` harness: a deliberately over-driven server with
@@ -729,16 +1334,21 @@ fn run_overload(args: &Args) -> ! {
     } else {
         args.out.clone()
     };
+    let mut code = i32::from(!failures.is_empty());
     if let Err(e) = std::fs::write(&out, pretty + "\n") {
-        eprintln!("loadgen: cannot write {out}: {e}");
+        eprintln!("loadgen: OVERLOAD FAILURE: cannot write {out}: {e}");
+        code = 1;
     } else {
         eprintln!("loadgen: wrote {out}");
     }
-    exit(if failures.is_empty() { 0 } else { 1 })
+    exit(code)
 }
 
 fn main() {
     let args = parse_args();
+    if args.fleet {
+        run_fleet(&args);
+    }
     if args.overload {
         run_overload(&args);
     }
@@ -998,7 +1608,9 @@ fn main() {
     );
 
     // Observability artifacts: span trees, the Prometheus scrape, and a
-    // heat-annotated DOT rendering of the traced graph.
+    // heat-annotated DOT rendering of the traced graph. A bench run whose
+    // evidence cannot be written must not report OK.
+    let mut artifact_failures: Vec<String> = Vec::new();
     let trace_json =
         serde_json::to_string_pretty(&serde_json::to_value(&sync_trees).expect("trees serialize"))
             .expect("trees serialize");
@@ -1017,12 +1629,21 @@ fn main() {
                 .unwrap_or_default(),
         ),
     ] {
-        if let Err(e) = std::fs::write(path, contents) {
-            eprintln!("loadgen: cannot write {path}: {e}");
-        } else {
-            eprintln!("loadgen: wrote {path}");
-        }
+        write_artifact(path, contents, &mut artifact_failures);
     }
+    for f in &artifact_failures {
+        eprintln!("loadgen: ARTIFACT FAILURE: {f}");
+    }
+    let overall = if mismatches == 0
+        && chaos_failures.is_empty()
+        && trace_failures.is_empty()
+        && artifact_failures.is_empty()
+    {
+        "OK"
+    } else {
+        "FAILED"
+    };
+    println!("verdict = {overall}");
 
     let report = Json::Map(vec![
         (
@@ -1100,10 +1721,13 @@ fn main() {
                 .to_string(),
             ),
         ),
+        ("verdict".to_string(), Json::Str(overall.to_string())),
     ]);
     let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
+    let mut report_write_failed = false;
     if let Err(e) = std::fs::write(&args.out, pretty + "\n") {
-        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        eprintln!("loadgen: ARTIFACT FAILURE: cannot write {}: {e}", args.out);
+        report_write_failed = true;
     } else {
         eprintln!("loadgen: wrote {}", args.out);
     }
@@ -1111,7 +1735,7 @@ fn main() {
     if let Ok(s) = Arc::try_unwrap(server) {
         s.shutdown();
     }
-    if mismatches > 0 || !chaos_failures.is_empty() || !trace_failures.is_empty() {
+    if overall != "OK" || report_write_failed {
         exit(1);
     }
 }

@@ -544,6 +544,10 @@ fn dispatch(
             }
             Err(e) => protocol::err_line(&e),
         },
+        Request::Describe { session } => match server.describe(session) {
+            Ok(info) => protocol::describe_line(&info),
+            Err(e) => protocol::err_line(&e),
+        },
         Request::Close { session } => match server.close(session) {
             Ok(()) => protocol::closed_line(session),
             Err(e) => protocol::err_line(&e),
@@ -613,6 +617,73 @@ mod tests {
         let reply = read_line(&mut reader);
         assert!(reply.contains("\"ok\":true"), "{reply}");
         assert!(counters().frames_rejected > before);
+    }
+
+    #[test]
+    fn describe_round_trips_source_and_fingerprint() {
+        let (server, addr) = start(NetConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        // Ad-hoc source: describe must echo it back verbatim.
+        let src = "main = foldp (\\\\e n -> n + 1) 0 Mouse.clicks";
+        writer
+            .write_all(format!("{{\"cmd\":\"open\",\"source\":\"{src}\"}}\n").as_bytes())
+            .unwrap();
+        let opened = read_line(&mut reader);
+        assert!(opened.contains("\"ok\":true"), "{opened}");
+        let parsed: serde_json::Value = serde_json::from_str(&opened).unwrap();
+        let sid = match parsed.get("session") {
+            Some(serde_json::Value::I64(n)) => *n as u64,
+            other => panic!("bad session field: {other:?}"),
+        };
+
+        writer
+            .write_all(format!("{{\"cmd\":\"describe\",\"session\":{sid}}}\n").as_bytes())
+            .unwrap();
+        let described = read_line(&mut reader);
+        assert!(described.contains("\"ok\":true"), "{described}");
+        let parsed: serde_json::Value = serde_json::from_str(&described).unwrap();
+        assert_eq!(
+            parsed.get("source").and_then(serde_json::Value::as_str),
+            Some("main = foldp (\\e n -> n + 1) 0 Mouse.clicks")
+        );
+        assert_eq!(
+            parsed.get("program").and_then(serde_json::Value::as_str),
+            Some("<source>")
+        );
+        let fingerprint = parsed.get("fingerprint").cloned();
+        assert!(
+            matches!(
+                fingerprint,
+                Some(serde_json::Value::I64(_) | serde_json::Value::U64(_))
+            ),
+            "{described}"
+        );
+        // The in-process API agrees with the wire reply.
+        let info = server.describe(sid).unwrap();
+        assert_eq!(info.inputs, vec!["Mouse.clicks".to_string()]);
+
+        // A native-graph builtin has no source, served as null.
+        let native = server
+            .open(ProgramSpec::Builtin("crashy"), None, None, false)
+            .unwrap();
+        let desc = server.describe(native.session).unwrap();
+        assert_eq!(desc.source, None);
+        writer
+            .write_all(
+                format!("{{\"cmd\":\"describe\",\"session\":{}}}\n", native.session).as_bytes(),
+            )
+            .unwrap();
+        let described = read_line(&mut reader);
+        assert!(described.contains("\"source\":null"), "{described}");
+
+        // Unknown sessions get a plain error.
+        writer
+            .write_all(b"{\"cmd\":\"describe\",\"session\":999}\n")
+            .unwrap();
+        assert!(read_line(&mut reader).contains("\"ok\":false"));
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// Read a session's hosted program: its FElm source (when it was
+    /// compiled from source — builtin felm programs included) and the
+    /// graph's structural fingerprint, so any observed failure is
+    /// reproducible from wire output alone.
+    Describe {
+        /// Target session.
+        session: u64,
+    },
     /// Tear a session down.
     Close {
         /// Target session.
@@ -214,6 +222,24 @@ pub struct QueryInfo {
     /// running (panicked nodes emit `NoChange` forever, paper §3.3.2);
     /// only an exhausted restart budget evicts it.
     pub poisoned: bool,
+}
+
+/// Reply to `describe`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct DescribeInfo {
+    /// The session id.
+    pub session: u64,
+    /// Resolved program name.
+    pub program: String,
+    /// The FElm source the program was compiled from; `None` for
+    /// native-built graphs, which have no textual form.
+    pub source: Option<String>,
+    /// The signal graph's structural fingerprint (stable within one
+    /// server process — enough to check two sessions host the same
+    /// compiled shape).
+    pub fingerprint: u64,
+    /// Input signal names the program declares.
+    pub inputs: Vec<String>,
 }
 
 /// Ingress-side counters for one session (or summed across sessions).
@@ -588,6 +614,9 @@ impl Request {
             "trace" => Ok(Request::Trace {
                 session: req_u64(&json, "session")?,
             }),
+            "describe" => Ok(Request::Describe {
+                session: req_u64(&json, "session")?,
+            }),
             "close" => Ok(Request::Close {
                 session: req_u64(&json, "session")?,
             }),
@@ -670,6 +699,26 @@ pub fn query_line(info: &QueryInfo) -> String {
         ("value", to_json(&info.value)),
         ("queue_len", Json::U64(info.queue_len)),
         ("poisoned", Json::Bool(info.poisoned)),
+    ])
+}
+
+/// Reply for `describe`.
+pub fn describe_line(info: &DescribeInfo) -> String {
+    ok_with(vec![
+        ("session", Json::U64(info.session)),
+        ("program", Json::Str(info.program.clone())),
+        (
+            "source",
+            match &info.source {
+                Some(src) => Json::Str(src.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("fingerprint", Json::U64(info.fingerprint)),
+        (
+            "inputs",
+            Json::Seq(info.inputs.iter().cloned().map(Json::Str).collect()),
+        ),
     ])
 }
 
@@ -800,6 +849,11 @@ mod tests {
             Request::parse(r#"{"cmd":"trace","session":7}"#).unwrap(),
             Request::Trace { session: 7 }
         );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"describe","session":4}"#).unwrap(),
+            Request::Describe { session: 4 }
+        );
+        assert!(Request::parse(r#"{"cmd":"describe"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"trace"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"nope"}"#).is_err());
         assert!(Request::parse("{").is_err());
@@ -826,6 +880,36 @@ mod tests {
         let e = err_line("boom");
         let parsed: Json = serde_json::from_str(&e).unwrap();
         assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn describe_line_carries_source_fingerprint_and_inputs() {
+        let l = describe_line(&DescribeInfo {
+            session: 9,
+            program: "<source>".to_string(),
+            source: Some("main = lift (\\x -> x) Mouse.x\n".to_string()),
+            fingerprint: 0xdead_beef,
+            inputs: vec!["Mouse.x".to_string()],
+        });
+        let parsed: Json = serde_json::from_str(&l).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("session"), Some(&Json::I64(9)));
+        assert_eq!(
+            parsed.get("source").and_then(Json::as_str),
+            Some("main = lift (\\x -> x) Mouse.x\n")
+        );
+        assert_eq!(parsed.get("fingerprint"), Some(&Json::I64(0xdead_beef)));
+
+        // Native graphs have no source: the field is null, not absent.
+        let l = describe_line(&DescribeInfo {
+            session: 1,
+            program: "crashy".to_string(),
+            source: None,
+            fingerprint: 1,
+            inputs: vec!["Mouse.x".to_string()],
+        });
+        let parsed: Json = serde_json::from_str(&l).unwrap();
+        assert_eq!(parsed.get("source"), Some(&Json::Null));
     }
 
     #[test]

@@ -181,6 +181,23 @@ impl Registry {
     /// Fails on an unknown builtin name or a source that does not compile
     /// to a signal program.
     pub fn resolve(&self, spec: ProgramSpec<'_>) -> Result<(String, SignalGraph), String> {
+        let (name, graph, _) = self.resolve_with_source(spec)?;
+        Ok((name, graph))
+    }
+
+    /// [`Registry::resolve`], additionally returning the FElm source the
+    /// graph was compiled from — `None` only for native-built graphs,
+    /// which have no textual form. This is what the `describe` wire verb
+    /// surfaces, so failures on ad-hoc fleet programs are reproducible
+    /// from wire output alone.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Registry::resolve`].
+    pub fn resolve_with_source(
+        &self,
+        spec: ProgramSpec<'_>,
+    ) -> Result<(String, SignalGraph, Option<String>), String> {
         match spec {
             ProgramSpec::Builtin(name) => {
                 let builtin = self
@@ -191,13 +208,17 @@ impl Registry {
                     .ok_or_else(|| {
                         format!("unknown program '{name}' (try one of {:?})", self.names())
                     })?;
-                let graph = match builtin {
-                    Builtin::Felm(src) => self.compile(src)?,
-                    Builtin::Native(f) => f(),
+                let (graph, source) = match builtin {
+                    Builtin::Felm(src) => (self.compile(src)?, Some(src.clone())),
+                    Builtin::Native(f) => (f(), None),
                 };
-                Ok((name.to_string(), graph))
+                Ok((name.to_string(), graph, source))
             }
-            ProgramSpec::Source(src) => Ok(("<source>".to_string(), self.compile(src)?)),
+            ProgramSpec::Source(src) => Ok((
+                "<source>".to_string(),
+                self.compile(src)?,
+                Some(src.to_string()),
+            )),
         }
     }
 }

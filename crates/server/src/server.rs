@@ -14,8 +14,9 @@ use elm_runtime::{PlainValue, StatsSnapshot};
 
 use crate::admission::{AdmissionConfig, MemoryGauge};
 use crate::protocol::{
-    AdmissionStats, BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary,
-    OpenInfo, QueryInfo, RecoveryStats, ServerStats, SessionStats, TrapStats, Update,
+    AdmissionStats, BackpressurePolicy, BatchOutcome, DescribeInfo, EnqueueOutcome, IngressStats,
+    LatencySummary, OpenInfo, QueryInfo, RecoveryStats, ServerStats, SessionStats, TrapStats,
+    Update,
 };
 use crate::registry::{ProgramSpec, Registry};
 use crate::session::{SessionConfig, SessionId, TraceMailbox};
@@ -127,7 +128,7 @@ impl Server {
         policy: Option<BackpressurePolicy>,
         observe: bool,
     ) -> Result<OpenInfo, String> {
-        let (name, graph) = self.registry.resolve(spec)?;
+        let (name, graph, source) = self.registry.resolve_with_source(spec)?;
         let mut config = self.config.session;
         if let Some(q) = queue {
             config.queue_capacity = q.max(1);
@@ -143,9 +144,21 @@ impl Server {
             id,
             name,
             graph,
+            source,
             config: Box::new(config),
             reply,
         })
+    }
+
+    /// The hosted program's description: resolved name, the FElm source
+    /// it was compiled from (`None` for native graphs), the graph's
+    /// structural fingerprint, and its declared inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown session.
+    pub fn describe(&self, session: SessionId) -> Result<DescribeInfo, String> {
+        self.ask(session, |reply| Command::Describe { session, reply })?
     }
 
     /// Sends one event to a session's ingress queue.

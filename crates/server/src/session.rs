@@ -214,6 +214,9 @@ struct RecoveryCounters {
 pub struct Session {
     id: SessionId,
     program_name: String,
+    // The FElm source the graph was compiled from (None for native
+    // graphs); surfaced by the `describe` wire verb.
+    source: Option<String>,
     graph: SignalGraph,
     running: Running<Value>,
     queue: VecDeque<Queued>,
@@ -288,6 +291,7 @@ impl Session {
         Session {
             id,
             program_name,
+            source: None,
             graph,
             running,
             queue: VecDeque::new(),
@@ -357,6 +361,23 @@ impl Session {
     /// Resolved program name.
     pub fn program_name(&self) -> &str {
         &self.program_name
+    }
+
+    /// Records the FElm source this session's graph was compiled from.
+    pub fn set_source(&mut self, source: Option<String>) {
+        self.source = source;
+    }
+
+    /// What `describe` returns: program name, compile source (if any),
+    /// the graph's structural fingerprint, and declared inputs.
+    pub fn describe(&self) -> crate::protocol::DescribeInfo {
+        crate::protocol::DescribeInfo {
+            session: self.id,
+            program: self.program_name.clone(),
+            source: self.source.clone(),
+            fingerprint: self.graph.fingerprint(),
+            inputs: crate::shard::input_names(&self.graph),
+        }
     }
 
     /// Events currently queued.

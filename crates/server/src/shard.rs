@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionController, MemoryGauge};
 use crate::protocol::{
-    AdmissionStats, BatchOutcome, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats, Update,
+    AdmissionStats, BatchOutcome, DescribeInfo, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats,
+    Update,
 };
 use crate::session::{Session, SessionConfig, SessionId, TraceMailbox};
 
@@ -80,6 +81,9 @@ pub enum Command {
         name: String,
         /// The compiled signal graph.
         graph: SignalGraph,
+        /// The FElm source the graph was compiled from (`None` for
+        /// native graphs); served back by [`Command::Describe`].
+        source: Option<String>,
         /// Ingress configuration (boxed: it dwarfs every other variant).
         config: Box<SessionConfig>,
         /// Replies with the open summary.
@@ -104,6 +108,13 @@ pub enum Command {
         events: Vec<(String, Value)>,
         /// Replies with the per-category tally.
         reply: Sender<Result<BatchOutcome, String>>,
+    },
+    /// The hosted program's source and graph fingerprint.
+    Describe {
+        /// Target session.
+        session: SessionId,
+        /// Replies with the description.
+        reply: Sender<Result<DescribeInfo, String>>,
     },
     /// Current output value.
     Query {
@@ -187,7 +198,7 @@ impl ShardHandle {
     }
 }
 
-fn input_names(graph: &SignalGraph) -> Vec<String> {
+pub(crate) fn input_names(graph: &SignalGraph) -> Vec<String> {
     graph
         .nodes()
         .iter()
@@ -273,6 +284,7 @@ impl Shard {
                 id,
                 name,
                 graph,
+                source,
                 config,
                 reply,
             } => {
@@ -284,6 +296,7 @@ impl Shard {
                         .unwrap_or_else(|| PlainValue::Str("<opaque>".to_string())),
                 };
                 let mut session = Session::new(id, name, graph, *config);
+                session.set_source(source);
                 session.set_memory_gauge(self.memory.clone());
                 self.sessions.insert(id, session);
                 self.counters.opened += 1;
@@ -342,6 +355,9 @@ impl Shard {
                     }
                 };
                 let _ = reply.send(res);
+            }
+            Command::Describe { session, reply } => {
+                let _ = reply.send(self.with_session(session, |s| s.describe()));
             }
             Command::Query { session, reply } => {
                 let _ = reply.send(self.with_session(session, |s| {
@@ -472,8 +488,8 @@ mod tests {
         program: &str,
         config: SessionConfig,
     ) -> OpenInfo {
-        let (name, graph) = Registry::standard()
-            .resolve(ProgramSpec::Builtin(program))
+        let (name, graph, source) = Registry::standard()
+            .resolve_with_source(ProgramSpec::Builtin(program))
             .unwrap();
         let (tx, rx) = channel::bounded(1);
         shard
@@ -482,6 +498,7 @@ mod tests {
                 id,
                 name,
                 graph,
+                source,
                 config: Box::new(config),
                 reply: tx,
             })

@@ -1,0 +1,616 @@
+//! The program generator: seeded random signal DAGs rendered as FElm.
+//!
+//! Programs are built bottom-up as a topologically ordered node list
+//! (sources first, `main` last) so sharing — one node feeding several
+//! consumers — falls out naturally from operand reuse, which is how the
+//! fan-out knob works. All payloads are `Int`: every standard source used
+//! here is `Signal Int` and every scalar function is `Int → Int`, so any
+//! composition of the five combinators is well-typed by construction and
+//! `merge`'s same-payload constraint is always satisfied.
+
+use elm_runtime::{PlainValue, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::property::Property;
+
+/// The `Signal Int` sources generated programs draw from.
+pub const SOURCES: &[&str] = &[
+    "Mouse.x",
+    "Mouse.y",
+    "Mouse.isDown",
+    "Window.width",
+    "Window.height",
+    "Keyboard.lastPressed",
+    "Keyboard.shift",
+    "Time.millis",
+];
+
+/// The event value that flips a hostile fold into its fuel-tower branch.
+/// Benign trace values stay in `[-1000, 1000]`, so the trigger never fires
+/// by accident.
+pub const HOSTILE_TRIGGER: i64 = 7_777_777;
+
+/// Unary `Int → Int` scalar bodies. Coefficients are kept tiny and
+/// multiplication between two signal values is never generated, so value
+/// magnitudes stay polynomial in the trace length — far from `i64`
+/// wrapping, which would silently break the monotonicity oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scalar1 {
+    /// `\a -> a + k` (or `a - |k|` for negative `k`).
+    AddK(i64),
+    /// `\a -> a * k`, `k ∈ 1..=3`.
+    MulK(i64),
+    /// `\a -> if a < 0 then 0 - a else a`.
+    Abs,
+    /// `\a -> a % k`, `k ≥ 2`.
+    ModK(i64),
+}
+
+impl Scalar1 {
+    fn render(self) -> String {
+        match self {
+            Scalar1::AddK(k) if k < 0 => format!("(\\a -> a - {})", -k),
+            Scalar1::AddK(k) => format!("(\\a -> a + {k})"),
+            Scalar1::MulK(k) => format!("(\\a -> a * {k})"),
+            Scalar1::Abs => "(\\a -> if a < 0 then 0 - a else a)".to_string(),
+            Scalar1::ModK(k) => format!("(\\a -> a % {k})"),
+        }
+    }
+}
+
+/// Binary `Int → Int → Int` scalar bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scalar2 {
+    /// `\a b -> a + b`.
+    Add,
+    /// `\a b -> a - b`.
+    Sub,
+    /// `\a b -> if a < b then b else a`.
+    Max,
+    /// `\a b -> a + b * k`, `k ∈ 1..=3`.
+    AddMulK(i64),
+}
+
+impl Scalar2 {
+    fn render(self) -> String {
+        match self {
+            Scalar2::Add => "(\\a b -> a + b)".to_string(),
+            Scalar2::Sub => "(\\a b -> a - b)".to_string(),
+            Scalar2::Max => "(\\a b -> if a < b then b else a)".to_string(),
+            Scalar2::AddMulK(k) => format!("(\\a b -> a + b * {k})"),
+        }
+    }
+}
+
+/// `foldp` accumulator bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fold {
+    /// `\e n -> n + 1` — the exact-count accumulator.
+    CountUp,
+    /// `\e n -> n + ((if e < 0 then 0 - e else e) % m)` — adds a value in
+    /// `[0, m)` per step, so the accumulator is monotone nondecreasing.
+    SumAbsMod(i64),
+    /// `\e n -> e + k` — tracks the latest event (not monotone).
+    LatestPlus(i64),
+    /// `\e n -> if e == HOSTILE_TRIGGER then <2^k tower> else n + 1` —
+    /// counts benign events, but a trigger event enters a Church-style
+    /// iteration tower only a fuel budget can stop. The trap rolls the
+    /// event back, so the count never advances on triggers.
+    Hostile {
+        /// Tower height: the hostile branch takes about `2^height` steps.
+        height: u32,
+    },
+}
+
+impl Fold {
+    fn render(self) -> String {
+        match self {
+            Fold::CountUp => "(\\e n -> n + 1)".to_string(),
+            Fold::SumAbsMod(m) => {
+                format!("(\\e n -> n + ((if e < 0 then 0 - e else e) % {m}))")
+            }
+            Fold::LatestPlus(k) if k < 0 => format!("(\\e n -> e - {})", -k),
+            Fold::LatestPlus(k) => format!("(\\e n -> e + {k})"),
+            Fold::Hostile { height } => format!(
+                "(\\e n -> if e == {HOSTILE_TRIGGER} then {} else n + 1)",
+                tower(height)
+            ),
+        }
+    }
+
+    /// Whether the accumulator never decreases.
+    pub fn is_monotone(self) -> bool {
+        matches!(
+            self,
+            Fold::CountUp | Fold::SumAbsMod(_) | Fold::Hostile { .. }
+        )
+    }
+}
+
+/// A `2^k`-step iteration tower (same shape as the server's `runaway`
+/// builtin): `t` doubles its argument's step count `k` times.
+fn tower(k: u32) -> String {
+    let mut body = String::from("(\\n -> n + 1)");
+    for _ in 0..k {
+        body = format!("(t {body})");
+    }
+    format!("((let t = \\f y -> f (f y) in {body}) 0)")
+}
+
+/// One node of a generated signal DAG. Operand indices always point at
+/// earlier nodes, so the `Vec<Node>` is its own topological order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// A standard input signal (index into [`SOURCES`]).
+    Source(usize),
+    /// `lift f a`.
+    Lift1(Scalar1, usize),
+    /// `lift2 f a b`.
+    Lift2(Scalar2, usize, usize),
+    /// `foldp f init a`.
+    Foldp(Fold, i64, usize),
+    /// `async a`.
+    Async(usize),
+    /// `merge a b`.
+    Merge(usize, usize),
+}
+
+impl Node {
+    /// Operand indices (empty for sources).
+    pub fn operands(&self) -> Vec<usize> {
+        match *self {
+            Node::Source(_) => vec![],
+            Node::Lift1(_, a) | Node::Foldp(_, _, a) | Node::Async(a) => vec![a],
+            Node::Lift2(_, a, b) | Node::Merge(a, b) => vec![a, b],
+        }
+    }
+}
+
+/// A generated program: a topologically ordered DAG whose last node is
+/// `main`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgramIr {
+    /// The nodes, sources first, `main` last.
+    pub nodes: Vec<Node>,
+}
+
+impl ProgramIr {
+    /// The output node's index.
+    pub fn main(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Renders the DAG as FElm surface syntax: one definition per node
+    /// (`n0 = …`), `main` aliasing the last.
+    pub fn render(&self) -> String {
+        self.render_with(|f| f.render())
+    }
+
+    /// [`ProgramIr::render`] with a custom fold renderer — the hook the
+    /// mutation-tested oracle uses to miscompile one accumulator.
+    fn render_with(&self, fold: impl Fn(Fold) -> String) -> String {
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let rhs = match *node {
+                Node::Source(s) => SOURCES[s].to_string(),
+                Node::Lift1(f, a) => format!("lift {} n{a}", f.render()),
+                Node::Lift2(f, a, b) => format!("lift2 {} n{a} n{b}", f.render()),
+                Node::Foldp(f, init, a) => format!("foldp {} {init} n{a}", fold(f)),
+                Node::Async(a) => format!("async n{a}"),
+                Node::Merge(a, b) => format!("merge n{a} n{b}"),
+            };
+            out.push_str(&format!("n{i} = {rhs}\n"));
+        }
+        out.push_str(&format!("main = n{}\n", self.main()));
+        out
+    }
+
+    /// Renders the program with every `CountUp` fold deliberately
+    /// miscompiled to `n + 2` — a seeded semantic bug the exact-count
+    /// oracle must catch. Returns `None` if the program has no `CountUp`
+    /// fold to mutate.
+    pub fn render_mutated(&self) -> Option<String> {
+        if !self
+            .nodes
+            .iter()
+            .any(|n| matches!(n, Node::Foldp(Fold::CountUp, _, _)))
+        {
+            return None;
+        }
+        let src = self.render_with(|f| {
+            if f == Fold::CountUp {
+                "(\\e n -> n + 2)".to_string()
+            } else {
+                f.render()
+            }
+        });
+        Some(src)
+    }
+
+    /// The distinct input signal names the program listens on, in
+    /// [`SOURCES`] order.
+    pub fn inputs(&self) -> Vec<&'static str> {
+        let mut used = [false; 16];
+        for n in &self.nodes {
+            if let Node::Source(s) = n {
+                used[*s] = true;
+            }
+        }
+        SOURCES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| used[*i])
+            .map(|(_, s)| *s)
+            .collect()
+    }
+
+    /// Longest operand chain from `main` down to a source.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            depth[i] = node
+                .operands()
+                .iter()
+                .map(|&o| depth[o] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        depth[self.main()]
+    }
+
+    /// Whether any node is a hostile fold.
+    pub fn is_hostile(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n, Node::Foldp(Fold::Hostile { .. }, _, _)))
+    }
+
+    /// Shape class for per-shape fleet breakdowns: depth bucket plus
+    /// which combinator families appear. Small, stable cardinality so it
+    /// works as a metric label.
+    pub fn shape_class(&self) -> String {
+        let has = |p: fn(&Node) -> bool| self.nodes.iter().any(p);
+        let mut class = String::from(match self.depth() {
+            0..=2 => "shallow",
+            3..=5 => "mid",
+            _ => "deep",
+        });
+        if has(|n| matches!(n, Node::Foldp(..))) {
+            class.push_str("-fold");
+        }
+        if has(|n| matches!(n, Node::Async(_))) {
+            class.push_str("-async");
+        }
+        if has(|n| matches!(n, Node::Merge(..))) {
+            class.push_str("-merge");
+        }
+        if self.is_hostile() {
+            class.push_str("-hostile");
+        }
+        class
+    }
+
+    /// The strongest property this shape supports (see [`Property`]).
+    ///
+    /// * `main` is `foldp CountUp 0` over a lift-free, async-free tree of
+    ///   merges and sources → every event on a listened input is a change
+    ///   at the fold, so the final value is the exact event count.
+    /// * `main` is a monotone fold → the output stream never decreases.
+    /// * anything else → governed-replay equivalence only.
+    pub fn property(&self) -> Property {
+        match self.nodes[self.main()] {
+            Node::Foldp(Fold::CountUp, 0, arg) if self.is_pure_merge_tree(arg) => {
+                Property::ExactCount
+            }
+            Node::Foldp(f, _, _) if f.is_monotone() => Property::Monotone,
+            _ => Property::Replay,
+        }
+    }
+
+    /// True when the subgraph under `root` is only `merge` and sources —
+    /// the shape whose change stream is exactly the event stream.
+    fn is_pure_merge_tree(&self, root: usize) -> bool {
+        match self.nodes[root] {
+            Node::Source(_) => true,
+            Node::Merge(a, b) => self.is_pure_merge_tree(a) && self.is_pure_merge_tree(b),
+            _ => false,
+        }
+    }
+}
+
+/// Generator tuning: how big, how wide, how async, how hostile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenConfig {
+    /// Interior (non-source) nodes per program, sampled from
+    /// `1..=max_interior`.
+    pub max_interior: usize,
+    /// Probability an operand reuses an existing node instead of the most
+    /// recent one — the DAG fan-out knob.
+    pub reuse: f64,
+    /// Probability an interior node is an `async` boundary.
+    pub async_density: f64,
+    /// Probability a program's fold is hostile (fuel-tower branch).
+    pub hostile: f64,
+    /// Probability a program is forced into the exact-count shape
+    /// (`foldp CountUp 0` over a merge tree).
+    pub counter_shape: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_interior: 12,
+            reuse: 0.35,
+            async_density: 0.15,
+            hostile: 0.0,
+            counter_shape: 0.2,
+        }
+    }
+}
+
+/// One synthesized fleet scenario: the program, its rendered source, the
+/// property it must satisfy, and a seeded event trace over its inputs.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The seed this scenario was derived from (reproduces everything).
+    pub seed: u64,
+    /// The program DAG.
+    pub ir: ProgramIr,
+    /// Rendered FElm source.
+    pub source: String,
+    /// The temporal property the output stream must satisfy.
+    pub property: Property,
+    /// Shape class label for fleet breakdowns.
+    pub shape: String,
+    /// Seeded event trace over the program's declared inputs.
+    pub trace: Trace,
+}
+
+/// Seeded scenario factory. Distinct seeds give independent programs;
+/// the same seed always reproduces the same scenario byte-for-byte.
+pub struct Generator {
+    config: GenConfig,
+}
+
+impl Generator {
+    /// A generator with the given tuning.
+    pub fn new(config: GenConfig) -> Generator {
+        Generator { config }
+    }
+
+    /// Generates the program DAG for `seed`.
+    pub fn program(&self, seed: u64) -> ProgramIr {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e_1f_00_d5);
+        let cfg = self.config;
+        if rng.gen_bool(cfg.counter_shape) {
+            return self.counter_program(&mut rng);
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        // Seed with 1–3 distinct sources.
+        let n_sources = rng.gen_range(1usize..4);
+        let mut picked = Vec::new();
+        while picked.len() < n_sources {
+            let s = rng.gen_range(0usize..SOURCES.len());
+            if !picked.contains(&s) {
+                picked.push(s);
+            }
+        }
+        for s in &picked {
+            nodes.push(Node::Source(*s));
+        }
+        let interior = rng.gen_range(1usize..=cfg.max_interior.max(1));
+        for _ in 0..interior {
+            let pick = |rng: &mut StdRng, nodes: &[Node]| -> usize {
+                if rng.gen_bool(cfg.reuse) {
+                    rng.gen_range(0usize..nodes.len())
+                } else {
+                    nodes.len() - 1
+                }
+            };
+            let a = pick(&mut rng, &nodes);
+            let node = if rng.gen_bool(cfg.async_density) {
+                Node::Async(a)
+            } else {
+                match rng.gen_range(0u32..8) {
+                    0 | 1 => Node::Lift1(self.scalar1(&mut rng), a),
+                    2 | 3 => {
+                        let b = pick(&mut rng, &nodes);
+                        Node::Lift2(self.scalar2(&mut rng), a, b)
+                    }
+                    4 | 5 => Node::Foldp(self.fold(&mut rng), rng.gen_range(0i64..4), a),
+                    _ => {
+                        let b = pick(&mut rng, &nodes);
+                        Node::Merge(a, b)
+                    }
+                }
+            };
+            nodes.push(node);
+        }
+        // `async`/`merge` as the output node is legal but makes the
+        // weakest oracle; prefer ending on a fold when the dice allow, so
+        // monotone/exact-count properties stay common in the fleet.
+        if rng.gen_bool(0.5) && !matches!(nodes.last(), Some(Node::Foldp(..))) {
+            let arg = nodes.len() - 1;
+            let fold = self.fold(&mut rng);
+            nodes.push(Node::Foldp(fold, 0, arg));
+        }
+        // Operand choices can leave early nodes dangling; keep only what
+        // `main` can see, so `inputs()` (and therefore generated traces)
+        // never mention a signal the compiled graph does not declare.
+        let ir = ProgramIr { nodes };
+        crate::shrink::slice_to(&ir, ir.main())
+    }
+
+    /// The exact-count shape: `foldp CountUp 0` over a merge tree of
+    /// sources.
+    fn counter_program(&self, rng: &mut StdRng) -> ProgramIr {
+        let mut nodes = Vec::new();
+        let n_sources = rng.gen_range(1usize..4);
+        let mut picked = Vec::new();
+        while picked.len() < n_sources {
+            let s = rng.gen_range(0usize..SOURCES.len());
+            if !picked.contains(&s) {
+                picked.push(s);
+            }
+        }
+        for s in &picked {
+            nodes.push(Node::Source(*s));
+        }
+        // Left-fold the sources into one merge spine.
+        let mut acc = 0usize;
+        for i in 1..n_sources {
+            nodes.push(Node::Merge(acc, i));
+            acc = nodes.len() - 1;
+        }
+        nodes.push(Node::Foldp(Fold::CountUp, 0, acc));
+        ProgramIr { nodes }
+    }
+
+    fn scalar1(&self, rng: &mut StdRng) -> Scalar1 {
+        match rng.gen_range(0u32..4) {
+            0 => Scalar1::AddK(rng.gen_range(-9i64..10)),
+            1 => Scalar1::MulK(rng.gen_range(1i64..4)),
+            2 => Scalar1::Abs,
+            _ => Scalar1::ModK(rng.gen_range(2i64..1000)),
+        }
+    }
+
+    fn scalar2(&self, rng: &mut StdRng) -> Scalar2 {
+        match rng.gen_range(0u32..4) {
+            0 => Scalar2::Add,
+            1 => Scalar2::Sub,
+            2 => Scalar2::Max,
+            _ => Scalar2::AddMulK(rng.gen_range(1i64..4)),
+        }
+    }
+
+    fn fold(&self, rng: &mut StdRng) -> Fold {
+        if rng.gen_bool(self.config.hostile) {
+            return Fold::Hostile { height: 40 };
+        }
+        match rng.gen_range(0u32..4) {
+            0 | 1 => Fold::CountUp,
+            2 => Fold::SumAbsMod(rng.gen_range(1i64..100)),
+            _ => Fold::LatestPlus(rng.gen_range(-9i64..10)),
+        }
+    }
+
+    /// Generates a seeded trace of `events` events over the program's
+    /// declared inputs. Hostile programs get a sprinkle of trigger
+    /// events; benign values stay in `[-1000, 1000]`.
+    pub fn trace(&self, ir: &ProgramIr, seed: u64, events: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e_ac_e5);
+        let inputs = ir.inputs();
+        let hostile = ir.is_hostile();
+        let mut trace = Trace::new();
+        for i in 0..events {
+            let input = inputs[rng.gen_range(0usize..inputs.len())];
+            let value = if hostile && rng.gen_bool(0.02) {
+                HOSTILE_TRIGGER
+            } else {
+                rng.gen_range(-1000i64..1001)
+            };
+            trace.push(i as u64, input, PlainValue::Int(value));
+        }
+        trace
+    }
+
+    /// Generates the full scenario for `seed`: program, source, property,
+    /// shape class, and trace.
+    pub fn scenario(&self, seed: u64, events: usize) -> Scenario {
+        let ir = self.program(seed);
+        let trace = self.trace(&ir, seed, events);
+        Scenario {
+            seed,
+            source: ir.render(),
+            property: ir.property(),
+            shape: ir.shape_class(),
+            trace,
+            ir,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felm::env::InputEnv;
+    use felm::pipeline::compile_source;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = Generator::new(GenConfig::default());
+        let a = g.scenario(7, 50);
+        let b = g.scenario(7, 50);
+        assert_eq!(a.ir, b.ir);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.trace, b.trace);
+        assert_ne!(a.source, g.scenario(8, 50).source);
+    }
+
+    #[test]
+    fn rendered_programs_compile_to_reactive_graphs() {
+        let env = InputEnv::standard();
+        let g = Generator::new(GenConfig::default());
+        for seed in 0..40u64 {
+            let s = g.scenario(seed, 10);
+            let compiled = compile_source(&s.source, &env)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", s.source));
+            assert!(
+                compiled.graph().is_some(),
+                "seed {seed} not reactive:\n{}",
+                s.source
+            );
+        }
+    }
+
+    #[test]
+    fn counter_shape_gets_the_exact_count_property() {
+        let g = Generator::new(GenConfig {
+            counter_shape: 1.0,
+            ..GenConfig::default()
+        });
+        for seed in 0..10u64 {
+            let s = g.scenario(seed, 10);
+            assert_eq!(s.property, Property::ExactCount, "seed {seed}");
+            assert!(s.shape.contains("fold"), "{}", s.shape);
+        }
+    }
+
+    #[test]
+    fn hostile_programs_carry_the_trigger_and_a_tower() {
+        let g = Generator::new(GenConfig {
+            hostile: 1.0,
+            counter_shape: 0.0,
+            ..GenConfig::default()
+        });
+        let mut saw_hostile = false;
+        for seed in 0..20u64 {
+            let s = g.scenario(seed, 200);
+            if s.ir.is_hostile() {
+                saw_hostile = true;
+                assert!(s.source.contains(&HOSTILE_TRIGGER.to_string()));
+                assert!(s.shape.ends_with("-hostile"), "{}", s.shape);
+            }
+        }
+        assert!(saw_hostile);
+    }
+
+    #[test]
+    fn mutated_render_miscompiles_count_up_only() {
+        let g = Generator::new(GenConfig {
+            counter_shape: 1.0,
+            ..GenConfig::default()
+        });
+        let s = g.scenario(3, 10);
+        let mutated = s.ir.render_mutated().expect("counter shape has CountUp");
+        assert_ne!(mutated, s.source);
+        assert!(mutated.contains("n + 2"));
+        // A program with no CountUp fold has nothing to mutate.
+        let bare = ProgramIr {
+            nodes: vec![Node::Source(0)],
+        };
+        assert!(bare.render_mutated().is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! `elm_fleet_*` metric families for scenario-fleet runs.
+//!
+//! [`FleetMetrics`] is a small live-counter bundle the fleet driver bumps
+//! as it hosts programs and judges properties; [`FleetMetrics::render`]
+//! lays the counters out through the shared [`elm_runtime::metrics`]
+//! registry, so fleet families come out in the same Prometheus text format
+//! (and with the same `elm_` naming discipline) as the server's own
+//! exposition and can simply be appended to a `/metrics`-style scrape.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use elm_runtime::metrics::{Counter, Registry};
+
+/// Live counters for one fleet run.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Programs hosted, keyed by shape class.
+    hosted_by_shape: Mutex<BTreeMap<String, u64>>,
+    /// Property checks that passed.
+    pub checks_passed: Counter,
+    /// Property checks that failed.
+    pub checks_failed: Counter,
+    /// Candidate reproductions attempted while shrinking.
+    pub shrink_attempts: Counter,
+    /// Scheduler-equivalence divergences observed (must stay 0).
+    pub divergences: Counter,
+    /// Governor traps observed across the fleet (hostile profiles).
+    pub traps: Counter,
+}
+
+impl FleetMetrics {
+    /// A zeroed bundle.
+    pub fn new() -> FleetMetrics {
+        FleetMetrics::default()
+    }
+
+    /// Records one hosted program of the given shape class.
+    pub fn host(&self, shape: &str) {
+        let mut map = self.hosted_by_shape.lock().unwrap();
+        *map.entry(shape.to_string()).or_insert(0) += 1;
+    }
+
+    /// Programs hosted per shape class, sorted by shape.
+    pub fn hosted_by_shape(&self) -> Vec<(String, u64)> {
+        self.hosted_by_shape
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Total programs hosted across all shapes.
+    pub fn hosted_total(&self) -> u64 {
+        self.hosted_by_shape.lock().unwrap().values().sum()
+    }
+
+    /// Renders the `elm_fleet_*` families as Prometheus exposition text.
+    pub fn render(&self) -> String {
+        let mut reg = Registry::new();
+        for (shape, count) in self.hosted_by_shape() {
+            reg.counter(
+                "elm_fleet_programs_hosted_total",
+                "Synthesized programs hosted, by shape class.",
+                &[("shape", shape.as_str())],
+                count,
+            );
+        }
+        reg.counter(
+            "elm_fleet_property_checks_total",
+            "Temporal property checks judged, by outcome.",
+            &[("outcome", "passed")],
+            self.checks_passed.get(),
+        );
+        reg.counter(
+            "elm_fleet_property_checks_total",
+            "Temporal property checks judged, by outcome.",
+            &[("outcome", "failed")],
+            self.checks_failed.get(),
+        );
+        reg.counter(
+            "elm_fleet_shrink_attempts_total",
+            "Candidate reproductions attempted while shrinking failures.",
+            &[],
+            self.shrink_attempts.get(),
+        );
+        reg.counter(
+            "elm_fleet_scheduler_divergences_total",
+            "Outputs where a scheduler disagreed with governed synchronous replay.",
+            &[],
+            self.divergences.get(),
+        );
+        reg.counter(
+            "elm_fleet_governor_traps_total",
+            "Governor traps observed across the fleet (hostile fuel profiles).",
+            &[],
+            self.traps.get(),
+        );
+        reg.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_fleet_families() {
+        let m = FleetMetrics::new();
+        m.host("mid-fold");
+        m.host("mid-fold");
+        m.host("deep-fold-async-merge");
+        m.checks_passed.add(3);
+        m.checks_failed.inc();
+        m.shrink_attempts.add(17);
+        m.traps.add(2);
+        let text = m.render();
+        assert!(text.contains("elm_fleet_programs_hosted_total{shape=\"mid-fold\"} 2"));
+        assert!(text.contains("elm_fleet_programs_hosted_total{shape=\"deep-fold-async-merge\"} 1"));
+        assert!(text.contains("elm_fleet_property_checks_total{outcome=\"passed\"} 3"));
+        assert!(text.contains("elm_fleet_property_checks_total{outcome=\"failed\"} 1"));
+        assert!(text.contains("elm_fleet_shrink_attempts_total 17"));
+        assert!(text.contains("elm_fleet_scheduler_divergences_total 0"));
+        assert!(text.contains("elm_fleet_governor_traps_total 2"));
+        assert_eq!(m.hosted_total(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! The temporal-property oracle language.
+//!
+//! Each synthesized program carries the *strongest* property its shape
+//! supports (chosen statically by [`ProgramIr::property`]). Properties are
+//! judged over the observed output stream — the sequence of `Int` values
+//! the subscribe stream (or a local drain) produced — plus the final
+//! output value and the trace that was fed. Harness-level invariants that
+//! hold for *every* program (sequence numbers strictly increase, no output
+//! after close, replay equivalence across schedulers) are checked by the
+//! fleet driver itself; this module is only the per-shape value oracle.
+//!
+//! [`ProgramIr::property`]: crate::gen::ProgramIr::property
+
+use elm_runtime::Trace;
+
+use crate::gen::HOSTILE_TRIGGER;
+
+/// A machine-checkable temporal property over a program's output stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Property {
+    /// The final output equals the number of benign trace events — holds
+    /// when `main` is `foldp (\e n -> n + 1) 0` over a merge tree of
+    /// sources, where every input event is a change at the fold.
+    /// Trigger events are excluded: a hostile branch traps and the round
+    /// rolls back, so the count must not advance on them.
+    ExactCount,
+    /// The output stream never decreases — holds when `main` is a
+    /// monotone `foldp` accumulator.
+    Monotone,
+    /// No value-level invariant beyond what every program gets: the
+    /// final value must match a budget-governed synchronous replay.
+    Replay,
+}
+
+impl Property {
+    /// Short machine-readable name used in verdicts and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::ExactCount => "exact_count",
+            Property::Monotone => "monotone",
+            Property::Replay => "replay",
+        }
+    }
+}
+
+/// Judges `property` against an observed run.
+///
+/// * `outputs` — the output values observed, in order (changes only).
+/// * `final_value` — the output's value after the run settled.
+/// * `trace` — the trace that was fed (used by [`Property::ExactCount`]).
+///
+/// Returns `Ok(())` or a human-readable violation description.
+pub fn check_property(
+    property: Property,
+    outputs: &[i64],
+    final_value: i64,
+    trace: &Trace,
+) -> Result<(), String> {
+    match property {
+        Property::ExactCount => {
+            let expected = trace
+                .events
+                .iter()
+                .filter(|e| !matches!(e.value, elm_runtime::PlainValue::Int(HOSTILE_TRIGGER)))
+                .count() as i64;
+            if final_value != expected {
+                return Err(format!(
+                    "exact_count violated: expected {expected} events counted, \
+                     final value is {final_value}"
+                ));
+            }
+            Ok(())
+        }
+        Property::Monotone => {
+            for w in outputs.windows(2) {
+                if w[1] < w[0] {
+                    return Err(format!(
+                        "monotone violated: output decreased {} -> {}",
+                        w[0], w[1]
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Property::Replay => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elm_runtime::PlainValue;
+
+    fn trace_of(n: usize) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            t.push(i as u64, "Mouse.x", PlainValue::Int(i as i64));
+        }
+        t
+    }
+
+    #[test]
+    fn exact_count_accepts_the_true_count_and_rejects_others() {
+        let t = trace_of(5);
+        assert!(check_property(Property::ExactCount, &[], 5, &t).is_ok());
+        let err = check_property(Property::ExactCount, &[], 6, &t).unwrap_err();
+        assert!(err.contains("exact_count"), "{err}");
+    }
+
+    #[test]
+    fn exact_count_excludes_hostile_triggers() {
+        let mut t = trace_of(3);
+        t.push(10, "Mouse.x", PlainValue::Int(HOSTILE_TRIGGER));
+        assert!(check_property(Property::ExactCount, &[], 3, &t).is_ok());
+        assert!(check_property(Property::ExactCount, &[], 4, &t).is_err());
+    }
+
+    #[test]
+    fn monotone_rejects_any_decrease() {
+        let t = trace_of(0);
+        assert!(check_property(Property::Monotone, &[1, 1, 2, 9], 9, &t).is_ok());
+        let err = check_property(Property::Monotone, &[1, 3, 2], 2, &t).unwrap_err();
+        assert!(err.contains("3 -> 2"), "{err}");
+    }
+
+    #[test]
+    fn replay_is_always_locally_satisfied() {
+        assert!(check_property(Property::Replay, &[5, 1], 1, &trace_of(2)).is_ok());
+    }
+}

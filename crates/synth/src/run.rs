@@ -1,0 +1,126 @@
+//! Local (in-process) execution of synthesized programs.
+//!
+//! The fleet hosts programs inside the full server stack; this module is
+//! the lightweight path the shrinker, the soundness proptest, and the
+//! mutation-oracle demo use instead: compile through the production felm
+//! pipeline, run on the deterministic synchronous scheduler under a
+//! resource governor, and collect the output stream.
+
+use std::time::Duration;
+
+use elm_runtime::{EventLimits, Trace, TrapKind, Value};
+use elm_signals::{Engine, Program};
+use felm::env::InputEnv;
+use felm::pipeline::compile_source;
+
+/// The observable result of one local run.
+#[derive(Clone, Debug)]
+pub struct LocalRun {
+    /// Output values in change order (non-`Int` outputs are impossible for
+    /// generated programs, but are skipped defensively).
+    pub outputs: Vec<i64>,
+    /// The output's value after the run settled.
+    pub final_value: i64,
+    /// Governor traps that fired, as `(seq, kind)`.
+    pub traps: Vec<(u64, TrapKind)>,
+}
+
+/// Compiles `source` through the production pipeline and replays `trace`
+/// on the synchronous scheduler under `limits`.
+///
+/// # Errors
+///
+/// Returns a description if the program fails to parse/typecheck, is not
+/// reactive, or the trace references inputs it does not declare.
+pub fn run_local(source: &str, trace: &Trace, limits: EventLimits) -> Result<LocalRun, String> {
+    let env = InputEnv::standard();
+    let compiled = compile_source(source, &env).map_err(|e| e.to_string())?;
+    let graph = compiled
+        .graph()
+        .cloned()
+        .ok_or_else(|| "program is not reactive".to_string())?;
+    let program = Program::from_dynamic_graph(graph);
+    let mut running = program.start(Engine::Synchronous);
+    running.set_governor(Some(limits), Some(Duration::from_secs(5)));
+    // One event at a time, each run to quiescence (async follow-ups
+    // included) before the next — the schedule a server session uses, so
+    // scheduler-equivalence checks against hosted sessions compare like
+    // with like. Batching the whole trace first would interleave async
+    // follow-up rounds behind later input events instead.
+    let mut outputs: Vec<i64> = Vec::new();
+    for e in &trace.events {
+        running
+            .send_named(&e.input, e.value.to_value())
+            .map_err(|e| e.to_string())?;
+        let events = running.drain_raw().map_err(|e| e.to_string())?;
+        outputs.extend(events.iter().filter_map(|e| match e.value() {
+            Some(Value::Int(n)) => Some(*n),
+            _ => None,
+        }));
+    }
+    let final_value = match running.current() {
+        Value::Int(n) => *n,
+        _ => *outputs.last().unwrap_or(&0),
+    };
+    let traps = running.take_traps();
+    running.stop();
+    Ok(LocalRun {
+        outputs,
+        final_value,
+        traps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, Generator, HOSTILE_TRIGGER};
+    use crate::property::check_property;
+    use elm_runtime::PlainValue;
+
+    #[test]
+    fn counter_program_counts_its_trace() {
+        let g = Generator::new(GenConfig {
+            counter_shape: 1.0,
+            ..GenConfig::default()
+        });
+        let s = g.scenario(11, 64);
+        let run = run_local(&s.source, &s.trace, EventLimits::default()).unwrap();
+        assert!(run.traps.is_empty(), "{:?}", run.traps);
+        check_property(s.property, &run.outputs, run.final_value, &s.trace).unwrap();
+        assert_eq!(run.final_value, 64);
+    }
+
+    #[test]
+    fn mutated_counter_violates_exact_count() {
+        let g = Generator::new(GenConfig {
+            counter_shape: 1.0,
+            ..GenConfig::default()
+        });
+        let s = g.scenario(11, 16);
+        let mutated = s.ir.render_mutated().unwrap();
+        let run = run_local(&mutated, &s.trace, EventLimits::default()).unwrap();
+        assert!(check_property(s.property, &run.outputs, run.final_value, &s.trace).is_err());
+    }
+
+    #[test]
+    fn hostile_trigger_traps_and_rolls_back_under_a_tight_budget() {
+        let source = format!(
+            "main = foldp (\\e n -> if e == {HOSTILE_TRIGGER} then \
+             ((let t = \\f y -> f (f y) in (t (t (t (t (t (t (t (t (t (t \
+             (t (t (t (t (t (t (t (t (t (t (\\n -> n + 1)\
+             ))))))))))))))))))))) 0) else n + 1) 0 Mouse.x\n"
+        );
+        let mut trace = Trace::new();
+        trace.push(0, "Mouse.x", PlainValue::Int(1));
+        trace.push(1, "Mouse.x", PlainValue::Int(HOSTILE_TRIGGER));
+        trace.push(2, "Mouse.x", PlainValue::Int(2));
+        let limits = EventLimits {
+            fuel: 200_000,
+            ..EventLimits::default()
+        };
+        let run = run_local(&source, &trace, limits).unwrap();
+        assert_eq!(run.traps.len(), 1, "{:?}", run.traps);
+        assert_eq!(run.final_value, 2, "trigger round must roll back");
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimization of failing `(program, trace)` pairs.
+//!
+//! Given a reproducer predicate, [`shrink`] alternates two reductions to a
+//! fixpoint (or an attempt budget):
+//!
+//! * **Trace shrinking** — delta-debugging style: remove chunks of the
+//!   trace, halving the chunk size down to single events, keeping any
+//!   candidate on which the failure still reproduces.
+//! * **Program shrinking** — structural: re-root the DAG at any interior
+//!   node (dropping everything not reachable from it), and bypass single
+//!   nodes by rewiring their consumers to one of their operands. Both
+//!   preserve topological order, so every candidate is a well-formed,
+//!   well-typed program.
+//!
+//! The predicate sees the candidate `(ProgramIr, Trace)` and decides
+//! whether the failure of interest still reproduces — typically by
+//! rendering, running locally, and re-checking the candidate's own
+//! strongest property.
+
+use elm_runtime::Trace;
+
+use crate::gen::{Node, ProgramIr};
+
+/// The outcome of a shrink session.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized program (still failing).
+    pub ir: ProgramIr,
+    /// The minimized trace (still failing).
+    pub trace: Trace,
+    /// How many candidate reproductions were attempted.
+    pub attempts: u64,
+}
+
+/// Minimizes a failing pair. `fails` must return `true` on the input pair;
+/// every intermediate result it accepted is failing by construction.
+pub fn shrink(
+    ir: &ProgramIr,
+    trace: &Trace,
+    fails: impl Fn(&ProgramIr, &Trace) -> bool,
+    budget: u64,
+) -> ShrinkResult {
+    let mut best_ir = ir.clone();
+    let mut best_trace = trace.clone();
+    let mut attempts = 0u64;
+
+    loop {
+        let mut improved = false;
+
+        // Trace pass: remove chunks, halving the chunk size.
+        let mut chunk = (best_trace.events.len() / 2).max(1);
+        while chunk >= 1 && attempts < budget {
+            let mut start = 0;
+            while start < best_trace.events.len() && attempts < budget {
+                let mut events = best_trace.events.clone();
+                let end = (start + chunk).min(events.len());
+                events.drain(start..end);
+                let candidate = Trace { events };
+                attempts += 1;
+                if fails(&best_ir, &candidate) {
+                    best_trace = candidate;
+                    improved = true;
+                    // Same start now points at fresh events; retry there.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Program pass: try re-rooting at every earlier node, then
+        // bypassing each interior node with one of its operands. Adopting
+        // a candidate renumbers the DAG, so restart the scan on success.
+        'reroot: loop {
+            for root in 0..best_ir.main() {
+                if attempts >= budget {
+                    break 'reroot;
+                }
+                let candidate = slice_to(&best_ir, root);
+                if candidate.nodes.len() >= best_ir.nodes.len() {
+                    continue;
+                }
+                attempts += 1;
+                if fails(&candidate, &best_trace) {
+                    best_ir = candidate;
+                    improved = true;
+                    continue 'reroot;
+                }
+            }
+            break;
+        }
+        'bypass: loop {
+            for i in 0..best_ir.nodes.len() {
+                for o in best_ir.nodes[i].operands() {
+                    if attempts >= budget {
+                        break 'bypass;
+                    }
+                    let candidate = bypass(&best_ir, i, o);
+                    if candidate.nodes.len() >= best_ir.nodes.len() {
+                        continue;
+                    }
+                    attempts += 1;
+                    if fails(&candidate, &best_trace) {
+                        best_ir = candidate;
+                        improved = true;
+                        continue 'bypass;
+                    }
+                }
+            }
+            break;
+        }
+
+        if !improved || attempts >= budget {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        ir: best_ir,
+        trace: best_trace,
+        attempts,
+    }
+}
+
+/// The subgraph reachable from `root`, renumbered into a fresh topological
+/// order with `root` last (so it becomes `main`).
+pub fn slice_to(ir: &ProgramIr, root: usize) -> ProgramIr {
+    let mut keep = vec![false; ir.nodes.len()];
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        if !keep[i] {
+            keep[i] = true;
+            stack.extend(ir.nodes[i].operands());
+        }
+    }
+    let mut remap = vec![usize::MAX; ir.nodes.len()];
+    let mut nodes = Vec::new();
+    for (i, kept) in keep.iter().enumerate() {
+        if *kept {
+            remap[i] = nodes.len();
+            nodes.push(map_operands(&ir.nodes[i], &remap));
+        }
+    }
+    ProgramIr { nodes }
+}
+
+/// Rewires every consumer of node `i` to its operand `o` instead, then
+/// drops whatever became unreachable from `main`.
+fn bypass(ir: &ProgramIr, i: usize, o: usize) -> ProgramIr {
+    let main = ir.main();
+    if i == main {
+        // Bypassing the output node is exactly re-rooting at its operand.
+        return slice_to(ir, o);
+    }
+    let mut nodes = ir.nodes.clone();
+    for node in nodes.iter_mut().skip(i + 1) {
+        *node = map_operands_with(node, |x| if x == i { o } else { x });
+    }
+    slice_to(&ProgramIr { nodes }, main)
+}
+
+fn map_operands(node: &Node, remap: &[usize]) -> Node {
+    map_operands_with(node, |i| remap[i])
+}
+
+fn map_operands_with(node: &Node, f: impl Fn(usize) -> usize) -> Node {
+    match *node {
+        Node::Source(s) => Node::Source(s),
+        Node::Lift1(g, a) => Node::Lift1(g, f(a)),
+        Node::Lift2(g, a, b) => Node::Lift2(g, f(a), f(b)),
+        Node::Foldp(g, init, a) => Node::Foldp(g, init, f(a)),
+        Node::Async(a) => Node::Async(f(a)),
+        Node::Merge(a, b) => Node::Merge(f(a), f(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Fold, GenConfig, Generator};
+    use crate::property::check_property;
+    use crate::run::run_local;
+    use elm_runtime::EventLimits;
+
+    #[test]
+    fn slice_drops_unreachable_nodes() {
+        // n0=src, n1=src, n2=lift n0, n3=merge n2 n1, main=n3.
+        let ir = ProgramIr {
+            nodes: vec![
+                Node::Source(0),
+                Node::Source(1),
+                Node::Lift1(crate::gen::Scalar1::Abs, 0),
+                Node::Merge(2, 1),
+            ],
+        };
+        let sliced = slice_to(&ir, 2);
+        assert_eq!(
+            sliced.nodes,
+            vec![Node::Source(0), Node::Lift1(crate::gen::Scalar1::Abs, 0)]
+        );
+    }
+
+    #[test]
+    fn shrinks_a_mutated_counter_to_a_minimal_repro() {
+        let g = Generator::new(GenConfig {
+            counter_shape: 1.0,
+            ..GenConfig::default()
+        });
+        let s = g.scenario(5, 40);
+        let fails = |ir: &ProgramIr, trace: &Trace| {
+            if trace.events.is_empty() {
+                return false;
+            }
+            let Some(mutated) = ir.render_mutated() else {
+                return false;
+            };
+            let Ok(run) = run_local(&mutated, trace, EventLimits::default()) else {
+                return false;
+            };
+            check_property(ir.property(), &run.outputs, run.final_value, trace).is_err()
+        };
+        assert!(fails(&s.ir, &s.trace), "mutation must reproduce pre-shrink");
+        let result = shrink(&s.ir, &s.trace, fails, 10_000);
+        assert!(result.attempts > 0);
+        // Minimal form: one event through one source into the fold.
+        assert_eq!(result.trace.events.len(), 1, "{:?}", result.trace);
+        assert_eq!(
+            result.ir.nodes.len(),
+            2,
+            "expected source + fold, got {:?}",
+            result.ir.nodes
+        );
+        assert!(matches!(
+            result.ir.nodes[1],
+            Node::Foldp(Fold::CountUp, 0, 0)
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Generator soundness: every synthesized program goes through the *full*
+//! production pipeline (parse → typecheck → compile to a reactive graph)
+//! and runs a seeded trace to quiescence without trapping under the
+//! default resource budget, satisfying its own temporal property. And
+//! when a failure *is* planted (the mutation-tested oracle), the shrinker
+//! drives the program+trace pair down to a minimal counterexample.
+
+use elm_runtime::{EventLimits, Trace};
+use elm_synth::gen::Fold;
+use elm_synth::{check_property, run_local, shrink, GenConfig, Generator, Node, ProgramIr};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Arbitrary generator seeds, plus a sweep of tuning knobs so deep,
+/// wide, and async-heavy shapes all get exercised.
+fn seed_and_config() -> BoxedStrategy<(u64, GenConfig)> {
+    BoxedStrategy::from_fn(|rng| {
+        let seed: u64 = rng.gen();
+        let config = GenConfig {
+            max_interior: rng.gen_range(1usize..=20),
+            reuse: rng.gen_range(0.0f64..0.8),
+            async_density: rng.gen_range(0.0f64..0.5),
+            hostile: 0.0, // benign fleet: must never trap
+            counter_shape: rng.gen_range(0.0f64..0.5),
+        };
+        (seed, config)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated program parses, type-checks, compiles to a
+    /// reactive graph, and runs its whole trace without trapping under
+    /// the default budget — and its output stream satisfies the property
+    /// the generator attached to it.
+    #[test]
+    fn generated_programs_are_sound(case in seed_and_config()) {
+        let (seed, config) = case;
+        let generator = Generator::new(config);
+        let scenario = generator.scenario(seed, 48);
+        let run = run_local(&scenario.source, &scenario.trace, EventLimits::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", scenario.source));
+        prop_assert!(
+            run.traps.is_empty(),
+            "seed {} trapped under the default budget: {:?}\n{}",
+            seed, run.traps, scenario.source
+        );
+        if let Err(violation) =
+            check_property(scenario.property, &run.outputs, run.final_value, &scenario.trace)
+        {
+            panic!(
+                "seed {seed} violated {:?}: {violation}\n{}",
+                scenario.property, scenario.source
+            );
+        }
+    }
+
+    /// The mutation-tested oracle end to end: miscompile the counter
+    /// accumulator, confirm the exact-count property catches it, and
+    /// check the shrinker minimizes the repro to one fold over one source
+    /// driven by a single event.
+    #[test]
+    fn shrinker_minimizes_planted_violations(seed in BoxedStrategy::from_fn(|rng| rng.gen::<u64>())) {
+        let generator = Generator::new(GenConfig { counter_shape: 1.0, ..GenConfig::default() });
+        let scenario = generator.scenario(seed, 32);
+        let fails = |ir: &ProgramIr, trace: &Trace| {
+            if trace.events.is_empty() {
+                return false;
+            }
+            let Some(mutated) = ir.render_mutated() else { return false };
+            let Ok(run) = run_local(&mutated, trace, EventLimits::default()) else {
+                return false;
+            };
+            check_property(ir.property(), &run.outputs, run.final_value, trace).is_err()
+        };
+        prop_assert!(fails(&scenario.ir, &scenario.trace), "seed {} mutation went unnoticed", seed);
+        let minimal = shrink(&scenario.ir, &scenario.trace, fails, 10_000);
+        prop_assert!(minimal.attempts > 0);
+        prop_assert_eq!(minimal.trace.events.len(), 1);
+        prop_assert_eq!(minimal.ir.nodes.len(), 2);
+        prop_assert!(matches!(minimal.ir.nodes[1], Node::Foldp(Fold::CountUp, 0, 0)));
+    }
+}
+
+/// Hostile profiles are the one sanctioned exception to "never traps":
+/// under a tight budget the trigger event must trap and roll back, and
+/// under the default (generous) budget the tower would not even fit — so
+/// fleet hosting always pairs hostile shapes with a governor.
+#[test]
+fn hostile_scenarios_trap_only_on_trigger_events() {
+    let generator = Generator::new(GenConfig {
+        hostile: 1.0,
+        counter_shape: 0.0,
+        ..GenConfig::default()
+    });
+    let tight = EventLimits {
+        fuel: 200_000,
+        ..EventLimits::default()
+    };
+    let mut exercised = 0;
+    for seed in 0..60u64 {
+        let scenario = generator.scenario(seed, 256);
+        if !scenario.ir.is_hostile() {
+            continue;
+        }
+        let triggers = scenario
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.value == elm_runtime::PlainValue::Int(elm_synth::HOSTILE_TRIGGER))
+            .count();
+        if triggers == 0 {
+            continue;
+        }
+        let run = run_local(&scenario.source, &scenario.trace, tight).unwrap();
+        // Each trigger traps at most once (only when it actually reaches a
+        // hostile fold that steps); benign events never trap.
+        assert!(
+            run.traps.len() <= triggers,
+            "seed {seed}: {} traps from {} triggers",
+            run.traps.len(),
+            triggers
+        );
+        exercised += 1;
+        if exercised >= 8 {
+            break;
+        }
+    }
+    assert!(exercised >= 3, "too few hostile scenarios exercised");
+}
