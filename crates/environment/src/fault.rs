@@ -25,6 +25,10 @@ pub const STREAM_STALL: u64 = 4;
 pub const STREAM_RUNAWAY: u64 = 5;
 /// RNG stream selector: event-flood bursts (overload traffic).
 pub const STREAM_FLOOD: u64 = 6;
+/// RNG stream selector: whole-process kills (cluster chaos). The `id`
+/// is the victim peer's index; the draw schedules *when* in the run the
+/// kill lands.
+pub const STREAM_KILL: u64 = 7;
 
 /// Seeded probabilities for every injectable fault class.
 ///

@@ -75,6 +75,9 @@ pub struct EventJournal {
     last_seq: u64,
     /// Everything at or below this seq has been dropped by truncation.
     truncated_through: u64,
+    /// Highest seq known durable on disk (fsynced). Always 0 for
+    /// in-memory journals.
+    synced_through: u64,
     file: Option<File>,
     fail_hook: Option<FailureHook>,
 }
@@ -101,6 +104,7 @@ impl EventJournal {
             segment_capacity: segment_capacity.max(1),
             last_seq: 0,
             truncated_through: 0,
+            synced_through: 0,
             file: None,
             fail_hook: None,
         }
@@ -164,6 +168,17 @@ impl EventJournal {
         tail.push(entry);
         if tail.len() >= self.segment_capacity {
             self.segments.push_back(Vec::new());
+            // Segment seal is the journal's explicit durability flush
+            // point: everything up to `seq` must survive a hard process
+            // kill, so a replica replaying the on-disk file agrees with
+            // the primary's sealed history. The entry is already recorded
+            // in memory either way; a failed flush reports Io so the
+            // caller can force a covering snapshot.
+            if let Some(file) = &self.file {
+                file.sync_all()
+                    .map_err(|e| JournalError::Io(e.to_string()))?;
+                self.synced_through = seq;
+            }
         }
         Ok(seq)
     }
@@ -218,6 +233,14 @@ impl EventJournal {
     /// Highest sequence number dropped by truncation (0 if none).
     pub fn truncated_through(&self) -> u64 {
         self.truncated_through
+    }
+
+    /// Highest sequence number covered by a durability flush (fsync on
+    /// segment seal). Entries above this mark live in the OS page cache
+    /// until the active segment seals; a hard kill may lose them locally,
+    /// which is why replication ships every append, not just sealed ones.
+    pub fn synced_through(&self) -> u64 {
+        self.synced_through
     }
 
     /// Reads entries back from a file written by [`EventJournal::with_file`],
@@ -334,6 +357,42 @@ mod tests {
         let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![4, 5, 6]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn segment_seal_is_the_durability_flush_point() {
+        let dir = std::env::temp_dir().join(format!("elm-journal-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seal.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let mut j = EventJournal::with_file(3, &path).unwrap();
+        assert_eq!(j.synced_through(), 0);
+        j.append(entry(1)).unwrap();
+        j.append(entry(2)).unwrap();
+        // Active segment not yet full: no flush has been forced.
+        assert_eq!(j.synced_through(), 0);
+        j.append(entry(3)).unwrap();
+        // Seal at capacity 3 fsyncs everything appended so far.
+        assert_eq!(j.synced_through(), 3);
+        j.append(entry(4)).unwrap();
+        assert_eq!(j.synced_through(), 3);
+        for seq in 5..=6 {
+            j.append(entry(seq)).unwrap();
+        }
+        assert_eq!(j.synced_through(), 6);
+        // The flushed prefix is exactly what a post-kill reader sees.
+        let (_, entries) = EventJournal::read_file(&path).unwrap();
+        assert!(entries.iter().any(|e| e.seq == 6));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_journals_have_no_durability_mark() {
+        let mut j = EventJournal::new(2);
+        for seq in 1..=5 {
+            j.append(entry(seq)).unwrap();
+        }
+        assert_eq!(j.synced_through(), 0);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use journal::{EventJournal, JournalEntry, JournalError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use sched::concurrent::ConcurrentRuntime;
 pub use sched::pull::PullRuntime;
-pub use sched::sync::{RuntimeSnapshot, SyncRuntime};
+pub use sched::sync::{RuntimeSnapshot, SyncRuntime, WireOccurrence, WireSnapshot};
 pub use stats::{Stats, StatsSnapshot};
 pub use trace::{PlainValue, Trace, TraceEvent};
 pub use tracing::{

@@ -106,6 +106,114 @@ impl RuntimeSnapshot {
     pub fn queued_events(&self) -> usize {
         self.queue.len()
     }
+
+    /// Converts to the serializable wire form, or `None` if any captured
+    /// value is an opaque [`Value::Ext`] (which has no wire encoding —
+    /// the shipper then falls back to full-journal replication, which is
+    /// still correct, just unbounded by snapshots).
+    ///
+    /// Trace ids and per-event deadlines are *not* shipped: both are
+    /// observability/governance concerns local to the process that
+    /// accepted the event, and a replica restoring this snapshot replays
+    /// silently (no spans are re-emitted), so dropping them cannot change
+    /// any output value.
+    pub fn to_wire(&self) -> Option<WireSnapshot> {
+        let values = self
+            .values
+            .iter()
+            .map(crate::trace::PlainValue::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        let pending_async = self
+            .pending_async
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .map(|(v, _)| crate::trace::PlainValue::from_value(v))
+                    .collect::<Option<Vec<_>>>()
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let queue = self
+            .queue
+            .iter()
+            .map(|occ| {
+                let payload = match &occ.payload {
+                    None => None,
+                    Some(v) => Some(crate::trace::PlainValue::from_value(v)?),
+                };
+                Some(WireOccurrence {
+                    source: occ.source.0,
+                    payload,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(WireSnapshot {
+            fingerprint: self.fingerprint,
+            next_seq: self.next_seq,
+            values,
+            poisoned: self.poisoned.clone(),
+            pending_async,
+            queue,
+        })
+    }
+
+    /// Rebuilds a restorable snapshot from its wire form. The inverse of
+    /// [`RuntimeSnapshot::to_wire`] up to the documented loss: trace ids
+    /// come back as [`TraceId::NONE`] and deadlines as `None`.
+    pub fn from_wire(wire: &WireSnapshot) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            fingerprint: wire.fingerprint,
+            next_seq: wire.next_seq,
+            values: wire.values.iter().map(|v| v.to_value()).collect(),
+            poisoned: wire.poisoned.clone(),
+            pending_async: wire
+                .pending_async
+                .iter()
+                .map(|q| q.iter().map(|v| (v.to_value(), TraceId::NONE)).collect())
+                .collect(),
+            queue: wire
+                .queue
+                .iter()
+                .map(|occ| Occurrence {
+                    source: NodeId(occ.source),
+                    payload: occ.payload.as_ref().map(|v| v.to_value()),
+                    trace: TraceId::NONE,
+                    deadline: None,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The serde-serializable form of a [`RuntimeSnapshot`]: values flattened
+/// to [`crate::PlainValue`], node ids to raw indices. This is what
+/// cluster replication ships to a replica peer — together with the graph
+/// fingerprint it carries everything a fresh runtime over the same
+/// compiled graph needs to resume byte-identically.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireSnapshot {
+    /// Structural hash of the source graph; a restoring peer must check
+    /// it against its own compilation of the same program.
+    pub fingerprint: u64,
+    /// The sequence number the runtime would assign to its next event.
+    pub next_seq: u64,
+    /// Every node's latest output value, graph order.
+    pub values: Vec<crate::trace::PlainValue>,
+    /// Per-node poison flags (panicked nodes emit `NoChange` forever).
+    pub poisoned: Vec<bool>,
+    /// Buffered `async`-node values awaiting re-entry, graph order.
+    pub pending_async: Vec<Vec<crate::trace::PlainValue>>,
+    /// Events queued but not yet dispatched at snapshot time.
+    pub queue: Vec<WireOccurrence>,
+}
+
+/// One queued event in a [`WireSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireOccurrence {
+    /// Raw index of the source node.
+    pub source: u32,
+    /// The payload for input events; `None` for an `async`-ready poke
+    /// (whose value is buffered in `pending_async`).
+    pub payload: Option<crate::trace::PlainValue>,
 }
 
 impl SyncRuntime {

@@ -6,8 +6,8 @@
 //! function of its event journal).
 
 use elm_runtime::{
-    changed_values, EventJournal, GraphBuilder, JournalEntry, Occurrence, PlainValue, SignalGraph,
-    SyncRuntime, Value,
+    changed_values, EventJournal, GraphBuilder, JournalEntry, Occurrence, PlainValue,
+    RuntimeSnapshot, SignalGraph, SyncRuntime, Value, WireSnapshot,
 };
 use proptest::prelude::*;
 
@@ -118,5 +118,78 @@ proptest! {
         prop_assert_eq!(replayed.output_value(), &oracle_final);
         prop_assert_eq!(replay_tail, oracle_tail);
         prop_assert_eq!(replayed.snapshot().next_seq(), oracle.snapshot().next_seq());
+    }
+
+    /// The cluster form of the same theorem: the snapshot crosses a
+    /// process boundary as a [`WireSnapshot`] JSON blob and the journal
+    /// suffix crosses as NDJSON lines — exactly what `journal-append` /
+    /// `snapshot-ship` peer verbs carry — and the replica's rebuilt state
+    /// must still be byte-identical to the primary's for an arbitrary
+    /// kill point.
+    #[test]
+    fn wire_encoded_restore_equals_primary_for_arbitrary_kill_points(
+        events in prop::collection::vec((any::<bool>(), -50i64..50), 0..60),
+        snap_at in 0usize..61,
+        kill_at in 0usize..61,
+    ) {
+        let g = graph();
+        let snap_at = snap_at.min(events.len());
+        // The kill can only land after the snapshot was shipped.
+        let kill_at = kill_at.clamp(snap_at, events.len());
+
+        // Primary: journals every event, ships a snapshot at `snap_at`,
+        // dies abruptly at `kill_at`.
+        let mut primary = SyncRuntime::new(&g);
+        let mut shipped_snapshot: Option<String> = None;
+        let mut shipped_entries: Vec<String> = Vec::new();
+        for (i, (is_a, v)) in events[..kill_at].iter().enumerate() {
+            let entry = JournalEntry {
+                seq: (i + 1) as u64,
+                input: if *is_a { "a" } else { "b" }.to_string(),
+                value: PlainValue::Int(*v),
+            };
+            // Replication ships the serialized line, as the wire does.
+            shipped_entries.push(serde_json::to_string(&entry).expect("entry encodes"));
+            feed_one(&mut primary, &g, if *is_a { "a" } else { "b" }, *v);
+            if i + 1 == snap_at {
+                let wire = primary.snapshot().to_wire().expect("plain values only");
+                shipped_snapshot = Some(serde_json::to_string(&wire).expect("snapshot encodes"));
+            }
+        }
+        if snap_at == 0 {
+            let wire = SyncRuntime::new(&g).snapshot().to_wire().expect("plain values only");
+            shipped_snapshot = Some(serde_json::to_string(&wire).expect("snapshot encodes"));
+        }
+
+        // Replica: decode the shipped snapshot, restore, replay the
+        // decoded suffix. This is `Session::adopt` in miniature.
+        let wire: WireSnapshot =
+            serde_json::from_str(shipped_snapshot.as_deref().expect("snapshot was shipped"))
+                .expect("snapshot decodes");
+        prop_assert_eq!(wire.fingerprint, g.fingerprint());
+        let mut replica = SyncRuntime::new(&g);
+        replica
+            .restore(&RuntimeSnapshot::from_wire(&wire))
+            .expect("wire snapshot matches graph");
+        for line in &shipped_entries {
+            let entry: JournalEntry = serde_json::from_str(line).expect("entry decodes");
+            if entry.seq <= snap_at as u64 {
+                continue; // covered by the shipped snapshot
+            }
+            let v = match entry.value {
+                PlainValue::Int(n) => n,
+                other => panic!("unexpected journal value {other:?}"),
+            };
+            feed_one(&mut replica, &g, &entry.input, v);
+        }
+
+        prop_assert_eq!(replica.output_value(), primary.output_value());
+        prop_assert_eq!(replica.snapshot().next_seq(), primary.snapshot().next_seq());
+        // The rebuilt state must round-trip to the identical wire form:
+        // a second failover (replica dies too) loses nothing further.
+        prop_assert_eq!(
+            replica.snapshot().to_wire().expect("still plain"),
+            primary.snapshot().to_wire().expect("still plain")
+        );
     }
 }

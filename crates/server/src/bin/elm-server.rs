@@ -3,19 +3,30 @@
 //! ```text
 //! elm-server [--addr 127.0.0.1:7878] [--shards N] [--queue N]
 //!            [--policy block|drop-oldest|coalesce] [--idle-ms N]
+//!            [--peer-id I --peers HOST:PORT,HOST:PORT,...]
+//!            [--heartbeat-ms N] [--takeover-ms N] [--snapshot-interval N]
 //! ```
+//!
+//! Cluster mode: pass `--peer-id` and `--peers` to join an N-process
+//! peer group. `--peers` lists every member's address (including this
+//! process's own, at position `--peer-id`); the process binds that
+//! address, replicates each hosted session's journal to its rendezvous
+//! replica, and takes over a dead peer's sessions after `--takeover-ms`
+//! without a heartbeat.
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
-use elm_server::{net, BackpressurePolicy, Server, ServerConfig};
+use elm_server::{net, BackpressurePolicy, Cluster, ClusterConfig, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: elm-server [--addr HOST:PORT] [--shards N] [--queue N] \
-         [--policy block|drop-oldest|coalesce] [--idle-ms N]"
+         [--policy block|drop-oldest|coalesce] [--idle-ms N] \
+         [--peer-id I --peers HOST:PORT,...] [--heartbeat-ms N] \
+         [--takeover-ms N] [--snapshot-interval N]"
     );
     exit(2)
 }
@@ -23,6 +34,10 @@ fn usage() -> ! {
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
+    let mut peer_id: Option<usize> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut heartbeat_ms: u64 = 100;
+    let mut takeover_ms: u64 = 1000;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -42,9 +57,34 @@ fn main() {
                     value().parse().unwrap_or_else(|_| usage()),
                 ))
             }
+            "--peer-id" => peer_id = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--peers" => {
+                peers = value()
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--heartbeat-ms" => heartbeat_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--takeover-ms" => takeover_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--snapshot-interval" => {
+                config.session.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+
+    if let Some(id) = peer_id {
+        // Cluster mode binds the peer's own published address.
+        if id >= peers.len() {
+            eprintln!(
+                "elm-server: --peer-id {id} is out of range for {} peer(s)",
+                peers.len()
+            );
+            exit(2);
+        }
+        addr = peers[id].clone();
     }
 
     let listener = match TcpListener::bind(&addr) {
@@ -55,6 +95,18 @@ fn main() {
         }
     };
     let server = Arc::new(Server::start(config));
+    let _cluster = peer_id.map(|id| {
+        let mut cc = ClusterConfig::new(id, peers.clone());
+        cc.heartbeat = Duration::from_millis(heartbeat_ms.max(1));
+        cc.takeover = Duration::from_millis(takeover_ms.max(1));
+        let cluster = Cluster::start(Arc::clone(&server), cc);
+        println!(
+            "elm-server peer {id}/{} in cluster mode (heartbeat {heartbeat_ms}ms, \
+             takeover {takeover_ms}ms)",
+            peers.len()
+        );
+        cluster
+    });
     println!(
         "elm-server listening on {addr} ({} shards, queue {}, policy {})",
         config.shards,

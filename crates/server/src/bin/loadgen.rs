@@ -39,6 +39,20 @@
 //! clean subscription-closure semantics; a deliberately mutated oracle
 //! must be caught and shrunk to a minimal repro. Any failed check makes
 //! the verdict in `BENCH_fleet.json` FAILED and the exit code nonzero.
+//!
+//! `--cluster` is the kill-chaos harness for cluster mode: it spawns a
+//! 3-process `elm-server` peer group, opens keyed sessions at their
+//! rendezvous-placement primaries, and kills the busiest peer mid-stream
+//! at a `FaultPlan`-scheduled point. Drivers ride the failover through
+//! the retrying [`ClusterClient`] (`moved` redirects, `last_seq` resume)
+//! and the run fails unless every killed session resumes on a surviving
+//! peer with its final output byte-identical to an uninterrupted
+//! governed replay, every takeover is counted in the survivors'
+//! `elm_cluster_*` metric families, and replication recorded no gaps.
+//! Replication lag, takeover latency, and per-peer session counts land
+//! in `BENCH_cluster.json`. `--fleet --cluster` composes the two: the
+//! cluster hosts distinct synthesized FElm programs instead of the
+//! dashboard builtin, under the same kill.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -70,6 +84,7 @@ struct Args {
     chaos: bool,
     overload: bool,
     fleet: bool,
+    cluster: bool,
     fleet_programs: usize,
     snapshot_interval: u64,
     crash_prob: f64,
@@ -92,6 +107,7 @@ impl Default for Args {
             chaos: false,
             overload: false,
             fleet: false,
+            cluster: false,
             fleet_programs: 224,
             snapshot_interval: 256,
             crash_prob: 0.0005,
@@ -106,7 +122,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions M] [--events N] [--program NAME] [--shards N] \
          [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE] \
-         [--chaos] [--overload] [--fleet] [--fleet-programs N] [--snapshot-interval N] \
+         [--chaos] [--overload] [--fleet] [--cluster] [--fleet-programs N] [--snapshot-interval N] \
          [--crash-prob P] [--panic-prob P] [--journal-fail-prob P] [--stall-prob P]"
     );
     exit(2)
@@ -129,6 +145,7 @@ fn parse_args() -> Args {
             "--chaos" => a.chaos = true,
             "--overload" => a.overload = true,
             "--fleet" => a.fleet = true,
+            "--cluster" => a.cluster = true,
             "--fleet-programs" => a.fleet_programs = value().parse().unwrap_or_else(|_| usage()),
             "--snapshot-interval" => {
                 a.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
@@ -568,6 +585,29 @@ fn run_fleet(args: &Args) -> ! {
             }
         }
 
+        // Liveness rider for counting shapes: the governed replay's own
+        // output stream must never lag the applied count by more than
+        // the failover deadline (trivially true here, so it guards the
+        // checker itself against regressions; the observed-stream check
+        // in pass 2 is the one that bites).
+        if matches!(s.property, Property::ExactCount) {
+            match check_property(
+                Property::BoundedResponse { deadline_events: 8 },
+                &local.outputs,
+                local.final_value,
+                trace,
+            ) {
+                Ok(()) => metrics.checks_passed.inc(),
+                Err(why) => {
+                    metrics.checks_failed.inc();
+                    failures.push(format!(
+                        "scenario {i} (seed {}): bounded_response on replay stream: {why}",
+                        s.seed
+                    ));
+                }
+            }
+        }
+
         match server.describe(session) {
             Ok(info) => {
                 if info.source.as_deref() != Some(s.source.as_str()) {
@@ -650,6 +690,7 @@ fn run_fleet(args: &Args) -> ! {
             failures.push(format!("scenario {i}: close failed: {e}"));
         }
         let mut changes = 0u64;
+        let mut observed: Vec<i64> = Vec::new();
         let mut last_change: Option<PlainValue> = None;
         let mut closed: Option<String> = None;
         loop {
@@ -659,6 +700,9 @@ fn run_fleet(args: &Args) -> ! {
                         failures.push(format!("scenario {i}: output after Closed"));
                     }
                     changes += 1;
+                    if let PlainValue::Int(v) = value {
+                        observed.push(v);
+                    }
                     last_change = Some(value);
                 }
                 Ok(Update::Closed { reason, .. }) => {
@@ -666,6 +710,12 @@ fn run_fleet(args: &Args) -> ! {
                         failures.push(format!("scenario {i}: duplicate Closed"));
                     }
                     closed = Some(reason);
+                }
+                Ok(Update::Moved { peer, .. }) => {
+                    // A single-process fleet has no peers; a redirect
+                    // here means the cluster layer misfired.
+                    failures.push(format!("scenario {i}: unexpected moved redirect to {peer}"));
+                    closed = Some("moved".to_string());
                 }
                 Err(_) => break,
             }
@@ -682,6 +732,29 @@ fn run_fleet(args: &Args) -> ! {
                 failures.push(format!(
                     "scenario {i}: last streamed value {last:?} != replay final Int({final_value})"
                 ));
+            }
+        }
+        // Satellite liveness oracle: the *observed* subscriber stream of
+        // a counting shape must track the applied count within the
+        // bounded-response deadline — the stream may coalesce but must
+        // not silently fall ever further behind.
+        if matches!(s.property, Property::ExactCount) {
+            if let Some(final_value) = finals[i] {
+                match check_property(
+                    Property::BoundedResponse { deadline_events: 8 },
+                    &observed,
+                    final_value,
+                    &laced[i],
+                ) {
+                    Ok(()) => metrics.checks_passed.inc(),
+                    Err(why) => {
+                        metrics.checks_failed.inc();
+                        failures.push(format!(
+                            "scenario {i} (seed {}): bounded_response on observed stream: {why}",
+                            s.seed
+                        ));
+                    }
+                }
             }
         }
         if let Some(agg) = shapes.get_mut(&s.shape) {
@@ -1243,14 +1316,17 @@ fn run_overload(args: &Args) -> ! {
         let _ = server.event(word_sid, "Words.input", PlainValue::Str(fat.clone()));
         let _ = server.query(word_sid);
     }
-    // Peers must keep receiving after the cut.
+    // Peers must keep receiving after the cut. Sample the counter
+    // *before* the tail event goes out: its update can reach the healthy
+    // reader thread faster than two loads, and sampling afterwards would
+    // swallow it and report a stall that never happened.
+    let seen = healthy_seen.load(Ordering::Relaxed);
     while let Ok(EnqueueOutcome::Shed { .. }) =
         server.event(word_sid, "Words.input", PlainValue::Str("tail".to_string()))
     {
         thread::sleep(Duration::from_millis(10));
     }
     let _ = server.query(word_sid);
-    let seen = healthy_seen.load(Ordering::Relaxed);
     let tail_deadline = Instant::now() + Duration::from_secs(10);
     while healthy_seen.load(Ordering::Relaxed) == seen {
         if Instant::now() > tail_deadline {
@@ -1344,8 +1420,633 @@ fn run_overload(args: &Args) -> ! {
     exit(code)
 }
 
+/// The `--cluster` kill-chaos harness: spawns a 3-process `elm-server`
+/// peer group, opens keyed sessions at their rendezvous-placement
+/// primaries, kills the busiest peer at a `FaultPlan`-scheduled point
+/// mid-stream, and rides the failover through the retrying
+/// [`elm_server::ClusterClient`]. The verdict fails unless every killed
+/// session resumes on a surviving peer with outputs byte-identical to an
+/// uninterrupted governed replay, the survivors' `elm_cluster_*` metric
+/// families account for every takeover, and replication recorded no
+/// gaps. With `--fleet` the sessions host distinct synthesized FElm
+/// programs instead of the dashboard builtin.
+fn run_cluster(args: &Args) -> ! {
+    use elm_server::{place, Client, ClusterClient};
+    use rand::Rng;
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const PEERS: usize = 3;
+
+    /// Numeric accessor over the vendored JSON value (small integers
+    /// parse back as `I64`).
+    fn jnum(v: &Json) -> Option<u64> {
+        match v {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn kill_all(children: &mut [Option<Child>]) {
+        for slot in children.iter_mut() {
+            if let Some(mut c) = slot.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+
+    let sessions = args.sessions.clamp(PEERS, 64);
+    let events = args.events.clamp(50, 2_000);
+    let snapshot_interval = args.snapshot_interval.clamp(1, 32);
+    let mut failures: Vec<String> = Vec::new();
+    eprintln!(
+        "loadgen: CLUSTER {PEERS} peers, {sessions} sessions x {events} events, {} programs, seed {}",
+        if args.fleet { "synthesized" } else { "dashboard" },
+        args.seed
+    );
+
+    // --- programs, traces (pre-filtered to declared inputs, so event
+    // index i carries sequence number i+1), and the replay oracle ---
+    let registry = elm_server::Registry::standard();
+    let mut sources: Vec<Option<String>> = Vec::with_capacity(sessions);
+    let mut graphs: Vec<elm_runtime::SignalGraph> = Vec::with_capacity(sessions);
+    let mut traces: Vec<Vec<elm_runtime::TraceEvent>> = Vec::with_capacity(sessions);
+    if args.fleet {
+        use elm_synth::{GenConfig, Generator};
+        // Benign programs only: a hostile fuel bomb's wall-clock traps
+        // would not replay deterministically across the kill.
+        let generator = Generator::new(GenConfig {
+            hostile: 0.0,
+            ..GenConfig::default()
+        });
+        let mut seen = std::collections::BTreeSet::new();
+        let mut next_seed = args.seed;
+        while sources.len() < sessions {
+            let s = generator.scenario(next_seed, events);
+            next_seed += 1;
+            if !seen.insert(s.source.clone()) {
+                continue;
+            }
+            let (_, graph) = registry
+                .resolve(ProgramSpec::Source(&s.source))
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "loadgen: CLUSTER synthesized program rejected: {e}\n{}",
+                        s.source
+                    );
+                    exit(1);
+                });
+            traces.push(
+                s.trace
+                    .events
+                    .iter()
+                    .filter(|e| graph.input_named(&e.input).is_some())
+                    .cloned()
+                    .collect(),
+            );
+            sources.push(Some(s.source.clone()));
+            graphs.push(graph);
+        }
+    } else {
+        let (_, graph) = registry
+            .resolve(ProgramSpec::Builtin("dashboard"))
+            .expect("dashboard builtin");
+        for trace in Simulator::fan_out(args.seed, sessions, events) {
+            traces.push(
+                trace
+                    .events
+                    .iter()
+                    .filter(|e| graph.input_named(&e.input).is_some())
+                    .cloned()
+                    .collect(),
+            );
+            sources.push(None);
+            graphs.push(graph.clone());
+        }
+    }
+    // The oracle runs under the same budgets the children apply
+    // (`SessionConfig::default()`): deterministic fuel/alloc/depth, no
+    // wall-clock deadline.
+    let limits = elm_runtime::EventLimits::default();
+    let finals: Vec<PlainValue> = (0..sessions)
+        .map(|k| {
+            let mut running =
+                Program::from_dynamic_graph(graphs[k].clone()).start(Engine::Synchronous);
+            running.set_governor(Some(limits), None);
+            for e in &traces[k] {
+                running
+                    .send_named(&e.input, e.value.to_value())
+                    .expect("oracle event");
+            }
+            running.drain_raw().expect("oracle drain");
+            PlainValue::from_value(running.current()).expect("oracle value is plain")
+        })
+        .collect();
+
+    // --- placement, victim, and the scheduled kill point ---
+    let placement: Vec<usize> = (0..sessions as u64).map(|k| place(k, PEERS).0).collect();
+    let mut counts = [0usize; PEERS];
+    for &p in &placement {
+        counts[p] += 1;
+    }
+    let victim = (0..PEERS).max_by_key(|&p| counts[p]).expect("three peers");
+    let plan = FaultPlan {
+        seed: args.seed,
+        ..FaultPlan::disabled()
+    };
+    let mut krng = plan.rng(elm_environment::fault::STREAM_KILL, victim as u64);
+    let kill_frac: f64 = krng.gen_range(0.30..0.60);
+    let total_events: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let kill_after = ((total_events as f64) * kill_frac) as u64;
+    eprintln!(
+        "loadgen: CLUSTER victim is peer {victim} ({} sessions), kill after {kill_after}/{total_events} events",
+        counts[victim]
+    );
+
+    // --- spawn the peer group ---
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("elm-server")))
+        .unwrap_or_else(|| {
+            eprintln!("loadgen: CLUSTER cannot locate own executable directory");
+            exit(1);
+        });
+    if !bin.exists() {
+        eprintln!(
+            "loadgen: CLUSTER elm-server binary not found at {} (build the workspace first)",
+            bin.display()
+        );
+        exit(2);
+    }
+    let peer_addrs: Vec<String> = (0..PEERS)
+        .map(|_| {
+            let l = TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+            l.local_addr().expect("reserved addr").to_string()
+        })
+        .collect();
+    let peer_socks: Vec<SocketAddr> = peer_addrs
+        .iter()
+        .map(|a| a.parse().expect("reserved addr parses"))
+        .collect();
+    let peer_list = peer_addrs.join(",");
+    let mut children: Vec<Option<Child>> = Vec::with_capacity(PEERS);
+    for id in 0..PEERS {
+        match Command::new(&bin)
+            .args([
+                "--peer-id",
+                &id.to_string(),
+                "--peers",
+                &peer_list,
+                "--heartbeat-ms",
+                "50",
+                "--takeover-ms",
+                "500",
+                "--snapshot-interval",
+                &snapshot_interval.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+        {
+            Ok(c) => children.push(Some(c)),
+            Err(e) => {
+                kill_all(&mut children);
+                eprintln!("loadgen: CLUSTER cannot spawn peer {id}: {e}");
+                exit(1);
+            }
+        }
+    }
+    let ready_deadline = Instant::now() + Duration::from_secs(15);
+    for (i, addr) in peer_socks.iter().enumerate() {
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(_) => break,
+                Err(e) => {
+                    if Instant::now() > ready_deadline {
+                        kill_all(&mut children);
+                        eprintln!("loadgen: CLUSTER peer {i} never came up on {addr}: {e}");
+                        exit(1);
+                    }
+                    thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    // --- open every session, keyed, at its placement primary ---
+    let mut openers: Vec<Client> = Vec::with_capacity(PEERS);
+    for (p, sock) in peer_socks.iter().enumerate() {
+        match Client::connect(*sock, args.seed ^ p as u64) {
+            Ok(c) => openers.push(c),
+            Err(e) => {
+                kill_all(&mut children);
+                eprintln!("loadgen: CLUSTER cannot connect to peer {p}: {e}");
+                exit(1);
+            }
+        }
+    }
+    for k in 0..sessions {
+        let mut fields = vec![
+            ("cmd".to_string(), Json::Str("open".to_string())),
+            ("session".to_string(), Json::U64(k as u64)),
+        ];
+        match &sources[k] {
+            Some(src) => fields.push(("source".to_string(), Json::Str(src.clone()))),
+            None => fields.push(("program".to_string(), Json::Str("dashboard".to_string()))),
+        }
+        let line = serde_json::to_string(&Json::Map(fields)).expect("open line renders");
+        let reply = openers[placement[k]].request(&line).unwrap_or_else(|e| {
+            eprintln!("loadgen: CLUSTER open of session {k} failed: {e}");
+            exit(1);
+        });
+        if !matches!(reply.get("ok"), Some(Json::Bool(true)))
+            || jnum(reply.get("session").unwrap_or(&Json::Null)) != Some(k as u64)
+        {
+            kill_all(&mut children);
+            eprintln!("loadgen: CLUSTER keyed open of session {k} refused: {reply:?}");
+            exit(1);
+        }
+    }
+    drop(openers);
+
+    // --- the killer: SIGKILL the victim once the fleet-wide event count
+    // crosses the scheduled point ---
+    let progress = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let victim_child = children[victim].take().expect("victim was spawned");
+    let killed_at: Arc<std::sync::Mutex<Option<Duration>>> = Arc::new(std::sync::Mutex::new(None));
+    let killer = {
+        let progress = Arc::clone(&progress);
+        let killed_at = Arc::clone(&killed_at);
+        thread::spawn(move || {
+            let mut child = victim_child;
+            while progress.load(Ordering::Relaxed) < kill_after {
+                thread::sleep(Duration::from_millis(2));
+            }
+            let _ = child.kill();
+            let _ = child.wait();
+            *killed_at.lock().expect("kill clock") = Some(started.elapsed());
+            eprintln!(
+                "loadgen: CLUSTER killed peer {victim} after {} events",
+                progress.load(Ordering::Relaxed)
+            );
+        })
+    };
+
+    // --- drivers: one per session, riding the failover ---
+    struct DriverOut {
+        value: PlainValue,
+        last_seq: u64,
+        moves: u64,
+        reconnects: u64,
+        resyncs: u64,
+    }
+    let mut drivers = Vec::with_capacity(sessions);
+    for k in 0..sessions {
+        let evs = traces[k].clone();
+        // Primary first; the rest in index order as fallbacks.
+        let mut peers = vec![peer_socks[placement[k]]];
+        peers.extend(
+            (0..PEERS)
+                .filter(|&p| p != placement[k])
+                .map(|p| peer_socks[p]),
+        );
+        let progress = Arc::clone(&progress);
+        let seed = args.seed ^ (k as u64).wrapping_mul(0x9e37_79b9);
+        drivers.push(thread::spawn(move || -> Result<DriverOut, String> {
+            let sid = k as u64;
+            let mut client = ClusterClient::new(peers, seed);
+            let mut resyncs = 0u64;
+            let deadline = Duration::from_secs(20);
+            let query_line = format!("{{\"cmd\":\"query\",\"session\":{sid}}}");
+            // Queries are idempotent; poll until the ingress queue is
+            // drained and the reply carries the applied high-water mark.
+            let drained_query = |client: &mut ClusterClient| -> Result<Json, String> {
+                loop {
+                    let r = client
+                        .request_routed(&query_line, Duration::from_secs(30))
+                        .map_err(|e| format!("session {sid}: query: {e}"))?;
+                    if !matches!(r.get("ok"), Some(Json::Bool(true))) {
+                        return Err(format!("session {sid}: query refused: {r:?}"));
+                    }
+                    if jnum(r.get("queue_len").unwrap_or(&Json::Null)) == Some(0) {
+                        return Ok(r);
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+            };
+            let mut i = 0usize;
+            while i < evs.len() {
+                let e = &evs[i];
+                let line = serde_json::to_string(&Json::Map(vec![
+                    ("cmd".to_string(), Json::Str("event".to_string())),
+                    ("session".to_string(), Json::U64(sid)),
+                    ("input".to_string(), Json::Str(e.input.clone())),
+                    (
+                        "value".to_string(),
+                        serde_json::to_value(&e.value).expect("plain value serializes"),
+                    ),
+                ]))
+                .expect("event line renders");
+                match client.request_exact(&line, deadline) {
+                    Ok(reply) if matches!(reply.get("ok"), Some(Json::Bool(true))) => {
+                        i += 1;
+                        progress.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(reply) => {
+                        return Err(format!("session {sid}: event {i} refused: {reply:?}"))
+                    }
+                    Err(_) => {
+                        // The kill window: whether the in-flight event
+                        // landed is ambiguous. Resynchronize from the
+                        // adopted session's `last_seq` and resume exactly
+                        // once from there.
+                        let r = drained_query(&mut client)?;
+                        let last = jnum(r.get("last_seq").unwrap_or(&Json::Null))
+                            .ok_or_else(|| format!("session {sid}: reply lacks last_seq"))?;
+                        resyncs += 1;
+                        i = last as usize;
+                    }
+                }
+            }
+            let r = drained_query(&mut client)?;
+            let last_seq = jnum(r.get("last_seq").unwrap_or(&Json::Null))
+                .ok_or_else(|| format!("session {sid}: reply lacks last_seq"))?;
+            let value_json = r
+                .get("value")
+                .cloned()
+                .ok_or_else(|| format!("session {sid}: reply lacks value"))?;
+            let value = serde_json::from_value::<PlainValue>(value_json)
+                .map_err(|e| format!("session {sid}: unparseable final value: {e}"))?;
+            Ok(DriverOut {
+                value,
+                last_seq,
+                moves: client.moves(),
+                reconnects: client.reconnects(),
+                resyncs,
+            })
+        }));
+    }
+    let mut outs: Vec<Option<DriverOut>> = Vec::with_capacity(sessions);
+    for (k, d) in drivers.into_iter().enumerate() {
+        match d.join() {
+            Ok(Ok(o)) => outs.push(Some(o)),
+            Ok(Err(e)) => {
+                failures.push(e);
+                outs.push(None);
+            }
+            Err(_) => {
+                failures.push(format!("session {k}: driver panicked"));
+                outs.push(None);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    // Release the killer if the run died before the scheduled point.
+    progress.store(u64::MAX, Ordering::Relaxed);
+    let _ = killer.join();
+    let kill_elapsed = *killed_at.lock().expect("kill clock");
+    if kill_elapsed.is_none() {
+        failures.push("the scheduled kill never fired".to_string());
+    }
+
+    // --- verdict 1: every session resumed with byte-identical output ---
+    for k in 0..sessions {
+        let Some(o) = &outs[k] else { continue };
+        if o.last_seq != traces[k].len() as u64 {
+            failures.push(format!(
+                "session {k}: applied {} of {} events",
+                o.last_seq,
+                traces[k].len()
+            ));
+        }
+        let live = serde_json::to_string(&serde_json::to_value(&o.value).expect("plain value"))
+            .expect("value renders");
+        let want = serde_json::to_string(&serde_json::to_value(&finals[k]).expect("plain value"))
+            .expect("value renders");
+        if live != want {
+            failures.push(format!(
+                "session {k}{}: final output diverged after failover: live {live} != replay {want}",
+                if placement[k] == victim {
+                    " (killed)"
+                } else {
+                    ""
+                }
+            ));
+        }
+    }
+
+    // --- verdict 2: killed sessions live on exactly one survivor; the
+    // other answers with a typed moved redirect at the adopter ---
+    let survivors: Vec<usize> = (0..PEERS).filter(|&p| p != victim).collect();
+    let mut survivor_clients: Vec<(usize, Client)> = Vec::new();
+    for &p in &survivors {
+        match Client::connect(peer_socks[p], args.seed ^ 0xdead ^ p as u64) {
+            Ok(c) => survivor_clients.push((p, c)),
+            Err(e) => failures.push(format!("survivor peer {p} unreachable after the kill: {e}")),
+        }
+    }
+    let mut adopted_on = [0u64; PEERS];
+    for k in (0..sessions).filter(|&k| placement[k] == victim) {
+        let mut host: Option<usize> = None;
+        let mut moved_to: Option<String> = None;
+        for (p, c) in &mut survivor_clients {
+            match c.query(k as u64) {
+                Ok(reply) if matches!(reply.get("ok"), Some(Json::Bool(true))) => host = Some(*p),
+                Ok(reply) if reply.get("error").and_then(Json::as_str) == Some("moved") => {
+                    moved_to = reply.get("peer").and_then(Json::as_str).map(str::to_string)
+                }
+                Ok(reply) => failures.push(format!(
+                    "killed session {k}: peer {p} gave neither value nor redirect: {reply:?}"
+                )),
+                Err(e) => failures.push(format!("killed session {k}: query on peer {p}: {e}")),
+            }
+        }
+        match (host, moved_to) {
+            (Some(h), Some(addr)) => {
+                adopted_on[h] += 1;
+                if addr != peer_addrs[h] {
+                    failures.push(format!(
+                        "killed session {k}: redirect points at {addr} but the session lives on {}",
+                        peer_addrs[h]
+                    ));
+                }
+            }
+            (Some(h), None) => {
+                adopted_on[h] += 1;
+                failures.push(format!(
+                    "killed session {k}: no survivor issued a moved redirect"
+                ));
+            }
+            (None, _) => failures.push(format!("killed session {k}: no surviving peer hosts it")),
+        }
+    }
+
+    // --- verdict 3: the survivors' metric families account for the
+    // takeover, and replication stayed gap-free ---
+    let mut takeovers_sum = 0u64;
+    let mut gaps_sum = 0u64;
+    let mut snaps_sum = 0u64;
+    let mut journal_sum = 0u64;
+    let mut lag_sum = 0u64;
+    let mut takeover_ms_max = 0u64;
+    let mut sessions_primary: Vec<(usize, u64)> = Vec::new();
+    for (p, c) in &mut survivor_clients {
+        let text = match c.metrics_text() {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("metrics scrape on survivor {p}: {e}"));
+                continue;
+            }
+        };
+        takeovers_sum += scraped_family_sum(&text, "elm_cluster_takeovers_total");
+        gaps_sum += scraped_family_sum(&text, "elm_cluster_replication_gaps_total");
+        snaps_sum += scraped_family_sum(&text, "elm_cluster_snapshots_shipped_total");
+        journal_sum += scraped_family_sum(&text, "elm_cluster_journal_replicated_total");
+        lag_sum += scraped_family_sum(&text, "elm_cluster_replication_lag_entries");
+        takeover_ms_max =
+            takeover_ms_max.max(scraped_family_sum(&text, "elm_cluster_takeover_last_ms"));
+        sessions_primary.push((
+            *p,
+            scraped_family_sum(&text, "elm_cluster_sessions_primary"),
+        ));
+        let needle = format!("elm_cluster_peer_up{{peer=\"{victim}\"}}");
+        let up = text
+            .lines()
+            .find(|l| l.starts_with(&needle))
+            .and_then(|l| l.rsplit_once(' '))
+            .and_then(|(_, v)| v.parse::<f64>().ok());
+        if up != Some(0.0) {
+            failures.push(format!(
+                "survivor {p} still reports peer_up{{peer=\"{victim}\"}} = {up:?}"
+            ));
+        }
+    }
+    if takeovers_sum != counts[victim] as u64 {
+        failures.push(format!(
+            "{} sessions died with peer {victim} but survivors count {takeovers_sum} takeovers",
+            counts[victim]
+        ));
+    }
+    let hosted: u64 = sessions_primary.iter().map(|&(_, n)| n).sum();
+    if hosted != sessions as u64 {
+        failures.push(format!(
+            "survivors host {hosted} sessions, expected all {sessions}"
+        ));
+    }
+    if gaps_sum != 0 {
+        failures.push(format!("replication recorded {gaps_sum} gap(s)"));
+    }
+    if snaps_sum == 0 {
+        failures.push("no snapshots were ever shipped (replay suffix unbounded)".to_string());
+    }
+    if journal_sum == 0 {
+        failures.push("no journal entries were ever replicated".to_string());
+    }
+    let moves_total: u64 = outs.iter().flatten().map(|o| o.moves).sum();
+    let reconnects_total: u64 = outs.iter().flatten().map(|o| o.reconnects).sum();
+    let resyncs_total: u64 = outs.iter().flatten().map(|o| o.resyncs).sum();
+    if resyncs_total == 0 {
+        failures.push("no driver ever resynchronized; the kill was not mid-stream".to_string());
+    }
+
+    kill_all(&mut children);
+
+    let throughput = total_events as f64 / elapsed.as_secs_f64();
+    println!(
+        "cluster: {total_events} events across {sessions} sessions in {:.2}s ({throughput:.0} ev/s), \
+         {takeovers_sum} takeovers (last {takeover_ms_max} ms), {resyncs_total} resyncs, \
+         {moves_total} moved redirects, replication lag {lag_sum}",
+        elapsed.as_secs_f64()
+    );
+    for f in &failures {
+        eprintln!("loadgen: CLUSTER FAILURE: {f}");
+    }
+    let verdict = if failures.is_empty() { "OK" } else { "FAILED" };
+    println!("cluster verdict = {verdict}");
+
+    let report = Json::Map(vec![
+        (
+            "benchmark".to_string(),
+            Json::Str(
+                if args.fleet {
+                    "server-cluster-fleet"
+                } else {
+                    "server-cluster"
+                }
+                .to_string(),
+            ),
+        ),
+        ("peers".to_string(), Json::U64(PEERS as u64)),
+        ("sessions".to_string(), Json::U64(sessions as u64)),
+        ("events_per_session".to_string(), Json::U64(events as u64)),
+        ("driven_events".to_string(), Json::U64(total_events)),
+        ("seed".to_string(), Json::U64(args.seed)),
+        ("victim".to_string(), Json::U64(victim as u64)),
+        (
+            "victim_sessions".to_string(),
+            Json::U64(counts[victim] as u64),
+        ),
+        ("kill_after_events".to_string(), Json::U64(kill_after)),
+        (
+            "kill_elapsed_s".to_string(),
+            Json::F64(kill_elapsed.map(|d| d.as_secs_f64()).unwrap_or(-1.0)),
+        ),
+        ("elapsed_s".to_string(), Json::F64(elapsed.as_secs_f64())),
+        ("events_per_sec".to_string(), Json::F64(throughput)),
+        ("takeovers_total".to_string(), Json::U64(takeovers_sum)),
+        ("takeover_last_ms".to_string(), Json::U64(takeover_ms_max)),
+        ("replication_lag_entries".to_string(), Json::U64(lag_sum)),
+        (
+            "journal_replicated_total".to_string(),
+            Json::U64(journal_sum),
+        ),
+        ("snapshots_shipped_total".to_string(), Json::U64(snaps_sum)),
+        ("replication_gaps_total".to_string(), Json::U64(gaps_sum)),
+        ("moves_total".to_string(), Json::U64(moves_total)),
+        ("reconnects_total".to_string(), Json::U64(reconnects_total)),
+        ("resyncs_total".to_string(), Json::U64(resyncs_total)),
+        (
+            "sessions_per_survivor".to_string(),
+            Json::Seq(
+                sessions_primary
+                    .iter()
+                    .map(|&(p, n)| {
+                        Json::Map(vec![
+                            ("peer".to_string(), Json::U64(p as u64)),
+                            ("sessions".to_string(), Json::U64(n)),
+                            ("adopted".to_string(), Json::U64(adopted_on[p])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("verdict".to_string(), Json::Str(verdict.to_string())),
+    ]);
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
+    let out = if args.out == "BENCH_server.json" {
+        "BENCH_cluster.json".to_string()
+    } else {
+        args.out.clone()
+    };
+    let mut code = i32::from(!failures.is_empty());
+    if let Err(e) = std::fs::write(&out, pretty + "\n") {
+        eprintln!("loadgen: CLUSTER FAILURE: cannot write {out}: {e}");
+        code = 1;
+    } else {
+        eprintln!("loadgen: wrote {out}");
+    }
+    exit(code)
+}
+
 fn main() {
     let args = parse_args();
+    if args.cluster {
+        run_cluster(&args);
+    }
     if args.fleet {
         run_fleet(&args);
     }

@@ -240,6 +240,220 @@ impl Client {
     }
 }
 
+/// A cluster-aware client: connects to any peer of the group, follows
+/// typed `{"error":"moved","peer":...}` redirects to a session's new
+/// home, and rides out a failover window by rotating peers with
+/// jittered backoff until the takeover lands (or the deadline passes).
+pub struct ClusterClient {
+    peers: Vec<SocketAddr>,
+    current: usize,
+    client: Option<Client>,
+    rng: StdRng,
+    policy: RetryPolicy,
+    seed: u64,
+    moves: u64,
+    reconnects: u64,
+}
+
+impl ClusterClient {
+    /// Builds a client over the peer group; nothing connects until the
+    /// first request.
+    pub fn new(peers: Vec<SocketAddr>, seed: u64) -> ClusterClient {
+        assert!(!peers.is_empty(), "a cluster has at least one peer");
+        ClusterClient {
+            peers,
+            current: 0,
+            client: None,
+            rng: StdRng::seed_from_u64(seed ^ 0x636c_7573),
+            policy: RetryPolicy::default(),
+            seed,
+            moves: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// `moved` redirects followed so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Reconnects performed so far (peer rotation + redirect targets).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The peer the client currently talks to.
+    pub fn current_peer(&self) -> SocketAddr {
+        self.peers[self.current]
+    }
+
+    /// Points the client at `peer` (following a redirect), registering
+    /// the address if placement never listed it.
+    fn point_at(&mut self, peer: SocketAddr) {
+        match self.peers.iter().position(|p| *p == peer) {
+            Some(i) => self.current = i,
+            None => {
+                self.peers.push(peer);
+                self.current = self.peers.len() - 1;
+            }
+        }
+        self.client = None;
+    }
+
+    fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.peers.len();
+        self.client = None;
+    }
+
+    fn try_once(&mut self, line: &str) -> io::Result<Json> {
+        if self.client.is_none() {
+            let addr = self.peers[self.current];
+            self.client = Some(Client::connect_with(
+                addr,
+                self.seed ^ self.reconnects,
+                self.policy,
+            )?);
+            self.reconnects += 1;
+        }
+        let res = self
+            .client
+            .as_mut()
+            .expect("connected above")
+            .request_with_retry(line);
+        if res.is_err() {
+            self.client = None;
+        }
+        res
+    }
+
+    /// Sends one request, following `moved` redirects and riding out a
+    /// failover window: a dead peer rotates to the next one, an
+    /// `unknown session` reply polls again (the takeover may still be
+    /// replaying), both with jittered backoff, until `deadline` expires.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no peer serves the request within the deadline.
+    pub fn request_routed(&mut self, line: &str, deadline: Duration) -> io::Result<Json> {
+        let until = std::time::Instant::now() + deadline;
+        let mut attempt = 0u32;
+        let mut last: Option<String> = None;
+        loop {
+            match self.try_once(line) {
+                Ok(reply) => {
+                    let err = reply.get("error").and_then(Json::as_str);
+                    if err == Some("moved") {
+                        self.moves += 1;
+                        if let Some(peer) = reply
+                            .get("peer")
+                            .and_then(Json::as_str)
+                            .and_then(|p| p.parse::<SocketAddr>().ok())
+                        {
+                            self.point_at(peer);
+                        } else {
+                            self.rotate();
+                        }
+                    } else if err.is_some_and(|e| e.starts_with("unknown session")) {
+                        // Failover in flight: the new primary has not
+                        // finished (or begun) the takeover replay yet.
+                        last = Some(format!("{reply:?}"));
+                        self.rotate();
+                    } else {
+                        return Ok(reply);
+                    }
+                }
+                Err(e) => {
+                    last = Some(e.to_string());
+                    self.rotate();
+                }
+            }
+            if std::time::Instant::now() >= until {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "no peer served the request within the deadline \
+                         (last: {}): {line}",
+                        last.unwrap_or_else(|| "no attempt completed".to_string())
+                    ),
+                ));
+            }
+            let delay = backoff_ms(self.policy, attempt.min(6), 0, &mut self.rng);
+            thread::sleep(Duration::from_millis(delay));
+            attempt += 1;
+        }
+    }
+
+    /// [`ClusterClient::request_routed`] for non-idempotent verbs like
+    /// `event`: a transport error after the request was written leaves
+    /// it ambiguous whether the server applied it, so instead of blindly
+    /// resending, the client rotates to the next peer and surfaces the
+    /// error. Unambiguous refusals — `moved` redirects, `unknown
+    /// session` polls, and connect failures, where the request was
+    /// definitely *not* applied — are still retried internally until
+    /// `deadline`. Callers riding a failover resynchronize after an
+    /// error via an idempotent `query` of the session's `last_seq`
+    /// high-water mark and resume sending from there.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first ambiguous transport error, or when no peer
+    /// serves the request within the deadline.
+    pub fn request_exact(&mut self, line: &str, deadline: Duration) -> io::Result<Json> {
+        let until = std::time::Instant::now() + deadline;
+        let mut attempt = 0u32;
+        let mut last: Option<String> = None;
+        loop {
+            let fresh = self.client.is_none();
+            let before = self.reconnects;
+            match self.try_once(line) {
+                Ok(reply) => {
+                    let err = reply.get("error").and_then(Json::as_str);
+                    if err == Some("moved") {
+                        self.moves += 1;
+                        if let Some(peer) = reply
+                            .get("peer")
+                            .and_then(Json::as_str)
+                            .and_then(|p| p.parse::<SocketAddr>().ok())
+                        {
+                            self.point_at(peer);
+                        } else {
+                            self.rotate();
+                        }
+                    } else if err.is_some_and(|e| e.starts_with("unknown session")) {
+                        last = Some(format!("{reply:?}"));
+                        self.rotate();
+                    } else {
+                        return Ok(reply);
+                    }
+                }
+                Err(e) => {
+                    // A failed *connect* (no bytes sent) is safe to retry;
+                    // anything past that point is ambiguous.
+                    let connect_failed = fresh && self.reconnects == before;
+                    self.rotate();
+                    if !connect_failed {
+                        return Err(e);
+                    }
+                    last = Some(e.to_string());
+                }
+            }
+            if std::time::Instant::now() >= until {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "no peer served the request within the deadline \
+                         (last: {}): {line}",
+                        last.unwrap_or_else(|| "no attempt completed".to_string())
+                    ),
+                ));
+            }
+            let delay = backoff_ms(self.policy, attempt.min(6), 0, &mut self.rng);
+            thread::sleep(Duration::from_millis(delay));
+            attempt += 1;
+        }
+    }
+}
+
 /// Turns an `{"ok":false,...}` reply into an `io::Error`.
 ///
 /// # Errors
@@ -309,5 +523,66 @@ mod tests {
         assert!(stats.sheds > 0, "quota never triggered: {stats:?}");
         assert_eq!(stats.gave_up, 0, "{stats:?}");
         client.close(sid).unwrap();
+    }
+
+    #[test]
+    fn cluster_client_follows_moved_redirects() {
+        // The real home of the session.
+        let server = Arc::new(Server::start(ServerConfig {
+            shards: 1,
+            ..ServerConfig::default()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let home = listener.local_addr().unwrap();
+        let srv = Arc::clone(&server);
+        thread::spawn(move || serve_with(srv, listener, NetConfig::default()));
+        let sid = server
+            .open(
+                crate::registry::ProgramSpec::Builtin("counter"),
+                None,
+                None,
+                false,
+            )
+            .unwrap()
+            .session;
+
+        // A fake stale peer that answers every line with a typed redirect.
+        let stale = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stale_addr = stale.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in stale.incoming() {
+                let Ok(stream) = stream else { break };
+                let home = home;
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 {
+                            break;
+                        }
+                        let reply = format!(
+                            "{{\"ok\":false,\"error\":\"moved\",\"session\":0,\"peer\":\"{home}\"}}\n"
+                        );
+                        if writer.write_all(reply.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+
+        // The client starts on the stale peer and must end up at home.
+        let mut client = ClusterClient::new(vec![stale_addr, home], 11);
+        let reply = client
+            .request_routed(
+                &format!("{{\"cmd\":\"query\",\"session\":{sid}}}"),
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        expect_ok(&reply).unwrap();
+        assert!(client.moves() >= 1, "redirect was never followed");
+        assert_eq!(client.current_peer(), home);
     }
 }

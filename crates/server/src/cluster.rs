@@ -1,0 +1,824 @@
+//! Cluster mode: cross-process journal replication and replica failover.
+//!
+//! N `elm-server` processes form a peer group over the same NDJSON wire
+//! the data plane uses. Each session's key places it on a **primary**
+//! peer and a designated **replica** peer via rendezvous hashing
+//! ([`place`]); the primary streams the session's write-ahead journal to
+//! the replica (`journal-append`) and periodically ships a state snapshot
+//! (`snapshot-ship`) so the replica's replay suffix stays bounded by the
+//! snapshot interval — the cluster form of the repo's recovery invariant.
+//!
+//! Failover follows from the paper's Theorem 1: a session's state is a
+//! deterministic function of its applied event sequence, so a replica
+//! that restores the last shipped snapshot and replays the journal suffix
+//! *is* the session. When a peer's heartbeats go silent past the takeover
+//! deadline, the monitor declares it dead, adopts every session it backed
+//! up for that peer, and broadcasts a `takeover` so surviving peers
+//! redirect clients (`{"error":"moved","peer":…}`) to the new home.
+//!
+//! Replication is asynchronous and fire-and-forget (the peer verbs
+//! produce no reply lines), so the primary's data plane never blocks on a
+//! peer. The cost is a bounded window of un-replicated suffix at the kill
+//! point; clients recover it exactly-once by reading the adopted
+//! session's `last_seq` high-water mark and re-sending their trace from
+//! `last_seq + 1`.
+
+use std::collections::HashMap;
+use std::io::Write as IoWrite;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use elm_runtime::{Counter, Gauge, JournalEntry, Registry as MetricsRegistry, WireSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{self, SessionMeta};
+use crate::server::Server;
+
+/// Static description of the peer group, shared (index-aligned) by every
+/// member.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// This process's index into `peers`.
+    pub peer_index: usize,
+    /// Advertised listen addresses of every peer, including this one.
+    pub peers: Vec<String>,
+    /// How often idle replication links send a liveness heartbeat.
+    pub heartbeat: Duration,
+    /// How long a peer may stay silent before it is declared dead and its
+    /// replicated sessions are adopted.
+    pub takeover: Duration,
+}
+
+impl ClusterConfig {
+    /// A config with the default 100 ms heartbeat / 1 s takeover timing.
+    pub fn new(peer_index: usize, peers: Vec<String>) -> ClusterConfig {
+        ClusterConfig {
+            peer_index,
+            peers,
+            heartbeat: Duration::from_millis(100),
+            takeover: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// One replication event, emitted by sessions and shards at the moment
+/// the primary's own state changes, and consumed by the cluster router.
+#[derive(Debug)]
+pub enum RepMsg {
+    /// A session opened (or was adopted): ship its metadata so the
+    /// replica can re-instantiate the program on takeover.
+    Open {
+        /// The session id (also its placement key).
+        session: u64,
+        /// Program identity and ingress configuration.
+        meta: SessionMeta,
+    },
+    /// One event was applied and journaled; replicate it.
+    Append {
+        /// The session id.
+        session: u64,
+        /// The journaled event.
+        entry: JournalEntry,
+    },
+    /// The primary snapshotted; ship the state so the replica can
+    /// truncate its replay suffix.
+    Snapshot {
+        /// The session id.
+        session: u64,
+        /// The sequence number the snapshot covers.
+        through: u64,
+        /// The portable state, when every value crossed the wire
+        /// boundary (`None` keeps the replica on full-journal replay).
+        wire: Option<Box<WireSnapshot>>,
+    },
+    /// The session closed; the replica forgets it.
+    Drop {
+        /// The session id.
+        session: u64,
+    },
+}
+
+/// A late-bound replication sender, threaded into every [`Session`] and
+/// shard at server start. Until a [`Cluster`] installs its channel the
+/// tap is a no-op, so single-process servers pay one atomic load per
+/// emission and nothing else.
+///
+/// [`Session`]: crate::session::Session
+#[derive(Debug, Default)]
+pub struct ReplicationTap {
+    tx: OnceLock<Sender<RepMsg>>,
+}
+
+impl ReplicationTap {
+    /// A disconnected tap (every send is a no-op until `install`).
+    pub fn new() -> Arc<ReplicationTap> {
+        Arc::new(ReplicationTap::default())
+    }
+
+    /// Emits one replication event; silently dropped when no cluster is
+    /// attached or the router has shut down.
+    pub fn send(&self, msg: RepMsg) {
+        if let Some(tx) = self.tx.get() {
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn install(&self, tx: Sender<RepMsg>) {
+        let _ = self.tx.set(tx);
+    }
+}
+
+/// Rendezvous (highest-random-weight) placement: returns the
+/// `(primary, replica)` peer indices for a session key. Every peer
+/// computes the same answer from the shared peer list, so placement
+/// needs no coordination; removing a peer only moves the keys it owned.
+/// With a single peer the replica degenerates to the primary.
+pub fn place(key: u64, n_peers: usize) -> (usize, usize) {
+    assert!(n_peers > 0, "placement over an empty peer group");
+    if n_peers == 1 {
+        return (0, 0);
+    }
+    let mut scored: Vec<(u64, usize)> = (0..n_peers)
+        .map(|p| (rendezvous_score(key, p), p))
+        .collect();
+    scored.sort_unstable_by(|a, b| b.cmp(a));
+    (scored[0].1, scored[1].1)
+}
+
+/// splitmix64-style finalizer over `(key, peer)`, matching the mixing
+/// discipline `FaultPlan::rng` uses so adjacent keys decorrelate.
+fn rendezvous_score(key: u64, peer: usize) -> u64 {
+    let mut z = key
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(peer as u64 + 1))
+        .wrapping_add(0x6c62_272e_07bb_0142);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One session another peer asked us to back up.
+#[derive(Debug)]
+struct ReplicaSession {
+    /// The peer currently hosting the session (who ships to us).
+    from: usize,
+    meta: SessionMeta,
+    snapshot: Option<Box<WireSnapshot>>,
+    through: u64,
+    entries: Vec<JournalEntry>,
+}
+
+/// The replica side of replication: shipped metadata, snapshots, and
+/// contiguous journal suffixes, keyed by session.
+#[derive(Debug, Default)]
+struct ReplicaStore {
+    sessions: HashMap<u64, ReplicaSession>,
+    /// Appends dropped for arriving out of order or for unknown
+    /// sessions. A nonzero gap count means a takeover of the affected
+    /// session would diverge; the chaos verdict would catch it.
+    gaps: u64,
+}
+
+impl ReplicaStore {
+    fn upsert_meta(&mut self, from: usize, session: u64, meta: SessionMeta) {
+        match self.sessions.get_mut(&session) {
+            Some(r) => {
+                r.from = from;
+                r.meta = meta;
+            }
+            None => {
+                self.sessions.insert(
+                    session,
+                    ReplicaSession {
+                        from,
+                        meta,
+                        snapshot: None,
+                        through: 0,
+                        entries: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Accepts `entry` only if it extends the stored suffix contiguously
+    /// (`through + 1` when empty). Duplicates are ignored silently; gaps
+    /// and unknown sessions are dropped and counted.
+    fn append(&mut self, session: u64, entry: JournalEntry) -> bool {
+        let Some(r) = self.sessions.get_mut(&session) else {
+            self.gaps += 1;
+            return false;
+        };
+        let expected = r.entries.last().map(|e| e.seq + 1).unwrap_or(r.through + 1);
+        if entry.seq < expected {
+            return true; // duplicate of already-replicated state
+        }
+        if entry.seq > expected {
+            self.gaps += 1;
+            return false;
+        }
+        r.entries.push(entry);
+        true
+    }
+
+    fn snapshot(&mut self, session: u64, through: u64, wire: Option<Box<WireSnapshot>>) {
+        if let (Some(r), Some(w)) = (self.sessions.get_mut(&session), wire) {
+            r.snapshot = Some(w);
+            r.through = through;
+            r.entries.retain(|e| e.seq > through);
+        }
+    }
+
+    fn drop_session(&mut self, session: u64) {
+        self.sessions.remove(&session);
+    }
+
+    /// Removes and returns every session `peer` was hosting — the adopt
+    /// set when `peer` is declared dead.
+    fn drain_from(&mut self, peer: usize) -> Vec<(u64, ReplicaSession)> {
+        let ids: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, r)| r.from == peer)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .map(|id| (id, self.sessions.remove(&id).expect("just listed")))
+            .collect()
+    }
+}
+
+/// The cluster layer of one `elm-server` process: outbound replication
+/// links to every peer, the replica store for sessions it backs up, the
+/// failure monitor, and the `moved` route table.
+pub struct Cluster {
+    server: Arc<Server>,
+    config: ClusterConfig,
+    /// Pre-rendered NDJSON lines queued per peer (`None` at our own
+    /// index). A dead peer's queue grows until it returns — acceptable
+    /// for run-length-bounded workloads, and honest: replication to a
+    /// dead peer *is* unbounded deferred work.
+    outbound: Vec<Option<Sender<String>>>,
+    replicas: Mutex<ReplicaStore>,
+    /// Session → address overrides learned from `takeover` broadcasts;
+    /// consulted before static placement when redirecting clients.
+    routes: Mutex<HashMap<u64, String>>,
+    last_heard: Mutex<Vec<Instant>>,
+    peer_up: Vec<AtomicBool>,
+    stop: AtomicBool,
+    /// Outbound lines queued across all peers (replication lag).
+    lag: AtomicI64,
+    takeovers: Counter,
+    journal_replicated: Counter,
+    snapshots_shipped: Counter,
+    takeover_last_ms: Gauge,
+}
+
+impl Cluster {
+    /// Starts the cluster layer: installs the replication tap on
+    /// `server`, spawns the router, one outbound link per peer, and the
+    /// failure monitor, and attaches itself for `moved` redirects.
+    pub fn start(server: Arc<Server>, config: ClusterConfig) -> Arc<Cluster> {
+        assert!(
+            config.peer_index < config.peers.len(),
+            "peer index {} outside peer list of {}",
+            config.peer_index,
+            config.peers.len()
+        );
+        let me = config.peer_index;
+        let n = config.peers.len();
+        let mut outbound = Vec::with_capacity(n);
+        let mut receivers = Vec::new();
+        for peer in 0..n {
+            if peer == me {
+                outbound.push(None);
+            } else {
+                let (tx, rx) = mpsc::channel::<String>();
+                outbound.push(Some(tx));
+                receivers.push((peer, rx));
+            }
+        }
+        let cluster = Arc::new(Cluster {
+            server: Arc::clone(&server),
+            outbound,
+            replicas: Mutex::new(ReplicaStore::default()),
+            routes: Mutex::new(HashMap::new()),
+            last_heard: Mutex::new(vec![Instant::now(); n]),
+            peer_up: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            stop: AtomicBool::new(false),
+            lag: AtomicI64::new(0),
+            takeovers: Counter::new(),
+            journal_replicated: Counter::new(),
+            snapshots_shipped: Counter::new(),
+            takeover_last_ms: Gauge::new(),
+            config,
+        });
+
+        let (rep_tx, rep_rx) = mpsc::channel::<RepMsg>();
+        server.replication_tap().install(rep_tx);
+        server.attach_cluster(&cluster);
+
+        {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || run_router(cluster, rep_rx));
+        }
+        for (peer, rx) in receivers {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || run_outbound(cluster, peer, rx));
+        }
+        {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || run_monitor(cluster));
+        }
+        cluster
+    }
+
+    /// Stops the monitor (outbound links die with their channels).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// This peer's advertised address.
+    pub fn my_addr(&self) -> &str {
+        &self.config.peers[self.config.peer_index]
+    }
+
+    /// The peer this process replicates `key` to: the highest-scored
+    /// peer other than itself. For a session this peer is primary for,
+    /// that is exactly the designated replica from [`place`].
+    fn replica_target(&self, key: u64) -> Option<usize> {
+        let n = self.config.peers.len();
+        let me = self.config.peer_index;
+        (0..n)
+            .filter(|&p| p != me)
+            .max_by_key(|&p| rendezvous_score(key, p))
+    }
+
+    fn ship(&self, key: u64, line: String) -> bool {
+        let Some(target) = self.replica_target(key) else {
+            return false;
+        };
+        let Some(tx) = &self.outbound[target] else {
+            return false;
+        };
+        if tx.send(line).is_ok() {
+            self.lag.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn note_heard(&self, from: usize) {
+        if from >= self.peer_up.len() || from == self.config.peer_index {
+            return;
+        }
+        self.last_heard.lock().expect("cluster lock")[from] = Instant::now();
+        self.peer_up[from].store(true, Ordering::Relaxed);
+    }
+
+    /// Handles a peer `hello`: confirms the link.
+    pub fn handle_hello(&self, from: usize, _addr: &str) -> String {
+        self.note_heard(from);
+        protocol::hello_line(self.config.peer_index)
+    }
+
+    /// Handles `place`: answers with the key's primary and replica.
+    pub fn handle_place(&self, key: u64) -> String {
+        let (primary, replica) = place(key, self.config.peers.len());
+        protocol::place_line(
+            key,
+            (primary, &self.config.peers[primary]),
+            (replica, &self.config.peers[replica]),
+        )
+    }
+
+    /// Handles a streamed `journal-append`. Silent: returns no reply.
+    pub fn handle_journal_append(&self, from: usize, session: u64, entry: JournalEntry) {
+        self.note_heard(from);
+        self.replicas
+            .lock()
+            .expect("cluster lock")
+            .append(session, entry);
+    }
+
+    /// Handles a streamed `snapshot-ship` (metadata upsert, snapshot
+    /// install, or drop). Silent: returns no reply.
+    pub fn handle_snapshot_ship(
+        &self,
+        from: usize,
+        session: u64,
+        meta: SessionMeta,
+        snapshot: Option<Box<WireSnapshot>>,
+        through: u64,
+        dropped: bool,
+    ) {
+        self.note_heard(from);
+        let mut store = self.replicas.lock().expect("cluster lock");
+        if dropped {
+            store.drop_session(session);
+            return;
+        }
+        store.upsert_meta(from, session, meta);
+        store.snapshot(session, through, snapshot);
+    }
+
+    /// Handles a streamed `heartbeat`. Silent: returns no reply.
+    pub fn handle_heartbeat(&self, from: usize) {
+        self.note_heard(from);
+    }
+
+    /// Handles a `takeover` broadcast: records the adopted sessions' new
+    /// home for `moved` redirects, forgets any replica state for them
+    /// (their new primary re-replicates from scratch), and — split-brain
+    /// resolution — closes any of them this peer still hosts live, with
+    /// a `Moved` update pointing subscribers at the adopter.
+    pub fn handle_takeover(&self, from: usize, addr: &str, sessions: &[u64]) -> String {
+        self.note_heard(from);
+        {
+            let mut routes = self.routes.lock().expect("cluster lock");
+            let mut store = self.replicas.lock().expect("cluster lock");
+            for &sid in sessions {
+                routes.insert(sid, addr.to_string());
+                store.drop_session(sid);
+            }
+        }
+        for &sid in sessions {
+            // The takeover wins: if we still host the session (we were
+            // partitioned, not dead), our copy yields.
+            self.server.close_moved(sid, addr);
+        }
+        protocol::takeover_ack_line(sessions.len())
+    }
+
+    /// Where a session the server does not host lives, if the cluster
+    /// knows: takeover routes first, then the replica store's record of
+    /// who ships to us, then static placement.
+    pub fn redirect_for(&self, session: u64) -> Option<String> {
+        if let Some(addr) = self.routes.lock().expect("cluster lock").get(&session) {
+            return Some(addr.clone());
+        }
+        if let Some(r) = self
+            .replicas
+            .lock()
+            .expect("cluster lock")
+            .sessions
+            .get(&session)
+        {
+            return Some(self.config.peers[r.from].clone());
+        }
+        let (primary, _) = place(session, self.config.peers.len());
+        if primary != self.config.peer_index {
+            return Some(self.config.peers[primary].clone());
+        }
+        None
+    }
+
+    /// Declares `peer` dead: adopts every session it replicated to us
+    /// and broadcasts the takeover to the surviving peers.
+    fn declare_dead(&self, peer: usize) {
+        self.peer_up[peer].store(false, Ordering::Relaxed);
+        let started = Instant::now();
+        let victims = self.replicas.lock().expect("cluster lock").drain_from(peer);
+        if victims.is_empty() {
+            return;
+        }
+        let sids: Vec<u64> = victims.iter().map(|(id, _)| *id).collect();
+        // Broadcast intent *before* adopting: surviving peers must
+        // process the takeover (dropping their stale replica state for
+        // these sessions) before the adoption's own re-replication
+        // stream — `Open`, re-basing snapshot, appends — reaches them on
+        // the same FIFO link, or the drop would erase the state that
+        // stream just established.
+        {
+            let mut routes = self.routes.lock().expect("cluster lock");
+            for sid in &sids {
+                routes.remove(sid);
+            }
+        }
+        let line = protocol::takeover_request(self.config.peer_index, self.my_addr(), &sids);
+        for tx in self.outbound.iter().flatten() {
+            if tx.send(line.clone()).is_ok() {
+                self.lag.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (sid, r) in victims {
+            let snapshot = r.snapshot.map(|w| (r.through, *w));
+            match self.server.adopt(sid, &r.meta, snapshot, r.entries) {
+                Ok(last_seq) => {
+                    self.takeovers.inc();
+                    eprintln!("cluster: peer {peer} dead, adopted session {sid} at seq {last_seq}");
+                }
+                Err(e) => eprintln!("cluster: takeover of session {sid} failed: {e}"),
+            }
+        }
+        self.takeover_last_ms
+            .set(started.elapsed().as_millis() as i64);
+    }
+
+    /// Sessions adopted from dead peers, cumulatively.
+    pub fn takeovers_total(&self) -> u64 {
+        self.takeovers.get()
+    }
+
+    /// Renders the `elm_cluster_*` metric families as Prometheus text.
+    /// `sessions_primary` is the number of sessions this server hosts
+    /// live (the caller already collected it for the core families).
+    pub fn render_metrics(&self, sessions_primary: i64) -> String {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "elm_cluster_takeovers_total",
+            "Sessions adopted from peers declared dead.",
+            &[],
+            self.takeovers.get(),
+        );
+        for (i, _) in self.config.peers.iter().enumerate() {
+            let p = i.to_string();
+            let up = if i == self.config.peer_index {
+                1
+            } else {
+                i64::from(self.peer_up[i].load(Ordering::Relaxed))
+            };
+            reg.gauge(
+                "elm_cluster_peer_up",
+                "1 while the peer's heartbeats are inside the takeover deadline.",
+                &[("peer", &p)],
+                up,
+            );
+        }
+        reg.gauge(
+            "elm_cluster_sessions_primary",
+            "Sessions this peer hosts live.",
+            &[],
+            sessions_primary,
+        );
+        reg.gauge(
+            "elm_cluster_sessions_replica",
+            "Sessions this peer backs up for others.",
+            &[],
+            self.replicas.lock().expect("cluster lock").sessions.len() as i64,
+        );
+        reg.counter(
+            "elm_cluster_journal_replicated_total",
+            "Journal entries shipped to replica peers.",
+            &[],
+            self.journal_replicated.get(),
+        );
+        reg.counter(
+            "elm_cluster_snapshots_shipped_total",
+            "State snapshots shipped to replica peers.",
+            &[],
+            self.snapshots_shipped.get(),
+        );
+        reg.counter(
+            "elm_cluster_replication_gaps_total",
+            "Replicated appends dropped for arriving out of order.",
+            &[],
+            self.replicas.lock().expect("cluster lock").gaps,
+        );
+        reg.gauge(
+            "elm_cluster_replication_lag_entries",
+            "Outbound replication lines queued across all peer links.",
+            &[],
+            self.lag.load(Ordering::Relaxed),
+        );
+        reg.gauge(
+            "elm_cluster_takeover_last_ms",
+            "Duration of the most recent takeover (adoption of all sessions), in milliseconds.",
+            &[],
+            self.takeover_last_ms.get(),
+        );
+        reg.render()
+    }
+}
+
+/// Consumes the replication tap, renders peer verbs, and enqueues them on
+/// the session's replica link. Remembers each session's metadata from its
+/// `Open` so snapshot ships stay self-contained.
+fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
+    let me = cluster.config.peer_index;
+    let mut meta: HashMap<u64, SessionMeta> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            RepMsg::Open { session, meta: m } => {
+                let line = protocol::snapshot_ship_request(me, session, &m, None, 0);
+                meta.insert(session, m);
+                cluster.ship(session, line);
+            }
+            RepMsg::Append { session, entry } => {
+                let line = protocol::journal_append_request(me, session, &entry);
+                if cluster.ship(session, line) {
+                    cluster.journal_replicated.inc();
+                }
+            }
+            RepMsg::Snapshot {
+                session,
+                through,
+                wire,
+            } => {
+                if let Some(m) = meta.get(&session) {
+                    let line =
+                        protocol::snapshot_ship_request(me, session, m, wire.as_deref(), through);
+                    if cluster.ship(session, line) {
+                        cluster.snapshots_shipped.inc();
+                    }
+                }
+            }
+            RepMsg::Drop { session } => {
+                meta.remove(&session);
+                cluster.ship(session, protocol::snapshot_drop_request(me, session));
+            }
+        }
+    }
+}
+
+/// One outbound replication link: connects (with jittered exponential
+/// backoff), introduces itself with `hello`, then forwards queued lines —
+/// injecting a `heartbeat` whenever the queue stays idle for a heartbeat
+/// interval, so the link doubles as the liveness signal.
+fn run_outbound(cluster: Arc<Cluster>, peer: usize, rx: Receiver<String>) {
+    let me = cluster.config.peer_index;
+    let addr = cluster.config.peers[peer].clone();
+    let hello = protocol::hello_request(me, cluster.my_addr());
+    let mut rng =
+        StdRng::seed_from_u64(0x0063_6c75_7374_6572_u64 ^ ((me as u64) << 8) ^ peer as u64);
+    let mut attempt = 0u32;
+    let mut conn: Option<TcpStream> = None;
+    loop {
+        let line = match rx.recv_timeout(cluster.config.heartbeat) {
+            Ok(l) => {
+                cluster.lag.fetch_sub(1, Ordering::Relaxed);
+                l
+            }
+            Err(RecvTimeoutError::Timeout) => protocol::heartbeat_request(me),
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        loop {
+            if cluster.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if conn.is_none() {
+                match TcpStream::connect(&addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        conn = Some(stream);
+                        attempt = 0;
+                        // Introduce the link; replies (the hello ack) are
+                        // never read — this direction only streams.
+                        if write_line(conn.as_mut().expect("just set"), &hello).is_err() {
+                            conn = None;
+                            continue;
+                        }
+                    }
+                    Err(_) => {
+                        attempt = attempt.saturating_add(1);
+                        let cap = 10u64.saturating_mul(1u64 << attempt.min(7)).min(1000);
+                        thread::sleep(Duration::from_millis(rng.gen_range(cap / 2..=cap.max(1))));
+                        continue;
+                    }
+                }
+            }
+            match write_line(conn.as_mut().expect("connected"), &line) {
+                Ok(()) => break,
+                Err(_) => conn = None, // reconnect and resend this line
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Watches per-peer heartbeat recency and fires takeovers past the
+/// deadline. A returning peer (heartbeats resume) is marked up again by
+/// `note_heard`.
+fn run_monitor(cluster: Arc<Cluster>) {
+    let me = cluster.config.peer_index;
+    loop {
+        thread::sleep(cluster.config.heartbeat);
+        if cluster.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let deadline = cluster.config.takeover;
+        let silent: Vec<usize> = {
+            let heard = cluster.last_heard.lock().expect("cluster lock");
+            (0..cluster.config.peers.len())
+                .filter(|&p| {
+                    p != me
+                        && cluster.peer_up[p].load(Ordering::Relaxed)
+                        && heard[p].elapsed() > deadline
+                })
+                .collect()
+        };
+        for p in silent {
+            cluster.declare_dead(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BackpressurePolicy;
+    use elm_runtime::PlainValue;
+
+    fn meta() -> SessionMeta {
+        SessionMeta {
+            program: "counter".to_string(),
+            source: None,
+            queue: 64,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+
+    fn entry(seq: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            input: "Mouse.clicks".to_string(),
+            value: PlainValue::Unit,
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spreads_keys() {
+        let mut owned = [0usize; 3];
+        for key in 0..300u64 {
+            let (p, r) = place(key, 3);
+            assert_eq!((p, r), place(key, 3));
+            assert_ne!(p, r, "primary and replica must differ for key {key}");
+            assert!(p < 3 && r < 3);
+            owned[p] += 1;
+        }
+        // Rendezvous hashing balances within loose bounds.
+        for (peer, n) in owned.iter().enumerate() {
+            assert!(
+                (50..=150).contains(n),
+                "peer {peer} owns {n} of 300 keys: {owned:?}"
+            );
+        }
+        // A single-peer group degenerates to self-replication.
+        assert_eq!(place(7, 1), (0, 0));
+    }
+
+    #[test]
+    fn replica_store_keeps_a_contiguous_suffix_past_snapshots() {
+        let mut store = ReplicaStore::default();
+
+        // Appends before the meta ship are gaps, not state.
+        assert!(!store.append(5, entry(1)));
+        assert_eq!(store.gaps, 1);
+
+        store.upsert_meta(1, 5, meta());
+        for seq in 1..=4 {
+            assert!(store.append(5, entry(seq)));
+        }
+        // Duplicate: ignored without damage. Gap: dropped and counted.
+        assert!(store.append(5, entry(2)));
+        assert!(!store.append(5, entry(7)));
+        assert_eq!(store.gaps, 2);
+        assert_eq!(store.sessions[&5].entries.len(), 4);
+
+        // A snapshot through 3 truncates the suffix to entry 4.
+        store.snapshot(5, 3, Some(Box::new(WireSnapshot::default())));
+        let r = &store.sessions[&5];
+        assert_eq!(r.through, 3);
+        assert_eq!(r.entries.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4]);
+        // The suffix keeps extending from the truncated tail.
+        assert!(store.append(5, entry(5)));
+
+        store.drop_session(5);
+        assert!(store.sessions.is_empty());
+    }
+
+    #[test]
+    fn replica_store_drains_by_hosting_peer() {
+        let mut store = ReplicaStore::default();
+        store.upsert_meta(0, 1, meta());
+        store.upsert_meta(2, 2, meta());
+        store.upsert_meta(0, 3, meta());
+        let mut adopted: Vec<u64> = store.drain_from(0).into_iter().map(|(id, _)| id).collect();
+        adopted.sort_unstable();
+        assert_eq!(adopted, vec![1, 3]);
+        assert_eq!(store.sessions.len(), 1);
+        assert!(store.sessions.contains_key(&2));
+    }
+
+    #[test]
+    fn tap_is_a_no_op_until_installed() {
+        let tap = ReplicationTap::new();
+        tap.send(RepMsg::Drop { session: 1 }); // must not panic or block
+        let (tx, rx) = mpsc::channel();
+        tap.install(tx);
+        tap.send(RepMsg::Drop { session: 2 });
+        match rx.try_recv() {
+            Ok(RepMsg::Drop { session: 2 }) => {}
+            other => panic!("expected the installed tap to deliver, got {other:?}"),
+        }
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod net;
 pub mod protocol;
@@ -55,11 +56,13 @@ pub mod shard;
 pub mod supervisor;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionController, MemoryGauge};
-pub use client::{Client, RetryPolicy, RetryStats};
+pub use client::{Client, ClusterClient, RetryPolicy, RetryStats};
+pub use cluster::{place, Cluster, ClusterConfig, RepMsg, ReplicationTap};
 pub use net::{NetConfig, NetCounters};
 pub use protocol::{
     AdmissionStats, BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary,
-    OpenInfo, QueryInfo, RecoveryStats, Request, ServerStats, SessionStats, TrapStats, Update,
+    OpenInfo, QueryInfo, RecoveryStats, Request, ServerStats, SessionMeta, SessionStats, TrapStats,
+    Update,
 };
 pub use registry::{ProgramSpec, Registry};
 pub use server::{Server, ServerConfig};

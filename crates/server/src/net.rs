@@ -367,6 +367,11 @@ pub fn handle_client_with(server: Arc<Server>, stream: TcpStream, config: NetCon
                 dispatch(&server, line, &out, config)
             }
         };
+        if reply.is_empty() {
+            // Silent cluster verbs (journal-append, snapshot-ship,
+            // heartbeat) produce no reply line.
+            continue;
+        }
         let deadline = Instant::now() + config.write_deadline;
         match out.send_with_deadline(reply, deadline) {
             SendOutcome::Sent => {}
@@ -445,6 +450,7 @@ fn dispatch(
             queue,
             policy,
             observe,
+            session,
         } => {
             let spec = match (&program, &source) {
                 (Some(p), None) => ProgramSpec::Builtin(p),
@@ -455,7 +461,12 @@ fn dispatch(
                     )
                 }
             };
-            match server.open(spec, queue, policy, observe) {
+            let opened = match session {
+                // Cluster-keyed open: placement chose the id.
+                Some(key) => server.open_with_key(key, spec, queue, policy, observe),
+                None => server.open(spec, queue, policy, observe),
+            };
+            match opened {
                 Ok(info) => protocol::opened_line(&info),
                 Err(e) => protocol::err_line(&e),
             }
@@ -469,7 +480,7 @@ fn dispatch(
                 protocol::overloaded_line(retry_after_ms)
             }
             Ok(outcome) => protocol::event_line(outcome),
-            Err(e) => protocol::err_line(&e),
+            Err(e) => err_or_moved(server, session, e),
         },
         Request::Batch { session, events } => match server.batch(session, &events) {
             // Admission is all-or-nothing per batch: a shed batch had
@@ -477,23 +488,24 @@ fn dispatch(
             // overload signal with its retry hint.
             Ok(outcome) if outcome.shed > 0 => protocol::overloaded_line(outcome.retry_after_ms),
             Ok(outcome) => protocol::batch_line(&outcome),
-            Err(e) => protocol::err_line(&e),
+            Err(e) => err_or_moved(server, session, e),
         },
         Request::Query { session } => match server.query(session) {
             Ok(info) => protocol::query_line(&info),
-            Err(e) => protocol::err_line(&e),
+            Err(e) => err_or_moved(server, session, e),
         },
         Request::Subscribe { session } => match server.subscribe(session) {
             Ok(rx) => {
                 // Forward updates until the session closes, the client
                 // goes away, or the client stops draining; the writer
-                // thread owns actual socket I/O. A `closed` update is
-                // always the stream's final message, so the forwarder
-                // ends right after relaying it.
+                // thread owns actual socket I/O. A `closed` (or `moved`)
+                // update is always the stream's final message, so the
+                // forwarder ends right after relaying it.
                 let out = Arc::clone(out);
                 thread::spawn(move || {
                     for update in rx.iter() {
-                        let is_final = matches!(update, Update::Closed { .. });
+                        let is_final =
+                            matches!(update, Update::Closed { .. } | Update::Moved { .. });
                         let line = protocol::update_line(&update);
                         if !forward_or_cut(&out, line, session, config) || is_final {
                             break;
@@ -502,7 +514,7 @@ fn dispatch(
                 });
                 protocol::subscribed_line(session)
             }
-            Err(e) => protocol::err_line(&e),
+            Err(e) => err_or_moved(server, session, e),
         },
         Request::Stats { session } => match session {
             Some(id) => match server.session_stats(id) {
@@ -546,13 +558,73 @@ fn dispatch(
         },
         Request::Describe { session } => match server.describe(session) {
             Ok(info) => protocol::describe_line(&info),
-            Err(e) => protocol::err_line(&e),
+            Err(e) => err_or_moved(server, session, e),
         },
         Request::Close { session } => match server.close(session) {
             Ok(()) => protocol::closed_line(session),
-            Err(e) => protocol::err_line(&e),
+            Err(e) => err_or_moved(server, session, e),
         },
+        // --- cluster peer verbs -------------------------------------
+        Request::Hello { from, addr } => match server.cluster() {
+            Some(cluster) => cluster.handle_hello(from, &addr),
+            None => protocol::err_line("not in cluster mode"),
+        },
+        Request::Place { key } => match server.cluster() {
+            Some(cluster) => cluster.handle_place(key),
+            None => protocol::err_line("not in cluster mode"),
+        },
+        Request::Takeover {
+            from,
+            addr,
+            sessions,
+        } => match server.cluster() {
+            Some(cluster) => cluster.handle_takeover(from, &addr, &sessions),
+            None => protocol::err_line("not in cluster mode"),
+        },
+        // Streamed verbs are silent even outside cluster mode: they are
+        // fire-and-forget, so an error reply would desynchronize the
+        // sender's framing. The empty string is skipped by the caller.
+        Request::JournalAppend {
+            from,
+            session,
+            entry,
+        } => {
+            if let Some(cluster) = server.cluster() {
+                cluster.handle_journal_append(from, session, entry);
+            }
+            String::new()
+        }
+        Request::SnapshotShip {
+            from,
+            session,
+            meta,
+            snapshot,
+            through,
+            dropped,
+        } => {
+            if let Some(cluster) = server.cluster() {
+                cluster.handle_snapshot_ship(from, session, meta, snapshot, through, dropped);
+            }
+            String::new()
+        }
+        Request::Heartbeat { from } => {
+            if let Some(cluster) = server.cluster() {
+                cluster.handle_heartbeat(from);
+            }
+            String::new()
+        }
     }
+}
+
+/// An `unknown session` error becomes a typed `moved` redirect when the
+/// cluster knows (or can compute) where the session lives now.
+fn err_or_moved(server: &Arc<Server>, session: u64, e: String) -> String {
+    if e.starts_with("unknown session") {
+        if let Some(peer) = server.cluster().and_then(|c| c.redirect_for(session)) {
+            return protocol::moved_line(session, &peer);
+        }
+    }
+    protocol::err_line(&e)
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //! same encoding `elm-runtime` traces use on disk, so recorded traces can
 //! be replayed over the wire verbatim.
 
-use elm_runtime::{NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot, TrapKind};
+use elm_runtime::{
+    JournalEntry, NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot, TrapKind,
+    WireSnapshot,
+};
 use serde_json::Value as Json;
 
 /// One client → server command, decoded from a JSON line.
@@ -31,6 +34,11 @@ pub enum Request {
         /// session (`"observe":true`). Off by default: untraced sessions
         /// pay no observability overhead.
         observe: bool,
+        /// Client-chosen session id (cluster mode). When set, the session
+        /// is created under exactly this id — the open fails if the id is
+        /// already hosted — so ids stay unique across a peer group without
+        /// coordination. When absent the server allocates the next id.
+        session: Option<u64>,
     },
     /// One input event for a session.
     Event {
@@ -85,6 +93,83 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// Peer verb: a cluster peer introduces itself on a fresh replication
+    /// connection. Replied to (unlike the streaming peer verbs), so the
+    /// sender can confirm the link before pipelining appends.
+    Hello {
+        /// The sender's peer index within the shared `--peers` list.
+        from: usize,
+        /// The sender's advertised listen address.
+        addr: String,
+    },
+    /// Ask where a session key lives. Any peer answers identically
+    /// (rendezvous hashing is deterministic in the shared peer list), so
+    /// clients can ask whichever peer they reach first.
+    Place {
+        /// The session key to place.
+        key: u64,
+    },
+    /// Peer verb: replicate one journal entry for a session this peer
+    /// backs up. Streamed fire-and-forget: produces **no reply line**.
+    JournalAppend {
+        /// The sender's peer index.
+        from: usize,
+        /// The replicated session.
+        session: u64,
+        /// The journaled event, exactly as the primary applied it.
+        entry: JournalEntry,
+    },
+    /// Peer verb: session metadata plus (optionally) a state snapshot.
+    /// Sent at open (no snapshot yet), after every primary-side snapshot
+    /// (bounding the replica's replay suffix), and at close
+    /// (`dropped:true`). Streamed fire-and-forget: **no reply line**.
+    SnapshotShip {
+        /// The sender's peer index.
+        from: usize,
+        /// The replicated session.
+        session: u64,
+        /// How to re-instantiate the program on takeover.
+        meta: SessionMeta,
+        /// State through `through`, when the primary has snapshotted.
+        snapshot: Option<Box<WireSnapshot>>,
+        /// The sequence number the snapshot covers (0 = none yet).
+        through: u64,
+        /// True when the primary closed the session: forget the replica.
+        dropped: bool,
+    },
+    /// Peer verb: liveness signal on an otherwise-idle replication link.
+    /// Streamed fire-and-forget: **no reply line**.
+    Heartbeat {
+        /// The sender's peer index.
+        from: usize,
+    },
+    /// Peer verb: the sender has declared a peer dead and adopted these
+    /// sessions. Receivers record the new routes (for `moved` redirects)
+    /// and close any of the sessions they still host live (split-brain
+    /// resolution: the takeover wins). Replied to.
+    Takeover {
+        /// The adopting peer's index.
+        from: usize,
+        /// The adopting peer's advertised listen address.
+        addr: String,
+        /// The adopted session ids.
+        sessions: Vec<u64>,
+    },
+}
+
+/// How to re-instantiate a replicated session's program on takeover.
+/// Rides on [`Request::SnapshotShip`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionMeta {
+    /// Resolved program name (`"<source>"` for ad-hoc source).
+    pub program: String,
+    /// FElm source, when the program was compiled from source. Builtin
+    /// native graphs replicate by name instead.
+    pub source: Option<String>,
+    /// Ingress queue capacity.
+    pub queue: usize,
+    /// Backpressure policy.
+    pub policy: BackpressurePolicy,
 }
 
 /// What to do when a session's bounded ingress queue is full.
@@ -218,6 +303,10 @@ pub struct QueryInfo {
     pub value: PlainValue,
     /// Events waiting in the ingress queue.
     pub queue_len: u64,
+    /// The highest event sequence number applied to the runtime — the
+    /// session's durable high-water mark. After a failover, clients resume
+    /// by re-sending their trace from `last_seq + 1`.
+    pub last_seq: u64,
     /// True once a node ever panicked in this session. The session keeps
     /// running (panicked nodes emit `NoChange` forever, paper §3.3.2);
     /// only an exhausted restart budget evicts it.
@@ -516,6 +605,17 @@ pub enum Update {
         /// `"closed"`, `"idle"`, `"recovery_failed"`, or `"shutdown"`.
         reason: String,
     },
+    /// The session now lives on another cluster peer (failover or
+    /// split-brain resolution). Rendered as a `closed` update with
+    /// `reason:"moved"` plus the new peer's address, so pre-cluster
+    /// subscribers still terminate cleanly while cluster-aware ones
+    /// reconnect to `peer` and resubscribe. Final, like `Closed`.
+    Moved {
+        /// Which session.
+        session: u64,
+        /// Address of the peer now hosting the session.
+        peer: String,
+    },
 }
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
@@ -579,6 +679,7 @@ impl Request {
                     queue: json.get("queue").and_then(as_u64).map(|n| n as usize),
                     policy,
                     observe: matches!(json.get("observe"), Some(Json::Bool(true))),
+                    session: json.get("session").and_then(as_u64),
                 })
             }
             "event" => Ok(Request::Event {
@@ -620,6 +721,80 @@ impl Request {
             "close" => Ok(Request::Close {
                 session: req_u64(&json, "session")?,
             }),
+            "hello" => Ok(Request::Hello {
+                from: req_u64(&json, "from")? as usize,
+                addr: opt_str(&json, "addr").ok_or("missing string field \"addr\"")?,
+            }),
+            "place" => Ok(Request::Place {
+                key: req_u64(&json, "key")?,
+            }),
+            "journal-append" => Ok(Request::JournalAppend {
+                from: req_u64(&json, "from")? as usize,
+                session: req_u64(&json, "session")?,
+                entry: JournalEntry {
+                    seq: req_u64(&json, "seq")?,
+                    input: opt_str(&json, "input").ok_or("missing string field \"input\"")?,
+                    value: plain_value(&json, "value")?,
+                },
+            }),
+            "snapshot-ship" => {
+                let dropped = matches!(json.get("dropped"), Some(Json::Bool(true)));
+                let meta = if dropped {
+                    // A drop only needs the session id; the metadata is
+                    // about to be forgotten anyway.
+                    SessionMeta {
+                        program: String::new(),
+                        source: None,
+                        queue: 0,
+                        policy: BackpressurePolicy::Block,
+                    }
+                } else {
+                    let policy = opt_str(&json, "policy")
+                        .ok_or("missing string field \"policy\"")
+                        .and_then(|p| {
+                            BackpressurePolicy::parse(&p).ok_or("unknown backpressure policy")
+                        })?;
+                    SessionMeta {
+                        program: opt_str(&json, "program")
+                            .ok_or("missing string field \"program\"")?,
+                        source: opt_str(&json, "source"),
+                        queue: req_u64(&json, "queue")? as usize,
+                        policy,
+                    }
+                };
+                let snapshot = match json.get("snapshot") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(Box::new(
+                        serde_json::from_value::<WireSnapshot>(v.clone())
+                            .map_err(|e| format!("bad \"snapshot\": {e}"))?,
+                    )),
+                };
+                Ok(Request::SnapshotShip {
+                    from: req_u64(&json, "from")? as usize,
+                    session: req_u64(&json, "session")?,
+                    meta,
+                    snapshot,
+                    through: req_u64(&json, "through")?,
+                    dropped,
+                })
+            }
+            "heartbeat" => Ok(Request::Heartbeat {
+                from: req_u64(&json, "from")? as usize,
+            }),
+            "takeover" => {
+                let sessions = json
+                    .get("sessions")
+                    .and_then(Json::as_seq)
+                    .ok_or("missing array field \"sessions\"")?
+                    .iter()
+                    .map(|s| as_u64(s).ok_or("non-integer session id in \"sessions\""))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                Ok(Request::Takeover {
+                    from: req_u64(&json, "from")? as usize,
+                    addr: opt_str(&json, "addr").ok_or("missing string field \"addr\"")?,
+                    sessions,
+                })
+            }
             other => Err(format!("unknown cmd '{other}'")),
         }
     }
@@ -698,6 +873,7 @@ pub fn query_line(info: &QueryInfo) -> String {
         ("program", Json::Str(info.program.clone())),
         ("value", to_json(&info.value)),
         ("queue_len", Json::U64(info.queue_len)),
+        ("last_seq", Json::U64(info.last_seq)),
         ("poisoned", Json::Bool(info.poisoned)),
     ])
 }
@@ -786,7 +962,129 @@ pub fn update_line(update: &Update) -> String {
             ("session", Json::U64(*session)),
             ("reason", Json::Str(reason.clone())),
         ])),
+        Update::Moved { session, peer } => line(obj(vec![
+            ("update", Json::Str("closed".to_string())),
+            ("session", Json::U64(*session)),
+            ("reason", Json::Str("moved".to_string())),
+            ("peer", Json::Str(peer.clone())),
+        ])),
     }
+}
+
+/// `{"ok":false,"error":"moved","session":…,"peer":…}` — the typed
+/// redirect for a request that reached the wrong cluster peer. Clients
+/// reconnect to `peer` and repeat the request there.
+pub fn moved_line(session: u64, peer: &str) -> String {
+    line(obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("moved".to_string())),
+        ("session", Json::U64(session)),
+        ("peer", Json::Str(peer.to_string())),
+    ]))
+}
+
+/// Reply for a peer `hello`: confirms the link and names the receiver.
+pub fn hello_line(me: usize) -> String {
+    ok_with(vec![("peer", Json::U64(me as u64))])
+}
+
+/// Reply for `place`: where `key` lives and who backs it up.
+pub fn place_line(key: u64, primary: (usize, &str), replica: (usize, &str)) -> String {
+    let peer = |(index, addr): (usize, &str)| {
+        obj(vec![
+            ("peer", Json::U64(index as u64)),
+            ("addr", Json::Str(addr.to_string())),
+        ])
+    };
+    ok_with(vec![
+        ("key", Json::U64(key)),
+        ("primary", peer(primary)),
+        ("replica", peer(replica)),
+    ])
+}
+
+/// Reply for a peer `takeover`: how many route updates were recorded.
+pub fn takeover_ack_line(noted: usize) -> String {
+    ok_with(vec![("noted", Json::U64(noted as u64))])
+}
+
+/// Renders an outbound peer `hello` request line.
+pub fn hello_request(from: usize, addr: &str) -> String {
+    line(obj(vec![
+        ("cmd", Json::Str("hello".to_string())),
+        ("from", Json::U64(from as u64)),
+        ("addr", Json::Str(addr.to_string())),
+    ]))
+}
+
+/// Renders an outbound peer `journal-append` request line.
+pub fn journal_append_request(from: usize, session: u64, entry: &JournalEntry) -> String {
+    line(obj(vec![
+        ("cmd", Json::Str("journal-append".to_string())),
+        ("from", Json::U64(from as u64)),
+        ("session", Json::U64(session)),
+        ("seq", Json::U64(entry.seq)),
+        ("input", Json::Str(entry.input.clone())),
+        ("value", to_json(&entry.value)),
+    ]))
+}
+
+/// Renders an outbound peer `snapshot-ship` request line.
+pub fn snapshot_ship_request(
+    from: usize,
+    session: u64,
+    meta: &SessionMeta,
+    snapshot: Option<&WireSnapshot>,
+    through: u64,
+) -> String {
+    let mut fields = vec![
+        ("cmd", Json::Str("snapshot-ship".to_string())),
+        ("from", Json::U64(from as u64)),
+        ("session", Json::U64(session)),
+        ("program", Json::Str(meta.program.clone())),
+        ("queue", Json::U64(meta.queue as u64)),
+        ("policy", Json::Str(meta.policy.label().to_string())),
+        ("through", Json::U64(through)),
+    ];
+    if let Some(src) = &meta.source {
+        fields.push(("source", Json::Str(src.clone())));
+    }
+    if let Some(snap) = snapshot {
+        fields.push(("snapshot", to_json(snap)));
+    }
+    line(obj(fields))
+}
+
+/// Renders an outbound peer `snapshot-ship` drop line (`dropped:true`).
+pub fn snapshot_drop_request(from: usize, session: u64) -> String {
+    line(obj(vec![
+        ("cmd", Json::Str("snapshot-ship".to_string())),
+        ("from", Json::U64(from as u64)),
+        ("session", Json::U64(session)),
+        ("through", Json::U64(0)),
+        ("dropped", Json::Bool(true)),
+    ]))
+}
+
+/// Renders an outbound peer `heartbeat` request line.
+pub fn heartbeat_request(from: usize) -> String {
+    line(obj(vec![
+        ("cmd", Json::Str("heartbeat".to_string())),
+        ("from", Json::U64(from as u64)),
+    ]))
+}
+
+/// Renders an outbound peer `takeover` broadcast line.
+pub fn takeover_request(from: usize, addr: &str, sessions: &[u64]) -> String {
+    line(obj(vec![
+        ("cmd", Json::Str("takeover".to_string())),
+        ("from", Json::U64(from as u64)),
+        ("addr", Json::Str(addr.to_string())),
+        (
+            "sessions",
+            Json::Seq(sessions.iter().map(|&s| Json::U64(s)).collect()),
+        ),
+    ]))
 }
 
 #[cfg(test)]
@@ -806,8 +1104,18 @@ mod tests {
                 queue: Some(8),
                 policy: Some(BackpressurePolicy::Coalesce),
                 observe: false,
+                session: None,
             }
         );
+
+        let keyed = Request::parse(r#"{"cmd":"open","program":"counter","session":41}"#).unwrap();
+        assert!(matches!(
+            keyed,
+            Request::Open {
+                session: Some(41),
+                ..
+            }
+        ));
 
         let observed =
             Request::parse(r#"{"cmd":"open","program":"counter","observe":true}"#).unwrap();
@@ -1023,6 +1331,131 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("1048576"));
+    }
+
+    #[test]
+    fn peer_verbs_round_trip_through_their_request_renderers() {
+        assert_eq!(
+            Request::parse(&hello_request(2, "127.0.0.1:7001")).unwrap(),
+            Request::Hello {
+                from: 2,
+                addr: "127.0.0.1:7001".to_string(),
+            }
+        );
+        assert_eq!(
+            Request::parse(&heartbeat_request(1)).unwrap(),
+            Request::Heartbeat { from: 1 }
+        );
+
+        let entry = JournalEntry {
+            seq: 9,
+            input: "Mouse.x".to_string(),
+            value: PlainValue::Int(-4),
+        };
+        assert_eq!(
+            Request::parse(&journal_append_request(0, 5, &entry)).unwrap(),
+            Request::JournalAppend {
+                from: 0,
+                session: 5,
+                entry,
+            }
+        );
+
+        let meta = SessionMeta {
+            program: "<source>".to_string(),
+            source: Some("main = Mouse.x\n".to_string()),
+            queue: 64,
+            policy: BackpressurePolicy::Coalesce,
+        };
+        let shipped = Request::parse(&snapshot_ship_request(1, 5, &meta, None, 0)).unwrap();
+        assert_eq!(
+            shipped,
+            Request::SnapshotShip {
+                from: 1,
+                session: 5,
+                meta,
+                snapshot: None,
+                through: 0,
+                dropped: false,
+            }
+        );
+
+        let dropped = Request::parse(&snapshot_drop_request(1, 5)).unwrap();
+        assert!(matches!(
+            dropped,
+            Request::SnapshotShip {
+                session: 5,
+                dropped: true,
+                ..
+            }
+        ));
+
+        assert_eq!(
+            Request::parse(&takeover_request(2, "127.0.0.1:7002", &[3, 8])).unwrap(),
+            Request::Takeover {
+                from: 2,
+                addr: "127.0.0.1:7002".to_string(),
+                sessions: vec![3, 8],
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"place","key":12}"#).unwrap(),
+            Request::Place { key: 12 }
+        );
+    }
+
+    #[test]
+    fn moved_redirects_are_typed_on_both_planes() {
+        // Request plane: a typed error with the new peer's address.
+        let parsed: Json = serde_json::from_str(&moved_line(7, "127.0.0.1:7002")).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("error").and_then(Json::as_str), Some("moved"));
+        assert_eq!(
+            parsed.get("peer").and_then(Json::as_str),
+            Some("127.0.0.1:7002")
+        );
+
+        // Subscription plane: a final closed update with reason "moved",
+        // so pre-cluster subscribers still terminate cleanly.
+        let update = update_line(&Update::Moved {
+            session: 7,
+            peer: "127.0.0.1:7002".to_string(),
+        });
+        let parsed: Json = serde_json::from_str(&update).unwrap();
+        assert_eq!(parsed.get("update").and_then(Json::as_str), Some("closed"));
+        assert_eq!(parsed.get("reason").and_then(Json::as_str), Some("moved"));
+        assert_eq!(
+            parsed.get("peer").and_then(Json::as_str),
+            Some("127.0.0.1:7002")
+        );
+    }
+
+    #[test]
+    fn place_and_query_lines_carry_cluster_fields() {
+        let parsed: Json = serde_json::from_str(&place_line(
+            12,
+            (0, "127.0.0.1:7000"),
+            (2, "127.0.0.1:7002"),
+        ))
+        .unwrap();
+        assert_eq!(parsed.get("key"), Some(&Json::I64(12)));
+        let primary = parsed.get("primary").unwrap();
+        assert_eq!(primary.get("peer"), Some(&Json::I64(0)));
+        assert_eq!(
+            primary.get("addr").and_then(Json::as_str),
+            Some("127.0.0.1:7000")
+        );
+
+        let q = query_line(&QueryInfo {
+            session: 3,
+            program: "counter".to_string(),
+            value: PlainValue::Int(17),
+            queue_len: 0,
+            last_seq: 17,
+            poisoned: false,
+        });
+        let parsed: Json = serde_json::from_str(&q).unwrap();
+        assert_eq!(parsed.get("last_seq"), Some(&Json::I64(17)));
     }
 
     #[test]

@@ -7,16 +7,18 @@
 //! reply channel.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, Weak};
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver};
-use elm_runtime::{PlainValue, StatsSnapshot};
+use elm_runtime::{JournalEntry, PlainValue, StatsSnapshot, WireSnapshot};
 
 use crate::admission::{AdmissionConfig, MemoryGauge};
+use crate::cluster::{Cluster, ReplicationTap};
 use crate::protocol::{
     AdmissionStats, BackpressurePolicy, BatchOutcome, DescribeInfo, EnqueueOutcome, IngressStats,
-    LatencySummary, OpenInfo, QueryInfo, RecoveryStats, ServerStats, SessionStats, TrapStats,
-    Update,
+    LatencySummary, OpenInfo, QueryInfo, RecoveryStats, ServerStats, SessionMeta, SessionStats,
+    TrapStats, Update,
 };
 use crate::registry::{ProgramSpec, Registry};
 use crate::session::{SessionConfig, SessionId, TraceMailbox};
@@ -57,12 +59,15 @@ pub struct Server {
     registry: Registry,
     config: ServerConfig,
     memory: Arc<MemoryGauge>,
+    tap: Arc<ReplicationTap>,
+    cluster: OnceLock<Weak<Cluster>>,
 }
 
 impl Server {
     /// Starts the shard pool.
     pub fn start(config: ServerConfig) -> Server {
         let memory = MemoryGauge::new();
+        let tap = ReplicationTap::new();
         let shards = (0..config.shards.max(1))
             .map(|i| {
                 ShardHandle::spawn(
@@ -71,6 +76,7 @@ impl Server {
                     config.session.faults,
                     config.admission,
                     memory.clone(),
+                    tap.clone(),
                 )
             })
             .collect();
@@ -80,7 +86,27 @@ impl Server {
             registry: Registry::standard(),
             config,
             memory,
+            tap,
+            cluster: OnceLock::new(),
         }
+    }
+
+    /// The replication tap the shards publish session events into. A
+    /// no-op until a [`Cluster`] installs its channel.
+    pub fn replication_tap(&self) -> Arc<ReplicationTap> {
+        self.tap.clone()
+    }
+
+    /// Registers the cluster layer so the wire front end can answer
+    /// placement queries and redirect moved sessions. Call once, from
+    /// [`Cluster::start`].
+    pub fn attach_cluster(&self, cluster: &Arc<Cluster>) {
+        let _ = self.cluster.set(Arc::downgrade(cluster));
+    }
+
+    /// The attached cluster layer, if this server runs in cluster mode.
+    pub fn cluster(&self) -> Option<Arc<Cluster>> {
+        self.cluster.get().and_then(Weak::upgrade)
     }
 
     /// The server-wide approximate-memory gauge (cells retained across
@@ -128,6 +154,38 @@ impl Server {
         policy: Option<BackpressurePolicy>,
         observe: bool,
     ) -> Result<OpenInfo, String> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.open_at(id, spec, queue, policy, observe)
+    }
+
+    /// Hosts a session under a caller-chosen id — cluster mode, where
+    /// placement (not this process) assigns session keys. Bumps the
+    /// local id counter past `key` so plain opens never collide.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program cannot be resolved, the key is already
+    /// hosted here, or the shard died.
+    pub fn open_with_key(
+        &self,
+        key: SessionId,
+        spec: ProgramSpec<'_>,
+        queue: Option<usize>,
+        policy: Option<BackpressurePolicy>,
+        observe: bool,
+    ) -> Result<OpenInfo, String> {
+        self.next_id.fetch_max(key + 1, Ordering::SeqCst);
+        self.open_at(key, spec, queue, policy, observe)
+    }
+
+    fn open_at(
+        &self,
+        id: SessionId,
+        spec: ProgramSpec<'_>,
+        queue: Option<usize>,
+        policy: Option<BackpressurePolicy>,
+        observe: bool,
+    ) -> Result<OpenInfo, String> {
         let (name, graph, source) = self.registry.resolve_with_source(spec)?;
         let mut config = self.config.session;
         if let Some(q) = queue {
@@ -139,7 +197,6 @@ impl Server {
         if observe {
             config.observe = true;
         }
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         self.ask(id, |reply| Command::Open {
             id,
             name,
@@ -147,7 +204,55 @@ impl Server {
             source,
             config: Box::new(config),
             reply,
+        })?
+    }
+
+    /// Hosts a session restored from a peer's shipped snapshot and
+    /// journal suffix — the failover path. Returns the applied-seq
+    /// high-water mark the restored session answers `last_seq` with.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program cannot be resolved, the restore diverges
+    /// (fingerprint or replay mismatch), or the key is already hosted.
+    pub fn adopt(
+        &self,
+        session: SessionId,
+        meta: &SessionMeta,
+        snapshot: Option<(u64, WireSnapshot)>,
+        entries: Vec<JournalEntry>,
+    ) -> Result<u64, String> {
+        let spec = match &meta.source {
+            Some(src) => ProgramSpec::Source(src),
+            None => ProgramSpec::Builtin(&meta.program),
+        };
+        let (name, graph, source) = self.registry.resolve_with_source(spec)?;
+        let mut config = self.config.session;
+        config.queue_capacity = meta.queue.max(1);
+        config.policy = meta.policy;
+        self.next_id.fetch_max(session + 1, Ordering::SeqCst);
+        self.ask(session, |reply| Command::Adopt {
+            id: session,
+            name,
+            graph,
+            source,
+            config: Box::new(config),
+            snapshot,
+            entries,
+            reply,
+        })?
+    }
+
+    /// Closes a locally hosted copy of `session` because `peer` took it
+    /// over; subscribers get a typed `moved` redirect. Returns whether a
+    /// local copy existed.
+    pub fn close_moved(&self, session: SessionId, peer: &str) -> bool {
+        self.ask(session, |reply| Command::CloseMoved {
+            session,
+            peer: peer.to_string(),
+            reply,
         })
+        .unwrap_or(false)
     }
 
     /// The hosted program's description: resolved name, the FElm source
@@ -348,7 +453,7 @@ impl Server {
         sessions.sort_by_key(|s| s.session);
         let latency_sum_us: u64 = samples.iter().sum();
         let latency = LatencySummary::compute(&mut samples);
-        crate::metrics::render_prometheus(
+        let text = crate::metrics::render_prometheus(
             &counters,
             &sessions,
             &shard_depths,
@@ -360,7 +465,11 @@ impl Server {
             },
             &latency,
             latency_sum_us,
-        )
+        );
+        match self.cluster() {
+            Some(cluster) => format!("{text}{}", cluster.render_metrics(sessions.len() as i64)),
+            None => text,
+        }
     }
 
     /// Tears a session down (subscribers get a final `closed` update).

@@ -261,6 +261,9 @@ pub struct Session {
     // into, and the last figure it reported (for delta accounting).
     memory: Option<Arc<MemoryGauge>>,
     reported_cells: i64,
+    // Cluster replication tap: applied events and snapshots stream to
+    // the session's replica peer through it. None outside cluster mode.
+    replication: Option<Arc<crate::cluster::ReplicationTap>>,
 }
 
 impl Session {
@@ -324,7 +327,95 @@ impl Session {
             traps: TrapStats::default(),
             memory: None,
             reported_cells: 0,
+            replication: None,
         }
+    }
+
+    /// Attaches the cluster replication tap: from now on every applied
+    /// event and every snapshot also streams to the session's replica
+    /// peer. Set *after* [`Session::restore_shipped`] on adoption, so
+    /// the restore itself is not re-replicated.
+    pub fn set_replication(&mut self, tap: Arc<crate::cluster::ReplicationTap>) {
+        self.replication = Some(tap);
+    }
+
+    /// Takes (and ships, when a tap is attached) a snapshot right now.
+    /// Called on adoption: the new primary's replica stream starts at the
+    /// adoption high-water mark, so a snapshot re-bases the new replica
+    /// there and keeps the append stream that follows contiguous.
+    pub fn snapshot_now(&mut self) {
+        self.take_snapshot();
+    }
+
+    /// The metadata a replica needs to re-instantiate this session on
+    /// takeover; shipped by the shard when the session opens.
+    pub fn replica_meta(&self) -> crate::protocol::SessionMeta {
+        crate::protocol::SessionMeta {
+            program: self.program_name.clone(),
+            source: self.source.clone(),
+            queue: self.config.queue_capacity,
+            policy: self.config.policy,
+        }
+    }
+
+    /// Rebuilds this (fresh, eventless) session from a peer's shipped
+    /// snapshot and journal suffix — failover's recovery path. The
+    /// restored state equals the dead primary's at its last replicated
+    /// event (Theorem 1 across the wire: state is a function of the
+    /// applied sequence). Replayed outputs are drained silently; the
+    /// primary already delivered them. Returns the applied high-water
+    /// mark, which clients read back as `last_seq` to resume exactly
+    /// once.
+    pub fn restore_shipped(
+        &mut self,
+        snapshot: Option<(u64, elm_runtime::WireSnapshot)>,
+        entries: Vec<JournalEntry>,
+    ) -> Result<u64, String> {
+        // Replay under deterministic budgets but no wall-clock deadline,
+        // exactly like crash recovery.
+        self.running.set_governor(self.config.limits, None);
+        if let Some((through, wire)) = snapshot {
+            if wire.fingerprint != self.graph.fingerprint() {
+                return Err(format!(
+                    "shipped snapshot fingerprint {} does not match graph {}",
+                    wire.fingerprint,
+                    self.graph.fingerprint()
+                ));
+            }
+            let snap = elm_runtime::RuntimeSnapshot::from_wire(&wire);
+            self.running
+                .restore(&snap)
+                .map_err(|e| format!("snapshot restore: {e}"))?;
+            self.applied_seq = through;
+            self.snapshot = Some((through, snap));
+        }
+        let mut replayed = 0u64;
+        for entry in entries {
+            if entry.seq <= self.applied_seq {
+                continue; // covered by the shipped snapshot
+            }
+            // Write-ahead into our own journal, then silent replay: from
+            // here on the adopted session recovers like a native one.
+            let _ = self.journal.append(entry.clone());
+            self.recovery.journal_appends.inc();
+            self.running
+                .send_named(&entry.input, entry.value.to_value())
+                .and_then(|()| self.running.drain_raw())
+                .map_err(|e| format!("replay of shipped seq {}: {e}", entry.seq))?;
+            self.applied_seq = entry.seq;
+            replayed += 1;
+        }
+        // Deterministic traps replayed here were already tallied by the
+        // primary; discard the duplicates and restore the live deadline.
+        let _ = self.running.take_traps();
+        self.running
+            .set_governor(self.config.limits, self.config.event_timeout);
+        self.recovery.replayed_events.add(replayed);
+        self.recovery.max_replay.set_max(replayed as i64);
+        self.panic_baseline = self.running.stats().node_panics;
+        self.ever_panicked = self.panic_baseline > 0;
+        self.last_output = self.running.current().clone();
+        Ok(self.applied_seq)
     }
 
     /// Attaches the server-wide memory gauge; the session reports its
@@ -528,7 +619,8 @@ impl Session {
             // Write-ahead append: the entry hits the journal before the
             // runtime sees the event, so a crash can never lose an
             // applied-but-unjournaled event.
-            let journal_ok = match PlainValue::from_value(&q.value) {
+            let plain = PlainValue::from_value(&q.value);
+            let journal_ok = match plain.clone() {
                 Some(pv) => self
                     .journal
                     .append(JournalEntry {
@@ -559,6 +651,18 @@ impl Session {
                 }
             };
             self.applied_seq = seq;
+            // Replicate exactly once, only after the event demonstrably
+            // applied: the engine-error branch above never reaches here.
+            if let (Some(tap), Some(pv)) = (self.replication.as_ref(), plain) {
+                tap.send(crate::cluster::RepMsg::Append {
+                    session: self.id,
+                    entry: JournalEntry {
+                        seq,
+                        input: q.input.clone(),
+                        value: pv,
+                    },
+                });
+            }
             for ev in &outs {
                 let Some(v) = ev.value() else { continue };
                 self.seq += 1;
@@ -670,6 +774,15 @@ impl Session {
 
     fn take_snapshot(&mut self) {
         if let Some(snap) = self.running.snapshot() {
+            if let Some(tap) = self.replication.as_ref() {
+                // Ship the snapshot so the replica can truncate its copy
+                // of the journal the same way we truncate ours below.
+                tap.send(crate::cluster::RepMsg::Snapshot {
+                    session: self.id,
+                    through: self.applied_seq,
+                    wire: snap.to_wire().map(Box::new),
+                });
+            }
             self.snapshot = Some((self.applied_seq, snap));
             self.recovery.snapshots.inc();
             self.journal.truncate_through(self.applied_seq);
@@ -770,7 +883,14 @@ impl Session {
             value,
             queue_len: self.queue.len() as u64,
             poisoned: self.ever_panicked,
+            last_seq: self.applied_seq,
         }
+    }
+
+    /// The applied-event high-water mark — the journal seq of the last
+    /// event the runtime demonstrably applied.
+    pub fn last_seq(&self) -> u64 {
+        self.applied_seq
     }
 
     /// Ingress counters.
@@ -836,6 +956,22 @@ impl Session {
         let update = Update::Closed {
             session: self.id,
             reason: reason.to_string(),
+        };
+        self.subscribers.retain(|s| s.send(update.clone()).is_ok());
+        self.subscribers.clear();
+        for mb in self.trace_subscribers.drain(..) {
+            mb.close();
+        }
+    }
+
+    /// Tells every subscriber the session moved to `peer` (cluster
+    /// failover took it over there), then detaches them. Subscribers are
+    /// expected to reconnect against the named peer and resume from
+    /// `last_seq`.
+    pub fn notify_moved(&mut self, peer: &str) {
+        let update = Update::Moved {
+            session: self.id,
+            peer: peer.to_string(),
         };
         self.subscribers.retain(|s| s.send(update.clone()).is_ok());
         self.subscribers.clear();

@@ -24,11 +24,13 @@ use rand::Rng;
 use std::sync::Arc;
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionController, MemoryGauge};
+use crate::cluster::{RepMsg, ReplicationTap};
 use crate::protocol::{
     AdmissionStats, BatchOutcome, DescribeInfo, EnqueueOutcome, OpenInfo, QueryInfo, SessionStats,
     Update,
 };
 use crate::session::{Session, SessionConfig, SessionId, TraceMailbox};
+use elm_runtime::{JournalEntry, WireSnapshot};
 
 /// How long a shard sleeps when no commands arrive before re-checking
 /// eviction deadlines.
@@ -86,8 +88,39 @@ pub enum Command {
         source: Option<String>,
         /// Ingress configuration (boxed: it dwarfs every other variant).
         config: Box<SessionConfig>,
-        /// Replies with the open summary.
-        reply: Sender<OpenInfo>,
+        /// Replies with the open summary, or an error when the
+        /// (cluster-keyed) id is already hosted here.
+        reply: Sender<Result<OpenInfo, String>>,
+    },
+    /// Host a session restored from a peer's shipped snapshot + journal
+    /// suffix (cluster failover).
+    Adopt {
+        /// The session's cluster-wide id (it keeps it across the move).
+        id: SessionId,
+        /// Display name of the resolved program.
+        name: String,
+        /// The compiled signal graph.
+        graph: SignalGraph,
+        /// FElm source, if the program was compiled from source.
+        source: Option<String>,
+        /// Ingress configuration.
+        config: Box<SessionConfig>,
+        /// Last shipped snapshot, tagged with its applied-seq watermark.
+        snapshot: Option<(u64, WireSnapshot)>,
+        /// Replicated journal suffix past the snapshot.
+        entries: Vec<JournalEntry>,
+        /// Replies with the restored applied-seq high-water mark.
+        reply: Sender<Result<u64, String>>,
+    },
+    /// Close a session because a peer took it over: subscribers get a
+    /// typed `moved` redirect instead of a plain close.
+    CloseMoved {
+        /// Target session.
+        session: SessionId,
+        /// The peer address subscribers should reconnect to.
+        peer: String,
+        /// Acknowledges the close (`Ok(false)` when not hosted here).
+        reply: Sender<bool>,
     },
     /// One input event.
     Event {
@@ -177,11 +210,12 @@ impl ShardHandle {
         faults: FaultPlan,
         admission: AdmissionConfig,
         memory: Arc<MemoryGauge>,
+        tap: Arc<ReplicationTap>,
     ) -> ShardHandle {
         let (tx, rx) = channel::unbounded();
         let handle = thread::Builder::new()
             .name(format!("elm-shard-{index}"))
-            .spawn(move || run(rx, idle_timeout, index, faults, admission, memory))
+            .spawn(move || run(rx, idle_timeout, index, faults, admission, memory, tap))
             .expect("spawning a shard thread");
         ShardHandle { tx, handle }
     }
@@ -216,8 +250,10 @@ struct Shard {
     admission: AdmissionController,
     memory: Arc<MemoryGauge>,
     cmd_backlog: u64,
+    tap: Arc<ReplicationTap>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     rx: Receiver<Command>,
     idle_timeout: Option<Duration>,
@@ -225,6 +261,7 @@ fn run(
     faults: FaultPlan,
     admission: AdmissionConfig,
     memory: Arc<MemoryGauge>,
+    tap: Arc<ReplicationTap>,
 ) {
     let mut shard = Shard {
         sessions: HashMap::new(),
@@ -233,6 +270,7 @@ fn run(
         admission: AdmissionController::new(admission, memory.clone()),
         memory,
         cmd_backlog: 0,
+        tap,
     };
     // Worker-stall injection: one roll per handled command burst. Stalls
     // only delay the worker (sessions must tolerate a frozen shard); they
@@ -288,6 +326,10 @@ impl Shard {
                 config,
                 reply,
             } => {
+                if self.sessions.contains_key(&id) {
+                    let _ = reply.send(Err(format!("session {id} already exists")));
+                    return false;
+                }
                 let info = OpenInfo {
                     session: id,
                     program: name.clone(),
@@ -298,9 +340,74 @@ impl Shard {
                 let mut session = Session::new(id, name, graph, *config);
                 session.set_source(source);
                 session.set_memory_gauge(self.memory.clone());
+                let meta = session.replica_meta();
+                session.set_replication(self.tap.clone());
                 self.sessions.insert(id, session);
                 self.counters.opened += 1;
-                let _ = reply.send(info);
+                self.tap.send(RepMsg::Open { session: id, meta });
+                let _ = reply.send(Ok(info));
+            }
+            Command::Adopt {
+                id,
+                name,
+                graph,
+                source,
+                config,
+                snapshot,
+                entries,
+                reply,
+            } => {
+                if self.sessions.contains_key(&id) {
+                    let _ = reply.send(Err(format!("session {id} already exists")));
+                    return false;
+                }
+                let mut session = Session::new(id, name, graph, *config);
+                session.set_source(source);
+                session.set_memory_gauge(self.memory.clone());
+                match session.restore_shipped(snapshot, entries) {
+                    Ok(last_seq) => {
+                        let meta = session.replica_meta();
+                        // The tap attaches only after the restore, so the
+                        // replayed history is not re-replicated; from here
+                        // the adopted session streams to *its* replica.
+                        session.set_replication(self.tap.clone());
+                        self.tap.send(RepMsg::Open { session: id, meta });
+                        // Re-protect immediately: a snapshot at the
+                        // adoption high-water mark re-bases this
+                        // session's *new* replica so the append stream
+                        // that follows stays contiguous instead of
+                        // gapping until the next periodic snapshot.
+                        session.snapshot_now();
+                        self.sessions.insert(id, session);
+                        self.counters.opened += 1;
+                        let _ = reply.send(Ok(last_seq));
+                    }
+                    Err(e) => {
+                        session.stop();
+                        let _ = reply.send(Err(e));
+                    }
+                }
+            }
+            Command::CloseMoved {
+                session,
+                peer,
+                reply,
+            } => {
+                // Split-brain guard: a stale primary drops its copy when a
+                // peer announces a takeover. Deliberately no RepMsg::Drop —
+                // the new primary may share our replica target, and a drop
+                // from us must not erase the replica it is now feeding.
+                let hosted = match self.sessions.remove(&session) {
+                    Some(mut s) => {
+                        s.notify_moved(&peer);
+                        s.stop();
+                        self.admission.forget(session);
+                        self.counters.closed += 1;
+                        true
+                    }
+                    None => false,
+                };
+                let _ = reply.send(hosted);
             }
             Command::Event {
                 session,
@@ -417,6 +524,7 @@ impl Shard {
                         s.stop();
                         self.admission.forget(session);
                         self.counters.closed += 1;
+                        self.tap.send(RepMsg::Drop { session });
                         Ok(())
                     }
                     None => Err(format!("unknown session {session}")),
@@ -468,6 +576,7 @@ impl Shard {
                 s.notify_closed(reason);
                 s.stop();
                 self.admission.forget(id);
+                self.tap.send(RepMsg::Drop { session: id });
                 match reason {
                     "recovery_failed" => self.counters.recovery_failed += 1,
                     _ => self.counters.evicted_idle += 1,
@@ -481,6 +590,17 @@ impl Shard {
 mod tests {
     use super::*;
     use crate::registry::{ProgramSpec, Registry};
+
+    fn spawn_shard(idle_timeout: Option<Duration>) -> ShardHandle {
+        ShardHandle::spawn(
+            0,
+            idle_timeout,
+            FaultPlan::disabled(),
+            AdmissionConfig::default(),
+            MemoryGauge::new(),
+            ReplicationTap::new(),
+        )
+    }
 
     fn open_on(
         shard: &ShardHandle,
@@ -503,7 +623,7 @@ mod tests {
                 reply: tx,
             })
             .unwrap();
-        rx.recv().unwrap()
+        rx.recv().unwrap().expect("open accepted")
     }
 
     fn query_on(shard: &ShardHandle, id: SessionId) -> Result<QueryInfo, String> {
@@ -520,13 +640,7 @@ mod tests {
 
     #[test]
     fn shard_hosts_sessions_and_answers_queries() {
-        let shard = ShardHandle::spawn(
-            0,
-            None,
-            FaultPlan::disabled(),
-            AdmissionConfig::default(),
-            MemoryGauge::new(),
-        );
+        let shard = spawn_shard(None);
         let info = open_on(&shard, 7, "counter", SessionConfig::default());
         assert_eq!(info.session, 7);
         assert_eq!(info.inputs, vec!["Mouse.clicks".to_string()]);
@@ -549,14 +663,93 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_sessions_recover_in_place_instead_of_eviction() {
-        let shard = ShardHandle::spawn(
-            0,
-            None,
-            FaultPlan::disabled(),
-            AdmissionConfig::default(),
-            MemoryGauge::new(),
+    fn keyed_opens_reject_duplicates_and_adoption_restores_state() {
+        let shard = spawn_shard(None);
+        open_on(&shard, 7, "counter", SessionConfig::default());
+
+        // The same cluster key cannot be hosted twice.
+        let (name, graph, source) = Registry::standard()
+            .resolve_with_source(ProgramSpec::Builtin("counter"))
+            .unwrap();
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Open {
+                id: 7,
+                name,
+                graph,
+                source,
+                config: Box::new(SessionConfig::default()),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(rx.recv().unwrap().is_err());
+
+        // Adoption replays a shipped journal suffix into a fresh session.
+        let (name, graph, source) = Registry::standard()
+            .resolve_with_source(ProgramSpec::Builtin("counter"))
+            .unwrap();
+        let entries: Vec<JournalEntry> = (1..=3)
+            .map(|seq| JournalEntry {
+                seq,
+                input: "Mouse.clicks".to_string(),
+                value: PlainValue::Unit,
+            })
+            .collect();
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Adopt {
+                id: 9,
+                name,
+                graph,
+                source,
+                config: Box::new(SessionConfig::default()),
+                snapshot: None,
+                entries,
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Ok(3));
+        let q = query_on(&shard, 9).unwrap();
+        assert_eq!(q.value, PlainValue::Int(3));
+        assert_eq!(q.last_seq, 3);
+
+        // A takeover close hands subscribers a typed redirect.
+        let (sub_tx, sub_rx) = channel::unbounded();
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::Subscribe {
+                session: 9,
+                sink: sub_tx,
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap().unwrap();
+        let (tx, rx) = channel::bounded(1);
+        shard
+            .sender()
+            .send(Command::CloseMoved {
+                session: 9,
+                peer: "127.0.0.1:7777".to_string(),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(rx.recv().unwrap());
+        assert_eq!(
+            sub_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Update::Moved {
+                session: 9,
+                peer: "127.0.0.1:7777".to_string()
+            }
         );
+        shard.shutdown();
+    }
+
+    #[test]
+    fn poisoned_sessions_recover_in_place_instead_of_eviction() {
+        let shard = spawn_shard(None);
         open_on(&shard, 1, "crashy", SessionConfig::default());
         open_on(&shard, 2, "counter", SessionConfig::default());
 
@@ -607,13 +800,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_evicts_with_recovery_failed() {
-        let shard = ShardHandle::spawn(
-            0,
-            None,
-            FaultPlan::disabled(),
-            AdmissionConfig::default(),
-            MemoryGauge::new(),
-        );
+        let shard = spawn_shard(None);
         let config = SessionConfig {
             restart: crate::supervisor::RestartPolicy {
                 max_restarts: 0,
@@ -670,13 +857,7 @@ mod tests {
 
     #[test]
     fn idle_sessions_are_evicted_after_the_timeout() {
-        let shard = ShardHandle::spawn(
-            0,
-            Some(Duration::from_millis(30)),
-            FaultPlan::disabled(),
-            AdmissionConfig::default(),
-            MemoryGauge::new(),
-        );
+        let shard = spawn_shard(Some(Duration::from_millis(30)));
         open_on(&shard, 1, "counter", SessionConfig::default());
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {

@@ -30,6 +30,19 @@ pub enum Property {
     /// No value-level invariant beyond what every program gets: the
     /// final value must match a budget-governed synchronous replay.
     Replay,
+    /// Bounded response for counting outputs: every applied event's
+    /// effect becomes observable within `deadline_events` subsequent
+    /// output changes. A counting fold's `j`-th observed change carries
+    /// the number of events applied so far, so `value - (j+1)` is how
+    /// many changes the observer never saw at that point; the property
+    /// bounds that staleness — and the final lag between the settled
+    /// value and the observed stream — by `deadline_events`. This is the
+    /// liveness half of failover: a resumed session may coalesce, but it
+    /// must not silently fall ever further behind.
+    BoundedResponse {
+        /// Maximum tolerated staleness, in output changes.
+        deadline_events: u64,
+    },
 }
 
 impl Property {
@@ -39,6 +52,7 @@ impl Property {
             Property::ExactCount => "exact_count",
             Property::Monotone => "monotone",
             Property::Replay => "replay",
+            Property::BoundedResponse { .. } => "bounded_response",
         }
     }
 }
@@ -83,6 +97,28 @@ pub fn check_property(
             Ok(())
         }
         Property::Replay => Ok(()),
+        Property::BoundedResponse { deadline_events } => {
+            for (j, &v) in outputs.iter().enumerate() {
+                let missed = v - (j as i64 + 1);
+                if missed > deadline_events as i64 {
+                    return Err(format!(
+                        "bounded_response violated: observed change #{} carries value {v}, \
+                         {missed} events behind (deadline {deadline_events})",
+                        j + 1
+                    ));
+                }
+            }
+            let final_lag = final_value - outputs.len() as i64;
+            if final_lag > deadline_events as i64 {
+                return Err(format!(
+                    "bounded_response violated: settled value {final_value} but only {} \
+                     changes observed, {final_lag} events never surfaced \
+                     (deadline {deadline_events})",
+                    outputs.len()
+                ));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -126,5 +162,30 @@ mod tests {
     #[test]
     fn replay_is_always_locally_satisfied() {
         assert!(check_property(Property::Replay, &[5, 1], 1, &trace_of(2)).is_ok());
+    }
+
+    #[test]
+    fn bounded_response_tolerates_lag_up_to_the_deadline() {
+        let p = Property::BoundedResponse { deadline_events: 2 };
+        let t = trace_of(0);
+        // Perfectly live stream: every change observed.
+        assert!(check_property(p, &[1, 2, 3, 4], 4, &t).is_ok());
+        // Coalesced but within deadline: change #2 carries 4 (2 behind).
+        assert!(check_property(p, &[1, 4], 4, &t).is_ok());
+        // Mid-stream staleness beyond the deadline.
+        let err = check_property(p, &[1, 5], 5, &t).unwrap_err();
+        assert!(err.contains("bounded_response"), "{err}");
+        assert!(err.contains("3 events behind"), "{err}");
+        // Final lag beyond the deadline: settled at 9, observed 2 changes.
+        let err = check_property(p, &[1, 2], 9, &t).unwrap_err();
+        assert!(err.contains("never surfaced"), "{err}");
+    }
+
+    #[test]
+    fn bounded_response_has_a_stable_name() {
+        assert_eq!(
+            Property::BoundedResponse { deadline_events: 8 }.name(),
+            "bounded_response"
+        );
     }
 }
