@@ -28,6 +28,12 @@ pub struct JournalEntry {
     pub input: String,
     /// The event payload.
     pub value: PlainValue,
+    /// Causal trace id carried end-to-end with the event (0 = untraced).
+    /// Persisting it in the journal is what lets a replica or adopter
+    /// continue the *same* trace after a failover: replayed events keep
+    /// the id they were ingested with, so cross-process span assembly
+    /// sees one causal story rather than a new root per process.
+    pub trace: u64,
 }
 
 /// Why an append was not recorded.
@@ -60,8 +66,13 @@ pub type FailureHook = Box<dyn FnMut(&JournalEntry) -> bool + Send>;
 ///
 /// let mut j = EventJournal::new(4);
 /// for seq in 1..=6 {
-///     j.append(JournalEntry { seq, input: "Mouse.x".into(), value: PlainValue::Int(seq as i64) })
-///         .unwrap();
+///     j.append(JournalEntry {
+///         seq,
+///         input: "Mouse.x".into(),
+///         value: PlainValue::Int(seq as i64),
+///         trace: 0,
+///     })
+///     .unwrap();
 /// }
 /// assert_eq!(j.len(), 6);
 /// j.truncate_through(4); // a snapshot now covers seq <= 4
@@ -288,6 +299,7 @@ mod tests {
             seq,
             input: "Mouse.x".to_string(),
             value: PlainValue::Int(seq as i64),
+            trace: 0,
         }
     }
 

@@ -75,7 +75,8 @@ pub use sched::sync::{RuntimeSnapshot, SyncRuntime, WireOccurrence, WireSnapshot
 pub use stats::{Stats, StatsSnapshot};
 pub use trace::{PlainValue, Trace, TraceEvent};
 pub use tracing::{
-    assemble, reachable_from, NodeSpan, NodeTimingSnapshot, PlainSpan, PlainSpanTree, SpanKind,
-    SpanRing, SpanTree, TraceId, Tracer,
+    assemble, assemble_cluster, reachable_from, ClusterPhase, ClusterSpan, ClusterSpanTree,
+    NodeSpan, NodeTimingSnapshot, PlainSpan, PlainSpanTree, SpanKind, SpanRing, SpanTree, TraceId,
+    Tracer,
 };
 pub use value::Value;

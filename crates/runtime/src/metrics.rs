@@ -180,12 +180,57 @@ impl HistogramSnapshot {
             count: self.count + other.count,
         }
     }
+
+    /// Upper bound (in observation units) of the bucket containing the
+    /// `q`-quantile observation — a log₂-quantized overestimate of the true
+    /// quantile, which is the best a fixed-bucket histogram can do. Returns
+    /// 0 for an empty histogram; the `+Inf` bucket reports the largest
+    /// finite bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += self.buckets.get(i).copied().unwrap_or(0);
+            if cumulative >= target {
+                return Histogram::bucket_le(i).unwrap_or(1u64 << (HISTOGRAM_BUCKETS - 2));
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 2)
+    }
+
+    /// Fraction of observations strictly above `threshold`, quantized to the
+    /// log₂ bucket grid: only buckets entirely above `threshold`'s own
+    /// bucket count (exact when `threshold` is a power of two, an
+    /// underestimate otherwise). The SLO burn-rate families are built on
+    /// this — it never over-reports budget violations.
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cut = Histogram::bucket_index(threshold);
+        let above: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i > cut)
+            .map(|(_, b)| *b)
+            .sum();
+        above as f64 / self.count as f64
+    }
 }
 
-/// One sample (label set + value) of a metric family.
+/// One sample (label set + value) of a metric family. The `suffix` is the
+/// typed family-name suffix (`"_bucket"`, `"_sum"`, `"_count"`, or empty),
+/// fixed at registration time so rendering never has to classify a sample
+/// by inspecting its label text — label *values* are user-controlled (e.g.
+/// ad-hoc session sources) and may legally contain `le="` or `quantile="`.
 #[derive(Debug)]
 struct Sample {
     labels: String, // pre-rendered `{k="v",...}` or empty
+    suffix: &'static str,
     value: String,
 }
 
@@ -260,6 +305,7 @@ impl Registry {
         let labels = render_labels(labels);
         self.family(name, "counter", help).samples.push(Sample {
             labels,
+            suffix: "",
             value: value.to_string(),
         });
     }
@@ -269,7 +315,19 @@ impl Registry {
         let labels = render_labels(labels);
         self.family(name, "gauge", help).samples.push(Sample {
             labels,
+            suffix: "",
             value: value.to_string(),
+        });
+    }
+
+    /// Registers a gauge sample with a fractional value (a ratio, a burn
+    /// rate, a quantile in seconds).
+    pub fn gauge_f64(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let labels = render_labels(labels);
+        self.family(name, "gauge", help).samples.push(Sample {
+            labels,
+            suffix: "",
+            value: format!("{value}"),
         });
     }
 
@@ -295,18 +353,18 @@ impl Registry {
             };
             fam.samples.push(Sample {
                 labels: render_labels_plus(labels, "le", &le),
+                suffix: "_bucket",
                 value: cumulative.to_string(),
             });
         }
         fam.samples.push(Sample {
             labels: render_labels(labels),
+            suffix: "_sum",
             value: format!("{}", snap.sum as f64 * scale),
         });
-        // `_sum` / `_count` suffixes are attached at render time via the
-        // sample ordering: the last two samples of each labelled histogram
-        // are sum then count.
         fam.samples.push(Sample {
             labels: render_labels(labels),
+            suffix: "_count",
             value: snap.count.to_string(),
         });
     }
@@ -325,67 +383,35 @@ impl Registry {
         for (q, v) in quantiles {
             fam.samples.push(Sample {
                 labels: render_labels_plus(labels, "quantile", &format!("{q}")),
+                suffix: "",
                 value: format!("{v}"),
             });
         }
         fam.samples.push(Sample {
             labels: render_labels(labels),
+            suffix: "_sum",
             value: format!("{sum}"),
         });
         fam.samples.push(Sample {
             labels: render_labels(labels),
+            suffix: "_count",
             value: count.to_string(),
         });
     }
 
-    /// Renders all families in the Prometheus text exposition format.
+    /// Renders all families in the Prometheus text exposition format. Each
+    /// sample carries its typed name suffix from registration, so no label
+    /// inspection happens here — hostile label values render correctly.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for fam in &self.families {
             out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
             out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind));
-            match fam.kind {
-                "histogram" | "summary" => {
-                    // Samples arrive in repeating groups: quantile/bucket
-                    // lines (with `le`/`quantile` labels), then sum, then
-                    // count for each label set.
-                    let marker = if fam.kind == "histogram" {
-                        "le=\""
-                    } else {
-                        "quantile=\""
-                    };
-                    let mut i = 0;
-                    while i < fam.samples.len() {
-                        let s = &fam.samples[i];
-                        if s.labels.contains(marker) {
-                            let suffix = if fam.kind == "histogram" {
-                                "_bucket"
-                            } else {
-                                ""
-                            };
-                            out.push_str(&format!(
-                                "{}{}{} {}\n",
-                                fam.name, suffix, s.labels, s.value
-                            ));
-                            i += 1;
-                        } else {
-                            // sum then count
-                            out.push_str(&format!("{}_sum{} {}\n", fam.name, s.labels, s.value));
-                            if let Some(c) = fam.samples.get(i + 1) {
-                                out.push_str(&format!(
-                                    "{}_count{} {}\n",
-                                    fam.name, c.labels, c.value
-                                ));
-                            }
-                            i += 2;
-                        }
-                    }
-                }
-                _ => {
-                    for s in &fam.samples {
-                        out.push_str(&format!("{}{} {}\n", fam.name, s.labels, s.value));
-                    }
-                }
+            for s in &fam.samples {
+                out.push_str(&format!(
+                    "{}{}{} {}\n",
+                    fam.name, s.suffix, s.labels, s.value
+                ));
             }
         }
         out
@@ -497,5 +523,107 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_render_typed_suffixes() {
+        // Label values that mimic the renderer's own syntax: a histogram
+        // label ending in `le="..."`, quotes, backslashes, and newlines.
+        // Before suffixes were typed per sample, the renderer classified
+        // bucket-vs-sum/count lines by scanning labels for `le="` — these
+        // values broke that pairing.
+        let mut reg = Registry::new();
+        let h = Histogram::new();
+        h.observe(3);
+        reg.histogram(
+            "elm_node_compute_seconds",
+            "Per-node compute time.",
+            &[("label", "merge le=\"0.5\" of a\\b\nc")],
+            &h.snapshot(),
+            1e-9,
+        );
+        reg.summary(
+            "elm_latency_seconds",
+            "Latency.",
+            &[("session", "quantile=\"0.99\"")],
+            &[(0.5, 0.001)],
+            0.5,
+            1,
+        );
+        let text = reg.render();
+        // Escaping: backslash, quote, newline all escaped in place.
+        assert!(
+            text.contains("label=\"merge le=\\\"0.5\\\" of a\\\\b\\nc\""),
+            "{text}"
+        );
+        // The hostile histogram still renders exactly 32 bucket lines plus
+        // one _sum and one _count.
+        let buckets = text
+            .lines()
+            .filter(|l| l.starts_with("elm_node_compute_seconds_bucket{"))
+            .count();
+        assert_eq!(buckets, HISTOGRAM_BUCKETS, "{text}");
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("elm_node_compute_seconds_sum{"))
+                .count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("elm_node_compute_seconds_count{"))
+                .count(),
+            1,
+            "{text}"
+        );
+        // The summary's hostile session label must not be mistaken for a
+        // quantile sample: exactly one quantile line, one sum, one count.
+        assert!(
+            text.contains(
+                "elm_latency_seconds{session=\"quantile=\\\"0.99\\\"\",quantile=\"0.5\"} 0.001"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_latency_seconds_sum{session=\"quantile=\\\"0.99\\\"\"} 0.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_latency_seconds_count{session=\"quantile=\\\"0.99\\\"\"} 1"),
+            "{text}"
+        );
+        // Every non-comment line still parses as `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .rsplit_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "unparseable line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_quantile_and_fraction_above() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(1_000); // bucket le=1024
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000); // bucket le=2^20
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 1024);
+        assert_eq!(snap.quantile(0.9), 1024);
+        assert_eq!(snap.quantile(0.99), 1 << 20);
+        assert_eq!(snap.quantile(1.0), 1 << 20);
+        // Exactly the slow 10% sit above the 2^14 boundary.
+        let frac = snap.fraction_above(1 << 14);
+        assert!((frac - 0.10).abs() < 1e-9, "{frac}");
+        assert_eq!(snap.fraction_above(u64::MAX), 0.0);
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+        assert_eq!(HistogramSnapshot::default().fraction_above(0), 0.0);
     }
 }

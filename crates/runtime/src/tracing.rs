@@ -550,6 +550,139 @@ pub fn assemble(spans: &[NodeSpan], graph: &SignalGraph) -> Vec<SpanTree> {
     out
 }
 
+/// Which stage of an event's cross-process life a [`ClusterSpan`] covers.
+///
+/// Phases have a fixed causal order — an event is ingested on its primary,
+/// replicated to its backup, (maybe) taken over after a kill, and resumed
+/// on the adopter — so cross-peer assembly can chain spans by phase rank
+/// even when the peers' clocks disagree slightly.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum ClusterPhase {
+    /// The event was admitted and applied on its primary peer.
+    Ingest,
+    /// The journal entry reached the backup peer.
+    Replicate,
+    /// A monitor declared the primary dead and claimed the session.
+    Takeover,
+    /// The adopter rebuilt the session (snapshot restore + replay).
+    Resume,
+}
+
+impl ClusterPhase {
+    /// Stable lowercase name for reports and NDJSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterPhase::Ingest => "ingest",
+            ClusterPhase::Replicate => "replicate",
+            ClusterPhase::Takeover => "takeover",
+            ClusterPhase::Resume => "resume",
+        }
+    }
+
+    /// Causal order within one trace (ingest < replicate < takeover <
+    /// resume).
+    pub fn rank(self) -> u8 {
+        match self {
+            ClusterPhase::Ingest => 0,
+            ClusterPhase::Replicate => 1,
+            ClusterPhase::Takeover => 2,
+            ClusterPhase::Resume => 3,
+        }
+    }
+}
+
+/// One peer-hop span: a phase of an event's cross-process journey,
+/// stamped with the peer that executed it. The process-internal analogue
+/// is [`NodeSpan`]; a `ClusterSpan` is what crosses the wire.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterSpan {
+    /// The causal trace id (never 0 in an assembled tree).
+    pub trace: u64,
+    /// The session the event belongs to.
+    pub session: u64,
+    /// The event's journal sequence number (0 when the phase is not tied
+    /// to a single event, e.g. a takeover claiming a whole session).
+    pub seq: u64,
+    /// Which stage this span covers.
+    pub phase: ClusterPhase,
+    /// The peer index that executed the phase.
+    pub peer: u32,
+    /// The peer the work arrived from, when it crossed a process boundary
+    /// (-1 for none: ingest spans originate at the client).
+    pub from_peer: i64,
+    /// Start, in microseconds on the *observing* peer's clock.
+    pub start_us: u64,
+    /// End, in microseconds on the observing peer's clock.
+    pub end_us: u64,
+}
+
+/// A reconstructed cross-process trace: the spans of one trace id chained
+/// in causal (phase, time) order.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterSpanTree {
+    /// The trace id.
+    pub trace: u64,
+    /// Member spans, causally ordered.
+    pub spans: Vec<ClusterSpan>,
+    /// Parent index per span (index into `spans`; `None` for the root).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl ClusterSpanTree {
+    /// Distinct peers this trace touched, in causal order of first
+    /// appearance. A kill-chaos trace that survived a failover shows the
+    /// victim before the adopter.
+    pub fn peer_path(&self) -> Vec<u32> {
+        let mut path = Vec::new();
+        for s in &self.spans {
+            if !path.contains(&s.peer) {
+                path.push(s.peer);
+            }
+        }
+        path
+    }
+
+    /// True when the trace crossed a process boundary (was observed on
+    /// more than one peer).
+    pub fn crosses_peers(&self) -> bool {
+        self.peer_path().len() > 1
+    }
+}
+
+/// Groups [`ClusterSpan`]s by trace id and chains each trace's spans in
+/// causal order: primary sort by [`ClusterPhase::rank`], secondary by
+/// start time, with each span parented on its predecessor.
+///
+/// Spans with trace id 0 are untraced noise and are skipped. The chain
+/// parent rule is deliberately simpler than [`assemble`]'s graph-derived
+/// parents: across processes the only causal edges are the phase
+/// transitions themselves, and ranking by phase first keeps the chain
+/// correct even when the two peers' microsecond clocks are skewed.
+pub fn assemble_cluster(spans: &[ClusterSpan]) -> Vec<ClusterSpanTree> {
+    let mut by_trace: BTreeMap<u64, Vec<ClusterSpan>> = BTreeMap::new();
+    for s in spans {
+        if s.trace == 0 {
+            continue;
+        }
+        by_trace.entry(s.trace).or_default().push(s.clone());
+    }
+    let mut out = Vec::new();
+    for (trace, mut members) in by_trace {
+        members.sort_by_key(|s| (s.phase.rank(), s.start_us, s.peer));
+        let parent = (0..members.len())
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        out.push(ClusterSpanTree {
+            trace,
+            spans: members,
+            parent,
+        });
+    }
+    out
+}
+
 /// The set of nodes reachable from `start` by following signal-graph edges,
 /// including the async handoff edge `inner → async` (an event at `start`
 /// can, at most, touch exactly these nodes).
@@ -781,5 +914,133 @@ mod tests {
         let json = serde_json::to_string(&tree).unwrap();
         let back: PlainSpanTree = serde_json::from_str(&json).unwrap();
         assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn assemble_tolerates_drop_oldest_ring_gaps() {
+        // A drop-oldest ring under pressure loses arbitrary older spans.
+        // Whatever subset survives, assemble() must produce trees without
+        // panicking, and every span must land in the tree for its trace.
+        let mut g = GraphBuilder::new();
+        let x = g.input("Mouse.x", 0i64);
+        let a = g.lift1("a", |v| v.clone(), x);
+        let b = g.lift1("b", |v| v.clone(), a);
+        let out = g.lift1("out", |v| v.clone(), b);
+        let graph = g.finish(out).unwrap();
+        let full: Vec<NodeSpan> = (1u64..=8)
+            .flat_map(|trace| {
+                vec![
+                    span(trace, trace, x.0, SpanKind::Input),
+                    span(trace, trace, a.0, SpanKind::Compute),
+                    span(trace, trace, b.0, SpanKind::Compute),
+                    span(trace, trace, out.0, SpanKind::Compute),
+                ]
+            })
+            .collect();
+        // Drop every third span — orphaning mid-chain computes, removing
+        // roots, splitting traces — as a ring overflow would.
+        let gappy: Vec<NodeSpan> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let trees = assemble(&gappy, &graph);
+        let total: usize = trees.iter().map(|t| t.spans.len()).sum();
+        assert_eq!(total, gappy.len());
+        for t in &trees {
+            // Parent links stay in-bounds and acyclic (parent strictly
+            // earlier in the sorted order).
+            for (i, p) in t.parent.iter().enumerate() {
+                if let Some(p) = p {
+                    assert!(*p < i, "parent {p} not before span {i}");
+                }
+            }
+            // A span whose graph-parent span was dropped becomes a root
+            // rather than being misattached; to_plain stays total too.
+            let plain = t.to_plain(&graph);
+            assert_eq!(plain.spans.len(), t.spans.len());
+            assert!(!t.roots().is_empty());
+        }
+    }
+
+    fn cspan(
+        trace: u64,
+        seq: u64,
+        phase: ClusterPhase,
+        peer: u32,
+        from_peer: i64,
+        start_us: u64,
+    ) -> ClusterSpan {
+        ClusterSpan {
+            trace,
+            session: 7,
+            seq,
+            phase,
+            peer,
+            from_peer,
+            start_us,
+            end_us: start_us + 3,
+        }
+    }
+
+    #[test]
+    fn assemble_cluster_chains_phases_across_peers() {
+        // Event traced 42: ingested on peer 0, replicated to peer 2, then
+        // peer 0 dies — peer 2 takes over and resumes. Spans arrive
+        // shuffled and with skewed clocks (takeover start before the
+        // replicate start); phase rank keeps the causal order.
+        let spans = vec![
+            cspan(42, 5, ClusterPhase::Resume, 2, 0, 900),
+            cspan(42, 5, ClusterPhase::Ingest, 0, -1, 100),
+            cspan(42, 0, ClusterPhase::Takeover, 2, 0, 140),
+            cspan(42, 5, ClusterPhase::Replicate, 2, 0, 150),
+            cspan(9, 1, ClusterPhase::Ingest, 1, -1, 50),
+            // Untraced noise must be skipped, not rooted as trace 0.
+            cspan(0, 3, ClusterPhase::Ingest, 1, -1, 60),
+        ];
+        let trees = assemble_cluster(&spans);
+        assert_eq!(trees.len(), 2);
+        let t9 = &trees[0];
+        assert_eq!(t9.trace, 9);
+        assert!(!t9.crosses_peers());
+
+        let t42 = &trees[1];
+        assert_eq!(t42.trace, 42);
+        let phases: Vec<ClusterPhase> = t42.spans.iter().map(|s| s.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                ClusterPhase::Ingest,
+                ClusterPhase::Replicate,
+                ClusterPhase::Takeover,
+                ClusterPhase::Resume,
+            ]
+        );
+        assert_eq!(t42.parent, vec![None, Some(0), Some(1), Some(2)]);
+        assert_eq!(t42.peer_path(), vec![0, 2]);
+        assert!(t42.crosses_peers());
+
+        // Serializable for NDJSON reports.
+        let json = serde_json::to_string(t42).unwrap();
+        let back: ClusterSpanTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, t42);
+    }
+
+    #[test]
+    fn cluster_phase_names_and_ranks_are_ordered() {
+        let all = [
+            ClusterPhase::Ingest,
+            ClusterPhase::Replicate,
+            ClusterPhase::Takeover,
+            ClusterPhase::Resume,
+        ];
+        for w in all.windows(2) {
+            assert!(w[0].rank() < w[1].rank());
+        }
+        assert_eq!(
+            all.map(ClusterPhase::name),
+            ["ingest", "replicate", "takeover", "resume"]
+        );
     }
 }

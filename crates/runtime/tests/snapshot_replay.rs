@@ -71,6 +71,7 @@ proptest! {
                     seq: (i + 1) as u64,
                     input: if *is_a { "a" } else { "b" }.to_string(),
                     value: PlainValue::Int(*v),
+                    trace: 0,
                 })
                 .expect("append");
             feed_one(&mut live, &g, if *is_a { "a" } else { "b" }, *v);
@@ -147,6 +148,7 @@ proptest! {
                 seq: (i + 1) as u64,
                 input: if *is_a { "a" } else { "b" }.to_string(),
                 value: PlainValue::Int(*v),
+                trace: 0,
             };
             // Replication ships the serialized line, as the wire does.
             shipped_entries.push(serde_json::to_string(&entry).expect("entry encodes"));

@@ -94,8 +94,25 @@ fn main() {
             exit(1);
         }
     };
+    // The flight recorder outlives whatever kills the process: dump it on
+    // panic (SIGKILL needs no hook — the adopting peer dumps instead).
+    {
+        let peer = peer_id;
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let name = match peer {
+                Some(id) => format!("BLACKBOX_panic_peer{id}.ndjson"),
+                None => "BLACKBOX_panic.ndjson".to_string(),
+            };
+            elm_server::blackbox().dump_to(std::path::Path::new(&name));
+            eprintln!("elm-server: panic — flight recorder dumped to {name}");
+            default_hook(info);
+        }));
+    }
+
     let server = Arc::new(Server::start(config));
     let _cluster = peer_id.map(|id| {
+        elm_server::blackbox().set_peer(id);
         let mut cc = ClusterConfig::new(id, peers.clone());
         cc.heartbeat = Duration::from_millis(heartbeat_ms.max(1));
         cc.takeover = Duration::from_millis(takeover_ms.max(1));

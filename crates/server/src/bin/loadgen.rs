@@ -1741,6 +1741,10 @@ fn run_cluster(args: &Args) -> ! {
             let mut i = 0usize;
             while i < evs.len() {
                 let e = &evs[i];
+                // Trace id encodes (session, event index) recoverably:
+                // a retry after resync re-sends the SAME id, so the
+                // event keeps one identity across the failover.
+                let trace_id = ((sid + 1) << 20) | (i as u64 + 1);
                 let line = serde_json::to_string(&Json::Map(vec![
                     ("cmd".to_string(), Json::Str("event".to_string())),
                     ("session".to_string(), Json::U64(sid)),
@@ -1749,6 +1753,7 @@ fn run_cluster(args: &Args) -> ! {
                         "value".to_string(),
                         serde_json::to_value(&e.value).expect("plain value serializes"),
                     ),
+                    ("trace".to_string(), Json::U64(trace_id)),
                 ]))
                 .expect("event line renders");
                 match client.request_exact(&line, deadline) {
@@ -1894,6 +1899,7 @@ fn run_cluster(args: &Args) -> ! {
     let mut lag_sum = 0u64;
     let mut takeover_ms_max = 0u64;
     let mut sessions_primary: Vec<(usize, u64)> = Vec::new();
+    let mut peer_texts: Vec<(usize, String)> = Vec::new();
     for (p, c) in &mut survivor_clients {
         let text = match c.metrics_text() {
             Ok(t) => t,
@@ -1902,6 +1908,7 @@ fn run_cluster(args: &Args) -> ! {
                 continue;
             }
         };
+        peer_texts.push((*p, text.clone()));
         takeovers_sum += scraped_family_sum(&text, "elm_cluster_takeovers_total");
         gaps_sum += scraped_family_sum(&text, "elm_cluster_replication_gaps_total");
         snaps_sum += scraped_family_sum(&text, "elm_cluster_snapshots_shipped_total");
@@ -1953,14 +1960,202 @@ fn run_cluster(args: &Args) -> ! {
         failures.push("no driver ever resynchronized; the kill was not mid-stream".to_string());
     }
 
+    // --- verdict 4: the federated scrape agrees with the per-peer
+    // scrapes, carries peer labels, and exposes the SLO families ---
+    let mut federated_text = String::new();
+    match survivor_clients.first_mut() {
+        Some((_, c)) => match c.metrics_text_cluster() {
+            Ok(text) => federated_text = text,
+            Err(e) => failures.push(format!("federated metrics scrape: {e}")),
+        },
+        None => failures.push("no survivor available for the federated scrape".to_string()),
+    }
+    if !federated_text.is_empty() {
+        // Every driver has quiesced and the scrapes themselves move none
+        // of these families, so the federated value must equal the sum
+        // of the per-peer scrapes exactly.
+        for family in [
+            "elm_events_total",
+            "elm_journal_appends_total",
+            "elm_snapshots_total",
+            "elm_cluster_takeovers_total",
+            "elm_cluster_journal_replicated_total",
+        ] {
+            let fed = scraped_family_sum(&federated_text, family);
+            let per_peer: u64 = peer_texts
+                .iter()
+                .map(|(_, t)| scraped_family_sum(t, family))
+                .sum();
+            if fed != per_peer {
+                failures.push(format!(
+                    "federated {family} = {fed} but the per-peer scrapes sum to {per_peer}"
+                ));
+            }
+        }
+        for needle in [
+            "elm_cluster_takeovers_total{peer=\"",
+            "elm_slo_burn_rate{peer=\"",
+            "elm_ingest_latency_hist_seconds_bucket{peer=\"",
+            "elm_blackbox_records_total{peer=\"",
+        ] {
+            if !federated_text.contains(needle) {
+                failures.push(format!("federated scrape lacks {needle}...}} samples"));
+            }
+        }
+        let dead = format!("elm_cluster_federation_peer_up{{peer=\"{victim}\"}} 0");
+        if !federated_text.contains(&dead) {
+            failures.push(format!(
+                "federated scrape does not report the killed peer down ({dead})"
+            ));
+        }
+        write_artifact(
+            "BENCH_cluster_federated.prom",
+            federated_text.clone(),
+            &mut failures,
+        );
+    }
+
+    // --- verdict 5: the survivors' flight recorders assemble into span
+    // trees that cross the killed peer into its adopter, and the
+    // takeover's trace matches the last entry the victim replicated ---
+    use elm_runtime::{assemble_cluster, ClusterPhase, ClusterSpan};
+    let mut all_spans: Vec<ClusterSpan> = Vec::new();
+    let mut blackbox_texts: Vec<(usize, String)> = Vec::new();
+    for (p, c) in &mut survivor_clients {
+        match c.blackbox_text() {
+            Ok(text) => {
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let Ok(r) = serde_json::from_str::<Json>(line) else {
+                        continue;
+                    };
+                    let phase = match r.get("kind").and_then(Json::as_str) {
+                        Some("applied") => ClusterPhase::Ingest,
+                        Some("replicated") => ClusterPhase::Replicate,
+                        Some("takeover") => ClusterPhase::Takeover,
+                        Some("resume") => ClusterPhase::Resume,
+                        _ => continue,
+                    };
+                    let num = |k: &str| r.get(k).and_then(jnum).unwrap_or(0);
+                    let from = match r.get("from") {
+                        Some(Json::I64(n)) => *n,
+                        Some(Json::U64(n)) => *n as i64,
+                        _ => -1,
+                    };
+                    all_spans.push(ClusterSpan {
+                        trace: num("trace"),
+                        session: num("session"),
+                        seq: num("seq"),
+                        phase,
+                        peer: num("peer") as u32,
+                        from_peer: from,
+                        start_us: num("us"),
+                        end_us: num("us"),
+                    });
+                }
+                blackbox_texts.push((*p, text));
+            }
+            Err(e) => failures.push(format!("blackbox fetch on survivor {p}: {e}")),
+        }
+    }
+    let trees = assemble_cluster(&all_spans);
+    let cross_peer_trees = trees
+        .iter()
+        .filter(|t| {
+            t.spans.iter().any(|s| {
+                matches!(s.phase, ClusterPhase::Replicate | ClusterPhase::Takeover)
+                    && s.from_peer == victim as i64
+            }) && t
+                .spans
+                .iter()
+                .any(|s| matches!(s.phase, ClusterPhase::Takeover | ClusterPhase::Resume))
+        })
+        .count() as u64;
+    if cross_peer_trees == 0 {
+        failures.push(format!(
+            "no assembled span tree crosses killed peer {victim} into its adopter \
+             ({} trees from {} flight-recorder spans)",
+            trees.len(),
+            all_spans.len()
+        ));
+    }
+    let mut span_tree_check = true;
+    for t in &trees {
+        for s in t.spans.iter().filter(|s| {
+            matches!(s.phase, ClusterPhase::Takeover)
+                && s.from_peer == victim as i64
+                && s.trace != 0
+        }) {
+            // The takeover rode the victim's last replicated trace, so it
+            // must match the highest-seq entry the victim shipped for
+            // this session — the journal's takeover order.
+            let last_replicated = all_spans
+                .iter()
+                .filter(|r| {
+                    matches!(r.phase, ClusterPhase::Replicate)
+                        && r.session == s.session
+                        && r.from_peer == victim as i64
+                })
+                .max_by_key(|r| r.seq);
+            if let Some(b) = last_replicated {
+                if b.trace != s.trace {
+                    span_tree_check = false;
+                    failures.push(format!(
+                        "session {}: takeover trace {:#x} != last replicated trace {:#x} (seq {})",
+                        s.session, s.trace, b.trace, b.seq
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- verdict 6: the adopter dumped the victim's flight-recorder
+    // view, and the dump names the victim's last traces ---
+    for p in (0..PEERS).filter(|&p| adopted_on[p] > 0) {
+        let path = format!("BLACKBOX_peer{p}_adopts_peer{victim}.ndjson");
+        match std::fs::read_to_string(&path) {
+            Ok(dump) if dump.trim().is_empty() => {
+                failures.push(format!("adopter dump {path} is empty"));
+            }
+            Ok(dump) => {
+                let has_traced_victim_record = dump.lines().any(|l| {
+                    serde_json::from_str::<Json>(l).is_ok_and(|r| {
+                        r.get("trace").and_then(jnum).unwrap_or(0) != 0
+                            && r.get("session")
+                                .and_then(jnum)
+                                .is_some_and(|k| placement.get(k as usize) == Some(&victim))
+                    })
+                });
+                if !has_traced_victim_record {
+                    failures.push(format!(
+                        "adopter dump {path} holds no traced record of a victim session"
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("adopter dump {path} unreadable: {e}")),
+        }
+    }
+
+    // Any verdict failure: preserve every survivor's flight recorder for
+    // the post-mortem.
+    if !failures.is_empty() {
+        for (p, text) in &blackbox_texts {
+            let path = format!("BLACKBOX_cluster_failure_peer{p}.ndjson");
+            if std::fs::write(&path, text).is_ok() {
+                eprintln!("loadgen: preserved flight recorder in {path}");
+            }
+        }
+    }
+
     kill_all(&mut children);
 
     let throughput = total_events as f64 / elapsed.as_secs_f64();
     println!(
         "cluster: {total_events} events across {sessions} sessions in {:.2}s ({throughput:.0} ev/s), \
          {takeovers_sum} takeovers (last {takeover_ms_max} ms), {resyncs_total} resyncs, \
-         {moves_total} moved redirects, replication lag {lag_sum}",
-        elapsed.as_secs_f64()
+         {moves_total} moved redirects, replication lag {lag_sum}, \
+         {cross_peer_trees}/{} span trees cross the kill",
+        elapsed.as_secs_f64(),
+        trees.len()
     );
     for f in &failures {
         eprintln!("loadgen: CLUSTER FAILURE: {f}");
@@ -2009,6 +2204,16 @@ fn run_cluster(args: &Args) -> ! {
         ("moves_total".to_string(), Json::U64(moves_total)),
         ("reconnects_total".to_string(), Json::U64(reconnects_total)),
         ("resyncs_total".to_string(), Json::U64(resyncs_total)),
+        (
+            "span_trees_total".to_string(),
+            Json::U64(trees.len() as u64),
+        ),
+        ("cross_peer_trees".to_string(), Json::U64(cross_peer_trees)),
+        ("span_tree_check".to_string(), Json::Bool(span_tree_check)),
+        (
+            "federated_scrape_bytes".to_string(),
+            Json::U64(federated_text.len() as u64),
+        ),
         (
             "sessions_per_survivor".to_string(),
             Json::Seq(

@@ -1,0 +1,271 @@
+//! Flight recorder: a bounded, always-on ring of structured operational
+//! records, dumped to NDJSON when something dies.
+//!
+//! Counters say *how much* went wrong; the flight recorder says *what
+//! happened last*. Every shard-significant moment — an admission shed, a
+//! resource trap, a supervised restart, a replicated journal seq, a
+//! takeover, the last N applied events with their trace ids — is pushed
+//! into a drop-oldest ring. The ring is cheap enough to leave on in
+//! production (a mutex-guarded `VecDeque` per lane, bounded memory) and
+//! is serialized to NDJSON in three situations:
+//!
+//! * a process panic (the `elm-server` panic hook),
+//! * a SIGKILL takeover (the adopter dumps what it knows of the victim's
+//!   sessions: the replicated seqs and trace ids it resumed from),
+//! * any `loadgen` verdict failure (the harness pulls `{"cmd":"blackbox"}`
+//!   from every surviving peer).
+//!
+//! Records are deliberately flat (no nested enums) so the vendored serde
+//! derive can handle them and `grep` can read the dump.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One flight-recorder record. Flat by design: `kind` discriminates, the
+/// other fields carry whatever subset applies (0 / -1 / "" when not).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BlackboxRecord {
+    /// Microseconds since the recorder was created (process start).
+    pub us: u64,
+    /// The local peer index, -1 when not in cluster mode.
+    pub peer: i64,
+    /// What happened: `applied`, `trap`, `restart`, `shed`, `replicated`,
+    /// `snapshot`, `takeover`, or `resume`.
+    pub kind: String,
+    /// The session involved (0 for process-wide records).
+    pub session: u64,
+    /// The event sequence number involved (0 when not event-scoped).
+    pub seq: u64,
+    /// The causal trace id riding the event (0 = untraced).
+    pub trace: u64,
+    /// The peer the work arrived from (-1 for local origin).
+    pub from: i64,
+    /// Free-form detail: input name, trap kind, takeover reason.
+    pub detail: String,
+}
+
+/// Number of lanes (records are laned by session id to keep contention
+/// off the hot pump path, mirroring the shard layout).
+const LANES: usize = 8;
+
+/// Per-lane capacity. 8 lanes × 1024 records ≈ the last few seconds of a
+/// busy server, which is what a post-mortem needs.
+const LANE_CAPACITY: usize = 1024;
+
+/// The process-wide flight recorder. Use [`blackbox()`] to reach it.
+pub struct Blackbox {
+    lanes: Vec<Mutex<VecDeque<BlackboxRecord>>>,
+    origin: Instant,
+    peer: AtomicI64,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    dumps: AtomicU64,
+}
+
+impl Blackbox {
+    fn new() -> Blackbox {
+        Blackbox {
+            lanes: (0..LANES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            origin: Instant::now(),
+            peer: AtomicI64::new(-1),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Stamps the local cluster peer index onto subsequent records.
+    pub fn set_peer(&self, peer: usize) {
+        self.peer.store(peer as i64, Ordering::Relaxed);
+    }
+
+    /// Microseconds since the recorder was created.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Pushes one record, evicting the lane's oldest when full. `us` and
+    /// `peer` are stamped here so call sites stay one-liners.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(&self, kind: &str, session: u64, seq: u64, trace: u64, from: i64, detail: &str) {
+        let rec = BlackboxRecord {
+            us: self.now_us(),
+            peer: self.peer.load(Ordering::Relaxed),
+            kind: kind.to_string(),
+            session,
+            seq,
+            trace,
+            from,
+            detail: detail.to_string(),
+        };
+        let lane = &self.lanes[(session as usize) % LANES];
+        let mut lane = lane.lock().unwrap();
+        if lane.len() >= LANE_CAPACITY {
+            lane.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        lane.push_back(rec);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every retained record, oldest first.
+    pub fn snapshot(&self) -> Vec<BlackboxRecord> {
+        let mut all: Vec<BlackboxRecord> = Vec::new();
+        for lane in &self.lanes {
+            all.extend(lane.lock().unwrap().iter().cloned());
+        }
+        all.sort_by_key(|r| r.us);
+        all
+    }
+
+    /// Retained records whose `session` matches one of `sessions`
+    /// (post-mortem view of a victim's sessions), oldest first.
+    pub fn snapshot_for(&self, sessions: &[u64]) -> Vec<BlackboxRecord> {
+        let mut all = self.snapshot();
+        all.retain(|r| r.session == 0 || sessions.contains(&r.session));
+        all
+    }
+
+    /// Serializes records as NDJSON, one record per line.
+    pub fn render_ndjson(records: &[BlackboxRecord]) -> String {
+        let mut out = String::new();
+        for r in records {
+            if let Ok(line) = serde_json::to_string(r) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Dumps the full ring to `path` as NDJSON. Errors are swallowed —
+    /// the recorder must never take the process down on its way out —
+    /// but the dump counter only advances on success.
+    pub fn dump_to(&self, path: &Path) {
+        self.dump_records_to(path, &self.snapshot());
+    }
+
+    /// Dumps a pre-filtered record set (e.g. [`Blackbox::snapshot_for`] a
+    /// takeover victim's sessions) to `path`, with the same
+    /// error-swallowing and counting as [`Blackbox::dump_to`].
+    pub fn dump_records_to(&self, path: &Path, records: &[BlackboxRecord]) {
+        let text = Self::render_ndjson(records);
+        if File::create(path)
+            .and_then(|mut f| f.write_all(text.as_bytes()))
+            .is_ok()
+        {
+            self.dumps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// (recorded, dropped, dumps) counter values.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.recorded.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+            self.dumps.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Prometheus-text families for the recorder itself, appended to the
+    /// server's exposition.
+    pub fn render_metrics(&self) -> String {
+        let (recorded, dropped, dumps) = self.counters();
+        let mut out = String::new();
+        out.push_str("# HELP elm_blackbox_records_total Flight-recorder records captured.\n");
+        out.push_str("# TYPE elm_blackbox_records_total counter\n");
+        out.push_str(&format!("elm_blackbox_records_total {recorded}\n"));
+        out.push_str(
+            "# HELP elm_blackbox_dropped_total Flight-recorder records evicted (drop-oldest).\n",
+        );
+        out.push_str("# TYPE elm_blackbox_dropped_total counter\n");
+        out.push_str(&format!("elm_blackbox_dropped_total {dropped}\n"));
+        out.push_str("# HELP elm_blackbox_dumps_total Flight-recorder NDJSON dumps written.\n");
+        out.push_str("# TYPE elm_blackbox_dumps_total counter\n");
+        out.push_str(&format!("elm_blackbox_dumps_total {dumps}\n"));
+        out
+    }
+}
+
+/// The process-wide recorder (created on first use).
+pub fn blackbox() -> &'static Blackbox {
+    static INSTANCE: OnceLock<Blackbox> = OnceLock::new();
+    INSTANCE.get_or_init(Blackbox::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-global recorder; session ids are chosen per
+    // test (and LANES apart) so concurrent tests don't disturb each
+    // other's lanes.
+
+    #[test]
+    fn records_are_retained_and_rendered_as_ndjson() {
+        let bb = blackbox();
+        bb.record("applied", 101, 1, 901, -1, "Mouse.x");
+        bb.record("replicated", 101, 1, 901, 0, "");
+        let snap = bb.snapshot_for(&[101]);
+        assert!(snap.len() >= 2);
+        let ndjson = Blackbox::render_ndjson(&snap);
+        let mut seen_applied = false;
+        for line in ndjson.lines() {
+            let r: BlackboxRecord = serde_json::from_str(line).unwrap();
+            if r.kind == "applied" && r.session == 101 {
+                assert_eq!(r.trace, 901);
+                assert_eq!(r.detail, "Mouse.x");
+                seen_applied = true;
+            }
+        }
+        assert!(seen_applied);
+        let (recorded, _, _) = bb.counters();
+        assert!(recorded >= 2);
+    }
+
+    #[test]
+    fn lanes_drop_oldest_beyond_capacity() {
+        let bb = blackbox();
+        // Session 110 lanes alone into 110 % 8 = lane 6 (as long as no
+        // other test uses a session ≡ 6 mod 8).
+        for seq in 1..=(LANE_CAPACITY as u64 + 50) {
+            bb.record("applied", 110, seq, 0, -1, "x");
+        }
+        let snap = bb.snapshot_for(&[110]);
+        assert!(snap.len() <= LANE_CAPACITY);
+        // The newest records survived; the oldest were evicted.
+        assert!(snap.iter().any(|r| r.seq == LANE_CAPACITY as u64 + 50));
+        assert!(!snap.iter().any(|r| r.seq == 1));
+        let (_, dropped, _) = bb.counters();
+        assert!(dropped >= 50);
+    }
+
+    #[test]
+    fn dump_writes_a_readable_file_and_counts() {
+        let bb = blackbox();
+        bb.record("takeover", 120, 0, 555, 2, "peer 1 dead");
+        let path =
+            std::env::temp_dir().join(format!("blackbox-test-{}.ndjson", std::process::id()));
+        let before = bb.counters().2;
+        bb.dump_to(&path);
+        assert_eq!(bb.counters().2, before + 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().any(|l| l.contains("\"takeover\"")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_render_the_three_families() {
+        let bb = blackbox();
+        bb.record("shed", 130, 0, 0, -1, "admission");
+        let text = bb.render_metrics();
+        assert!(text.contains("# TYPE elm_blackbox_records_total counter"));
+        assert!(text.contains("elm_blackbox_dropped_total"));
+        assert!(text.contains("elm_blackbox_dumps_total"));
+    }
+}

@@ -230,6 +230,36 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "metrics reply lacks text"))
     }
 
+    /// Fetches the cluster-federated exposition: the receiving peer fans
+    /// out to the whole group and merges the scrapes with `peer` labels.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a malformed reply.
+    pub fn metrics_text_cluster(&mut self) -> io::Result<String> {
+        let reply = self.request("{\"cmd\":\"metrics\",\"scope\":\"cluster\"}")?;
+        reply
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "metrics reply lacks text"))
+    }
+
+    /// Fetches the server's flight-recorder contents as NDJSON via the
+    /// `blackbox` verb.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a malformed reply.
+    pub fn blackbox_text(&mut self) -> io::Result<String> {
+        let reply = self.request("{\"cmd\":\"blackbox\"}")?;
+        reply
+            .get("blackbox")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "blackbox reply lacks text"))
+    }
+
     /// Closes a session.
     ///
     /// # Errors

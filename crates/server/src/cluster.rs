@@ -24,7 +24,7 @@
 //! `last_seq + 1`.
 
 use std::collections::HashMap;
-use std::io::Write as IoWrite;
+use std::io::{BufRead, BufReader, Write as IoWrite};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -95,6 +95,9 @@ pub enum RepMsg {
         /// The portable state, when every value crossed the wire
         /// boundary (`None` keeps the replica on full-journal replay).
         wire: Option<Box<WireSnapshot>>,
+        /// Trace id of the last event folded into the snapshot (0 when
+        /// untraced).
+        trace: u64,
     },
     /// The session closed; the replica forgets it.
     Drop {
@@ -169,7 +172,20 @@ struct ReplicaSession {
     meta: SessionMeta,
     snapshot: Option<Box<WireSnapshot>>,
     through: u64,
+    /// Trace id covered by the shipped snapshot (0 = untraced).
+    snapshot_trace: u64,
     entries: Vec<JournalEntry>,
+}
+
+impl ReplicaSession {
+    /// Trace id of the newest replicated state: the last journal entry's
+    /// trace, falling back to the snapshot's when the suffix is empty.
+    fn last_trace(&self) -> u64 {
+        self.entries
+            .last()
+            .map(|e| e.trace)
+            .unwrap_or(self.snapshot_trace)
+    }
 }
 
 /// The replica side of replication: shipped metadata, snapshots, and
@@ -198,6 +214,7 @@ impl ReplicaStore {
                         meta,
                         snapshot: None,
                         through: 0,
+                        snapshot_trace: 0,
                         entries: Vec::new(),
                     },
                 );
@@ -225,10 +242,17 @@ impl ReplicaStore {
         true
     }
 
-    fn snapshot(&mut self, session: u64, through: u64, wire: Option<Box<WireSnapshot>>) {
+    fn snapshot(
+        &mut self,
+        session: u64,
+        through: u64,
+        wire: Option<Box<WireSnapshot>>,
+        trace: u64,
+    ) {
         if let (Some(r), Some(w)) = (self.sessions.get_mut(&session), wire) {
             r.snapshot = Some(w);
             r.through = through;
+            r.snapshot_trace = trace;
             r.entries.retain(|e| e.seq > through);
         }
     }
@@ -264,9 +288,11 @@ pub struct Cluster {
     /// dead peer *is* unbounded deferred work.
     outbound: Vec<Option<Sender<String>>>,
     replicas: Mutex<ReplicaStore>,
-    /// Session → address overrides learned from `takeover` broadcasts;
-    /// consulted before static placement when redirecting clients.
-    routes: Mutex<HashMap<u64, String>>,
+    /// Session → (address, takeover trace) overrides learned from
+    /// `takeover` broadcasts; consulted before static placement when
+    /// redirecting clients. The trace is the takeover's last-replicated
+    /// trace id, echoed on `moved` redirects.
+    routes: Mutex<HashMap<u64, (String, u64)>>,
     last_heard: Mutex<Vec<Instant>>,
     peer_up: Vec<AtomicBool>,
     stop: AtomicBool,
@@ -400,14 +426,20 @@ impl Cluster {
     /// Handles a streamed `journal-append`. Silent: returns no reply.
     pub fn handle_journal_append(&self, from: usize, session: u64, entry: JournalEntry) {
         self.note_heard(from);
-        self.replicas
+        let (seq, trace) = (entry.seq, entry.trace);
+        let accepted = self
+            .replicas
             .lock()
             .expect("cluster lock")
             .append(session, entry);
+        if accepted {
+            crate::blackbox::blackbox().record("replicated", session, seq, trace, from as i64, "");
+        }
     }
 
     /// Handles a streamed `snapshot-ship` (metadata upsert, snapshot
     /// install, or drop). Silent: returns no reply.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_snapshot_ship(
         &self,
         from: usize,
@@ -416,6 +448,7 @@ impl Cluster {
         snapshot: Option<Box<WireSnapshot>>,
         through: u64,
         dropped: bool,
+        trace: u64,
     ) {
         self.note_heard(from);
         let mut store = self.replicas.lock().expect("cluster lock");
@@ -424,7 +457,7 @@ impl Cluster {
             return;
         }
         store.upsert_meta(from, session, meta);
-        store.snapshot(session, through, snapshot);
+        store.snapshot(session, through, snapshot, trace);
     }
 
     /// Handles a streamed `heartbeat`. Silent: returns no reply.
@@ -437,30 +470,48 @@ impl Cluster {
     /// (their new primary re-replicates from scratch), and — split-brain
     /// resolution — closes any of them this peer still hosts live, with
     /// a `Moved` update pointing subscribers at the adopter.
-    pub fn handle_takeover(&self, from: usize, addr: &str, sessions: &[u64]) -> String {
+    pub fn handle_takeover(
+        &self,
+        from: usize,
+        addr: &str,
+        sessions: &[u64],
+        traces: &[u64],
+    ) -> String {
         self.note_heard(from);
         {
             let mut routes = self.routes.lock().expect("cluster lock");
             let mut store = self.replicas.lock().expect("cluster lock");
-            for &sid in sessions {
-                routes.insert(sid, addr.to_string());
+            for (i, &sid) in sessions.iter().enumerate() {
+                let trace = traces.get(i).copied().unwrap_or(0);
+                routes.insert(sid, (addr.to_string(), trace));
                 store.drop_session(sid);
+                crate::blackbox::blackbox().record(
+                    "takeover",
+                    sid,
+                    0,
+                    trace,
+                    from as i64,
+                    &format!("adopted by {addr}"),
+                );
             }
         }
-        for &sid in sessions {
+        for (i, &sid) in sessions.iter().enumerate() {
             // The takeover wins: if we still host the session (we were
             // partitioned, not dead), our copy yields.
-            self.server.close_moved(sid, addr);
+            self.server
+                .close_moved(sid, addr, traces.get(i).copied().unwrap_or(0));
         }
         protocol::takeover_ack_line(sessions.len())
     }
 
     /// Where a session the server does not host lives, if the cluster
     /// knows: takeover routes first, then the replica store's record of
-    /// who ships to us, then static placement.
-    pub fn redirect_for(&self, session: u64) -> Option<String> {
-        if let Some(addr) = self.routes.lock().expect("cluster lock").get(&session) {
-            return Some(addr.clone());
+    /// who ships to us, then static placement. The second element is the
+    /// takeover trace id for route-table hits (0 otherwise), echoed on
+    /// `moved` redirects.
+    pub fn redirect_for(&self, session: u64) -> Option<(String, u64)> {
+        if let Some((addr, trace)) = self.routes.lock().expect("cluster lock").get(&session) {
+            return Some((addr.clone(), *trace));
         }
         if let Some(r) = self
             .replicas
@@ -469,11 +520,11 @@ impl Cluster {
             .sessions
             .get(&session)
         {
-            return Some(self.config.peers[r.from].clone());
+            return Some((self.config.peers[r.from].clone(), 0));
         }
         let (primary, _) = place(session, self.config.peers.len());
         if primary != self.config.peer_index {
-            return Some(self.config.peers[primary].clone());
+            return Some((self.config.peers[primary].clone(), 0));
         }
         None
     }
@@ -488,6 +539,10 @@ impl Cluster {
             return;
         }
         let sids: Vec<u64> = victims.iter().map(|(id, _)| *id).collect();
+        // The victim's last known trace per session rides the takeover
+        // broadcast so every survivor — and the `moved` redirects they
+        // serve — can stitch the failover into the same causal trace.
+        let traces: Vec<u64> = victims.iter().map(|(_, r)| r.last_trace()).collect();
         // Broadcast intent *before* adopting: surviving peers must
         // process the takeover (dropping their stale replica state for
         // these sessions) before the adoption's own re-replication
@@ -500,13 +555,22 @@ impl Cluster {
                 routes.remove(sid);
             }
         }
-        let line = protocol::takeover_request(self.config.peer_index, self.my_addr(), &sids);
+        let line =
+            protocol::takeover_request(self.config.peer_index, self.my_addr(), &sids, &traces);
         for tx in self.outbound.iter().flatten() {
             if tx.send(line.clone()).is_ok() {
                 self.lag.fetch_add(1, Ordering::Relaxed);
             }
         }
-        for (sid, r) in victims {
+        for (i, (sid, r)) in victims.into_iter().enumerate() {
+            crate::blackbox::blackbox().record(
+                "takeover",
+                sid,
+                r.through,
+                traces[i],
+                peer as i64,
+                "peer dead, adopting",
+            );
             let snapshot = r.snapshot.map(|w| (r.through, *w));
             match self.server.adopt(sid, &r.meta, snapshot, r.entries) {
                 Ok(last_seq) => {
@@ -516,6 +580,13 @@ impl Cluster {
                 Err(e) => eprintln!("cluster: takeover of session {sid} failed: {e}"),
             }
         }
+        // Post-mortem: dump what the adopter knows of the victim's
+        // sessions (replicated seqs, trace ids, the adoption itself).
+        let me = self.config.peer_index;
+        let bb = crate::blackbox::blackbox();
+        let path = format!("BLACKBOX_peer{me}_adopts_peer{peer}.ndjson");
+        bb.dump_records_to(std::path::Path::new(&path), &bb.snapshot_for(&sids));
+        eprintln!("cluster: wrote flight-recorder dump {path}");
         self.takeover_last_ms
             .set(started.elapsed().as_millis() as i64);
     }
@@ -594,6 +665,47 @@ impl Cluster {
         );
         reg.render()
     }
+
+    /// One cluster-wide Prometheus exposition: fans `{"cmd":"metrics"}`
+    /// out to every other peer (short connect/read timeouts so a dead
+    /// peer costs at most the timeout), then merges the scrapes with
+    /// `peer` labels via [`crate::metrics::federate`]. `local` is this
+    /// peer's own full exposition, collected by the caller.
+    pub fn federated_metrics(&self, local: &str) -> String {
+        let me = self.config.peer_index;
+        let mut scrapes: Vec<(usize, Option<String>)> = Vec::new();
+        for (i, addr) in self.config.peers.iter().enumerate() {
+            if i == me {
+                scrapes.push((i, Some(local.to_string())));
+                continue;
+            }
+            scrapes.push((i, fetch_peer_metrics(addr)));
+        }
+        crate::metrics::federate(&scrapes)
+    }
+}
+
+/// Fetches one peer's exposition text over a throwaway connection, or
+/// `None` if the peer is unreachable or replies malformed. Timeouts are
+/// short: federation is a scrape path, not a consensus path.
+fn fetch_peer_metrics(addr: &str) -> Option<String> {
+    let addr: std::net::SocketAddr = addr.parse().ok()?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(1500)))
+        .ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(b"{\"cmd\":\"metrics\"}\n").ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    let reply: serde_json::Value = serde_json::from_str(line.trim()).ok()?;
+    reply
+        .get("metrics")
+        .and_then(serde_json::Value::as_str)
+        .map(str::to_string)
 }
 
 /// Consumes the replication tap, renders peer verbs, and enqueues them on
@@ -605,7 +717,7 @@ fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             RepMsg::Open { session, meta: m } => {
-                let line = protocol::snapshot_ship_request(me, session, &m, None, 0);
+                let line = protocol::snapshot_ship_request(me, session, &m, None, 0, 0);
                 meta.insert(session, m);
                 cluster.ship(session, line);
             }
@@ -619,10 +731,17 @@ fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
                 session,
                 through,
                 wire,
+                trace,
             } => {
                 if let Some(m) = meta.get(&session) {
-                    let line =
-                        protocol::snapshot_ship_request(me, session, m, wire.as_deref(), through);
+                    let line = protocol::snapshot_ship_request(
+                        me,
+                        session,
+                        m,
+                        wire.as_deref(),
+                        through,
+                        trace,
+                    );
                     if cluster.ship(session, line) {
                         cluster.snapshots_shipped.inc();
                     }
@@ -738,10 +857,15 @@ mod tests {
     }
 
     fn entry(seq: u64) -> JournalEntry {
+        traced_entry(seq, 0)
+    }
+
+    fn traced_entry(seq: u64, trace: u64) -> JournalEntry {
         JournalEntry {
             seq,
             input: "Mouse.clicks".to_string(),
             value: PlainValue::Unit,
+            trace,
         }
     }
 
@@ -785,7 +909,7 @@ mod tests {
         assert_eq!(store.sessions[&5].entries.len(), 4);
 
         // A snapshot through 3 truncates the suffix to entry 4.
-        store.snapshot(5, 3, Some(Box::new(WireSnapshot::default())));
+        store.snapshot(5, 3, Some(Box::new(WireSnapshot::default())), 0);
         let r = &store.sessions[&5];
         assert_eq!(r.through, 3);
         assert_eq!(r.entries.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4]);
@@ -794,6 +918,29 @@ mod tests {
 
         store.drop_session(5);
         assert!(store.sessions.is_empty());
+    }
+
+    #[test]
+    fn replica_tracks_the_last_replicated_trace_across_snapshots() {
+        let mut store = ReplicaStore::default();
+        store.upsert_meta(1, 9, meta());
+        // No entries, no snapshot: nothing to continue from.
+        assert_eq!(store.sessions[&9].last_trace(), 0);
+
+        store.append(9, traced_entry(1, 0xa1));
+        store.append(9, traced_entry(2, 0xa2));
+        assert_eq!(store.sessions[&9].last_trace(), 0xa2);
+
+        // A snapshot that covers the whole suffix leaves the snapshot's
+        // own trace as the continuation point.
+        store.snapshot(9, 2, Some(Box::new(WireSnapshot::default())), 0xa2);
+        assert_eq!(store.sessions[&9].entries.len(), 0);
+        assert_eq!(store.sessions[&9].last_trace(), 0xa2);
+
+        // Entries past the snapshot win over the snapshot trace — the
+        // takeover must continue the *newest* replicated trace.
+        store.append(9, traced_entry(3, 0xa3));
+        assert_eq!(store.sessions[&9].last_trace(), 0xa3);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod blackbox;
 pub mod client;
 pub mod cluster;
 pub mod metrics;
@@ -56,6 +57,7 @@ pub mod shard;
 pub mod supervisor;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionController, MemoryGauge};
+pub use blackbox::{blackbox, Blackbox, BlackboxRecord};
 pub use client::{Client, ClusterClient, RetryPolicy, RetryStats};
 pub use cluster::{place, Cluster, ClusterConfig, RepMsg, ReplicationTap};
 pub use net::{NetConfig, NetCounters};

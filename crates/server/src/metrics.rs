@@ -15,11 +15,20 @@
 //! `node`/`label` so a scrape can be joined against the DOT rendering of
 //! the graph.
 
-use elm_runtime::{Registry, TrapKind};
+use std::collections::HashMap;
+
+use elm_runtime::{HistogramSnapshot, Registry, TrapKind};
 
 use crate::net::NetCounters;
 use crate::protocol::{AdmissionStats, LatencySummary, SessionStats};
 use crate::shard::ShardCounters;
+
+/// The latency SLO threshold: an event should be applied within 50 ms of
+/// being enqueued.
+pub const SLO_BUDGET_US: u64 = 50_000;
+
+/// The SLO error budget: at most 1% of events may exceed the threshold.
+pub const SLO_ERROR_BUDGET: f64 = 0.01;
 
 /// Overload-governance inputs to the renderer: per-shard admission
 /// counters and command backlogs, the server-wide memory gauge, and the
@@ -318,6 +327,67 @@ pub fn render_prometheus(
         }
     }
 
+    // --- per-session ingest-latency histograms & SLO burn rate ---
+    //
+    // The SLO: at most SLO_ERROR_BUDGET of a session's events may take
+    // longer than SLO_BUDGET_US from enqueue to apply. The burn rate is
+    // the observed over-budget fraction divided by the error budget —
+    // 1.0 means the session is consuming its budget exactly as fast as
+    // the objective allows, >1.0 means it will exhaust it.
+    let mut merged = HistogramSnapshot::default();
+    for s in sessions {
+        merged = merged.merged(&s.ingest_hist);
+        let sid = s.session.to_string();
+        let l: &[(&str, &str)] = &[("session", &sid)];
+        reg.histogram(
+            "elm_ingest_latency_hist_seconds",
+            "Enqueue-to-apply latency per session (mergeable log2 buckets).",
+            l,
+            &s.ingest_hist,
+            1e-6,
+        );
+        reg.gauge_f64(
+            "elm_slo_p99_seconds",
+            "Observed p99 enqueue-to-apply latency (log2-quantized upper bound).",
+            l,
+            s.ingest_hist.quantile(0.99) as f64 * 1e-6,
+        );
+        reg.gauge_f64(
+            "elm_slo_burn_rate",
+            "Rate the session burns its latency error budget (1.0 = exactly on objective).",
+            l,
+            s.ingest_hist.fraction_above(SLO_BUDGET_US) / SLO_ERROR_BUDGET,
+        );
+    }
+    let all: &[(&str, &str)] = &[("session", "all")];
+    reg.histogram(
+        "elm_ingest_latency_hist_seconds",
+        "Enqueue-to-apply latency per session (mergeable log2 buckets).",
+        all,
+        &merged,
+        1e-6,
+    );
+    reg.gauge_f64(
+        "elm_slo_p99_seconds",
+        "Observed p99 enqueue-to-apply latency (log2-quantized upper bound).",
+        all,
+        merged.quantile(0.99) as f64 * 1e-6,
+    );
+    reg.gauge_f64(
+        "elm_slo_burn_rate",
+        "Rate the session burns its latency error budget (1.0 = exactly on objective).",
+        all,
+        merged.fraction_above(SLO_BUDGET_US) / SLO_ERROR_BUDGET,
+    );
+    reg.gauge_f64(
+        "elm_slo_latency_budget_seconds",
+        "The latency SLO threshold events are judged against.",
+        &[],
+        // Division, not `* 1e-6`: correctly rounded, so 50000 µs renders
+        // as exactly 0.05.
+        SLO_BUDGET_US as f64 / 1e6,
+    );
+
     // --- cross-session latency ---
     reg.summary(
         "elm_ingest_latency_seconds",
@@ -339,6 +409,107 @@ pub fn render_prometheus(
     );
 
     reg.render()
+}
+
+/// Merges per-peer Prometheus expositions into one cluster-wide scrape.
+///
+/// Each input is `(peer index, scrape text)` — `None` for a peer that
+/// could not be reached. The merge is textual: every sample line gets a
+/// `peer="<i>"` label prepended, families keep their first-seen `HELP` /
+/// `TYPE` header and group all peers' samples under it, and an
+/// `elm_cluster_federation_peer_up` gauge reports which peers answered.
+/// Because every underlying histogram uses the same fixed log₂ buckets,
+/// summing `_bucket` series across `peer` labels is a correct cluster
+/// histogram — the property the loadgen verdict checks (federated family
+/// sums must equal the sum of per-peer scrapes).
+pub fn federate(scrapes: &[(usize, Option<String>)]) -> String {
+    struct Fam {
+        help: String,
+        kind: String,
+        samples: Vec<String>,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut fams: HashMap<String, Fam> = HashMap::new();
+    for (peer, text) in scrapes {
+        let Some(text) = text else { continue };
+        let peer_label = format!("peer=\"{peer}\"");
+        let mut current: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("").to_string();
+                let help = rest[name.len()..].trim_start().to_string();
+                let fam = fams.entry(name.clone()).or_insert_with(|| {
+                    order.push(name.clone());
+                    Fam {
+                        help: String::new(),
+                        kind: "untyped".to_string(),
+                        samples: Vec::new(),
+                    }
+                });
+                if fam.help.is_empty() {
+                    fam.help = help;
+                }
+                current = Some(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().unwrap_or("").to_string();
+                let kind = it.next().unwrap_or("untyped").to_string();
+                let fam = fams.entry(name.clone()).or_insert_with(|| {
+                    order.push(name.clone());
+                    Fam {
+                        help: String::new(),
+                        kind: "untyped".to_string(),
+                        samples: Vec::new(),
+                    }
+                });
+                if fam.kind == "untyped" {
+                    fam.kind = kind;
+                }
+                current = Some(name);
+            } else if line.starts_with('#') || line.is_empty() {
+                continue;
+            } else {
+                // A sample line: `name[suffix][{labels}] value`. Metric
+                // names cannot contain `{` or spaces, so the first `{`
+                // (when it precedes the first space) opens the label set.
+                let rewritten = match line.find('{') {
+                    Some(i) if !line[..i].contains(' ') => {
+                        format!("{}{{{peer_label},{}", &line[..i], &line[i + 1..])
+                    }
+                    _ => match line.split_once(' ') {
+                        Some((name, value)) => format!("{name}{{{peer_label}}} {value}"),
+                        None => continue,
+                    },
+                };
+                if let Some(name) = &current {
+                    if let Some(fam) = fams.get_mut(name) {
+                        fam.samples.push(rewritten);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for name in &order {
+        let fam = &fams[name];
+        out.push_str(&format!("# HELP {name} {}\n", fam.help));
+        out.push_str(&format!("# TYPE {name} {}\n", fam.kind));
+        for s in &fam.samples {
+            out.push_str(s);
+            out.push('\n');
+        }
+    }
+    out.push_str(
+        "# HELP elm_cluster_federation_peer_up 1 when the peer answered the federated scrape.\n",
+    );
+    out.push_str("# TYPE elm_cluster_federation_peer_up gauge\n");
+    for (peer, text) in scrapes {
+        out.push_str(&format!(
+            "elm_cluster_federation_peer_up{{peer=\"{peer}\"}} {}\n",
+            u8::from(text.is_some())
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -384,6 +555,14 @@ mod tests {
                 out_of_fuel: 3,
                 deadline_exceeded: 1,
                 ..TrapStats::default()
+            },
+            ingest_hist: {
+                let h = Histogram::new();
+                for _ in 0..99 {
+                    h.observe(1_000); // 1 ms — inside the 50 ms budget
+                }
+                h.observe(1_000_000); // 1 s — burns budget
+                h.snapshot()
             },
         }
     }
@@ -488,5 +667,97 @@ mod tests {
                 "unparseable line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn slo_families_report_budget_p99_and_burn_rate() {
+        let text = render_prometheus(
+            &ShardCounters::default(),
+            &[sample_session()],
+            &[0],
+            &OverloadMetrics {
+                admissions: &[AdmissionStats::default()],
+                backlogs: &[0],
+                memory_cells: 0,
+                net: NetCounters::default(),
+            },
+            &LatencySummary::default(),
+            0,
+        );
+        assert!(
+            text.contains("elm_slo_latency_budget_seconds 0.05"),
+            "{text}"
+        );
+        // 1 of 100 events over budget against a 1% error budget → burn 1.0.
+        assert!(
+            text.contains("elm_slo_burn_rate{session=\"3\"} 1"),
+            "{text}"
+        );
+        // Sessions merge into the cluster-facing session="all" series.
+        assert!(
+            text.contains("elm_slo_burn_rate{session=\"all\"} 1"),
+            "{text}"
+        );
+        // p99 of the sample data is the 1 ms band: log2-quantized to
+        // 1024 µs = 0.001024 s.
+        assert!(
+            text.contains("elm_slo_p99_seconds{session=\"3\"} 0.001024"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE elm_ingest_latency_hist_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_ingest_latency_hist_seconds_count{session=\"all\"} 100"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn federate_merges_peer_scrapes_with_peer_labels() {
+        let a = "# HELP elm_events_total Events.\n# TYPE elm_events_total counter\n\
+                 elm_events_total{session=\"1\"} 10\nelm_events_total 4\n"
+            .to_string();
+        let b = "# HELP elm_events_total Events.\n# TYPE elm_events_total counter\n\
+                 elm_events_total{session=\"2\"} 7\n\
+                 # HELP elm_only_b_total B-only.\n# TYPE elm_only_b_total counter\n\
+                 elm_only_b_total 3\n"
+            .to_string();
+        let text = federate(&[(0, Some(a)), (1, Some(b)), (2, None)]);
+        // Samples from every peer grouped under one first-seen header.
+        assert_eq!(
+            text.matches("# TYPE elm_events_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_events_total{peer=\"0\",session=\"1\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_events_total{peer=\"1\",session=\"2\"} 7"),
+            "{text}"
+        );
+        // Label-less samples gain a label set holding only `peer`.
+        assert!(text.contains("elm_events_total{peer=\"0\"} 4"), "{text}");
+        assert!(text.contains("elm_only_b_total{peer=\"1\"} 3"), "{text}");
+        // Reachability is part of the exposition.
+        assert!(
+            text.contains("elm_cluster_federation_peer_up{peer=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elm_cluster_federation_peer_up{peer=\"2\"} 0"),
+            "{text}"
+        );
+        // The federated family total equals the sum of the per-peer sums.
+        let total: f64 = text
+            .lines()
+            .filter(|l| l.starts_with("elm_events_total"))
+            .filter_map(|l| l.rsplit_once(' '))
+            .filter_map(|(_, v)| v.parse::<f64>().ok())
+            .sum();
+        assert_eq!(total, 21.0, "{text}");
     }
 }

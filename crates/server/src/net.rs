@@ -390,8 +390,9 @@ pub fn handle_client_with(server: Arc<Server>, stream: TcpStream, config: NetCon
 }
 
 /// Builds a minimal HTTP/1.0 response for `GET <path> ...` request lines.
-/// Only `/metrics` exists. The writer thread appends one `\n` to every
-/// outbound line, so the advertised `Content-Length` counts it.
+/// Only `/metrics` (this peer) and `/metrics?federate=1` (the whole
+/// cluster, `peer`-labelled) exist. The writer thread appends one `\n` to
+/// every outbound line, so the advertised `Content-Length` counts it.
 fn http_response(server: &Arc<Server>, request_rest: &str) -> String {
     let path = request_rest.split_whitespace().next().unwrap_or("");
     let (status, content_type, body) = if path == "/metrics" {
@@ -399,6 +400,12 @@ fn http_response(server: &Arc<Server>, request_rest: &str) -> String {
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             server.metrics_text(),
+        )
+    } else if path == "/metrics?federate=1" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            server.federated_metrics_text(),
         )
     } else {
         (
@@ -475,7 +482,8 @@ fn dispatch(
             session,
             input,
             value,
-        } => match server.event(session, &input, value) {
+            trace,
+        } => match server.event_traced(session, &input, value, trace) {
             Ok(EnqueueOutcome::Shed { retry_after_ms }) => {
                 protocol::overloaded_line(retry_after_ms)
             }
@@ -526,7 +534,17 @@ fn dispatch(
                 protocol::stats_line(&global, &sessions)
             }
         },
-        Request::Metrics => protocol::metrics_line(&server.metrics_text()),
+        Request::Metrics { cluster } => {
+            if cluster {
+                protocol::metrics_line(&server.federated_metrics_text())
+            } else {
+                protocol::metrics_line(&server.metrics_text())
+            }
+        }
+        Request::Blackbox => {
+            let bb = crate::blackbox::blackbox();
+            protocol::blackbox_line(&crate::blackbox::Blackbox::render_ndjson(&bb.snapshot()))
+        }
         Request::Trace { session } => match server.trace_subscribe(session) {
             Ok(mailbox) => {
                 // Forward rendered trace lines until the session closes
@@ -577,8 +595,9 @@ fn dispatch(
             from,
             addr,
             sessions,
+            traces,
         } => match server.cluster() {
-            Some(cluster) => cluster.handle_takeover(from, &addr, &sessions),
+            Some(cluster) => cluster.handle_takeover(from, &addr, &sessions, &traces),
             None => protocol::err_line("not in cluster mode"),
         },
         // Streamed verbs are silent even outside cluster mode: they are
@@ -601,9 +620,11 @@ fn dispatch(
             snapshot,
             through,
             dropped,
+            trace,
         } => {
             if let Some(cluster) = server.cluster() {
-                cluster.handle_snapshot_ship(from, session, meta, snapshot, through, dropped);
+                cluster
+                    .handle_snapshot_ship(from, session, meta, snapshot, through, dropped, trace);
             }
             String::new()
         }
@@ -620,8 +641,8 @@ fn dispatch(
 /// cluster knows (or can compute) where the session lives now.
 fn err_or_moved(server: &Arc<Server>, session: u64, e: String) -> String {
     if e.starts_with("unknown session") {
-        if let Some(peer) = server.cluster().and_then(|c| c.redirect_for(session)) {
-            return protocol::moved_line(session, &peer);
+        if let Some((peer, trace)) = server.cluster().and_then(|c| c.redirect_for(session)) {
+            return protocol::moved_line(session, &peer, trace);
         }
     }
     protocol::err_line(&e)

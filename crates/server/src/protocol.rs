@@ -11,8 +11,8 @@
 //! be replayed over the wire verbatim.
 
 use elm_runtime::{
-    JournalEntry, NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot, TrapKind,
-    WireSnapshot,
+    HistogramSnapshot, JournalEntry, NodeTimingSnapshot, PlainSpanTree, PlainValue, StatsSnapshot,
+    TrapKind, WireSnapshot,
 };
 use serde_json::Value as Json;
 
@@ -48,6 +48,10 @@ pub enum Request {
         input: String,
         /// The new value.
         value: PlainValue,
+        /// Client-supplied causal trace id (0 = untraced). Journaled and
+        /// replicated with the event, so the same id identifies it on
+        /// every peer it crosses — including after a failover.
+        trace: u64,
     },
     /// Many input events for a session, enqueued in order.
     Batch {
@@ -72,8 +76,17 @@ pub enum Request {
         session: Option<u64>,
     },
     /// Prometheus-text exposition of every server metric family. The same
-    /// text is served to HTTP clients that send `GET /metrics`.
-    Metrics,
+    /// text is served to HTTP clients that send `GET /metrics`. With
+    /// `"scope":"cluster"` (or `GET /metrics?federate=1`) the receiving
+    /// peer fans out to the whole group and returns one federated
+    /// exposition with `peer` labels.
+    Metrics {
+        /// True for the cluster-federated scope.
+        cluster: bool,
+    },
+    /// Stream the flight recorder's current contents as NDJSON — the same
+    /// records a panic or takeover dumps to disk, readable live.
+    Blackbox,
     /// Stream the session's completed span trees as `{"trace": …}` lines.
     /// Requires the session to have been opened with `"observe":true`.
     Trace {
@@ -136,6 +149,10 @@ pub enum Request {
         through: u64,
         /// True when the primary closed the session: forget the replica.
         dropped: bool,
+        /// Trace id of the last event folded into the snapshot (0 when
+        /// untraced): a resumed session's first recovery span can point
+        /// back at the trace that produced the state it resumed from.
+        trace: u64,
     },
     /// Peer verb: liveness signal on an otherwise-idle replication link.
     /// Streamed fire-and-forget: **no reply line**.
@@ -154,6 +171,11 @@ pub enum Request {
         addr: String,
         /// The adopted session ids.
         sessions: Vec<u64>,
+        /// Per-session trace id of the last replicated event (parallel to
+        /// `sessions`, 0 = untraced/unknown). Receivers echo it on
+        /// `moved` redirects so a client's retry joins the same trace the
+        /// takeover continued.
+        traces: Vec<u64>,
     },
 }
 
@@ -536,6 +558,12 @@ pub struct SessionStats {
     pub ingress: IngressStats,
     /// Ingest-to-output latency.
     pub latency: LatencySummary,
+    /// Mergeable log2 histogram of ingest-to-output latency in
+    /// microseconds — the federation-side form of `latency`: snapshots
+    /// from different sessions (or different peers) sum bucket-wise,
+    /// which percentile summaries cannot. Also feeds the `elm_slo_*`
+    /// burn-rate families.
+    pub ingest_hist: HistogramSnapshot,
     /// Crash-recovery counters.
     pub recovery: RecoveryStats,
     /// True once a node ever panicked in this session (panicked nodes stay
@@ -645,6 +673,10 @@ fn opt_str(json: &Json, name: &str) -> Option<String> {
     json.get(name).and_then(Json::as_str).map(str::to_string)
 }
 
+fn opt_u64(json: &Json, name: &str) -> u64 {
+    json.get(name).and_then(as_u64).unwrap_or(0)
+}
+
 fn plain_value(json: &Json, name: &str) -> Result<PlainValue, String> {
     let v = json
         .get(name)
@@ -686,6 +718,7 @@ impl Request {
                 session: req_u64(&json, "session")?,
                 input: opt_str(&json, "input").ok_or("missing string field \"input\"")?,
                 value: plain_value(&json, "value")?,
+                trace: opt_u64(&json, "trace"),
             }),
             "batch" => {
                 let session = req_u64(&json, "session")?;
@@ -711,7 +744,10 @@ impl Request {
             "stats" => Ok(Request::Stats {
                 session: json.get("session").and_then(as_u64),
             }),
-            "metrics" => Ok(Request::Metrics),
+            "metrics" => Ok(Request::Metrics {
+                cluster: opt_str(&json, "scope").as_deref() == Some("cluster"),
+            }),
+            "blackbox" => Ok(Request::Blackbox),
             "trace" => Ok(Request::Trace {
                 session: req_u64(&json, "session")?,
             }),
@@ -735,6 +771,7 @@ impl Request {
                     seq: req_u64(&json, "seq")?,
                     input: opt_str(&json, "input").ok_or("missing string field \"input\"")?,
                     value: plain_value(&json, "value")?,
+                    trace: opt_u64(&json, "trace"),
                 },
             }),
             "snapshot-ship" => {
@@ -776,6 +813,7 @@ impl Request {
                     snapshot,
                     through: req_u64(&json, "through")?,
                     dropped,
+                    trace: opt_u64(&json, "trace"),
                 })
             }
             "heartbeat" => Ok(Request::Heartbeat {
@@ -789,10 +827,19 @@ impl Request {
                     .iter()
                     .map(|s| as_u64(s).ok_or("non-integer session id in \"sessions\""))
                     .collect::<Result<Vec<u64>, _>>()?;
+                // Optional parallel trace array (absent from pre-trace
+                // senders): pad/truncate to the session list's length.
+                let mut traces: Vec<u64> = json
+                    .get("traces")
+                    .and_then(Json::as_seq)
+                    .map(|seq| seq.iter().map(|t| as_u64(t).unwrap_or(0)).collect())
+                    .unwrap_or_default();
+                traces.resize(sessions.len(), 0);
                 Ok(Request::Takeover {
                     from: req_u64(&json, "from")? as usize,
                     addr: opt_str(&json, "addr").ok_or("missing string field \"addr\"")?,
                     sessions,
+                    traces,
                 })
             }
             other => Err(format!("unknown cmd '{other}'")),
@@ -929,6 +976,11 @@ pub fn metrics_line(text: &str) -> String {
     ok_with(vec![("metrics", Json::Str(text.to_string()))])
 }
 
+/// Reply for `blackbox`: the flight recorder's NDJSON dump, JSON-escaped.
+pub fn blackbox_line(ndjson: &str) -> String {
+    ok_with(vec![("blackbox", Json::Str(ndjson.to_string()))])
+}
+
 /// Reply for `trace` (span trees then stream separately).
 pub fn trace_subscribed_line(session: u64) -> String {
     ok_with(vec![("trace_subscribed", Json::U64(session))])
@@ -971,15 +1023,18 @@ pub fn update_line(update: &Update) -> String {
     }
 }
 
-/// `{"ok":false,"error":"moved","session":…,"peer":…}` — the typed
-/// redirect for a request that reached the wrong cluster peer. Clients
-/// reconnect to `peer` and repeat the request there.
-pub fn moved_line(session: u64, peer: &str) -> String {
+/// `{"ok":false,"error":"moved","session":…,"peer":…,"trace":…}` — the
+/// typed redirect for a request that reached the wrong cluster peer.
+/// Clients reconnect to `peer` and repeat the request there. `trace` is
+/// the takeover's last-replicated trace id for the session (0 when
+/// unknown), tying the redirect hop into the same causal story.
+pub fn moved_line(session: u64, peer: &str, trace: u64) -> String {
     line(obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str("moved".to_string())),
         ("session", Json::U64(session)),
         ("peer", Json::Str(peer.to_string())),
+        ("trace", Json::U64(trace)),
     ]))
 }
 
@@ -1026,6 +1081,7 @@ pub fn journal_append_request(from: usize, session: u64, entry: &JournalEntry) -
         ("seq", Json::U64(entry.seq)),
         ("input", Json::Str(entry.input.clone())),
         ("value", to_json(&entry.value)),
+        ("trace", Json::U64(entry.trace)),
     ]))
 }
 
@@ -1036,6 +1092,7 @@ pub fn snapshot_ship_request(
     meta: &SessionMeta,
     snapshot: Option<&WireSnapshot>,
     through: u64,
+    trace: u64,
 ) -> String {
     let mut fields = vec![
         ("cmd", Json::Str("snapshot-ship".to_string())),
@@ -1045,6 +1102,7 @@ pub fn snapshot_ship_request(
         ("queue", Json::U64(meta.queue as u64)),
         ("policy", Json::Str(meta.policy.label().to_string())),
         ("through", Json::U64(through)),
+        ("trace", Json::U64(trace)),
     ];
     if let Some(src) = &meta.source {
         fields.push(("source", Json::Str(src.clone())));
@@ -1074,8 +1132,9 @@ pub fn heartbeat_request(from: usize) -> String {
     ]))
 }
 
-/// Renders an outbound peer `takeover` broadcast line.
-pub fn takeover_request(from: usize, addr: &str, sessions: &[u64]) -> String {
+/// Renders an outbound peer `takeover` broadcast line. `traces` is the
+/// per-session last-replicated trace id, parallel to `sessions`.
+pub fn takeover_request(from: usize, addr: &str, sessions: &[u64], traces: &[u64]) -> String {
     line(obj(vec![
         ("cmd", Json::Str("takeover".to_string())),
         ("from", Json::U64(from as u64)),
@@ -1083,6 +1142,10 @@ pub fn takeover_request(from: usize, addr: &str, sessions: &[u64]) -> String {
         (
             "sessions",
             Json::Seq(sessions.iter().map(|&s| Json::U64(s)).collect()),
+        ),
+        (
+            "traces",
+            Json::Seq(traces.iter().map(|&t| Json::U64(t)).collect()),
         ),
     ]))
 }
@@ -1130,8 +1193,15 @@ mod tests {
                 session: 3,
                 input: "Mouse.x".to_string(),
                 value: PlainValue::Int(7),
+                trace: 0,
             }
         );
+
+        let traced = Request::parse(
+            r#"{"cmd":"event","session":3,"input":"Mouse.x","value":{"Int":7},"trace":99}"#,
+        )
+        .unwrap();
+        assert!(matches!(traced, Request::Event { trace: 99, .. }));
 
         let batch = Request::parse(
             r#"{"cmd":"batch","session":1,"events":[{"input":"Mouse.clicks","value":"Unit"}]}"#,
@@ -1151,7 +1221,15 @@ mod tests {
         );
         assert_eq!(
             Request::parse(r#"{"cmd":"metrics"}"#).unwrap(),
-            Request::Metrics
+            Request::Metrics { cluster: false }
+        );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"metrics","scope":"cluster"}"#).unwrap(),
+            Request::Metrics { cluster: true }
+        );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"blackbox"}"#).unwrap(),
+            Request::Blackbox
         );
         assert_eq!(
             Request::parse(r#"{"cmd":"trace","session":7}"#).unwrap(),
@@ -1351,6 +1429,7 @@ mod tests {
             seq: 9,
             input: "Mouse.x".to_string(),
             value: PlainValue::Int(-4),
+            trace: 77,
         };
         assert_eq!(
             Request::parse(&journal_append_request(0, 5, &entry)).unwrap(),
@@ -1367,7 +1446,7 @@ mod tests {
             queue: 64,
             policy: BackpressurePolicy::Coalesce,
         };
-        let shipped = Request::parse(&snapshot_ship_request(1, 5, &meta, None, 0)).unwrap();
+        let shipped = Request::parse(&snapshot_ship_request(1, 5, &meta, None, 0, 42)).unwrap();
         assert_eq!(
             shipped,
             Request::SnapshotShip {
@@ -1377,6 +1456,7 @@ mod tests {
                 snapshot: None,
                 through: 0,
                 dropped: false,
+                trace: 42,
             }
         );
 
@@ -1391,13 +1471,23 @@ mod tests {
         ));
 
         assert_eq!(
-            Request::parse(&takeover_request(2, "127.0.0.1:7002", &[3, 8])).unwrap(),
+            Request::parse(&takeover_request(2, "127.0.0.1:7002", &[3, 8], &[91, 0])).unwrap(),
             Request::Takeover {
                 from: 2,
                 addr: "127.0.0.1:7002".to_string(),
                 sessions: vec![3, 8],
+                traces: vec![91, 0],
             }
         );
+        // A pre-trace sender omits "traces": pad with zeros.
+        let legacy = Request::parse(
+            r#"{"cmd":"takeover","from":2,"addr":"127.0.0.1:7002","sessions":[3,8]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            legacy,
+            Request::Takeover { ref traces, .. } if traces == &vec![0, 0]
+        ));
         assert_eq!(
             Request::parse(r#"{"cmd":"place","key":12}"#).unwrap(),
             Request::Place { key: 12 }
@@ -1406,14 +1496,16 @@ mod tests {
 
     #[test]
     fn moved_redirects_are_typed_on_both_planes() {
-        // Request plane: a typed error with the new peer's address.
-        let parsed: Json = serde_json::from_str(&moved_line(7, "127.0.0.1:7002")).unwrap();
+        // Request plane: a typed error with the new peer's address and the
+        // takeover's trace id.
+        let parsed: Json = serde_json::from_str(&moved_line(7, "127.0.0.1:7002", 55)).unwrap();
         assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(parsed.get("error").and_then(Json::as_str), Some("moved"));
         assert_eq!(
             parsed.get("peer").and_then(Json::as_str),
             Some("127.0.0.1:7002")
         );
+        assert_eq!(parsed.get("trace"), Some(&Json::I64(55)));
 
         // Subscription plane: a final closed update with reason "moved",
         // so pre-cluster subscribers still terminate cleanly.

@@ -244,12 +244,13 @@ impl Server {
     }
 
     /// Closes a locally hosted copy of `session` because `peer` took it
-    /// over; subscribers get a typed `moved` redirect. Returns whether a
-    /// local copy existed.
-    pub fn close_moved(&self, session: SessionId, peer: &str) -> bool {
+    /// over; subscribers get a typed `moved` redirect carrying the
+    /// takeover's trace id. Returns whether a local copy existed.
+    pub fn close_moved(&self, session: SessionId, peer: &str, trace: u64) -> bool {
         self.ask(session, |reply| Command::CloseMoved {
             session,
             peer: peer.to_string(),
+            trace,
             reply,
         })
         .unwrap_or(false)
@@ -277,10 +278,27 @@ impl Server {
         input: &str,
         value: PlainValue,
     ) -> Result<EnqueueOutcome, String> {
+        self.event_traced(session, input, value, 0)
+    }
+
+    /// [`Server::event`] carrying a caller-supplied causal trace id that
+    /// rides the event through the journal, replication, and failover.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown session.
+    pub fn event_traced(
+        &self,
+        session: SessionId,
+        input: &str,
+        value: PlainValue,
+        trace: u64,
+    ) -> Result<EnqueueOutcome, String> {
         self.ask(session, |reply| Command::Event {
             session,
             input: input.to_string(),
             value: value.to_value(),
+            trace,
             reply,
         })?
     }
@@ -466,9 +484,21 @@ impl Server {
             &latency,
             latency_sum_us,
         );
-        match self.cluster() {
+        let text = match self.cluster() {
             Some(cluster) => format!("{text}{}", cluster.render_metrics(sessions.len() as i64)),
             None => text,
+        };
+        format!("{text}{}", crate::blackbox::blackbox().render_metrics())
+    }
+
+    /// Renders the cluster-wide federated exposition (this peer's scrape
+    /// merged with every reachable peer's, `peer`-labelled). Falls back
+    /// to the local exposition outside cluster mode.
+    pub fn federated_metrics_text(&self) -> String {
+        let local = self.metrics_text();
+        match self.cluster() {
+            Some(cluster) => cluster.federated_metrics(&local),
+            None => local,
         }
     }
 

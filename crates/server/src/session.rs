@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::Sender;
 use elm_environment::fault::{self, FaultPlan};
 use elm_runtime::{
-    Counter, EventJournal, EventLimits, Gauge, JournalEntry, NodeTimingSnapshot, PlainValue,
-    RuntimeSnapshot, SignalGraph, StatsSnapshot, Tracer, Value,
+    Counter, EventJournal, EventLimits, Gauge, Histogram, JournalEntry, NodeTimingSnapshot,
+    PlainValue, RuntimeSnapshot, SignalGraph, StatsSnapshot, Tracer, Value,
 };
 use elm_signals::{Engine, Program, Running};
 use rand::rngs::StdRng;
@@ -194,6 +194,9 @@ struct Queued {
     input: String,
     value: Value,
     at: Instant,
+    /// Client-supplied causal trace id (0 = untraced), journaled and
+    /// replicated with the event.
+    trace: u64,
 }
 
 /// Crash-recovery and journal activity, kept as [`Counter`]s/[`Gauge`]s so
@@ -264,6 +267,15 @@ pub struct Session {
     // Cluster replication tap: applied events and snapshots stream to
     // the session's replica peer through it. None outside cluster mode.
     replication: Option<Arc<crate::cluster::ReplicationTap>>,
+    // Mergeable log2 histogram of ingest-to-output latency (µs). The
+    // `latencies` sample vector serves exact percentile summaries; this
+    // serves cross-peer federation and SLO burn rates, which need
+    // bucket-wise addition.
+    ingest_hist: Histogram,
+    // Trace id of the last applied event (0 = untraced): stamped on
+    // shipped snapshots and takeover broadcasts so the failover path can
+    // join the same causal story.
+    last_trace: u64,
 }
 
 impl Session {
@@ -328,6 +340,8 @@ impl Session {
             memory: None,
             reported_cells: 0,
             replication: None,
+            ingest_hist: Histogram::new(),
+            last_trace: 0,
         }
     }
 
@@ -403,8 +417,20 @@ impl Session {
                 .and_then(|()| self.running.drain_raw())
                 .map_err(|e| format!("replay of shipped seq {}: {e}", entry.seq))?;
             self.applied_seq = entry.seq;
+            // Replayed events keep the trace ids they were ingested with
+            // on the dead primary: the adopter continues those traces
+            // rather than starting fresh ones.
+            self.last_trace = entry.trace;
             replayed += 1;
         }
+        crate::blackbox::blackbox().record(
+            "resume",
+            self.id,
+            self.applied_seq,
+            self.last_trace,
+            -1,
+            &format!("replayed {replayed}"),
+        );
         // Deterministic traps replayed here were already tallied by the
         // primary; discard the duplicates and restore the live deadline.
         let _ = self.running.take_traps();
@@ -541,6 +567,13 @@ impl Session {
 
     /// Admits one event, applying the backpressure policy when full.
     pub fn enqueue(&mut self, input: &str, value: Value) -> EnqueueOutcome {
+        self.enqueue_traced(input, value, 0)
+    }
+
+    /// [`Session::enqueue`] with a client-supplied causal trace id (0 =
+    /// untraced). The id rides the event through the journal, the
+    /// replication stream, and any failover.
+    pub fn enqueue_traced(&mut self, input: &str, value: Value, trace: u64) -> EnqueueOutcome {
         self.last_activity = Instant::now();
         if self.recovery_failed || self.graph.input_named(input).is_none() {
             self.ignored += 1;
@@ -577,7 +610,9 @@ impl Session {
                     if let Some(q) = self.queue.iter_mut().rev().find(|q| q.input == input) {
                         // Keep the original enqueue time: latency then
                         // honestly reports how stale the merged slot is.
+                        // The trace follows the surviving value.
                         q.value = value;
+                        q.trace = trace;
                         self.coalesced += 1;
                         return EnqueueOutcome::Coalesced;
                     }
@@ -597,6 +632,7 @@ impl Session {
             input: input.to_string(),
             value,
             at: Instant::now(),
+            trace,
         });
         self.enqueued += 1;
         outcome
@@ -627,6 +663,7 @@ impl Session {
                         seq,
                         input: q.input.clone(),
                         value: pv,
+                        trace: q.trace,
                     })
                     .is_ok(),
                 None => false,
@@ -651,6 +688,8 @@ impl Session {
                 }
             };
             self.applied_seq = seq;
+            self.last_trace = q.trace;
+            crate::blackbox::blackbox().record("applied", self.id, seq, q.trace, -1, &q.input);
             // Replicate exactly once, only after the event demonstrably
             // applied: the engine-error branch above never reaches here.
             if let (Some(tap), Some(pv)) = (self.replication.as_ref(), plain) {
@@ -660,6 +699,7 @@ impl Session {
                         seq,
                         input: q.input.clone(),
                         value: pv,
+                        trace: q.trace,
                     },
                 });
             }
@@ -680,9 +720,10 @@ impl Session {
                     self.subscribers.retain(|s| s.send(update.clone()).is_ok());
                 }
             }
+            let latency_us = Instant::now().duration_since(q.at).as_micros() as u64;
+            self.ingest_hist.observe(latency_us);
             if self.latencies.len() < MAX_LATENCY_SAMPLES {
-                self.latencies
-                    .push(Instant::now().duration_since(q.at).as_micros() as u64);
+                self.latencies.push(latency_us);
             }
             if !journal_ok {
                 // The applied event is missing from the journal; snapshot
@@ -730,8 +771,16 @@ impl Session {
     /// Drains the runtime's governor-trap log into the per-kind tally.
     fn collect_traps(&mut self) -> bool {
         let trapped = self.running.take_traps();
-        for (_seq, kind) in &trapped {
+        for (seq, kind) in &trapped {
             self.traps.record(*kind);
+            crate::blackbox::blackbox().record(
+                "trap",
+                self.id,
+                *seq,
+                self.last_trace,
+                -1,
+                &format!("{kind:?}"),
+            );
         }
         !trapped.is_empty()
     }
@@ -781,7 +830,16 @@ impl Session {
                     session: self.id,
                     through: self.applied_seq,
                     wire: snap.to_wire().map(Box::new),
+                    trace: self.last_trace,
                 });
+                crate::blackbox::blackbox().record(
+                    "snapshot",
+                    self.id,
+                    self.applied_seq,
+                    self.last_trace,
+                    -1,
+                    "shipped",
+                );
             }
             self.snapshot = Some((self.applied_seq, snap));
             self.recovery.snapshots.inc();
@@ -864,6 +922,14 @@ impl Session {
         self.last_output = self.running.current().clone();
         self.pending_recovery = None;
         self.recovery.restarts.inc();
+        crate::blackbox::blackbox().record(
+            "restart",
+            self.id,
+            self.applied_seq,
+            self.last_trace,
+            -1,
+            &format!("replayed {replayed}"),
+        );
         if let Some(tracer) = self.tracer.as_ref() {
             // Replayed events re-recorded spans for outputs that were
             // already delivered; discard them so subscribers never see a
@@ -891,6 +957,11 @@ impl Session {
     /// event the runtime demonstrably applied.
     pub fn last_seq(&self) -> u64 {
         self.applied_seq
+    }
+
+    /// Trace id of the last applied event (0 = untraced).
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace
     }
 
     /// Ingress counters.
@@ -936,6 +1007,7 @@ impl Session {
             runtime: self.stats_base.merged(&self.running.stats()),
             ingress: self.ingress_stats(),
             latency: LatencySummary::compute(&mut self.latencies.clone()),
+            ingest_hist: self.ingest_hist.snapshot(),
             recovery: self.recovery_stats(),
             poisoned: self.ever_panicked,
             nodes: self.node_timings(),

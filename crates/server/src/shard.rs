@@ -119,6 +119,8 @@ pub enum Command {
         session: SessionId,
         /// The peer address subscribers should reconnect to.
         peer: String,
+        /// The takeover's trace id, echoed on the `moved` redirect.
+        trace: u64,
         /// Acknowledges the close (`Ok(false)` when not hosted here).
         reply: Sender<bool>,
     },
@@ -130,6 +132,8 @@ pub enum Command {
         input: String,
         /// The value.
         value: Value,
+        /// Causal trace id riding the event (0 = untraced).
+        trace: u64,
         /// Replies with the queue outcome.
         reply: Sender<Result<EnqueueOutcome, String>>,
     },
@@ -391,6 +395,7 @@ impl Shard {
             Command::CloseMoved {
                 session,
                 peer,
+                trace,
                 reply,
             } => {
                 // Split-brain guard: a stale primary drops its copy when a
@@ -399,6 +404,14 @@ impl Shard {
                 // from us must not erase the replica it is now feeding.
                 let hosted = match self.sessions.remove(&session) {
                     Some(mut s) => {
+                        crate::blackbox::blackbox().record(
+                            "takeover",
+                            session,
+                            0,
+                            trace,
+                            -1,
+                            &format!("moved to {peer}"),
+                        );
                         s.notify_moved(&peer);
                         s.stop();
                         self.admission.forget(session);
@@ -413,6 +426,7 @@ impl Shard {
                 session,
                 input,
                 value,
+                trace,
                 reply,
             } => {
                 let res = if !self.sessions.contains_key(&session) {
@@ -423,10 +437,18 @@ impl Shard {
                         .admit(session, 1, value.approx_cells(), Instant::now())
                     {
                         Admission::Shed { retry_after_ms } => {
+                            crate::blackbox::blackbox().record(
+                                "shed",
+                                session,
+                                0,
+                                trace,
+                                -1,
+                                "admission",
+                            );
                             Ok(EnqueueOutcome::Shed { retry_after_ms })
                         }
                         Admission::Admit => {
-                            self.with_session(session, |s| s.enqueue(&input, value))
+                            self.with_session(session, |s| s.enqueue_traced(&input, value, trace))
                         }
                     }
                 };
@@ -653,6 +675,7 @@ mod tests {
                 session: 7,
                 input: "Mouse.clicks".to_string(),
                 value: Value::Unit,
+                trace: 0,
                 reply: tx,
             })
             .unwrap();
@@ -694,6 +717,7 @@ mod tests {
                 seq,
                 input: "Mouse.clicks".to_string(),
                 value: PlainValue::Unit,
+                trace: 0,
             })
             .collect();
         let (tx, rx) = channel::bounded(1);
@@ -733,6 +757,7 @@ mod tests {
             .send(Command::CloseMoved {
                 session: 9,
                 peer: "127.0.0.1:7777".to_string(),
+                trace: 0,
                 reply: tx,
             })
             .unwrap();
@@ -761,6 +786,7 @@ mod tests {
                     session: 1,
                     input: "Mouse.x".to_string(),
                     value: Value::Int(v),
+                    trace: 0,
                     reply: tx,
                 })
                 .unwrap();
@@ -828,6 +854,7 @@ mod tests {
                 session: 1,
                 input: "Mouse.x".to_string(),
                 value: Value::Int(-5),
+                trace: 0,
                 reply: tx,
             })
             .unwrap();
