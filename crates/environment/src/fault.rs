@@ -29,6 +29,11 @@ pub const STREAM_FLOOD: u64 = 6;
 /// is the victim peer's index; the draw schedules *when* in the run the
 /// kill lands.
 pub const STREAM_KILL: u64 = 7;
+/// RNG stream selector: peer-wire network faults (delay, drop,
+/// duplicate, reorder, partition scheduling). The `id` is the directed
+/// link's identity (`from * peers + to`), so each link draws an
+/// independent — but seed-reproducible — fault schedule.
+pub const STREAM_NET: u64 = 8;
 
 /// Seeded probabilities for every injectable fault class.
 ///

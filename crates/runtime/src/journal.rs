@@ -14,7 +14,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::Path;
 
 use crate::trace::PlainValue;
@@ -44,6 +44,15 @@ pub enum JournalError {
     Rejected,
     /// The file backend failed.
     Io(String),
+    /// The append carried a stale ownership epoch: the journal has been
+    /// fenced at a higher epoch (a newer owner exists) and this writer
+    /// must demote itself rather than extend the history.
+    Fenced {
+        /// The epoch the stale writer presented.
+        writer: u64,
+        /// The epoch the journal is fenced at.
+        fence: u64,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -51,6 +60,10 @@ impl fmt::Display for JournalError {
         match self {
             JournalError::Rejected => write!(f, "journal append rejected"),
             JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::Fenced { writer, fence } => write!(
+                f,
+                "journal fenced: writer epoch {writer} is stale (fence epoch {fence})"
+            ),
         }
     }
 }
@@ -89,6 +102,9 @@ pub struct EventJournal {
     /// Highest seq known durable on disk (fsynced). Always 0 for
     /// in-memory journals.
     synced_through: u64,
+    /// Ownership fence: [`EventJournal::append_owned`] rejects writers
+    /// presenting an epoch below this. 0 = never fenced (all epochs ok).
+    fence_epoch: u64,
     file: Option<File>,
     fail_hook: Option<FailureHook>,
 }
@@ -116,6 +132,7 @@ impl EventJournal {
             last_seq: 0,
             truncated_through: 0,
             synced_through: 0,
+            fence_epoch: 0,
             file: None,
             fail_hook: None,
         }
@@ -194,6 +211,40 @@ impl EventJournal {
         Ok(seq)
     }
 
+    /// Raises the ownership fence to `epoch` (never lowers it). After
+    /// this, [`EventJournal::append_owned`] rejects any writer whose
+    /// epoch is below the fence — the journal-side half of split-brain
+    /// prevention: a demoted primary's session object still holds the
+    /// journal, but its stale epoch can no longer extend the history.
+    pub fn fence(&mut self, epoch: u64) {
+        self.fence_epoch = self.fence_epoch.max(epoch);
+    }
+
+    /// The current ownership fence (0 = never fenced).
+    pub fn fence_epoch(&self) -> u64 {
+        self.fence_epoch
+    }
+
+    /// [`EventJournal::append`] stamped with the writer's ownership
+    /// epoch. The entry is recorded only when `epoch` is at or above the
+    /// fence; a stale writer gets a typed [`JournalError::Fenced`] and
+    /// the entry — and its seq — are **not** consumed, so the rightful
+    /// owner's numbering is undisturbed.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`JournalError::Fenced`] on a stale epoch, otherwise
+    /// exactly as [`EventJournal::append`].
+    pub fn append_owned(&mut self, epoch: u64, entry: JournalEntry) -> Result<u64, JournalError> {
+        if epoch < self.fence_epoch {
+            return Err(JournalError::Fenced {
+                writer: epoch,
+                fence: self.fence_epoch,
+            });
+        }
+        self.append(entry)
+    }
+
     /// Entries with `seq > after`, oldest first — the replay suffix for a
     /// snapshot covering everything through `after`.
     pub fn suffix_after(&self, after: u64) -> Vec<JournalEntry> {
@@ -258,16 +309,25 @@ impl EventJournal {
     /// honoring the latest `snapshot_through` marker: only entries after it
     /// are returned (the replay suffix a restart would need).
     ///
+    /// A malformed **final** line is a torn tail — the process died
+    /// mid-append, which the append-before-fsync discipline makes the one
+    /// partial write the format permits. The tail is truncated off the
+    /// file (with a warning) and the intact prefix restores normally; a
+    /// malformed line anywhere *before* the end is real corruption and
+    /// still fails the restore.
+    ///
     /// # Errors
     ///
-    /// Fails if the file cannot be read or a line is malformed.
+    /// Fails if the file cannot be read or a non-final line is malformed.
     pub fn read_file(path: &Path) -> Result<(u64, Vec<JournalEntry>), JournalError> {
-        let file = File::open(path).map_err(|e| JournalError::Io(e.to_string()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| JournalError::Io(e.to_string()))?;
         let mut through = 0u64;
         let mut entries: Vec<JournalEntry> = Vec::new();
-        for line in BufReader::new(file).lines() {
-            let line = line.map_err(|e| JournalError::Io(e.to_string()))?;
-            let line = line.trim();
+        let mut offset = 0usize;
+        for raw in text.split_inclusive('\n') {
+            let line = raw.trim();
+            let start = offset;
+            offset += raw.len();
             if line.is_empty() {
                 continue;
             }
@@ -281,9 +341,27 @@ impl EventJournal {
                     continue;
                 }
             }
-            let entry: JournalEntry =
-                serde_json::from_str(line).map_err(|e| JournalError::Io(e.to_string()))?;
-            entries.push(entry);
+            match serde_json::from_str::<JournalEntry>(line) {
+                Ok(entry) => entries.push(entry),
+                Err(e) => {
+                    // Only the very last line may be torn; anything with
+                    // content after it is mid-file corruption.
+                    if text[offset..].trim().is_empty() {
+                        eprintln!(
+                            "journal: torn final line in {} ({e}); truncating {} byte(s)",
+                            path.display(),
+                            text.len() - start
+                        );
+                        OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .and_then(|f| f.set_len(start as u64))
+                            .map_err(|e| JournalError::Io(e.to_string()))?;
+                        break;
+                    }
+                    return Err(JournalError::Io(e.to_string()));
+                }
+            }
         }
         entries.retain(|e| e.seq > through);
         Ok((through, entries))
@@ -413,5 +491,101 @@ mod tests {
         let mut j = EventJournal::new(4);
         j.append(entry(2)).unwrap();
         j.append(entry(2)).unwrap();
+    }
+
+    #[test]
+    fn fencing_rejects_stale_epochs_without_consuming_seqs() {
+        let mut j = EventJournal::new(8);
+        // Unfenced: every epoch writes.
+        assert_eq!(j.append_owned(1, entry(1)), Ok(1));
+        j.fence(3);
+        assert_eq!(j.fence_epoch(), 3);
+        // A stale writer is refused and the seq is NOT consumed: the
+        // rightful owner appends the same seq right after.
+        assert_eq!(
+            j.append_owned(1, entry(2)),
+            Err(JournalError::Fenced {
+                writer: 1,
+                fence: 3
+            })
+        );
+        assert_eq!(j.append_owned(3, entry(2)), Ok(2));
+        // Epochs above the fence also write; the fence never lowers.
+        assert_eq!(j.append_owned(4, entry(3)), Ok(3));
+        j.fence(2);
+        assert_eq!(j.fence_epoch(), 3);
+        let seqs: Vec<u64> = j.suffix_after(0).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn plain_append_ignores_the_fence() {
+        // Single-process recovery paths predate epochs and must keep
+        // working: `append` (no epoch) is deliberately unfenced.
+        let mut j = EventJournal::new(8);
+        j.fence(5);
+        assert_eq!(j.append(entry(1)), Ok(1));
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_and_restore_succeeds() {
+        let dir = std::env::temp_dir().join(format!("elm-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.ndjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = EventJournal::with_file(4, &path).unwrap();
+            for seq in 1..=3 {
+                j.append(entry(seq)).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: half a JSON object, no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"seq\":4,\"input\":\"Mo").unwrap();
+        }
+        let (through, entries) = EventJournal::read_file(&path).unwrap();
+        assert_eq!(through, 0);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        // The torn bytes are gone from disk: a second restore is clean
+        // and appending resumes on a well-formed file.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "torn tail survived: {text:?}");
+        {
+            let mut j = EventJournal::with_file(4, &path).unwrap();
+            // Re-seed the in-memory seq high-water mark as recovery does.
+            j.last_seq = 3;
+            j.append(entry(4)).unwrap();
+        }
+        let (_, entries) = EventJournal::read_file(&path).unwrap();
+        assert_eq!(entries.len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_still_fails_the_restore() {
+        let dir = std::env::temp_dir().join(format!("elm-journal-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.ndjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = EventJournal::with_file(4, &path).unwrap();
+            j.append(entry(1)).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            // A malformed line WITH a well-formed line after it is not a
+            // torn tail — it is corruption, and restore must refuse.
+            f.write_all(b"{\"seq\":2,\"inp\n").unwrap();
+            let good = serde_json::to_string(&entry(3)).unwrap();
+            f.write_all(good.as_bytes()).unwrap();
+            f.write_all(b"\n").unwrap();
+        }
+        assert!(matches!(
+            EventJournal::read_file(&path),
+            Err(JournalError::Io(_))
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

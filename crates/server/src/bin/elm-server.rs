@@ -5,6 +5,8 @@
 //!            [--policy block|drop-oldest|coalesce] [--idle-ms N]
 //!            [--peer-id I --peers HOST:PORT,HOST:PORT,...]
 //!            [--heartbeat-ms N] [--takeover-ms N] [--snapshot-interval N]
+//!            [--net-seed S] [--partition-window A:B:START_MS:DUR_MS]...
+//!            [--no-fencing]
 //! ```
 //!
 //! Cluster mode: pass `--peer-id` and `--peers` to join an N-process
@@ -13,20 +15,32 @@
 //! address, replicates each hosted session's journal to its rendezvous
 //! replica, and takes over a dead peer's sessions after `--takeover-ms`
 //! without a heartbeat.
+//!
+//! Chaos plumbing (cluster mode only): `--net-seed` turns on the
+//! deterministic network-fault proxy on the peer wire with light random
+//! delay/drop/duplicate/reorder; `--partition-window A:B:START_MS:DUR_MS`
+//! (repeatable) schedules a full bidirectional cut between peers `A` and
+//! `B` relative to process start; `--no-fencing` disables epoch fencing
+//! (for demonstrating why it exists — never in production).
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
-use elm_server::{net, BackpressurePolicy, Cluster, ClusterConfig, Server, ServerConfig};
+use elm_environment::fault::FaultPlan;
+use elm_server::{
+    net, BackpressurePolicy, Cluster, ClusterConfig, NetFault, NetFaultConfig, PartitionWindow,
+    Server, ServerConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: elm-server [--addr HOST:PORT] [--shards N] [--queue N] \
          [--policy block|drop-oldest|coalesce] [--idle-ms N] \
          [--peer-id I --peers HOST:PORT,...] [--heartbeat-ms N] \
-         [--takeover-ms N] [--snapshot-interval N]"
+         [--takeover-ms N] [--snapshot-interval N] [--net-seed S] \
+         [--partition-window A:B:START_MS:DUR_MS]... [--no-fencing]"
     );
     exit(2)
 }
@@ -38,6 +52,9 @@ fn main() {
     let mut peers: Vec<String> = Vec::new();
     let mut heartbeat_ms: u64 = 100;
     let mut takeover_ms: u64 = 1000;
+    let mut net_seed: Option<u64> = None;
+    let mut windows: Vec<PartitionWindow> = Vec::new();
+    let mut fencing = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -70,6 +87,14 @@ fn main() {
             "--snapshot-interval" => {
                 config.session.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
             }
+            "--net-seed" => net_seed = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--partition-window" => {
+                windows.push(PartitionWindow::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("elm-server: bad --partition-window: {e}");
+                    exit(2);
+                }))
+            }
+            "--no-fencing" => fencing = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -116,6 +141,33 @@ fn main() {
         let mut cc = ClusterConfig::new(id, peers.clone());
         cc.heartbeat = Duration::from_millis(heartbeat_ms.max(1));
         cc.takeover = Duration::from_millis(takeover_ms.max(1));
+        cc.fencing = fencing;
+        if !fencing {
+            eprintln!("elm-server: WARNING epoch fencing disabled (--no-fencing)");
+        }
+        if net_seed.is_some() || !windows.is_empty() {
+            // Random faults only when a seed was given; scheduled
+            // partition windows work either way.
+            let fault_config = match net_seed {
+                Some(_) => NetFaultConfig::light(),
+                None => NetFaultConfig::disabled(),
+            };
+            let plan = FaultPlan {
+                seed: net_seed.unwrap_or(0),
+                ..FaultPlan::disabled()
+            };
+            cc.netfault = Some(Arc::new(NetFault::new(
+                plan,
+                peers.len(),
+                fault_config,
+                windows.clone(),
+            )));
+            println!(
+                "elm-server peer {id}: netfault active (seed {}, {} partition window(s))",
+                net_seed.unwrap_or(0),
+                windows.len()
+            );
+        }
         let cluster = Cluster::start(Arc::clone(&server), cc);
         println!(
             "elm-server peer {id}/{} in cluster mode (heartbeat {heartbeat_ms}ms, \

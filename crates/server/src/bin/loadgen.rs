@@ -53,6 +53,23 @@
 //! in `BENCH_cluster.json`. `--fleet --cluster` composes the two: the
 //! cluster hosts distinct synthesized FElm programs instead of the
 //! dashboard builtin, under the same kill.
+//!
+//! `--partition` is the split-brain chaos harness: instead of killing a
+//! peer it schedules a deterministic network partition (via the
+//! children's `--partition-window` netfault proxy) that isolates the
+//! busiest primary from both other peers long enough to trigger a
+//! quorum-side takeover, then heals. While the partition holds, the
+//! isolated zombie keeps serving its clients at the old epoch and the
+//! adopters serve the same sessions at the new one; concurrent probes
+//! from both sides record who answers. The verdict fails unless at most
+//! one peer serves each session *per epoch*, every stale-epoch append
+//! the zombie flushes at heal is rejected and counted
+//! (`elm_cluster_fenced_total`), the zombie demotes to redirect-only,
+//! replication records no gaps, and every session's final value is
+//! byte-identical to an uninterrupted governed replay. `--no-fencing`
+//! disables the epoch fences in the children — run it to watch the
+//! verdict catch the divergence that fencing prevents (the run exits
+//! nonzero by design).
 
 use std::process::exit;
 use std::sync::Arc;
@@ -85,6 +102,8 @@ struct Args {
     overload: bool,
     fleet: bool,
     cluster: bool,
+    partition: bool,
+    no_fencing: bool,
     fleet_programs: usize,
     snapshot_interval: u64,
     crash_prob: f64,
@@ -108,6 +127,8 @@ impl Default for Args {
             overload: false,
             fleet: false,
             cluster: false,
+            partition: false,
+            no_fencing: false,
             fleet_programs: 224,
             snapshot_interval: 256,
             crash_prob: 0.0005,
@@ -122,7 +143,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions M] [--events N] [--program NAME] [--shards N] \
          [--queue N] [--policy block|drop-oldest|coalesce] [--seed S] [--out FILE] \
-         [--chaos] [--overload] [--fleet] [--cluster] [--fleet-programs N] [--snapshot-interval N] \
+         [--chaos] [--overload] [--fleet] [--cluster] [--partition] [--no-fencing] \
+         [--fleet-programs N] [--snapshot-interval N] \
          [--crash-prob P] [--panic-prob P] [--journal-fail-prob P] [--stall-prob P]"
     );
     exit(2)
@@ -146,6 +168,8 @@ fn parse_args() -> Args {
             "--overload" => a.overload = true,
             "--fleet" => a.fleet = true,
             "--cluster" => a.cluster = true,
+            "--partition" => a.partition = true,
+            "--no-fencing" => a.no_fencing = true,
             "--fleet-programs" => a.fleet_programs = value().parse().unwrap_or_else(|_| usage()),
             "--snapshot-interval" => {
                 a.snapshot_interval = value().parse().unwrap_or_else(|_| usage())
@@ -2247,8 +2271,757 @@ fn run_cluster(args: &Args) -> ! {
     exit(code)
 }
 
+/// The split-brain chaos harness: a 3-peer group, a scheduled network
+/// partition isolating the busiest primary long enough for the majority
+/// side to take its sessions over at a higher epoch, then a heal that
+/// flushes the zombie's stale backlog into the fences. See the module
+/// docs for the verdict list.
+fn run_partition(args: &Args) -> ! {
+    use elm_server::{place, Client, ClusterClient};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    const PEERS: usize = 3;
+    /// When the partition opens, relative to child-process start. Setup
+    /// (spawn + readiness + keyed opens) must finish inside this window.
+    const PART_START_MS: u64 = 3_000;
+    /// How long the cut lasts — several takeover windows (500 ms), so the
+    /// majority side adopts and the zombie keeps serving stale clients
+    /// for an observable stretch before the heal.
+    const PART_DUR_MS: u64 = 2_500;
+    /// Target wall-clock length of each driver's event stream: events are
+    /// paced so the stream straddles the whole partition *and* the heal.
+    const DRIVE_MS: u64 = 8_000;
+
+    fn jnum(v: &Json) -> Option<u64> {
+        match v {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn kill_all(children: &mut [Option<Child>]) {
+        for slot in children.iter_mut() {
+            if let Some(mut c) = slot.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+
+    let sessions = args.sessions.clamp(PEERS, 64);
+    let events = args.events.clamp(50, 300);
+    let snapshot_interval = args.snapshot_interval.clamp(1, 32);
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- traces (pre-filtered to declared inputs) and the governed
+    // synchronous replay oracle, exactly as the kill-chaos harness ---
+    let registry = elm_server::Registry::standard();
+    let (_, graph) = registry
+        .resolve(ProgramSpec::Builtin("dashboard"))
+        .expect("dashboard builtin");
+    let mut traces: Vec<Vec<elm_runtime::TraceEvent>> = Vec::with_capacity(sessions);
+    for trace in Simulator::fan_out(args.seed, sessions, events) {
+        traces.push(
+            trace
+                .events
+                .iter()
+                .filter(|e| graph.input_named(&e.input).is_some())
+                .cloned()
+                .collect(),
+        );
+    }
+    // Pace the drivers off the *filtered* trace length so every stream
+    // straddles the whole partition window and the heal.
+    let longest = traces.iter().map(Vec::len).max().unwrap_or(1).max(1);
+    let pace_ms = (DRIVE_MS / longest as u64).max(1);
+    eprintln!(
+        "loadgen: PARTITION {PEERS} peers, {sessions} sessions x {events} events \
+         ({longest} admitted, paced {pace_ms} ms), window {PART_START_MS}+{PART_DUR_MS} ms, \
+         fencing {}, seed {}",
+        if args.no_fencing { "OFF" } else { "on" },
+        args.seed
+    );
+    let limits = elm_runtime::EventLimits::default();
+    let finals: Vec<PlainValue> = (0..sessions)
+        .map(|k| {
+            let mut running = Program::from_dynamic_graph(graph.clone()).start(Engine::Synchronous);
+            running.set_governor(Some(limits), None);
+            for e in &traces[k] {
+                running
+                    .send_named(&e.input, e.value.to_value())
+                    .expect("oracle event");
+            }
+            running.drain_raw().expect("oracle drain");
+            PlainValue::from_value(running.current()).expect("oracle value is plain")
+        })
+        .collect();
+
+    // --- placement and the victim: the busiest primary gets isolated
+    // from *both* other peers ---
+    let placement: Vec<usize> = (0..sessions as u64).map(|k| place(k, PEERS).0).collect();
+    let mut counts = [0usize; PEERS];
+    for &p in &placement {
+        counts[p] += 1;
+    }
+    let victim = (0..PEERS).max_by_key(|&p| counts[p]).expect("three peers");
+    let others: Vec<usize> = (0..PEERS).filter(|&p| p != victim).collect();
+    eprintln!(
+        "loadgen: PARTITION victim is peer {victim} ({} sessions), isolated from peers {others:?}",
+        counts[victim]
+    );
+
+    // --- spawn the peer group with the partition scheduled on every
+    // victim link; the same seed drives every child's netfault proxy ---
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("elm-server")))
+        .unwrap_or_else(|| {
+            eprintln!("loadgen: PARTITION cannot locate own executable directory");
+            exit(1);
+        });
+    if !bin.exists() {
+        eprintln!(
+            "loadgen: PARTITION elm-server binary not found at {} (build the workspace first)",
+            bin.display()
+        );
+        exit(2);
+    }
+    let peer_addrs: Vec<String> = (0..PEERS)
+        .map(|_| {
+            let l = TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+            l.local_addr().expect("reserved addr").to_string()
+        })
+        .collect();
+    let peer_socks: Vec<SocketAddr> = peer_addrs
+        .iter()
+        .map(|a| a.parse().expect("reserved addr parses"))
+        .collect();
+    let peer_list = peer_addrs.join(",");
+    let mut child_args: Vec<String> = vec![
+        "--heartbeat-ms".into(),
+        "50".into(),
+        "--takeover-ms".into(),
+        "500".into(),
+        "--snapshot-interval".into(),
+        snapshot_interval.to_string(),
+        "--net-seed".into(),
+        args.seed.to_string(),
+    ];
+    for &o in &others {
+        child_args.push("--partition-window".into());
+        child_args.push(format!("{victim}:{o}:{PART_START_MS}:{PART_DUR_MS}"));
+    }
+    if args.no_fencing {
+        child_args.push("--no-fencing".into());
+    }
+    let spawn_clock = Instant::now();
+    let mut children: Vec<Option<Child>> = Vec::with_capacity(PEERS);
+    for id in 0..PEERS {
+        let mut full = vec![
+            "--peer-id".to_string(),
+            id.to_string(),
+            "--peers".to_string(),
+            peer_list.clone(),
+        ];
+        full.extend(child_args.iter().cloned());
+        match Command::new(&bin)
+            .args(&full)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+        {
+            Ok(c) => children.push(Some(c)),
+            Err(e) => {
+                kill_all(&mut children);
+                eprintln!("loadgen: PARTITION cannot spawn peer {id}: {e}");
+                exit(1);
+            }
+        }
+    }
+    let ready_deadline = Instant::now() + Duration::from_secs(15);
+    for (i, addr) in peer_socks.iter().enumerate() {
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(_) => break,
+                Err(e) => {
+                    if Instant::now() > ready_deadline {
+                        kill_all(&mut children);
+                        eprintln!("loadgen: PARTITION peer {i} never came up on {addr}: {e}");
+                        exit(1);
+                    }
+                    thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    // --- keyed opens at the placement primaries ---
+    let mut openers: Vec<Client> = Vec::with_capacity(PEERS);
+    for (p, sock) in peer_socks.iter().enumerate() {
+        match Client::connect(*sock, args.seed ^ p as u64) {
+            Ok(c) => openers.push(c),
+            Err(e) => {
+                kill_all(&mut children);
+                eprintln!("loadgen: PARTITION cannot connect to peer {p}: {e}");
+                exit(1);
+            }
+        }
+    }
+    for k in 0..sessions {
+        let line = serde_json::to_string(&Json::Map(vec![
+            ("cmd".to_string(), Json::Str("open".to_string())),
+            ("session".to_string(), Json::U64(k as u64)),
+            ("program".to_string(), Json::Str("dashboard".to_string())),
+        ]))
+        .expect("open line renders");
+        let reply = openers[placement[k]].request(&line).unwrap_or_else(|e| {
+            eprintln!("loadgen: PARTITION open of session {k} failed: {e}");
+            exit(1);
+        });
+        if !matches!(reply.get("ok"), Some(Json::Bool(true))) {
+            kill_all(&mut children);
+            eprintln!("loadgen: PARTITION keyed open of session {k} refused: {reply:?}");
+            exit(1);
+        }
+    }
+    drop(openers);
+    let setup_ms = spawn_clock.elapsed().as_millis() as u64;
+    if setup_ms >= PART_START_MS {
+        failures.push(format!(
+            "setup took {setup_ms} ms — the partition window opened before the drivers started"
+        ));
+    }
+
+    // --- split-brain probes: one prober per peer asks *that* peer about
+    // every session for the whole run, recording (session, epoch) → the
+    // set of peers that answered with a value. Two peers serving the
+    // same session at the same epoch is the forked-history violation. ---
+    type ProbeMap = BTreeMap<(u64, u64), BTreeSet<usize>>;
+    let probe_stop = Arc::new(AtomicBool::new(false));
+    let probe_map: Arc<Mutex<ProbeMap>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let probe_samples = Arc::new(AtomicU64::new(0));
+    let mut probers = Vec::with_capacity(PEERS);
+    for (p, &addr) in peer_socks.iter().enumerate() {
+        let stop = Arc::clone(&probe_stop);
+        let map = Arc::clone(&probe_map);
+        let samples = Arc::clone(&probe_samples);
+        let seed = args.seed ^ 0x7072_6f62 ^ p as u64;
+        probers.push(thread::spawn(move || {
+            let mut client: Option<Client> = None;
+            while !stop.load(Ordering::Relaxed) {
+                if client.is_none() {
+                    client = Client::connect(addr, seed).ok();
+                    if client.is_none() {
+                        thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                }
+                let mut broken = false;
+                if let Some(c) = client.as_mut() {
+                    for sid in 0..sessions as u64 {
+                        match c.query(sid) {
+                            Ok(reply) => {
+                                if matches!(reply.get("ok"), Some(Json::Bool(true))) {
+                                    if let Some(epoch) =
+                                        jnum(reply.get("epoch").unwrap_or(&Json::Null))
+                                    {
+                                        map.lock()
+                                            .expect("probe map")
+                                            .entry((sid, epoch))
+                                            .or_default()
+                                            .insert(p);
+                                        samples.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                // moved / unknown replies are the
+                                // redirect-only answer — exactly what a
+                                // non-owner should say.
+                            }
+                            Err(_) => {
+                                broken = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if broken {
+                    client = None;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        }));
+    }
+
+    // --- drivers: one per session, paced so the stream straddles the
+    // partition and the heal, riding the demotion through the
+    // epoch-aware client ---
+    struct DriverOut {
+        value: PlainValue,
+        last_seq: u64,
+        moves: u64,
+        reconnects: u64,
+        resyncs: u64,
+        stale_epochs: u64,
+    }
+    let driven = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut drivers = Vec::with_capacity(sessions);
+    for k in 0..sessions {
+        let evs = traces[k].clone();
+        let mut peers = vec![peer_socks[placement[k]]];
+        peers.extend(
+            (0..PEERS)
+                .filter(|&p| p != placement[k])
+                .map(|p| peer_socks[p]),
+        );
+        let driven = Arc::clone(&driven);
+        let seed = args.seed ^ (k as u64).wrapping_mul(0x9e37_79b9);
+        drivers.push(thread::spawn(move || -> Result<DriverOut, String> {
+            let sid = k as u64;
+            let mut client = ClusterClient::new(peers, seed);
+            let mut resyncs = 0u64;
+            let deadline = Duration::from_secs(20);
+            let query_line = format!("{{\"cmd\":\"query\",\"session\":{sid}}}");
+            let drained_query = |client: &mut ClusterClient| -> Result<Json, String> {
+                loop {
+                    let r = client
+                        .request_routed(&query_line, Duration::from_secs(30))
+                        .map_err(|e| format!("session {sid}: query: {e}"))?;
+                    if !matches!(r.get("ok"), Some(Json::Bool(true))) {
+                        return Err(format!("session {sid}: query refused: {r:?}"));
+                    }
+                    if jnum(r.get("queue_len").unwrap_or(&Json::Null)) == Some(0) {
+                        return Ok(r);
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+            };
+            // Witness the pre-partition epoch up front: the demotion's
+            // higher-epoch redirect is only detectable against it.
+            drained_query(&mut client)?;
+            let mut i = 0usize;
+            while i < evs.len() {
+                let e = &evs[i];
+                let trace_id = ((sid + 1) << 20) | (i as u64 + 1);
+                let line = serde_json::to_string(&Json::Map(vec![
+                    ("cmd".to_string(), Json::Str("event".to_string())),
+                    ("session".to_string(), Json::U64(sid)),
+                    ("input".to_string(), Json::Str(e.input.clone())),
+                    (
+                        "value".to_string(),
+                        serde_json::to_value(&e.value).expect("plain value serializes"),
+                    ),
+                    ("trace".to_string(), Json::U64(trace_id)),
+                ]))
+                .expect("event line renders");
+                match client.request_exact(&line, deadline) {
+                    Ok(reply) if matches!(reply.get("ok"), Some(Json::Bool(true))) => {
+                        i += 1;
+                        driven.fetch_add(1, Ordering::Relaxed);
+                        thread::sleep(Duration::from_millis(pace_ms));
+                    }
+                    Ok(reply) => {
+                        return Err(format!("session {sid}: event {i} refused: {reply:?}"))
+                    }
+                    Err(_) => {
+                        // Either a transport ambiguity or the typed
+                        // `epoch_advanced` handoff: the zombie demoted
+                        // and the adopter's history is shorter than what
+                        // this driver fed the old owner. Resynchronize
+                        // from the owner's applied high-water mark and
+                        // resend from there — the zombie-applied suffix
+                        // replays into the surviving lineage.
+                        let r = drained_query(&mut client)?;
+                        let last = jnum(r.get("last_seq").unwrap_or(&Json::Null))
+                            .ok_or_else(|| format!("session {sid}: reply lacks last_seq"))?;
+                        resyncs += 1;
+                        i = last as usize;
+                    }
+                }
+            }
+            let r = drained_query(&mut client)?;
+            let last_seq = jnum(r.get("last_seq").unwrap_or(&Json::Null))
+                .ok_or_else(|| format!("session {sid}: reply lacks last_seq"))?;
+            let value_json = r
+                .get("value")
+                .cloned()
+                .ok_or_else(|| format!("session {sid}: reply lacks value"))?;
+            let value = serde_json::from_value::<PlainValue>(value_json)
+                .map_err(|e| format!("session {sid}: unparseable final value: {e}"))?;
+            Ok(DriverOut {
+                value,
+                last_seq,
+                moves: client.moves(),
+                reconnects: client.reconnects(),
+                resyncs,
+                stale_epochs: client.stale_epochs(),
+            })
+        }));
+    }
+    let mut outs: Vec<Option<DriverOut>> = Vec::with_capacity(sessions);
+    for (k, d) in drivers.into_iter().enumerate() {
+        match d.join() {
+            Ok(Ok(o)) => outs.push(Some(o)),
+            Ok(Err(e)) => {
+                failures.push(e);
+                outs.push(None);
+            }
+            Err(_) => {
+                failures.push(format!("session {k}: driver panicked"));
+                outs.push(None);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    // Judge only the healed steady state: wait out the window plus slack
+    // for the queued takeover broadcast and stale backlog to flush, and
+    // let the probes observe it.
+    let heal_at = Duration::from_millis(PART_START_MS + PART_DUR_MS + 1_500);
+    if spawn_clock.elapsed() < heal_at {
+        thread::sleep(heal_at - spawn_clock.elapsed());
+    }
+    probe_stop.store(true, Ordering::Relaxed);
+    for p in probers {
+        let _ = p.join();
+    }
+
+    // --- verdict 1: byte-identical finals against the governed oracle ---
+    for k in 0..sessions {
+        let Some(o) = &outs[k] else { continue };
+        if o.last_seq != traces[k].len() as u64 {
+            failures.push(format!(
+                "session {k}: applied {} of {} events",
+                o.last_seq,
+                traces[k].len()
+            ));
+        }
+        let live = serde_json::to_string(&serde_json::to_value(&o.value).expect("plain value"))
+            .expect("value renders");
+        let want = serde_json::to_string(&serde_json::to_value(&finals[k]).expect("plain value"))
+            .expect("value renders");
+        if live != want {
+            failures.push(format!(
+                "session {k}{}: final output diverged across the partition: \
+                 live {live} != replay {want}",
+                if placement[k] == victim {
+                    " (isolated)"
+                } else {
+                    ""
+                }
+            ));
+        }
+    }
+
+    // --- verdict 2: the probes saw no forked history — at most one peer
+    // served each (session, epoch) — and the dual-epoch window itself
+    // was observable (zombie at the old epoch, adopter at the new) ---
+    let probe_samples = probe_samples.load(Ordering::Relaxed);
+    let probe_map = Arc::try_unwrap(probe_map)
+        .map(|m| m.into_inner().expect("probe map"))
+        .unwrap_or_else(|arc| arc.lock().expect("probe map").clone());
+    if probe_samples == 0 {
+        failures.push("the split-brain probes never completed a sample".to_string());
+    }
+    let mut split_brain = 0u64;
+    for ((sid, epoch), servers) in &probe_map {
+        if servers.len() > 1 {
+            split_brain += 1;
+            failures.push(format!(
+                "SPLIT BRAIN: session {sid} served at epoch {epoch} by peers {servers:?}"
+            ));
+        }
+    }
+    let mut epochs_per_session: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for (sid, epoch) in probe_map.keys() {
+        epochs_per_session.entry(*sid).or_default().insert(*epoch);
+    }
+    let dual_epoch_sessions = epochs_per_session
+        .values()
+        .filter(|es| es.len() > 1)
+        .count() as u64;
+    if dual_epoch_sessions == 0 {
+        failures.push(
+            "no session was ever observed served at two distinct epochs — the partition \
+             never produced the zombie/adopter overlap this harness exists to test"
+                .to_string(),
+        );
+    }
+
+    // --- verdict 3: fences did their job (nonzero fenced rejections, no
+    // replication gaps), the takeover fired on the majority side only,
+    // and the epoch/heartbeat families are in the scrapes ---
+    let mut peer_clients: Vec<(usize, Client)> = Vec::new();
+    for (p, &addr) in peer_socks.iter().enumerate() {
+        match Client::connect(addr, args.seed ^ 0xfe9c ^ p as u64) {
+            Ok(c) => peer_clients.push((p, c)),
+            Err(e) => failures.push(format!("peer {p} unreachable after the heal: {e}")),
+        }
+    }
+    let mut fenced_sum = 0u64;
+    let mut gaps_sum = 0u64;
+    let mut takeovers_sum = 0u64;
+    let mut fenced_per_peer: Vec<(usize, u64)> = Vec::new();
+    let mut epoch_gauge_max: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut peer_texts: Vec<(usize, String)> = Vec::new();
+    for (p, c) in &mut peer_clients {
+        let text = match c.metrics_text() {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("metrics scrape on peer {p}: {e}"));
+                continue;
+            }
+        };
+        let fenced = scraped_family_sum(&text, "elm_cluster_fenced_total");
+        fenced_sum += fenced;
+        fenced_per_peer.push((*p, fenced));
+        gaps_sum += scraped_family_sum(&text, "elm_cluster_replication_gaps_total");
+        takeovers_sum += scraped_family_sum(&text, "elm_cluster_takeovers_total");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            if let Some(rest) = line.strip_prefix("elm_cluster_epoch{session=\"") {
+                if let Some((sid, val)) = rest.split_once("\"}") {
+                    if let (Ok(sid), Ok(v)) = (sid.parse::<u64>(), val.trim().parse::<f64>()) {
+                        let e = epoch_gauge_max.entry(sid).or_insert(0);
+                        *e = (*e).max(v as u64);
+                    }
+                }
+            }
+        }
+        if !text.contains("elm_cluster_heartbeat_age_ms{peer=\"") {
+            failures.push(format!(
+                "peer {p} scrape lacks elm_cluster_heartbeat_age_ms"
+            ));
+        }
+        peer_texts.push((*p, text));
+    }
+    if args.no_fencing {
+        if fenced_sum != 0 {
+            failures.push(format!(
+                "fencing is off but {fenced_sum} rejections were counted"
+            ));
+        }
+    } else if fenced_sum == 0 {
+        failures.push(
+            "the zombie's stale backlog was never fenced (elm_cluster_fenced_total = 0)"
+                .to_string(),
+        );
+    }
+    if gaps_sum != 0 {
+        failures.push(format!("replication recorded {gaps_sum} gap(s)"));
+    }
+    if takeovers_sum != counts[victim] as u64 {
+        failures.push(format!(
+            "{} sessions were isolated with peer {victim} but the group counts \
+             {takeovers_sum} takeovers (minority-side adoptions would double this)",
+            counts[victim]
+        ));
+    }
+    if !args.no_fencing {
+        for k in (0..sessions as u64).filter(|&k| placement[k as usize] == victim) {
+            if epoch_gauge_max.get(&k).copied().unwrap_or(0) < 2 {
+                failures.push(format!(
+                    "isolated session {k} never shows epoch >= 2 in any elm_cluster_epoch gauge"
+                ));
+            }
+        }
+    }
+
+    // --- verdict 4: the healed zombie is redirect-only — exactly one
+    // peer serves each isolated session, and the victim answers with a
+    // typed moved redirect at the adopter ---
+    for k in (0..sessions).filter(|&k| placement[k] == victim) {
+        let mut served: Vec<usize> = Vec::new();
+        let mut victim_moved = false;
+        for (p, c) in &mut peer_clients {
+            match c.query(k as u64) {
+                Ok(reply) if matches!(reply.get("ok"), Some(Json::Bool(true))) => served.push(*p),
+                Ok(reply) if reply.get("error").and_then(Json::as_str) == Some("moved") => {
+                    if *p == victim {
+                        victim_moved = true;
+                    }
+                }
+                Ok(reply) => failures.push(format!(
+                    "isolated session {k}: peer {p} gave neither value nor redirect: {reply:?}"
+                )),
+                Err(e) => failures.push(format!("isolated session {k}: query on peer {p}: {e}")),
+            }
+        }
+        if served.len() != 1 {
+            failures.push(format!(
+                "isolated session {k}: served by peers {served:?} after the heal, expected \
+                 exactly one"
+            ));
+        } else if served == [victim] {
+            failures.push(format!(
+                "isolated session {k}: still served by the demoted zombie after the heal"
+            ));
+        }
+        if !victim_moved && !args.no_fencing {
+            failures.push(format!(
+                "isolated session {k}: the healed zombie did not answer redirect-only"
+            ));
+        }
+    }
+
+    // --- verdict 5: the flight recorders hold the fencing story — a
+    // `fenced` rejection on the majority side and a `demote` on the
+    // zombie — and the federated scrape carries the new families ---
+    let mut saw_fenced = false;
+    let mut saw_demote = false;
+    let mut blackbox_texts: Vec<(usize, String)> = Vec::new();
+    for (p, c) in &mut peer_clients {
+        match c.blackbox_text() {
+            Ok(text) => {
+                for line in text.lines() {
+                    let Ok(r) = serde_json::from_str::<Json>(line) else {
+                        continue;
+                    };
+                    match r.get("kind").and_then(Json::as_str) {
+                        Some("fenced") => saw_fenced = true,
+                        Some("demote") if *p == victim => saw_demote = true,
+                        _ => {}
+                    }
+                }
+                blackbox_texts.push((*p, text));
+            }
+            Err(e) => failures.push(format!("blackbox fetch on peer {p}: {e}")),
+        }
+    }
+    if !args.no_fencing {
+        if !saw_fenced {
+            failures.push("no peer's flight recorder holds a `fenced` record".to_string());
+        }
+        if !saw_demote {
+            failures.push("the zombie's flight recorder holds no `demote` record".to_string());
+        }
+    }
+    let mut federated_text = String::new();
+    match peer_clients.first_mut() {
+        Some((_, c)) => match c.metrics_text_cluster() {
+            Ok(text) => federated_text = text,
+            Err(e) => failures.push(format!("federated metrics scrape: {e}")),
+        },
+        None => failures.push("no peer available for the federated scrape".to_string()),
+    }
+    if !federated_text.is_empty() {
+        for needle in [
+            "elm_cluster_fenced_total{peer=\"",
+            "elm_cluster_heartbeat_age_ms{peer=\"",
+        ] {
+            if !federated_text.contains(needle) {
+                failures.push(format!("federated scrape lacks {needle}...}} samples"));
+            }
+        }
+        write_artifact(
+            "BENCH_partition_federated.prom",
+            federated_text.clone(),
+            &mut failures,
+        );
+    }
+
+    if !failures.is_empty() {
+        for (p, text) in &blackbox_texts {
+            let path = format!("BLACKBOX_partition_failure_peer{p}.ndjson");
+            if std::fs::write(&path, text).is_ok() {
+                eprintln!("loadgen: preserved flight recorder in {path}");
+            }
+        }
+    }
+
+    kill_all(&mut children);
+
+    let moves_total: u64 = outs.iter().flatten().map(|o| o.moves).sum();
+    let reconnects_total: u64 = outs.iter().flatten().map(|o| o.reconnects).sum();
+    let resyncs_total: u64 = outs.iter().flatten().map(|o| o.resyncs).sum();
+    let stale_total: u64 = outs.iter().flatten().map(|o| o.stale_epochs).sum();
+    let driven_total = driven.load(Ordering::Relaxed);
+    println!(
+        "partition: {driven_total} events across {sessions} sessions in {:.2}s, \
+         {takeovers_sum} takeovers, {fenced_sum} fenced rejections, {split_brain} split-brain \
+         probe hits over {probe_samples} samples ({dual_epoch_sessions} dual-epoch sessions), \
+         {resyncs_total} resyncs, {moves_total} moved redirects, {stale_total} stale-epoch reads",
+        elapsed.as_secs_f64()
+    );
+    for f in &failures {
+        eprintln!("loadgen: PARTITION FAILURE: {f}");
+    }
+    let verdict = if failures.is_empty() { "OK" } else { "FAILED" };
+    println!("partition verdict = {verdict}");
+
+    let report = Json::Map(vec![
+        (
+            "benchmark".to_string(),
+            Json::Str("server-partition".to_string()),
+        ),
+        ("peers".to_string(), Json::U64(PEERS as u64)),
+        ("sessions".to_string(), Json::U64(sessions as u64)),
+        ("events_per_session".to_string(), Json::U64(events as u64)),
+        ("seed".to_string(), Json::U64(args.seed)),
+        ("fencing".to_string(), Json::Bool(!args.no_fencing)),
+        ("victim".to_string(), Json::U64(victim as u64)),
+        (
+            "victim_sessions".to_string(),
+            Json::U64(counts[victim] as u64),
+        ),
+        ("partition_start_ms".to_string(), Json::U64(PART_START_MS)),
+        ("partition_dur_ms".to_string(), Json::U64(PART_DUR_MS)),
+        ("setup_ms".to_string(), Json::U64(setup_ms)),
+        ("elapsed_s".to_string(), Json::F64(elapsed.as_secs_f64())),
+        ("driven_events".to_string(), Json::U64(driven_total)),
+        ("takeovers_total".to_string(), Json::U64(takeovers_sum)),
+        ("fenced_total".to_string(), Json::U64(fenced_sum)),
+        (
+            "fenced_per_peer".to_string(),
+            Json::Seq(
+                fenced_per_peer
+                    .iter()
+                    .map(|&(p, n)| {
+                        Json::Map(vec![
+                            ("peer".to_string(), Json::U64(p as u64)),
+                            ("fenced".to_string(), Json::U64(n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("replication_gaps_total".to_string(), Json::U64(gaps_sum)),
+        ("probe_samples".to_string(), Json::U64(probe_samples)),
+        ("split_brain_hits".to_string(), Json::U64(split_brain)),
+        (
+            "dual_epoch_sessions".to_string(),
+            Json::U64(dual_epoch_sessions),
+        ),
+        ("moves_total".to_string(), Json::U64(moves_total)),
+        ("reconnects_total".to_string(), Json::U64(reconnects_total)),
+        ("resyncs_total".to_string(), Json::U64(resyncs_total)),
+        ("stale_epoch_reads".to_string(), Json::U64(stale_total)),
+        ("verdict".to_string(), Json::Str(verdict.to_string())),
+    ]);
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialize");
+    let out = if args.out == "BENCH_server.json" {
+        "BENCH_partition.json".to_string()
+    } else {
+        args.out.clone()
+    };
+    let mut code = i32::from(!failures.is_empty());
+    if let Err(e) = std::fs::write(&out, pretty + "\n") {
+        eprintln!("loadgen: PARTITION FAILURE: cannot write {out}: {e}");
+        code = 1;
+    } else {
+        eprintln!("loadgen: wrote {out}");
+    }
+    exit(code)
+}
+
 fn main() {
     let args = parse_args();
+    if args.partition {
+        run_partition(&args);
+    }
     if args.cluster {
         run_cluster(&args);
     }

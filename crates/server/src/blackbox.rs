@@ -35,7 +35,9 @@ pub struct BlackboxRecord {
     /// The local peer index, -1 when not in cluster mode.
     pub peer: i64,
     /// What happened: `applied`, `trap`, `restart`, `shed`, `replicated`,
-    /// `snapshot`, `takeover`, or `resume`.
+    /// `snapshot`, `takeover`, `resume`, `fenced` (a stale-epoch write
+    /// rejected by the ownership fence), or `demote` (this peer yielded a
+    /// session to a higher-epoch takeover).
     pub kind: String,
     /// The session involved (0 for process-wide records).
     pub session: u64,

@@ -270,10 +270,22 @@ impl Client {
     }
 }
 
+/// How many consecutive `moved` redirects a single request may follow
+/// before the client declares a routing loop. During a partition two
+/// peers can each believe the other owns a session; an uncapped client
+/// would bounce between them forever.
+const MAX_REDIRECT_HOPS: usize = 8;
+
 /// A cluster-aware client: connects to any peer of the group, follows
 /// typed `{"error":"moved","peer":...}` redirects to a session's new
 /// home, and rides out a failover window by rotating peers with
 /// jittered backoff until the takeover lands (or the deadline passes).
+///
+/// The client is also epoch-aware: every successful reply that carries a
+/// `session`/`epoch` pair records the highest ownership epoch witnessed
+/// for that session, and a later reply at a *lower* epoch — a zombie
+/// primary still serving pre-takeover state — is refused and retried on
+/// another peer instead of being returned to the caller.
 pub struct ClusterClient {
     peers: Vec<SocketAddr>,
     current: usize,
@@ -283,6 +295,8 @@ pub struct ClusterClient {
     seed: u64,
     moves: u64,
     reconnects: u64,
+    epochs: std::collections::HashMap<u64, u64>,
+    stale_epochs: u64,
 }
 
 impl ClusterClient {
@@ -299,12 +313,20 @@ impl ClusterClient {
             seed,
             moves: 0,
             reconnects: 0,
+            epochs: std::collections::HashMap::new(),
+            stale_epochs: 0,
         }
     }
 
     /// `moved` redirects followed so far.
     pub fn moves(&self) -> u64 {
         self.moves
+    }
+
+    /// Replies refused because they reported a session epoch below the
+    /// highest this client has witnessed (zombie-primary reads).
+    pub fn stale_epochs(&self) -> u64 {
+        self.stale_epochs
     }
 
     /// Reconnects performed so far (peer rotation + redirect targets).
@@ -335,6 +357,45 @@ impl ClusterClient {
         self.client = None;
     }
 
+    /// Compares a successful reply's `session`/`epoch` pair against the
+    /// highest epoch witnessed so far. Returns a description when the
+    /// reply is stale (served below a known-higher epoch); otherwise
+    /// records the epoch as the new high-water mark and returns `None`.
+    /// Replies without both fields (or with the pre-epoch value 0) pass
+    /// through untouched.
+    fn observe_epoch(&mut self, reply: &Json) -> Option<String> {
+        let session = reply.get("session").and_then(as_u64)?;
+        let epoch = reply.get("epoch").and_then(as_u64)?;
+        if epoch == 0 {
+            return None;
+        }
+        let known = self.epochs.entry(session).or_insert(0);
+        if epoch < *known {
+            return Some(format!(
+                "session {session} served at stale epoch {epoch} < {known}"
+            ));
+        }
+        *known = epoch;
+        None
+    }
+
+    /// Records the owner epoch carried on a `moved` redirect and reports
+    /// whether the redirect reveals an ownership *handoff*: an epoch
+    /// above the one this client last witnessed for the session. A plain
+    /// wrong-peer bounce (same epoch, or no epoch witnessed yet) returns
+    /// `None`.
+    fn moved_epoch_advanced(&mut self, reply: &Json) -> Option<(u64, u64)> {
+        let session = reply.get("session").and_then(as_u64)?;
+        let epoch = reply.get("epoch").and_then(as_u64)?;
+        if epoch == 0 {
+            return None;
+        }
+        let known = self.epochs.entry(session).or_insert(0);
+        let witnessed = *known;
+        *known = witnessed.max(epoch);
+        (witnessed > 0 && epoch > witnessed).then_some((witnessed, epoch))
+    }
+
     fn try_once(&mut self, line: &str) -> io::Result<Json> {
         if self.client.is_none() {
             let addr = self.peers[self.current];
@@ -363,10 +424,13 @@ impl ClusterClient {
     ///
     /// # Errors
     ///
-    /// Fails when no peer serves the request within the deadline.
+    /// Fails when no peer serves the request within the deadline, or
+    /// with a typed `route_loop` error when [`MAX_REDIRECT_HOPS`]
+    /// consecutive `moved` redirects never reach an owner.
     pub fn request_routed(&mut self, line: &str, deadline: Duration) -> io::Result<Json> {
         let until = std::time::Instant::now() + deadline;
         let mut attempt = 0u32;
+        let mut hops = 0usize;
         let mut last: Option<String> = None;
         loop {
             match self.try_once(line) {
@@ -374,6 +438,16 @@ impl ClusterClient {
                     let err = reply.get("error").and_then(Json::as_str);
                     if err == Some("moved") {
                         self.moves += 1;
+                        hops += 1;
+                        if hops >= MAX_REDIRECT_HOPS {
+                            return Err(io::Error::other(format!(
+                                "route_loop: {hops} consecutive moved redirects \
+                                 never reached an owner: {line}"
+                            )));
+                        }
+                        // Queries are idempotent: record any handoff the
+                        // redirect reveals, then follow it regardless.
+                        self.moved_epoch_advanced(&reply);
                         if let Some(peer) = reply
                             .get("peer")
                             .and_then(Json::as_str)
@@ -386,13 +460,22 @@ impl ClusterClient {
                     } else if err.is_some_and(|e| e.starts_with("unknown session")) {
                         // Failover in flight: the new primary has not
                         // finished (or begun) the takeover replay yet.
+                        hops = 0;
                         last = Some(format!("{reply:?}"));
+                        self.rotate();
+                    } else if let Some(stale) = self.observe_epoch(&reply) {
+                        // A zombie primary answered from pre-takeover
+                        // state; rotate toward the real owner.
+                        self.stale_epochs += 1;
+                        hops = 0;
+                        last = Some(stale);
                         self.rotate();
                     } else {
                         return Ok(reply);
                     }
                 }
                 Err(e) => {
+                    hops = 0;
                     last = Some(e.to_string());
                     self.rotate();
                 }
@@ -426,11 +509,14 @@ impl ClusterClient {
     ///
     /// # Errors
     ///
-    /// Fails on the first ambiguous transport error, or when no peer
-    /// serves the request within the deadline.
+    /// Fails on the first ambiguous transport error, when no peer
+    /// serves the request within the deadline, or with a typed
+    /// `route_loop` error when [`MAX_REDIRECT_HOPS`] consecutive
+    /// `moved` redirects never reach an owner.
     pub fn request_exact(&mut self, line: &str, deadline: Duration) -> io::Result<Json> {
         let until = std::time::Instant::now() + deadline;
         let mut attempt = 0u32;
+        let mut hops = 0usize;
         let mut last: Option<String> = None;
         loop {
             let fresh = self.client.is_none();
@@ -440,6 +526,17 @@ impl ClusterClient {
                     let err = reply.get("error").and_then(Json::as_str);
                     if err == Some("moved") {
                         self.moves += 1;
+                        hops += 1;
+                        if hops >= MAX_REDIRECT_HOPS {
+                            return Err(io::Error::other(format!(
+                                "route_loop: {hops} consecutive moved redirects \
+                                 never reached an owner: {line}"
+                            )));
+                        }
+                        let handoff = self.moved_epoch_advanced(&reply);
+                        // Point at the redirect target either way, so an
+                        // epoch-advance caller's resync query lands at
+                        // the new owner directly.
                         if let Some(peer) = reply
                             .get("peer")
                             .and_then(Json::as_str)
@@ -449,8 +546,30 @@ impl ClusterClient {
                         } else {
                             self.rotate();
                         }
+                        if let Some((witnessed, epoch)) = handoff {
+                            // Ownership moved *under* this request stream
+                            // (a demoted zombie redirected us to a
+                            // higher-epoch adopter). The new owner's
+                            // high-water mark may be behind what this
+                            // client already sent, so transparently
+                            // resending a non-idempotent request would
+                            // apply it out of order. Surface a typed
+                            // error; the caller resynchronizes from the
+                            // owner's `last_seq` and resumes from there.
+                            return Err(io::Error::other(format!(
+                                "epoch_advanced: ownership moved from epoch \
+                                 {witnessed} to {epoch}; resynchronize \
+                                 before resending: {line}"
+                            )));
+                        }
                     } else if err.is_some_and(|e| e.starts_with("unknown session")) {
+                        hops = 0;
                         last = Some(format!("{reply:?}"));
+                        self.rotate();
+                    } else if let Some(stale) = self.observe_epoch(&reply) {
+                        self.stale_epochs += 1;
+                        hops = 0;
+                        last = Some(stale);
                         self.rotate();
                     } else {
                         return Ok(reply);
@@ -464,6 +583,7 @@ impl ClusterClient {
                     if !connect_failed {
                         return Err(e);
                     }
+                    hops = 0;
                     last = Some(e.to_string());
                 }
             }
@@ -614,5 +734,111 @@ mod tests {
         expect_ok(&reply).unwrap();
         assert!(client.moves() >= 1, "redirect was never followed");
         assert_eq!(client.current_peer(), home);
+    }
+
+    /// Spawns a fake peer that answers every request line with `reply`
+    /// (a closure over the connection count is overkill here — the reply
+    /// is static per peer).
+    fn spawn_static_peer(reply: String) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let reply = reply.clone();
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 {
+                            break;
+                        }
+                        if writer.write_all(reply.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn mutually_redirecting_peers_trip_the_route_loop_cap() {
+        // Two fake peers that each insist the *other* owns the session —
+        // the split-brain routing state a partitioned cluster can reach.
+        // Bind both listeners first so each knows the other's address.
+        let la = TcpListener::bind("127.0.0.1:0").unwrap();
+        let lb = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (aa, ab) = (la.local_addr().unwrap(), lb.local_addr().unwrap());
+        for (listener, peer) in [(la, ab), (lb, aa)] {
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    thread::spawn(move || {
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let mut writer = stream;
+                        let mut line = String::new();
+                        while let Ok(n) = reader.read_line(&mut line) {
+                            if n == 0 {
+                                break;
+                            }
+                            let reply = format!(
+                                "{{\"ok\":false,\"error\":\"moved\",\"session\":1,\"peer\":\"{peer}\"}}\n"
+                            );
+                            if writer.write_all(reply.as_bytes()).is_err() {
+                                break;
+                            }
+                            line.clear();
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut client = ClusterClient::new(vec![aa, ab], 13);
+        let err = client
+            .request_routed("{\"cmd\":\"query\",\"session\":1}", Duration::from_secs(30))
+            .expect_err("an endless redirect chain must fail, not hang");
+        assert!(
+            err.to_string().contains("route_loop"),
+            "expected a typed route_loop error, got: {err}"
+        );
+        assert!(client.moves() >= MAX_REDIRECT_HOPS as u64);
+    }
+
+    #[test]
+    fn replies_below_a_witnessed_epoch_are_refused_as_stale() {
+        // A fresh owner serving epoch 2 and a zombie stuck at epoch 1.
+        let fresh = spawn_static_peer(
+            "{\"ok\":true,\"session\":9,\"value\":{\"Int\":4},\"last_seq\":4,\"epoch\":2}\n"
+                .to_string(),
+        );
+        let zombie = spawn_static_peer(
+            "{\"ok\":true,\"session\":9,\"value\":{\"Int\":1},\"last_seq\":1,\"epoch\":1}\n"
+                .to_string(),
+        );
+
+        let mut client = ClusterClient::new(vec![fresh, zombie], 17);
+        // First request lands on the fresh owner and records epoch 2.
+        let reply = client
+            .request_routed("{\"cmd\":\"query\",\"session\":9}", Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(reply.get("epoch").and_then(as_u64), Some(2));
+
+        // Force the next attempt onto the zombie: its epoch-1 reply must
+        // be refused and retried, never surfaced, so the request still
+        // resolves at epoch 2 once rotation comes back around.
+        client.point_at(zombie);
+        let reply = client
+            .request_routed("{\"cmd\":\"query\",\"session\":9}", Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(reply.get("epoch").and_then(as_u64), Some(2));
+        assert!(
+            client.stale_epochs() >= 1,
+            "the zombie's epoch-1 reply was never flagged"
+        );
     }
 }

@@ -52,16 +52,27 @@ pub struct ClusterConfig {
     /// How long a peer may stay silent before it is declared dead and its
     /// replicated sessions are adopted.
     pub takeover: Duration,
+    /// Epoch fencing: stale-epoch peer writes are rejected and counted.
+    /// Disabling this (the `--no-fencing` regression mode) re-opens the
+    /// split-brain window the partition chaos verdict exists to catch.
+    pub fencing: bool,
+    /// Optional seeded network-fault proxy interposed on every outbound
+    /// peer link (delay/drop/duplicate/reorder plus scheduled partition
+    /// windows). `None` leaves the wire untouched.
+    pub netfault: Option<Arc<crate::netfault::NetFault>>,
 }
 
 impl ClusterConfig {
-    /// A config with the default 100 ms heartbeat / 1 s takeover timing.
+    /// A config with the default 100 ms heartbeat / 1 s takeover timing,
+    /// fencing on, and no network faults.
     pub fn new(peer_index: usize, peers: Vec<String>) -> ClusterConfig {
         ClusterConfig {
             peer_index,
             peers,
             heartbeat: Duration::from_millis(100),
             takeover: Duration::from_millis(1000),
+            fencing: true,
+            netfault: None,
         }
     }
 }
@@ -77,6 +88,8 @@ pub enum RepMsg {
         session: u64,
         /// Program identity and ingress configuration.
         meta: SessionMeta,
+        /// The session's ownership epoch at emission time.
+        epoch: u64,
     },
     /// One event was applied and journaled; replicate it.
     Append {
@@ -84,6 +97,8 @@ pub enum RepMsg {
         session: u64,
         /// The journaled event.
         entry: JournalEntry,
+        /// The session's ownership epoch at emission time.
+        epoch: u64,
     },
     /// The primary snapshotted; ship the state so the replica can
     /// truncate its replay suffix.
@@ -98,11 +113,15 @@ pub enum RepMsg {
         /// Trace id of the last event folded into the snapshot (0 when
         /// untraced).
         trace: u64,
+        /// The session's ownership epoch at emission time.
+        epoch: u64,
     },
     /// The session closed; the replica forgets it.
     Drop {
         /// The session id.
         session: u64,
+        /// The session's ownership epoch at emission time.
+        epoch: u64,
     },
 }
 
@@ -175,6 +194,9 @@ struct ReplicaSession {
     /// Trace id covered by the shipped snapshot (0 = untraced).
     snapshot_trace: u64,
     entries: Vec<JournalEntry>,
+    /// Highest ownership epoch seen on accepted traffic for this
+    /// session (0 until any stamped verb arrives).
+    epoch: u64,
 }
 
 impl ReplicaSession {
@@ -200,11 +222,12 @@ struct ReplicaStore {
 }
 
 impl ReplicaStore {
-    fn upsert_meta(&mut self, from: usize, session: u64, meta: SessionMeta) {
+    fn upsert_meta(&mut self, from: usize, session: u64, meta: SessionMeta, epoch: u64) {
         match self.sessions.get_mut(&session) {
             Some(r) => {
                 r.from = from;
                 r.meta = meta;
+                r.epoch = r.epoch.max(epoch);
             }
             None => {
                 self.sessions.insert(
@@ -216,6 +239,7 @@ impl ReplicaStore {
                         through: 0,
                         snapshot_trace: 0,
                         entries: Vec::new(),
+                        epoch,
                     },
                 );
             }
@@ -288,11 +312,17 @@ pub struct Cluster {
     /// dead peer *is* unbounded deferred work.
     outbound: Vec<Option<Sender<String>>>,
     replicas: Mutex<ReplicaStore>,
-    /// Session → (address, takeover trace) overrides learned from
+    /// Session → (address, takeover trace, epoch) overrides learned from
     /// `takeover` broadcasts; consulted before static placement when
     /// redirecting clients. The trace is the takeover's last-replicated
-    /// trace id, echoed on `moved` redirects.
-    routes: Mutex<HashMap<u64, (String, u64)>>,
+    /// trace id and the epoch the adopter's new ownership epoch, both
+    /// echoed on `moved` redirects so an epoch-aware client can tell a
+    /// mere wrong-peer redirect from a genuine ownership handoff.
+    routes: Mutex<HashMap<u64, (String, u64, u64)>>,
+    /// Session → highest ownership epoch this peer has witnessed, from
+    /// its own adoptions and from `takeover` broadcasts. The fence:
+    /// stamped peer traffic below the recorded epoch is rejected.
+    fences: Mutex<HashMap<u64, u64>>,
     last_heard: Mutex<Vec<Instant>>,
     peer_up: Vec<AtomicBool>,
     stop: AtomicBool,
@@ -301,6 +331,7 @@ pub struct Cluster {
     takeovers: Counter,
     journal_replicated: Counter,
     snapshots_shipped: Counter,
+    fenced: Counter,
     takeover_last_ms: Gauge,
 }
 
@@ -333,6 +364,7 @@ impl Cluster {
             outbound,
             replicas: Mutex::new(ReplicaStore::default()),
             routes: Mutex::new(HashMap::new()),
+            fences: Mutex::new(HashMap::new()),
             last_heard: Mutex::new(vec![Instant::now(); n]),
             peer_up: (0..n).map(|_| AtomicBool::new(true)).collect(),
             stop: AtomicBool::new(false),
@@ -340,6 +372,7 @@ impl Cluster {
             takeovers: Counter::new(),
             journal_replicated: Counter::new(),
             snapshots_shipped: Counter::new(),
+            fenced: Counter::new(),
             takeover_last_ms: Gauge::new(),
             config,
         });
@@ -423,22 +456,90 @@ impl Cluster {
         )
     }
 
-    /// Handles a streamed `journal-append`. Silent: returns no reply.
-    pub fn handle_journal_append(&self, from: usize, session: u64, entry: JournalEntry) {
-        self.note_heard(from);
-        let (seq, trace) = (entry.seq, entry.trace);
-        let accepted = self
-            .replicas
+    /// The fence check for one stamped peer verb: `Some(fence)` when the
+    /// write must be rejected because `epoch` is below the highest epoch
+    /// this peer has witnessed for `session`. Epoch 0 is the unfenced
+    /// legacy stamp and always passes, as does everything when fencing is
+    /// disabled. The fences map (own adoptions, witnessed takeovers) is
+    /// consulted first, then the replica store's high-water epoch.
+    fn fence_for(&self, session: u64, epoch: u64) -> Option<u64> {
+        if !self.config.fencing || epoch == 0 {
+            return None;
+        }
+        let fence = self
+            .fences
             .lock()
             .expect("cluster lock")
-            .append(session, entry);
+            .get(&session)
+            .copied()
+            .or_else(|| {
+                self.replicas
+                    .lock()
+                    .expect("cluster lock")
+                    .sessions
+                    .get(&session)
+                    .map(|r| r.epoch)
+            })?;
+        (epoch < fence).then_some(fence)
+    }
+
+    /// Counts one fenced rejection and records it on the flight recorder.
+    #[allow(clippy::too_many_arguments)]
+    fn reject_fenced(
+        &self,
+        verb: &str,
+        session: u64,
+        seq: u64,
+        trace: u64,
+        from: usize,
+        epoch: u64,
+        fence: u64,
+    ) {
+        self.fenced.inc();
+        crate::blackbox::blackbox().record(
+            "fenced",
+            session,
+            seq,
+            trace,
+            from as i64,
+            &format!("{verb} at stale epoch {epoch} < {fence}"),
+        );
+    }
+
+    /// Handles a streamed `journal-append`. Silent: returns no reply (an
+    /// error reply would desynchronize the sender's framing), so a fenced
+    /// append is rejected receiver-side: counted, recorded, dropped.
+    pub fn handle_journal_append(
+        &self,
+        from: usize,
+        session: u64,
+        entry: JournalEntry,
+        epoch: u64,
+    ) {
+        self.note_heard(from);
+        let (seq, trace) = (entry.seq, entry.trace);
+        if let Some(fence) = self.fence_for(session, epoch) {
+            self.reject_fenced("journal-append", session, seq, trace, from, epoch, fence);
+            return;
+        }
+        let accepted = {
+            let mut store = self.replicas.lock().expect("cluster lock");
+            let ok = store.append(session, entry);
+            if ok {
+                if let Some(r) = store.sessions.get_mut(&session) {
+                    r.epoch = r.epoch.max(epoch);
+                }
+            }
+            ok
+        };
         if accepted {
             crate::blackbox::blackbox().record("replicated", session, seq, trace, from as i64, "");
         }
     }
 
     /// Handles a streamed `snapshot-ship` (metadata upsert, snapshot
-    /// install, or drop). Silent: returns no reply.
+    /// install, or drop). Silent: returns no reply; stale-epoch ships are
+    /// fenced receiver-side like appends.
     #[allow(clippy::too_many_arguments)]
     pub fn handle_snapshot_ship(
         &self,
@@ -449,14 +550,24 @@ impl Cluster {
         through: u64,
         dropped: bool,
         trace: u64,
+        epoch: u64,
     ) {
         self.note_heard(from);
+        if let Some(fence) = self.fence_for(session, epoch) {
+            let verb = if dropped {
+                "snapshot-drop"
+            } else {
+                "snapshot-ship"
+            };
+            self.reject_fenced(verb, session, through, trace, from, epoch, fence);
+            return;
+        }
         let mut store = self.replicas.lock().expect("cluster lock");
         if dropped {
             store.drop_session(session);
             return;
         }
-        store.upsert_meta(from, session, meta);
+        store.upsert_meta(from, session, meta, epoch);
         store.snapshot(session, through, snapshot, trace);
     }
 
@@ -466,40 +577,54 @@ impl Cluster {
     }
 
     /// Handles a `takeover` broadcast: records the adopted sessions' new
-    /// home for `moved` redirects, forgets any replica state for them
-    /// (their new primary re-replicates from scratch), and — split-brain
-    /// resolution — closes any of them this peer still hosts live, with
-    /// a `Moved` update pointing subscribers at the adopter.
+    /// home for `moved` redirects and their new ownership epochs in the
+    /// fence map, forgets any replica state for them (their new primary
+    /// re-replicates from scratch), and — split-brain resolution — closes
+    /// any of them this peer still hosts live, with a `Moved` update
+    /// pointing subscribers at the adopter. That close is the demotion
+    /// path: a zombie primary hearing a takeover at a higher epoch yields
+    /// the session and serves redirects only.
     pub fn handle_takeover(
         &self,
         from: usize,
         addr: &str,
         sessions: &[u64],
         traces: &[u64],
+        epochs: &[u64],
     ) -> String {
         self.note_heard(from);
         {
             let mut routes = self.routes.lock().expect("cluster lock");
             let mut store = self.replicas.lock().expect("cluster lock");
+            let mut fences = self.fences.lock().expect("cluster lock");
             for (i, &sid) in sessions.iter().enumerate() {
                 let trace = traces.get(i).copied().unwrap_or(0);
-                routes.insert(sid, (addr.to_string(), trace));
+                let epoch = epochs.get(i).copied().unwrap_or(0);
+                routes.insert(sid, (addr.to_string(), trace, epoch));
                 store.drop_session(sid);
+                if epoch > 0 {
+                    let f = fences.entry(sid).or_insert(0);
+                    *f = (*f).max(epoch);
+                }
                 crate::blackbox::blackbox().record(
                     "takeover",
                     sid,
                     0,
                     trace,
                     from as i64,
-                    &format!("adopted by {addr}"),
+                    &format!("adopted by {addr} at epoch {epoch}"),
                 );
             }
         }
         for (i, &sid) in sessions.iter().enumerate() {
             // The takeover wins: if we still host the session (we were
             // partitioned, not dead), our copy yields.
-            self.server
-                .close_moved(sid, addr, traces.get(i).copied().unwrap_or(0));
+            self.server.close_moved(
+                sid,
+                addr,
+                traces.get(i).copied().unwrap_or(0),
+                epochs.get(i).copied().unwrap_or(0),
+            );
         }
         protocol::takeover_ack_line(sessions.len())
     }
@@ -507,11 +632,13 @@ impl Cluster {
     /// Where a session the server does not host lives, if the cluster
     /// knows: takeover routes first, then the replica store's record of
     /// who ships to us, then static placement. The second element is the
-    /// takeover trace id for route-table hits (0 otherwise), echoed on
+    /// takeover trace id for route-table hits (0 otherwise) and the third
+    /// the owner's epoch where known (0 otherwise), both echoed on
     /// `moved` redirects.
-    pub fn redirect_for(&self, session: u64) -> Option<(String, u64)> {
-        if let Some((addr, trace)) = self.routes.lock().expect("cluster lock").get(&session) {
-            return Some((addr.clone(), *trace));
+    pub fn redirect_for(&self, session: u64) -> Option<(String, u64, u64)> {
+        if let Some((addr, trace, epoch)) = self.routes.lock().expect("cluster lock").get(&session)
+        {
+            return Some((addr.clone(), *trace, *epoch));
         }
         if let Some(r) = self
             .replicas
@@ -520,19 +647,56 @@ impl Cluster {
             .sessions
             .get(&session)
         {
-            return Some((self.config.peers[r.from].clone(), 0));
+            return Some((self.config.peers[r.from].clone(), 0, r.epoch));
         }
         let (primary, _) = place(session, self.config.peers.len());
         if primary != self.config.peer_index {
-            return Some((self.config.peers[primary].clone(), 0));
+            return Some((self.config.peers[primary].clone(), 0, 0));
         }
         None
     }
 
     /// Declares `peer` dead: adopts every session it replicated to us
     /// and broadcasts the takeover to the surviving peers.
+    ///
+    /// Guarded by a majority quorum for groups of three or more: a peer
+    /// that can reach at most half the group is on the minority side of a
+    /// partition, and adopting there would fork session history (both
+    /// sides serving the same session). The minority peer marks the
+    /// silent peer down but keeps its replica state untouched, so the
+    /// majority side's takeover — and the backlog that flushes at heal —
+    /// lands on intact state. Two-peer groups keep the old always-adopt
+    /// behavior: with n = 2 there is no majority to defer to.
+    ///
+    /// Reachability is judged by heartbeat *recency*, not by whether a
+    /// peer's own takeover timer has fired yet: when one partition cuts
+    /// several links at once, the timers expire milliseconds apart, and
+    /// counting a peer as "up" merely because its timer is still pending
+    /// would let the isolated side adopt through the gap.
     fn declare_dead(&self, peer: usize) {
         self.peer_up[peer].store(false, Ordering::Relaxed);
+        let n = self.config.peers.len();
+        let me = self.config.peer_index;
+        let now = Instant::now();
+        let fresh = self.config.takeover / 2;
+        let up = {
+            let heard = self.last_heard.lock().expect("cluster lock");
+            (0..n)
+                .filter(|&p| {
+                    p == me
+                        || (p != peer
+                            && self.peer_up[p].load(Ordering::Relaxed)
+                            && now.saturating_duration_since(heard[p]) < fresh)
+                })
+                .count()
+        };
+        if n >= 3 && up * 2 <= n {
+            eprintln!(
+                "cluster: peer {peer} silent, but only {up}/{n} peers heard from recently — \
+                 minority side of a partition, refusing takeover"
+            );
+            return;
+        }
         let started = Instant::now();
         let victims = self.replicas.lock().expect("cluster lock").drain_from(peer);
         if victims.is_empty() {
@@ -543,6 +707,17 @@ impl Cluster {
         // broadcast so every survivor — and the `moved` redirects they
         // serve — can stitch the failover into the same causal trace.
         let traces: Vec<u64> = victims.iter().map(|(_, r)| r.last_trace()).collect();
+        // Adoption bumps each session past the highest epoch its old
+        // owner was seen writing at; recording the new epoch in the fence
+        // map is what rejects the zombie's backlog when the wire heals.
+        let epochs: Vec<u64> = victims.iter().map(|(_, r)| r.epoch.max(1) + 1).collect();
+        {
+            let mut fences = self.fences.lock().expect("cluster lock");
+            for (i, sid) in sids.iter().enumerate() {
+                let f = fences.entry(*sid).or_insert(0);
+                *f = (*f).max(epochs[i]);
+            }
+        }
         // Broadcast intent *before* adopting: surviving peers must
         // process the takeover (dropping their stale replica state for
         // these sessions) before the adoption's own re-replication
@@ -555,8 +730,13 @@ impl Cluster {
                 routes.remove(sid);
             }
         }
-        let line =
-            protocol::takeover_request(self.config.peer_index, self.my_addr(), &sids, &traces);
+        let line = protocol::takeover_request(
+            self.config.peer_index,
+            self.my_addr(),
+            &sids,
+            &traces,
+            &epochs,
+        );
         for tx in self.outbound.iter().flatten() {
             if tx.send(line.clone()).is_ok() {
                 self.lag.fetch_add(1, Ordering::Relaxed);
@@ -569,20 +749,26 @@ impl Cluster {
                 r.through,
                 traces[i],
                 peer as i64,
-                "peer dead, adopting",
+                &format!("peer dead, adopting at epoch {}", epochs[i]),
             );
             let snapshot = r.snapshot.map(|w| (r.through, *w));
-            match self.server.adopt(sid, &r.meta, snapshot, r.entries) {
+            match self
+                .server
+                .adopt(sid, &r.meta, snapshot, r.entries, epochs[i])
+            {
                 Ok(last_seq) => {
                     self.takeovers.inc();
-                    eprintln!("cluster: peer {peer} dead, adopted session {sid} at seq {last_seq}");
+                    eprintln!(
+                        "cluster: peer {peer} dead, adopted session {sid} at seq {last_seq} \
+                         epoch {}",
+                        epochs[i]
+                    );
                 }
                 Err(e) => eprintln!("cluster: takeover of session {sid} failed: {e}"),
             }
         }
         // Post-mortem: dump what the adopter knows of the victim's
         // sessions (replicated seqs, trace ids, the adoption itself).
-        let me = self.config.peer_index;
         let bb = crate::blackbox::blackbox();
         let path = format!("BLACKBOX_peer{me}_adopts_peer{peer}.ndjson");
         bb.dump_records_to(std::path::Path::new(&path), &bb.snapshot_for(&sids));
@@ -594,6 +780,11 @@ impl Cluster {
     /// Sessions adopted from dead peers, cumulatively.
     pub fn takeovers_total(&self) -> u64 {
         self.takeovers.get()
+    }
+
+    /// Stale-epoch peer writes rejected by the fence, cumulatively.
+    pub fn fenced_total(&self) -> u64 {
+        self.fenced.get()
     }
 
     /// Renders the `elm_cluster_*` metric families as Prometheus text.
@@ -620,6 +811,24 @@ impl Cluster {
                 &[("peer", &p)],
                 up,
             );
+        }
+        {
+            // Heartbeat recency per peer: rises during a partition long
+            // before the takeover deadline fires, so operators see the
+            // onset, not just the verdict.
+            let heard = self.last_heard.lock().expect("cluster lock");
+            for (i, _) in self.config.peers.iter().enumerate() {
+                if i == self.config.peer_index {
+                    continue;
+                }
+                let p = i.to_string();
+                reg.gauge(
+                    "elm_cluster_heartbeat_age_ms",
+                    "Milliseconds since the last line heard from the peer.",
+                    &[("peer", &p)],
+                    heard[i].elapsed().as_millis() as i64,
+                );
+            }
         }
         reg.gauge(
             "elm_cluster_sessions_primary",
@@ -651,6 +860,31 @@ impl Cluster {
             &[],
             self.replicas.lock().expect("cluster lock").gaps,
         );
+        reg.counter(
+            "elm_cluster_fenced_total",
+            "Stale-epoch peer writes rejected by the ownership fence.",
+            &[],
+            self.fenced.get(),
+        );
+        {
+            let mut fenced: Vec<(u64, u64)> = self
+                .fences
+                .lock()
+                .expect("cluster lock")
+                .iter()
+                .map(|(&sid, &epoch)| (sid, epoch))
+                .collect();
+            fenced.sort_unstable();
+            for (sid, epoch) in fenced {
+                let s = sid.to_string();
+                reg.gauge(
+                    "elm_cluster_epoch",
+                    "Highest ownership epoch witnessed per session (present once a takeover fences it).",
+                    &[("session", &s)],
+                    epoch as i64,
+                );
+            }
+        }
         reg.gauge(
             "elm_cluster_replication_lag_entries",
             "Outbound replication lines queued across all peer links.",
@@ -716,13 +950,21 @@ fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
     let mut meta: HashMap<u64, SessionMeta> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            RepMsg::Open { session, meta: m } => {
-                let line = protocol::snapshot_ship_request(me, session, &m, None, 0, 0);
+            RepMsg::Open {
+                session,
+                meta: m,
+                epoch,
+            } => {
+                let line = protocol::snapshot_ship_request(me, session, &m, None, 0, 0, epoch);
                 meta.insert(session, m);
                 cluster.ship(session, line);
             }
-            RepMsg::Append { session, entry } => {
-                let line = protocol::journal_append_request(me, session, &entry);
+            RepMsg::Append {
+                session,
+                entry,
+                epoch,
+            } => {
+                let line = protocol::journal_append_request(me, session, &entry, epoch);
                 if cluster.ship(session, line) {
                     cluster.journal_replicated.inc();
                 }
@@ -732,6 +974,7 @@ fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
                 through,
                 wire,
                 trace,
+                epoch,
             } => {
                 if let Some(m) = meta.get(&session) {
                     let line = protocol::snapshot_ship_request(
@@ -741,15 +984,16 @@ fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
                         wire.as_deref(),
                         through,
                         trace,
+                        epoch,
                     );
                     if cluster.ship(session, line) {
                         cluster.snapshots_shipped.inc();
                     }
                 }
             }
-            RepMsg::Drop { session } => {
+            RepMsg::Drop { session, epoch } => {
                 meta.remove(&session);
-                cluster.ship(session, protocol::snapshot_drop_request(me, session));
+                cluster.ship(session, protocol::snapshot_drop_request(me, session, epoch));
             }
         }
     }
@@ -759,10 +1003,18 @@ fn run_router(cluster: Arc<Cluster>, rx: Receiver<RepMsg>) {
 /// backoff), introduces itself with `hello`, then forwards queued lines —
 /// injecting a `heartbeat` whenever the queue stays idle for a heartbeat
 /// interval, so the link doubles as the liveness signal.
+///
+/// When a [`crate::netfault::NetFault`] proxy is configured, every line
+/// passes through it first. A scheduled partition *retains* the current
+/// line (the inner loop spins until the window closes), so the channel
+/// queues behind it exactly as it does for a dead peer — FIFO order
+/// survives the cut, and the backlog flushes in order at heal. Random
+/// faults (delay, drop, duplicate, reorder) shape individual deliveries.
 fn run_outbound(cluster: Arc<Cluster>, peer: usize, rx: Receiver<String>) {
     let me = cluster.config.peer_index;
     let addr = cluster.config.peers[peer].clone();
     let hello = protocol::hello_request(me, cluster.my_addr());
+    let netfault = cluster.config.netfault.clone();
     let mut rng =
         StdRng::seed_from_u64(0x0063_6c75_7374_6572_u64 ^ ((me as u64) << 8) ^ peer as u64);
     let mut attempt = 0u32;
@@ -779,6 +1031,16 @@ fn run_outbound(cluster: Arc<Cluster>, peer: usize, rx: Receiver<String>) {
         loop {
             if cluster.stop.load(Ordering::Relaxed) {
                 return;
+            }
+            if let Some(nf) = &netfault {
+                if nf.partitioned(me, peer) {
+                    // Retain the line and retry after the window; also
+                    // drop the connection so the heal starts with a
+                    // fresh hello'd link.
+                    conn = None;
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
             }
             if conn.is_none() {
                 match TcpStream::connect(&addr) {
@@ -801,10 +1063,25 @@ fn run_outbound(cluster: Arc<Cluster>, peer: usize, rx: Receiver<String>) {
                     }
                 }
             }
-            match write_line(conn.as_mut().expect("connected"), &line) {
-                Ok(()) => break,
-                Err(_) => conn = None, // reconnect and resend this line
+            let delivery = match &netfault {
+                Some(nf) => nf.process(me, peer, &line),
+                None => crate::netfault::Delivery::passthrough(&line),
+            };
+            if !delivery.delay.is_zero() {
+                thread::sleep(delivery.delay);
             }
+            let stream = conn.as_mut().expect("connected");
+            let mut wrote = true;
+            for l in &delivery.lines {
+                if write_line(stream, l).is_err() {
+                    wrote = false;
+                    break;
+                }
+            }
+            if wrote {
+                break;
+            }
+            conn = None; // reconnect and resend this line
         }
     }
 }
@@ -898,7 +1175,7 @@ mod tests {
         assert!(!store.append(5, entry(1)));
         assert_eq!(store.gaps, 1);
 
-        store.upsert_meta(1, 5, meta());
+        store.upsert_meta(1, 5, meta(), 1);
         for seq in 1..=4 {
             assert!(store.append(5, entry(seq)));
         }
@@ -923,7 +1200,7 @@ mod tests {
     #[test]
     fn replica_tracks_the_last_replicated_trace_across_snapshots() {
         let mut store = ReplicaStore::default();
-        store.upsert_meta(1, 9, meta());
+        store.upsert_meta(1, 9, meta(), 1);
         // No entries, no snapshot: nothing to continue from.
         assert_eq!(store.sessions[&9].last_trace(), 0);
 
@@ -946,9 +1223,9 @@ mod tests {
     #[test]
     fn replica_store_drains_by_hosting_peer() {
         let mut store = ReplicaStore::default();
-        store.upsert_meta(0, 1, meta());
-        store.upsert_meta(2, 2, meta());
-        store.upsert_meta(0, 3, meta());
+        store.upsert_meta(0, 1, meta(), 1);
+        store.upsert_meta(2, 2, meta(), 1);
+        store.upsert_meta(0, 3, meta(), 1);
         let mut adopted: Vec<u64> = store.drain_from(0).into_iter().map(|(id, _)| id).collect();
         adopted.sort_unstable();
         assert_eq!(adopted, vec![1, 3]);
@@ -959,13 +1236,111 @@ mod tests {
     #[test]
     fn tap_is_a_no_op_until_installed() {
         let tap = ReplicationTap::new();
-        tap.send(RepMsg::Drop { session: 1 }); // must not panic or block
+        tap.send(RepMsg::Drop {
+            session: 1,
+            epoch: 1,
+        }); // must not panic or block
         let (tx, rx) = mpsc::channel();
         tap.install(tx);
-        tap.send(RepMsg::Drop { session: 2 });
+        tap.send(RepMsg::Drop {
+            session: 2,
+            epoch: 1,
+        });
         match rx.try_recv() {
-            Ok(RepMsg::Drop { session: 2 }) => {}
+            Ok(RepMsg::Drop { session: 2, .. }) => {}
             other => panic!("expected the installed tap to deliver, got {other:?}"),
         }
+    }
+
+    /// A cluster whose peers point at an unroutable port: outbound links
+    /// just back off, which is all these receiver-side tests need.
+    fn offline_cluster(n: usize) -> Arc<Cluster> {
+        let server = Arc::new(Server::start(crate::server::ServerConfig::default()));
+        let mut config = ClusterConfig::new(0, vec!["127.0.0.1:1".to_string(); n]);
+        config.takeover = Duration::from_secs(3600); // monitor never fires
+        Cluster::start(server, config)
+    }
+
+    #[test]
+    fn stale_epoch_traffic_is_fenced_and_counted() {
+        let cluster = offline_cluster(2);
+
+        // Peer 1 replicates session 5 at epoch 1: accepted.
+        cluster.handle_snapshot_ship(1, 5, meta(), None, 0, false, 0, 1);
+        cluster.handle_journal_append(1, 5, entry(1), 1);
+        assert_eq!(cluster.fenced_total(), 0);
+
+        // A witnessed takeover fences the session at epoch 2. The stale
+        // owner's flushed backlog is rejected and counted — and does NOT
+        // land in the gap counter (it is a fence, not a stream tear).
+        cluster.handle_takeover(1, "127.0.0.1:9", &[5], &[0], &[2]);
+        cluster.handle_journal_append(1, 5, entry(2), 1);
+        cluster.handle_snapshot_ship(1, 5, meta(), None, 2, false, 0, 1);
+        cluster.handle_snapshot_ship(1, 5, meta(), None, 0, true, 0, 1);
+        assert_eq!(cluster.fenced_total(), 3);
+        assert_eq!(cluster.replicas.lock().unwrap().gaps, 0);
+
+        // Traffic at or above the fence passes; the new owner's stream
+        // re-establishes the replica.
+        cluster.handle_snapshot_ship(1, 5, meta(), None, 0, false, 0, 2);
+        cluster.handle_journal_append(1, 5, entry(1), 2);
+        assert_eq!(cluster.fenced_total(), 3);
+        assert_eq!(cluster.replicas.lock().unwrap().sessions[&5].epoch, 2);
+
+        // Epoch 0 is the legacy unfenced stamp: never rejected.
+        cluster.handle_journal_append(1, 5, entry(2), 0);
+        assert_eq!(cluster.fenced_total(), 3);
+
+        let text = cluster.render_metrics(0);
+        assert!(text.contains("elm_cluster_fenced_total 3"), "{text}");
+        assert!(
+            text.contains("elm_cluster_epoch{session=\"5\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("elm_cluster_heartbeat_age_ms"), "{text}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn fencing_disabled_lets_stale_epochs_tear_the_stream() {
+        let cluster = {
+            let server = Arc::new(Server::start(crate::server::ServerConfig::default()));
+            let mut config = ClusterConfig::new(0, vec!["127.0.0.1:1".to_string(); 2]);
+            config.takeover = Duration::from_secs(3600);
+            config.fencing = false;
+            Cluster::start(server, config)
+        };
+        cluster.handle_snapshot_ship(1, 5, meta(), None, 0, false, 0, 1);
+        cluster.handle_journal_append(1, 5, entry(1), 1);
+        cluster.handle_takeover(1, "127.0.0.1:9", &[5], &[0], &[2]);
+        // Unfenced, the zombie's backlog hits the dropped session and
+        // registers as a replication gap — the divergence signal the
+        // partition verdict (and this regression) exists to catch.
+        cluster.handle_journal_append(1, 5, entry(2), 1);
+        assert_eq!(cluster.fenced_total(), 0);
+        assert_eq!(cluster.replicas.lock().unwrap().gaps, 1);
+        cluster.stop();
+    }
+
+    #[test]
+    fn minority_side_refuses_takeover_and_keeps_replica_state() {
+        let cluster = offline_cluster(3);
+        cluster.handle_snapshot_ship(2, 7, meta(), None, 0, false, 0, 1);
+
+        // First silence: 2 of 3 reachable — still the majority side, but
+        // peer 1 hosted nothing here, so nothing is adopted.
+        cluster.declare_dead(1);
+        assert_eq!(cluster.takeovers_total(), 0);
+
+        // Second silence: only this peer reachable (1 of 3) — minority
+        // side of a partition. The takeover must be refused and the
+        // replica state for session 7 kept intact, so the majority's
+        // re-replication (or the heal) finds it contiguous.
+        cluster.declare_dead(2);
+        assert_eq!(cluster.takeovers_total(), 0);
+        let text = cluster.render_metrics(0);
+        assert!(text.contains("elm_cluster_sessions_replica 1"), "{text}");
+        assert!(cluster.fences.lock().unwrap().is_empty());
+        cluster.stop();
     }
 }

@@ -49,6 +49,7 @@ pub mod client;
 pub mod cluster;
 pub mod metrics;
 pub mod net;
+pub mod netfault;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -61,6 +62,7 @@ pub use blackbox::{blackbox, Blackbox, BlackboxRecord};
 pub use client::{Client, ClusterClient, RetryPolicy, RetryStats};
 pub use cluster::{place, Cluster, ClusterConfig, RepMsg, ReplicationTap};
 pub use net::{NetConfig, NetCounters};
+pub use netfault::{Delivery, NetFault, NetFaultConfig, PartitionWindow};
 pub use protocol::{
     AdmissionStats, BackpressurePolicy, BatchOutcome, EnqueueOutcome, IngressStats, LatencySummary,
     OpenInfo, QueryInfo, RecoveryStats, Request, ServerStats, SessionMeta, SessionStats, TrapStats,

@@ -474,7 +474,22 @@ pub fn federate(scrapes: &[(usize, Option<String>)]) -> String {
                 // (when it precedes the first space) opens the label set.
                 let rewritten = match line.find('{') {
                     Some(i) if !line[..i].contains(' ') => {
-                        format!("{}{{{peer_label},{}", &line[..i], &line[i + 1..])
+                        // A sample that already carries a `peer` label (the
+                        // cluster's own `elm_cluster_peer_up` /
+                        // `elm_cluster_heartbeat_age_ms` gauges) would end up
+                        // with a duplicate label name once the federation
+                        // label is prepended; shift the inbound one to
+                        // `exported_peer`, Prometheus's own convention for
+                        // federation collisions.
+                        let labels = line[i + 1..]
+                            .split(',')
+                            .map(|l| match l.strip_prefix("peer=") {
+                                Some(rest) => format!("exported_peer={rest}"),
+                                None => l.to_string(),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("{}{{{peer_label},{labels}", &line[..i])
                     }
                     _ => match line.split_once(' ') {
                         Some((name, value)) => format!("{name}{{{peer_label}}} {value}"),
@@ -722,7 +737,10 @@ mod tests {
         let b = "# HELP elm_events_total Events.\n# TYPE elm_events_total counter\n\
                  elm_events_total{session=\"2\"} 7\n\
                  # HELP elm_only_b_total B-only.\n# TYPE elm_only_b_total counter\n\
-                 elm_only_b_total 3\n"
+                 elm_only_b_total 3\n\
+                 # HELP elm_cluster_heartbeat_age_ms Ms since the peer spoke.\n\
+                 # TYPE elm_cluster_heartbeat_age_ms gauge\n\
+                 elm_cluster_heartbeat_age_ms{peer=\"0\"} 12\n"
             .to_string();
         let text = federate(&[(0, Some(a)), (1, Some(b)), (2, None)]);
         // Samples from every peer grouped under one first-seen header.
@@ -742,6 +760,13 @@ mod tests {
         // Label-less samples gain a label set holding only `peer`.
         assert!(text.contains("elm_events_total{peer=\"0\"} 4"), "{text}");
         assert!(text.contains("elm_only_b_total{peer=\"1\"} 3"), "{text}");
+        // The heartbeat-age gauge already carries a `peer` label naming the
+        // *observed* peer; federation must keep both without a duplicate
+        // label name, renaming the inbound one to `exported_peer`.
+        assert!(
+            text.contains("elm_cluster_heartbeat_age_ms{peer=\"1\",exported_peer=\"0\"} 12"),
+            "{text}"
+        );
         // Reachability is part of the exposition.
         assert!(
             text.contains("elm_cluster_federation_peer_up{peer=\"0\"} 1"),

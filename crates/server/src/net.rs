@@ -596,8 +596,9 @@ fn dispatch(
             addr,
             sessions,
             traces,
+            epochs,
         } => match server.cluster() {
-            Some(cluster) => cluster.handle_takeover(from, &addr, &sessions, &traces),
+            Some(cluster) => cluster.handle_takeover(from, &addr, &sessions, &traces, &epochs),
             None => protocol::err_line("not in cluster mode"),
         },
         // Streamed verbs are silent even outside cluster mode: they are
@@ -607,9 +608,10 @@ fn dispatch(
             from,
             session,
             entry,
+            epoch,
         } => {
             if let Some(cluster) = server.cluster() {
-                cluster.handle_journal_append(from, session, entry);
+                cluster.handle_journal_append(from, session, entry, epoch);
             }
             String::new()
         }
@@ -621,10 +623,12 @@ fn dispatch(
             through,
             dropped,
             trace,
+            epoch,
         } => {
             if let Some(cluster) = server.cluster() {
-                cluster
-                    .handle_snapshot_ship(from, session, meta, snapshot, through, dropped, trace);
+                cluster.handle_snapshot_ship(
+                    from, session, meta, snapshot, through, dropped, trace, epoch,
+                );
             }
             String::new()
         }
@@ -641,8 +645,8 @@ fn dispatch(
 /// cluster knows (or can compute) where the session lives now.
 fn err_or_moved(server: &Arc<Server>, session: u64, e: String) -> String {
     if e.starts_with("unknown session") {
-        if let Some((peer, trace)) = server.cluster().and_then(|c| c.redirect_for(session)) {
-            return protocol::moved_line(session, &peer, trace);
+        if let Some((peer, trace, epoch)) = server.cluster().and_then(|c| c.redirect_for(session)) {
+            return protocol::moved_line(session, &peer, trace, epoch);
         }
     }
     protocol::err_line(&e)

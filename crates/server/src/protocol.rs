@@ -131,6 +131,10 @@ pub enum Request {
         session: u64,
         /// The journaled event, exactly as the primary applied it.
         entry: JournalEntry,
+        /// The sender's ownership epoch for the session (0 = a pre-epoch
+        /// sender; accepted for compatibility). Receivers fence the
+        /// append when the epoch is below the highest they have seen.
+        epoch: u64,
     },
     /// Peer verb: session metadata plus (optionally) a state snapshot.
     /// Sent at open (no snapshot yet), after every primary-side snapshot
@@ -153,6 +157,10 @@ pub enum Request {
         /// untraced): a resumed session's first recovery span can point
         /// back at the trace that produced the state it resumed from.
         trace: u64,
+        /// The sender's ownership epoch for the session (0 = pre-epoch
+        /// sender). Stale-epoch ships — including `dropped:true`, which
+        /// would otherwise erase the new owner's replica — are fenced.
+        epoch: u64,
     },
     /// Peer verb: liveness signal on an otherwise-idle replication link.
     /// Streamed fire-and-forget: **no reply line**.
@@ -176,6 +184,11 @@ pub enum Request {
         /// `moved` redirects so a client's retry joins the same trace the
         /// takeover continued.
         traces: Vec<u64>,
+        /// Per-session ownership epoch the adopter now serves under
+        /// (parallel to `sessions`, 0 = pre-epoch sender). Receivers
+        /// record it as the fence: any later traffic for the session at a
+        /// lower epoch is a zombie's and is rejected.
+        epochs: Vec<u64>,
     },
 }
 
@@ -333,6 +346,12 @@ pub struct QueryInfo {
     /// running (panicked nodes emit `NoChange` forever, paper §3.3.2);
     /// only an exhausted restart budget evicts it.
     pub poisoned: bool,
+    /// The session's current ownership epoch (1 at open, bumped on every
+    /// takeover adoption). Clients compare epochs across peers: during a
+    /// partition both sides of a split may answer, but only one answers
+    /// at the highest epoch — the split-brain probe and the client's
+    /// stale-peer detector both key on this field.
+    pub epoch: u64,
 }
 
 /// Reply to `describe`.
@@ -773,6 +792,7 @@ impl Request {
                     value: plain_value(&json, "value")?,
                     trace: opt_u64(&json, "trace"),
                 },
+                epoch: opt_u64(&json, "epoch"),
             }),
             "snapshot-ship" => {
                 let dropped = matches!(json.get("dropped"), Some(Json::Bool(true)));
@@ -814,6 +834,7 @@ impl Request {
                     through: req_u64(&json, "through")?,
                     dropped,
                     trace: opt_u64(&json, "trace"),
+                    epoch: opt_u64(&json, "epoch"),
                 })
             }
             "heartbeat" => Ok(Request::Heartbeat {
@@ -827,7 +848,7 @@ impl Request {
                     .iter()
                     .map(|s| as_u64(s).ok_or("non-integer session id in \"sessions\""))
                     .collect::<Result<Vec<u64>, _>>()?;
-                // Optional parallel trace array (absent from pre-trace
+                // Optional parallel trace/epoch arrays (absent from older
                 // senders): pad/truncate to the session list's length.
                 let mut traces: Vec<u64> = json
                     .get("traces")
@@ -835,11 +856,18 @@ impl Request {
                     .map(|seq| seq.iter().map(|t| as_u64(t).unwrap_or(0)).collect())
                     .unwrap_or_default();
                 traces.resize(sessions.len(), 0);
+                let mut epochs: Vec<u64> = json
+                    .get("epochs")
+                    .and_then(Json::as_seq)
+                    .map(|seq| seq.iter().map(|t| as_u64(t).unwrap_or(0)).collect())
+                    .unwrap_or_default();
+                epochs.resize(sessions.len(), 0);
                 Ok(Request::Takeover {
                     from: req_u64(&json, "from")? as usize,
                     addr: opt_str(&json, "addr").ok_or("missing string field \"addr\"")?,
                     sessions,
                     traces,
+                    epochs,
                 })
             }
             other => Err(format!("unknown cmd '{other}'")),
@@ -922,6 +950,7 @@ pub fn query_line(info: &QueryInfo) -> String {
         ("queue_len", Json::U64(info.queue_len)),
         ("last_seq", Json::U64(info.last_seq)),
         ("poisoned", Json::Bool(info.poisoned)),
+        ("epoch", Json::U64(info.epoch)),
     ])
 }
 
@@ -1023,18 +1052,24 @@ pub fn update_line(update: &Update) -> String {
     }
 }
 
-/// `{"ok":false,"error":"moved","session":…,"peer":…,"trace":…}` — the
-/// typed redirect for a request that reached the wrong cluster peer.
-/// Clients reconnect to `peer` and repeat the request there. `trace` is
-/// the takeover's last-replicated trace id for the session (0 when
-/// unknown), tying the redirect hop into the same causal story.
-pub fn moved_line(session: u64, peer: &str, trace: u64) -> String {
+/// `{"ok":false,"error":"moved","session":…,"peer":…,"trace":…,"epoch":…}`
+/// — the typed redirect for a request that reached the wrong cluster
+/// peer. Clients reconnect to `peer` and repeat the request there.
+/// `trace` is the takeover's last-replicated trace id for the session (0
+/// when unknown), tying the redirect hop into the same causal story.
+/// `epoch` is the owner's ownership epoch where the redirecting peer
+/// knows it (0 otherwise): an epoch above what the client has witnessed
+/// marks a genuine ownership handoff, not a mere wrong-peer bounce, so
+/// epoch-aware clients resynchronize before resending non-idempotent
+/// requests.
+pub fn moved_line(session: u64, peer: &str, trace: u64, epoch: u64) -> String {
     line(obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str("moved".to_string())),
         ("session", Json::U64(session)),
         ("peer", Json::Str(peer.to_string())),
         ("trace", Json::U64(trace)),
+        ("epoch", Json::U64(epoch)),
     ]))
 }
 
@@ -1072,8 +1107,14 @@ pub fn hello_request(from: usize, addr: &str) -> String {
     ]))
 }
 
-/// Renders an outbound peer `journal-append` request line.
-pub fn journal_append_request(from: usize, session: u64, entry: &JournalEntry) -> String {
+/// Renders an outbound peer `journal-append` request line. `epoch` is
+/// the sender's ownership epoch for the session.
+pub fn journal_append_request(
+    from: usize,
+    session: u64,
+    entry: &JournalEntry,
+    epoch: u64,
+) -> String {
     line(obj(vec![
         ("cmd", Json::Str("journal-append".to_string())),
         ("from", Json::U64(from as u64)),
@@ -1082,10 +1123,12 @@ pub fn journal_append_request(from: usize, session: u64, entry: &JournalEntry) -
         ("input", Json::Str(entry.input.clone())),
         ("value", to_json(&entry.value)),
         ("trace", Json::U64(entry.trace)),
+        ("epoch", Json::U64(epoch)),
     ]))
 }
 
-/// Renders an outbound peer `snapshot-ship` request line.
+/// Renders an outbound peer `snapshot-ship` request line. `epoch` is
+/// the sender's ownership epoch for the session.
 pub fn snapshot_ship_request(
     from: usize,
     session: u64,
@@ -1093,6 +1136,7 @@ pub fn snapshot_ship_request(
     snapshot: Option<&WireSnapshot>,
     through: u64,
     trace: u64,
+    epoch: u64,
 ) -> String {
     let mut fields = vec![
         ("cmd", Json::Str("snapshot-ship".to_string())),
@@ -1103,6 +1147,7 @@ pub fn snapshot_ship_request(
         ("policy", Json::Str(meta.policy.label().to_string())),
         ("through", Json::U64(through)),
         ("trace", Json::U64(trace)),
+        ("epoch", Json::U64(epoch)),
     ];
     if let Some(src) = &meta.source {
         fields.push(("source", Json::Str(src.clone())));
@@ -1114,13 +1159,16 @@ pub fn snapshot_ship_request(
 }
 
 /// Renders an outbound peer `snapshot-ship` drop line (`dropped:true`).
-pub fn snapshot_drop_request(from: usize, session: u64) -> String {
+/// `epoch` fences stale drops: a zombie primary's close must not erase
+/// the adopter's replica state.
+pub fn snapshot_drop_request(from: usize, session: u64, epoch: u64) -> String {
     line(obj(vec![
         ("cmd", Json::Str("snapshot-ship".to_string())),
         ("from", Json::U64(from as u64)),
         ("session", Json::U64(session)),
         ("through", Json::U64(0)),
         ("dropped", Json::Bool(true)),
+        ("epoch", Json::U64(epoch)),
     ]))
 }
 
@@ -1133,8 +1181,16 @@ pub fn heartbeat_request(from: usize) -> String {
 }
 
 /// Renders an outbound peer `takeover` broadcast line. `traces` is the
-/// per-session last-replicated trace id, parallel to `sessions`.
-pub fn takeover_request(from: usize, addr: &str, sessions: &[u64], traces: &[u64]) -> String {
+/// per-session last-replicated trace id and `epochs` the per-session
+/// ownership epoch the adopter now serves under, both parallel to
+/// `sessions`.
+pub fn takeover_request(
+    from: usize,
+    addr: &str,
+    sessions: &[u64],
+    traces: &[u64],
+    epochs: &[u64],
+) -> String {
     line(obj(vec![
         ("cmd", Json::Str("takeover".to_string())),
         ("from", Json::U64(from as u64)),
@@ -1146,6 +1202,10 @@ pub fn takeover_request(from: usize, addr: &str, sessions: &[u64], traces: &[u64
         (
             "traces",
             Json::Seq(traces.iter().map(|&t| Json::U64(t)).collect()),
+        ),
+        (
+            "epochs",
+            Json::Seq(epochs.iter().map(|&e| Json::U64(e)).collect()),
         ),
     ]))
 }
@@ -1432,11 +1492,12 @@ mod tests {
             trace: 77,
         };
         assert_eq!(
-            Request::parse(&journal_append_request(0, 5, &entry)).unwrap(),
+            Request::parse(&journal_append_request(0, 5, &entry, 3)).unwrap(),
             Request::JournalAppend {
                 from: 0,
                 session: 5,
                 entry,
+                epoch: 3,
             }
         );
 
@@ -1446,7 +1507,7 @@ mod tests {
             queue: 64,
             policy: BackpressurePolicy::Coalesce,
         };
-        let shipped = Request::parse(&snapshot_ship_request(1, 5, &meta, None, 0, 42)).unwrap();
+        let shipped = Request::parse(&snapshot_ship_request(1, 5, &meta, None, 0, 42, 2)).unwrap();
         assert_eq!(
             shipped,
             Request::SnapshotShip {
@@ -1457,36 +1518,57 @@ mod tests {
                 through: 0,
                 dropped: false,
                 trace: 42,
+                epoch: 2,
             }
         );
 
-        let dropped = Request::parse(&snapshot_drop_request(1, 5)).unwrap();
+        let dropped = Request::parse(&snapshot_drop_request(1, 5, 4)).unwrap();
         assert!(matches!(
             dropped,
             Request::SnapshotShip {
                 session: 5,
                 dropped: true,
+                epoch: 4,
                 ..
             }
         ));
 
         assert_eq!(
-            Request::parse(&takeover_request(2, "127.0.0.1:7002", &[3, 8], &[91, 0])).unwrap(),
+            Request::parse(&takeover_request(
+                2,
+                "127.0.0.1:7002",
+                &[3, 8],
+                &[91, 0],
+                &[2, 2]
+            ))
+            .unwrap(),
             Request::Takeover {
                 from: 2,
                 addr: "127.0.0.1:7002".to_string(),
                 sessions: vec![3, 8],
                 traces: vec![91, 0],
+                epochs: vec![2, 2],
             }
         );
-        // A pre-trace sender omits "traces": pad with zeros.
+        // A pre-trace/pre-epoch sender omits the parallel arrays: pad
+        // with zeros (0 = unknown trace / unfenced epoch).
         let legacy = Request::parse(
             r#"{"cmd":"takeover","from":2,"addr":"127.0.0.1:7002","sessions":[3,8]}"#,
         )
         .unwrap();
         assert!(matches!(
             legacy,
-            Request::Takeover { ref traces, .. } if traces == &vec![0, 0]
+            Request::Takeover { ref traces, ref epochs, .. }
+                if traces == &vec![0, 0] && epochs == &vec![0, 0]
+        ));
+        // Likewise a pre-epoch journal-append parses with epoch 0.
+        let legacy_append = Request::parse(
+            r#"{"cmd":"journal-append","from":0,"session":5,"seq":9,"input":"Mouse.x","value":{"Int":1}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            legacy_append,
+            Request::JournalAppend { epoch: 0, .. }
         ));
         assert_eq!(
             Request::parse(r#"{"cmd":"place","key":12}"#).unwrap(),
@@ -1496,9 +1578,9 @@ mod tests {
 
     #[test]
     fn moved_redirects_are_typed_on_both_planes() {
-        // Request plane: a typed error with the new peer's address and the
-        // takeover's trace id.
-        let parsed: Json = serde_json::from_str(&moved_line(7, "127.0.0.1:7002", 55)).unwrap();
+        // Request plane: a typed error with the new peer's address, the
+        // takeover's trace id, and the owner's epoch.
+        let parsed: Json = serde_json::from_str(&moved_line(7, "127.0.0.1:7002", 55, 3)).unwrap();
         assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(parsed.get("error").and_then(Json::as_str), Some("moved"));
         assert_eq!(
@@ -1506,6 +1588,7 @@ mod tests {
             Some("127.0.0.1:7002")
         );
         assert_eq!(parsed.get("trace"), Some(&Json::I64(55)));
+        assert_eq!(parsed.get("epoch"), Some(&Json::I64(3)));
 
         // Subscription plane: a final closed update with reason "moved",
         // so pre-cluster subscribers still terminate cleanly.
@@ -1545,9 +1628,11 @@ mod tests {
             queue_len: 0,
             last_seq: 17,
             poisoned: false,
+            epoch: 2,
         });
         let parsed: Json = serde_json::from_str(&q).unwrap();
         assert_eq!(parsed.get("last_seq"), Some(&Json::I64(17)));
+        assert_eq!(parsed.get("epoch"), Some(&Json::I64(2)));
     }
 
     #[test]

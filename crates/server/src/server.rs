@@ -221,6 +221,7 @@ impl Server {
         meta: &SessionMeta,
         snapshot: Option<(u64, WireSnapshot)>,
         entries: Vec<JournalEntry>,
+        epoch: u64,
     ) -> Result<u64, String> {
         let spec = match &meta.source {
             Some(src) => ProgramSpec::Source(src),
@@ -239,18 +240,22 @@ impl Server {
             config: Box::new(config),
             snapshot,
             entries,
+            epoch,
             reply,
         })?
     }
 
     /// Closes a locally hosted copy of `session` because `peer` took it
-    /// over; subscribers get a typed `moved` redirect carrying the
-    /// takeover's trace id. Returns whether a local copy existed.
-    pub fn close_moved(&self, session: SessionId, peer: &str, trace: u64) -> bool {
+    /// over at `epoch`; subscribers get a typed `moved` redirect carrying
+    /// the takeover's trace id. A nonzero epoch marks the close as a
+    /// demotion (this peer was fenced off). Returns whether a local copy
+    /// existed.
+    pub fn close_moved(&self, session: SessionId, peer: &str, trace: u64, epoch: u64) -> bool {
         self.ask(session, |reply| Command::CloseMoved {
             session,
             peer: peer.to_string(),
             trace,
+            epoch,
             reply,
         })
         .unwrap_or(false)

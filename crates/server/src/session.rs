@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::Sender;
 use elm_environment::fault::{self, FaultPlan};
 use elm_runtime::{
-    Counter, EventJournal, EventLimits, Gauge, Histogram, JournalEntry, NodeTimingSnapshot,
-    PlainValue, RuntimeSnapshot, SignalGraph, StatsSnapshot, Tracer, Value,
+    Counter, EventJournal, EventLimits, Gauge, Histogram, JournalEntry, JournalError,
+    NodeTimingSnapshot, PlainValue, RuntimeSnapshot, SignalGraph, StatsSnapshot, Tracer, Value,
 };
 use elm_signals::{Engine, Program, Running};
 use rand::rngs::StdRng;
@@ -276,6 +276,11 @@ pub struct Session {
     // shipped snapshots and takeover broadcasts so the failover path can
     // join the same causal story.
     last_trace: u64,
+    // Ownership epoch: 1 at open, bumped by adoption. Stamped on every
+    // journal append (through the journal's fence), every replication
+    // message, and every query reply, so stale owners are detectable
+    // everywhere the session's history can leak.
+    epoch: u64,
 }
 
 impl Session {
@@ -342,7 +347,21 @@ impl Session {
             replication: None,
             ingest_hist: Histogram::new(),
             last_trace: 0,
+            epoch: 1,
         }
+    }
+
+    /// The session's ownership epoch (1 at open, bumped by adoption).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Installs the ownership epoch a takeover assigned and fences the
+    /// journal at it, so an append stamped by any older incarnation is
+    /// rejected with a typed [`JournalError::Fenced`].
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch.max(1));
+        self.journal.fence(self.epoch);
     }
 
     /// Attaches the cluster replication tap: from now on every applied
@@ -657,15 +676,34 @@ impl Session {
             // applied-but-unjournaled event.
             let plain = PlainValue::from_value(&q.value);
             let journal_ok = match plain.clone() {
-                Some(pv) => self
-                    .journal
-                    .append(JournalEntry {
+                Some(pv) => match self.journal.append_owned(
+                    self.epoch,
+                    JournalEntry {
                         seq,
                         input: q.input.clone(),
                         value: pv,
                         trace: q.trace,
-                    })
-                    .is_ok(),
+                    },
+                ) {
+                    Ok(_) => true,
+                    Err(JournalError::Fenced { writer, fence }) => {
+                        // Ownership moved under us (a takeover at a
+                        // higher epoch fenced the journal): this
+                        // incarnation must not extend history. Skip the
+                        // event entirely — the new owner serves it.
+                        crate::blackbox::blackbox().record(
+                            "fenced",
+                            self.id,
+                            seq,
+                            q.trace,
+                            -1,
+                            &format!("local append at stale epoch {writer} < {fence}"),
+                        );
+                        self.ignored += 1;
+                        continue;
+                    }
+                    Err(_) => false,
+                },
                 None => false,
             };
             if journal_ok {
@@ -701,6 +739,7 @@ impl Session {
                         value: pv,
                         trace: q.trace,
                     },
+                    epoch: self.epoch,
                 });
             }
             for ev in &outs {
@@ -831,6 +870,7 @@ impl Session {
                     through: self.applied_seq,
                     wire: snap.to_wire().map(Box::new),
                     trace: self.last_trace,
+                    epoch: self.epoch,
                 });
                 crate::blackbox::blackbox().record(
                     "snapshot",
@@ -950,6 +990,7 @@ impl Session {
             queue_len: self.queue.len() as u64,
             poisoned: self.ever_panicked,
             last_seq: self.applied_seq,
+            epoch: self.epoch,
         }
     }
 
@@ -1299,6 +1340,32 @@ mod tests {
         assert_eq!(rec.snapshot_count, 5);
         assert_eq!(rec.journal_len, 0);
         assert_eq!(s.query().value, PlainValue::Int(5));
+    }
+
+    #[test]
+    fn a_fenced_session_stops_extending_history() {
+        let mut s = session("counter", 16, BackpressurePolicy::Block);
+        s.enqueue("Mouse.clicks", Value::Unit);
+        s.pump();
+        assert_eq!(s.query().epoch, 1);
+        assert_eq!(s.query().value, PlainValue::Int(1));
+
+        // A takeover elsewhere fences the journal above this incarnation:
+        // the write-ahead append is rejected and the event is skipped, so
+        // the zombie cannot fork history.
+        s.journal.fence(5);
+        s.enqueue("Mouse.clicks", Value::Unit);
+        s.pump();
+        assert_eq!(s.query().value, PlainValue::Int(1));
+        assert_eq!(s.query().last_seq, 1);
+        assert_eq!(s.ingress_stats().ignored, 1);
+
+        // Re-adoption at the fence epoch restores ownership.
+        s.set_epoch(5);
+        s.enqueue("Mouse.clicks", Value::Unit);
+        s.pump();
+        assert_eq!(s.query().value, PlainValue::Int(2));
+        assert_eq!(s.query().epoch, 5);
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub enum Command {
         snapshot: Option<(u64, WireSnapshot)>,
         /// Replicated journal suffix past the snapshot.
         entries: Vec<JournalEntry>,
+        /// The ownership epoch the takeover assigned: stamped on the
+        /// adopted session and fenced into its journal.
+        epoch: u64,
         /// Replies with the restored applied-seq high-water mark.
         reply: Sender<Result<u64, String>>,
     },
@@ -121,6 +124,9 @@ pub enum Command {
         peer: String,
         /// The takeover's trace id, echoed on the `moved` redirect.
         trace: u64,
+        /// The adopter's ownership epoch (0 = legacy broadcast). Nonzero
+        /// closes are demotions: this peer was fenced off at that epoch.
+        epoch: u64,
         /// Acknowledges the close (`Ok(false)` when not hosted here).
         reply: Sender<bool>,
     },
@@ -345,10 +351,15 @@ impl Shard {
                 session.set_source(source);
                 session.set_memory_gauge(self.memory.clone());
                 let meta = session.replica_meta();
+                let epoch = session.epoch();
                 session.set_replication(self.tap.clone());
                 self.sessions.insert(id, session);
                 self.counters.opened += 1;
-                self.tap.send(RepMsg::Open { session: id, meta });
+                self.tap.send(RepMsg::Open {
+                    session: id,
+                    meta,
+                    epoch,
+                });
                 let _ = reply.send(Ok(info));
             }
             Command::Adopt {
@@ -359,6 +370,7 @@ impl Shard {
                 config,
                 snapshot,
                 entries,
+                epoch,
                 reply,
             } => {
                 if self.sessions.contains_key(&id) {
@@ -368,6 +380,10 @@ impl Shard {
                 let mut session = Session::new(id, name, graph, *config);
                 session.set_source(source);
                 session.set_memory_gauge(self.memory.clone());
+                // The takeover's epoch lands before any replication: the
+                // re-basing snapshot and every append after it carry the
+                // new epoch, and the journal is fenced against the old.
+                session.set_epoch(epoch);
                 match session.restore_shipped(snapshot, entries) {
                     Ok(last_seq) => {
                         let meta = session.replica_meta();
@@ -375,7 +391,11 @@ impl Shard {
                         // replayed history is not re-replicated; from here
                         // the adopted session streams to *its* replica.
                         session.set_replication(self.tap.clone());
-                        self.tap.send(RepMsg::Open { session: id, meta });
+                        self.tap.send(RepMsg::Open {
+                            session: id,
+                            meta,
+                            epoch: session.epoch(),
+                        });
                         // Re-protect immediately: a snapshot at the
                         // adoption high-water mark re-bases this
                         // session's *new* replica so the append stream
@@ -396,6 +416,7 @@ impl Shard {
                 session,
                 peer,
                 trace,
+                epoch,
                 reply,
             } => {
                 // Split-brain guard: a stale primary drops its copy when a
@@ -404,14 +425,28 @@ impl Shard {
                 // from us must not erase the replica it is now feeding.
                 let hosted = match self.sessions.remove(&session) {
                     Some(mut s) => {
-                        crate::blackbox::blackbox().record(
-                            "takeover",
-                            session,
-                            0,
-                            trace,
-                            -1,
-                            &format!("moved to {peer}"),
-                        );
+                        if epoch > 0 {
+                            // An epoch-stamped takeover means *we* were
+                            // the fenced-off owner: record the demotion,
+                            // not just the move.
+                            crate::blackbox::blackbox().record(
+                                "demote",
+                                session,
+                                s.last_seq(),
+                                trace,
+                                -1,
+                                &format!("demoted to {peer} at epoch {epoch}"),
+                            );
+                        } else {
+                            crate::blackbox::blackbox().record(
+                                "takeover",
+                                session,
+                                0,
+                                trace,
+                                -1,
+                                &format!("moved to {peer}"),
+                            );
+                        }
                         s.notify_moved(&peer);
                         s.stop();
                         self.admission.forget(session);
@@ -543,10 +578,11 @@ impl Shard {
                     Some(mut s) => {
                         s.pump();
                         s.notify_closed("closed");
+                        let epoch = s.epoch();
                         s.stop();
                         self.admission.forget(session);
                         self.counters.closed += 1;
-                        self.tap.send(RepMsg::Drop { session });
+                        self.tap.send(RepMsg::Drop { session, epoch });
                         Ok(())
                     }
                     None => Err(format!("unknown session {session}")),
@@ -596,9 +632,10 @@ impl Shard {
         for (id, reason) in doomed {
             if let Some(mut s) = self.sessions.remove(&id) {
                 s.notify_closed(reason);
+                let epoch = s.epoch();
                 s.stop();
                 self.admission.forget(id);
-                self.tap.send(RepMsg::Drop { session: id });
+                self.tap.send(RepMsg::Drop { session: id, epoch });
                 match reason {
                     "recovery_failed" => self.counters.recovery_failed += 1,
                     _ => self.counters.evicted_idle += 1,
@@ -731,6 +768,7 @@ mod tests {
                 config: Box::new(SessionConfig::default()),
                 snapshot: None,
                 entries,
+                epoch: 2,
                 reply: tx,
             })
             .unwrap();
@@ -738,6 +776,8 @@ mod tests {
         let q = query_on(&shard, 9).unwrap();
         assert_eq!(q.value, PlainValue::Int(3));
         assert_eq!(q.last_seq, 3);
+        // Adoption stamped the takeover's ownership epoch.
+        assert_eq!(q.epoch, 2);
 
         // A takeover close hands subscribers a typed redirect.
         let (sub_tx, sub_rx) = channel::unbounded();
@@ -758,6 +798,7 @@ mod tests {
                 session: 9,
                 peer: "127.0.0.1:7777".to_string(),
                 trace: 0,
+                epoch: 3,
                 reply: tx,
             })
             .unwrap();

@@ -1,0 +1,102 @@
+//! Property tests for rendezvous placement: the cluster's session → peer
+//! assignment must stay balanced across peers and must move as few sessions
+//! as possible when the peer group grows or shrinks by one.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use elm_server::place;
+
+/// How many distinct session keys each property hashes. Large enough that the
+/// fair-share bound is statistically meaningful, small enough to keep the
+/// suite fast.
+const KEYS: u64 = 10_000;
+
+proptest! {
+    /// Balance: over `KEYS` consecutive keys from a random origin, no peer's
+    /// primary count may exceed twice its fair share. Rendezvous hashing with
+    /// a splitmix64-grade mixer should land well inside this bound; blowing
+    /// it means the score function is correlated with the key or peer index.
+    #[test]
+    fn primaries_stay_within_twice_fair_share(
+        n in 2usize..=8,
+        origin in 0u64..u64::MAX / 2,
+    ) {
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for key in origin..origin + KEYS {
+            let (primary, backup) = place(key, n);
+            prop_assert!(primary < n, "primary {primary} out of range for {n} peers");
+            prop_assert!(backup < n, "backup {backup} out of range for {n} peers");
+            prop_assert_ne!(primary, backup, "primary and backup must differ");
+            *counts.entry(primary).or_insert(0) += 1;
+        }
+        let cap = 2 * KEYS / n as u64;
+        for (peer, count) in counts {
+            prop_assert!(
+                count <= cap,
+                "peer {peer} owns {count} of {KEYS} primaries with {n} peers \
+                 (cap {cap}): placement is unbalanced"
+            );
+        }
+    }
+
+    /// Minimal disruption: growing the group from `n` to `n + 1` peers may
+    /// only move keys onto the new peer. A key whose primary was not taken
+    /// by the newcomer must keep exactly the primary it had — rendezvous
+    /// scores are per-(key, peer), so adding a peer never reshuffles the
+    /// relative order of the existing ones.
+    #[test]
+    fn adding_a_peer_only_moves_keys_onto_it(
+        n in 2usize..=7,
+        origin in 0u64..u64::MAX / 2,
+    ) {
+        let mut moved = 0u64;
+        for key in origin..origin + KEYS {
+            let (before, _) = place(key, n);
+            let (after, _) = place(key, n + 1);
+            if after != before {
+                prop_assert_eq!(
+                    after, n,
+                    "key {} changed primary {} -> {} when peer {} joined; \
+                     only moves onto the new peer are allowed",
+                    key, before, after, n
+                );
+                moved += 1;
+            }
+        }
+        // The newcomer should claim roughly 1/(n+1) of the keyspace — and
+        // certainly not more than twice that, or the "minimal" in minimally
+        // disruptive is gone.
+        let cap = 2 * KEYS / (n as u64 + 1);
+        prop_assert!(
+            moved <= cap,
+            "adding one peer to {n} moved {moved} of {KEYS} keys (cap {cap})"
+        );
+    }
+
+    /// The removal direction of the same law: shrinking from `n + 1` back to
+    /// `n` peers may only disturb keys whose primary was the departed peer
+    /// (index `n`, the highest — peers are identified by index, so the last
+    /// one is the one that leaves). Everyone else keeps their owner, which is
+    /// what lets a cluster drop a peer without a thundering herd of
+    /// snapshot ships.
+    #[test]
+    fn removing_a_peer_only_moves_its_own_keys(
+        n in 2usize..=7,
+        origin in 0u64..u64::MAX / 2,
+    ) {
+        for key in origin..origin + KEYS {
+            let (before, _) = place(key, n + 1);
+            let (after, _) = place(key, n);
+            if before != n {
+                prop_assert_eq!(
+                    after, before,
+                    "key {} moved {} -> {} although the departed peer {} \
+                     never owned it",
+                    key, before, after, n
+                );
+            }
+        }
+    }
+}
