@@ -320,48 +320,57 @@ impl EventJournal {
     ///
     /// Fails if the file cannot be read or a non-final line is malformed.
     pub fn read_file(path: &Path) -> Result<(u64, Vec<JournalEntry>), JournalError> {
-        let text = std::fs::read_to_string(path).map_err(|e| JournalError::Io(e.to_string()))?;
+        // Raw bytes, not read_to_string: a torn tail can split a
+        // multi-byte UTF-8 sequence, and that must surface as a malformed
+        // final line (truncatable) rather than a fatal IO error.
+        let bytes = std::fs::read(path).map_err(|e| JournalError::Io(e.to_string()))?;
         let mut through = 0u64;
         let mut entries: Vec<JournalEntry> = Vec::new();
         let mut offset = 0usize;
-        for raw in text.split_inclusive('\n') {
-            let line = raw.trim();
+        for raw in bytes.split_inclusive(|&b| b == b'\n') {
             let start = offset;
             offset += raw.len();
-            if line.is_empty() {
+            let parsed = std::str::from_utf8(raw).map(str::trim);
+            if parsed == Ok("") {
                 continue;
             }
-            if let Ok(json) = serde_json::from_str::<serde_json::Value>(line) {
-                if let Some(t) = json.get("snapshot_through").and_then(|v| match v {
-                    serde_json::Value::U64(n) => Some(*n),
-                    serde_json::Value::I64(n) if *n >= 0 => Some(*n as u64),
-                    _ => None,
-                }) {
-                    through = through.max(t);
+            if let Ok(line) = parsed {
+                if let Ok(json) = serde_json::from_str::<serde_json::Value>(line) {
+                    if let Some(t) = json.get("snapshot_through").and_then(|v| match v {
+                        serde_json::Value::U64(n) => Some(*n),
+                        serde_json::Value::I64(n) if *n >= 0 => Some(*n as u64),
+                        _ => None,
+                    }) {
+                        through = through.max(t);
+                        continue;
+                    }
+                }
+            }
+            let err = match parsed.map_err(|e| e.to_string()).and_then(|line| {
+                serde_json::from_str::<JournalEntry>(line).map_err(|e| e.to_string())
+            }) {
+                Ok(entry) => {
+                    entries.push(entry);
                     continue;
                 }
+                Err(e) => e,
+            };
+            // Only the very last line may be torn; anything with
+            // content after it is mid-file corruption.
+            if bytes[offset..].iter().all(u8::is_ascii_whitespace) {
+                eprintln!(
+                    "journal: torn final line in {} ({err}); truncating {} byte(s)",
+                    path.display(),
+                    bytes.len() - start
+                );
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .and_then(|f| f.set_len(start as u64))
+                    .map_err(|e| JournalError::Io(e.to_string()))?;
+                break;
             }
-            match serde_json::from_str::<JournalEntry>(line) {
-                Ok(entry) => entries.push(entry),
-                Err(e) => {
-                    // Only the very last line may be torn; anything with
-                    // content after it is mid-file corruption.
-                    if text[offset..].trim().is_empty() {
-                        eprintln!(
-                            "journal: torn final line in {} ({e}); truncating {} byte(s)",
-                            path.display(),
-                            text.len() - start
-                        );
-                        OpenOptions::new()
-                            .write(true)
-                            .open(path)
-                            .and_then(|f| f.set_len(start as u64))
-                            .map_err(|e| JournalError::Io(e.to_string()))?;
-                        break;
-                    }
-                    return Err(JournalError::Io(e.to_string()));
-                }
-            }
+            return Err(JournalError::Io(err));
         }
         entries.retain(|e| e.seq > through);
         Ok((through, entries))
@@ -560,6 +569,36 @@ mod tests {
         }
         let (_, entries) = EventJournal::read_file(&path).unwrap();
         assert_eq!(entries.len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_splitting_a_utf8_sequence_is_truncated() {
+        let dir = std::env::temp_dir().join(format!("elm-journal-utf8-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("utf8.ndjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = EventJournal::with_file(4, &path).unwrap();
+            for seq in 1..=2 {
+                j.append(entry(seq)).unwrap();
+            }
+        }
+        // A crash mid-append can cut a multi-byte UTF-8 sequence in half:
+        // "é" is 0xC3 0xA9, and only the lead byte made it to disk. The
+        // whole file is now invalid UTF-8; restore must still treat this
+        // as a torn final line, not a fatal read error.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"seq\":3,\"input\":\"caf\xC3").unwrap();
+        }
+        let (through, entries) = EventJournal::read_file(&path).unwrap();
+        assert_eq!(through, 0);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        // The torn bytes are gone and a second restore is clean.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "torn tail survived: {text:?}");
         let _ = std::fs::remove_file(&path);
     }
 

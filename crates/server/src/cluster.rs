@@ -466,20 +466,29 @@ impl Cluster {
         if !self.config.fencing || epoch == 0 {
             return None;
         }
-        let fence = self
+        // Lock discipline: `handle_takeover` is the one path that holds
+        // routes → replicas → fences together; every other path takes at
+        // most one of these locks at a time. The two lookups below must
+        // therefore stay in *separate statements* — an `or_else` closure
+        // taking `replicas` while the `fences` guard temporary is still
+        // live would deadlock ABBA against a concurrent takeover
+        // broadcast on another peer link.
+        let witnessed = self
             .fences
             .lock()
             .expect("cluster lock")
             .get(&session)
-            .copied()
-            .or_else(|| {
-                self.replicas
-                    .lock()
-                    .expect("cluster lock")
-                    .sessions
-                    .get(&session)
-                    .map(|r| r.epoch)
-            })?;
+            .copied();
+        let fence = match witnessed {
+            Some(f) => f,
+            None => self
+                .replicas
+                .lock()
+                .expect("cluster lock")
+                .sessions
+                .get(&session)
+                .map(|r| r.epoch)?,
+        };
         (epoch < fence).then_some(fence)
     }
 
@@ -593,6 +602,7 @@ impl Cluster {
         epochs: &[u64],
     ) -> String {
         self.note_heard(from);
+        let mut fresh: Vec<(u64, u64, u64)> = Vec::with_capacity(sessions.len());
         {
             let mut routes = self.routes.lock().expect("cluster lock");
             let mut store = self.replicas.lock().expect("cluster lock");
@@ -600,12 +610,34 @@ impl Cluster {
             for (i, &sid) in sessions.iter().enumerate() {
                 let trace = traces.get(i).copied().unwrap_or(0);
                 let epoch = epochs.get(i).copied().unwrap_or(0);
+                // Broadcasts for one session arrive on independent links
+                // and can be reordered (netfault delays takeover verbs):
+                // one below the highest epoch already witnessed is stale,
+                // and must not repoint the route at a demoted adopter,
+                // drop replica state the newer owner is feeding, or close
+                // a newer local copy. Epoch 0 legacy broadcasts carry no
+                // order and keep the old always-apply behavior.
+                if epoch > 0 && epoch < fences.get(&sid).copied().unwrap_or(0) {
+                    crate::blackbox::blackbox().record(
+                        "takeover-stale",
+                        sid,
+                        0,
+                        trace,
+                        from as i64,
+                        &format!(
+                            "ignored stale takeover by {addr} at epoch {epoch} < {}",
+                            fences[&sid]
+                        ),
+                    );
+                    continue;
+                }
                 routes.insert(sid, (addr.to_string(), trace, epoch));
                 store.drop_session(sid);
                 if epoch > 0 {
                     let f = fences.entry(sid).or_insert(0);
                     *f = (*f).max(epoch);
                 }
+                fresh.push((sid, trace, epoch));
                 crate::blackbox::blackbox().record(
                     "takeover",
                     sid,
@@ -616,15 +648,10 @@ impl Cluster {
                 );
             }
         }
-        for (i, &sid) in sessions.iter().enumerate() {
+        for &(sid, trace, epoch) in &fresh {
             // The takeover wins: if we still host the session (we were
             // partitioned, not dead), our copy yields.
-            self.server.close_moved(
-                sid,
-                addr,
-                traces.get(i).copied().unwrap_or(0),
-                epochs.get(i).copied().unwrap_or(0),
-            );
+            self.server.close_moved(sid, addr, trace, epoch);
         }
         protocol::takeover_ack_line(sessions.len())
     }
@@ -1298,6 +1325,34 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("elm_cluster_heartbeat_age_ms"), "{text}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn stale_takeover_broadcast_cannot_overwrite_a_newer_route() {
+        let cluster = offline_cluster(3);
+        // Peer 1 adopts session 5 at epoch 3; the route points at it.
+        cluster.handle_takeover(1, "127.0.0.1:31", &[5], &[7], &[3]);
+        assert_eq!(
+            cluster.redirect_for(5),
+            Some(("127.0.0.1:31".to_string(), 7, 3))
+        );
+        // A delayed broadcast of the *previous* takeover (epoch 2, a
+        // different adopter) arrives out of order on another link: it
+        // must not repoint the route at the demoted adopter or lower
+        // the fence.
+        cluster.handle_takeover(2, "127.0.0.1:32", &[5], &[8], &[2]);
+        assert_eq!(
+            cluster.redirect_for(5),
+            Some(("127.0.0.1:31".to_string(), 7, 3))
+        );
+        assert_eq!(cluster.fences.lock().unwrap()[&5], 3);
+        // A newer broadcast still applies.
+        cluster.handle_takeover(2, "127.0.0.1:32", &[5], &[9], &[4]);
+        assert_eq!(
+            cluster.redirect_for(5),
+            Some(("127.0.0.1:32".to_string(), 9, 4))
+        );
         cluster.stop();
     }
 

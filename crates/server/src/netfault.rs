@@ -159,6 +159,19 @@ struct LinkState {
     held: Option<String>,
 }
 
+/// The wire verb of one rendered line: the parsed `"cmd"` field, `None`
+/// for anything unparseable. Fault scoping keys off the protocol itself
+/// rather than a raw substring probe, so a change to the serializer's
+/// field rendering cannot silently reclassify lines and drop or reorder
+/// a non-idempotent verb.
+fn verb_of(line: &str) -> Option<String> {
+    serde_json::from_str::<serde_json::Value>(line)
+        .ok()?
+        .get("cmd")?
+        .as_str()
+        .map(str::to_string)
+}
+
 /// The seeded network-fault proxy (see module docs). One instance is
 /// shared by every outbound link of a process; per-link RNG streams are
 /// derived as `FaultPlan::rng(STREAM_NET, from * peers + to)`, so each
@@ -208,8 +221,10 @@ impl NetFault {
             rng: self.plan.rng(STREAM_NET, (from * self.peers + to) as u64),
             held: None,
         });
-        let heartbeat = line.contains("\"cmd\":\"heartbeat\"");
-        let append = line.contains("\"cmd\":\"journal-append\"");
+        let verb = verb_of(line);
+        let verb = verb.as_deref();
+        let heartbeat = verb == Some("heartbeat");
+        let append = verb == Some("journal-append");
         let mut delay = Duration::ZERO;
         if self.config.delay > 0.0 && st.rng.gen_bool(self.config.delay) {
             delay = Duration::from_millis(self.config.delay_ms);
